@@ -1,0 +1,111 @@
+// Ablation A7 (extension): adaptive re-optimization. The paper's Executor
+// "monitors the progress of plan execution" (§4.2); this closes that loop.
+// A filter UDF whose selectivity annotation is wildly wrong misleads the
+// static optimizer into keeping an expensive downstream map on the serial
+// platform; the adaptive executor notices the blown estimate at the first
+// stage boundary and re-routes the rest of the plan.
+
+#include "bench/bench_common.h"
+
+#include "core/executor/adaptive.h"
+#include "core/operators/physical_ops.h"
+
+namespace rheem {
+namespace bench {
+namespace {
+
+Dataset Numbers(int64_t n) {
+  std::vector<Record> records;
+  records.reserve(static_cast<std::size_t>(n));
+  for (int64_t i = 0; i < n; ++i) records.push_back(Record({Value(i)}));
+  return Dataset(std::move(records));
+}
+
+struct BuiltPlan {
+  Plan plan;
+  EnumeratorOptions options;
+};
+
+/// Source -> Filter(selectivity hint `hint`, actually keeps all) -> costly
+/// Map -> Collect; the relsim pins force a boundary after the filter.
+std::unique_ptr<BuiltPlan> Build(int64_t rows, double hint) {
+  auto built = std::make_unique<BuiltPlan>();
+  auto* src = built->plan.Add<CollectionSourceOp>({}, Numbers(rows));
+  PredicateUdf pred;
+  pred.fn = [](const Record&) { return true; };
+  pred.meta.selectivity = hint;
+  auto* filter = built->plan.Add<FilterOp>({src}, pred);
+  MapUdf udf;
+  udf.fn = [](const Record& r) {
+    double x = r[0].ToDoubleOr(0);
+    for (int k = 0; k < 400; ++k) x = x * 1.000001 + 0.5;
+    return Record({Value(x)});
+  };
+  udf.meta.cost_factor = 400.0;
+  auto* map = built->plan.Add<MapOp>({filter}, udf);
+  built->plan.SetSink(built->plan.Add<CollectOp>({map}));
+  built->options.pinned_platforms[src->id()] = "relsim";
+  built->options.pinned_platforms[filter->id()] = "relsim";
+  return built;
+}
+
+int64_t RunStatic(RheemContext* ctx, int64_t rows, double hint) {
+  auto built = Build(rows, hint);
+  auto estimates = CardinalityEstimator::Estimate(built->plan).ValueOrDie();
+  Enumerator enumerator(&ctx->platforms(), &ctx->movement_model());
+  auto assignment =
+      enumerator.Run(built->plan, estimates, built->options).ValueOrDie();
+  auto eplan =
+      StageSplitter::Split(built->plan, std::move(assignment)).ValueOrDie();
+  CrossPlatformExecutor executor;
+  auto result = executor.Execute(eplan);
+  if (!result.ok()) std::exit(1);
+  return result->metrics.TotalMicros();
+}
+
+int64_t RunAdaptive(RheemContext* ctx, int64_t rows, double hint,
+                    int* reoptimizations) {
+  auto built = Build(rows, hint);
+  AdaptiveExecutor executor(&ctx->platforms(), &ctx->movement_model());
+  AdaptiveOptions options;
+  options.enumerator = built->options;
+  auto result = executor.Execute(built->plan, options);
+  if (!result.ok()) std::exit(1);
+  *reoptimizations = result->reoptimizations;
+  return result->metrics.TotalMicros();
+}
+
+void Run() {
+  std::printf(
+      "== Ablation A7: adaptive re-optimization under a wrong selectivity "
+      "annotation (hint says 0.05%%, reality keeps 100%%) ==\n\n");
+  RheemContext* ctx = NewContext();
+  ResultTable table({"rows", "static_bad_hint_ms", "adaptive_ms",
+                     "static_good_hint_ms", "reopts", "adaptive_gain"});
+  for (int64_t rows : {50000, 150000, 400000}) {
+    const int64_t bad = RunStatic(ctx, rows, 0.0005);
+    int reopts = 0;
+    const int64_t adaptive = RunAdaptive(ctx, rows, 0.0005, &reopts);
+    const int64_t good = RunStatic(ctx, rows, 1.0);
+    table.AddRow({std::to_string(rows), Ms(static_cast<double>(bad)),
+                  Ms(static_cast<double>(adaptive)),
+                  Ms(static_cast<double>(good)), std::to_string(reopts),
+                  Times(static_cast<double>(bad) /
+                        static_cast<double>(adaptive))});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected: the misled static plan keeps the heavy map on the serial\n"
+      "platform and pays for it; the adaptive executor re-optimizes after\n"
+      "the filter's actual cardinality arrives and lands near the\n"
+      "good-hint plan's time.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rheem
+
+int main() {
+  rheem::bench::Run();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation A3: SortGroupBy vs HashGroupBy — the paper's flagship example of
+// a physical-level algorithmic choice the core-layer optimizer makes
+// (§3.1, Example 2). google-benchmark microbenchmark over the two kernels
+// across key cardinalities.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/operators/kernels.h"
+
+namespace rheem {
+namespace {
+
+Dataset MakeInput(int64_t rows, int64_t distinct_keys) {
+  Rng rng(77);
+  std::vector<Record> out;
+  out.reserve(static_cast<std::size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) {
+    out.push_back(Record({Value(rng.NextInt(0, distinct_keys - 1)), Value(i)}));
+  }
+  return Dataset(std::move(out));
+}
+
+KeyUdf FirstField() {
+  KeyUdf key;
+  key.fn = [](const Record& r) { return r[0]; };
+  return key;
+}
+
+GroupUdf CountGroup() {
+  GroupUdf group;
+  group.fn = [](const Value& key, const std::vector<Record>& members) {
+    return std::vector<Record>{
+        Record({key, Value(static_cast<int64_t>(members.size()))})};
+  };
+  return group;
+}
+
+void BM_HashGroupBy(benchmark::State& state) {
+  const Dataset input = MakeInput(state.range(0), state.range(1));
+  const KeyUdf key = FirstField();
+  const GroupUdf group = CountGroup();
+  for (auto _ : state) {
+    auto out = kernels::HashGroupBy(key, group, input);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_SortGroupBy(benchmark::State& state) {
+  const Dataset input = MakeInput(state.range(0), state.range(1));
+  const KeyUdf key = FirstField();
+  const GroupUdf group = CountGroup();
+  for (auto _ : state) {
+    auto out = kernels::SortGroupBy(key, group, input);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+// rows x distinct keys: few huge groups through many tiny groups.
+BENCHMARK(BM_HashGroupBy)
+    ->Args({100000, 10})
+    ->Args({100000, 1000})
+    ->Args({100000, 100000})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SortGroupBy)
+    ->Args({100000, 10})
+    ->Args({100000, 1000})
+    ->Args({100000, 100000})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rheem
+
+BENCHMARK_MAIN();

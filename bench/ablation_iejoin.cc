@@ -1,0 +1,68 @@
+// Ablation A4: the IEJoin physical operator vs the nested-loop theta join it
+// replaces — the extensibility payoff the paper reports for BigDansing's
+// inequality rules (§5.1, [20]). google-benchmark microbenchmark on the
+// self-join salary/tax predicate.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/operators/iejoin.h"
+
+namespace rheem {
+namespace {
+
+Dataset SalaryTax(int64_t rows) {
+  Rng rng(99);
+  std::vector<Record> out;
+  out.reserve(static_cast<std::size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) {
+    const double salary = rng.NextDouble(2e4, 2e5);
+    // Mostly monotone tax, 1% corrupted: output stays small.
+    const double tax = rng.NextBool(0.01)
+                           ? salary * 0.05
+                           : salary * 0.2 + rng.NextDouble(0, 10);
+    out.push_back(Record({Value(salary), Value(tax)}));
+  }
+  return Dataset(std::move(out));
+}
+
+IEJoinSpec Spec() {
+  IEJoinSpec spec;
+  spec.left_col1 = 0;
+  spec.op1 = CompareOp::kGreater;
+  spec.right_col1 = 0;
+  spec.left_col2 = 1;
+  spec.op2 = CompareOp::kLess;
+  spec.right_col2 = 1;
+  return spec;
+}
+
+void BM_IEJoin(benchmark::State& state) {
+  const Dataset input = SalaryTax(state.range(0));
+  const IEJoinSpec spec = Spec();
+  for (auto _ : state) {
+    auto out = kernels::IEJoin(spec, input, input);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_NestedLoopTheta(benchmark::State& state) {
+  const Dataset input = SalaryTax(state.range(0));
+  const IEJoinSpec spec = Spec();
+  for (auto _ : state) {
+    auto out = kernels::IEJoinNestedLoopReference(spec, input, input);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+BENCHMARK(BM_IEJoin)->Arg(1000)->Arg(4000)->Arg(16000)->Arg(32000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NestedLoopTheta)->Arg(1000)->Arg(4000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rheem
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// BigDansing on RHEEM (paper §5): rule-based violation detection over an
+// employee/tax table with planted errors, the three detection strategies of
+// Figure 3 (single Detect UDF, operator pipeline, pipeline + IEJoin), and
+// equivalence-class repair of the FD violations.
+
+#include <cstdio>
+
+#include "apps/cleaning/data_gen.h"
+#include "apps/cleaning/plan_builder.h"
+#include "apps/cleaning/repair.h"
+
+using namespace rheem;  // example code; library code never does this
+using namespace rheem::cleaning;
+
+int main() {
+  RheemContext ctx;
+  if (auto st = ctx.RegisterDefaultPlatforms(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  TaxTableOptions gen;
+  gen.rows = 4000;
+  gen.fd_noise_rate = 0.03;
+  gen.ineq_noise_rate = 0.01;
+  Dataset table = GenerateTaxTable(gen);
+  std::printf("table: %zu rows, schema %s\n\n", table.size(),
+              TaxTableSchema().ToString().c_str());
+
+  // --- phi1: FD zip -> city ------------------------------------------------
+  FdRule phi1 = ZipCityRule();
+  std::printf("== %s (FD zip -> city) ==\n", phi1.id().c_str());
+  for (DetectStrategy strategy :
+       {DetectStrategy::kMonolithicUdf, DetectStrategy::kOperatorPipeline}) {
+    DetectOptions options;
+    options.strategy = strategy;
+    auto report = DetectViolations(&ctx, table, phi1, options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  %-18s %5zu violations in %8.1f ms\n",
+                DetectStrategyToString(strategy), report->violations.size(),
+                report->metrics.TotalSeconds() * 1e3);
+  }
+
+  // Repair the FD violations by majority vote per equivalence class.
+  DetectOptions pipeline;
+  auto report = DetectViolations(&ctx, table, phi1, pipeline);
+  auto fixes = GenerateFdFixes(table, phi1, report->violations);
+  if (!fixes.ok()) {
+    std::fprintf(stderr, "%s\n", fixes.status().ToString().c_str());
+    return 1;
+  }
+  auto repaired = ApplyFixes(table, *fixes);
+  auto after = DetectViolationsBruteForce(*repaired, phi1);
+  std::printf(
+      "  repair: %zu fixes over %zu tuples; violations after repair: %zu\n\n",
+      fixes->size(), CountFixedTuples(*fixes), after->size());
+
+  // --- phi2: inequality DC salary/tax --------------------------------------
+  IneqRule phi2 = SalaryTaxRule();
+  std::printf("== %s (salary > salary' AND tax < tax') ==\n", phi2.id().c_str());
+  for (DetectStrategy strategy :
+       {DetectStrategy::kMonolithicUdf, DetectStrategy::kOperatorPipeline,
+        DetectStrategy::kOperatorPipelineIEJoin}) {
+    DetectOptions options;
+    options.strategy = strategy;
+    auto r = DetectViolations(&ctx, table, phi2, options);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  %-18s %5zu violations in %8.1f ms\n",
+                DetectStrategyToString(strategy), r->violations.size(),
+                r->metrics.TotalSeconds() * 1e3);
+  }
+  std::printf(
+      "\nThe IEJoin strategy is the paper's extensibility story: a new\n"
+      "physical operator plugged into the pool makes the same rule orders of\n"
+      "magnitude faster (see bench/fig3_baselines).\n");
+  return 0;
+}

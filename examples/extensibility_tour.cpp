@@ -1,0 +1,122 @@
+// Tour of the paper's §8 research-agenda features as implemented here:
+//  1. a platform added from a declarative text spec (challenge 1),
+//  2. the SQL frontend on the relational engine (§3.2),
+//  3. adaptive re-optimization driven by execution monitoring (§4.2),
+//  4. cost-model calibration from observed runs (challenge 2).
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/api/data_quanta.h"
+#include "core/executor/adaptive.h"
+#include "core/mapping/declarative.h"
+#include "core/optimizer/cost_learner.h"
+#include "platforms/relsim/sql.h"
+
+using namespace rheem;  // example code; library code never does this
+
+int main() {
+  RheemContext ctx;
+  if (auto st = ctx.RegisterDefaultPlatforms(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // --- 1. declare a platform in text, no optimizer changes -----------------
+  const char* spec = R"(
+platform turbo
+turbo maps CollectionSource to TurboScan
+turbo maps Filter to TurboFilter weight 0.5 context "vectorized predicates"
+turbo maps ReduceByKey to TurboAggregate weight 0.4
+turbo maps Collect to TurboFetch
+turbo cost per_quantum_us 0.005
+turbo cost parallelism 4
+turbo cost stage_overhead_us 100
+)";
+  if (auto st = RegisterDeclaredPlatforms(spec, &ctx.platforms()); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  Rng rng(7);
+  std::vector<Record> rows;
+  for (int i = 0; i < 5000; ++i) {
+    rows.push_back(Record({Value(rng.NextInt(0, 9)), Value(rng.NextInt(0, 99))}));
+  }
+  RheemJob job(&ctx);
+  auto agg = job.LoadCollection(Dataset(rows))
+                 .Filter([](const Record& r) { return r[1].ToInt64Or(0) > 10; },
+                         UdfMeta::Selective(0.9))
+                 .ReduceByKey([](const Record& r) { return r[0]; },
+                              [](const Record& a, const Record& b) {
+                                return Record({a[0], Value(a[1].ToInt64Or(0) +
+                                                           b[1].ToInt64Or(0))});
+                              });
+  std::printf("--- plan with the declared 'turbo' platform in the mix ---\n%s\n",
+              agg.Explain().ValueOr("?").c_str());
+
+  // --- 2. the SQL frontend over relsim --------------------------------------
+  relsim::Catalog catalog;
+  relsim::Table readings(Schema::Of({Field{"well", ValueType::kInt64},
+                                     Field{"pressure", ValueType::kDouble}}));
+  for (int i = 0; i < 200; ++i) {
+    (void)readings.AppendRow(Record({Value(i % 5),
+                                     Value(150.0 + rng.NextGaussian() * 30)}));
+  }
+  (void)catalog.Register("readings", std::move(readings));
+  const char* query =
+      "SELECT well, COUNT(*) AS n, AVG(pressure) AS avg_p FROM readings "
+      "WHERE pressure > 140 GROUP BY well ORDER BY avg_p DESC LIMIT 3";
+  std::printf("--- SQL: %s ---\n", query);
+  auto table = relsim::ExecuteSql(catalog, query);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", table->ToString().c_str());
+
+  // --- 3. adaptive re-optimization ------------------------------------------
+  Plan plan;
+  std::vector<Record> big;
+  for (int i = 0; i < 40000; ++i) big.push_back(Record({Value(i)}));
+  auto* src = plan.Add<CollectionSourceOp>({}, Dataset(std::move(big)));
+  PredicateUdf lying;
+  lying.fn = [](const Record&) { return true; };
+  lying.meta.selectivity = 0.001;  // wrong by 1000x
+  auto* filter = plan.Add<FilterOp>({src}, lying);
+  MapUdf heavy;
+  heavy.fn = [](const Record& r) {
+    double x = r[0].ToDoubleOr(0);
+    for (int k = 0; k < 300; ++k) x = x * 1.000001 + 0.5;
+    return Record({Value(x)});
+  };
+  heavy.meta.cost_factor = 300.0;
+  auto* map = plan.Add<MapOp>({filter}, heavy);
+  plan.SetSink(plan.Add<CollectOp>({map}));
+  AdaptiveOptions adaptive_options;
+  adaptive_options.enumerator.pinned_platforms[src->id()] = "relsim";
+  adaptive_options.enumerator.pinned_platforms[filter->id()] = "relsim";
+  AdaptiveExecutor adaptive(&ctx.platforms(), &ctx.movement_model());
+  auto adapted = adaptive.Execute(plan, adaptive_options);
+  if (!adapted.ok()) {
+    std::fprintf(stderr, "%s\n", adapted.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("--- adaptive execution ---\n");
+  for (const std::string& d : adapted->decisions) {
+    std::printf("  %s\n", d.c_str());
+  }
+  std::printf("  %d re-optimization(s), %zu records out\n\n",
+              adapted->reoptimizations, adapted->output.size());
+
+  // --- 4. cost calibration ---------------------------------------------------
+  CostCalibrator calibrator;
+  calibrator.Observe("javasim", /*estimated=*/1000.0, /*actual=*/2400.0);
+  calibrator.Observe("javasim", 500.0, 1300.0);
+  calibrator.Observe("sparksim", 8000.0, 7600.0);
+  std::printf("--- %s", calibrator.Report().c_str());
+  Config suggested = calibrator.SuggestConfig(
+      {{"javasim", 0.03}, {"sparksim", 0.03}});
+  std::printf("suggested javasim.per_quantum_us = %.4f (was 0.0300)\n",
+              suggested.GetDouble("javasim.per_quantum_us", 0).ValueOr(0));
+  return 0;
+}

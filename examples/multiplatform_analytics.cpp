@@ -1,0 +1,124 @@
+// The paper's motivating pipeline (§1, the Oil & Gas story): heterogeneous
+// data lands in different stores, a relational aggregation cleans and
+// reduces it, and an ML model trains on the result — with RHEEM placing each
+// part on the platform that suits it and the storage layer deciding where
+// the datasets live.
+
+#include <cstdio>
+
+#include "apps/ml/svm.h"
+#include "common/rng.h"
+#include "core/api/data_quanta.h"
+#include "storage/csv_store.h"
+#include "storage/hot_buffer.h"
+#include "storage/kv_store.h"
+#include "storage/mem_column_store.h"
+#include "storage/storage_optimizer.h"
+
+using namespace rheem;  // example code; library code never does this
+
+namespace {
+
+/// Synthetic downhole sensor readings: (well id, pressure, temperature,
+/// label) where the label says whether the interval turned out productive.
+Dataset SensorReadings(int64_t rows) {
+  Rng rng(2026);
+  std::vector<Record> out;
+  for (int64_t i = 0; i < rows; ++i) {
+    const int64_t well = rng.NextInt(0, 49);
+    const bool productive = rng.NextBool(0.5);
+    const double pressure = 200.0 + (productive ? 40 : -40) + 10 * rng.NextGaussian();
+    const double temperature = 80.0 + (productive ? 15 : -15) + 5 * rng.NextGaussian();
+    out.push_back(Record({Value(well), Value(pressure), Value(temperature),
+                          Value(productive ? 1.0 : -1.0)}));
+  }
+  return Dataset(std::move(out));
+}
+
+}  // namespace
+
+int main() {
+  RheemContext ctx;
+  if (auto st = ctx.RegisterDefaultPlatforms(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // --- storage layer: profile-driven placement -----------------------------
+  storage::StorageManager storage_manager;
+  (void)storage_manager.RegisterBackend(std::make_unique<storage::MemColumnStore>());
+  (void)storage_manager.RegisterBackend(
+      std::make_unique<storage::CsvStore>("/tmp/rheem_example_store"));
+  (void)storage_manager.RegisterBackend(std::make_unique<storage::KvStore>(0));
+  storage::StorageOptimizer storage_optimizer(&storage_manager);
+
+  Dataset readings = SensorReadings(30000);
+  storage::AccessProfile profile;
+  profile.scan_frequency = 10.0;        // analytics scan it over and over
+  profile.column_subset_access = true;  // mostly pressure+temperature
+  profile.hot_columns = {1, 2};
+  auto splan = storage_optimizer.Plan("sensor_readings", profile);
+  if (!splan.ok()) {
+    std::fprintf(stderr, "%s\n", splan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("--- storage plan chosen from the access profile ---\n%s\n",
+              splan->ToString().c_str());
+  (void)storage_manager.Execute(*splan, readings);
+
+  storage::HotDataBuffer hot(&storage_manager, 1LL << 30);
+  Dataset working = hot.Load("sensor_readings").ValueOrDie();
+
+  // --- processing layer: relational prefix + ML core -----------------------
+  // Per-well averages via keyed aggregation (a relational-friendly subplan),
+  // then an SVM over the per-reading features.
+  RheemJob job(&ctx);
+  auto per_well =
+      job.LoadCollection(working)
+          .Map([](const Record& r) {
+            return Record({r[0], r[1], r[2], Value(int64_t{1})});
+          })
+          .ReduceByKey(
+              [](const Record& r) { return r[0]; },
+              [](const Record& a, const Record& b) {
+                return Record({a[0], Value(a[1].ToDoubleOr(0) + b[1].ToDoubleOr(0)),
+                               Value(a[2].ToDoubleOr(0) + b[2].ToDoubleOr(0)),
+                               Value(a[3].ToInt64Or(0) + b[3].ToInt64Or(0))});
+              },
+              /*key_distinct_ratio=*/0.002)
+          .Map([](const Record& r) {
+            const double n = static_cast<double>(r[3].ToInt64Or(1));
+            return Record({r[0], Value(r[1].ToDoubleOr(0) / n),
+                           Value(r[2].ToDoubleOr(0) / n)});
+          });
+  if (auto plan = per_well.Explain(); plan.ok()) {
+    std::printf("--- per-well aggregation plan ---\n%s\n", plan->c_str());
+  }
+  auto aggregates = per_well.Collect();
+  std::printf("per-well aggregates: %zu wells\n\n",
+              aggregates.ok() ? aggregates->size() : 0);
+
+  // Reshape to (label, features) and train the productivity classifier.
+  std::vector<Record> training;
+  for (const Record& r : working.records()) {
+    training.push_back(Record({r[3], Value(std::vector<double>{
+                                  r[1].ToDoubleOr(0) / 100.0,
+                                  r[2].ToDoubleOr(0) / 100.0})}));
+  }
+  ml::SvmOptions svm;
+  svm.iterations = 40;
+  auto model = ml::TrainSvm(&ctx, Dataset(std::move(training)), svm);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("--- productivity classifier ---\n");
+  std::printf("trained in %.1f ms (%s)\n",
+              model->metrics.TotalSeconds() * 1e3,
+              model->metrics.jobs_run > 20 ? "cluster platform"
+                                           : "in-process platform");
+  std::printf("hot buffer: %lld hit(s), %lld miss(es)\n",
+              static_cast<long long>(hot.hits()),
+              static_cast<long long>(hot.misses()));
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "apps/cleaning/data_gen.h"
+
+#include "common/rng.h"
+
+namespace rheem {
+namespace cleaning {
+
+namespace {
+
+const char* kStates[] = {"QA", "NY", "CA", "TX", "WA", "MA", "IL", "FL"};
+
+std::string CityForZip(int64_t zip) { return "city_" + std::to_string(zip); }
+
+}  // namespace
+
+Schema TaxTableSchema() {
+  return Schema::Of({Field{"name", ValueType::kString},
+                     Field{"zip", ValueType::kInt64},
+                     Field{"city", ValueType::kString},
+                     Field{"salary", ValueType::kDouble},
+                     Field{"tax", ValueType::kDouble},
+                     Field{"state", ValueType::kString}});
+}
+
+Dataset GenerateTaxTable(const TaxTableOptions& options) {
+  Rng rng(options.seed);
+  const int64_t distinct_zips =
+      std::max<int64_t>(1, options.rows / std::max<int64_t>(1, options.zip_density));
+  std::vector<Record> rows;
+  rows.reserve(static_cast<std::size_t>(options.rows));
+  for (int64_t i = 0; i < options.rows; ++i) {
+    const int64_t zip = 10000 + rng.NextInt(0, distinct_zips - 1);
+    std::string city = CityForZip(zip);
+    if (rng.NextBool(options.fd_noise_rate)) {
+      // FD violation: a wrong city for this zip.
+      city = "bad_city_" + std::to_string(rng.NextInt(0, 9));
+    }
+    // Salary grows with a random rank; tax is a monotone 20% of salary.
+    const double salary = 20000.0 + rng.NextDouble() * 180000.0;
+    double tax = salary * 0.2;
+    if (rng.NextBool(options.ineq_noise_rate)) {
+      // Inequality violation: tax far below what the salary implies, so
+      // someone poorer pays more (salary' < salary with tax' > tax exists).
+      tax = salary * 0.2 * rng.NextDouble(0.05, 0.4) - 5000.0;
+    }
+    rows.push_back(Record(
+        {Value("emp_" + std::to_string(i)), Value(zip), Value(std::move(city)),
+         Value(salary), Value(tax),
+         Value(std::string(
+             kStates[rng.NextBounded(sizeof(kStates) / sizeof(kStates[0]))]))}));
+  }
+  return Dataset(std::move(rows), TaxTableSchema());
+}
+
+FdRule ZipCityRule() {
+  // phi1: zip (column 1) determines city (column 2).
+  return FdRule("phi1_zip_city", /*lhs=*/{1}, /*rhs=*/{2});
+}
+
+IneqRule SalaryTaxRule() {
+  // phi2: no pair may have t1.salary (3) > t2.salary AND t1.tax (4) < t2.tax.
+  return IneqRule("phi2_salary_tax", /*col1=*/3, CompareOp::kGreater,
+                  /*col2=*/4, CompareOp::kLess);
+}
+
+}  // namespace cleaning
+}  // namespace rheem

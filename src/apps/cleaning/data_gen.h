@@ -1,0 +1,49 @@
+#ifndef RHEEM_APPS_CLEANING_DATA_GEN_H_
+#define RHEEM_APPS_CLEANING_DATA_GEN_H_
+
+#include <cstdint>
+
+#include "apps/cleaning/rule.h"
+#include "data/dataset.h"
+#include "data/schema.h"
+
+namespace rheem {
+namespace cleaning {
+
+/// \brief Synthetic employee/tax table with planted data-quality errors —
+/// the stand-in for the TAX-style datasets the BigDansing evaluation uses
+/// (see DESIGN.md §3, substitutions).
+///
+/// Columns:
+///   0 name (string)   unique-ish person name
+///   1 zip (int64)     determinant of city
+///   2 city (string)   functionally dependent on zip... when clean
+///   3 salary (double) monotone in rank
+///   4 tax (double)    monotone in salary... when clean
+///   5 state (string)
+///
+/// `fd_noise_rate` corrupts that fraction of city cells (violating the FD
+/// zip -> city); `ineq_noise_rate` corrupts that fraction of tax cells
+/// downward (creating pairs with salary > salary' AND tax < tax').
+struct TaxTableOptions {
+  int64_t rows = 1000;
+  uint64_t seed = 42;
+  double fd_noise_rate = 0.02;
+  double ineq_noise_rate = 0.01;
+  /// Distinct zips ~ rows / zip_density (controls FD block sizes).
+  int64_t zip_density = 20;
+};
+
+Dataset GenerateTaxTable(const TaxTableOptions& options);
+
+/// The table's schema (for relsim/storage consumers).
+Schema TaxTableSchema();
+
+/// The paper-style rules over this table.
+FdRule ZipCityRule();                 // phi1: zip -> city
+IneqRule SalaryTaxRule();             // phi2: salary > salary' AND tax < tax'
+
+}  // namespace cleaning
+}  // namespace rheem
+
+#endif  // RHEEM_APPS_CLEANING_DATA_GEN_H_

@@ -1,0 +1,120 @@
+#include "apps/cleaning/operators.h"
+
+namespace rheem {
+namespace cleaning {
+
+Result<Record> ScopeOperator::ScopeRecord(const Rule& rule,
+                                          const Record& with_tid) {
+  if (with_tid.empty()) {
+    return Status::InvalidArgument("record has no tid field");
+  }
+  std::vector<Value> fields;
+  const std::vector<int> scope = rule.ScopeColumns();
+  fields.reserve(scope.size() + 1);
+  fields.push_back(with_tid[with_tid.size() - 1]);  // tid appended last
+  for (int c : scope) {
+    if (c < 0 || static_cast<std::size_t>(c) + 1 >= with_tid.size()) {
+      return Status::OutOfRange("scope column " + std::to_string(c) +
+                                " out of range");
+    }
+    fields.push_back(with_tid[static_cast<std::size_t>(c)]);
+  }
+  return Record(std::move(fields));
+}
+
+Status ScopeOperator::ApplyOp(const Record& in, std::vector<Record>* out) {
+  RHEEM_ASSIGN_OR_RETURN(Record scoped, ScopeRecord(*rule_, in));
+  out->push_back(std::move(scoped));
+  return Status::OK();
+}
+
+Status BlockOperator::ApplyOp(const Record& in, std::vector<Record>* out) {
+  KeyUdf key = rule_->BlockKey();
+  if (!key.fn) {
+    return Status::Unsupported("rule '" + rule_->id() +
+                               "' has no blocking key");
+  }
+  std::vector<Value> fields;
+  fields.reserve(in.size() + 1);
+  fields.push_back(key.fn(in));
+  for (const Value& v : in.fields()) fields.push_back(v);
+  out->push_back(Record(std::move(fields)));
+  return Status::OK();
+}
+
+Status IterateOperator::ApplyOp(const Record&, std::vector<Record>*) {
+  return Status::Unsupported("Clean:Iterate enumerates pairs per block; use "
+                             "CandidatePairs");
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> IterateOperator::CandidatePairs(
+    std::size_t block_size, bool symmetric) {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  if (symmetric) {
+    pairs.reserve(block_size * (block_size - 1) / 2);
+    for (std::size_t i = 0; i < block_size; ++i) {
+      for (std::size_t j = i + 1; j < block_size; ++j) {
+        pairs.emplace_back(i, j);
+      }
+    }
+  } else {
+    pairs.reserve(block_size * block_size);
+    for (std::size_t i = 0; i < block_size; ++i) {
+      for (std::size_t j = 0; j < block_size; ++j) {
+        if (i != j) pairs.emplace_back(i, j);
+      }
+    }
+  }
+  return pairs;
+}
+
+Status DetectOperator::ApplyOp(const Record&, std::vector<Record>*) {
+  return Status::Unsupported("Clean:Detect is pairwise; use DetectPair");
+}
+
+void DetectOperator::DetectPair(const Rule& rule, const Record& t1,
+                                const Record& t2, std::vector<Record>* out) {
+  if (!rule.Detect(t1, t2)) return;
+  Violation v;
+  v.rule_id = rule.id();
+  v.tid1 = t1[0].ToInt64Or(-1);
+  v.tid2 = t2[0].ToInt64Or(-1);
+  if (rule.symmetric() && v.tid2 < v.tid1) std::swap(v.tid1, v.tid2);
+  out->push_back(ViolationToRecord(v));
+}
+
+Status GenFixOperator::ApplyOp(const Record& in, std::vector<Record>* out) {
+  // Violation quanta in, fix quanta out: (tid, column, suggestion).
+  RHEEM_ASSIGN_OR_RETURN(Violation v, ViolationFromRecord(in));
+  // Without the scoped tuples at hand, propose oracle fixes on both sides.
+  out->push_back(Record({Value(v.tid1), Value(int64_t{-1}), Value::Null()}));
+  out->push_back(Record({Value(v.tid2), Value(int64_t{-1}), Value::Null()}));
+  return Status::OK();
+}
+
+std::vector<Fix> GenFixOperator::FixesFor(const Rule& rule, const Violation& v,
+                                          const Record& t1_scoped,
+                                          const Record& t2_scoped) {
+  std::vector<Fix> fixes;
+  if (rule.kind() == RuleKind::kFunctionalDependency) {
+    const auto& fd = static_cast<const FdRule&>(rule);
+    for (std::size_t i = 0; i < fd.rhs().size(); ++i) {
+      const std::size_t pos = 1 + fd.lhs().size() + i;
+      if (t1_scoped[pos] == t2_scoped[pos]) continue;
+      // Two candidate fixes: align either side with the other.
+      fixes.push_back(Fix{v.tid1, fd.rhs()[i], t2_scoped[pos]});
+      fixes.push_back(Fix{v.tid2, fd.rhs()[i], t1_scoped[pos]});
+    }
+  } else {
+    // Inequality/UDF rules: flag the offending cells for an oracle.
+    const std::vector<int> scope = rule.ScopeColumns();
+    for (int col : scope) {
+      fixes.push_back(Fix{v.tid1, col, Value::Null()});
+      fixes.push_back(Fix{v.tid2, col, Value::Null()});
+    }
+  }
+  return fixes;
+}
+
+}  // namespace cleaning
+}  // namespace rheem

@@ -1,0 +1,117 @@
+#ifndef RHEEM_APPS_CLEANING_OPERATORS_H_
+#define RHEEM_APPS_CLEANING_OPERATORS_H_
+
+#include <utility>
+#include <vector>
+
+#include "apps/cleaning/rule.h"
+#include "apps/cleaning/violation.h"
+#include "core/plan/operator.h"
+#include "data/dataset.h"
+
+namespace rheem {
+namespace cleaning {
+
+/// \brief The five BigDansing logical operators (paper §5.1): Scope, Block,
+/// Iterate, Detect, GenFix. Each is a genuine LogicalOperator template whose
+/// per-quantum/pairwise logic the detection plan builder composes into
+/// RHEEM physical pipelines.
+
+/// `Scope`: removes irrelevant data units — projects a full-width table
+/// record (with its tid appended as the last field by ZipWithId) onto the
+/// rule's scoped layout (tid, scope columns...).
+class ScopeOperator : public LogicalOperator {
+ public:
+  /// `rule` must outlive the operator.
+  explicit ScopeOperator(const Rule* rule) : rule_(rule) {
+    set_name("Scope(" + rule->id() + ")");
+  }
+  std::string kind_name() const override { return "Clean:Scope"; }
+  int arity() const override { return 1; }
+  Status ApplyOp(const Record& in, std::vector<Record>* out) override;
+
+  /// The pure projection, exposed for plan builders.
+  static Result<Record> ScopeRecord(const Rule& rule, const Record& with_tid);
+
+ private:
+  const Rule* rule_;
+};
+
+/// `Block`: computes the unit grouping key under which candidate tuples
+/// meet (e.g. the FD's lhs). Emits (key, scoped...) per quantum.
+class BlockOperator : public LogicalOperator {
+ public:
+  explicit BlockOperator(const Rule* rule) : rule_(rule) {
+    set_name("Block(" + rule->id() + ")");
+  }
+  std::string kind_name() const override { return "Clean:Block"; }
+  int arity() const override { return 1; }
+  Status ApplyOp(const Record& in, std::vector<Record>* out) override;
+
+ private:
+  const Rule* rule_;
+};
+
+/// `Iterate`: enumerates the candidate tuple pairs of one block. For
+/// symmetric rules each unordered pair appears once; otherwise both orders.
+class IterateOperator : public LogicalOperator {
+ public:
+  explicit IterateOperator(const Rule* rule) : rule_(rule) {
+    set_name("Iterate(" + rule->id() + ")");
+  }
+  std::string kind_name() const override { return "Clean:Iterate"; }
+  int arity() const override { return 1; }
+  /// Iterate is set-oriented; ApplyOp reports Unsupported.
+  Status ApplyOp(const Record& in, std::vector<Record>* out) override;
+
+  static std::vector<std::pair<std::size_t, std::size_t>> CandidatePairs(
+      std::size_t block_size, bool symmetric);
+
+ private:
+  const Rule* rule_;
+};
+
+/// `Detect`: decides whether a candidate pair violates the rule and emits
+/// the violation quanta.
+class DetectOperator : public LogicalOperator {
+ public:
+  explicit DetectOperator(const Rule* rule) : rule_(rule) {
+    set_name("Detect(" + rule->id() + ")");
+  }
+  std::string kind_name() const override { return "Clean:Detect"; }
+  int arity() const override { return 1; }
+  /// Pairwise; ApplyOp reports Unsupported.
+  Status ApplyOp(const Record& in, std::vector<Record>* out) override;
+
+  /// Evaluates the pair and, on violation, appends the violation record.
+  static void DetectPair(const Rule& rule, const Record& t1, const Record& t2,
+                         std::vector<Record>* out);
+
+ private:
+  const Rule* rule_;
+};
+
+/// `GenFix`: proposes candidate fixes for a violation. For FDs the fix sets
+/// one side's rhs column to the other's value (the repair module then
+/// resolves classes by majority); other rule kinds emit "unknown" fixes.
+class GenFixOperator : public LogicalOperator {
+ public:
+  explicit GenFixOperator(const Rule* rule) : rule_(rule) {
+    set_name("GenFix(" + rule->id() + ")");
+  }
+  std::string kind_name() const override { return "Clean:GenFix"; }
+  int arity() const override { return 1; }
+  Status ApplyOp(const Record& in, std::vector<Record>* out) override;
+
+  static std::vector<Fix> FixesFor(const Rule& rule, const Violation& v,
+                                   const Record& t1_scoped,
+                                   const Record& t2_scoped);
+
+ private:
+  const Rule* rule_;
+};
+
+}  // namespace cleaning
+}  // namespace rheem
+
+#endif  // RHEEM_APPS_CLEANING_OPERATORS_H_

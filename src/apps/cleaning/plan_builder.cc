@@ -1,0 +1,169 @@
+#include "apps/cleaning/plan_builder.h"
+
+#include <algorithm>
+
+#include "apps/cleaning/operators.h"
+
+namespace rheem {
+namespace cleaning {
+
+const char* DetectStrategyToString(DetectStrategy strategy) {
+  switch (strategy) {
+    case DetectStrategy::kMonolithicUdf: return "monolithic-udf";
+    case DetectStrategy::kOperatorPipeline: return "operator-pipeline";
+    case DetectStrategy::kOperatorPipelineIEJoin: return "pipeline+iejoin";
+  }
+  return "?";
+}
+
+namespace {
+
+/// ZipWithId + Scope: every strategy starts by attaching tids and projecting
+/// onto the rule's scoped layout.
+DataQuanta ScopedInput(RheemJob* job, const Dataset& table, const Rule& rule) {
+  return job->LoadCollection(table).ZipWithId().FlatMap(
+      [&rule](const Record& with_tid) -> std::vector<Record> {
+        auto scoped = ScopeOperator::ScopeRecord(rule, with_tid);
+        if (!scoped.ok()) return {};
+        std::vector<Record> out;
+        out.push_back(std::move(scoped).ValueOrDie());
+        return out;
+      },
+      UdfMeta{1.0, 1.0});
+}
+
+/// Group members -> violation records, via Iterate + Detect.
+std::vector<Record> DetectWithinGroup(const Rule& rule,
+                                      const std::vector<Record>& members) {
+  std::vector<Record> out;
+  for (const auto& [i, j] :
+       IterateOperator::CandidatePairs(members.size(), rule.symmetric())) {
+    DetectOperator::DetectPair(rule, members[i], members[j], &out);
+  }
+  return out;
+}
+
+/// Joined-pair record (concat of two scoped records of width `w`) ->
+/// violation record.
+Record JoinedPairToViolation(const Rule& rule, std::size_t w, const Record& pair) {
+  Violation v;
+  v.rule_id = rule.id();
+  v.tid1 = pair[0].ToInt64Or(-1);
+  v.tid2 = pair[w].ToInt64Or(-1);
+  if (rule.symmetric() && v.tid2 < v.tid1) std::swap(v.tid1, v.tid2);
+  return ViolationToRecord(v);
+}
+
+}  // namespace
+
+Result<ViolationReport> DetectViolations(RheemContext* ctx,
+                                         const Dataset& table,
+                                         const Rule& rule,
+                                         const DetectOptions& options) {
+  RheemJob job(ctx);
+  job.options().force_platform = options.force_platform;
+
+  DataQuanta scoped = ScopedInput(&job, table, rule);
+  const std::size_t w = 1 + rule.ScopeColumns().size();
+  DataQuanta violations;
+
+  switch (options.strategy) {
+    case DetectStrategy::kMonolithicUdf: {
+      // One opaque Detect UDF sees the whole dataset: everything is grouped
+      // under a constant key and a single group call runs the quadratic
+      // detection — no operator-level parallelism for the platform to
+      // exploit (the left baseline of Figure 3).
+      violations = scoped.GroupByKey(
+          [](const Record&) { return Value(int64_t{0}); },
+          [&rule](const Value&, const std::vector<Record>& members) {
+            return DetectWithinGroup(rule, members);
+          },
+          /*key_distinct_ratio=*/0.0001);
+      break;
+    }
+    case DetectStrategy::kOperatorPipeline: {
+      KeyUdf block = rule.BlockKey();
+      if (block.fn) {
+        // Scope -> Block -> Iterate -> Detect: candidate pairs only meet
+        // inside their block, and blocks parallelize.
+        auto block_fn = block.fn;
+        violations = scoped.GroupByKey(
+            [block_fn](const Record& r) { return block_fn(r); },
+            [&rule](const Value&, const std::vector<Record>& members) {
+              return DetectWithinGroup(rule, members);
+            },
+            block.meta.selectivity);
+      } else {
+        // Unblockable rule: pairwise Detect as a theta join (still finer
+        // grained than the monolithic UDF — partitions run in parallel).
+        DataQuanta joined = scoped.ThetaJoin(
+            scoped,
+            [&rule](const Record& t1, const Record& t2) {
+              if (rule.symmetric() &&
+                  t1[0].ToInt64Or(-1) >= t2[0].ToInt64Or(-1)) {
+                return false;
+              }
+              return rule.Detect(t1, t2);
+            },
+            /*selectivity=*/0.01);
+        violations = joined.Map([&rule, w](const Record& pair) {
+          return JoinedPairToViolation(rule, w, pair);
+        });
+      }
+      break;
+    }
+    case DetectStrategy::kOperatorPipelineIEJoin: {
+      if (rule.kind() != RuleKind::kInequalityDenialConstraint) {
+        return Status::InvalidArgument(
+            "IEJoin strategy applies to inequality denial constraints only");
+      }
+      const auto& ineq = static_cast<const IneqRule&>(rule);
+      DataQuanta joined = scoped.IEJoin(scoped, ineq.ScopedIEJoinSpec());
+      violations = joined.Map([&rule, w](const Record& pair) {
+        return JoinedPairToViolation(rule, w, pair);
+      });
+      break;
+    }
+  }
+
+  RHEEM_ASSIGN_OR_RETURN(ExecutionResult result,
+                         violations.CollectWithMetrics());
+  ViolationReport report;
+  report.metrics = result.metrics;
+  report.violations.reserve(result.output.size());
+  for (const Record& r : result.output.records()) {
+    RHEEM_ASSIGN_OR_RETURN(Violation v, ViolationFromRecord(r));
+    report.violations.push_back(std::move(v));
+  }
+  std::sort(report.violations.begin(), report.violations.end());
+  return report;
+}
+
+Result<std::vector<Violation>> DetectViolationsBruteForce(const Dataset& table,
+                                                          const Rule& rule) {
+  // Scope every record with tid = row index.
+  std::vector<Record> scoped;
+  scoped.reserve(table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    Record with_tid = table.at(i);
+    with_tid.Append(Value(static_cast<int64_t>(i)));
+    RHEEM_ASSIGN_OR_RETURN(Record s, ScopeOperator::ScopeRecord(rule, with_tid));
+    scoped.push_back(std::move(s));
+  }
+  std::vector<Record> found;
+  for (const auto& [i, j] :
+       IterateOperator::CandidatePairs(scoped.size(), rule.symmetric())) {
+    DetectOperator::DetectPair(rule, scoped[i], scoped[j], &found);
+  }
+  std::vector<Violation> out;
+  out.reserve(found.size());
+  for (const Record& r : found) {
+    RHEEM_ASSIGN_OR_RETURN(Violation v, ViolationFromRecord(r));
+    out.push_back(std::move(v));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace cleaning
+}  // namespace rheem

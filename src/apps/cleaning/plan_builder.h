@@ -1,0 +1,56 @@
+#ifndef RHEEM_APPS_CLEANING_PLAN_BUILDER_H_
+#define RHEEM_APPS_CLEANING_PLAN_BUILDER_H_
+
+#include <string>
+
+#include "apps/cleaning/rule.h"
+#include "apps/cleaning/violation.h"
+#include "common/result.h"
+#include "core/api/data_quanta.h"
+
+namespace rheem {
+namespace cleaning {
+
+/// How to compile a rule's detection into a RHEEM physical pipeline. The
+/// three strategies are the contenders of the paper's Figure 3:
+enum class DetectStrategy {
+  /// One black-box Detect UDF over the whole pair space: the table is
+  /// cross-producted and the UDF filters pairs (Figure 3-left baseline and
+  /// the "state of the art on Spark" shape of Figure 3-right).
+  kMonolithicUdf,
+  /// The BigDansing operator pipeline: Scope -> Block -> Iterate -> Detect
+  /// for blockable rules (FDs), Scope -> theta-join Detect otherwise —
+  /// finer operator granularity the platform can distribute.
+  kOperatorPipeline,
+  /// The pipeline with the IEJoin physical operator for inequality rules —
+  /// the extensibility showcase (paper §5.1).
+  kOperatorPipelineIEJoin,
+};
+
+const char* DetectStrategyToString(DetectStrategy strategy);
+
+struct DetectOptions {
+  DetectStrategy strategy = DetectStrategy::kOperatorPipeline;
+  /// Forwarded to the optimizer; empty = RHEEM chooses the platform.
+  std::string force_platform;
+};
+
+/// \brief BigDansing's application optimizer: compiles `rule` into a
+/// detection pipeline over `table`, runs it, and decodes the violations.
+///
+/// `table` rows are plain records; tuple ids are assigned positionally by a
+/// ZipWithId at the head of every pipeline, so tids equal row indices.
+Result<ViolationReport> DetectViolations(RheemContext* ctx,
+                                         const Dataset& table,
+                                         const Rule& rule,
+                                         const DetectOptions& options = {});
+
+/// Reference brute-force detector (nested loop over raw records); ground
+/// truth for tests and the time-capped baseline of Figure 3-right.
+Result<std::vector<Violation>> DetectViolationsBruteForce(const Dataset& table,
+                                                          const Rule& rule);
+
+}  // namespace cleaning
+}  // namespace rheem
+
+#endif  // RHEEM_APPS_CLEANING_PLAN_BUILDER_H_

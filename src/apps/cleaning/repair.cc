@@ -1,0 +1,121 @@
+#include "apps/cleaning/repair.h"
+
+#include <map>
+#include <set>
+
+namespace rheem {
+namespace cleaning {
+
+namespace {
+
+/// Union-find over tuple ids.
+class TidUnionFind {
+ public:
+  int64_t Find(int64_t x) {
+    auto it = parent_.find(x);
+    if (it == parent_.end()) {
+      parent_[x] = x;
+      return x;
+    }
+    while (it->second != x) {
+      x = it->second;
+      it = parent_.find(x);
+    }
+    return x;
+  }
+  void Merge(int64_t a, int64_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::map<int64_t, int64_t> parent_;
+};
+
+}  // namespace
+
+Result<std::vector<Fix>> GenerateFdFixes(
+    const Dataset& table, const FdRule& rule,
+    const std::vector<Violation>& violations) {
+  // 1. Build equivalence classes of tuples connected by violations.
+  TidUnionFind uf;
+  for (const Violation& v : violations) {
+    if (v.rule_id != rule.id()) continue;
+    if (v.tid1 < 0 || v.tid2 < 0 ||
+        static_cast<std::size_t>(v.tid1) >= table.size() ||
+        static_cast<std::size_t>(v.tid2) >= table.size()) {
+      return Status::OutOfRange("violation references tuple outside table");
+    }
+    uf.Merge(v.tid1, v.tid2);
+  }
+  std::map<int64_t, std::vector<int64_t>> classes;
+  for (const Violation& v : violations) {
+    if (v.rule_id != rule.id()) continue;
+    classes[uf.Find(v.tid1)];  // ensure the class exists
+  }
+  // Collect members (each tid once).
+  std::set<int64_t> seen;
+  for (const Violation& v : violations) {
+    if (v.rule_id != rule.id()) continue;
+    for (int64_t tid : {v.tid1, v.tid2}) {
+      if (seen.insert(tid).second) {
+        classes[uf.Find(tid)].push_back(tid);
+      }
+    }
+  }
+
+  // 2. Majority vote per class and rhs column.
+  std::vector<Fix> fixes;
+  for (auto& [root, members] : classes) {
+    for (int rhs_col : rule.rhs()) {
+      std::map<Value, int> counts;
+      for (int64_t tid : members) {
+        const Record& row = table.at(static_cast<std::size_t>(tid));
+        if (rhs_col < 0 || static_cast<std::size_t>(rhs_col) >= row.size()) {
+          return Status::OutOfRange("rhs column out of range");
+        }
+        counts[row[static_cast<std::size_t>(rhs_col)]] += 1;
+      }
+      // Most frequent value; ties resolved by Value order (first in map wins
+      // only if strictly greater count, so order is deterministic).
+      const Value* winner = nullptr;
+      int best = -1;
+      for (const auto& [value, count] : counts) {
+        if (count > best) {
+          best = count;
+          winner = &value;
+        }
+      }
+      if (winner == nullptr) continue;
+      for (int64_t tid : members) {
+        const Record& row = table.at(static_cast<std::size_t>(tid));
+        if (row[static_cast<std::size_t>(rhs_col)] != *winner) {
+          fixes.push_back(Fix{tid, rhs_col, *winner});
+        }
+      }
+    }
+  }
+  return fixes;
+}
+
+Result<Dataset> ApplyFixes(const Dataset& table, const std::vector<Fix>& fixes) {
+  Dataset repaired = table;
+  for (const Fix& fix : fixes) {
+    if (fix.suggestion.is_null()) continue;
+    if (fix.tid < 0 || static_cast<std::size_t>(fix.tid) >= repaired.size()) {
+      return Status::OutOfRange("fix references tuple outside table");
+    }
+    Record& row = repaired.at(static_cast<std::size_t>(fix.tid));
+    if (fix.column < 0 || static_cast<std::size_t>(fix.column) >= row.size()) {
+      return Status::OutOfRange("fix references column outside record");
+    }
+    row[static_cast<std::size_t>(fix.column)] = fix.suggestion;
+  }
+  return repaired;
+}
+
+std::size_t CountFixedTuples(const std::vector<Fix>& fixes) {
+  std::set<int64_t> tids;
+  for (const Fix& f : fixes) tids.insert(f.tid);
+  return tids.size();
+}
+
+}  // namespace cleaning
+}  // namespace rheem

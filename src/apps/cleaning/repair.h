@@ -1,0 +1,35 @@
+#ifndef RHEEM_APPS_CLEANING_REPAIR_H_
+#define RHEEM_APPS_CLEANING_REPAIR_H_
+
+#include <vector>
+
+#include "apps/cleaning/rule.h"
+#include "apps/cleaning/violation.h"
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace rheem {
+namespace cleaning {
+
+/// \brief Equivalence-class repair for functional dependencies: tuples
+/// connected by violations of the same FD form classes; within a class each
+/// rhs column is set to the class's most frequent value (ties broken by
+/// value order). This is the "possible repairs generation" half of the
+/// BigDansing application (paper §5.1: GenFix).
+///
+/// `table` rows are addressed by tid = row index (matching DetectViolations).
+Result<std::vector<Fix>> GenerateFdFixes(const Dataset& table,
+                                         const FdRule& rule,
+                                         const std::vector<Violation>& violations);
+
+/// Applies fixes in order (later fixes win on conflicts). Fixes with a null
+/// suggestion are skipped (they need an oracle).
+Result<Dataset> ApplyFixes(const Dataset& table, const std::vector<Fix>& fixes);
+
+/// Number of tuples any fix touches (reporting convenience).
+std::size_t CountFixedTuples(const std::vector<Fix>& fixes);
+
+}  // namespace cleaning
+}  // namespace rheem
+
+#endif  // RHEEM_APPS_CLEANING_REPAIR_H_

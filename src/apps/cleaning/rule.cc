@@ -1,0 +1,74 @@
+#include "apps/cleaning/rule.h"
+
+namespace rheem {
+namespace cleaning {
+
+const char* RuleKindToString(RuleKind kind) {
+  switch (kind) {
+    case RuleKind::kFunctionalDependency: return "FD";
+    case RuleKind::kInequalityDenialConstraint: return "IneqDC";
+    case RuleKind::kUdf: return "UDF";
+  }
+  return "?";
+}
+
+std::vector<int> FdRule::ScopeColumns() const {
+  std::vector<int> cols = lhs_;
+  cols.insert(cols.end(), rhs_.begin(), rhs_.end());
+  return cols;
+}
+
+KeyUdf FdRule::BlockKey() const {
+  // Scoped layout: (tid, lhs..., rhs...). The block key concatenates the
+  // lhs values (rendered) so tuples sharing the determinant land together.
+  const std::size_t nlhs = lhs_.size();
+  KeyUdf key;
+  key.fn = [nlhs](const Record& scoped) {
+    std::string k;
+    for (std::size_t i = 0; i < nlhs; ++i) {
+      k += scoped[1 + i].ToString();
+      k += '\x1f';  // unit separator avoids ("a","bc") == ("ab","c")
+    }
+    return Value(std::move(k));
+  };
+  key.meta.selectivity = 0.05;  // distinct-block ratio hint
+  return key;
+}
+
+bool FdRule::Detect(const Record& t1, const Record& t2) const {
+  // Positions in the scoped layout.
+  for (std::size_t i = 0; i < lhs_.size(); ++i) {
+    if (t1[1 + i] != t2[1 + i]) return false;
+  }
+  for (std::size_t i = 0; i < rhs_.size(); ++i) {
+    const std::size_t pos = 1 + lhs_.size() + i;
+    if (t1[pos] != t2[pos]) return true;
+  }
+  return false;
+}
+
+bool IneqRule::Detect(const Record& t1, const Record& t2) const {
+  return EvalCompare(op1_, t1[1], t2[1]) && EvalCompare(op2_, t1[2], t2[2]);
+}
+
+IEJoinSpec IneqRule::ScopedIEJoinSpec() const {
+  IEJoinSpec spec;
+  spec.left_col1 = 1;
+  spec.right_col1 = 1;
+  spec.op1 = op1_;
+  spec.left_col2 = 2;
+  spec.right_col2 = 2;
+  spec.op2 = op2_;
+  return spec;
+}
+
+KeyUdf UdfRule::BlockKey() const {
+  if (!block_key_) return KeyUdf{};
+  KeyUdf key;
+  key.fn = block_key_;
+  key.meta.selectivity = 0.05;
+  return key;
+}
+
+}  // namespace cleaning
+}  // namespace rheem

@@ -1,0 +1,143 @@
+#ifndef RHEEM_APPS_CLEANING_RULE_H_
+#define RHEEM_APPS_CLEANING_RULE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/operators/descriptors.h"
+#include "data/record.h"
+#include "data/value.h"
+
+namespace rheem {
+namespace cleaning {
+
+enum class RuleKind {
+  kFunctionalDependency,
+  kInequalityDenialConstraint,
+  kUdf,
+};
+
+const char* RuleKindToString(RuleKind kind);
+
+/// \brief A data quality rule in BigDansing's model (paper §5.1 / [19]):
+/// its semantics decompose into the five logical operators Scope, Block,
+/// Iterate, Detect, GenFix.
+///
+/// Detection plans work on *scoped* records shaped
+///   (tid: int64, scope_column_0, scope_column_1, ...)
+/// i.e. a tuple id followed by the rule's ScopeColumns() in order; the
+/// rule's BlockKey/Detect read positions in that layout (column i of the
+/// scope is field i+1).
+class Rule {
+ public:
+  explicit Rule(std::string id) : id_(std::move(id)) {}
+  virtual ~Rule() = default;
+
+  const std::string& id() const { return id_; }
+  virtual RuleKind kind() const = 0;
+
+  /// Scope: the table columns this rule reads, in scoped-record order.
+  virtual std::vector<int> ScopeColumns() const = 0;
+
+  /// Block: key grouping tuples into candidate units; a default-constructed
+  /// (empty fn) KeyUdf means the rule cannot be blocked and all pairs are
+  /// candidates.
+  virtual KeyUdf BlockKey() const { return KeyUdf{}; }
+
+  /// Detect: does the ordered pair (t1, t2) of scoped records violate the
+  /// rule?
+  virtual bool Detect(const Record& t1, const Record& t2) const = 0;
+
+  /// True when Detect(a,b) == Detect(b,a); detection plans then emit each
+  /// unordered pair once (tid1 < tid2).
+  virtual bool symmetric() const { return false; }
+
+ private:
+  std::string id_;
+};
+
+/// \brief Functional dependency lhs -> rhs: tuples agreeing on every lhs
+/// column must agree on every rhs column (e.g. zip -> city).
+class FdRule : public Rule {
+ public:
+  FdRule(std::string id, std::vector<int> lhs, std::vector<int> rhs)
+      : Rule(std::move(id)), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  RuleKind kind() const override { return RuleKind::kFunctionalDependency; }
+  std::vector<int> ScopeColumns() const override;
+  KeyUdf BlockKey() const override;
+  bool Detect(const Record& t1, const Record& t2) const override;
+  bool symmetric() const override { return true; }
+
+  const std::vector<int>& lhs() const { return lhs_; }
+  const std::vector<int>& rhs() const { return rhs_; }
+
+ private:
+  std::vector<int> lhs_;  // table columns
+  std::vector<int> rhs_;
+};
+
+/// \brief Inequality denial constraint on one table, e.g. the classical tax
+/// rule  ¬∃ t1,t2 : t1.salary > t2.salary AND t1.tax < t2.tax.
+/// A pair (t1,t2) with  t1[col1] op1 t2[col1] AND t1[col2] op2 t2[col2]
+/// is a violation. This is the rule shape IEJoin accelerates (§5.1).
+class IneqRule : public Rule {
+ public:
+  IneqRule(std::string id, int col1, CompareOp op1, int col2, CompareOp op2)
+      : Rule(std::move(id)), col1_(col1), op1_(op1), col2_(col2), op2_(op2) {}
+
+  RuleKind kind() const override {
+    return RuleKind::kInequalityDenialConstraint;
+  }
+  std::vector<int> ScopeColumns() const override { return {col1_, col2_}; }
+  bool Detect(const Record& t1, const Record& t2) const override;
+
+  /// The equivalent IEJoin specification over scoped records (both columns
+  /// shifted by one for the tid field).
+  IEJoinSpec ScopedIEJoinSpec() const;
+
+  int col1() const { return col1_; }
+  CompareOp op1() const { return op1_; }
+  int col2() const { return col2_; }
+  CompareOp op2() const { return op2_; }
+
+ private:
+  int col1_;
+  CompareOp op1_;
+  int col2_;
+  CompareOp op2_;
+};
+
+/// \brief Arbitrary pairwise rule supplied as a UDF, with optional scope and
+/// blocking hints — the fully general BigDansing input.
+class UdfRule : public Rule {
+ public:
+  UdfRule(std::string id, std::vector<int> scope_columns,
+          std::function<bool(const Record&, const Record&)> detect,
+          std::function<Value(const Record&)> block_key = nullptr,
+          bool symmetric = false)
+      : Rule(std::move(id)), scope_columns_(std::move(scope_columns)),
+        detect_(std::move(detect)), block_key_(std::move(block_key)),
+        symmetric_(symmetric) {}
+
+  RuleKind kind() const override { return RuleKind::kUdf; }
+  std::vector<int> ScopeColumns() const override { return scope_columns_; }
+  KeyUdf BlockKey() const override;
+  bool Detect(const Record& t1, const Record& t2) const override {
+    return detect_(t1, t2);
+  }
+  bool symmetric() const override { return symmetric_; }
+
+ private:
+  std::vector<int> scope_columns_;
+  std::function<bool(const Record&, const Record&)> detect_;
+  std::function<Value(const Record&)> block_key_;
+  bool symmetric_;
+};
+
+}  // namespace cleaning
+}  // namespace rheem
+
+#endif  // RHEEM_APPS_CLEANING_RULE_H_

@@ -1,0 +1,36 @@
+#include "apps/cleaning/violation.h"
+
+namespace rheem {
+namespace cleaning {
+
+std::string ViolationReport::ToString(std::size_t max_rows) const {
+  std::string out = std::to_string(violations.size()) + " violation(s)\n";
+  for (std::size_t i = 0; i < violations.size() && i < max_rows; ++i) {
+    const Violation& v = violations[i];
+    out += "  [" + v.rule_id + "] t" + std::to_string(v.tid1) + " x t" +
+           std::to_string(v.tid2) + "\n";
+  }
+  if (violations.size() > max_rows) {
+    out += "  ... (" + std::to_string(violations.size() - max_rows) +
+           " more)\n";
+  }
+  return out;
+}
+
+Record ViolationToRecord(const Violation& v) {
+  return Record({Value(v.rule_id), Value(v.tid1), Value(v.tid2)});
+}
+
+Result<Violation> ViolationFromRecord(const Record& r) {
+  if (r.size() != 3 || r[0].type() != ValueType::kString) {
+    return Status::InvalidArgument("not a violation record: " + r.ToString());
+  }
+  Violation v;
+  v.rule_id = r[0].string_unchecked();
+  v.tid1 = r[1].ToInt64Or(-1);
+  v.tid2 = r[2].ToInt64Or(-1);
+  return v;
+}
+
+}  // namespace cleaning
+}  // namespace rheem

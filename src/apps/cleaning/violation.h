@@ -1,0 +1,54 @@
+#ifndef RHEEM_APPS_CLEANING_VIOLATION_H_
+#define RHEEM_APPS_CLEANING_VIOLATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/mapping/platform.h"
+#include "data/dataset.h"
+
+namespace rheem {
+namespace cleaning {
+
+/// \brief One detected violation: a pair of tuples that jointly break a rule.
+struct Violation {
+  std::string rule_id;
+  int64_t tid1 = -1;
+  int64_t tid2 = -1;
+
+  friend bool operator==(const Violation& a, const Violation& b) {
+    return a.rule_id == b.rule_id && a.tid1 == b.tid1 && a.tid2 == b.tid2;
+  }
+  friend bool operator<(const Violation& a, const Violation& b) {
+    if (a.rule_id != b.rule_id) return a.rule_id < b.rule_id;
+    if (a.tid1 != b.tid1) return a.tid1 < b.tid1;
+    return a.tid2 < b.tid2;
+  }
+};
+
+/// \brief One candidate repair: set `column` of tuple `tid` to `suggestion`
+/// (a null suggestion means "unknown, ask an oracle").
+struct Fix {
+  int64_t tid = -1;
+  int column = -1;
+  Value suggestion;
+};
+
+/// \brief Output of a violation-detection run.
+struct ViolationReport {
+  std::vector<Violation> violations;
+  ExecutionMetrics metrics;
+
+  std::string ToString(std::size_t max_rows = 10) const;
+};
+
+/// Encoding of violations as data quanta flowing through detection plans:
+/// (rule_id: string, tid1: int64, tid2: int64).
+Record ViolationToRecord(const Violation& v);
+Result<Violation> ViolationFromRecord(const Record& r);
+
+}  // namespace cleaning
+}  // namespace rheem
+
+#endif  // RHEEM_APPS_CLEANING_VIOLATION_H_

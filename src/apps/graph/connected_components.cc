@@ -1,0 +1,162 @@
+#include "apps/graph/connected_components.h"
+
+#include <algorithm>
+
+namespace rheem {
+namespace graph {
+
+Result<ConnectedComponentsResult> ComputeConnectedComponents(
+    RheemContext* ctx, const EdgeList& graph,
+    const ConnectedComponentsOptions& options) {
+  if (graph.edges.empty()) return Status::InvalidArgument("empty edge list");
+  const std::vector<int64_t> nodes = graph.Nodes();
+
+  std::vector<Record> init;
+  init.reserve(nodes.size());
+  for (int64_t node : nodes) {
+    init.push_back(Record({Value(node), Value(node)}));  // label = own id
+  }
+
+  RheemJob job(ctx);
+  job.options().force_platform = options.force_platform;
+  DataQuanta state = job.LoadCollection(Dataset(std::move(init)));
+  DataQuanta edges = job.LoadCollection(graph.edges);
+
+  DataQuanta labeled = state.Repeat(
+      options.iterations, edges,
+      [&](DataQuanta st, DataQuanta dt) {
+        // Push each node's current label along its out-edges...
+        DataQuanta pushed =
+            st.Join(dt, [](const Record& r) { return r[0]; },  // state.node
+                    [](const Record& e) { return e[0]; })      // edge.src
+                .Map([](const Record& joined) {
+                  // joined = (node, label, src, dst)
+                  return Record({joined[3], joined[1]});
+                });
+        // ...take the minimum incoming label per destination...
+        DataQuanta mins = pushed.ReduceByKey(
+            [](const Record& r) { return r[0]; },
+            [](const Record& a, const Record& b) {
+              return a[1].ToInt64Or(0) <= b[1].ToInt64Or(0) ? a : b;
+            },
+            /*key_distinct_ratio=*/0.5);
+        // ...and fold into the state (own label also competes).
+        return st.BroadcastMap(
+            mins,
+            [](const Record& node_label, const Dataset& incoming) {
+              const int64_t node = node_label[0].ToInt64Or(-1);
+              int64_t label = node_label[1].ToInt64Or(node);
+              for (const Record& s : incoming.records()) {
+                if (s[0].ToInt64Or(-2) == node) {
+                  label = std::min(label, s[1].ToInt64Or(label));
+                  break;
+                }
+              }
+              return Record({node_label[0], Value(label)});
+            },
+            UdfMeta::Expensive(4.0));
+      });
+
+  RHEEM_ASSIGN_OR_RETURN(ExecutionResult result, labeled.CollectWithMetrics());
+  ConnectedComponentsResult out;
+  out.metrics = result.metrics;
+  for (const Record& r : result.output.records()) {
+    out.components[r[0].ToInt64Or(-1)] = r[1].ToInt64Or(-1);
+  }
+  return out;
+}
+
+Result<ConnectedComponentsResult> ComputeConnectedComponentsConverging(
+    RheemContext* ctx, const EdgeList& graph,
+    const ConnectedComponentsOptions& options) {
+  if (graph.edges.empty()) return Status::InvalidArgument("empty edge list");
+  const std::vector<int64_t> nodes = graph.Nodes();
+
+  // State records: (node, label, previous_label). previous starts as -1 so
+  // the first round always runs.
+  std::vector<Record> init;
+  init.reserve(nodes.size());
+  for (int64_t node : nodes) {
+    init.push_back(Record({Value(node), Value(node), Value(int64_t{-1})}));
+  }
+
+  RheemJob job(ctx);
+  job.options().force_platform = options.force_platform;
+  DataQuanta state = job.LoadCollection(Dataset(std::move(init)));
+  DataQuanta edges = job.LoadCollection(graph.edges);
+
+  DataQuanta labeled = state.DoWhile(
+      [](const Dataset& s, int) {
+        // Continue while any node's label changed in the last round.
+        for (const Record& r : s.records()) {
+          if (r[1].ToInt64Or(0) != r[2].ToInt64Or(-1)) return true;
+        }
+        return false;
+      },
+      /*max_iterations=*/options.iterations, edges,
+      [&](DataQuanta st, DataQuanta dt) {
+        DataQuanta pushed =
+            st.Join(dt, [](const Record& r) { return r[0]; },
+                    [](const Record& e) { return e[0]; })
+                .Map([](const Record& joined) {
+                  // joined = (node, label, prev, src, dst)
+                  return Record({joined[4], joined[1]});
+                });
+        DataQuanta mins = pushed.ReduceByKey(
+            [](const Record& r) { return r[0]; },
+            [](const Record& a, const Record& b) {
+              return a[1].ToInt64Or(0) <= b[1].ToInt64Or(0) ? a : b;
+            },
+            /*key_distinct_ratio=*/0.5);
+        return st.BroadcastMap(
+            mins,
+            [](const Record& node_label, const Dataset& incoming) {
+              const int64_t node = node_label[0].ToInt64Or(-1);
+              const int64_t old_label = node_label[1].ToInt64Or(node);
+              int64_t label = old_label;
+              for (const Record& s : incoming.records()) {
+                if (s[0].ToInt64Or(-2) == node) {
+                  label = std::min(label, s[1].ToInt64Or(label));
+                  break;
+                }
+              }
+              return Record({node_label[0], Value(label), Value(old_label)});
+            },
+            UdfMeta::Expensive(4.0));
+      });
+
+  RHEEM_ASSIGN_OR_RETURN(ExecutionResult result, labeled.CollectWithMetrics());
+  ConnectedComponentsResult out;
+  out.metrics = result.metrics;
+  for (const Record& r : result.output.records()) {
+    out.components[r[0].ToInt64Or(-1)] = r[1].ToInt64Or(-1);
+  }
+  return out;
+}
+
+std::map<int64_t, int64_t> ConnectedComponentsReference(const EdgeList& graph) {
+  std::map<int64_t, int64_t> parent;
+  std::function<int64_t(int64_t)> find = [&](int64_t x) {
+    auto it = parent.find(x);
+    if (it == parent.end()) {
+      parent[x] = x;
+      return x;
+    }
+    while (it->second != x) {
+      x = it->second;
+      it = parent.find(x);
+    }
+    return x;
+  };
+  for (const Record& e : graph.edges.records()) {
+    const int64_t a = find(e[0].ToInt64Or(-1));
+    const int64_t b = find(e[1].ToInt64Or(-1));
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+  std::map<int64_t, int64_t> out;
+  for (int64_t node : graph.Nodes()) out[node] = find(node);
+  return out;
+}
+
+}  // namespace graph
+}  // namespace rheem

@@ -1,0 +1,50 @@
+#ifndef RHEEM_APPS_GRAPH_CONNECTED_COMPONENTS_H_
+#define RHEEM_APPS_GRAPH_CONNECTED_COMPONENTS_H_
+
+#include <map>
+#include <string>
+
+#include "apps/graph/graph.h"
+#include "common/result.h"
+#include "core/api/data_quanta.h"
+
+namespace rheem {
+namespace graph {
+
+struct ConnectedComponentsOptions {
+  /// Label-propagation rounds; must be at least the graph diameter for an
+  /// exact result.
+  int iterations = 20;
+  std::string force_platform;
+};
+
+struct ConnectedComponentsResult {
+  /// node id -> component label (the smallest node id in its component,
+  /// given enough iterations).
+  std::map<int64_t, int64_t> components;
+  ExecutionMetrics metrics;
+};
+
+/// Min-label propagation over RHEEM loop operators: each round, every node
+/// adopts the minimum label among itself and its in-neighbors. Edges are
+/// treated as directed; pass a symmetrized edge list for undirected
+/// semantics (GenerateCliques already does).
+Result<ConnectedComponentsResult> ComputeConnectedComponents(
+    RheemContext* ctx, const EdgeList& graph,
+    const ConnectedComponentsOptions& options);
+
+/// Union-find reference for tests (undirected interpretation).
+std::map<int64_t, int64_t> ConnectedComponentsReference(const EdgeList& graph);
+
+/// Convergence-driven variant on the DoWhile operator: the loop stops as
+/// soon as a round changes no label (the state carries each node's previous
+/// label so the continuation test can detect quiescence), instead of running
+/// a fixed round budget. `options.iterations` becomes the safety bound.
+Result<ConnectedComponentsResult> ComputeConnectedComponentsConverging(
+    RheemContext* ctx, const EdgeList& graph,
+    const ConnectedComponentsOptions& options);
+
+}  // namespace graph
+}  // namespace rheem
+
+#endif  // RHEEM_APPS_GRAPH_CONNECTED_COMPONENTS_H_

@@ -1,0 +1,74 @@
+#include "apps/graph/graph.h"
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace rheem {
+namespace graph {
+
+std::map<int64_t, int64_t> EdgeList::OutDegrees() const {
+  std::map<int64_t, int64_t> degrees;
+  for (const Record& e : edges.records()) {
+    degrees[e[0].ToInt64Or(-1)] += 1;
+  }
+  return degrees;
+}
+
+std::vector<int64_t> EdgeList::Nodes() const {
+  std::set<int64_t> nodes;
+  for (const Record& e : edges.records()) {
+    nodes.insert(e[0].ToInt64Or(-1));
+    nodes.insert(e[1].ToInt64Or(-1));
+  }
+  return std::vector<int64_t>(nodes.begin(), nodes.end());
+}
+
+EdgeList GenerateRandomGraph(int64_t nodes, double avg_out_degree,
+                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Record> edges;
+  for (int64_t src = 0; src < nodes; ++src) {
+    // At least one out-edge per node keeps PageRank mass from pooling in
+    // dangling nodes (the usual generator convenience).
+    int64_t degree = 1;
+    while (rng.NextBool(std::min(0.95, avg_out_degree / (avg_out_degree + 1.0))) &&
+           degree < nodes - 1) {
+      ++degree;
+      if (static_cast<double>(degree) > 4 * avg_out_degree) break;
+    }
+    std::set<int64_t> targets;
+    while (static_cast<int64_t>(targets.size()) < degree) {
+      const int64_t dst = rng.NextInt(0, nodes - 1);
+      if (dst != src) targets.insert(dst);
+      if (static_cast<int64_t>(targets.size()) >= nodes - 1) break;
+    }
+    for (int64_t dst : targets) {
+      edges.push_back(Record({Value(src), Value(dst)}));
+    }
+  }
+  EdgeList out;
+  out.edges = Dataset(std::move(edges));
+  out.num_nodes = nodes;
+  return out;
+}
+
+EdgeList GenerateCliques(int64_t k, int64_t clique_size) {
+  std::vector<Record> edges;
+  for (int64_t c = 0; c < k; ++c) {
+    const int64_t base = c * clique_size;
+    for (int64_t i = 0; i < clique_size; ++i) {
+      for (int64_t j = 0; j < clique_size; ++j) {
+        if (i == j) continue;
+        edges.push_back(Record({Value(base + i), Value(base + j)}));
+      }
+    }
+  }
+  EdgeList out;
+  out.edges = Dataset(std::move(edges));
+  out.num_nodes = k * clique_size;
+  return out;
+}
+
+}  // namespace graph
+}  // namespace rheem

@@ -1,0 +1,40 @@
+#ifndef RHEEM_APPS_GRAPH_GRAPH_H_
+#define RHEEM_APPS_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace rheem {
+namespace graph {
+
+/// \brief Directed edge list: the graph application's input model. Edge
+/// records are (src: int64, dst: int64); nodes are the ids appearing in any
+/// edge.
+struct EdgeList {
+  Dataset edges;
+  int64_t num_nodes = 0;
+
+  /// Out-degree per node (nodes with no out-edges are absent).
+  std::map<int64_t, int64_t> OutDegrees() const;
+  /// Distinct node ids in ascending order.
+  std::vector<int64_t> Nodes() const;
+};
+
+/// Deterministic random digraph: `nodes` vertices, each with out-degree
+/// ~`avg_out_degree` to uniformly random targets (no self loops).
+EdgeList GenerateRandomGraph(int64_t nodes, double avg_out_degree,
+                             uint64_t seed = 42);
+
+/// A graph of `k` disjoint cliques of `clique_size` nodes (undirected:
+/// both edge directions present) — convenient ground truth for connected
+/// components.
+EdgeList GenerateCliques(int64_t k, int64_t clique_size);
+
+}  // namespace graph
+}  // namespace rheem
+
+#endif  // RHEEM_APPS_GRAPH_GRAPH_H_

@@ -1,0 +1,112 @@
+#include "apps/graph/pagerank.h"
+
+namespace rheem {
+namespace graph {
+
+Result<PageRankResult> ComputePageRank(RheemContext* ctx, const EdgeList& graph,
+                                       const PageRankOptions& options) {
+  if (graph.edges.empty()) return Status::InvalidArgument("empty edge list");
+  const std::vector<int64_t> nodes = graph.Nodes();
+  const double n = static_cast<double>(nodes.size());
+  const double damping = options.damping;
+
+  // State: (node, rank). Data: edges decorated with the source out-degree
+  // (src, dst, out_degree).
+  std::vector<Record> init;
+  init.reserve(nodes.size());
+  for (int64_t node : nodes) {
+    init.push_back(Record({Value(node), Value(1.0 / n)}));
+  }
+  const auto degrees = graph.OutDegrees();
+  std::vector<Record> decorated;
+  decorated.reserve(graph.edges.size());
+  for (const Record& e : graph.edges.records()) {
+    const int64_t src = e[0].ToInt64Or(-1);
+    decorated.push_back(
+        Record({e[0], e[1], Value(degrees.at(src))}));
+  }
+
+  RheemJob job(ctx);
+  job.options().force_platform = options.force_platform;
+  DataQuanta state = job.LoadCollection(Dataset(std::move(init)));
+  DataQuanta edges = job.LoadCollection(Dataset(std::move(decorated)));
+
+  DataQuanta ranks = state.Repeat(
+      options.iterations, edges,
+      [&](DataQuanta st, DataQuanta dt) {
+        // Scatter: rank(src)/outdeg along each edge.
+        DataQuanta scattered =
+            st.Join(dt, [](const Record& r) { return r[0]; },   // state.node
+                    [](const Record& e) { return e[0]; })       // edge.src
+                .Map([](const Record& joined) {
+                  // joined = (node, rank, src, dst, outdeg)
+                  const double rank = joined[1].ToDoubleOr(0.0);
+                  const double deg =
+                      static_cast<double>(joined[4].ToInt64Or(1));
+                  return Record({joined[3], Value(rank / deg)});
+                });
+        // Gather: sum of contributions per destination.
+        DataQuanta gathered = scattered.ReduceByKey(
+            [](const Record& r) { return r[0]; },
+            [](const Record& a, const Record& b) {
+              return Record(
+                  {a[0], Value(a[1].ToDoubleOr(0) + b[1].ToDoubleOr(0))});
+            },
+            /*key_distinct_ratio=*/0.5);
+        // Damping + base mass, applied per node with the gathered sums
+        // broadcast (nodes without in-links get the base mass only).
+        return st.BroadcastMap(
+            gathered,
+            [n, damping](const Record& node_rank, const Dataset& sums) {
+              const int64_t node = node_rank[0].ToInt64Or(-1);
+              double contrib = 0.0;
+              for (const Record& s : sums.records()) {
+                if (s[0].ToInt64Or(-2) == node) {
+                  contrib = s[1].ToDoubleOr(0.0);
+                  break;
+                }
+              }
+              return Record(
+                  {node_rank[0],
+                   Value((1.0 - damping) / n + damping * contrib)});
+            },
+            UdfMeta::Expensive(4.0));
+      });
+
+  RHEEM_ASSIGN_OR_RETURN(ExecutionResult result, ranks.CollectWithMetrics());
+  PageRankResult out;
+  out.metrics = result.metrics;
+  for (const Record& r : result.output.records()) {
+    out.ranks[r[0].ToInt64Or(-1)] = r[1].ToDoubleOr(0.0);
+  }
+  return out;
+}
+
+std::map<int64_t, double> PageRankReference(const EdgeList& graph,
+                                            int iterations, double damping) {
+  const std::vector<int64_t> nodes = graph.Nodes();
+  const double n = static_cast<double>(nodes.size());
+  const auto degrees = graph.OutDegrees();
+  std::map<int64_t, double> ranks;
+  for (int64_t node : nodes) ranks[node] = 1.0 / n;
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::map<int64_t, double> contribs;
+    for (const Record& e : graph.edges.records()) {
+      const int64_t src = e[0].ToInt64Or(-1);
+      const int64_t dst = e[1].ToInt64Or(-1);
+      contribs[dst] +=
+          ranks.at(src) / static_cast<double>(degrees.at(src));
+    }
+    std::map<int64_t, double> next;
+    for (int64_t node : nodes) {
+      const auto it = contribs.find(node);
+      next[node] = (1.0 - damping) / n +
+                   damping * (it != contribs.end() ? it->second : 0.0);
+    }
+    ranks = std::move(next);
+  }
+  return ranks;
+}
+
+}  // namespace graph
+}  // namespace rheem

@@ -1,0 +1,40 @@
+#ifndef RHEEM_APPS_GRAPH_PAGERANK_H_
+#define RHEEM_APPS_GRAPH_PAGERANK_H_
+
+#include <map>
+#include <string>
+
+#include "apps/graph/graph.h"
+#include "common/result.h"
+#include "core/api/data_quanta.h"
+
+namespace rheem {
+namespace graph {
+
+struct PageRankOptions {
+  int iterations = 20;
+  double damping = 0.85;
+  std::string force_platform;
+};
+
+struct PageRankResult {
+  /// node id -> rank (ranks over all nodes sum to ~1).
+  std::map<int64_t, double> ranks;
+  ExecutionMetrics metrics;
+};
+
+/// PageRank on RHEEM's loop operators: per iteration, ranks join the edge
+/// list to scatter contributions, a keyed reduction gathers them, and a
+/// broadcast map applies damping — the third application the paper says the
+/// authors are building (§5: "a graph processing application").
+Result<PageRankResult> ComputePageRank(RheemContext* ctx, const EdgeList& graph,
+                                       const PageRankOptions& options);
+
+/// Single-threaded reference implementation for tests.
+std::map<int64_t, double> PageRankReference(const EdgeList& graph,
+                                            int iterations, double damping);
+
+}  // namespace graph
+}  // namespace rheem
+
+#endif  // RHEEM_APPS_GRAPH_PAGERANK_H_

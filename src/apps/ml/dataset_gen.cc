@@ -1,0 +1,148 @@
+#include "apps/ml/dataset_gen.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace rheem {
+namespace ml {
+
+namespace {
+
+std::vector<double> RandomUnitVector(int dims, Rng* rng) {
+  std::vector<double> v(static_cast<std::size_t>(dims));
+  double norm = 0.0;
+  for (auto& x : v) {
+    x = rng->NextGaussian();
+    norm += x * x;
+  }
+  norm = std::sqrt(norm);
+  if (norm < 1e-12) norm = 1.0;
+  for (auto& x : v) x /= norm;
+  return v;
+}
+
+}  // namespace
+
+Dataset GenerateClassification(int64_t rows, int dims, uint64_t seed,
+                               double separation) {
+  Rng rng(seed);
+  const std::vector<double> direction = RandomUnitVector(dims, &rng);
+  std::vector<Record> records;
+  records.reserve(static_cast<std::size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) {
+    const double label = rng.NextBool() ? 1.0 : -1.0;
+    std::vector<double> x(static_cast<std::size_t>(dims));
+    for (int d = 0; d < dims; ++d) {
+      x[static_cast<std::size_t>(d)] =
+          rng.NextGaussian() +
+          label * separation * direction[static_cast<std::size_t>(d)];
+    }
+    records.push_back(Record({Value(label), Value(std::move(x))}));
+  }
+  return Dataset(std::move(records));
+}
+
+Dataset GenerateRegression(int64_t rows, int dims, uint64_t seed,
+                           double noise) {
+  Rng rng(seed);
+  std::vector<double> w(static_cast<std::size_t>(dims));
+  for (auto& wi : w) wi = rng.NextDouble(-2.0, 2.0);
+  std::vector<Record> records;
+  records.reserve(static_cast<std::size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) {
+    std::vector<double> x(static_cast<std::size_t>(dims));
+    double y = 0.0;
+    for (int d = 0; d < dims; ++d) {
+      x[static_cast<std::size_t>(d)] = rng.NextGaussian();
+      y += w[static_cast<std::size_t>(d)] * x[static_cast<std::size_t>(d)];
+    }
+    y += noise * rng.NextGaussian();
+    records.push_back(Record({Value(y), Value(std::move(x))}));
+  }
+  return Dataset(std::move(records));
+}
+
+Dataset GenerateClusters(int64_t rows, int k, int dims, uint64_t seed,
+                         double spread) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> centers;
+  centers.reserve(static_cast<std::size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    std::vector<double> center(static_cast<std::size_t>(dims));
+    for (auto& x : center) x = rng.NextDouble(-10.0, 10.0);
+    centers.push_back(std::move(center));
+  }
+  std::vector<Record> records;
+  records.reserve(static_cast<std::size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) {
+    const int c = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(k)));
+    std::vector<double> x(static_cast<std::size_t>(dims));
+    for (int d = 0; d < dims; ++d) {
+      x[static_cast<std::size_t>(d)] =
+          centers[static_cast<std::size_t>(c)][static_cast<std::size_t>(d)] +
+          spread * rng.NextGaussian();
+    }
+    records.push_back(
+        Record({Value(static_cast<double>(c)), Value(std::move(x))}));
+  }
+  return Dataset(std::move(records));
+}
+
+std::string ToLibSvmFormat(const Dataset& data) {
+  std::string out;
+  char buf[48];
+  for (const Record& r : data.records()) {
+    if (r.size() < 2 || r[1].type() != ValueType::kDoubleList) continue;
+    std::snprintf(buf, sizeof(buf), "%g", r[0].ToDoubleOr(0.0));
+    out += buf;
+    const auto& xs = r[1].double_list_unchecked();
+    for (std::size_t d = 0; d < xs.size(); ++d) {
+      if (xs[d] == 0.0) continue;  // sparse format omits zeros
+      std::snprintf(buf, sizeof(buf), " %zu:%.9g", d + 1, xs[d]);
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<Dataset> ParseLibSvmFormat(const std::string& text, int dims) {
+  if (dims <= 0) return Status::InvalidArgument("dims must be positive");
+  std::vector<Record> records;
+  for (const std::string& raw : SplitString(text, '\n')) {
+    const std::string line(TrimWhitespace(raw));
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> tokens;
+    for (const std::string& t : SplitString(line, ' ')) {
+      if (!t.empty()) tokens.push_back(t);
+    }
+    if (tokens.empty()) continue;
+    char* end = nullptr;
+    const double label = std::strtod(tokens[0].c_str(), &end);
+    if (end == tokens[0].c_str()) {
+      return Status::InvalidArgument("bad LIBSVM label: " + tokens[0]);
+    }
+    std::vector<double> x(static_cast<std::size_t>(dims), 0.0);
+    for (std::size_t t = 1; t < tokens.size(); ++t) {
+      const auto parts = SplitString(tokens[t], ':');
+      if (parts.size() != 2) {
+        return Status::InvalidArgument("bad LIBSVM pair: " + tokens[t]);
+      }
+      const long idx = std::strtol(parts[0].c_str(), nullptr, 10);
+      if (idx < 1 || idx > dims) {
+        return Status::OutOfRange("LIBSVM index " + parts[0] +
+                                  " outside [1," + std::to_string(dims) + "]");
+      }
+      x[static_cast<std::size_t>(idx - 1)] = std::strtod(parts[1].c_str(), nullptr);
+    }
+    records.push_back(Record({Value(label), Value(std::move(x))}));
+  }
+  return Dataset(std::move(records));
+}
+
+}  // namespace ml
+}  // namespace rheem

@@ -1,0 +1,44 @@
+#ifndef RHEEM_APPS_ML_DATASET_GEN_H_
+#define RHEEM_APPS_ML_DATASET_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace rheem {
+namespace ml {
+
+/// \brief Synthetic stand-ins for the LIBSVM datasets of the paper's
+/// Figure 2 (see DESIGN.md §3, substitutions). All generators are
+/// deterministic in their seed.
+///
+/// Records have the shape (label: double, features: double_list).
+
+/// Two Gaussian classes with labels ±1, separated by `separation` along a
+/// random unit direction — linearly separable-ish, i.e. learnable by SVM.
+Dataset GenerateClassification(int64_t rows, int dims, uint64_t seed = 42,
+                               double separation = 2.0);
+
+/// Linear data y = w*x + noise for regression; labels are continuous.
+Dataset GenerateRegression(int64_t rows, int dims, uint64_t seed = 42,
+                           double noise = 0.1);
+
+/// `k` Gaussian blobs for clustering (labels hold the true cluster id, which
+/// k-means does not see but tests can check against).
+Dataset GenerateClusters(int64_t rows, int k, int dims, uint64_t seed = 42,
+                         double spread = 0.5);
+
+/// Renders a dataset in LIBSVM text format ("label idx:val idx:val ...",
+/// 1-based sparse indices; zero features are dropped).
+std::string ToLibSvmFormat(const Dataset& data);
+
+/// Parses LIBSVM text into (label, features) records; `dims` fixes the dense
+/// feature width (indices beyond it are an error).
+Result<Dataset> ParseLibSvmFormat(const std::string& text, int dims);
+
+}  // namespace ml
+}  // namespace rheem
+
+#endif  // RHEEM_APPS_ML_DATASET_GEN_H_

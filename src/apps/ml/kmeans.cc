@@ -1,0 +1,153 @@
+#include "apps/ml/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace rheem {
+namespace ml {
+
+std::size_t NearestCentroid(const std::vector<std::vector<double>>& centroids,
+                            const std::vector<double>& x) {
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centroids.size(); ++c) {
+    double dist = 0.0;
+    const auto& m = centroids[c];
+    const std::size_t n = std::min(m.size(), x.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = m[i] - x[i];
+      dist += d * d;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+std::vector<std::vector<double>> CentroidsFromState(const Dataset& state) {
+  std::vector<std::vector<double>> out;
+  // State records are (id, centroid); ids are dense 0..k-1.
+  out.resize(state.size());
+  for (const Record& r : state.records()) {
+    const auto id = static_cast<std::size_t>(r[0].ToInt64Or(0));
+    if (id < out.size()) out[id] = r[1].double_list_unchecked();
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<KMeansResult> TrainKMeans(RheemContext* ctx, const Dataset& data,
+                                 const KMeansOptions& options) {
+  if (options.k <= 0) return Status::InvalidArgument("k must be positive");
+  if (data.size() < static_cast<std::size_t>(options.k)) {
+    return Status::InvalidArgument("fewer points than clusters");
+  }
+  if (data.at(0).size() < 2 ||
+      data.at(0)[1].type() != ValueType::kDoubleList) {
+    return Status::InvalidArgument(
+        "training records must be (label, features double_list)");
+  }
+
+  // Initialize centroids from k distinct random points (Forgy).
+  Rng rng(options.seed);
+  std::vector<Record> init_state;
+  std::vector<bool> taken(data.size(), false);
+  for (int c = 0; c < options.k; ++c) {
+    std::size_t idx;
+    do {
+      idx = static_cast<std::size_t>(rng.NextBounded(data.size()));
+    } while (taken[idx]);
+    taken[idx] = true;
+    init_state.push_back(
+        Record({Value(static_cast<int64_t>(c)),
+                Value(data.at(idx)[1].double_list_unchecked())}));
+  }
+
+  RheemJob job(ctx);
+  job.options().force_platform = options.force_platform;
+  DataQuanta state = job.LoadCollection(Dataset(std::move(init_state)));
+  DataQuanta points = job.LoadCollection(data);
+
+  const double key_ratio =
+      std::min(1.0, static_cast<double>(options.k) /
+                        std::max<double>(1.0, static_cast<double>(data.size())));
+
+  DataQuanta trained = state.Repeat(
+      options.iterations, points,
+      [&](DataQuanta st, DataQuanta dt) {
+        // GetCentroid: tag each point with its nearest centroid.
+        DataQuanta assigned = dt.BroadcastMap(
+            st,
+            [](const Record& point, const Dataset& centroids_ds) {
+              const auto centroids = CentroidsFromState(centroids_ds);
+              const auto& x = point[1].double_list_unchecked();
+              const std::size_t c = NearestCentroid(centroids, x);
+              return Record({Value(static_cast<int64_t>(c)), point[1],
+                             Value(1.0)});
+            },
+            UdfMeta::Expensive(8.0));
+        // The GroupBy enhancer between GetCentroid and SetCentroids
+        // (paper §3.2): keyed aggregation of per-cluster sums.
+        DataQuanta sums = assigned.ReduceByKey(
+            [](const Record& r) { return r[0]; },
+            [](const Record& a, const Record& b) {
+              std::vector<double> sum = a[1].double_list_unchecked();
+              const auto& other = b[1].double_list_unchecked();
+              for (std::size_t i = 0; i < sum.size() && i < other.size(); ++i) {
+                sum[i] += other[i];
+              }
+              return Record({a[0], Value(std::move(sum)),
+                             Value(a[2].ToDoubleOr(0) + b[2].ToDoubleOr(0))});
+            },
+            key_ratio);
+        // SetCentroids: move each centroid to its cluster mean.
+        return st.BroadcastMap(
+            sums,
+            [](const Record& centroid, const Dataset& aggregates) {
+              const int64_t id = centroid[0].ToInt64Or(-1);
+              for (const Record& agg : aggregates.records()) {
+                if (agg[0].ToInt64Or(-2) != id) continue;
+                const double count = agg[2].ToDoubleOr(0.0);
+                if (count <= 0.0) break;
+                std::vector<double> mean = agg[1].double_list_unchecked();
+                for (double& m : mean) m /= count;
+                return Record({centroid[0], Value(std::move(mean))});
+              }
+              return centroid;  // empty cluster keeps its position
+            },
+            UdfMeta::Expensive(4.0));
+      });
+
+  RHEEM_ASSIGN_OR_RETURN(ExecutionResult result, trained.CollectWithMetrics());
+  KMeansResult out;
+  out.centroids = CentroidsFromState(result.output);
+  out.metrics = result.metrics;
+  return out;
+}
+
+Result<double> KMeansCost(const std::vector<std::vector<double>>& centroids,
+                          const Dataset& data) {
+  if (centroids.empty()) return Status::InvalidArgument("no centroids");
+  double total = 0.0;
+  for (const Record& r : data.records()) {
+    const auto& x = r[1].double_list_unchecked();
+    const std::size_t c = NearestCentroid(centroids, x);
+    const auto& m = centroids[c];
+    const std::size_t n = std::min(m.size(), x.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = m[i] - x[i];
+      total += d * d;
+    }
+  }
+  return total;
+}
+
+}  // namespace ml
+}  // namespace rheem

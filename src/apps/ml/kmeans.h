@@ -1,0 +1,43 @@
+#ifndef RHEEM_APPS_ML_KMEANS_H_
+#define RHEEM_APPS_ML_KMEANS_H_
+
+#include <vector>
+
+#include "apps/ml/ml_operators.h"
+#include "common/result.h"
+
+namespace rheem {
+namespace ml {
+
+/// \brief K-means clustering expressed on the ML operator templates: the
+/// paper's §3.2 running example (GetCentroid + SetCentroids with a GroupBy
+/// enhancer between them maps here to BroadcastMap + keyed aggregation).
+struct KMeansOptions {
+  int k = 3;
+  int iterations = 20;
+  uint64_t seed = 42;
+  std::string force_platform;
+};
+
+struct KMeansResult {
+  /// centroids[c] is the position of cluster c.
+  std::vector<std::vector<double>> centroids;
+  ExecutionMetrics metrics;
+};
+
+/// Trains on records shaped (ignored label, features: double_list).
+Result<KMeansResult> TrainKMeans(RheemContext* ctx, const Dataset& data,
+                                 const KMeansOptions& options);
+
+/// Index of the closest centroid to `x`.
+std::size_t NearestCentroid(const std::vector<std::vector<double>>& centroids,
+                            const std::vector<double>& x);
+
+/// Sum of squared distances of every point to its nearest centroid.
+Result<double> KMeansCost(const std::vector<std::vector<double>>& centroids,
+                          const Dataset& data);
+
+}  // namespace ml
+}  // namespace rheem
+
+#endif  // RHEEM_APPS_ML_KMEANS_H_

@@ -1,0 +1,71 @@
+#include "apps/ml/ml_operators.h"
+
+namespace rheem {
+namespace ml {
+
+Result<MlRunResult> RunMlProgram(RheemContext* ctx, const MlProgram& program,
+                                 const Dataset& points,
+                                 const MlRunOptions& options) {
+  if (!program.init || !program.process || !program.combine ||
+      !program.update) {
+    return Status::InvalidArgument("MlProgram has unset UDFs");
+  }
+  RheemJob job(ctx);
+  job.options().force_platform = options.force_platform;
+
+  DataQuanta state = job.LoadCollection(program.init());
+  DataQuanta data = job.LoadCollection(points);
+
+  // Copy the program's UDFs into the closures: the MlProgram may go out of
+  // scope before Collect() runs the plan.
+  auto process = program.process;
+  auto combine = program.combine;
+  auto update = program.update;
+  const double process_cost = program.process_cost;
+
+  DataQuanta trained = state.Repeat(
+      options.iterations, data,
+      [&](DataQuanta st, DataQuanta dt) {
+        DataQuanta contribs = dt.BroadcastMap(
+            st,
+            [process](const Record& point, const Dataset& broadcast_state) {
+              return process(point, broadcast_state);
+            },
+            UdfMeta::Expensive(process_cost));
+        DataQuanta aggregate = contribs.GlobalReduce(combine);
+        return st.BroadcastMap(
+            aggregate,
+            [update](const Record& state_record, const Dataset& agg) {
+              return update(state_record, agg);
+            },
+            UdfMeta::Expensive(2.0));
+      });
+
+  RHEEM_ASSIGN_OR_RETURN(ExecutionResult result, trained.CollectWithMetrics());
+  MlRunResult out;
+  out.final_state = std::move(result.output);
+  out.metrics = result.metrics;
+  return out;
+}
+
+Status InitializeOperator::ApplyOp(const Record& in, std::vector<Record>* out) {
+  if (!init_fn_) return Status::InvalidArgument("Initialize UDF not set");
+  out->push_back(init_fn_(in));
+  return Status::OK();
+}
+
+Status ProcessOperator::ApplyOp(const Record& in, std::vector<Record>* out) {
+  if (!process_fn_) return Status::InvalidArgument("Process UDF not set");
+  out->push_back(process_fn_(in));
+  return Status::OK();
+}
+
+Status LoopOperator::ApplyOp(const Record& in, std::vector<Record>* out) {
+  (void)in;
+  (void)out;
+  return Status::Unsupported(
+      "ML:Loop is a control-flow template; use ShouldContinue");
+}
+
+}  // namespace ml
+}  // namespace rheem

@@ -1,0 +1,123 @@
+#ifndef RHEEM_APPS_ML_ML_OPERATORS_H_
+#define RHEEM_APPS_ML_ML_OPERATORS_H_
+
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "core/api/data_quanta.h"
+#include "core/plan/operator.h"
+#include "data/dataset.h"
+
+namespace rheem {
+namespace ml {
+
+/// \brief The ML application's operator template set — the paper's Example 1:
+/// a developer offers end users three abstract logical operators,
+/// `Initialize`, `Process`, and `Loop`, and users express SVM, k-means and
+/// regressions by filling in the UDFs.
+///
+/// MlProgram is the filled-in template:
+///   state_0    = init()
+///   repeat iterations (or until converged):
+///     contribs = { process(point, state) : point in data }   (Process)
+///     agg      = fold(contribs, combine)
+///     state    = update(state_record, agg)
+/// The program compiles onto RHEEM's generic operators as
+/// BroadcastMap -> GlobalReduce -> BroadcastMap inside a Repeat loop, so the
+/// multi-platform optimizer is free to place the whole loop on any platform.
+struct MlProgram {
+  /// Produces the initial state dataset (e.g. zero weights, k centroids).
+  std::function<Dataset()> init;
+  /// Per-point contribution given the broadcast state (Process).
+  std::function<Record(const Record& point, const Dataset& state)> process;
+  /// Associative+commutative combination of two contributions.
+  std::function<Record(const Record&, const Record&)> combine;
+  /// Next state record from (current state record, aggregated contribution).
+  std::function<Record(const Record& state, const Dataset& aggregate)> update;
+  /// Relative CPU weight of one process() call (optimizer hint).
+  double process_cost = 4.0;
+};
+
+/// Options shared by the ML trainers.
+struct MlRunOptions {
+  int iterations = 100;
+  /// Forwarded to the optimizer; empty = let RHEEM choose the platform.
+  std::string force_platform;
+  bool collect_metrics = false;
+};
+
+/// Result of one training run.
+struct MlRunResult {
+  Dataset final_state;
+  ExecutionMetrics metrics;
+};
+
+/// Compiles and runs an MlProgram over `points` on a RheemContext.
+Result<MlRunResult> RunMlProgram(RheemContext* ctx, const MlProgram& program,
+                                 const Dataset& points,
+                                 const MlRunOptions& options);
+
+// ---------------------------------------------------------------------------
+// The abstract logical operators themselves, as LogicalOperator subclasses.
+// These exist to exercise the application-layer contract (ApplyOp wrappers,
+// paper §3.2); the trainers above use the equivalent fluent pipeline.
+// ---------------------------------------------------------------------------
+
+/// `Initialize`: emits algorithm parameters for each input quantum.
+class InitializeOperator : public LogicalOperator {
+ public:
+  explicit InitializeOperator(std::function<Record(const Record&)> init_fn)
+      : init_fn_(std::move(init_fn)) {
+    set_name("Initialize");
+  }
+  std::string kind_name() const override { return "ML:Initialize"; }
+  int arity() const override { return 1; }
+  Status ApplyOp(const Record& in, std::vector<Record>* out) override;
+
+ private:
+  std::function<Record(const Record&)> init_fn_;
+};
+
+/// `Process`: the per-quantum computation of the algorithm (e.g. find the
+/// nearest centroid of a point).
+class ProcessOperator : public LogicalOperator {
+ public:
+  ProcessOperator(std::function<Record(const Record&)> process_fn,
+                  double cost_hint)
+      : process_fn_(std::move(process_fn)), cost_hint_(cost_hint) {
+    set_name("Process");
+  }
+  std::string kind_name() const override { return "ML:Process"; }
+  int arity() const override { return 1; }
+  Status ApplyOp(const Record& in, std::vector<Record>* out) override;
+  double CostHint() const override { return cost_hint_; }
+
+ private:
+  std::function<Record(const Record&)> process_fn_;
+  double cost_hint_;
+};
+
+/// `Loop`: the stopping condition over the evolving state.
+class LoopOperator : public LogicalOperator {
+ public:
+  explicit LoopOperator(std::function<bool(const Dataset&, int)> condition)
+      : condition_(std::move(condition)) {
+    set_name("Loop");
+  }
+  std::string kind_name() const override { return "ML:Loop"; }
+  int arity() const override { return 1; }
+  /// Loop is a control-flow template, not a per-quantum transformation.
+  Status ApplyOp(const Record& in, std::vector<Record>* out) override;
+  bool ShouldContinue(const Dataset& state, int iteration) const {
+    return condition_(state, iteration);
+  }
+
+ private:
+  std::function<bool(const Dataset&, int)> condition_;
+};
+
+}  // namespace ml
+}  // namespace rheem
+
+#endif  // RHEEM_APPS_ML_ML_OPERATORS_H_

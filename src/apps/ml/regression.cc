@@ -1,0 +1,137 @@
+#include "apps/ml/regression.h"
+
+#include <cmath>
+
+namespace rheem {
+namespace ml {
+
+double LinearModel::Predict(const std::vector<double>& x) const {
+  double s = bias;
+  const std::size_t n = std::min(weights.size(), x.size());
+  for (std::size_t i = 0; i < n; ++i) s += weights[i] * x[i];
+  return s;
+}
+
+namespace {
+
+Status CheckShape(const Dataset& data) {
+  if (data.empty()) return Status::InvalidArgument("empty training set");
+  if (data.at(0).size() < 2 ||
+      data.at(0)[1].type() != ValueType::kDoubleList) {
+    return Status::InvalidArgument(
+        "training records must be (label, features double_list)");
+  }
+  return Status::OK();
+}
+
+/// Shared driver: gradient-descent programs differ only in the per-point
+/// residual term fed into the gradient.
+Result<RegressionResult> TrainGradientModel(
+    RheemContext* ctx, const Dataset& data, const RegressionOptions& options,
+    std::function<double(double label, double prediction)> residual) {
+  RHEEM_RETURN_IF_ERROR(CheckShape(data));
+  const int dims = static_cast<int>(data.at(0)[1].double_list_unchecked().size());
+  const double lr = options.learning_rate;
+  const double n = static_cast<double>(data.size());
+
+  MlProgram program;
+  program.init = [dims]() {
+    return Dataset(std::vector<Record>{Record(
+        {Value(std::vector<double>(static_cast<std::size_t>(dims), 0.0)),
+         Value(0.0)})});
+  };
+  program.process = [residual](const Record& point, const Dataset& state) {
+    const auto& w = state.at(0)[0].double_list_unchecked();
+    const double b = state.at(0)[1].ToDoubleOr(0.0);
+    const double y = point[0].ToDoubleOr(0.0);
+    const auto& x = point[1].double_list_unchecked();
+    double pred = b;
+    for (std::size_t i = 0; i < w.size() && i < x.size(); ++i) {
+      pred += w[i] * x[i];
+    }
+    const double r = residual(y, pred);
+    std::vector<double> grad_w(w.size(), 0.0);
+    for (std::size_t i = 0; i < grad_w.size() && i < x.size(); ++i) {
+      grad_w[i] = r * x[i];
+    }
+    return Record({Value(std::move(grad_w)), Value(r)});
+  };
+  program.combine = [](const Record& a, const Record& b) {
+    std::vector<double> gw = a[0].double_list_unchecked();
+    const auto& gw2 = b[0].double_list_unchecked();
+    for (std::size_t i = 0; i < gw.size() && i < gw2.size(); ++i) {
+      gw[i] += gw2[i];
+    }
+    return Record(
+        {Value(std::move(gw)), Value(a[1].ToDoubleOr(0) + b[1].ToDoubleOr(0))});
+  };
+  program.update = [lr, n](const Record& state, const Dataset& agg) {
+    std::vector<double> w = state[0].double_list_unchecked();
+    double b = state[1].ToDoubleOr(0.0);
+    if (!agg.empty()) {
+      const auto& gw = agg.at(0)[0].double_list_unchecked();
+      const double gb = agg.at(0)[1].ToDoubleOr(0.0);
+      for (std::size_t i = 0; i < w.size() && i < gw.size(); ++i) {
+        w[i] -= lr * gw[i] / n;
+      }
+      b -= lr * gb / n;
+    }
+    return Record({Value(std::move(w)), Value(b)});
+  };
+  program.process_cost = 2.0 + 0.2 * dims;
+
+  MlRunOptions run;
+  run.iterations = options.iterations;
+  run.force_platform = options.force_platform;
+  RHEEM_ASSIGN_OR_RETURN(MlRunResult result, RunMlProgram(ctx, program, data, run));
+  if (result.final_state.empty()) {
+    return Status::ExecutionError("training produced no state");
+  }
+  RegressionResult out;
+  out.model.weights = result.final_state.at(0)[0].double_list_unchecked();
+  out.model.bias = result.final_state.at(0)[1].ToDoubleOr(0.0);
+  out.metrics = result.metrics;
+  return out;
+}
+
+}  // namespace
+
+Result<RegressionResult> TrainLinearRegression(
+    RheemContext* ctx, const Dataset& data, const RegressionOptions& options) {
+  // d/dw (pred - y)^2 / 2 = (pred - y) * x
+  return TrainGradientModel(ctx, data, options,
+                            [](double y, double pred) { return pred - y; });
+}
+
+Result<RegressionResult> TrainLogisticRegression(
+    RheemContext* ctx, const Dataset& data, const RegressionOptions& options) {
+  // Labels y in {-1, +1}: gradient of log(1 + exp(-y * pred)).
+  return TrainGradientModel(ctx, data, options, [](double y, double pred) {
+    return -y / (1.0 + std::exp(y * pred));
+  });
+}
+
+Result<double> MeanSquaredError(const LinearModel& model, const Dataset& data) {
+  RHEEM_RETURN_IF_ERROR(CheckShape(data));
+  double total = 0.0;
+  for (const Record& r : data.records()) {
+    const double err =
+        model.Predict(r[1].double_list_unchecked()) - r[0].ToDoubleOr(0.0);
+    total += err * err;
+  }
+  return total / static_cast<double>(data.size());
+}
+
+Result<double> LogisticAccuracy(const LinearModel& model, const Dataset& data) {
+  RHEEM_RETURN_IF_ERROR(CheckShape(data));
+  int64_t correct = 0;
+  for (const Record& r : data.records()) {
+    const double y = r[0].ToDoubleOr(0.0);
+    const double pred = model.Predict(r[1].double_list_unchecked());
+    if ((pred >= 0.0) == (y >= 0.0)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace ml
+}  // namespace rheem

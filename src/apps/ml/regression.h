@@ -1,0 +1,50 @@
+#ifndef RHEEM_APPS_ML_REGRESSION_H_
+#define RHEEM_APPS_ML_REGRESSION_H_
+
+#include <vector>
+
+#include "apps/ml/ml_operators.h"
+#include "common/result.h"
+
+namespace rheem {
+namespace ml {
+
+/// \brief Linear and logistic regression on the same Initialize/Process/Loop
+/// templates as SVM (paper Example 1 names exactly these algorithms).
+struct LinearModel {
+  std::vector<double> weights;
+  double bias = 0.0;
+
+  double Predict(const std::vector<double>& x) const;
+};
+
+struct RegressionOptions {
+  int iterations = 100;
+  double learning_rate = 0.1;
+  std::string force_platform;
+};
+
+struct RegressionResult {
+  LinearModel model;
+  ExecutionMetrics metrics;
+};
+
+/// Least-squares gradient descent on (y: double, x: double_list) records.
+Result<RegressionResult> TrainLinearRegression(RheemContext* ctx,
+                                               const Dataset& data,
+                                               const RegressionOptions& options);
+
+/// Logistic regression (labels ±1) by gradient descent.
+Result<RegressionResult> TrainLogisticRegression(
+    RheemContext* ctx, const Dataset& data, const RegressionOptions& options);
+
+/// Mean squared prediction error of a linear model.
+Result<double> MeanSquaredError(const LinearModel& model, const Dataset& data);
+
+/// Classification accuracy of a logistic model (threshold 0).
+Result<double> LogisticAccuracy(const LinearModel& model, const Dataset& data);
+
+}  // namespace ml
+}  // namespace rheem
+
+#endif  // RHEEM_APPS_ML_REGRESSION_H_

@@ -1,0 +1,116 @@
+#include "apps/ml/svm.h"
+
+#include <cmath>
+
+namespace rheem {
+namespace ml {
+
+double SvmModel::Decision(const std::vector<double>& x) const {
+  double s = bias;
+  const std::size_t n = std::min(weights.size(), x.size());
+  for (std::size_t i = 0; i < n; ++i) s += weights[i] * x[i];
+  return s;
+}
+
+double SvmModel::Predict(const std::vector<double>& x) const {
+  return Decision(x) >= 0.0 ? 1.0 : -1.0;
+}
+
+Result<SvmResult> TrainSvm(RheemContext* ctx, const Dataset& data,
+                           const SvmOptions& options) {
+  if (data.empty()) return Status::InvalidArgument("empty training set");
+  if (data.at(0).size() < 2 ||
+      data.at(0)[1].type() != ValueType::kDoubleList) {
+    return Status::InvalidArgument(
+        "training records must be (label, features double_list)");
+  }
+  const int dims = static_cast<int>(data.at(0)[1].double_list_unchecked().size());
+  const double lr = options.learning_rate;
+  const double reg = options.regularization;
+  const double n = static_cast<double>(data.size());
+
+  MlProgram program;
+  // State: one record (weights double_list, bias double).
+  program.init = [dims]() {
+    return Dataset(std::vector<Record>{Record(
+        {Value(std::vector<double>(static_cast<std::size_t>(dims), 0.0)),
+         Value(0.0)})});
+  };
+  // Process: hinge subgradient contribution of one point.
+  program.process = [](const Record& point, const Dataset& state) {
+    const auto& w = state.at(0)[0].double_list_unchecked();
+    const double b = state.at(0)[1].ToDoubleOr(0.0);
+    const double y = point[0].ToDoubleOr(0.0);
+    const auto& x = point[1].double_list_unchecked();
+    double margin = b;
+    for (std::size_t i = 0; i < w.size() && i < x.size(); ++i) {
+      margin += w[i] * x[i];
+    }
+    margin *= y;
+    std::vector<double> grad_w(w.size(), 0.0);
+    double grad_b = 0.0;
+    if (margin < 1.0) {
+      for (std::size_t i = 0; i < grad_w.size() && i < x.size(); ++i) {
+        grad_w[i] = -y * x[i];
+      }
+      grad_b = -y;
+    }
+    return Record({Value(std::move(grad_w)), Value(grad_b)});
+  };
+  // Combine: elementwise sum of contributions.
+  program.combine = [](const Record& a, const Record& b) {
+    std::vector<double> gw = a[0].double_list_unchecked();
+    const auto& gw2 = b[0].double_list_unchecked();
+    for (std::size_t i = 0; i < gw.size() && i < gw2.size(); ++i) {
+      gw[i] += gw2[i];
+    }
+    return Record(
+        {Value(std::move(gw)), Value(a[1].ToDoubleOr(0) + b[1].ToDoubleOr(0))});
+  };
+  // Update: gradient step with L2 regularization.
+  program.update = [lr, reg, n](const Record& state, const Dataset& agg) {
+    std::vector<double> w = state[0].double_list_unchecked();
+    double b = state[1].ToDoubleOr(0.0);
+    if (!agg.empty()) {
+      const auto& gw = agg.at(0)[0].double_list_unchecked();
+      const double gb = agg.at(0)[1].ToDoubleOr(0.0);
+      for (std::size_t i = 0; i < w.size() && i < gw.size(); ++i) {
+        w[i] -= lr * (reg * w[i] + gw[i] / n);
+      }
+      b -= lr * gb / n;
+    }
+    return Record({Value(std::move(w)), Value(b)});
+  };
+  program.process_cost = 2.0 + 0.2 * dims;
+
+  MlRunOptions run;
+  run.iterations = options.iterations;
+  run.force_platform = options.force_platform;
+  RHEEM_ASSIGN_OR_RETURN(MlRunResult result, RunMlProgram(ctx, program, data, run));
+  if (result.final_state.empty()) {
+    return Status::ExecutionError("SVM training produced no state");
+  }
+  SvmResult out;
+  out.model.weights = result.final_state.at(0)[0].double_list_unchecked();
+  out.model.bias = result.final_state.at(0)[1].ToDoubleOr(0.0);
+  out.metrics = result.metrics;
+  return out;
+}
+
+Result<double> SvmAccuracy(const SvmModel& model, const Dataset& data) {
+  if (data.empty()) return Status::InvalidArgument("empty evaluation set");
+  int64_t correct = 0;
+  for (const Record& r : data.records()) {
+    if (r.size() < 2 || r[1].type() != ValueType::kDoubleList) {
+      return Status::InvalidArgument("bad evaluation record " + r.ToString());
+    }
+    const double y = r[0].ToDoubleOr(0.0);
+    if (model.Predict(r[1].double_list_unchecked()) == (y >= 0 ? 1.0 : -1.0)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace ml
+}  // namespace rheem

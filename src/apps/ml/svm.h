@@ -1,0 +1,47 @@
+#ifndef RHEEM_APPS_ML_SVM_H_
+#define RHEEM_APPS_ML_SVM_H_
+
+#include <vector>
+
+#include "apps/ml/ml_operators.h"
+#include "common/result.h"
+
+namespace rheem {
+namespace ml {
+
+/// \brief Linear SVM trained by full-batch subgradient descent on the
+/// L2-regularized hinge loss — the workload of the paper's Figure 2
+/// (SVM over LIBSVM datasets, 100 iterations, Spark vs. plain Java).
+struct SvmModel {
+  std::vector<double> weights;
+  double bias = 0.0;
+
+  /// Signed margin w.x + b.
+  double Decision(const std::vector<double>& x) const;
+  /// Predicted label in {-1, +1}.
+  double Predict(const std::vector<double>& x) const;
+};
+
+struct SvmOptions {
+  int iterations = 100;
+  double learning_rate = 0.1;
+  double regularization = 0.001;
+  std::string force_platform;
+};
+
+struct SvmResult {
+  SvmModel model;
+  ExecutionMetrics metrics;
+};
+
+/// Trains on records shaped (label: ±1 double, features: double_list).
+Result<SvmResult> TrainSvm(RheemContext* ctx, const Dataset& data,
+                           const SvmOptions& options);
+
+/// Fraction of records whose label the model predicts correctly.
+Result<double> SvmAccuracy(const SvmModel& model, const Dataset& data);
+
+}  // namespace ml
+}  // namespace rheem
+
+#endif  // RHEEM_APPS_ML_SVM_H_

@@ -1,0 +1,75 @@
+#include "common/config.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace rheem {
+
+void Config::Set(const std::string& key, std::string value) {
+  entries_[key] = std::move(value);
+}
+
+void Config::SetInt(const std::string& key, int64_t value) {
+  entries_[key] = std::to_string(value);
+}
+
+void Config::SetDouble(const std::string& key, double value) {
+  entries_[key] = std::to_string(value);
+}
+
+void Config::SetBool(const std::string& key, bool value) {
+  entries_[key] = value ? "true" : "false";
+}
+
+bool Config::Has(const std::string& key) const {
+  return entries_.count(key) > 0;
+}
+
+Result<std::string> Config::GetString(const std::string& key,
+                                      const std::string& fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  return it->second;
+}
+
+Result<int64_t> Config::GetInt(const std::string& key, int64_t fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("config key '" + key +
+                                   "' is not an integer: " + it->second);
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> Config::GetDouble(const std::string& key,
+                                 double fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("config key '" + key +
+                                   "' is not a double: " + it->second);
+  }
+  return v;
+}
+
+Result<bool> Config::GetBool(const std::string& key, bool fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  const std::string v = ToLower(it->second);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return Status::InvalidArgument("config key '" + key +
+                                 "' is not a bool: " + it->second);
+}
+
+void Config::MergeFrom(const Config& other) {
+  for (const auto& [k, v] : other.entries_) entries_[k] = v;
+}
+
+}  // namespace rheem

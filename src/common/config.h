@@ -1,0 +1,48 @@
+#ifndef RHEEM_COMMON_CONFIG_H_
+#define RHEEM_COMMON_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace rheem {
+
+/// \brief Flat string key/value configuration bag.
+///
+/// Carries tuning knobs through the system without hard-coding them: platform
+/// overhead constants, optimizer toggles, partition counts. Keys are
+/// dot-separated by convention ("sparksim.job_latency_us"). Typed getters
+/// parse on access and fall back to the provided default when the key is
+/// absent; they return an error only when the key is present but malformed.
+class Config {
+ public:
+  Config() = default;
+
+  void Set(const std::string& key, std::string value);
+  void SetInt(const std::string& key, int64_t value);
+  void SetDouble(const std::string& key, double value);
+  void SetBool(const std::string& key, bool value);
+
+  bool Has(const std::string& key) const;
+
+  Result<std::string> GetString(const std::string& key,
+                                const std::string& fallback) const;
+  Result<int64_t> GetInt(const std::string& key, int64_t fallback) const;
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+  Result<bool> GetBool(const std::string& key, bool fallback) const;
+
+  /// Merge `other` into this config; keys in `other` win.
+  void MergeFrom(const Config& other);
+
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_COMMON_CONFIG_H_

@@ -1,0 +1,123 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace rheem {
+
+Result<std::vector<std::string>> CsvCodec::ParseLine(
+    std::string_view line) const {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+      } else {
+        cur += c;
+        ++i;
+      }
+    } else {
+      if (c == '"') {
+        if (!cur.empty()) {
+          return Status::InvalidArgument("quote in the middle of a CSV field");
+        }
+        in_quotes = true;
+        ++i;
+      } else if (c == delim_) {
+        fields.push_back(std::move(cur));
+        cur.clear();
+        ++i;
+      } else {
+        cur += c;
+        ++i;
+      }
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quoted CSV field");
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Result<std::vector<std::vector<std::string>>> CsvCodec::ParseDocument(
+    std::string_view text) const {
+  std::vector<std::vector<std::string>> rows;
+  std::string logical_line;
+  bool in_quotes = false;
+  auto flush = [&]() -> Status {
+    if (logical_line.empty()) return Status::OK();
+    auto parsed = ParseLine(logical_line);
+    if (!parsed.ok()) return parsed.status();
+    rows.push_back(std::move(parsed).ValueOrDie());
+    logical_line.clear();
+    return Status::OK();
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '"') in_quotes = !in_quotes;
+    if (c == '\n' && !in_quotes) {
+      // Strip a trailing \r from CRLF documents.
+      if (!logical_line.empty() && logical_line.back() == '\r') {
+        logical_line.pop_back();
+      }
+      RHEEM_RETURN_IF_ERROR(flush());
+    } else {
+      logical_line += c;
+    }
+  }
+  if (!logical_line.empty() && logical_line.back() == '\r') {
+    logical_line.pop_back();
+  }
+  RHEEM_RETURN_IF_ERROR(flush());
+  return rows;
+}
+
+std::string CsvCodec::FormatLine(const std::vector<std::string>& fields) const {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += delim_;
+    const std::string& f = fields[i];
+    const bool needs_quotes =
+        f.find(delim_) != std::string::npos ||
+        f.find('"') != std::string::npos || f.find('\n') != std::string::npos;
+    if (needs_quotes) {
+      out += '"';
+      for (char c : f) {
+        if (c == '"') out += '"';
+        out += c;
+      }
+      out += '"';
+    } else {
+      out += f;
+    }
+  }
+  return out;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open file for reading: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Status::IoError("error while reading: " + path);
+  return ss.str();
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open file for writing: " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return Status::IoError("error while writing: " + path);
+  return Status::OK();
+}
+
+}  // namespace rheem

@@ -1,0 +1,44 @@
+#ifndef RHEEM_COMMON_CSV_H_
+#define RHEEM_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace rheem {
+
+/// \brief Minimal RFC-4180-ish CSV codec used by the CsvStore storage backend
+/// and the example datasets.
+///
+/// Supports quoted fields containing commas, quotes (doubled) and newlines.
+/// Does not support multi-character delimiters.
+class CsvCodec {
+ public:
+  explicit CsvCodec(char delim = ',') : delim_(delim) {}
+
+  /// Parses one logical CSV line (no embedded newlines) into fields.
+  Result<std::vector<std::string>> ParseLine(std::string_view line) const;
+
+  /// Parses a whole document, handling quoted embedded newlines.
+  Result<std::vector<std::vector<std::string>>> ParseDocument(
+      std::string_view text) const;
+
+  /// Renders fields as one CSV line (no trailing newline), quoting as needed.
+  std::string FormatLine(const std::vector<std::string>& fields) const;
+
+ private:
+  char delim_;
+};
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes (truncates) `content` to `path`.
+Status WriteStringToFile(const std::string& path, std::string_view content);
+
+}  // namespace rheem
+
+#endif  // RHEEM_COMMON_CSV_H_

@@ -1,0 +1,45 @@
+#ifndef RHEEM_COMMON_LOGGING_H_
+#define RHEEM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rheem {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// \brief Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink. Emits on destruction; used via the RHEEM_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace rheem
+
+#define RHEEM_LOG(level)                                              \
+  ::rheem::internal_logging::LogMessage(::rheem::LogLevel::k##level, \
+                                        __FILE__, __LINE__)
+
+#endif  // RHEEM_COMMON_LOGGING_H_

@@ -1,0 +1,66 @@
+#ifndef RHEEM_COMMON_RESULT_H_
+#define RHEEM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace rheem {
+
+/// \brief Value-or-error holder returned by fallible value-producing APIs.
+///
+/// Mirrors arrow::Result / absl::StatusOr. A Result is either OK and holds a
+/// T, or holds a non-OK Status. Accessing the value of an errored Result
+/// aborts in debug builds (assert) and is undefined otherwise; callers should
+/// use `ok()` / RHEEM_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or a Status keeps call sites terse
+  /// (`return 42;` / `return Status::NotFound(...)`), matching Arrow.
+  Result(T value) : value_(std::move(value)) {}           // NOLINT
+  Result(Status status) : status_(std::move(status)) {    // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the held value or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;            // OK when value_ holds a T
+  std::optional<T> value_;
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_COMMON_RESULT_H_

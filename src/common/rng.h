@@ -1,0 +1,49 @@
+#ifndef RHEEM_COMMON_RNG_H_
+#define RHEEM_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace rheem {
+
+/// \brief Deterministic, seedable PRNG (xoshiro256** core) used by every
+/// generator in the repository so experiments are reproducible bit-for-bit.
+///
+/// std::mt19937 would also do, but its state is large and its distributions
+/// are implementation-defined; this class fixes both the engine and the
+/// distribution algorithms so results match across standard libraries.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, bound); bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Standard normal via Box-Muller (deterministic pairing).
+  double NextGaussian();
+
+  /// Bernoulli trial with probability p of true.
+  bool NextBool(double p = 0.5);
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_COMMON_RNG_H_

@@ -1,0 +1,106 @@
+#ifndef RHEEM_COMMON_STATUS_H_
+#define RHEEM_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace rheem {
+
+/// \brief Error categories used across the library.
+///
+/// The set intentionally mirrors the failure modes a cross-platform task can
+/// hit: invalid plans, unsupported operator/platform combinations, runtime
+/// execution failures, and I/O problems at the storage layer.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kUnsupported = 4,
+  kInvalidPlan = 5,
+  kExecutionError = 6,
+  kIoError = 7,
+  kOutOfRange = 8,
+  kInternal = 9,
+};
+
+/// \brief Returns a human-readable name for a status code ("InvalidPlan", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Arrow/RocksDB-style status object carried by all fallible APIs.
+///
+/// An OK status is represented by a null state pointer, so returning OK is
+/// free of allocation. Statuses are cheap to move and copyable.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status Unsupported(std::string msg);
+  static Status InvalidPlan(std::string msg);
+  static Status ExecutionError(std::string msg);
+  static Status IoError(std::string msg);
+  static Status OutOfRange(std::string msg);
+  static Status Internal(std::string msg);
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const;
+
+  /// \brief Full "Code: message" rendering for logs and test failures.
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
+  bool IsInvalidPlan() const { return code() == StatusCode::kInvalidPlan; }
+  bool IsExecutionError() const { return code() == StatusCode::kExecutionError; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// \brief Prepends context to the message, keeping the code.
+  Status WithContext(const std::string& context) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<State> state_;  // null == OK
+};
+
+bool operator==(const Status& a, const Status& b);
+
+}  // namespace rheem
+
+/// Propagates a non-OK Status from the current function.
+#define RHEEM_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::rheem::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+#define RHEEM_CONCAT_IMPL(x, y) x##y
+#define RHEEM_CONCAT(x, y) RHEEM_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// assigns the value to `lhs` (which may include a declaration).
+#define RHEEM_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  auto RHEEM_CONCAT(_result_, __LINE__) = (rexpr);                    \
+  if (!RHEEM_CONCAT(_result_, __LINE__).ok())                         \
+    return RHEEM_CONCAT(_result_, __LINE__).status();                 \
+  lhs = std::move(RHEEM_CONCAT(_result_, __LINE__)).ValueOrDie()
+
+#endif  // RHEEM_COMMON_STATUS_H_

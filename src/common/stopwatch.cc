@@ -1,0 +1,30 @@
+#include "common/stopwatch.h"
+
+#include <ctime>
+
+namespace rheem {
+
+int64_t ThreadCpuTimer::NowMicros() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<int64_t>(ts.tv_sec) * 1000000 +
+         static_cast<int64_t>(ts.tv_nsec) / 1000;
+}
+
+void Stopwatch::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::ElapsedSeconds() const {
+  return static_cast<double>(ElapsedMicros()) * 1e-6;
+}
+
+int64_t Stopwatch::ElapsedMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+double Stopwatch::ElapsedMillis() const {
+  return static_cast<double>(ElapsedMicros()) * 1e-3;
+}
+
+}  // namespace rheem

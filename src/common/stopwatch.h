@@ -1,0 +1,65 @@
+#ifndef RHEEM_COMMON_STOPWATCH_H_
+#define RHEEM_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace rheem {
+
+/// \brief Wall-clock stopwatch used by the executor's monitoring and the
+/// benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart();
+
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const;
+  int64_t ElapsedMicros() const;
+  double ElapsedMillis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// \brief Measures CPU time consumed by the *calling thread* — immune to
+/// interleaving with other threads, which wall clocks are not. Used by the
+/// sparksim virtual cluster clock to price each task's true work.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() { Restart(); }
+
+  void Restart() { start_ = NowMicros(); }
+  int64_t ElapsedMicros() const { return NowMicros() - start_; }
+
+  /// Current thread-CPU clock reading in microseconds.
+  static int64_t NowMicros();
+
+ private:
+  int64_t start_ = 0;
+};
+
+/// \brief Virtual clock that accumulates *simulated* time.
+///
+/// The sparksim platform charges cluster overheads (job submission, task
+/// launch) to a SimClock instead of sleeping, so benchmarks report the
+/// modelled distributed cost while still running at native speed. Combining
+/// real elapsed compute time with simulated overhead time is the executor's
+/// job (see ExecutionMetrics).
+class SimClock {
+ public:
+  SimClock() = default;
+
+  void AdvanceMicros(int64_t micros) { micros_ += micros; }
+  void Reset() { micros_ = 0; }
+  int64_t Micros() const { return micros_; }
+  double Seconds() const { return static_cast<double>(micros_) * 1e-6; }
+
+ private:
+  int64_t micros_ = 0;
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_COMMON_STOPWATCH_H_

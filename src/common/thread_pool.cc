@@ -1,0 +1,90 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace rheem {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  struct SharedState {
+    std::atomic<std::size_t> remaining;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::exception_ptr first_error;
+  };
+  auto state = std::make_shared<SharedState>();
+  state->remaining.store(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Schedule([state, &fn, i]() {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->first_error) state->first_error = std::current_exception();
+      }
+      if (state->remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&]() { return state->remaining.load() == 0; });
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+ThreadPool& DefaultThreadPool() {
+  static ThreadPool* pool =
+      new ThreadPool(std::max(2u, std::thread::hardware_concurrency()));
+  return *pool;
+}
+
+}  // namespace rheem

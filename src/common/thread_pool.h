@@ -1,0 +1,65 @@
+#ifndef RHEEM_COMMON_THREAD_POOL_H_
+#define RHEEM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rheem {
+
+/// \brief Fixed-size worker pool backing the sparksim platform's "cluster".
+///
+/// Each worker thread models one executor slot. Tasks are plain
+/// std::function<void()>; callers needing results use Submit(), which wraps
+/// the callable in a packaged_task and returns its future.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (minimum 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues a fire-and-forget task.
+  void Schedule(std::function<void()> task);
+
+  /// Enqueues a task and returns a future for its result.
+  template <typename F>
+  auto Submit(F&& f) -> std::future<decltype(f())> {
+    using R = decltype(f());
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    Schedule([task]() { (*task)(); });
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [0, n) across the pool and blocks until all finish.
+  /// Exceptions escaping fn are rethrown on the calling thread (first one).
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+/// \brief Process-wide default pool sized to the hardware concurrency.
+/// Lives for the whole process (never destroyed), per static-lifetime rules.
+ThreadPool& DefaultThreadPool();
+
+}  // namespace rheem
+
+#endif  // RHEEM_COMMON_THREAD_POOL_H_

@@ -1,0 +1,91 @@
+#ifndef RHEEM_CORE_API_CONTEXT_H_
+#define RHEEM_CORE_API_CONTEXT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/config.h"
+#include "common/result.h"
+#include "core/executor/executor.h"
+#include "core/executor/monitor.h"
+#include "core/mapping/platform.h"
+#include "core/optimizer/cardinality.h"
+#include "core/optimizer/channel.h"
+#include "core/optimizer/stage_splitter.h"
+#include "core/plan/plan.h"
+
+namespace rheem {
+
+/// Per-job execution knobs consumed by RheemContext::Compile/Execute.
+struct ExecutionOptions {
+  /// Non-empty: bypass platform choice and run everything here (the
+  /// forced-platform baselines of Figure 2 / ablation A1).
+  std::string force_platform;
+  /// Disable to reproduce a Musketeer-style movement-blind optimizer (A2).
+  bool movement_aware = true;
+  /// Application-layer rewrites (filter reordering, pushdowns).
+  bool apply_logical_rewrites = true;
+  /// Optional progress monitor (not owned).
+  ExecutionMonitor* monitor = nullptr;
+  /// Optional fault hook forwarded to the executor (not owned).
+  CrossPlatformExecutor::FailureInjector failure_injector;
+};
+
+/// \brief A fully optimized job: the physical plan, its estimates, and the
+/// staged execution plan — kept together because the execution plan points
+/// into the physical plan.
+struct CompiledJob {
+  std::unique_ptr<Plan> physical;
+  EstimateMap estimates;
+  ExecutionPlan eplan;
+
+  std::string Explain() const { return eplan.Explain(estimates); }
+};
+
+/// \brief Entry point tying the three layers together: owns the platform
+/// registry, the movement cost model and the configuration; compiles logical
+/// plans through the application optimizer (rewrites + translation), the
+/// multi-platform optimizer (estimate -> enumerate -> split) and runs them on
+/// the Executor.
+///
+/// Config keys (beyond per-platform ones):
+///   rheem.platforms   comma list of default platforms to register
+///                     (default "javasim,sparksim,relsim")
+class RheemContext {
+ public:
+  explicit RheemContext(Config config = Config());
+
+  /// Registers the built-in simulated platforms selected by config.
+  Status RegisterDefaultPlatforms();
+
+  PlatformRegistry& platforms() { return registry_; }
+  const Config& config() const { return config_; }
+  Config& mutable_config() { return config_; }
+  const MovementCostModel& movement_model() const { return movement_; }
+
+  /// Application optimizer + multi-platform optimizer, no execution.
+  Result<CompiledJob> Compile(const Plan& logical_plan,
+                              const ExecutionOptions& options = {}) const;
+
+  /// Compile + execute.
+  Result<ExecutionResult> Execute(const Plan& logical_plan,
+                                  const ExecutionOptions& options = {}) const;
+
+  /// Translates a logical plan (GenericLogicalOp nodes and/or arbitrary
+  /// per-quantum LogicalOperator subclasses, which get wrapper physical
+  /// operators) into a physical plan. `pins` receives physical-op-id ->
+  /// platform pins collected from the logical nodes. Public because
+  /// applications building their own logical operators reuse it.
+  static Result<std::unique_ptr<Plan>> TranslateToPhysical(
+      const Plan& logical_plan, std::map<int, std::string>* pins);
+
+ private:
+  Config config_;
+  PlatformRegistry registry_;
+  MovementCostModel movement_;
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_API_CONTEXT_H_

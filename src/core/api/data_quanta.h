@@ -1,0 +1,163 @@
+#ifndef RHEEM_CORE_API_DATA_QUANTA_H_
+#define RHEEM_CORE_API_DATA_QUANTA_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/api/context.h"
+#include "core/api/logical_nodes.h"
+#include "core/executor/executor.h"
+#include "data/dataset.h"
+#include "storage/storage_plan.h"
+
+namespace rheem {
+
+class RheemContext;
+class RheemJob;
+
+/// \brief Fluent handle over a logical operator's output: the built-in
+/// dataflow language of the application layer.
+///
+/// DataQuanta methods append GenericLogicalOp nodes to the enclosing
+/// RheemJob's logical plan. Terminal methods (Collect/CollectWithMetrics/
+/// Explain) push the plan through the application optimizer, the
+/// multi-platform optimizer and the Executor.
+///
+/// A DataQuanta is a cheap value object; it stays valid as long as its
+/// RheemJob does.
+class DataQuanta {
+ public:
+  DataQuanta() = default;
+
+  bool valid() const { return job_ != nullptr && node_ != nullptr; }
+
+  // --- unary transforms ---------------------------------------------------
+  DataQuanta Map(std::function<Record(const Record&)> fn,
+                 UdfMeta meta = UdfMeta()) const;
+  DataQuanta FlatMap(std::function<std::vector<Record>(const Record&)> fn,
+                     UdfMeta meta = UdfMeta()) const;
+  DataQuanta Filter(std::function<bool(const Record&)> fn,
+                    UdfMeta meta = UdfMeta{0.5, 1.0}) const;
+  DataQuanta Project(std::vector<int> columns) const;
+  DataQuanta Distinct() const;
+  DataQuanta Sort(std::function<Value(const Record&)> key) const;
+  DataQuanta Sample(double fraction, uint64_t seed = 42) const;
+  DataQuanta ZipWithId() const;
+
+  // --- aggregations ---------------------------------------------------------
+  /// `key_distinct_ratio` is the expected #distinct-keys / #records hint.
+  DataQuanta ReduceByKey(std::function<Value(const Record&)> key,
+                         std::function<Record(const Record&, const Record&)> reduce,
+                         double key_distinct_ratio = 0.1) const;
+  DataQuanta GroupByKey(
+      std::function<Value(const Record&)> key,
+      std::function<std::vector<Record>(const Value&, const std::vector<Record>&)> group,
+      double key_distinct_ratio = 0.1,
+      GroupByAlgorithm algorithm = GroupByAlgorithm::kHash) const;
+  DataQuanta GlobalReduce(
+      std::function<Record(const Record&, const Record&)> reduce) const;
+  DataQuanta Count() const;
+
+  // --- binary ----------------------------------------------------------------
+  DataQuanta BroadcastMap(
+      const DataQuanta& broadcast,
+      std::function<Record(const Record&, const Dataset&)> fn,
+      UdfMeta meta = UdfMeta()) const;
+  DataQuanta Join(const DataQuanta& right,
+                  std::function<Value(const Record&)> left_key,
+                  std::function<Value(const Record&)> right_key,
+                  JoinAlgorithm algorithm = JoinAlgorithm::kHash) const;
+  DataQuanta ThetaJoin(const DataQuanta& right,
+                       std::function<bool(const Record&, const Record&)> condition,
+                       double selectivity = 0.1) const;
+  DataQuanta IEJoin(const DataQuanta& right, IEJoinSpec spec) const;
+  DataQuanta Cross(const DataQuanta& right) const;
+  DataQuanta Union(const DataQuanta& right) const;
+  /// Set intersection / difference with distinct output (Spark semantics).
+  DataQuanta Intersect(const DataQuanta& right) const;
+  DataQuanta Subtract(const DataQuanta& right) const;
+  /// The k records with the smallest (ascending) or largest keys, in order.
+  DataQuanta TopK(int64_t k, std::function<Value(const Record&)> key,
+                  bool ascending = true) const;
+
+  // --- iteration --------------------------------------------------------------
+  /// Runs `body` for `iterations` rounds. `*this` is the initial state and
+  /// `data` the loop-invariant dataset; the body receives DataQuanta for the
+  /// current state and the data and returns the next state.
+  DataQuanta Repeat(
+      int iterations, const DataQuanta& data,
+      const std::function<DataQuanta(DataQuanta state, DataQuanta data)>& body)
+      const;
+  /// Runs `body` while `condition(state, iteration)` holds (bounded by
+  /// `max_iterations`).
+  DataQuanta DoWhile(
+      std::function<bool(const Dataset&, int)> condition, int max_iterations,
+      const DataQuanta& data,
+      const std::function<DataQuanta(DataQuanta state, DataQuanta data)>& body)
+      const;
+
+  /// Pins this operator (and nothing else) to the named platform.
+  DataQuanta OnPlatform(const std::string& platform) const;
+
+  // --- terminals ---------------------------------------------------------------
+  Result<Dataset> Collect() const;
+  Result<ExecutionResult> CollectWithMetrics() const;
+  /// Compiles without executing; returns the multi-stage execution plan
+  /// rendered as text.
+  Result<std::string> Explain() const;
+
+ private:
+  friend class RheemJob;
+  DataQuanta(RheemJob* job, GenericLogicalOp* node) : job_(job), node_(node) {}
+
+  GenericLogicalOp* Append(OpKind kind,
+                           std::vector<GenericLogicalOp*> inputs) const;
+
+  static std::shared_ptr<LogicalLoopSpec> BuildLoopBody(
+      const std::function<DataQuanta(DataQuanta, DataQuanta)>& body);
+
+  RheemJob* job_ = nullptr;
+  GenericLogicalOp* node_ = nullptr;
+};
+
+/// \brief One logical plan under construction plus its execution options.
+class RheemJob {
+ public:
+  explicit RheemJob(RheemContext* ctx);
+
+  RheemJob(const RheemJob&) = delete;
+  RheemJob& operator=(const RheemJob&) = delete;
+
+  /// Starts a dataflow from an in-memory dataset.
+  DataQuanta LoadCollection(Dataset data);
+
+  /// Starts a dataflow from a dataset resident on the storage layer —
+  /// locating it on whichever backend holds it (the processing/storage
+  /// bridge between the paper's two abstractions).
+  Result<DataQuanta> LoadFromStorage(const storage::StorageManager& manager,
+                                     const std::string& dataset);
+
+  RheemContext* context() const { return ctx_; }
+  Plan& logical_plan() { return *plan_; }
+  const std::shared_ptr<Plan>& plan_ptr() const { return plan_; }
+
+  /// Execution knobs applied by the terminal methods.
+  ExecutionOptions& options() { return options_; }
+
+ private:
+  friend class DataQuanta;
+  // Body-plan constructor used by Repeat/DoWhile.
+  RheemJob(RheemContext* ctx, std::shared_ptr<Plan> plan)
+      : ctx_(ctx), plan_(std::move(plan)) {}
+
+  RheemContext* ctx_;
+  std::shared_ptr<Plan> plan_;
+  ExecutionOptions options_;
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_API_DATA_QUANTA_H_

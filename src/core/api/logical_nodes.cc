@@ -1,0 +1,80 @@
+#include "core/api/logical_nodes.h"
+
+namespace rheem {
+
+int GenericLogicalOp::arity() const {
+  switch (kind_) {
+    case OpKind::kCollectionSource:
+    case OpKind::kStageInput:
+    case OpKind::kLoopState:
+    case OpKind::kLoopData:
+      return 0;
+    case OpKind::kBroadcastMap:
+    case OpKind::kJoin:
+    case OpKind::kThetaJoin:
+    case OpKind::kIEJoin:
+    case OpKind::kCrossProduct:
+    case OpKind::kUnion:
+    case OpKind::kIntersect:
+    case OpKind::kSubtract:
+    case OpKind::kRepeat:
+    case OpKind::kDoWhile:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+Status GenericLogicalOp::ApplyOp(const Record& in, std::vector<Record>* out) {
+  switch (kind_) {
+    case OpKind::kMap:
+      if (!map.fn) return Status::InvalidArgument("Map UDF not set");
+      out->push_back(map.fn(in));
+      return Status::OK();
+    case OpKind::kFlatMap: {
+      if (!flat_map.fn) return Status::InvalidArgument("FlatMap UDF not set");
+      for (auto& r : flat_map.fn(in)) out->push_back(std::move(r));
+      return Status::OK();
+    }
+    case OpKind::kFilter:
+      if (!predicate.fn) return Status::InvalidArgument("Filter UDF not set");
+      if (predicate.fn(in)) out->push_back(in);
+      return Status::OK();
+    case OpKind::kProject:
+      out->push_back(in.Project(columns));
+      return Status::OK();
+    default:
+      return Status::Unsupported(
+          kind_name() +
+          " is a set-oriented template; it has no per-quantum ApplyOp");
+  }
+}
+
+double GenericLogicalOp::SelectivityHint() const {
+  switch (kind_) {
+    case OpKind::kMap: return map.meta.selectivity;
+    case OpKind::kFlatMap: return flat_map.meta.selectivity;
+    case OpKind::kFilter: return predicate.meta.selectivity;
+    case OpKind::kSample: return fraction;
+    case OpKind::kReduceByKey:
+    case OpKind::kGroupByKey:
+      return key.meta.selectivity;
+    case OpKind::kThetaJoin: return theta.meta.selectivity;
+    default: return 1.0;
+  }
+}
+
+double GenericLogicalOp::CostHint() const {
+  switch (kind_) {
+    case OpKind::kMap: return map.meta.cost_factor;
+    case OpKind::kFlatMap: return flat_map.meta.cost_factor;
+    case OpKind::kFilter: return predicate.meta.cost_factor;
+    case OpKind::kBroadcastMap: return broadcast_map.meta.cost_factor;
+    case OpKind::kReduceByKey: return reduce.meta.cost_factor;
+    case OpKind::kGroupByKey: return group.meta.cost_factor;
+    case OpKind::kThetaJoin: return theta.meta.cost_factor;
+    default: return 1.0;
+  }
+}
+
+}  // namespace rheem

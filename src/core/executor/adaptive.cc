@@ -1,0 +1,152 @@
+#include "core/executor/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "core/executor/execution_state.h"
+#include "data/serialization.h"
+
+namespace rheem {
+
+namespace {
+
+std::string DescribeError(const Operator* op, double estimated, double actual) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "#%d %s estimated %.0f records but produced %.0f",
+                op->id(), op->kind_name().c_str(), estimated, actual);
+  return buf;
+}
+
+}  // namespace
+
+Result<AdaptiveResult> AdaptiveExecutor::Execute(
+    const Plan& plan, const AdaptiveOptions& options) const {
+  RHEEM_RETURN_IF_ERROR(plan.Validate());
+
+  AdaptiveResult result;
+  ExecutionState state;
+  std::set<int> executed_ops;  // ops whose stage has completed
+  EstimateMap actuals;         // op id -> observed Estimate for boundary data
+
+  RHEEM_ASSIGN_OR_RETURN(EstimateMap estimates,
+                         CardinalityEstimator::Estimate(plan));
+  Enumerator enumerator(registry_, movement_);
+
+  EnumeratorOptions eo = options.enumerator;
+  RHEEM_ASSIGN_OR_RETURN(PlatformAssignment assignment,
+                         enumerator.Run(plan, estimates, eo));
+
+  bool finished = false;
+  while (!finished) {
+    RHEEM_ASSIGN_OR_RETURN(ExecutionPlan eplan,
+                           StageSplitter::Split(plan, assignment));
+    bool reoptimized = false;
+
+    for (const Stage& stage : eplan.stages) {
+      // Skip stages whose products are already materialized.
+      bool satisfied = !stage.outputs().empty();
+      for (const Operator* out : stage.outputs()) {
+        satisfied = satisfied && state.Has(out->id());
+      }
+      if (satisfied) continue;
+
+      // Assemble boundary inputs (cross-platform data really converts).
+      BoundaryMap boundary;
+      std::vector<Dataset> converted;
+      converted.reserve(stage.boundary_inputs().size());
+      for (const Operator* producer : stage.boundary_inputs()) {
+        RHEEM_ASSIGN_OR_RETURN(const Dataset* data, state.Get(producer->id()));
+        Platform* from = assignment.by_op.count(producer->id()) > 0
+                             ? assignment.by_op.at(producer->id())
+                             : nullptr;
+        if (from != nullptr && from != stage.platform()) {
+          result.metrics.moved_records += static_cast<int64_t>(data->size());
+          Stopwatch sw;
+          std::string wire = Serializer::EncodeDataset(*data);
+          result.metrics.moved_bytes += static_cast<int64_t>(wire.size());
+          auto decoded = Serializer::DecodeDataset(wire);
+          if (!decoded.ok()) {
+            return decoded.status().WithContext("adaptive boundary conversion");
+          }
+          converted.push_back(std::move(decoded).ValueOrDie());
+          result.metrics.wall_micros += sw.ElapsedMicros();
+          boundary[producer->id()] = &converted.back();
+        } else {
+          boundary[producer->id()] = data;
+        }
+      }
+
+      ExecutionMetrics stage_metrics;
+      Stopwatch sw;
+      RHEEM_ASSIGN_OR_RETURN(
+          std::vector<Dataset> outputs,
+          stage.platform()->ExecuteStage(stage, boundary, &stage_metrics));
+      result.metrics.MergeFrom(stage_metrics);
+      result.metrics.wall_micros += sw.ElapsedMicros();
+      result.metrics.stages_run += 1;
+
+      // Record actuals and check estimation error on this stage's products.
+      double worst_error = 1.0;
+      const Operator* worst_op = nullptr;
+      for (std::size_t i = 0; i < outputs.size(); ++i) {
+        const Operator* out = stage.outputs()[i];
+        const double actual = static_cast<double>(outputs[i].size());
+        const double avg_bytes =
+            outputs[i].empty()
+                ? 32.0
+                : static_cast<double>(outputs[i].EstimatedBytes()) /
+                      static_cast<double>(outputs[i].size());
+        actuals[out->id()] = Estimate{actual, avg_bytes};
+        const double estimated =
+            std::max(1.0, estimates.at(out->id()).cardinality);
+        const double error = std::max((actual + 1.0) / (estimated + 1.0),
+                                      (estimated + 1.0) / (actual + 1.0));
+        if (error > worst_error) {
+          worst_error = error;
+          worst_op = out;
+        }
+        state.Put(out->id(), std::move(outputs[i]));
+      }
+      for (const Operator* op : stage.ops()) executed_ops.insert(op->id());
+
+      const bool is_final = stage.id() == eplan.final_stage;
+      if (!is_final && worst_error > options.reoptimize_threshold &&
+          result.reoptimizations < options.max_reoptimizations) {
+        // Mid-flight re-optimization: refresh estimates from observed data,
+        // pin everything already executed, and re-enumerate the rest.
+        result.reoptimizations += 1;
+        result.decisions.push_back(
+            "re-optimizing after stage " + std::to_string(stage.id()) + ": " +
+            DescribeError(worst_op, estimates.at(worst_op->id()).cardinality,
+                          actuals.at(worst_op->id()).cardinality));
+        RHEEM_LOG(Info) << result.decisions.back();
+
+        RHEEM_ASSIGN_OR_RETURN(estimates,
+                               CardinalityEstimator::Estimate(plan, actuals));
+        EnumeratorOptions pinned = options.enumerator;
+        for (int op_id : executed_ops) {
+          pinned.pinned_platforms[op_id] =
+              assignment.by_op.at(op_id)->name();
+        }
+        RHEEM_ASSIGN_OR_RETURN(assignment,
+                               enumerator.Run(plan, estimates, pinned));
+        reoptimized = true;
+        break;  // rebuild stages under the new assignment
+      }
+    }
+    finished = !reoptimized;
+  }
+
+  RHEEM_ASSIGN_OR_RETURN(const Dataset* final_data,
+                         state.Get(plan.sink()->id()));
+  result.output = *final_data;
+  result.metrics.jobs_run += 1;
+  return result;
+}
+
+}  // namespace rheem

@@ -1,0 +1,65 @@
+#ifndef RHEEM_CORE_EXECUTOR_ADAPTIVE_H_
+#define RHEEM_CORE_EXECUTOR_ADAPTIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/executor/monitor.h"
+#include "core/optimizer/enumerator.h"
+#include "core/optimizer/stage_splitter.h"
+
+namespace rheem {
+
+/// Knobs for adaptive execution.
+struct AdaptiveOptions {
+  /// Re-optimize when an executed operator's actual cardinality differs from
+  /// its estimate by more than this factor (in either direction).
+  double reoptimize_threshold = 3.0;
+  /// Upper bound on mid-job re-optimizations.
+  int max_reoptimizations = 3;
+  /// Forwarded to every enumeration round (force platform, movement
+  /// awareness; pins are managed internally).
+  EnumeratorOptions enumerator;
+};
+
+/// Result of an adaptive run.
+struct AdaptiveResult {
+  Dataset output;
+  ExecutionMetrics metrics;
+  int reoptimizations = 0;
+  /// Human-readable trace of adaptation decisions.
+  std::vector<std::string> decisions;
+};
+
+/// \brief Adaptive cross-platform executor: executes a physical plan stage
+/// by stage and, whenever the observed cardinalities contradict the
+/// estimates the platform assignment was based on, re-runs the
+/// multi-platform optimizer for the *remaining* operators (executed ones
+/// are pinned to where they ran, so their materialized results stay valid).
+///
+/// This implements the feedback edge the paper draws between the Executor's
+/// monitoring duty and the optimizer (§4.2): a plan routed to the
+/// lightweight platform because a UDF was estimated to be selective gets
+/// rerouted to the parallel platform the moment the estimate is exposed as
+/// wrong — without recomputing anything already produced.
+class AdaptiveExecutor {
+ public:
+  AdaptiveExecutor(const PlatformRegistry* registry,
+                   const MovementCostModel* movement)
+      : registry_(registry), movement_(movement) {}
+
+  /// Optimizes and executes `plan` adaptively. The plan must be physical and
+  /// validated; it is not mutated structurally (algorithm variants may be
+  /// flipped by enumeration, as in the static path).
+  Result<AdaptiveResult> Execute(const Plan& plan,
+                                 const AdaptiveOptions& options = {}) const;
+
+ private:
+  const PlatformRegistry* registry_;
+  const MovementCostModel* movement_;
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_EXECUTOR_ADAPTIVE_H_

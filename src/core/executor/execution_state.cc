@@ -1,0 +1,20 @@
+#include "core/executor/execution_state.h"
+
+namespace rheem {
+
+void ExecutionState::Put(int op_id, Dataset data) {
+  store_[op_id] = std::move(data);
+}
+
+Result<const Dataset*> ExecutionState::Get(int op_id) const {
+  auto it = store_.find(op_id);
+  if (it == store_.end()) {
+    return Status::ExecutionError("no materialized result for operator #" +
+                                  std::to_string(op_id));
+  }
+  return &it->second;
+}
+
+void ExecutionState::Evict(int op_id) { store_.erase(op_id); }
+
+}  // namespace rheem

@@ -1,0 +1,37 @@
+#ifndef RHEEM_CORE_EXECUTOR_EXECUTION_STATE_H_
+#define RHEEM_CORE_EXECUTOR_EXECUTION_STATE_H_
+
+#include <unordered_map>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace rheem {
+
+/// \brief Materialized intermediate results at task-atom boundaries.
+///
+/// Keyed by producer operator id. The executor writes each stage's boundary
+/// outputs here and assembles the BoundaryMap for downstream stages from it.
+class ExecutionState {
+ public:
+  ExecutionState() = default;
+
+  void Put(int op_id, Dataset data);
+
+  /// Borrow a stored dataset; errors when the producer has not run.
+  Result<const Dataset*> Get(int op_id) const;
+
+  bool Has(int op_id) const { return store_.count(op_id) > 0; }
+
+  /// Drops a dataset no longer needed (keeps peak memory in check).
+  void Evict(int op_id);
+
+  std::size_t size() const { return store_.size(); }
+
+ private:
+  std::unordered_map<int, Dataset> store_;
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_EXECUTOR_EXECUTION_STATE_H_

@@ -1,0 +1,203 @@
+#include "core/executor/executor.h"
+
+#include <filesystem>
+#include <map>
+#include <set>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "core/executor/execution_state.h"
+#include "data/serialization.h"
+
+namespace rheem {
+
+CrossPlatformExecutor::CrossPlatformExecutor(Config config)
+    : config_(std::move(config)) {}
+
+Result<ExecutionResult> CrossPlatformExecutor::Execute(
+    const ExecutionPlan& eplan) {
+  if (eplan.plan == nullptr || eplan.stages.empty()) {
+    return Status::InvalidPlan("empty execution plan");
+  }
+  RHEEM_ASSIGN_OR_RETURN(int64_t max_retries,
+                         config_.GetInt("executor.max_retries", 2));
+  RHEEM_ASSIGN_OR_RETURN(bool serialize_boundaries,
+                         config_.GetBool("executor.serialize_boundaries", true));
+  RHEEM_ASSIGN_OR_RETURN(std::string checkpoint_dir,
+                         config_.GetString("executor.checkpoint_dir", ""));
+  RHEEM_ASSIGN_OR_RETURN(std::string job_id,
+                         config_.GetString("executor.job_id", "job"));
+  if (!checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(checkpoint_dir, ec);
+  }
+  auto checkpoint_path = [&](int op_id) {
+    return checkpoint_dir + "/" + job_id + "_op" + std::to_string(op_id) +
+           ".bin";
+  };
+
+  ExecutionState state;
+  ExecutionMetrics metrics;
+  metrics.jobs_run += 1;
+
+  // Reference counts for eviction: how many stages still consume each
+  // boundary dataset.
+  std::map<int, int> consumers_left;
+  for (const Stage& stage : eplan.stages) {
+    for (const Operator* in : stage.boundary_inputs()) {
+      ++consumers_left[in->id()];
+    }
+  }
+
+  for (const Stage& stage : eplan.stages) {
+    // Fault recovery: if every product of this stage survives from a prior
+    // run of the same job id, restore it instead of re-executing.
+    if (!checkpoint_dir.empty() && !stage.outputs().empty()) {
+      std::vector<Dataset> restored;
+      bool all_present = true;
+      for (const Operator* out : stage.outputs()) {
+        auto content = ReadFileToString(checkpoint_path(out->id()));
+        if (!content.ok()) {
+          all_present = false;
+          break;
+        }
+        auto decoded = Serializer::DecodeDataset(*content);
+        if (!decoded.ok()) {
+          all_present = false;
+          break;
+        }
+        restored.push_back(std::move(decoded).ValueOrDie());
+      }
+      if (all_present) {
+        for (std::size_t i = 0; i < restored.size(); ++i) {
+          state.Put(stage.outputs()[i]->id(), std::move(restored[i]));
+        }
+        if (monitor_ != nullptr) {
+          ExecutionMonitor::StageRecord record;
+          record.stage_id = stage.id();
+          record.platform = stage.platform()->name();
+          record.succeeded = true;
+          record.error = "restored from checkpoint";
+          monitor_->RecordStage(record);
+        }
+        continue;
+      }
+    }
+
+    // Assemble this stage's boundary inputs, converting across platforms.
+    BoundaryMap boundary;
+    std::vector<Dataset> converted;  // keep conversions alive for the call
+    converted.reserve(stage.boundary_inputs().size());
+    for (const Operator* producer : stage.boundary_inputs()) {
+      RHEEM_ASSIGN_OR_RETURN(const Dataset* data, state.Get(producer->id()));
+      Platform* from =
+          eplan.assignment.by_op.count(producer->id()) > 0
+              ? eplan.assignment.by_op.at(producer->id())
+              : nullptr;
+      const bool crosses = from != nullptr && from != stage.platform();
+      if (crosses) {
+        metrics.moved_records += static_cast<int64_t>(data->size());
+        if (serialize_boundaries) {
+          // Real work: encode on the producer side, decode on the consumer
+          // side (ChannelKind::kSerializedStream).
+          Stopwatch sw;
+          std::string wire = Serializer::EncodeDataset(*data);
+          metrics.moved_bytes += static_cast<int64_t>(wire.size());
+          auto decoded = Serializer::DecodeDataset(wire);
+          if (!decoded.ok()) {
+            return decoded.status().WithContext("boundary conversion");
+          }
+          converted.push_back(std::move(decoded).ValueOrDie());
+          metrics.wall_micros += sw.ElapsedMicros();
+          boundary[producer->id()] = &converted.back();
+          continue;
+        }
+        metrics.moved_bytes += Serializer::EncodedSize(*data);
+      }
+      boundary[producer->id()] = data;
+    }
+
+    // Execute with retries.
+    Status last_error = Status::OK();
+    bool done = false;
+    for (int attempt = 0; attempt <= max_retries && !done; ++attempt) {
+      if (attempt > 0) ++metrics.retries;
+      ExecutionMetrics stage_metrics;
+      Stopwatch sw;
+      Status injected =
+          failure_injector_ ? failure_injector_(stage, attempt) : Status::OK();
+      Result<std::vector<Dataset>> outputs =
+          injected.ok()
+              ? stage.platform()->ExecuteStage(stage, boundary, &stage_metrics)
+              : Result<std::vector<Dataset>>(injected);
+      const int64_t wall = sw.ElapsedMicros();
+
+      ExecutionMonitor::StageRecord record;
+      record.stage_id = stage.id();
+      record.platform = stage.platform()->name();
+      record.attempt = attempt;
+      record.wall_micros = wall;
+      record.sim_overhead_micros = stage_metrics.sim_overhead_micros;
+
+      if (outputs.ok()) {
+        auto out = std::move(outputs).ValueOrDie();
+        if (out.size() != stage.outputs().size()) {
+          return Status::Internal(
+              "platform '" + stage.platform()->name() + "' returned " +
+              std::to_string(out.size()) + " outputs for stage " +
+              std::to_string(stage.id()) + " but " +
+              std::to_string(stage.outputs().size()) + " were declared");
+        }
+        metrics.MergeFrom(stage_metrics);
+        metrics.wall_micros += wall;
+        metrics.stages_run += 1;
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          record.output_records += static_cast<int64_t>(out[i].size());
+          if (!checkpoint_dir.empty()) {
+            Status written = WriteStringToFile(
+                checkpoint_path(stage.outputs()[i]->id()),
+                Serializer::EncodeDataset(out[i]));
+            if (!written.ok()) {
+              RHEEM_LOG(Warning) << "checkpoint write failed: "
+                                 << written.ToString();
+            }
+          }
+          state.Put(stage.outputs()[i]->id(), std::move(out[i]));
+        }
+        record.succeeded = true;
+        done = true;
+      } else {
+        last_error = outputs.status();
+        record.succeeded = false;
+        record.error = last_error.ToString();
+        RHEEM_LOG(Warning) << "stage " << stage.id() << " attempt " << attempt
+                           << " failed: " << last_error.ToString();
+      }
+      if (monitor_ != nullptr) monitor_->RecordStage(record);
+    }
+    if (!done) {
+      return last_error.WithContext(
+          "stage " + std::to_string(stage.id()) + " failed after " +
+          std::to_string(max_retries + 1) + " attempt(s)");
+    }
+
+    // Evict boundary inputs no longer needed by later stages.
+    for (const Operator* producer : stage.boundary_inputs()) {
+      auto it = consumers_left.find(producer->id());
+      if (it != consumers_left.end() && --it->second == 0 &&
+          producer != eplan.plan->sink()) {
+        state.Evict(producer->id());
+      }
+    }
+  }
+
+  RHEEM_ASSIGN_OR_RETURN(const Dataset* final_data,
+                         state.Get(eplan.plan->sink()->id()));
+  ExecutionResult result;
+  result.output = *final_data;
+  result.metrics = metrics;
+  return result;
+}
+
+}  // namespace rheem

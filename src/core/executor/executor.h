@@ -1,0 +1,61 @@
+#ifndef RHEEM_CORE_EXECUTOR_EXECUTOR_H_
+#define RHEEM_CORE_EXECUTOR_EXECUTOR_H_
+
+#include <functional>
+
+#include "common/config.h"
+#include "common/result.h"
+#include "core/executor/monitor.h"
+#include "core/optimizer/stage_splitter.h"
+
+namespace rheem {
+
+/// \brief Result of executing one RHEEM job end to end.
+struct ExecutionResult {
+  Dataset output;
+  ExecutionMetrics metrics;
+};
+
+/// \brief RHEEM's Executor (paper Figure 1 / §4.2): schedules the execution
+/// plan's task atoms onto their platforms, moves data across platform
+/// boundaries, monitors progress, retries failed atoms, and hands the final
+/// aggregate back to the caller.
+///
+/// Cross-platform boundaries perform *real* serialization+deserialization of
+/// the crossing datasets (ChannelKind::kSerializedStream), so the movement
+/// costs reported by benchmarks are measured, not modelled.
+///
+/// Config keys:
+///   executor.max_retries        (int, default 2)   retries per failed stage
+///   executor.serialize_boundaries (bool, default true)
+///   executor.checkpoint_dir     (string, default "" = off): directory where
+///       every stage's boundary outputs are persisted; a re-run of the same
+///       job (keyed by executor.job_id) skips stages whose products are
+///       already checkpointed — coarse-grained fault recovery for long
+///       multi-platform jobs ("coping with failures", paper §4.2).
+///   executor.job_id             (string, default "job")
+class CrossPlatformExecutor {
+ public:
+  /// Fault hook for tests/benchmarks: called before each stage attempt; a
+  /// non-OK return is treated as a platform failure of that attempt.
+  using FailureInjector = std::function<Status(const Stage&, int attempt)>;
+
+  explicit CrossPlatformExecutor(Config config = Config());
+
+  void set_failure_injector(FailureInjector injector) {
+    failure_injector_ = std::move(injector);
+  }
+  void set_monitor(ExecutionMonitor* monitor) { monitor_ = monitor; }
+
+  /// Runs all stages of `eplan` and returns the plan sink's output.
+  Result<ExecutionResult> Execute(const ExecutionPlan& eplan);
+
+ private:
+  Config config_;
+  FailureInjector failure_injector_;
+  ExecutionMonitor* monitor_ = nullptr;  // optional, not owned
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_EXECUTOR_EXECUTOR_H_

@@ -1,0 +1,39 @@
+#include "core/executor/monitor.h"
+
+#include <cstdio>
+
+namespace rheem {
+
+void ExecutionMonitor::RecordStage(StageRecord record) {
+  records_.push_back(std::move(record));
+}
+
+int64_t ExecutionMonitor::failures() const {
+  int64_t n = 0;
+  for (const auto& r : records_) {
+    if (!r.succeeded) ++n;
+  }
+  return n;
+}
+
+std::string ExecutionMonitor::Report() const {
+  std::string out = "execution report (" + std::to_string(records_.size()) +
+                    " stage attempt(s))\n";
+  char buf[256];
+  for (const auto& r : records_) {
+    std::snprintf(buf, sizeof(buf),
+                  "  stage %d on %-10s attempt %d: %s wall=%.3fms sim=%.3fms "
+                  "out=%lld%s%s\n",
+                  r.stage_id, r.platform.c_str(), r.attempt,
+                  r.succeeded ? "ok  " : "FAIL",
+                  static_cast<double>(r.wall_micros) * 1e-3,
+                  static_cast<double>(r.sim_overhead_micros) * 1e-3,
+                  static_cast<long long>(r.output_records),
+                  r.error.empty() ? "" : " error=",
+                  r.error.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace rheem

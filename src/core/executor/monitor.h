@@ -1,0 +1,43 @@
+#ifndef RHEEM_CORE_EXECUTOR_MONITOR_H_
+#define RHEEM_CORE_EXECUTOR_MONITOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/mapping/platform.h"
+
+namespace rheem {
+
+/// \brief Per-stage progress log kept by the Executor (paper §4.2: the
+/// Executor monitors the progress of plan execution).
+class ExecutionMonitor {
+ public:
+  struct StageRecord {
+    int stage_id = -1;
+    std::string platform;
+    int attempt = 0;           // 0 = first try
+    bool succeeded = false;
+    std::string error;         // when failed
+    int64_t wall_micros = 0;
+    int64_t sim_overhead_micros = 0;
+    int64_t output_records = 0;
+  };
+
+  void RecordStage(StageRecord record);
+
+  const std::vector<StageRecord>& records() const { return records_; }
+
+  /// Number of failed attempts observed.
+  int64_t failures() const;
+
+  /// Human-readable execution report (one line per stage attempt).
+  std::string Report() const;
+
+ private:
+  std::vector<StageRecord> records_;
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_EXECUTOR_MONITOR_H_

@@ -1,0 +1,198 @@
+#include "core/mapping/declarative.h"
+
+#include <cstdlib>
+#include <map>
+
+#include "common/string_util.h"
+#include "core/optimizer/stage_splitter.h"
+#include "platforms/javasim/javasim_operators.h"
+
+namespace rheem {
+
+namespace {
+
+/// Splits a statement into tokens; quoted strings become single tokens.
+Result<std::vector<std::string>> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  bool in_quotes = false;
+  for (char c : line) {
+    if (in_quotes) {
+      if (c == '"') {
+        tokens.push_back(current);
+        current.clear();
+        in_quotes = false;
+      } else {
+        current += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      if (!current.empty()) {
+        return Status::InvalidArgument("quote in the middle of a token: " + line);
+      }
+      in_quotes = true;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quote: " + line);
+  if (!current.empty()) tokens.push_back(current);
+  // Optional trailing '.' terminator (the RDF-triple flavor).
+  if (!tokens.empty() && tokens.back() == ".") tokens.pop_back();
+  if (!tokens.empty() && tokens.back().size() > 1 && tokens.back().back() == '.') {
+    tokens.back().pop_back();
+  }
+  return tokens;
+}
+
+Result<double> ParseNumber(const std::string& token, const std::string& line) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    return Status::InvalidArgument("expected a number, got '" + token +
+                                   "' in: " + line);
+  }
+  return v;
+}
+
+Status ApplyCostStatement(BasicCostModel::Params* params,
+                          const std::string& key, double value,
+                          const std::string& line) {
+  if (key == "per_quantum_us") {
+    params->per_quantum_micros = value;
+  } else if (key == "parallelism") {
+    params->parallelism = value;
+  } else if (key == "stage_overhead_us") {
+    params->stage_overhead_micros = value;
+  } else if (key == "job_overhead_us") {
+    params->job_overhead_micros = value;
+  } else if (key == "boundary_us_per_byte") {
+    params->boundary_micros_per_byte = value;
+  } else if (key == "boundary_fixed_us") {
+    params->boundary_fixed_micros = value;
+  } else if (key == "shuffle_us_per_quantum") {
+    params->shuffle_micros_per_quantum = value;
+  } else {
+    return Status::InvalidArgument("unknown cost key '" + key + "' in: " + line);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<DeclarativePlatformSpec>> ParsePlatformSpecs(
+    const std::string& text) {
+  std::vector<DeclarativePlatformSpec> specs;
+  std::map<std::string, std::size_t> index;
+
+  for (const std::string& raw : SplitString(text, '\n')) {
+    std::string line(TrimWhitespace(raw));
+    if (line.empty() || line[0] == '#') continue;
+    RHEEM_ASSIGN_OR_RETURN(std::vector<std::string> tokens, Tokenize(line));
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "platform") {
+      if (tokens.size() != 2) {
+        return Status::InvalidArgument("platform statement wants one name: " +
+                                       line);
+      }
+      if (index.count(tokens[1]) > 0) {
+        return Status::AlreadyExists("platform '" + tokens[1] +
+                                     "' declared twice");
+      }
+      index[tokens[1]] = specs.size();
+      DeclarativePlatformSpec spec;
+      spec.name = tokens[1];
+      specs.push_back(std::move(spec));
+      continue;
+    }
+
+    auto it = index.find(tokens[0]);
+    if (it == index.end()) {
+      return Status::InvalidArgument(
+          "statement about undeclared platform '" + tokens[0] + "': " + line);
+    }
+    DeclarativePlatformSpec& spec = specs[it->second];
+
+    if (tokens.size() >= 4 && tokens[1] == "maps" && tokens[3] == "to") {
+      if (tokens.size() < 5) {
+        return Status::InvalidArgument("maps statement wants a target: " + line);
+      }
+      OperatorMapping mapping;
+      // Kind[/Variant]
+      const auto slash = tokens[2].find('/');
+      const std::string kind_name = tokens[2].substr(0, slash);
+      RHEEM_ASSIGN_OR_RETURN(mapping.kind, OpKindFromString(kind_name));
+      if (slash != std::string::npos) {
+        mapping.variant = tokens[2].substr(slash + 1);
+      }
+      mapping.execution_operator = tokens[4];
+      for (std::size_t i = 5; i + 1 < tokens.size(); i += 2) {
+        if (tokens[i] == "weight") {
+          RHEEM_ASSIGN_OR_RETURN(mapping.cost_weight,
+                                 ParseNumber(tokens[i + 1], line));
+        } else if (tokens[i] == "context") {
+          mapping.context = tokens[i + 1];
+        } else {
+          return Status::InvalidArgument("unknown maps attribute '" +
+                                         tokens[i] + "' in: " + line);
+        }
+      }
+      spec.mappings.Add(std::move(mapping));
+      continue;
+    }
+
+    if (tokens.size() == 4 && tokens[1] == "cost") {
+      RHEEM_ASSIGN_OR_RETURN(double value, ParseNumber(tokens[3], line));
+      RHEEM_RETURN_IF_ERROR(
+          ApplyCostStatement(&spec.cost_params, tokens[2], value, line));
+      continue;
+    }
+
+    return Status::InvalidArgument("unparseable statement: " + line);
+  }
+  return specs;
+}
+
+DeclarativePlatform::DeclarativePlatform(DeclarativePlatformSpec spec)
+    : Platform(spec.name), cost_model_(spec.cost_params) {
+  mappings_ = std::move(spec.mappings);
+}
+
+Result<std::vector<Dataset>> DeclarativePlatform::ExecuteStage(
+    const Stage& stage, const BoundaryMap& boundary_inputs,
+    ExecutionMetrics* metrics) {
+  // Declared platforms run on the generic eager engine; their identity lives
+  // in the declared mappings (supportability/variants) and cost model.
+  metrics->sim_overhead_micros +=
+      static_cast<int64_t>(cost_model_.StageOverheadMicros());
+  javasim::DatasetWalker walker(metrics);
+  RHEEM_RETURN_IF_ERROR(walker.RunOps(stage.ops(), boundary_inputs));
+  std::vector<Dataset> outputs;
+  outputs.reserve(stage.outputs().size());
+  for (const Operator* out : stage.outputs()) {
+    RHEEM_ASSIGN_OR_RETURN(const Dataset* d, walker.ResultOf(out->id()));
+    outputs.push_back(*d);
+  }
+  return outputs;
+}
+
+Status RegisterDeclaredPlatforms(const std::string& text,
+                                 PlatformRegistry* registry) {
+  if (registry == nullptr) return Status::InvalidArgument("null registry");
+  RHEEM_ASSIGN_OR_RETURN(std::vector<DeclarativePlatformSpec> specs,
+                         ParsePlatformSpecs(text));
+  for (auto& spec : specs) {
+    RHEEM_RETURN_IF_ERROR(registry->Register(
+        std::make_unique<DeclarativePlatform>(std::move(spec))));
+  }
+  return Status::OK();
+}
+
+}  // namespace rheem

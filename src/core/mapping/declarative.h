@@ -1,0 +1,75 @@
+#ifndef RHEEM_CORE_MAPPING_DECLARATIVE_H_
+#define RHEEM_CORE_MAPPING_DECLARATIVE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/mapping/platform.h"
+
+namespace rheem {
+
+/// \brief Declarative platform specification — the paper's research
+/// challenge (1): "Developers will specify mappings between operators as
+/// well as encode rule- and cost-based models ... the optimizer will use
+/// this representation as a first-class citizen" (§8). The paper muses about
+/// RDF; this implementation keeps the same subject-predicate-object idea in
+/// a plain text format so adding a platform needs *zero* optimizer or C++
+/// changes beyond an execution engine.
+///
+/// Grammar (one statement per line, '#' comments, '.' terminator optional):
+///
+///   platform <name>
+///   <name> maps <Kind>[/<Variant>] to <ExecOpName> [weight <w>] [context "<text>"]
+///   <name> cost per_quantum_us <v>
+///   <name> cost parallelism <v>
+///   <name> cost stage_overhead_us <v>
+///   <name> cost job_overhead_us <v>
+///   <name> cost boundary_us_per_byte <v>
+///   <name> cost boundary_fixed_us <v>
+///   <name> cost shuffle_us_per_quantum <v>
+///
+/// Example:
+///
+///   platform turbo
+///   turbo maps Map to TurboMap weight 0.5 context "vectorized"
+///   turbo maps GroupByKey/SortGroupBy to TurboSortGroup weight 0.4
+///   turbo cost per_quantum_us 0.01
+///   turbo cost stage_overhead_us 250
+struct DeclarativePlatformSpec {
+  std::string name;
+  MappingTable mappings;
+  BasicCostModel::Params cost_params;
+};
+
+/// Parses one spec document (may declare several platforms).
+Result<std::vector<DeclarativePlatformSpec>> ParsePlatformSpecs(
+    const std::string& text);
+
+/// \brief A Platform constructed entirely from a declarative spec. Its
+/// execution engine is the generic eager in-process walker, so only the
+/// operators the spec maps are accepted — supportability, variants and
+/// costs all come from the text, never from code.
+class DeclarativePlatform : public Platform {
+ public:
+  explicit DeclarativePlatform(DeclarativePlatformSpec spec);
+
+  const PlatformCostModel& cost_model() const override { return cost_model_; }
+
+  Result<std::vector<Dataset>> ExecuteStage(const Stage& stage,
+                                            const BoundaryMap& boundary_inputs,
+                                            ExecutionMetrics* metrics) override;
+
+ private:
+  BasicCostModel cost_model_;
+};
+
+/// Convenience: parse `text` and register every declared platform with
+/// `registry`.
+Status RegisterDeclaredPlatforms(const std::string& text,
+                                 PlatformRegistry* registry);
+
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_MAPPING_DECLARATIVE_H_

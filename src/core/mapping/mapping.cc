@@ -1,0 +1,44 @@
+#include "core/mapping/mapping.h"
+
+#include <cstdio>
+
+namespace rheem {
+
+MappingTable& MappingTable::Add(OperatorMapping mapping) {
+  mappings_.push_back(std::move(mapping));
+  return *this;
+}
+
+const OperatorMapping* MappingTable::Find(const PhysicalOperator& op) const {
+  const OperatorMapping* wildcard = nullptr;
+  const std::string variant = op.kind_name();
+  for (const auto& m : mappings_) {
+    if (m.kind != op.kind()) continue;
+    if (!m.variant.empty()) {
+      if (m.variant == variant) return &m;  // exact variant wins
+    } else if (wildcard == nullptr) {
+      wildcard = &m;
+    }
+  }
+  return wildcard;
+}
+
+std::string MappingTable::ToString() const {
+  std::string out;
+  for (const auto& m : mappings_) {
+    out += OpKindToString(m.kind);
+    if (!m.variant.empty()) {
+      out += "/";
+      out += m.variant;
+    }
+    out += " -> " + m.execution_operator;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " (x%.2f)", m.cost_weight);
+    out += buf;
+    if (!m.context.empty()) out += "  # " + m.context;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace rheem

@@ -1,0 +1,57 @@
+#ifndef RHEEM_CORE_MAPPING_MAPPING_H_
+#define RHEEM_CORE_MAPPING_MAPPING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/operators/physical_ops.h"
+
+namespace rheem {
+
+/// \brief One declarative correspondence between a physical operator (kind +
+/// optional algorithmic variant) and a platform's execution operator.
+///
+/// Developers plug a new platform into RHEEM by *declaring* such mappings
+/// (paper §3.1 "Flexible operator mappings"); the optimizer consults them for
+/// supportability and relative cost, and the platform's stage walker
+/// dispatches to the named execution operator. `context` carries free-form
+/// hints to the optimizer, e.g. "prefers presorted input".
+struct OperatorMapping {
+  OpKind kind = OpKind::kMap;
+  /// Variant discriminator matching PhysicalOperator::kind_name()
+  /// ("HashGroupBy", "SortGroupBy", ...). Empty = any variant of the kind.
+  std::string variant;
+  /// Name of the execution operator on the target platform
+  /// (e.g. "MapPartitions", "ReduceByKey").
+  std::string execution_operator;
+  /// Per-data-quantum cost multiplier relative to the platform baseline.
+  double cost_weight = 1.0;
+  /// Optimizer hints (informational; surfaced in explain output).
+  std::string context;
+};
+
+/// \brief Ordered collection of a platform's operator mappings.
+class MappingTable {
+ public:
+  MappingTable() = default;
+
+  MappingTable& Add(OperatorMapping mapping);
+
+  /// Most specific applicable mapping for `op`: exact-variant first, then
+  /// kind-level wildcard. Null when the platform cannot execute `op`.
+  const OperatorMapping* Find(const PhysicalOperator& op) const;
+
+  bool Supports(const PhysicalOperator& op) const { return Find(op) != nullptr; }
+
+  const std::vector<OperatorMapping>& mappings() const { return mappings_; }
+
+  /// Multi-line "Kind[/variant] -> ExecOp (xW)" listing for docs/explain.
+  std::string ToString() const;
+
+ private:
+  std::vector<OperatorMapping> mappings_;
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_MAPPING_MAPPING_H_

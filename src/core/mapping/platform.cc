@@ -1,0 +1,64 @@
+#include "core/mapping/platform.h"
+
+#include <cstdio>
+
+namespace rheem {
+
+void ExecutionMetrics::MergeFrom(const ExecutionMetrics& other) {
+  wall_micros += other.wall_micros;
+  sim_overhead_micros += other.sim_overhead_micros;
+  jobs_run += other.jobs_run;
+  stages_run += other.stages_run;
+  tasks_launched += other.tasks_launched;
+  shuffle_bytes += other.shuffle_bytes;
+  moved_records += other.moved_records;
+  moved_bytes += other.moved_bytes;
+  retries += other.retries;
+}
+
+std::string ExecutionMetrics::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "total=%.3fms (wall=%.3fms sim=%.3fms) jobs=%lld stages=%lld "
+                "tasks=%lld shuffle=%lldB moved=%lldrec/%lldB retries=%lld",
+                static_cast<double>(TotalMicros()) * 1e-3,
+                static_cast<double>(wall_micros) * 1e-3,
+                static_cast<double>(sim_overhead_micros) * 1e-3,
+                static_cast<long long>(jobs_run),
+                static_cast<long long>(stages_run),
+                static_cast<long long>(tasks_launched),
+                static_cast<long long>(shuffle_bytes),
+                static_cast<long long>(moved_records),
+                static_cast<long long>(moved_bytes),
+                static_cast<long long>(retries));
+  return buf;
+}
+
+Status PlatformRegistry::Register(std::unique_ptr<Platform> platform) {
+  if (platform == nullptr) {
+    return Status::InvalidArgument("cannot register a null platform");
+  }
+  const std::string& name = platform->name();
+  if (platforms_.count(name) > 0) {
+    return Status::AlreadyExists("platform '" + name + "' already registered");
+  }
+  platforms_.emplace(name, std::move(platform));
+  return Status::OK();
+}
+
+Result<Platform*> PlatformRegistry::Get(const std::string& name) const {
+  auto it = platforms_.find(name);
+  if (it == platforms_.end()) {
+    return Status::NotFound("platform '" + name + "' is not registered");
+  }
+  return it->second.get();
+}
+
+std::vector<Platform*> PlatformRegistry::All() const {
+  std::vector<Platform*> out;
+  out.reserve(platforms_.size());
+  for (const auto& [name, p] : platforms_) out.push_back(p.get());
+  return out;
+}
+
+}  // namespace rheem

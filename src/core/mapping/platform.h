@@ -1,0 +1,112 @@
+#ifndef RHEEM_CORE_MAPPING_PLATFORM_H_
+#define RHEEM_CORE_MAPPING_PLATFORM_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/mapping/mapping.h"
+#include "core/optimizer/cost_model.h"
+#include "data/dataset.h"
+
+namespace rheem {
+
+class Stage;  // defined in core/optimizer/stage_splitter.h
+
+/// \brief Counters and timings gathered while executing a plan.
+///
+/// `wall_micros` is real measured time; `sim_overhead_micros` is the virtual
+/// time charged by platform overhead models (job submission, task launch).
+/// Benchmarks report TotalMicros(), the modelled end-to-end latency.
+struct ExecutionMetrics {
+  int64_t wall_micros = 0;
+  int64_t sim_overhead_micros = 0;
+  int64_t jobs_run = 0;
+  int64_t stages_run = 0;
+  int64_t tasks_launched = 0;
+  int64_t shuffle_bytes = 0;
+  int64_t moved_records = 0;   // across platform boundaries
+  int64_t moved_bytes = 0;     // across platform boundaries
+  int64_t retries = 0;
+
+  int64_t TotalMicros() const { return wall_micros + sim_overhead_micros; }
+  double TotalSeconds() const { return static_cast<double>(TotalMicros()) * 1e-6; }
+
+  void MergeFrom(const ExecutionMetrics& other);
+  std::string ToString() const;
+};
+
+/// Boundary data entering a stage: producer operator id -> its output.
+using BoundaryMap = std::unordered_map<int, const Dataset*>;
+
+/// \brief A data processing platform plugged into RHEEM's platform layer.
+///
+/// A platform declares which physical operators it can run (its
+/// MappingTable), how much they cost there (its PlatformCostModel), and knows
+/// how to execute a whole task atom (Stage) natively. The cross-platform
+/// executor only ever talks to platforms in units of stages and exchanges
+/// Datasets at the boundaries — exactly the paper's "task atoms are executed
+/// by the underlying platform" contract (§4.2).
+class Platform {
+ public:
+  virtual ~Platform() = default;
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  const std::string& name() const { return name_; }
+  const MappingTable& mappings() const { return mappings_; }
+
+  bool Supports(const PhysicalOperator& op) const {
+    return mappings_.Supports(op);
+  }
+
+  virtual const PlatformCostModel& cost_model() const = 0;
+
+  /// Executes the stage's subplan. `boundary_inputs` holds the materialized
+  /// outputs of upstream stages keyed by producer operator id. Returns one
+  /// Dataset per entry of Stage::outputs(), in order.
+  virtual Result<std::vector<Dataset>> ExecuteStage(
+      const Stage& stage, const BoundaryMap& boundary_inputs,
+      ExecutionMetrics* metrics) = 0;
+
+ protected:
+  explicit Platform(std::string name) : name_(std::move(name)) {}
+
+  MappingTable mappings_;  // populated by subclass constructors
+
+ private:
+  std::string name_;
+};
+
+/// \brief Registry of the platforms available to one RheemContext.
+///
+/// The optimizer enumerates over exactly these platforms; adding a platform
+/// to the registry (with its mappings and cost model) is all it takes for
+/// plans to start landing there — no optimizer changes (paper §4.2, req. 2).
+class PlatformRegistry {
+ public:
+  PlatformRegistry() = default;
+
+  PlatformRegistry(const PlatformRegistry&) = delete;
+  PlatformRegistry& operator=(const PlatformRegistry&) = delete;
+
+  Status Register(std::unique_ptr<Platform> platform);
+
+  Result<Platform*> Get(const std::string& name) const;
+
+  std::vector<Platform*> All() const;
+
+  std::size_t size() const { return platforms_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<Platform>> platforms_;
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_MAPPING_PLATFORM_H_

@@ -1,0 +1,26 @@
+#include "core/operators/descriptors.h"
+
+namespace rheem {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLess: return "<";
+    case CompareOp::kLessEqual: return "<=";
+    case CompareOp::kGreater: return ">";
+    case CompareOp::kGreaterEqual: return ">=";
+  }
+  return "?";
+}
+
+bool EvalCompare(CompareOp op, const Value& a, const Value& b) {
+  const int c = a.Compare(b);
+  switch (op) {
+    case CompareOp::kLess: return c < 0;
+    case CompareOp::kLessEqual: return c <= 0;
+    case CompareOp::kGreater: return c > 0;
+    case CompareOp::kGreaterEqual: return c >= 0;
+  }
+  return false;
+}
+
+}  // namespace rheem

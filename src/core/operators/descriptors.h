@@ -1,0 +1,113 @@
+#ifndef RHEEM_CORE_OPERATORS_DESCRIPTORS_H_
+#define RHEEM_CORE_OPERATORS_DESCRIPTORS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/record.h"
+#include "data/value.h"
+
+namespace rheem {
+
+/// \brief Optimizer-facing metadata attached to every UDF.
+///
+/// The paper (§4.2) requires the multi-platform optimizer to treat UDF
+/// operators as first-class citizens, in the spirit of Manimal/PACTs/SOFA.
+/// Since we cannot introspect a std::function, developers annotate their
+/// UDFs; the cardinality estimator and cost models consume these hints.
+struct UdfMeta {
+  /// Expected output quanta per input quantum (filters <1, flat maps >=1).
+  double selectivity = 1.0;
+  /// Relative CPU weight of one invocation; 1.0 = a few arithmetic ops.
+  double cost_factor = 1.0;
+
+  static UdfMeta Selective(double selectivity, double cost_factor = 1.0) {
+    return UdfMeta{selectivity, cost_factor};
+  }
+  static UdfMeta Expensive(double cost_factor) {
+    return UdfMeta{1.0, cost_factor};
+  }
+};
+
+/// Record -> Record transformation (Map).
+struct MapUdf {
+  std::function<Record(const Record&)> fn;
+  UdfMeta meta;
+};
+
+/// Record -> zero or more Records (FlatMap).
+struct FlatMapUdf {
+  std::function<std::vector<Record>(const Record&)> fn;
+  UdfMeta meta;
+};
+
+/// Record -> keep/drop decision (Filter).
+struct PredicateUdf {
+  std::function<bool(const Record&)> fn;
+  UdfMeta meta{0.5, 1.0};
+};
+
+/// Record -> grouping/join key.
+struct KeyUdf {
+  std::function<Value(const Record&)> fn;
+  UdfMeta meta;
+};
+
+/// Commutative+associative pairwise combiner (ReduceByKey, GlobalReduce).
+struct ReduceUdf {
+  std::function<Record(const Record&, const Record&)> fn;
+  UdfMeta meta;
+};
+
+/// Whole-group processor: (key, members) -> output records (GroupByKey).
+struct GroupUdf {
+  std::function<std::vector<Record>(const Value&, const std::vector<Record>&)> fn;
+  UdfMeta meta;
+};
+
+/// (main record, broadcast side input) -> Record. Models Spark-style
+/// broadcast variables; the side input is materialized once per task.
+struct BroadcastMapUdf {
+  std::function<Record(const Record&, const Dataset&)> fn;
+  UdfMeta meta;
+};
+
+/// Pairwise join predicate for theta joins.
+struct ThetaUdf {
+  std::function<bool(const Record&, const Record&)> fn;
+  UdfMeta meta{0.1, 1.0};
+};
+
+/// Loop continuation test over the loop's state dataset (DoWhile).
+struct LoopConditionUdf {
+  std::function<bool(const Dataset& state, int iteration)> fn;
+};
+
+/// Comparison operators usable in IEJoin / theta-join specifications.
+enum class CompareOp { kLess, kLessEqual, kGreater, kGreaterEqual };
+
+const char* CompareOpToString(CompareOp op);
+
+/// Evaluates `a op b`.
+bool EvalCompare(CompareOp op, const Value& a, const Value& b);
+
+/// \brief Specification of an inequality join on two column pairs:
+///   left[left_col1] op1 right[right_col1] AND left[left_col2] op2 right[right_col2]
+///
+/// This is the shape the IEJoin algorithm [Khayyat et al., PVLDB'15]
+/// accelerates; the paper adds IEJoin to RHEEM's physical-operator pool as
+/// its extensibility showcase (§5.1).
+struct IEJoinSpec {
+  int left_col1 = 0;
+  CompareOp op1 = CompareOp::kLess;
+  int right_col1 = 0;
+  int left_col2 = 0;
+  CompareOp op2 = CompareOp::kGreater;
+  int right_col2 = 0;
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_OPERATORS_DESCRIPTORS_H_

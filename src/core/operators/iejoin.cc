@@ -1,0 +1,191 @@
+#include "core/operators/iejoin.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace rheem {
+namespace kernels {
+
+namespace {
+
+struct Entry {
+  Value a;
+  Value b;
+  const Record* record;
+};
+
+Status CheckColumns(const IEJoinSpec& spec, const Dataset& left,
+                    const Dataset& right) {
+  auto check = [](const Dataset& ds, int col, const char* side) -> Status {
+    if (col < 0) {
+      return Status::InvalidArgument(std::string("negative IEJoin column on ") +
+                                     side);
+    }
+    for (const auto& r : ds.records()) {
+      if (static_cast<std::size_t>(col) >= r.size()) {
+        return Status::OutOfRange(std::string("IEJoin column ") +
+                                  std::to_string(col) + " out of range on " +
+                                  side);
+      }
+    }
+    return Status::OK();
+  };
+  RHEEM_RETURN_IF_ERROR(check(left, spec.left_col1, "left"));
+  RHEEM_RETURN_IF_ERROR(check(left, spec.left_col2, "left"));
+  RHEEM_RETURN_IF_ERROR(check(right, spec.right_col1, "right"));
+  RHEEM_RETURN_IF_ERROR(check(right, spec.right_col2, "right"));
+  return Status::OK();
+}
+
+/// Word-packed bit array supporting set + prefix scan.
+class BitArray {
+ public:
+  explicit BitArray(std::size_t n) : n_(n), words_((n + 63) / 64, 0) {}
+
+  void Set(std::size_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+
+  /// Invokes fn(position) for every set bit in [0, upper).
+  template <typename Fn>
+  void ScanPrefix(std::size_t upper, Fn&& fn) const {
+    if (upper > n_) upper = n_;
+    const std::size_t full_words = upper >> 6;
+    for (std::size_t w = 0; w < full_words; ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int tz = std::countr_zero(bits);
+        fn((w << 6) + static_cast<std::size_t>(tz));
+        bits &= bits - 1;
+      }
+    }
+    const std::size_t rem = upper & 63;
+    if (rem != 0) {
+      uint64_t bits = words_[full_words] & ((uint64_t{1} << rem) - 1);
+      while (bits != 0) {
+        const int tz = std::countr_zero(bits);
+        fn((full_words << 6) + static_cast<std::size_t>(tz));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace
+
+Result<Dataset> IEJoin(const IEJoinSpec& spec, const Dataset& left,
+                       const Dataset& right) {
+  RHEEM_RETURN_IF_ERROR(CheckColumns(spec, left, right));
+  if (left.empty() || right.empty()) return Dataset();
+
+  // Normalize both predicates by (possibly) flipping comparison direction:
+  //   predicate 1 becomes  l.a <(=) r.a   in the flipped-a order
+  //   predicate 2 becomes  l.b >(=) r.b   in the flipped-b order
+  const bool flip_a = (spec.op1 == CompareOp::kGreater ||
+                       spec.op1 == CompareOp::kGreaterEqual);
+  const bool flip_b = (spec.op2 == CompareOp::kLess ||
+                       spec.op2 == CompareOp::kLessEqual);
+  const bool strict1 = (spec.op1 == CompareOp::kLess ||
+                        spec.op1 == CompareOp::kGreater);
+  const bool strict2 = (spec.op2 == CompareOp::kGreater ||
+                        spec.op2 == CompareOp::kLess);
+
+  auto cmp_a = [flip_a](const Value& x, const Value& y) {
+    return flip_a ? y.Compare(x) : x.Compare(y);
+  };
+  auto cmp_b = [flip_b](const Value& x, const Value& y) {
+    return flip_b ? y.Compare(x) : x.Compare(y);
+  };
+
+  std::vector<Entry> ls;
+  ls.reserve(left.size());
+  for (const auto& r : left.records()) {
+    ls.push_back(Entry{r[static_cast<std::size_t>(spec.left_col1)],
+                       r[static_cast<std::size_t>(spec.left_col2)], &r});
+  }
+  std::vector<Entry> rs;
+  rs.reserve(right.size());
+  for (const auto& r : right.records()) {
+    rs.push_back(Entry{r[static_cast<std::size_t>(spec.right_col1)],
+                       r[static_cast<std::size_t>(spec.right_col2)], &r});
+  }
+
+  // L1: indices of L ascending by a (the primary sort of the algorithm).
+  const std::size_t n = ls.size();
+  std::vector<std::size_t> l1(n);
+  for (std::size_t i = 0; i < n; ++i) l1[i] = i;
+  std::stable_sort(l1.begin(), l1.end(), [&](std::size_t x, std::size_t y) {
+    return cmp_a(ls[x].a, ls[y].a) < 0;
+  });
+  // Permutation: original L index -> position in L1.
+  std::vector<std::size_t> pos1(n);
+  for (std::size_t p = 0; p < n; ++p) pos1[l1[p]] = p;
+
+  // Secondary sort: L and R descending by b, so that as we walk R the set
+  // {l : l.b > r.b} only grows and can be recorded in the bit array.
+  std::vector<std::size_t> lb(n);
+  for (std::size_t i = 0; i < n; ++i) lb[i] = i;
+  std::stable_sort(lb.begin(), lb.end(), [&](std::size_t x, std::size_t y) {
+    return cmp_b(ls[x].b, ls[y].b) > 0;
+  });
+  std::vector<std::size_t> rb(rs.size());
+  for (std::size_t i = 0; i < rs.size(); ++i) rb[i] = i;
+  std::stable_sort(rb.begin(), rb.end(), [&](std::size_t x, std::size_t y) {
+    return cmp_b(rs[x].b, rs[y].b) > 0;
+  });
+
+  BitArray bits(n);
+  std::vector<Record> out;
+  std::size_t lptr = 0;
+  for (std::size_t ri : rb) {
+    const Entry& r = rs[ri];
+    // Admit every l whose b-value qualifies against this (and, because rb is
+    // descending, every later) r.
+    while (lptr < n) {
+      const int c = cmp_b(ls[lb[lptr]].b, r.b);
+      const bool qualifies = strict2 ? (c > 0) : (c >= 0);
+      if (!qualifies) break;
+      bits.Set(pos1[lb[lptr]]);
+      ++lptr;
+    }
+    // Offset into the primary sort: first position whose a-value fails the
+    // first predicate against r.a (the algorithm's offset array, computed by
+    // binary search instead of a merged pre-pass).
+    const std::size_t upper = static_cast<std::size_t>(
+        std::partition_point(l1.begin(), l1.end(),
+                             [&](std::size_t x) {
+                               const int c = cmp_a(ls[x].a, r.a);
+                               return strict1 ? (c < 0) : (c <= 0);
+                             }) -
+        l1.begin());
+    bits.ScanPrefix(upper, [&](std::size_t p) {
+      out.push_back(Record::Concat(*ls[l1[p]].record, *r.record));
+    });
+  }
+  return Dataset(std::move(out));
+}
+
+Result<Dataset> IEJoinNestedLoopReference(const IEJoinSpec& spec,
+                                          const Dataset& left,
+                                          const Dataset& right) {
+  RHEEM_RETURN_IF_ERROR(CheckColumns(spec, left, right));
+  std::vector<Record> out;
+  for (const auto& l : left.records()) {
+    for (const auto& r : right.records()) {
+      const bool p1 = EvalCompare(spec.op1, l[static_cast<std::size_t>(spec.left_col1)],
+                                  r[static_cast<std::size_t>(spec.right_col1)]);
+      if (!p1) continue;
+      const bool p2 = EvalCompare(spec.op2, l[static_cast<std::size_t>(spec.left_col2)],
+                                  r[static_cast<std::size_t>(spec.right_col2)]);
+      if (p2) out.push_back(Record::Concat(l, r));
+    }
+  }
+  return Dataset(std::move(out));
+}
+
+}  // namespace kernels
+}  // namespace rheem

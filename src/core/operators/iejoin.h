@@ -1,0 +1,40 @@
+#ifndef RHEEM_CORE_OPERATORS_IEJOIN_H_
+#define RHEEM_CORE_OPERATORS_IEJOIN_H_
+
+#include "common/result.h"
+#include "core/operators/descriptors.h"
+#include "data/dataset.h"
+
+namespace rheem {
+namespace kernels {
+
+/// \brief IEJoin: fast inequality join on two column-pair predicates
+/// [Khayyat et al., "Lightning Fast and Space Efficient Inequality Joins",
+/// PVLDB 8(13), 2015] — the physical operator the paper adds to RHEEM's pool
+/// to accelerate BigDansing's inequality rules (§5.1).
+///
+/// Evaluates
+///   left[s.left_col1]  op1  right[s.right_col1]  AND
+///   left[s.left_col2]  op2  right[s.right_col2]
+/// and emits Record::Concat(l, r) for every qualifying pair.
+///
+/// Implementation: the predicates are normalized (by negating sort
+/// directions) to `l.a < r.a AND l.b > r.b`; tuples of L are inserted into a
+/// word-packed bit array in descending-b order (as in the original
+/// algorithm's permutation array over the secondary sort), and each tuple of
+/// R scans the bit-array prefix selected by a binary-searched offset on the
+/// primary sort — O((n+m)log(n+m) + n*m/64 + |output|), versus the
+/// O(n*m) predicate evaluations of a nested-loop theta join.
+Result<Dataset> IEJoin(const IEJoinSpec& spec, const Dataset& left,
+                       const Dataset& right);
+
+/// Reference nested-loop evaluation of the same IEJoinSpec; used by property
+/// tests to cross-check IEJoin and by benchmarks as the baseline.
+Result<Dataset> IEJoinNestedLoopReference(const IEJoinSpec& spec,
+                                          const Dataset& left,
+                                          const Dataset& right);
+
+}  // namespace kernels
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_OPERATORS_IEJOIN_H_

@@ -1,0 +1,367 @@
+#include "core/operators/kernels.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "data/record.h"
+
+namespace rheem {
+namespace kernels {
+
+Result<Dataset> Map(const MapUdf& udf, const Dataset& in) {
+  if (!udf.fn) return Status::InvalidArgument("Map UDF is empty");
+  std::vector<Record> out;
+  out.reserve(in.size());
+  for (const auto& r : in.records()) out.push_back(udf.fn(r));
+  return Dataset(std::move(out));
+}
+
+Result<Dataset> FlatMap(const FlatMapUdf& udf, const Dataset& in) {
+  if (!udf.fn) return Status::InvalidArgument("FlatMap UDF is empty");
+  std::vector<Record> out;
+  out.reserve(in.size());
+  for (const auto& r : in.records()) {
+    std::vector<Record> produced = udf.fn(r);
+    for (auto& p : produced) out.push_back(std::move(p));
+  }
+  return Dataset(std::move(out));
+}
+
+Result<Dataset> Filter(const PredicateUdf& udf, const Dataset& in) {
+  if (!udf.fn) return Status::InvalidArgument("Filter UDF is empty");
+  std::vector<Record> out;
+  for (const auto& r : in.records()) {
+    if (udf.fn(r)) out.push_back(r);
+  }
+  return Dataset(std::move(out));
+}
+
+Result<Dataset> Project(const std::vector<int>& columns, const Dataset& in) {
+  for (int c : columns) {
+    if (c < 0) return Status::InvalidArgument("negative projection column");
+  }
+  std::vector<Record> out;
+  out.reserve(in.size());
+  for (const auto& r : in.records()) {
+    for (int c : columns) {
+      if (static_cast<std::size_t>(c) >= r.size()) {
+        return Status::OutOfRange("projection column " + std::to_string(c) +
+                                  " out of range for record of arity " +
+                                  std::to_string(r.size()));
+      }
+    }
+    out.push_back(r.Project(columns));
+  }
+  return Dataset(std::move(out));
+}
+
+Result<Dataset> Distinct(const Dataset& in) {
+  std::unordered_map<Record, bool, RecordHasher> seen;
+  seen.reserve(in.size());
+  std::vector<Record> out;
+  for (const auto& r : in.records()) {
+    auto [it, inserted] = seen.emplace(r, true);
+    if (inserted) out.push_back(r);
+  }
+  return Dataset(std::move(out));
+}
+
+Result<Dataset> SortByKey(const KeyUdf& key, const Dataset& in) {
+  if (!key.fn) return Status::InvalidArgument("Sort key UDF is empty");
+  // Decorate-sort-undecorate: evaluate the key once per record.
+  std::vector<std::pair<Value, const Record*>> decorated;
+  decorated.reserve(in.size());
+  for (const auto& r : in.records()) decorated.emplace_back(key.fn(r), &r);
+  std::stable_sort(decorated.begin(), decorated.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first.Compare(b.first) < 0;
+                   });
+  std::vector<Record> out;
+  out.reserve(in.size());
+  for (const auto& [k, r] : decorated) out.push_back(*r);
+  return Dataset(std::move(out));
+}
+
+Result<Dataset> Sample(double fraction, uint64_t seed, const Dataset& in) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("sample fraction must be in [0,1]");
+  }
+  Rng rng(seed);
+  std::vector<Record> out;
+  for (const auto& r : in.records()) {
+    if (rng.NextBool(fraction)) out.push_back(r);
+  }
+  return Dataset(std::move(out));
+}
+
+Result<Dataset> ZipWithId(int64_t first_id, const Dataset& in) {
+  std::vector<Record> out;
+  out.reserve(in.size());
+  int64_t id = first_id;
+  for (const auto& r : in.records()) {
+    Record withId = r;
+    withId.Append(Value(id++));
+    out.push_back(std::move(withId));
+  }
+  return Dataset(std::move(out));
+}
+
+Result<Dataset> ReduceByKey(const KeyUdf& key, const ReduceUdf& reduce,
+                            const Dataset& in) {
+  if (!key.fn) return Status::InvalidArgument("ReduceByKey key UDF is empty");
+  if (!reduce.fn) return Status::InvalidArgument("ReduceByKey reduce UDF is empty");
+  // std::map keeps output deterministic across platforms and partitionings.
+  std::map<Value, Record> acc;
+  for (const auto& r : in.records()) {
+    Value k = key.fn(r);
+    auto it = acc.find(k);
+    if (it == acc.end()) {
+      acc.emplace(std::move(k), r);
+    } else {
+      it->second = reduce.fn(it->second, r);
+    }
+  }
+  std::vector<Record> out;
+  out.reserve(acc.size());
+  for (auto& [k, v] : acc) out.push_back(std::move(v));
+  return Dataset(std::move(out));
+}
+
+Result<Dataset> HashGroupBy(const KeyUdf& key, const GroupUdf& group,
+                            const Dataset& in) {
+  if (!key.fn) return Status::InvalidArgument("GroupBy key UDF is empty");
+  if (!group.fn) return Status::InvalidArgument("GroupBy group UDF is empty");
+  std::unordered_map<Value, std::vector<Record>, ValueHasher> groups;
+  groups.reserve(in.size());
+  // Track first-seen order of keys for deterministic output.
+  std::vector<const Value*> key_order;
+  for (const auto& r : in.records()) {
+    Value k = key.fn(r);
+    auto [it, inserted] = groups.try_emplace(std::move(k));
+    if (inserted) key_order.push_back(&it->first);
+    it->second.push_back(r);
+  }
+  std::vector<Record> out;
+  for (const Value* k : key_order) {
+    std::vector<Record> produced = group.fn(*k, groups.at(*k));
+    for (auto& p : produced) out.push_back(std::move(p));
+  }
+  return Dataset(std::move(out));
+}
+
+Result<Dataset> SortGroupBy(const KeyUdf& key, const GroupUdf& group,
+                            const Dataset& in) {
+  if (!key.fn) return Status::InvalidArgument("GroupBy key UDF is empty");
+  if (!group.fn) return Status::InvalidArgument("GroupBy group UDF is empty");
+  std::vector<std::pair<Value, const Record*>> decorated;
+  decorated.reserve(in.size());
+  for (const auto& r : in.records()) decorated.emplace_back(key.fn(r), &r);
+  std::stable_sort(decorated.begin(), decorated.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first.Compare(b.first) < 0;
+                   });
+  std::vector<Record> out;
+  std::size_t i = 0;
+  while (i < decorated.size()) {
+    std::size_t j = i;
+    std::vector<Record> members;
+    while (j < decorated.size() &&
+           decorated[j].first.Compare(decorated[i].first) == 0) {
+      members.push_back(*decorated[j].second);
+      ++j;
+    }
+    std::vector<Record> produced = group.fn(decorated[i].first, members);
+    for (auto& p : produced) out.push_back(std::move(p));
+    i = j;
+  }
+  return Dataset(std::move(out));
+}
+
+Result<Dataset> GlobalReduce(const ReduceUdf& reduce, const Dataset& in) {
+  if (!reduce.fn) return Status::InvalidArgument("GlobalReduce UDF is empty");
+  if (in.empty()) return Dataset();
+  Record acc = in.at(0);
+  for (std::size_t i = 1; i < in.size(); ++i) {
+    acc = reduce.fn(acc, in.at(i));
+  }
+  return Dataset(std::vector<Record>{std::move(acc)});
+}
+
+Result<Dataset> Count(const Dataset& in) {
+  return Dataset(std::vector<Record>{
+      Record({Value(static_cast<int64_t>(in.size()))})});
+}
+
+Result<Dataset> BroadcastMap(const BroadcastMapUdf& udf, const Dataset& main,
+                             const Dataset& broadcast) {
+  if (!udf.fn) return Status::InvalidArgument("BroadcastMap UDF is empty");
+  std::vector<Record> out;
+  out.reserve(main.size());
+  for (const auto& r : main.records()) out.push_back(udf.fn(r, broadcast));
+  return Dataset(std::move(out));
+}
+
+Result<Dataset> HashJoin(const KeyUdf& left_key, const KeyUdf& right_key,
+                         const Dataset& left, const Dataset& right) {
+  if (!left_key.fn || !right_key.fn) {
+    return Status::InvalidArgument("Join key UDF is empty");
+  }
+  std::unordered_map<Value, std::vector<const Record*>, ValueHasher> build;
+  build.reserve(right.size());
+  for (const auto& r : right.records()) {
+    build[right_key.fn(r)].push_back(&r);
+  }
+  std::vector<Record> out;
+  for (const auto& l : left.records()) {
+    auto it = build.find(left_key.fn(l));
+    if (it == build.end()) continue;
+    for (const Record* r : it->second) {
+      out.push_back(Record::Concat(l, *r));
+    }
+  }
+  return Dataset(std::move(out));
+}
+
+Result<Dataset> SortMergeJoin(const KeyUdf& left_key, const KeyUdf& right_key,
+                              const Dataset& left, const Dataset& right) {
+  if (!left_key.fn || !right_key.fn) {
+    return Status::InvalidArgument("Join key UDF is empty");
+  }
+  std::vector<std::pair<Value, const Record*>> ls, rs;
+  ls.reserve(left.size());
+  rs.reserve(right.size());
+  for (const auto& r : left.records()) ls.emplace_back(left_key.fn(r), &r);
+  for (const auto& r : right.records()) rs.emplace_back(right_key.fn(r), &r);
+  auto less = [](const auto& a, const auto& b) {
+    return a.first.Compare(b.first) < 0;
+  };
+  std::stable_sort(ls.begin(), ls.end(), less);
+  std::stable_sort(rs.begin(), rs.end(), less);
+
+  std::vector<Record> out;
+  std::size_t i = 0, j = 0;
+  while (i < ls.size() && j < rs.size()) {
+    const int c = ls[i].first.Compare(rs[j].first);
+    if (c < 0) {
+      ++i;
+    } else if (c > 0) {
+      ++j;
+    } else {
+      // Emit the full run x run block.
+      std::size_t i_end = i;
+      while (i_end < ls.size() && ls[i_end].first.Compare(ls[i].first) == 0) ++i_end;
+      std::size_t j_end = j;
+      while (j_end < rs.size() && rs[j_end].first.Compare(rs[j].first) == 0) ++j_end;
+      for (std::size_t a = i; a < i_end; ++a) {
+        for (std::size_t b = j; b < j_end; ++b) {
+          out.push_back(Record::Concat(*ls[a].second, *rs[b].second));
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  return Dataset(std::move(out));
+}
+
+Result<Dataset> ThetaJoin(const ThetaUdf& condition, const Dataset& left,
+                          const Dataset& right) {
+  if (!condition.fn) return Status::InvalidArgument("ThetaJoin UDF is empty");
+  std::vector<Record> out;
+  for (const auto& l : left.records()) {
+    for (const auto& r : right.records()) {
+      if (condition.fn(l, r)) out.push_back(Record::Concat(l, r));
+    }
+  }
+  return Dataset(std::move(out));
+}
+
+Result<Dataset> CrossProduct(const Dataset& left, const Dataset& right) {
+  std::vector<Record> out;
+  out.reserve(left.size() * right.size());
+  for (const auto& l : left.records()) {
+    for (const auto& r : right.records()) {
+      out.push_back(Record::Concat(l, r));
+    }
+  }
+  return Dataset(std::move(out));
+}
+
+Result<Dataset> Union(const Dataset& left, const Dataset& right) {
+  std::vector<Record> out;
+  out.reserve(left.size() + right.size());
+  for (const auto& r : left.records()) out.push_back(r);
+  for (const auto& r : right.records()) out.push_back(r);
+  return Dataset(std::move(out));
+}
+
+Result<Dataset> Intersect(const Dataset& left, const Dataset& right) {
+  std::unordered_map<Record, bool, RecordHasher> in_right;
+  in_right.reserve(right.size());
+  for (const auto& r : right.records()) in_right.emplace(r, true);
+  std::unordered_map<Record, bool, RecordHasher> emitted;
+  std::vector<Record> out;
+  for (const auto& r : left.records()) {
+    if (in_right.count(r) == 0) continue;
+    auto [it, inserted] = emitted.emplace(r, true);
+    if (inserted) out.push_back(r);
+  }
+  return Dataset(std::move(out));
+}
+
+Result<Dataset> Subtract(const Dataset& left, const Dataset& right) {
+  std::unordered_map<Record, bool, RecordHasher> in_right;
+  in_right.reserve(right.size());
+  for (const auto& r : right.records()) in_right.emplace(r, true);
+  std::unordered_map<Record, bool, RecordHasher> emitted;
+  std::vector<Record> out;
+  for (const auto& r : left.records()) {
+    if (in_right.count(r) > 0) continue;
+    auto [it, inserted] = emitted.emplace(r, true);
+    if (inserted) out.push_back(r);
+  }
+  return Dataset(std::move(out));
+}
+
+Result<Dataset> TopK(const KeyUdf& key, int64_t k, bool ascending,
+                     const Dataset& in) {
+  if (!key.fn) return Status::InvalidArgument("TopK key UDF is empty");
+  if (k < 0) return Status::InvalidArgument("TopK wants k >= 0");
+  if (k == 0) return Dataset();
+  // Decorated entries carry the input index to keep ties deterministic.
+  struct Entry {
+    Value key;
+    std::size_t index;
+  };
+  // `better(a, b)`: should a be kept over b? Heaping with this comparator
+  // leaves the *worst* retained entry on top, ready for replacement.
+  auto better = [ascending](const Entry& a, const Entry& b) {
+    const int c = a.key.Compare(b.key);
+    if (c != 0) return ascending ? c < 0 : c > 0;
+    return a.index < b.index;  // earlier input wins ties
+  };
+  std::vector<Entry> heap;
+  heap.reserve(static_cast<std::size_t>(k));
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    Entry e{key.fn(in.at(i)), i};
+    if (heap.size() < static_cast<std::size_t>(k)) {
+      heap.push_back(std::move(e));
+      std::push_heap(heap.begin(), heap.end(), better);
+    } else if (better(e, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), better);
+      heap.back() = std::move(e);
+      std::push_heap(heap.begin(), heap.end(), better);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), better);
+  // sort_heap leaves the sequence ordered best-first under `better`.
+  std::vector<Record> out;
+  out.reserve(heap.size());
+  for (const Entry& e : heap) out.push_back(in.at(e.index));
+  return Dataset(std::move(out));
+}
+
+}  // namespace kernels
+}  // namespace rheem

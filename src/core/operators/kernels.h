@@ -1,0 +1,86 @@
+#ifndef RHEEM_CORE_OPERATORS_KERNELS_H_
+#define RHEEM_CORE_OPERATORS_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/operators/descriptors.h"
+#include "data/dataset.h"
+
+namespace rheem {
+namespace kernels {
+
+/// \brief Platform-neutral evaluation kernels for the physical operator pool.
+///
+/// Execution operators are platform-*dependent* wrappers (paper §3.1): the
+/// javasim platform applies a kernel to its whole input eagerly; sparksim
+/// applies the same kernel per partition and adds shuffles around the
+/// key-based ones; relsim substitutes its own relational engine where it can.
+/// Centralizing the data-path logic here keeps the three platforms honest:
+/// they differ in *execution strategy* (the thing the paper studies), not in
+/// operator semantics.
+
+Result<Dataset> Map(const MapUdf& udf, const Dataset& in);
+Result<Dataset> FlatMap(const FlatMapUdf& udf, const Dataset& in);
+Result<Dataset> Filter(const PredicateUdf& udf, const Dataset& in);
+Result<Dataset> Project(const std::vector<int>& columns, const Dataset& in);
+Result<Dataset> Distinct(const Dataset& in);
+Result<Dataset> SortByKey(const KeyUdf& key, const Dataset& in);
+Result<Dataset> Sample(double fraction, uint64_t seed, const Dataset& in);
+
+/// Appends ids [first_id, first_id + in.size()) as a trailing int64 field.
+Result<Dataset> ZipWithId(int64_t first_id, const Dataset& in);
+
+/// Hash-based key/combine aggregation; emits one record per key (the reduced
+/// record, key not re-attached — reducers see full records).
+Result<Dataset> ReduceByKey(const KeyUdf& key, const ReduceUdf& reduce,
+                            const Dataset& in);
+
+/// Hash-grouping, then the whole-group UDF per key (iteration order is the
+/// key order to keep results deterministic).
+Result<Dataset> HashGroupBy(const KeyUdf& key, const GroupUdf& group,
+                            const Dataset& in);
+
+/// Sort-grouping: sorts by key then runs the group UDF over runs.
+Result<Dataset> SortGroupBy(const KeyUdf& key, const GroupUdf& group,
+                            const Dataset& in);
+
+/// Pairwise reduction of the whole input to <=1 record.
+Result<Dataset> GlobalReduce(const ReduceUdf& reduce, const Dataset& in);
+
+Result<Dataset> Count(const Dataset& in);
+
+Result<Dataset> BroadcastMap(const BroadcastMapUdf& udf, const Dataset& main,
+                             const Dataset& broadcast);
+
+/// Build-side = right input (hashed); probe-side = left.
+Result<Dataset> HashJoin(const KeyUdf& left_key, const KeyUdf& right_key,
+                         const Dataset& left, const Dataset& right);
+
+Result<Dataset> SortMergeJoin(const KeyUdf& left_key, const KeyUdf& right_key,
+                              const Dataset& left, const Dataset& right);
+
+/// O(|L|*|R|) nested-loop evaluation of an arbitrary pair predicate.
+Result<Dataset> ThetaJoin(const ThetaUdf& condition, const Dataset& left,
+                          const Dataset& right);
+
+Result<Dataset> CrossProduct(const Dataset& left, const Dataset& right);
+
+Result<Dataset> Union(const Dataset& left, const Dataset& right);
+
+/// Set intersection with distinct output (first-seen order of `left`).
+Result<Dataset> Intersect(const Dataset& left, const Dataset& right);
+
+/// Distinct records of `left` not present in `right` (first-seen order).
+Result<Dataset> Subtract(const Dataset& left, const Dataset& right);
+
+/// The k records with the smallest keys (ascending=false: largest), emitted
+/// in key order; ties resolved by input order. O(n log k) heap selection.
+Result<Dataset> TopK(const KeyUdf& key, int64_t k, bool ascending,
+                     const Dataset& in);
+
+}  // namespace kernels
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_OPERATORS_KERNELS_H_

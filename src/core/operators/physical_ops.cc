@@ -1,0 +1,57 @@
+#include "core/operators/physical_ops.h"
+
+namespace rheem {
+
+const char* OpKindToString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kCollectionSource: return "CollectionSource";
+    case OpKind::kStageInput: return "StageInput";
+    case OpKind::kLoopState: return "LoopState";
+    case OpKind::kLoopData: return "LoopData";
+    case OpKind::kMap: return "Map";
+    case OpKind::kFlatMap: return "FlatMap";
+    case OpKind::kFilter: return "Filter";
+    case OpKind::kProject: return "Project";
+    case OpKind::kDistinct: return "Distinct";
+    case OpKind::kSort: return "Sort";
+    case OpKind::kSample: return "Sample";
+    case OpKind::kZipWithId: return "ZipWithId";
+    case OpKind::kReduceByKey: return "ReduceByKey";
+    case OpKind::kGroupByKey: return "GroupByKey";
+    case OpKind::kGlobalReduce: return "GlobalReduce";
+    case OpKind::kCount: return "Count";
+    case OpKind::kTopK: return "TopK";
+    case OpKind::kBroadcastMap: return "BroadcastMap";
+    case OpKind::kJoin: return "Join";
+    case OpKind::kThetaJoin: return "ThetaJoin";
+    case OpKind::kIEJoin: return "IEJoin";
+    case OpKind::kCrossProduct: return "CrossProduct";
+    case OpKind::kUnion: return "Union";
+    case OpKind::kIntersect: return "Intersect";
+    case OpKind::kSubtract: return "Subtract";
+    case OpKind::kRepeat: return "Repeat";
+    case OpKind::kDoWhile: return "DoWhile";
+    case OpKind::kCollect: return "Collect";
+  }
+  return "?";
+}
+
+Result<OpKind> OpKindFromString(const std::string& name) {
+  static const OpKind kAll[] = {
+      OpKind::kCollectionSource, OpKind::kStageInput, OpKind::kLoopState,
+      OpKind::kLoopData,         OpKind::kMap,        OpKind::kFlatMap,
+      OpKind::kFilter,           OpKind::kProject,    OpKind::kDistinct,
+      OpKind::kSort,             OpKind::kSample,     OpKind::kZipWithId,
+      OpKind::kReduceByKey,      OpKind::kGroupByKey, OpKind::kGlobalReduce,
+      OpKind::kCount,            OpKind::kBroadcastMap, OpKind::kJoin,
+      OpKind::kThetaJoin,        OpKind::kIEJoin,     OpKind::kCrossProduct,
+      OpKind::kUnion,            OpKind::kRepeat,     OpKind::kDoWhile,
+      OpKind::kIntersect,        OpKind::kSubtract,   OpKind::kTopK,
+      OpKind::kCollect};
+  for (OpKind kind : kAll) {
+    if (name == OpKindToString(kind)) return kind;
+  }
+  return Status::NotFound("unknown operator kind '" + name + "'");
+}
+
+}  // namespace rheem

@@ -1,0 +1,155 @@
+#include "core/optimizer/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/operators/physical_ops.h"
+#include "core/optimizer/cost_model.h"
+#include "data/serialization.h"
+
+namespace rheem {
+
+namespace {
+
+Estimate SourceEstimate(const Dataset& data) {
+  Estimate e;
+  e.cardinality = static_cast<double>(data.size());
+  if (!data.empty()) {
+    // Sample up to 64 records for the width estimate.
+    const std::size_t n = std::min<std::size_t>(data.size(), 64);
+    int64_t bytes = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      bytes += Serializer::EncodedSize(data.at(i));
+    }
+    e.avg_bytes = static_cast<double>(bytes) / static_cast<double>(n);
+  }
+  return e;
+}
+
+}  // namespace
+
+Result<EstimateMap> CardinalityEstimator::Estimate(const Plan& plan,
+                                                   const EstimateMap& external) {
+  RHEEM_ASSIGN_OR_RETURN(std::vector<Operator*> topo, plan.TopologicalOrder());
+  EstimateMap out = external;
+
+  for (Operator* base : topo) {
+    if (out.count(base->id()) > 0) continue;  // externally provided
+    auto* op = dynamic_cast<PhysicalOperator*>(base);
+    if (op == nullptr) {
+      return Status::InvalidPlan("cardinality estimation requires a physical plan");
+    }
+    std::vector<::rheem::Estimate> in;
+    in.reserve(op->inputs().size());
+    for (Operator* upstream : op->inputs()) {
+      auto it = out.find(upstream->id());
+      if (it == out.end()) {
+        return Status::Internal("topological order violated in estimator");
+      }
+      in.push_back(it->second);
+    }
+    const ::rheem::Estimate in0 = in.empty() ? ::rheem::Estimate{} : in[0];
+    const ::rheem::Estimate in1 = in.size() > 1 ? in[1] : ::rheem::Estimate{};
+    const UdfHints hints = HintsOf(*op);
+
+    ::rheem::Estimate e = in0;  // default: pass-through shape
+    switch (op->kind()) {
+      case OpKind::kCollectionSource:
+        e = SourceEstimate(static_cast<const CollectionSourceOp&>(*op).data());
+        break;
+      case OpKind::kStageInput:
+      case OpKind::kLoopState:
+      case OpKind::kLoopData:
+        // Markers must be bound via `external`; default to empty.
+        e = ::rheem::Estimate{0.0, 32.0};
+        break;
+      case OpKind::kMap:
+      case OpKind::kBroadcastMap:
+        e.cardinality = in0.cardinality;
+        break;
+      case OpKind::kFlatMap:
+        e.cardinality = in0.cardinality * std::max(0.0, hints.selectivity);
+        break;
+      case OpKind::kFilter:
+        e.cardinality = in0.cardinality *
+                        std::clamp(hints.selectivity, 0.0, 1.0);
+        break;
+      case OpKind::kProject: {
+        const auto& p = static_cast<const ProjectOp&>(*op);
+        const double cols = static_cast<double>(p.columns().size());
+        e.avg_bytes = std::max(8.0, in0.avg_bytes * cols /
+                                        std::max(1.0, cols + 2.0));
+        break;
+      }
+      case OpKind::kDistinct:
+        e.cardinality = in0.cardinality * 0.5;
+        break;
+      case OpKind::kSort:
+      case OpKind::kZipWithId:
+        break;  // pass-through
+      case OpKind::kSample:
+        e.cardinality =
+            in0.cardinality * static_cast<const SampleOp&>(*op).fraction();
+        break;
+      case OpKind::kReduceByKey:
+      case OpKind::kGroupByKey: {
+        // Key selectivity hint = distinct-key ratio; default 10%.
+        double ratio = hints.selectivity;
+        if (ratio <= 0.0 || ratio > 1.0) ratio = 0.1;
+        e.cardinality = std::max(1.0, in0.cardinality * ratio);
+        break;
+      }
+      case OpKind::kGlobalReduce:
+      case OpKind::kCount:
+        e.cardinality = in0.cardinality > 0 ? 1.0 : 0.0;
+        break;
+      case OpKind::kTopK:
+        e.cardinality = std::min(
+            in0.cardinality,
+            static_cast<double>(static_cast<const TopKOp&>(*op).k()));
+        break;
+      case OpKind::kJoin:
+        // Textbook equi-join with unknown key stats.
+        e.cardinality = std::max(in0.cardinality, in1.cardinality);
+        e.avg_bytes = in0.avg_bytes + in1.avg_bytes;
+        break;
+      case OpKind::kThetaJoin: {
+        double sel = hints.selectivity;
+        if (sel <= 0.0 || sel > 1.0) sel = 0.1;
+        e.cardinality = in0.cardinality * in1.cardinality * sel;
+        e.avg_bytes = in0.avg_bytes + in1.avg_bytes;
+        break;
+      }
+      case OpKind::kIEJoin:
+        // Two independent inequality predicates ~ (1/2)*(1/2) of pair space,
+        // further damped because real DC rules are selective.
+        e.cardinality = in0.cardinality * in1.cardinality * 0.05;
+        e.avg_bytes = in0.avg_bytes + in1.avg_bytes;
+        break;
+      case OpKind::kCrossProduct:
+        e.cardinality = in0.cardinality * in1.cardinality;
+        e.avg_bytes = in0.avg_bytes + in1.avg_bytes;
+        break;
+      case OpKind::kUnion:
+        e.cardinality = in0.cardinality + in1.cardinality;
+        e.avg_bytes = (in0.avg_bytes + in1.avg_bytes) / 2.0;
+        break;
+      case OpKind::kIntersect:
+        e.cardinality = std::min(in0.cardinality, in1.cardinality) * 0.5;
+        break;
+      case OpKind::kSubtract:
+        e.cardinality = in0.cardinality * 0.5;
+        break;
+      case OpKind::kRepeat:
+      case OpKind::kDoWhile:
+        e = in0;  // the loop returns an evolved state of the same shape
+        break;
+      case OpKind::kCollect:
+        break;  // pass-through
+    }
+    out[op->id()] = e;
+  }
+  return out;
+}
+
+}  // namespace rheem

@@ -1,0 +1,38 @@
+#ifndef RHEEM_CORE_OPTIMIZER_CARDINALITY_H_
+#define RHEEM_CORE_OPTIMIZER_CARDINALITY_H_
+
+#include <map>
+
+#include "common/result.h"
+#include "core/plan/plan.h"
+
+namespace rheem {
+
+/// \brief Per-operator size estimates flowing through the optimizer.
+struct Estimate {
+  double cardinality = 0.0;  // records produced by the operator
+  double avg_bytes = 32.0;   // mean serialized record size
+};
+
+/// Operator id -> estimate.
+using EstimateMap = std::map<int, Estimate>;
+
+/// \brief Source-driven cardinality/width estimator (paper §4.2: the
+/// optimizer reasons about UDFs through their first-class annotations).
+///
+/// Walks the plan topologically. Sources report their true sizes; UDF
+/// operators scale by their annotated selectivity; key-based operators use
+/// the key UDF's selectivity as a distinct-key ratio; joins use standard
+/// textbook formulas. Loop operators report their state input's estimate
+/// (states keep their shape across iterations in all our workloads).
+class CardinalityEstimator {
+ public:
+  /// `external` supplies estimates for operators whose inputs come from
+  /// outside the plan (loop-body markers, stage inputs), keyed by op id.
+  static Result<EstimateMap> Estimate(const Plan& plan,
+                                      const EstimateMap& external = {});
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_OPTIMIZER_CARDINALITY_H_

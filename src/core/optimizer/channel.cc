@@ -1,0 +1,29 @@
+#include "core/optimizer/channel.h"
+
+namespace rheem {
+
+const char* ChannelKindToString(ChannelKind kind) {
+  switch (kind) {
+    case ChannelKind::kInMemory: return "in-memory";
+    case ChannelKind::kSerializedStream: return "serialized-stream";
+  }
+  return "?";
+}
+
+ChannelKind MovementCostModel::ChannelFor(const Platform& from,
+                                          const Platform& to) const {
+  return &from == &to ? ChannelKind::kInMemory : ChannelKind::kSerializedStream;
+}
+
+double MovementCostModel::MoveCostMicros(const Platform& from,
+                                         const Platform& to, double cards,
+                                         double avg_bytes) const {
+  if (&from == &to) return 0.0;
+  const auto& f = from.cost_model();
+  const auto& t = to.cost_model();
+  const double bytes = cards * avg_bytes;
+  return f.BoundaryFixedMicros() + t.BoundaryFixedMicros() +
+         bytes * (f.BoundaryCostMicrosPerByte() + t.BoundaryCostMicrosPerByte());
+}
+
+}  // namespace rheem

@@ -1,0 +1,45 @@
+#ifndef RHEEM_CORE_OPTIMIZER_CHANNEL_H_
+#define RHEEM_CORE_OPTIMIZER_CHANNEL_H_
+
+#include <string>
+
+#include "core/mapping/platform.h"
+
+namespace rheem {
+
+/// Kinds of channels that can bridge two task atoms (paper §4.2: the
+/// inter-platform cost model must account for transferring *and transforming*
+/// data between processing platforms).
+enum class ChannelKind {
+  /// Same platform: results handed over by reference, zero cost.
+  kInMemory,
+  /// Cross platform: records are serialized on egress and deserialized on
+  /// ingress — the executor really performs this work.
+  kSerializedStream,
+};
+
+const char* ChannelKindToString(ChannelKind kind);
+
+/// \brief Inter-platform data-movement cost model.
+///
+/// This is the piece the paper calls out as missing from Musketeer (§7): the
+/// enumerator adds MoveCostMicros to every plan edge whose endpoints land on
+/// different platforms, which is what makes "stay on one platform" beat
+/// "use the locally fastest platform for every operator" when datasets are
+/// large relative to the compute (ablation A2).
+class MovementCostModel {
+ public:
+  virtual ~MovementCostModel() = default;
+
+  /// Channel required between platforms `from` and `to`.
+  virtual ChannelKind ChannelFor(const Platform& from,
+                                 const Platform& to) const;
+
+  /// Cost of moving `cards` records of `avg_bytes` each from `from` to `to`.
+  virtual double MoveCostMicros(const Platform& from, const Platform& to,
+                                double cards, double avg_bytes) const;
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_OPTIMIZER_CHANNEL_H_

@@ -1,0 +1,107 @@
+#include "core/optimizer/cost_learner.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/api/context.h"
+#include "core/executor/monitor.h"
+#include "core/operators/physical_ops.h"
+
+namespace rheem {
+
+void CostCalibrator::Observe(const std::string& platform,
+                             double estimated_micros, double actual_micros) {
+  if (estimated_micros <= 0.0 || actual_micros <= 0.0) return;
+  PlatformStats& s = stats_[platform];
+  s.log_ratio_sum += std::log(actual_micros / estimated_micros);
+  s.count += 1;
+}
+
+double CostCalibrator::FactorFor(const std::string& platform) const {
+  auto it = stats_.find(platform);
+  if (it == stats_.end() || it->second.count == 0) return 1.0;
+  return std::exp(it->second.log_ratio_sum /
+                  static_cast<double>(it->second.count));
+}
+
+int64_t CostCalibrator::observations(const std::string& platform) const {
+  auto it = stats_.find(platform);
+  return it == stats_.end() ? 0 : it->second.count;
+}
+
+Config CostCalibrator::SuggestConfig(
+    const std::map<std::string, double>& base) const {
+  Config config;
+  for (const auto& [platform, per_quantum] : base) {
+    config.SetDouble(platform + ".per_quantum_us",
+                     per_quantum * FactorFor(platform));
+  }
+  return config;
+}
+
+Result<double> CostCalibrator::EstimateStageCost(const Stage& stage,
+                                                 const EstimateMap& estimates) {
+  const PlatformCostModel& model = stage.platform()->cost_model();
+  double total = model.StageOverheadMicros();
+  for (Operator* base : stage.ops()) {
+    auto* op = dynamic_cast<PhysicalOperator*>(base);
+    if (op == nullptr) {
+      return Status::InvalidPlan("stage contains a non-physical operator");
+    }
+    auto self = estimates.find(op->id());
+    if (self == estimates.end()) {
+      return Status::InvalidArgument("missing estimate for operator " +
+                                     op->name());
+    }
+    std::vector<double> in_cards;
+    for (Operator* in : op->inputs()) {
+      auto it = estimates.find(in->id());
+      in_cards.push_back(it != estimates.end() ? it->second.cardinality : 0.0);
+    }
+    const auto* mapping = stage.platform()->mappings().Find(*op);
+    const double weight = mapping != nullptr ? mapping->cost_weight : 1.0;
+    total += weight *
+             model.OperatorCostMicros(*op, in_cards, self->second.cardinality);
+  }
+  return total;
+}
+
+Status ObserveJob(const CompiledJob& job, const ExecutionMonitor& monitor,
+                  CostCalibrator* calibrator) {
+  if (calibrator == nullptr) {
+    return Status::InvalidArgument("null calibrator");
+  }
+  for (const auto& record : monitor.records()) {
+    if (!record.succeeded || !record.error.empty()) continue;
+    const Stage* stage = nullptr;
+    for (const Stage& s : job.eplan.stages) {
+      if (s.id() == record.stage_id) {
+        stage = &s;
+        break;
+      }
+    }
+    if (stage == nullptr) continue;
+    RHEEM_ASSIGN_OR_RETURN(double estimated,
+                           CostCalibrator::EstimateStageCost(*stage,
+                                                             job.estimates));
+    const double actual = static_cast<double>(record.wall_micros +
+                                              record.sim_overhead_micros);
+    calibrator->Observe(stage->platform()->name(), estimated, actual);
+  }
+  return Status::OK();
+}
+
+std::string CostCalibrator::Report() const {
+  std::string out = "cost calibration (" + std::to_string(stats_.size()) +
+                    " platform(s))\n";
+  char buf[128];
+  for (const auto& [platform, s] : stats_) {
+    std::snprintf(buf, sizeof(buf), "  %-10s factor=%.3f from %lld run(s)\n",
+                  platform.c_str(), FactorFor(platform),
+                  static_cast<long long>(s.count));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace rheem

@@ -1,0 +1,74 @@
+#ifndef RHEEM_CORE_OPTIMIZER_COST_LEARNER_H_
+#define RHEEM_CORE_OPTIMIZER_COST_LEARNER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/result.h"
+#include "core/optimizer/cardinality.h"
+#include "core/optimizer/stage_splitter.h"
+
+namespace rheem {
+
+/// \brief Feedback-driven cost-model calibration (paper §4.2: cost models
+/// are optimizer *plugins*, and the Executor "monitors the progress of plan
+/// execution" — this closes the loop between the two).
+///
+/// After every stage execution the caller feeds (estimated cost, observed
+/// time); the calibrator maintains a per-platform correction factor as the
+/// running geometric mean of observed/estimated ratios. SuggestConfig()
+/// turns the factors into updated `<platform>.per_quantum_us` config values,
+/// so the next RheemContext built from that config predicts closer to this
+/// machine's reality — the profile-learning direction the paper sketches
+/// ("data processing profiles", §8 challenge 2).
+class CostCalibrator {
+ public:
+  CostCalibrator() = default;
+
+  /// Records one observation. Non-positive inputs are ignored (a stage of
+  /// pure plumbing can estimate to ~0).
+  void Observe(const std::string& platform, double estimated_micros,
+               double actual_micros);
+
+  /// Multiplicative correction for the platform's cost model
+  /// (1.0 = perfectly calibrated, >1 = model underestimates).
+  double FactorFor(const std::string& platform) const;
+
+  int64_t observations(const std::string& platform) const;
+
+  /// Scales the given base per-quantum values by the learned factors.
+  /// `base` maps platform name -> current per_quantum_us; platforms without
+  /// observations keep their base value.
+  Config SuggestConfig(const std::map<std::string, double>& base) const;
+
+  /// Convenience: estimated execution cost of one stage under its
+  /// platform's cost model and the given cardinalities (sums the operator
+  /// costs plus the platform's fixed stage overhead).
+  static Result<double> EstimateStageCost(const Stage& stage,
+                                          const EstimateMap& estimates);
+
+  std::string Report() const;
+
+ private:
+  struct PlatformStats {
+    double log_ratio_sum = 0.0;
+    int64_t count = 0;
+  };
+  std::map<std::string, PlatformStats> stats_;
+};
+
+class ExecutionMonitor;  // monitor.h
+struct CompiledJob;      // context.h
+
+/// Feeds every *successful* stage attempt recorded by `monitor` into the
+/// calibrator, pricing each stage with the compiled job's estimates — the
+/// one-line wiring between the Executor's monitoring duty and the pluggable
+/// cost models. Records whose stage id is not part of `job` are skipped.
+Status ObserveJob(const CompiledJob& job, const ExecutionMonitor& monitor,
+                  CostCalibrator* calibrator);
+
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_OPTIMIZER_COST_LEARNER_H_

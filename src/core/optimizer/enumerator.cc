@@ -1,0 +1,346 @@
+#include "core/optimizer/enumerator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/operators/physical_ops.h"
+
+namespace rheem {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Finds loop-body marker operators and binds them to the loop's inputs.
+Result<EstimateMap> BodyExternalEstimates(const Plan& body,
+                                          const Estimate& state,
+                                          const Estimate& data) {
+  EstimateMap external;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    auto* op = dynamic_cast<PhysicalOperator*>(body.op(i));
+    if (op == nullptr) continue;
+    if (op->kind() == OpKind::kLoopState) external[op->id()] = state;
+    if (op->kind() == OpKind::kLoopData) external[op->id()] = data;
+  }
+  return external;
+}
+
+struct LoopInfo {
+  const Plan* body = nullptr;
+  double iterations = 1.0;
+};
+
+LoopInfo GetLoopInfo(const PhysicalOperator& op) {
+  if (op.kind() == OpKind::kRepeat) {
+    const auto& rep = static_cast<const RepeatOp&>(op);
+    return {&rep.body(), static_cast<double>(rep.num_iterations())};
+  }
+  if (op.kind() == OpKind::kDoWhile) {
+    const auto& dw = static_cast<const DoWhileOp&>(op);
+    return {&dw.body(), static_cast<double>(dw.max_iterations())};
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string PlatformAssignment::ToString() const {
+  std::string out;
+  for (const auto& [id, platform] : by_op) {
+    out += "#" + std::to_string(id) + " -> " +
+           (platform != nullptr ? platform->name() : std::string("<none>")) + "\n";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "estimated cost: %.1f us\n",
+                estimated_cost_micros);
+  out += buf;
+  return out;
+}
+
+bool Enumerator::SupportsDeep(const Platform& platform, const Operator& op) {
+  const auto* pop = dynamic_cast<const PhysicalOperator*>(&op);
+  if (pop == nullptr) return false;
+  // Placeholder operators are bound by the runtime, not executed; every
+  // platform "supports" them.
+  const bool is_marker = pop->kind() == OpKind::kLoopState ||
+                         pop->kind() == OpKind::kLoopData ||
+                         pop->kind() == OpKind::kStageInput;
+  if (!is_marker && !platform.Supports(*pop)) return false;
+  const LoopInfo loop = GetLoopInfo(*pop);
+  if (loop.body != nullptr) {
+    for (std::size_t i = 0; i < loop.body->size(); ++i) {
+      if (!SupportsDeep(platform, *loop.body->op(i))) return false;
+    }
+  }
+  return true;
+}
+
+Result<double> Enumerator::PlanCostOnPlatform(const Plan& plan,
+                                              const EstimateMap& estimates,
+                                              Platform* platform) const {
+  RHEEM_ASSIGN_OR_RETURN(std::vector<Operator*> topo, plan.TopologicalOrder());
+  double total = 0.0;
+  for (Operator* base : topo) {
+    auto* op = dynamic_cast<PhysicalOperator*>(base);
+    if (op == nullptr) return Status::InvalidPlan("expected a physical plan");
+    if (!SupportsDeep(*platform, *op)) {
+      return Status::Unsupported("platform '" + platform->name() +
+                                 "' cannot run operator " + op->name());
+    }
+    auto self = estimates.find(op->id());
+    if (self == estimates.end()) {
+      return Status::Internal("missing estimate for op " + op->name());
+    }
+    std::vector<double> in_cards;
+    for (Operator* in : op->inputs()) {
+      auto it = estimates.find(in->id());
+      in_cards.push_back(it != estimates.end() ? it->second.cardinality : 0.0);
+    }
+    const LoopInfo loop = GetLoopInfo(*op);
+    if (loop.body != nullptr) {
+      const Estimate state = op->inputs().empty()
+                                 ? Estimate{}
+                                 : estimates.at(op->inputs()[0]->id());
+      const Estimate data = op->inputs().size() > 1
+                                ? estimates.at(op->inputs()[1]->id())
+                                : Estimate{};
+      RHEEM_ASSIGN_OR_RETURN(EstimateMap body_external,
+                             BodyExternalEstimates(*loop.body, state, data));
+      RHEEM_ASSIGN_OR_RETURN(
+          EstimateMap body_estimates,
+          CardinalityEstimator::Estimate(*loop.body, body_external));
+      RHEEM_ASSIGN_OR_RETURN(
+          double body_cost,
+          PlanCostOnPlatform(*loop.body, body_estimates, platform));
+      total += loop.iterations *
+               (body_cost + platform->cost_model().JobOverheadMicros());
+    } else {
+      const auto& mapping = platform->mappings().Find(*op);
+      const double weight = mapping != nullptr ? mapping->cost_weight : 1.0;
+      total += weight * platform->cost_model().OperatorCostMicros(
+                            *op, in_cards, self->second.cardinality);
+    }
+  }
+  total += platform->cost_model().StageOverheadMicros();
+  return total;
+}
+
+Result<PlatformAssignment> Enumerator::Run(const Plan& plan,
+                                           const EstimateMap& estimates,
+                                           const EnumeratorOptions& options) const {
+  RHEEM_RETURN_IF_ERROR(plan.Validate());
+  RHEEM_ASSIGN_OR_RETURN(std::vector<Operator*> topo, plan.TopologicalOrder());
+
+  std::vector<Platform*> platforms = registry_->All();
+  if (platforms.empty()) {
+    return Status::InvalidArgument("no platforms registered");
+  }
+  if (!options.force_platform.empty()) {
+    RHEEM_ASSIGN_OR_RETURN(Platform * forced,
+                           registry_->Get(options.force_platform));
+    platforms = {forced};
+  }
+  const std::size_t np = platforms.size();
+  auto platform_index = [&](Platform* p) -> std::size_t {
+    for (std::size_t i = 0; i < np; ++i) {
+      if (platforms[i] == p) return i;
+    }
+    return np;
+  };
+
+  // dp[op id][platform index]; choice[op id][platform index][input slot].
+  std::map<int, std::vector<double>> dp;
+  std::map<int, std::vector<std::vector<std::size_t>>> choice;
+
+  for (Operator* base : topo) {
+    auto* op = dynamic_cast<PhysicalOperator*>(base);
+    if (op == nullptr) return Status::InvalidPlan("expected a physical plan");
+
+    // Candidate platforms for this operator.
+    std::vector<bool> allowed(np, true);
+    auto pin = options.pinned_platforms.find(op->id());
+    if (pin != options.pinned_platforms.end()) {
+      RHEEM_ASSIGN_OR_RETURN(Platform * pinned, registry_->Get(pin->second));
+      const std::size_t pi = platform_index(pinned);
+      if (pi == np) {
+        return Status::InvalidArgument(
+            "operator " + op->name() + " pinned to platform '" + pin->second +
+            "' which is excluded by force_platform");
+      }
+      for (std::size_t i = 0; i < np; ++i) allowed[i] = (i == pi);
+    }
+
+    auto self_est = estimates.find(op->id());
+    if (self_est == estimates.end()) {
+      return Status::Internal("missing estimate for op " + op->name());
+    }
+    std::vector<double> in_cards;
+    for (Operator* in : op->inputs()) {
+      auto it = estimates.find(in->id());
+      in_cards.push_back(it != estimates.end() ? it->second.cardinality : 0.0);
+    }
+
+    std::vector<double> costs(np, kInf);
+    std::vector<std::vector<std::size_t>> picks(
+        np, std::vector<std::size_t>(op->inputs().size(), 0));
+
+    for (std::size_t pi = 0; pi < np; ++pi) {
+      if (!allowed[pi]) continue;
+      Platform* p = platforms[pi];
+      if (!SupportsDeep(*p, *op)) continue;
+
+      double self_cost = 0.0;
+      const LoopInfo loop = GetLoopInfo(*op);
+      if (loop.body != nullptr) {
+        const Estimate state = op->inputs().empty()
+                                   ? Estimate{}
+                                   : estimates.at(op->inputs()[0]->id());
+        const Estimate data = op->inputs().size() > 1
+                                  ? estimates.at(op->inputs()[1]->id())
+                                  : Estimate{};
+        auto body_external = BodyExternalEstimates(*loop.body, state, data);
+        if (!body_external.ok()) continue;
+        auto body_estimates = CardinalityEstimator::Estimate(
+            *loop.body, body_external.ValueOrDie());
+        if (!body_estimates.ok()) continue;
+        auto body_cost =
+            PlanCostOnPlatform(*loop.body, body_estimates.ValueOrDie(), p);
+        if (!body_cost.ok()) continue;
+        self_cost = loop.iterations * (body_cost.ValueOrDie() +
+                                       p->cost_model().JobOverheadMicros());
+      } else {
+        const auto* mapping = p->mappings().Find(*op);
+        const double weight = mapping != nullptr ? mapping->cost_weight : 1.0;
+        self_cost = weight * p->cost_model().OperatorCostMicros(
+                                 *op, in_cards, self_est->second.cardinality);
+      }
+      // A source operator opens a task atom on its platform; charge the
+      // platform's fixed stage overhead there (platform switches below
+      // charge it on every cross-platform edge). This is what makes small
+      // jobs stay off cluster-style platforms (Figure 2's left end).
+      if (op->inputs().empty()) {
+        self_cost += p->cost_model().StageOverheadMicros();
+      }
+
+      double total = self_cost;
+      bool feasible = true;
+      for (std::size_t s = 0; s < op->inputs().size(); ++s) {
+        Operator* in = op->inputs()[s];
+        const auto& in_dp = dp.at(in->id());
+        const Estimate in_est = estimates.at(in->id());
+        double best = kInf;
+        std::size_t best_q = 0;
+        for (std::size_t qi = 0; qi < np; ++qi) {
+          if (in_dp[qi] == kInf) continue;
+          double move = 0.0;
+          if (platforms[qi] != p) {
+            move += p->cost_model().StageOverheadMicros();
+          }
+          if (options.movement_aware) {
+            move += movement_->MoveCostMicros(*platforms[qi], *p,
+                                              in_est.cardinality,
+                                              in_est.avg_bytes);
+          }
+          const double cand = in_dp[qi] + move;
+          if (cand < best) {
+            best = cand;
+            best_q = qi;
+          }
+        }
+        if (best == kInf) {
+          feasible = false;
+          break;
+        }
+        total += best;
+        picks[pi][s] = best_q;
+      }
+      if (feasible) costs[pi] = total;
+    }
+
+    bool any = false;
+    for (double c : costs) any = any || (c != kInf);
+    if (!any) {
+      return Status::Unsupported("no registered platform can execute operator " +
+                                 op->name());
+    }
+    dp[op->id()] = std::move(costs);
+    choice[op->id()] = std::move(picks);
+  }
+
+  // Pick the cheapest platform for the sink, then backtrack.
+  Operator* sink = plan.sink();
+  const auto& sink_dp = dp.at(sink->id());
+  std::size_t best_pi = 0;
+  double best_cost = kInf;
+  for (std::size_t pi = 0; pi < np; ++pi) {
+    if (sink_dp[pi] < best_cost) {
+      best_cost = sink_dp[pi];
+      best_pi = pi;
+    }
+  }
+
+  PlatformAssignment assignment;
+  assignment.estimated_cost_micros = best_cost;
+  // DFS backtrack; first visit of a shared operator wins (deterministic).
+  std::vector<std::pair<Operator*, std::size_t>> work{{sink, best_pi}};
+  while (!work.empty()) {
+    auto [op, pi] = work.back();
+    work.pop_back();
+    auto [it, inserted] = assignment.by_op.emplace(op->id(), platforms[pi]);
+    if (!inserted) continue;
+    const auto& picks = choice.at(op->id())[pi];
+    for (std::size_t s = 0; s < op->inputs().size(); ++s) {
+      work.emplace_back(op->inputs()[s], picks[s]);
+    }
+  }
+
+  // Post-pass: flip algorithmic variants where the assigned platform prefers
+  // the alternative (paper §3.1 Example 2: the core-layer optimizer chooses
+  // between SortGroupBy and HashGroupBy).
+  if (options.choose_algorithms) {
+    for (Operator* base : topo) {
+      auto* op = dynamic_cast<PhysicalOperator*>(base);
+      Platform* p = assignment.by_op.count(op->id()) > 0
+                        ? assignment.by_op.at(op->id())
+                        : nullptr;
+      if (p == nullptr) continue;
+      std::vector<double> in_cards;
+      for (Operator* in : op->inputs()) {
+        in_cards.push_back(estimates.at(in->id()).cardinality);
+      }
+      const double out_card = estimates.at(op->id()).cardinality;
+      auto cost_now = [&](PhysicalOperator* o) {
+        const auto* m = p->mappings().Find(*o);
+        const double w = m != nullptr ? m->cost_weight : 1.0;
+        return w * p->cost_model().OperatorCostMicros(*o, in_cards, out_card);
+      };
+      if (auto* gb = dynamic_cast<GroupByKeyOp*>(op)) {
+        const GroupByAlgorithm original = gb->algorithm();
+        const GroupByAlgorithm alternative =
+            original == GroupByAlgorithm::kHash ? GroupByAlgorithm::kSort
+                                                : GroupByAlgorithm::kHash;
+        const double c0 = cost_now(gb);
+        gb->set_algorithm(alternative);
+        const bool supported = p->Supports(*gb);
+        const double c1 = supported ? cost_now(gb) : kInf;
+        if (c1 >= c0) gb->set_algorithm(original);
+      } else if (auto* j = dynamic_cast<JoinOp*>(op)) {
+        const JoinAlgorithm original = j->algorithm();
+        const JoinAlgorithm alternative = original == JoinAlgorithm::kHash
+                                              ? JoinAlgorithm::kSortMerge
+                                              : JoinAlgorithm::kHash;
+        const double c0 = cost_now(j);
+        j->set_algorithm(alternative);
+        const bool supported = p->Supports(*j);
+        const double c1 = supported ? cost_now(j) : kInf;
+        if (c1 >= c0) j->set_algorithm(original);
+      }
+    }
+  }
+
+  return assignment;
+}
+
+}  // namespace rheem

@@ -1,0 +1,77 @@
+#ifndef RHEEM_CORE_OPTIMIZER_ENUMERATOR_H_
+#define RHEEM_CORE_OPTIMIZER_ENUMERATOR_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "core/mapping/platform.h"
+#include "core/optimizer/cardinality.h"
+#include "core/optimizer/channel.h"
+#include "core/plan/plan.h"
+
+namespace rheem {
+
+/// Knobs steering the multi-platform enumeration.
+struct EnumeratorOptions {
+  /// Non-empty: assign every operator to this platform (used by the
+  /// forced-platform baselines in the Figure 2 benchmark).
+  std::string force_platform;
+  /// Per-operator pins (op id -> platform name); the fluent API's
+  /// DataQuanta::OnPlatform ends up here.
+  std::map<int, std::string> pinned_platforms;
+  /// Let the optimizer flip algorithmic variants (HashGroupBy vs SortGroupBy,
+  /// HashJoin vs SortMergeJoin) after platform assignment.
+  bool choose_algorithms = true;
+  /// Account for inter-platform movement costs. Disabling reproduces the
+  /// Musketeer-style optimizer the paper contrasts with (ablation A2).
+  bool movement_aware = true;
+};
+
+/// \brief The outcome of enumeration: every operator bound to a platform.
+struct PlatformAssignment {
+  std::map<int, Platform*> by_op;
+  double estimated_cost_micros = 0.0;
+
+  std::string ToString() const;
+};
+
+/// \brief The multi-platform task optimizer's core search (paper §4.2).
+///
+/// Runs a dynamic program over the plan DAG in topological order:
+///   dp[op][p] = cost(op on p) + sum over inputs i of
+///               min over q ( dp[i][q] + move(q -> p, card_i) )
+/// then backtracks from the sink's cheapest platform. For tree-shaped plans
+/// this is exact; operators feeding multiple consumers are costed once per
+/// consumer (a standard over-count that is conservative about movement).
+///
+/// Loop operators (Repeat/DoWhile) are costed as
+///   iterations x (body cost on p + per-job overhead of p)
+/// with the body estimated recursively — the term that penalizes
+/// cluster-style platforms for small iterative jobs (Figure 2).
+class Enumerator {
+ public:
+  Enumerator(const PlatformRegistry* registry,
+             const MovementCostModel* movement)
+      : registry_(registry), movement_(movement) {}
+
+  Result<PlatformAssignment> Run(const Plan& plan, const EstimateMap& estimates,
+                                 const EnumeratorOptions& options = {}) const;
+
+  /// Total cost of running every operator of `plan` on `platform`
+  /// (no movement). Used for loop bodies and exposed for tests.
+  Result<double> PlanCostOnPlatform(const Plan& plan,
+                                    const EstimateMap& estimates,
+                                    Platform* platform) const;
+
+  /// True when `platform` can execute `op` (recursing into loop bodies).
+  static bool SupportsDeep(const Platform& platform, const Operator& op);
+
+ private:
+  const PlatformRegistry* registry_;
+  const MovementCostModel* movement_;
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_OPTIMIZER_ENUMERATOR_H_

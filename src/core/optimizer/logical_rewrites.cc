@@ -1,0 +1,127 @@
+#include "core/optimizer/logical_rewrites.h"
+
+#include <algorithm>
+
+#include "core/operators/physical_ops.h"
+
+namespace rheem {
+
+namespace {
+
+double FilterRank(const FilterOp& f) {
+  const double sel = std::clamp(f.udf().meta.selectivity, 0.0, 0.999);
+  return f.udf().meta.cost_factor / (1.0 - sel);
+}
+
+/// Repoints every consumer of `from` (and the sink) to `to`.
+void ReplaceDownstream(Plan* plan, Operator* from, Operator* to) {
+  for (Operator* consumer : plan->ConsumersOf(from)) {
+    if (consumer == to) continue;
+    for (std::size_t i = 0; i < consumer->inputs().size(); ++i) {
+      if (consumer->inputs()[i] == from) consumer->SetInput(i, to);
+    }
+  }
+  if (plan->sink() == from) plan->SetSink(to);
+}
+
+int ReorderFilterChains(Plan* plan) {
+  int swaps = 0;
+  // Bubble-style passes over Filter->Filter edges until stable; chains are
+  // short, so this converges immediately in practice.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < plan->size(); ++i) {
+      auto* lower = dynamic_cast<FilterOp*>(plan->op(i));
+      if (lower == nullptr) continue;
+      auto* upper = dynamic_cast<FilterOp*>(lower->inputs()[0]);
+      if (upper == nullptr) continue;
+      // Only safe when the chain is linear: `upper` feeds `lower` alone.
+      if (plan->ConsumersOf(upper).size() != 1) continue;
+      if (FilterRank(*lower) < FilterRank(*upper)) {
+        PredicateUdf tmp = lower->udf();
+        lower->set_udf(upper->udf());
+        upper->set_udf(std::move(tmp));
+        ++swaps;
+        changed = true;
+      }
+    }
+  }
+  return swaps;
+}
+
+int PushFiltersThroughUnions(Plan* plan) {
+  int pushed = 0;
+  // Collect candidates first; Add() invalidates nothing but keeps the loop
+  // bounds honest.
+  std::vector<FilterOp*> candidates;
+  for (std::size_t i = 0; i < plan->size(); ++i) {
+    auto* f = dynamic_cast<FilterOp*>(plan->op(i));
+    if (f == nullptr) continue;
+    auto* u = dynamic_cast<UnionOp*>(f->inputs()[0]);
+    if (u == nullptr) continue;
+    // The union must feed only this filter, or we would duplicate work for
+    // its other consumers.
+    if (plan->ConsumersOf(u).size() != 1) continue;
+    candidates.push_back(f);
+  }
+  for (FilterOp* f : candidates) {
+    auto* u = static_cast<UnionOp*>(f->inputs()[0]);
+    Operator* left = u->inputs()[0];
+    Operator* right = u->inputs()[1];
+    auto* fl = plan->Add<FilterOp>({left}, f->udf());
+    auto* fr = plan->Add<FilterOp>({right}, f->udf());
+    auto* u2 = plan->Add<UnionOp>({fl, fr});
+    ReplaceDownstream(plan, f, u2);
+    ++pushed;
+  }
+  return pushed;
+}
+
+int PushProjectsThroughUnions(Plan* plan) {
+  int pushed = 0;
+  std::vector<ProjectOp*> candidates;
+  for (std::size_t i = 0; i < plan->size(); ++i) {
+    auto* p = dynamic_cast<ProjectOp*>(plan->op(i));
+    if (p == nullptr) continue;
+    auto* u = dynamic_cast<UnionOp*>(p->inputs()[0]);
+    if (u == nullptr) continue;
+    if (plan->ConsumersOf(u).size() != 1) continue;
+    candidates.push_back(p);
+  }
+  for (ProjectOp* p : candidates) {
+    auto* u = static_cast<UnionOp*>(p->inputs()[0]);
+    Operator* left = u->inputs()[0];
+    Operator* right = u->inputs()[1];
+    auto* pl = plan->Add<ProjectOp>({left}, p->columns());
+    auto* pr = plan->Add<ProjectOp>({right}, p->columns());
+    auto* u2 = plan->Add<UnionOp>({pl, pr});
+    ReplaceDownstream(plan, p, u2);
+    ++pushed;
+  }
+  return pushed;
+}
+
+}  // namespace
+
+Result<ApplicationRewrites::Stats> ApplicationRewrites::Apply(
+    Plan* plan, std::map<int, std::string>* pins) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  Stats stats;
+  stats.filters_pushed = PushFiltersThroughUnions(plan);
+  stats.projects_pushed = PushProjectsThroughUnions(plan);
+  stats.filters_reordered = ReorderFilterChains(plan);
+
+  RHEEM_ASSIGN_OR_RETURN(auto remap, plan->PruneToSink());
+  if (pins != nullptr) {
+    std::map<int, std::string> updated;
+    for (const auto& [old_id, platform] : *pins) {
+      auto it = remap.find(old_id);
+      if (it != remap.end()) updated[it->second] = platform;
+    }
+    *pins = std::move(updated);
+  }
+  return stats;
+}
+
+}  // namespace rheem

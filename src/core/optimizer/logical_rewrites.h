@@ -1,0 +1,42 @@
+#ifndef RHEEM_CORE_OPTIMIZER_LOGICAL_REWRITES_H_
+#define RHEEM_CORE_OPTIMIZER_LOGICAL_REWRITES_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "core/plan/plan.h"
+
+namespace rheem {
+
+/// \brief Application-layer plan rewrites (paper §4.1: "pre-defined
+/// optimizations such as operator push-down").
+///
+/// In this implementation the rewrites run on the freshly translated wrapper
+/// plan — physical operators that still carry the logical UDF annotations —
+/// which is equivalent to rewriting the logical plan and keeps the logical
+/// graph immutable for the caller. All rewrites are semantics-preserving
+/// without UDF introspection:
+///
+///  - ReorderFilterChains: adjacent conjunctive filters are ordered by
+///    rank = cost / (1 - selectivity), cheapest-most-selective first.
+///  - PushFilterThroughUnion: Filter(Union(a, b)) => Union(F(a), F(b)),
+///    shrinking data before the union's materialization point.
+///  - PushProjectThroughUnion: likewise for structural projections.
+///
+/// Rewrites may orphan operators; Apply() finishes with Plan::PruneToSink and
+/// remaps `pins` (operator-id keyed platform pins) accordingly.
+class ApplicationRewrites {
+ public:
+  struct Stats {
+    int filters_reordered = 0;
+    int filters_pushed = 0;
+    int projects_pushed = 0;
+  };
+
+  static Result<Stats> Apply(Plan* plan, std::map<int, std::string>* pins);
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_OPTIMIZER_LOGICAL_REWRITES_H_

@@ -1,0 +1,14 @@
+#include "core/plan/operator.h"
+
+namespace rheem {
+
+const char* OpLevelToString(OpLevel level) {
+  switch (level) {
+    case OpLevel::kLogical: return "logical";
+    case OpLevel::kPhysical: return "physical";
+    case OpLevel::kExecution: return "execution";
+  }
+  return "?";
+}
+
+}  // namespace rheem

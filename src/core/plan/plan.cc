@@ -1,0 +1,129 @@
+#include "core/plan/plan.h"
+
+#include <set>
+#include <string>
+
+namespace rheem {
+
+Result<std::vector<Operator*>> Plan::TopologicalOrder() const {
+  // Kahn's algorithm with deterministic tie-breaking by operator id.
+  std::set<const Operator*> owned;
+  for (const auto& op : ops_) owned.insert(op.get());
+
+  std::vector<int> pending_inputs(ops_.size(), 0);
+  std::vector<std::vector<Operator*>> consumers(ops_.size());
+  for (const auto& op : ops_) {
+    for (Operator* in : op->inputs()) {
+      if (owned.count(in) == 0) {
+        return Status::InvalidPlan("operator '" + op->name() +
+                                   "' references an input not owned by this plan");
+      }
+      ++pending_inputs[static_cast<std::size_t>(op->id())];
+      consumers[static_cast<std::size_t>(in->id())].push_back(op.get());
+    }
+  }
+
+  std::vector<Operator*> ready;
+  for (const auto& op : ops_) {
+    if (pending_inputs[static_cast<std::size_t>(op->id())] == 0) {
+      ready.push_back(op.get());
+    }
+  }
+  std::vector<Operator*> order;
+  order.reserve(ops_.size());
+  std::size_t cursor = 0;
+  while (cursor < ready.size()) {
+    Operator* op = ready[cursor++];
+    order.push_back(op);
+    for (Operator* c : consumers[static_cast<std::size_t>(op->id())]) {
+      if (--pending_inputs[static_cast<std::size_t>(c->id())] == 0) {
+        ready.push_back(c);
+      }
+    }
+  }
+  if (order.size() != ops_.size()) {
+    return Status::InvalidPlan("plan contains a cycle");
+  }
+  return order;
+}
+
+Status Plan::Validate() const {
+  if (ops_.empty()) return Status::InvalidPlan("plan is empty");
+  if (sink_ == nullptr) return Status::InvalidPlan("plan has no sink");
+
+  bool sink_owned = false;
+  for (const auto& op : ops_) {
+    if (op.get() == sink_) sink_owned = true;
+    const int want = op->arity();
+    const int got = static_cast<int>(op->inputs().size());
+    if (want != got) {
+      return Status::InvalidPlan(
+          "operator '" + op->name() + "' wants " + std::to_string(want) +
+          " inputs but has " + std::to_string(got));
+    }
+  }
+  if (!sink_owned) return Status::InvalidPlan("sink is not owned by this plan");
+
+  auto order = TopologicalOrder();
+  if (!order.ok()) return order.status();
+
+  // Reachability: every operator must contribute to the sink.
+  std::vector<bool> reaches(ops_.size(), false);
+  reaches[static_cast<std::size_t>(sink_->id())] = true;
+  const auto& topo = order.ValueOrDie();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    if (!reaches[static_cast<std::size_t>((*it)->id())]) continue;
+    for (Operator* in : (*it)->inputs()) {
+      reaches[static_cast<std::size_t>(in->id())] = true;
+    }
+  }
+  for (const auto& op : ops_) {
+    if (!reaches[static_cast<std::size_t>(op->id())]) {
+      return Status::InvalidPlan("operator '" + op->name() +
+                                 "' does not reach the sink (orphan)");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::map<int, int>> Plan::PruneToSink() {
+  if (sink_ == nullptr) return Status::InvalidPlan("plan has no sink");
+  // Mark reachable operators walking upstream from the sink.
+  std::vector<bool> reachable(ops_.size(), false);
+  std::vector<Operator*> work{sink_};
+  while (!work.empty()) {
+    Operator* op = work.back();
+    work.pop_back();
+    auto flag = reachable[static_cast<std::size_t>(op->id())];
+    if (flag) continue;
+    reachable[static_cast<std::size_t>(op->id())] = true;
+    for (Operator* in : op->inputs()) work.push_back(in);
+  }
+  std::map<int, int> remap;
+  std::vector<std::unique_ptr<Operator>> kept;
+  kept.reserve(ops_.size());
+  for (auto& op : ops_) {
+    if (!reachable[static_cast<std::size_t>(op->id())]) continue;
+    const int old_id = op->id();
+    op->id_ = static_cast<int>(kept.size());
+    remap[old_id] = op->id_;
+    kept.push_back(std::move(op));
+  }
+  ops_ = std::move(kept);
+  return remap;
+}
+
+std::vector<Operator*> Plan::ConsumersOf(const Operator* op) const {
+  std::vector<Operator*> out;
+  for (const auto& candidate : ops_) {
+    for (Operator* in : candidate->inputs()) {
+      if (in == op) {
+        out.push_back(candidate.get());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rheem

@@ -1,0 +1,81 @@
+#ifndef RHEEM_CORE_PLAN_PLAN_H_
+#define RHEEM_CORE_PLAN_PLAN_H_
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/plan/operator.h"
+
+namespace rheem {
+
+/// \brief Owning container for a dataflow DAG of operators at one
+/// abstraction level (a logical plan, a physical plan, or a loop body).
+///
+/// Operators are added via Add<T>(...); dataflow edges are recorded on the
+/// operators themselves (Operator::AddInput). Exactly one operator is the
+/// designated sink — its output is the plan's result.
+class Plan {
+ public:
+  Plan() = default;
+
+  Plan(const Plan&) = delete;
+  Plan& operator=(const Plan&) = delete;
+  Plan(Plan&&) = default;
+  Plan& operator=(Plan&&) = default;
+
+  /// Constructs an operator in place, takes ownership, assigns its id, and
+  /// wires the given upstream inputs. Returns a non-owning pointer valid for
+  /// the plan's lifetime.
+  template <typename T, typename... Args>
+  T* Add(std::vector<Operator*> inputs, Args&&... args) {
+    auto op = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = op.get();
+    raw->id_ = static_cast<int>(ops_.size());
+    if (raw->name().empty()) {
+      raw->set_name(raw->kind_name() + "#" + std::to_string(raw->id_));
+    }
+    for (Operator* in : inputs) raw->AddInput(in);
+    ops_.push_back(std::move(op));
+    return raw;
+  }
+
+  std::size_t size() const { return ops_.size(); }
+  Operator* op(std::size_t i) const { return ops_[i].get(); }
+
+  Operator* sink() const { return sink_; }
+  void SetSink(Operator* op) { sink_ = op; }
+
+  /// All operators in a deterministic topological order (inputs before
+  /// consumers). Errors if the plan has a cycle or dangling inputs.
+  Result<std::vector<Operator*>> TopologicalOrder() const;
+
+  /// Structural checks: sink set, arities satisfied, all referenced inputs
+  /// owned by this plan, DAG acyclic, every op reaches the sink or is a
+  /// side-effect-free orphan (orphans are an error: they signal plan bugs).
+  Status Validate() const;
+
+  /// Operators whose output feeds `op` positionally (convenience).
+  static const std::vector<Operator*>& InputsOf(const Operator* op) {
+    return op->inputs();
+  }
+
+  /// Downstream consumers of `op` within this plan.
+  std::vector<Operator*> ConsumersOf(const Operator* op) const;
+
+  /// Drops every operator that does not reach the sink (rewrites leave such
+  /// orphans behind), compacts ids, and returns the old-id -> new-id map for
+  /// surviving operators. Requires a sink.
+  Result<std::map<int, int>> PruneToSink();
+
+ private:
+  std::vector<std::unique_ptr<Operator>> ops_;
+  Operator* sink_ = nullptr;
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_PLAN_PLAN_H_

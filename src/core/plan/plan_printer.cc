@@ -1,0 +1,71 @@
+#include "core/plan/plan_printer.h"
+
+#include "core/operators/physical_ops.h"
+
+namespace rheem {
+
+std::string PlanPrinter::ToText(const Plan& plan,
+                                const std::map<int, std::string>& annotations) {
+  auto order = plan.TopologicalOrder();
+  if (!order.ok()) return "<invalid plan: " + order.status().ToString() + ">";
+  std::string out;
+  for (Operator* op : order.ValueOrDie()) {
+    out += "#" + std::to_string(op->id()) + " " + op->kind_name();
+    if (!op->inputs().empty()) {
+      out += " <- ";
+      for (std::size_t i = 0; i < op->inputs().size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "#" + std::to_string(op->inputs()[i]->id());
+      }
+    }
+    if (op == plan.sink()) out += " (sink)";
+    auto it = annotations.find(op->id());
+    if (it != annotations.end()) out += " [" + it->second + "]";
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+void EmitDot(const Plan& plan, const std::string& prefix, std::string* out) {
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    Operator* op = plan.op(i);
+    const std::string node = prefix + std::to_string(op->id());
+    *out += "  \"" + node + "\" [label=\"" + op->kind_name() + "\\n#" +
+            std::to_string(op->id()) + "\"";
+    if (op == plan.sink()) *out += ", shape=doubleoctagon";
+    *out += "];\n";
+    for (Operator* in : op->inputs()) {
+      *out += "  \"" + prefix + std::to_string(in->id()) + "\" -> \"" + node +
+              "\";\n";
+    }
+    // Nested loop bodies become clusters.
+    const Plan* body = nullptr;
+    if (auto* rep = dynamic_cast<RepeatOp*>(op)) {
+      body = &rep->body();
+    } else if (auto* dw = dynamic_cast<DoWhileOp*>(op)) {
+      body = &dw->body();
+    }
+    if (body != nullptr) {
+      const std::string sub = prefix + std::to_string(op->id()) + "_body_";
+      *out += "  subgraph \"cluster_" + sub + "\" {\n  label=\"body of " +
+              op->kind_name() + " #" + std::to_string(op->id()) + "\";\n";
+      EmitDot(*body, sub, out);
+      *out += "  }\n";
+      *out += "  \"" + sub + std::to_string(body->sink()->id()) + "\" -> \"" +
+              node + "\" [style=dashed];\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string PlanPrinter::ToDot(const Plan& plan) {
+  std::string out = "digraph rheem_plan {\n  rankdir=TB;\n  node [shape=box];\n";
+  EmitDot(plan, "op", &out);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace rheem

@@ -1,0 +1,27 @@
+#ifndef RHEEM_CORE_PLAN_PLAN_PRINTER_H_
+#define RHEEM_CORE_PLAN_PLAN_PRINTER_H_
+
+#include <map>
+#include <string>
+
+#include "core/plan/plan.h"
+
+namespace rheem {
+
+/// \brief Debug renderings of plans for logs, tests and documentation.
+class PlanPrinter {
+ public:
+  /// One line per operator in topological order:
+  ///   "#3 HashGroupBy <- #1, #2 [annotation]"
+  /// `annotations` (optional) maps operator id -> extra text, used by the
+  /// optimizer to show platform assignments and estimated cardinalities.
+  static std::string ToText(const Plan& plan,
+                            const std::map<int, std::string>& annotations = {});
+
+  /// Graphviz DOT rendering (nested loop bodies rendered as subgraphs).
+  static std::string ToDot(const Plan& plan);
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_PLAN_PLAN_PRINTER_H_

@@ -1,0 +1,55 @@
+#include "data/record.h"
+
+namespace rheem {
+
+Record Record::Concat(const Record& left, const Record& right) {
+  std::vector<Value> fields;
+  fields.reserve(left.size() + right.size());
+  for (const auto& v : left.fields()) fields.push_back(v);
+  for (const auto& v : right.fields()) fields.push_back(v);
+  return Record(std::move(fields));
+}
+
+Record Record::Project(const std::vector<int>& columns) const {
+  std::vector<Value> fields;
+  fields.reserve(columns.size());
+  for (int c : columns) fields.push_back(fields_[static_cast<std::size_t>(c)]);
+  return Record(std::move(fields));
+}
+
+int Record::Compare(const Record& other) const {
+  const std::size_t n = std::min(fields_.size(), other.fields_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    int c = fields_[i].Compare(other.fields_[i]);
+    if (c != 0) return c;
+  }
+  if (fields_.size() < other.fields_.size()) return -1;
+  if (fields_.size() > other.fields_.size()) return 1;
+  return 0;
+}
+
+std::size_t Record::Hash() const {
+  std::size_t h = 0x811c9dc5;
+  for (const auto& v : fields_) {
+    h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string Record::ToString() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+int64_t Record::EstimatedSize() const {
+  int64_t total = 16;  // vector header amortized
+  for (const auto& v : fields_) total += v.EstimatedSize();
+  return total;
+}
+
+}  // namespace rheem

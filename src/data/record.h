@@ -1,0 +1,73 @@
+#ifndef RHEEM_DATA_RECORD_H_
+#define RHEEM_DATA_RECORD_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "data/value.h"
+
+namespace rheem {
+
+/// \brief The data quantum: the smallest unit of data RHEEM operators see
+/// (paper Section 3.1). A Record is a tuple of Values.
+///
+/// Logical operators consume/produce single Records; execution operators work
+/// on Datasets (batches of Records) to amortize dispatch, mirroring the
+/// paper's distinction between logical and execution operators.
+class Record {
+ public:
+  Record() = default;
+  explicit Record(std::vector<Value> fields) : fields_(std::move(fields)) {}
+  Record(std::initializer_list<Value> fields) : fields_(fields) {}
+
+  std::size_t size() const { return fields_.size(); }
+  bool empty() const { return fields_.empty(); }
+
+  const Value& at(std::size_t i) const { return fields_[i]; }
+  Value& at(std::size_t i) { return fields_[i]; }
+  const Value& operator[](std::size_t i) const { return fields_[i]; }
+  Value& operator[](std::size_t i) { return fields_[i]; }
+
+  const std::vector<Value>& fields() const { return fields_; }
+  std::vector<Value>& mutable_fields() { return fields_; }
+
+  void Append(Value v) { fields_.push_back(std::move(v)); }
+
+  /// Concatenation of two records (used by join outputs).
+  static Record Concat(const Record& left, const Record& right);
+
+  /// Projection onto the given column indices (caller ensures bounds).
+  Record Project(const std::vector<int>& columns) const;
+
+  /// Lexicographic comparison over fields.
+  int Compare(const Record& other) const;
+  std::size_t Hash() const;
+
+  /// "(f0, f1, ...)" rendering for logs and tests.
+  std::string ToString() const;
+
+  int64_t EstimatedSize() const;
+
+  friend bool operator==(const Record& a, const Record& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator!=(const Record& a, const Record& b) {
+    return a.Compare(b) != 0;
+  }
+  friend bool operator<(const Record& a, const Record& b) {
+    return a.Compare(b) < 0;
+  }
+
+ private:
+  std::vector<Value> fields_;
+};
+
+struct RecordHasher {
+  std::size_t operator()(const Record& r) const { return r.Hash(); }
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_DATA_RECORD_H_

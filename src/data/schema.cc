@@ -1,0 +1,80 @@
+#include "data/schema.h"
+
+#include <set>
+
+namespace rheem {
+
+Result<int> Schema::IndexOf(const std::string& name) const {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return Status::NotFound("no field named '" + name + "' in schema " +
+                          ToString());
+}
+
+Status Schema::ValidateRecord(const Record& r) const {
+  if (r.size() != fields_.size()) {
+    return Status::InvalidArgument(
+        "record arity " + std::to_string(r.size()) +
+        " does not match schema arity " + std::to_string(fields_.size()));
+  }
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    const ValueType actual = r.at(i).type();
+    if (actual == ValueType::kNull) continue;  // null is member of any type
+    ValueType expected = fields_[i].type;
+    // int64 is acceptable where double is declared (numeric widening).
+    if (expected == ValueType::kDouble && actual == ValueType::kInt64) continue;
+    if (actual != expected) {
+      return Status::InvalidArgument(
+          "field '" + fields_[i].name + "' expects " +
+          ValueTypeToString(expected) + " but record holds " +
+          ValueTypeToString(actual));
+    }
+  }
+  return Status::OK();
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Field> fields = left.fields_;
+  std::set<std::string> names;
+  for (const auto& f : fields) names.insert(f.name);
+  for (const auto& f : right.fields_) {
+    Field g = f;
+    while (names.count(g.name) > 0) g.name += "_r";
+    names.insert(g.name);
+    fields.push_back(std::move(g));
+  }
+  return Schema(std::move(fields));
+}
+
+Schema Schema::Project(const std::vector<int>& columns) const {
+  std::vector<Field> fields;
+  fields.reserve(columns.size());
+  for (int c : columns) fields.push_back(fields_[static_cast<std::size_t>(c)]);
+  return Schema(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += ValueTypeToString(fields_[i].type);
+  }
+  out += "}";
+  return out;
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.fields_.size() != b.fields_.size()) return false;
+  for (std::size_t i = 0; i < a.fields_.size(); ++i) {
+    if (a.fields_[i].name != b.fields_[i].name ||
+        a.fields_[i].type != b.fields_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rheem

@@ -1,0 +1,176 @@
+#include "data/serialization.h"
+
+#include <cstring>
+
+namespace rheem {
+
+namespace {
+
+template <typename T>
+void PutRaw(T v, std::string* out) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+bool GetRaw(const std::string& buf, std::size_t* offset, T* v) {
+  if (*offset + sizeof(T) > buf.size()) return false;
+  std::memcpy(v, buf.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+void Serializer::EncodeRecord(const Record& r, std::string* out) {
+  PutRaw<uint32_t>(static_cast<uint32_t>(r.size()), out);
+  for (const auto& v : r.fields()) {
+    PutRaw<uint8_t>(static_cast<uint8_t>(v.type()), out);
+    switch (v.type()) {
+      case ValueType::kNull:
+        break;
+      case ValueType::kBool:
+        PutRaw<uint8_t>(v.bool_unchecked() ? 1 : 0, out);
+        break;
+      case ValueType::kInt64:
+        PutRaw<int64_t>(v.int64_unchecked(), out);
+        break;
+      case ValueType::kDouble:
+        PutRaw<double>(v.double_unchecked(), out);
+        break;
+      case ValueType::kString: {
+        const std::string& s = v.string_unchecked();
+        PutRaw<uint32_t>(static_cast<uint32_t>(s.size()), out);
+        out->append(s);
+        break;
+      }
+      case ValueType::kDoubleList: {
+        const auto& xs = v.double_list_unchecked();
+        PutRaw<uint32_t>(static_cast<uint32_t>(xs.size()), out);
+        for (double d : xs) PutRaw<double>(d, out);
+        break;
+      }
+    }
+  }
+}
+
+Result<Record> Serializer::DecodeRecord(const std::string& buf,
+                                        std::size_t* offset) {
+  uint32_t nfields = 0;
+  if (!GetRaw(buf, offset, &nfields)) {
+    return Status::IoError("truncated record header");
+  }
+  std::vector<Value> fields;
+  fields.reserve(nfields);
+  for (uint32_t i = 0; i < nfields; ++i) {
+    uint8_t tag = 0;
+    if (!GetRaw(buf, offset, &tag)) return Status::IoError("truncated type tag");
+    switch (static_cast<ValueType>(tag)) {
+      case ValueType::kNull:
+        fields.emplace_back();
+        break;
+      case ValueType::kBool: {
+        uint8_t b = 0;
+        if (!GetRaw(buf, offset, &b)) return Status::IoError("truncated bool");
+        fields.emplace_back(b != 0);
+        break;
+      }
+      case ValueType::kInt64: {
+        int64_t v = 0;
+        if (!GetRaw(buf, offset, &v)) return Status::IoError("truncated int64");
+        fields.emplace_back(v);
+        break;
+      }
+      case ValueType::kDouble: {
+        double v = 0;
+        if (!GetRaw(buf, offset, &v)) return Status::IoError("truncated double");
+        fields.emplace_back(v);
+        break;
+      }
+      case ValueType::kString: {
+        uint32_t len = 0;
+        if (!GetRaw(buf, offset, &len)) {
+          return Status::IoError("truncated string length");
+        }
+        if (*offset + len > buf.size()) {
+          return Status::IoError("truncated string payload");
+        }
+        fields.emplace_back(std::string(buf.data() + *offset, len));
+        *offset += len;
+        break;
+      }
+      case ValueType::kDoubleList: {
+        uint32_t n = 0;
+        if (!GetRaw(buf, offset, &n)) {
+          return Status::IoError("truncated list length");
+        }
+        std::vector<double> xs(n);
+        for (uint32_t k = 0; k < n; ++k) {
+          if (!GetRaw(buf, offset, &xs[k])) {
+            return Status::IoError("truncated list payload");
+          }
+        }
+        fields.emplace_back(std::move(xs));
+        break;
+      }
+      default:
+        return Status::IoError("unknown value type tag " + std::to_string(tag));
+    }
+  }
+  return Record(std::move(fields));
+}
+
+std::string Serializer::EncodeDataset(const Dataset& ds) {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(EncodedSize(ds)));
+  PutRaw<uint64_t>(ds.size(), &out);
+  for (const auto& r : ds.records()) EncodeRecord(r, &out);
+  return out;
+}
+
+Result<Dataset> Serializer::DecodeDataset(const std::string& buf) {
+  std::size_t offset = 0;
+  uint64_t rows = 0;
+  if (!GetRaw(buf, &offset, &rows)) {
+    return Status::IoError("truncated dataset header");
+  }
+  std::vector<Record> records;
+  records.reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    auto rec = DecodeRecord(buf, &offset);
+    if (!rec.ok()) {
+      return rec.status().WithContext("record " + std::to_string(i));
+    }
+    records.push_back(std::move(rec).ValueOrDie());
+  }
+  return Dataset(std::move(records));
+}
+
+int64_t Serializer::EncodedSize(const Record& r) {
+  int64_t total = 4;
+  for (const auto& v : r.fields()) {
+    total += 1;
+    switch (v.type()) {
+      case ValueType::kNull: break;
+      case ValueType::kBool: total += 1; break;
+      case ValueType::kInt64: total += 8; break;
+      case ValueType::kDouble: total += 8; break;
+      case ValueType::kString:
+        total += 4 + static_cast<int64_t>(v.string_unchecked().size());
+        break;
+      case ValueType::kDoubleList:
+        total += 4 + static_cast<int64_t>(v.double_list_unchecked().size()) * 8;
+        break;
+    }
+  }
+  return total;
+}
+
+int64_t Serializer::EncodedSize(const Dataset& ds) {
+  int64_t total = 8;
+  for (const auto& r : ds.records()) total += EncodedSize(r);
+  return total;
+}
+
+}  // namespace rheem

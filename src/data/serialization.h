@@ -1,0 +1,49 @@
+#ifndef RHEEM_DATA_SERIALIZATION_H_
+#define RHEEM_DATA_SERIALIZATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "data/record.h"
+
+namespace rheem {
+
+/// \brief Binary codec for Records and Datasets.
+///
+/// Two roles in the reproduction:
+///  1. Real persistence for the storage backends and the stream channel.
+///  2. Measured proxy for the (de)serialization work a real cross-platform
+///     deployment pays at platform boundaries and shuffles — the executor
+///     genuinely encodes/decodes bytes when a plan crosses platforms, so
+///     movement costs in benchmarks are earned, not faked.
+///
+/// Wire format (little-endian):
+///   record  := u32 field_count, field*
+///   field   := u8 type_tag, payload
+///   payload := bool->u8 | int64->i64 | double->f64
+///              | string->u32 len + bytes | double_list->u32 n + f64*n
+class Serializer {
+ public:
+  /// Appends the encoding of `r` to `out`.
+  static void EncodeRecord(const Record& r, std::string* out);
+
+  /// Decodes one record starting at *offset; advances *offset past it.
+  static Result<Record> DecodeRecord(const std::string& buf,
+                                     std::size_t* offset);
+
+  /// Encodes an entire dataset (u64 row count header, then records).
+  static std::string EncodeDataset(const Dataset& ds);
+
+  static Result<Dataset> DecodeDataset(const std::string& buf);
+
+  /// Exact encoded size without materializing the bytes (cost estimation).
+  static int64_t EncodedSize(const Record& r);
+  static int64_t EncodedSize(const Dataset& ds);
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_DATA_SERIALIZATION_H_

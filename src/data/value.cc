@@ -1,0 +1,213 @@
+#include "data/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+namespace rheem {
+
+const char* ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "null";
+    case ValueType::kBool: return "bool";
+    case ValueType::kInt64: return "int64";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+    case ValueType::kDoubleList: return "double_list";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  return static_cast<ValueType>(v_.index());
+}
+
+Result<bool> Value::AsBool() const {
+  if (type() != ValueType::kBool) {
+    return Status::InvalidArgument(std::string("value is not bool but ") +
+                                   ValueTypeToString(type()));
+  }
+  return std::get<bool>(v_);
+}
+
+Result<int64_t> Value::AsInt64() const {
+  if (type() != ValueType::kInt64) {
+    return Status::InvalidArgument(std::string("value is not int64 but ") +
+                                   ValueTypeToString(type()));
+  }
+  return std::get<int64_t>(v_);
+}
+
+Result<double> Value::AsDouble() const {
+  if (type() == ValueType::kDouble) return std::get<double>(v_);
+  if (type() == ValueType::kInt64) {
+    return static_cast<double>(std::get<int64_t>(v_));
+  }
+  return Status::InvalidArgument(std::string("value is not numeric but ") +
+                                 ValueTypeToString(type()));
+}
+
+Result<std::string> Value::AsString() const {
+  if (type() != ValueType::kString) {
+    return Status::InvalidArgument(std::string("value is not string but ") +
+                                   ValueTypeToString(type()));
+  }
+  return std::get<std::string>(v_);
+}
+
+Result<std::vector<double>> Value::AsDoubleList() const {
+  if (type() != ValueType::kDoubleList) {
+    return Status::InvalidArgument(std::string("value is not double_list but ") +
+                                   ValueTypeToString(type()));
+  }
+  return std::get<std::vector<double>>(v_);
+}
+
+double Value::ToDoubleOr(double fallback) const {
+  switch (type()) {
+    case ValueType::kDouble: return std::get<double>(v_);
+    case ValueType::kInt64: return static_cast<double>(std::get<int64_t>(v_));
+    case ValueType::kBool: return std::get<bool>(v_) ? 1.0 : 0.0;
+    default: return fallback;
+  }
+}
+
+int64_t Value::ToInt64Or(int64_t fallback) const {
+  switch (type()) {
+    case ValueType::kInt64: return std::get<int64_t>(v_);
+    case ValueType::kDouble: return static_cast<int64_t>(std::get<double>(v_));
+    case ValueType::kBool: return std::get<bool>(v_) ? 1 : 0;
+    default: return fallback;
+  }
+}
+
+namespace {
+// Cross-type rank so heterogeneous columns still have a total order.
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return 0;
+    case ValueType::kBool: return 1;
+    case ValueType::kInt64: return 2;   // numerics share rank 2
+    case ValueType::kDouble: return 2;
+    case ValueType::kString: return 3;
+    case ValueType::kDoubleList: return 4;
+  }
+  return 5;
+}
+
+template <typename T>
+int Cmp(const T& a, const T& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  const int ra = TypeRank(type());
+  const int rb = TypeRank(other.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return Cmp(std::get<bool>(v_), std::get<bool>(other.v_));
+    case ValueType::kInt64:
+    case ValueType::kDouble: {
+      // Numeric tower: compare as doubles. Exact for the magnitudes used in
+      // this codebase (keys fit in 53 bits).
+      return Cmp(ToDoubleOr(0), other.ToDoubleOr(0));
+    }
+    case ValueType::kString:
+      return Cmp(std::get<std::string>(v_), std::get<std::string>(other.v_));
+    case ValueType::kDoubleList: {
+      const auto& a = std::get<std::vector<double>>(v_);
+      const auto& b = std::get<std::vector<double>>(other.v_);
+      const std::size_t n = std::min(a.size(), b.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        int c = Cmp(a[i], b[i]);
+        if (c != 0) return c;
+      }
+      return Cmp(a.size(), b.size());
+    }
+  }
+  return 0;
+}
+
+std::size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kBool:
+      return std::get<bool>(v_) ? 0x1234567 : 0x7654321;
+    case ValueType::kInt64:
+    case ValueType::kDouble: {
+      // Numerics hash through their double representation so that
+      // Value(2) and Value(2.0) land in the same bucket, matching Compare.
+      const double d = ToDoubleOr(0);
+      if (d == static_cast<int64_t>(d)) {
+        return std::hash<int64_t>()(static_cast<int64_t>(d));
+      }
+      return std::hash<double>()(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>()(std::get<std::string>(v_));
+    case ValueType::kDoubleList: {
+      std::size_t h = 0x51ed270b;
+      for (double d : std::get<std::vector<double>>(v_)) {
+        h ^= std::hash<double>()(d) + 0x9e3779b9 + (h << 6) + (h >> 2);
+      }
+      return h;
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return std::get<bool>(v_) ? "true" : "false";
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(v_));
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", std::get<double>(v_));
+      return buf;
+    }
+    case ValueType::kString:
+      return std::get<std::string>(v_);
+    case ValueType::kDoubleList: {
+      std::string out = "[";
+      const auto& xs = std::get<std::vector<double>>(v_);
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (i > 0) out += ",";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6g", xs[i]);
+        out += buf;
+      }
+      out += "]";
+      return out;
+    }
+  }
+  return "?";
+}
+
+int64_t Value::EstimatedSize() const {
+  switch (type()) {
+    case ValueType::kNull: return 1;
+    case ValueType::kBool: return 1;
+    case ValueType::kInt64: return 8;
+    case ValueType::kDouble: return 8;
+    case ValueType::kString:
+      return static_cast<int64_t>(std::get<std::string>(v_).size()) + 8;
+    case ValueType::kDoubleList:
+      return static_cast<int64_t>(
+                 std::get<std::vector<double>>(v_).size() * sizeof(double)) +
+             8;
+  }
+  return 8;
+}
+
+}  // namespace rheem

@@ -1,0 +1,108 @@
+#ifndef RHEEM_DATA_VALUE_H_
+#define RHEEM_DATA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rheem {
+
+/// Runtime type tags for Value. kDoubleList models "a row in a matrix", the
+/// paper's second example of a data quantum (Section 3.1), and keeps ML
+/// workloads from paying per-feature boxing costs.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kString = 4,
+  kDoubleList = 5,
+};
+
+const char* ValueTypeToString(ValueType t);
+
+/// \brief Dynamically-typed cell: the atom a data quantum (Record) is made of.
+///
+/// Values order and hash across numeric types coherently (int 2 == double
+/// 2.0) so join/group keys behave like SQL. Null sorts first and equals only
+/// null.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(bool b) : v_(b) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(int i) : v_(static_cast<int64_t>(i)) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+  explicit Value(std::vector<double> xs) : v_(std::move(xs)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_numeric() const {
+    return type() == ValueType::kInt64 || type() == ValueType::kDouble;
+  }
+
+  /// Checked accessors: error when the runtime type does not match.
+  Result<bool> AsBool() const;
+  Result<int64_t> AsInt64() const;
+  Result<double> AsDouble() const;  // accepts int64 too (widening)
+  Result<std::string> AsString() const;
+  Result<std::vector<double>> AsDoubleList() const;
+
+  /// Unchecked accessors for hot loops; caller has verified the type.
+  bool bool_unchecked() const { return std::get<bool>(v_); }
+  int64_t int64_unchecked() const { return std::get<int64_t>(v_); }
+  double double_unchecked() const { return std::get<double>(v_); }
+  const std::string& string_unchecked() const { return std::get<std::string>(v_); }
+  const std::vector<double>& double_list_unchecked() const {
+    return std::get<std::vector<double>>(v_);
+  }
+  std::vector<double>& mutable_double_list_unchecked() {
+    return std::get<std::vector<double>>(v_);
+  }
+
+  /// Numeric widening without error plumbing: returns fallback on mismatch.
+  double ToDoubleOr(double fallback) const;
+  int64_t ToInt64Or(int64_t fallback) const;
+
+  /// Total order across all values: null < bool < numeric < string < list.
+  /// Within numerics, compares by double value. Returns -1/0/+1.
+  int Compare(const Value& other) const;
+
+  std::size_t Hash() const;
+
+  /// Display rendering ("NULL", "3.14", "\"abc\"" is NOT quoted -> abc).
+  std::string ToString() const;
+
+  /// Approximate in-memory footprint in bytes (used by cost models).
+  int64_t EstimatedSize() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return a.Compare(b) != 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.Compare(b) < 0;
+  }
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string,
+               std::vector<double>>
+      v_;
+};
+
+struct ValueHasher {
+  std::size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_DATA_VALUE_H_

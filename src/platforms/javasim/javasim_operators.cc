@@ -1,0 +1,198 @@
+#include "platforms/javasim/javasim_operators.h"
+
+#include "core/operators/iejoin.h"
+#include "core/plan/plan.h"
+#include "core/operators/kernels.h"
+
+namespace rheem {
+namespace javasim {
+
+Status DatasetWalker::RunOps(const std::vector<Operator*>& ops,
+                             const BoundaryMap& external) {
+  for (Operator* base : ops) {
+    auto* op = dynamic_cast<PhysicalOperator*>(base);
+    if (op == nullptr) {
+      return Status::InvalidPlan("javasim can only execute physical operators");
+    }
+    std::vector<const Dataset*> inputs;
+    inputs.reserve(op->inputs().size());
+    for (Operator* in : op->inputs()) {
+      auto it = results_.find(in->id());
+      if (it != results_.end()) {
+        inputs.push_back(&it->second);
+      } else {
+        auto ext = external.find(in->id());
+        if (ext == external.end()) {
+          return Status::ExecutionError("javasim: missing input #" +
+                                        std::to_string(in->id()) + " for " +
+                                        op->name());
+        }
+        inputs.push_back(ext->second);
+      }
+    }
+    RHEEM_ASSIGN_OR_RETURN(Dataset out, EvalOperator(*op, inputs));
+    results_[op->id()] = std::move(out);
+  }
+  return Status::OK();
+}
+
+Result<const Dataset*> DatasetWalker::ResultOf(int op_id) const {
+  auto it = results_.find(op_id);
+  if (it == results_.end()) {
+    return Status::ExecutionError("javasim: no result for operator #" +
+                                  std::to_string(op_id));
+  }
+  return &it->second;
+}
+
+Result<Dataset> DatasetWalker::EvalOperator(
+    const PhysicalOperator& op, const std::vector<const Dataset*>& inputs) {
+  static const Dataset* const kEmpty = new Dataset();
+  const Dataset& in0 = inputs.empty() ? *kEmpty : *inputs[0];
+  switch (op.kind()) {
+    case OpKind::kCollectionSource:
+      return static_cast<const CollectionSourceOp&>(op).data();
+    case OpKind::kStageInput:
+    case OpKind::kLoopState:
+    case OpKind::kLoopData:
+      return Status::ExecutionError(op.kind_name() +
+                                    " must be bound externally");
+    case OpKind::kMap:
+      return kernels::Map(static_cast<const MapOp&>(op).udf(), in0);
+    case OpKind::kFlatMap:
+      return kernels::FlatMap(static_cast<const FlatMapOp&>(op).udf(), in0);
+    case OpKind::kFilter:
+      return kernels::Filter(static_cast<const FilterOp&>(op).udf(), in0);
+    case OpKind::kProject:
+      return kernels::Project(static_cast<const ProjectOp&>(op).columns(), in0);
+    case OpKind::kDistinct:
+      return kernels::Distinct(in0);
+    case OpKind::kSort:
+      return kernels::SortByKey(static_cast<const SortOp&>(op).key(), in0);
+    case OpKind::kSample: {
+      const auto& s = static_cast<const SampleOp&>(op);
+      return kernels::Sample(s.fraction(), s.seed(), in0);
+    }
+    case OpKind::kZipWithId: {
+      auto out = kernels::ZipWithId(next_zip_id_, in0);
+      if (out.ok()) next_zip_id_ += static_cast<int64_t>(in0.size());
+      return out;
+    }
+    case OpKind::kReduceByKey: {
+      const auto& r = static_cast<const ReduceByKeyOp&>(op);
+      return kernels::ReduceByKey(r.key(), r.reduce(), in0);
+    }
+    case OpKind::kGroupByKey: {
+      const auto& g = static_cast<const GroupByKeyOp&>(op);
+      return g.algorithm() == GroupByAlgorithm::kHash
+                 ? kernels::HashGroupBy(g.key(), g.group(), in0)
+                 : kernels::SortGroupBy(g.key(), g.group(), in0);
+    }
+    case OpKind::kGlobalReduce:
+      return kernels::GlobalReduce(
+          static_cast<const GlobalReduceOp&>(op).reduce(), in0);
+    case OpKind::kCount:
+      return kernels::Count(in0);
+    case OpKind::kBroadcastMap:
+      return kernels::BroadcastMap(
+          static_cast<const BroadcastMapOp&>(op).udf(), in0, *inputs[1]);
+    case OpKind::kJoin: {
+      const auto& j = static_cast<const JoinOp&>(op);
+      return j.algorithm() == JoinAlgorithm::kHash
+                 ? kernels::HashJoin(j.left_key(), j.right_key(), in0,
+                                     *inputs[1])
+                 : kernels::SortMergeJoin(j.left_key(), j.right_key(), in0,
+                                          *inputs[1]);
+    }
+    case OpKind::kThetaJoin:
+      return kernels::ThetaJoin(
+          static_cast<const ThetaJoinOp&>(op).condition(), in0, *inputs[1]);
+    case OpKind::kIEJoin:
+      return kernels::IEJoin(static_cast<const IEJoinOp&>(op).spec(), in0,
+                             *inputs[1]);
+    case OpKind::kCrossProduct:
+      return kernels::CrossProduct(in0, *inputs[1]);
+    case OpKind::kUnion:
+      return kernels::Union(in0, *inputs[1]);
+    case OpKind::kIntersect:
+      return kernels::Intersect(in0, *inputs[1]);
+    case OpKind::kSubtract:
+      return kernels::Subtract(in0, *inputs[1]);
+    case OpKind::kTopK: {
+      const auto& t = static_cast<const TopKOp&>(op);
+      return kernels::TopK(t.key(), t.k(), t.ascending(), in0);
+    }
+    case OpKind::kRepeat:
+    case OpKind::kDoWhile:
+      return EvalLoop(op, in0, *inputs[1]);
+    case OpKind::kCollect:
+      return in0;
+  }
+  return Status::Unsupported("javasim cannot execute " + op.kind_name());
+}
+
+Result<Dataset> DatasetWalker::EvalLoop(const PhysicalOperator& op,
+                                        const Dataset& state0,
+                                        const Dataset& data) {
+  const Plan* body = nullptr;
+  int iterations = 0;
+  const LoopConditionUdf* condition = nullptr;
+  if (op.kind() == OpKind::kRepeat) {
+    const auto& rep = static_cast<const RepeatOp&>(op);
+    body = &rep.body();
+    iterations = rep.num_iterations();
+  } else {
+    const auto& dw = static_cast<const DoWhileOp&>(op);
+    body = &dw.body();
+    iterations = dw.max_iterations();
+    condition = &dw.condition();
+  }
+  RHEEM_ASSIGN_OR_RETURN(std::vector<Operator*> body_topo,
+                         body->TopologicalOrder());
+  // Locate the marker operators once.
+  const Operator* state_marker = nullptr;
+  const Operator* data_marker = nullptr;
+  for (Operator* o : body_topo) {
+    auto* p = dynamic_cast<PhysicalOperator*>(o);
+    if (p == nullptr) continue;
+    if (p->kind() == OpKind::kLoopState) state_marker = p;
+    if (p->kind() == OpKind::kLoopData) data_marker = p;
+  }
+  Dataset state = state0;
+  for (int iter = 0; iter < iterations; ++iter) {
+    if (condition != nullptr && condition->fn && !condition->fn(state, iter)) {
+      break;
+    }
+    BoundaryMap bindings;
+    if (state_marker != nullptr) bindings[state_marker->id()] = &state;
+    if (data_marker != nullptr) bindings[data_marker->id()] = &data;
+    // A fresh walker per iteration: body results must not leak across
+    // iterations (ids collide), but the zip-id counter carries over.
+    DatasetWalker body_walker(metrics_);
+    body_walker.next_zip_id_ = next_zip_id_;
+    std::vector<Operator*> body_ops;
+    for (Operator* o : body_topo) {
+      auto* p = dynamic_cast<PhysicalOperator*>(o);
+      if (p != nullptr && (p->kind() == OpKind::kLoopState ||
+                           p->kind() == OpKind::kLoopData)) {
+        continue;  // bound, not evaluated
+      }
+      body_ops.push_back(o);
+    }
+    RHEEM_RETURN_IF_ERROR(body_walker.RunOps(body_ops, bindings));
+    next_zip_id_ = body_walker.next_zip_id_;
+    // The body may return a marker directly (degenerate bodies).
+    if (body->sink() == state_marker) continue;
+    if (body->sink() == data_marker) {
+      state = data;
+      continue;
+    }
+    RHEEM_ASSIGN_OR_RETURN(const Dataset* next,
+                           body_walker.ResultOf(body->sink()->id()));
+    state = *next;
+  }
+  return state;
+}
+
+}  // namespace javasim
+}  // namespace rheem

@@ -1,0 +1,49 @@
+#ifndef RHEEM_PLATFORMS_JAVASIM_JAVASIM_OPERATORS_H_
+#define RHEEM_PLATFORMS_JAVASIM_JAVASIM_OPERATORS_H_
+
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/mapping/platform.h"
+#include "core/operators/physical_ops.h"
+#include "data/dataset.h"
+
+namespace rheem {
+namespace javasim {
+
+/// \brief Execution-operator layer of the javasim platform: eager,
+/// single-threaded evaluation of whole Datasets — the "plain Java program"
+/// side of the paper's Figure 2.
+///
+/// Each physical operator maps to one of these evaluations via the mapping
+/// table declared in JavaSimPlatform; the walker executes a task atom (or a
+/// loop body) in topological order with zero scheduling overhead.
+class DatasetWalker {
+ public:
+  explicit DatasetWalker(ExecutionMetrics* metrics) : metrics_(metrics) {}
+
+  /// Evaluates `ops` (already topologically ordered) resolving out-of-stage
+  /// inputs from `external` (producer op id -> dataset).
+  Status RunOps(const std::vector<Operator*>& ops, const BoundaryMap& external);
+
+  Result<const Dataset*> ResultOf(int op_id) const;
+
+ private:
+  /// Dispatches one operator to its execution kernel.
+  Result<Dataset> EvalOperator(const PhysicalOperator& op,
+                               const std::vector<const Dataset*>& inputs);
+
+  /// Runs a Repeat/DoWhile body to completion (inputs: state, data).
+  Result<Dataset> EvalLoop(const PhysicalOperator& op, const Dataset& state0,
+                           const Dataset& data);
+
+  ExecutionMetrics* metrics_;
+  std::map<int, Dataset> results_;
+  int64_t next_zip_id_ = 0;
+};
+
+}  // namespace javasim
+}  // namespace rheem
+
+#endif  // RHEEM_PLATFORMS_JAVASIM_JAVASIM_OPERATORS_H_

@@ -1,0 +1,84 @@
+#include "platforms/javasim/javasim_platform.h"
+
+#include "core/optimizer/stage_splitter.h"
+#include "platforms/javasim/javasim_operators.h"
+
+namespace rheem {
+
+namespace {
+
+BasicCostModel::Params JavaParams(const Config& config) {
+  BasicCostModel::Params p;
+  p.per_quantum_micros = config.GetDouble("javasim.per_quantum_us", 0.03)
+                             .ValueOr(0.03);
+  p.parallelism = 1.0;
+  p.stage_overhead_micros = 0.0;
+  p.job_overhead_micros = 0.0;
+  p.boundary_micros_per_byte = 0.0004;
+  p.boundary_fixed_micros = 20.0;
+  p.shuffle_micros_per_quantum = 0.0;  // no shuffles in one process
+  return p;
+}
+
+MappingTable JavaMappings() {
+  MappingTable t;
+  auto add = [&t](OpKind kind, const char* exec, double weight = 1.0,
+                  const char* context = "") {
+    t.Add(OperatorMapping{kind, "", exec, weight, context});
+  };
+  add(OpKind::kCollectionSource, "JavaCollectionSource");
+  add(OpKind::kMap, "JavaMap");
+  add(OpKind::kFlatMap, "JavaFlatMap");
+  add(OpKind::kFilter, "JavaFilter");
+  add(OpKind::kProject, "JavaProject");
+  add(OpKind::kDistinct, "JavaHashDistinct");
+  add(OpKind::kSort, "JavaSort");
+  add(OpKind::kSample, "JavaBernoulliSample");
+  add(OpKind::kZipWithId, "JavaZipWithId");
+  add(OpKind::kReduceByKey, "JavaReduceByKey");
+  t.Add(OperatorMapping{OpKind::kGroupByKey, "HashGroupBy", "JavaHashGroupBy",
+                        1.0, "hash table over whole input"});
+  t.Add(OperatorMapping{OpKind::kGroupByKey, "SortGroupBy", "JavaSortGroupBy",
+                        1.0, "stable sort + run scan"});
+  add(OpKind::kGlobalReduce, "JavaReduce");
+  add(OpKind::kCount, "JavaCount");
+  add(OpKind::kBroadcastMap, "JavaMapWithSideInput");
+  t.Add(OperatorMapping{OpKind::kJoin, "HashJoin", "JavaHashJoin", 1.0, ""});
+  t.Add(OperatorMapping{OpKind::kJoin, "SortMergeJoin", "JavaSortMergeJoin",
+                        1.0, ""});
+  add(OpKind::kThetaJoin, "JavaNestedLoopJoin");
+  add(OpKind::kIEJoin, "JavaIEJoin", 1.0,
+      "bit-array inequality join, single-threaded");
+  add(OpKind::kCrossProduct, "JavaCartesian");
+  add(OpKind::kUnion, "JavaUnionAll");
+  add(OpKind::kIntersect, "JavaHashIntersect");
+  add(OpKind::kSubtract, "JavaHashSubtract");
+  add(OpKind::kTopK, "JavaHeapTopK", 1.0, "O(n log k) heap selection");
+  add(OpKind::kRepeat, "JavaForLoop", 1.0, "plain in-process loop");
+  add(OpKind::kDoWhile, "JavaWhileLoop");
+  add(OpKind::kCollect, "JavaCollect");
+  return t;
+}
+
+}  // namespace
+
+JavaSimPlatform::JavaSimPlatform(const Config& config)
+    : Platform(kName), cost_model_(JavaParams(config)) {
+  mappings_ = JavaMappings();
+}
+
+Result<std::vector<Dataset>> JavaSimPlatform::ExecuteStage(
+    const Stage& stage, const BoundaryMap& boundary_inputs,
+    ExecutionMetrics* metrics) {
+  javasim::DatasetWalker walker(metrics);
+  RHEEM_RETURN_IF_ERROR(walker.RunOps(stage.ops(), boundary_inputs));
+  std::vector<Dataset> outputs;
+  outputs.reserve(stage.outputs().size());
+  for (const Operator* out : stage.outputs()) {
+    RHEEM_ASSIGN_OR_RETURN(const Dataset* d, walker.ResultOf(out->id()));
+    outputs.push_back(*d);
+  }
+  return outputs;
+}
+
+}  // namespace rheem

@@ -1,0 +1,36 @@
+#ifndef RHEEM_PLATFORMS_JAVASIM_JAVASIM_PLATFORM_H_
+#define RHEEM_PLATFORMS_JAVASIM_JAVASIM_PLATFORM_H_
+
+#include "common/config.h"
+#include "core/mapping/platform.h"
+
+namespace rheem {
+
+/// \brief The "plain Java program" platform of the paper's Figure 2:
+/// single-threaded, eager, with essentially zero fixed overheads.
+///
+/// Strengths (encoded in its cost model): tiny/medium inputs and iterative
+/// jobs, where cluster-style platforms drown in scheduling latency.
+/// Weakness: no parallelism, so throughput-bound jobs scale linearly.
+///
+/// Config keys:
+///   javasim.per_quantum_us  (double, default 0.03) estimated cost/quantum
+class JavaSimPlatform : public Platform {
+ public:
+  static constexpr const char* kName = "javasim";
+
+  explicit JavaSimPlatform(const Config& config = Config());
+
+  const PlatformCostModel& cost_model() const override { return cost_model_; }
+
+  Result<std::vector<Dataset>> ExecuteStage(const Stage& stage,
+                                            const BoundaryMap& boundary_inputs,
+                                            ExecutionMetrics* metrics) override;
+
+ private:
+  BasicCostModel cost_model_;
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_PLATFORMS_JAVASIM_JAVASIM_PLATFORM_H_

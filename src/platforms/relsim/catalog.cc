@@ -1,0 +1,37 @@
+#include "platforms/relsim/catalog.h"
+
+namespace rheem {
+namespace relsim {
+
+Status Catalog::Register(const std::string& name, Table table) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+Result<const Table*> Catalog::Get(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return &it->second;
+}
+
+Status Catalog::Drop(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::List() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, t] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace relsim
+}  // namespace rheem

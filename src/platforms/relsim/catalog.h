@@ -1,0 +1,32 @@
+#ifndef RHEEM_PLATFORMS_RELSIM_CATALOG_H_
+#define RHEEM_PLATFORMS_RELSIM_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "platforms/relsim/table.h"
+
+namespace rheem {
+namespace relsim {
+
+/// \brief Named-table catalog of the relsim engine.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Status Register(const std::string& name, Table table);
+  Result<const Table*> Get(const std::string& name) const;
+  Status Drop(const std::string& name);
+  std::vector<std::string> List() const;
+  bool Has(const std::string& name) const { return tables_.count(name) > 0; }
+
+ private:
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace relsim
+}  // namespace rheem
+
+#endif  // RHEEM_PLATFORMS_RELSIM_CATALOG_H_

@@ -1,0 +1,221 @@
+#include "platforms/relsim/expression.h"
+
+namespace rheem {
+namespace relsim {
+
+namespace {
+
+class ColByIndex : public Expression {
+ public:
+  explicit ColByIndex(int index) : index_(index) {}
+  Result<Value> Eval(const Table& table, std::size_t row) const override {
+    if (index_ < 0 || static_cast<std::size_t>(index_) >= table.num_columns()) {
+      return Status::OutOfRange("column index " + std::to_string(index_) +
+                                " out of range");
+    }
+    return table.at(row, static_cast<std::size_t>(index_));
+  }
+  std::string ToString() const override {
+    return "$" + std::to_string(index_);
+  }
+
+ private:
+  int index_;
+};
+
+class ColByName : public Expression {
+ public:
+  explicit ColByName(std::string name) : name_(std::move(name)) {}
+  Result<Value> Eval(const Table& table, std::size_t row) const override {
+    RHEEM_ASSIGN_OR_RETURN(int index, table.schema().IndexOf(name_));
+    return table.at(row, static_cast<std::size_t>(index));
+  }
+  std::string ToString() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+class Literal : public Expression {
+ public:
+  explicit Literal(Value v) : v_(std::move(v)) {}
+  Result<Value> Eval(const Table&, std::size_t) const override { return v_; }
+  std::string ToString() const override { return v_.ToString(); }
+
+ private:
+  Value v_;
+};
+
+const char* CmpName(RelCompare op) {
+  switch (op) {
+    case RelCompare::kEq: return "=";
+    case RelCompare::kNe: return "<>";
+    case RelCompare::kLt: return "<";
+    case RelCompare::kLe: return "<=";
+    case RelCompare::kGt: return ">";
+    case RelCompare::kGe: return ">=";
+  }
+  return "?";
+}
+
+class Comparison : public Expression {
+ public:
+  Comparison(RelCompare op, ExprPtr left, ExprPtr right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+  Result<Value> Eval(const Table& t, std::size_t row) const override {
+    RHEEM_ASSIGN_OR_RETURN(Value l, left_->Eval(t, row));
+    RHEEM_ASSIGN_OR_RETURN(Value r, right_->Eval(t, row));
+    // SQL-ish null semantics: any null comparand yields null (false-y).
+    if (l.is_null() || r.is_null()) return Value::Null();
+    const int c = l.Compare(r);
+    bool out = false;
+    switch (op_) {
+      case RelCompare::kEq: out = (c == 0); break;
+      case RelCompare::kNe: out = (c != 0); break;
+      case RelCompare::kLt: out = (c < 0); break;
+      case RelCompare::kLe: out = (c <= 0); break;
+      case RelCompare::kGt: out = (c > 0); break;
+      case RelCompare::kGe: out = (c >= 0); break;
+    }
+    return Value(out);
+  }
+  std::string ToString() const override {
+    return "(" + left_->ToString() + " " + CmpName(op_) + " " +
+           right_->ToString() + ")";
+  }
+
+ private:
+  RelCompare op_;
+  ExprPtr left_, right_;
+};
+
+const char* ArithName(RelArith op) {
+  switch (op) {
+    case RelArith::kAdd: return "+";
+    case RelArith::kSub: return "-";
+    case RelArith::kMul: return "*";
+    case RelArith::kDiv: return "/";
+  }
+  return "?";
+}
+
+class Arithmetic : public Expression {
+ public:
+  Arithmetic(RelArith op, ExprPtr left, ExprPtr right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+  Result<Value> Eval(const Table& t, std::size_t row) const override {
+    RHEEM_ASSIGN_OR_RETURN(Value l, left_->Eval(t, row));
+    RHEEM_ASSIGN_OR_RETURN(Value r, right_->Eval(t, row));
+    if (l.is_null() || r.is_null()) return Value::Null();
+    if (!l.is_numeric() || !r.is_numeric()) {
+      return Status::InvalidArgument("arithmetic on non-numeric values");
+    }
+    // Integer arithmetic stays integral except division.
+    if (l.type() == ValueType::kInt64 && r.type() == ValueType::kInt64 &&
+        op_ != RelArith::kDiv) {
+      const int64_t a = l.int64_unchecked();
+      const int64_t b = r.int64_unchecked();
+      switch (op_) {
+        case RelArith::kAdd: return Value(a + b);
+        case RelArith::kSub: return Value(a - b);
+        case RelArith::kMul: return Value(a * b);
+        case RelArith::kDiv: break;
+      }
+    }
+    const double a = l.ToDoubleOr(0);
+    const double b = r.ToDoubleOr(0);
+    switch (op_) {
+      case RelArith::kAdd: return Value(a + b);
+      case RelArith::kSub: return Value(a - b);
+      case RelArith::kMul: return Value(a * b);
+      case RelArith::kDiv:
+        if (b == 0.0) return Status::InvalidArgument("division by zero");
+        return Value(a / b);
+    }
+    return Status::Internal("unreachable arithmetic case");
+  }
+  std::string ToString() const override {
+    return "(" + left_->ToString() + " " + ArithName(op_) + " " +
+           right_->ToString() + ")";
+  }
+
+ private:
+  RelArith op_;
+  ExprPtr left_, right_;
+};
+
+class BoolBinary : public Expression {
+ public:
+  BoolBinary(bool is_and, ExprPtr left, ExprPtr right)
+      : is_and_(is_and), left_(std::move(left)), right_(std::move(right)) {}
+  Result<Value> Eval(const Table& t, std::size_t row) const override {
+    RHEEM_ASSIGN_OR_RETURN(Value l, left_->Eval(t, row));
+    const bool lb = !l.is_null() && l.ToInt64Or(0) != 0;
+    // Short circuit.
+    if (is_and_ && !lb) return Value(false);
+    if (!is_and_ && lb) return Value(true);
+    RHEEM_ASSIGN_OR_RETURN(Value r, right_->Eval(t, row));
+    const bool rb = !r.is_null() && r.ToInt64Or(0) != 0;
+    return Value(rb);
+  }
+  std::string ToString() const override {
+    return "(" + left_->ToString() + (is_and_ ? " AND " : " OR ") +
+           right_->ToString() + ")";
+  }
+
+ private:
+  bool is_and_;
+  ExprPtr left_, right_;
+};
+
+class NotExpr : public Expression {
+ public:
+  explicit NotExpr(ExprPtr inner) : inner_(std::move(inner)) {}
+  Result<Value> Eval(const Table& t, std::size_t row) const override {
+    RHEEM_ASSIGN_OR_RETURN(Value v, inner_->Eval(t, row));
+    if (v.is_null()) return Value::Null();
+    return Value(v.ToInt64Or(0) == 0);
+  }
+  std::string ToString() const override {
+    return "NOT " + inner_->ToString();
+  }
+
+ private:
+  ExprPtr inner_;
+};
+
+}  // namespace
+
+namespace expr {
+
+ExprPtr Col(int index) { return std::make_shared<ColByIndex>(index); }
+ExprPtr Col(const std::string& name) {
+  return std::make_shared<ColByName>(name);
+}
+ExprPtr Lit(Value v) { return std::make_shared<Literal>(std::move(v)); }
+ExprPtr Cmp(RelCompare op, ExprPtr left, ExprPtr right) {
+  return std::make_shared<Comparison>(op, std::move(left), std::move(right));
+}
+ExprPtr Arith(RelArith op, ExprPtr left, ExprPtr right) {
+  return std::make_shared<Arithmetic>(op, std::move(left), std::move(right));
+}
+ExprPtr And(ExprPtr left, ExprPtr right) {
+  return std::make_shared<BoolBinary>(true, std::move(left), std::move(right));
+}
+ExprPtr Or(ExprPtr left, ExprPtr right) {
+  return std::make_shared<BoolBinary>(false, std::move(left), std::move(right));
+}
+ExprPtr Not(ExprPtr inner) { return std::make_shared<NotExpr>(std::move(inner)); }
+
+}  // namespace expr
+
+Result<bool> EvalPredicate(const ExprPtr& e, const Table& table,
+                           std::size_t row) {
+  if (e == nullptr) return Status::InvalidArgument("null predicate");
+  RHEEM_ASSIGN_OR_RETURN(Value v, e->Eval(table, row));
+  if (v.is_null()) return false;
+  return v.ToInt64Or(0) != 0;
+}
+
+}  // namespace relsim
+}  // namespace rheem

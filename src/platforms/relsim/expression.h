@@ -1,0 +1,53 @@
+#ifndef RHEEM_PLATFORMS_RELSIM_EXPRESSION_H_
+#define RHEEM_PLATFORMS_RELSIM_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/value.h"
+#include "platforms/relsim/table.h"
+
+namespace rheem {
+namespace relsim {
+
+/// \brief Scalar expression AST evaluated against a table row: the small
+/// declarative language relsim offers instead of opaque UDFs.
+class Expression {
+ public:
+  virtual ~Expression() = default;
+  virtual Result<Value> Eval(const Table& table, std::size_t row) const = 0;
+  virtual std::string ToString() const = 0;
+};
+
+using ExprPtr = std::shared_ptr<const Expression>;
+
+/// Comparison operators of the expression language.
+enum class RelCompare { kEq, kNe, kLt, kLe, kGt, kGe };
+/// Arithmetic operators.
+enum class RelArith { kAdd, kSub, kMul, kDiv };
+
+namespace expr {
+
+/// Column reference by index.
+ExprPtr Col(int index);
+/// Column reference by name, resolved against the table at eval time.
+ExprPtr Col(const std::string& name);
+ExprPtr Lit(Value v);
+ExprPtr Cmp(RelCompare op, ExprPtr left, ExprPtr right);
+ExprPtr Arith(RelArith op, ExprPtr left, ExprPtr right);
+ExprPtr And(ExprPtr left, ExprPtr right);
+ExprPtr Or(ExprPtr left, ExprPtr right);
+ExprPtr Not(ExprPtr inner);
+
+}  // namespace expr
+
+/// Evaluates `e` and coerces to bool (null/absent -> false).
+Result<bool> EvalPredicate(const ExprPtr& e, const Table& table,
+                           std::size_t row);
+
+}  // namespace relsim
+}  // namespace rheem
+
+#endif  // RHEEM_PLATFORMS_RELSIM_EXPRESSION_H_

@@ -1,0 +1,231 @@
+#include "platforms/relsim/rel_exec.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "data/record.h"
+
+namespace rheem {
+namespace relsim {
+
+Result<Table> FilterTable(const Table& in, const ExprPtr& predicate) {
+  Table out(in.schema());
+  for (std::size_t r = 0; r < in.num_rows(); ++r) {
+    RHEEM_ASSIGN_OR_RETURN(bool keep, EvalPredicate(predicate, in, r));
+    if (keep) RHEEM_RETURN_IF_ERROR(out.AppendRow(in.RowAt(r)));
+  }
+  return out;
+}
+
+Result<Table> ProjectTable(const Table& in, const std::vector<int>& columns) {
+  for (int c : columns) {
+    if (c < 0 || static_cast<std::size_t>(c) >= in.num_columns()) {
+      return Status::OutOfRange("projection column " + std::to_string(c) +
+                                " out of range");
+    }
+  }
+  Table out(in.schema().Project(columns));
+  for (std::size_t r = 0; r < in.num_rows(); ++r) {
+    RHEEM_RETURN_IF_ERROR(out.AppendRow(in.RowAt(r).Project(columns)));
+  }
+  return out;
+}
+
+Result<Table> ProjectExprs(
+    const Table& in,
+    const std::vector<std::pair<std::string, ExprPtr>>& items) {
+  // Infer output types from the first row (null when empty).
+  std::vector<Field> fields;
+  for (const auto& [name, e] : items) {
+    ValueType type = ValueType::kNull;
+    if (in.num_rows() > 0) {
+      RHEEM_ASSIGN_OR_RETURN(Value v, e->Eval(in, 0));
+      type = v.type();
+    }
+    fields.push_back(Field{name, type});
+  }
+  Table out{Schema(std::move(fields))};
+  for (std::size_t r = 0; r < in.num_rows(); ++r) {
+    std::vector<Value> row;
+    row.reserve(items.size());
+    for (const auto& [name, e] : items) {
+      RHEEM_ASSIGN_OR_RETURN(Value v, e->Eval(in, r));
+      row.push_back(std::move(v));
+    }
+    RHEEM_RETURN_IF_ERROR(out.AppendRow(Record(std::move(row))));
+  }
+  return out;
+}
+
+namespace {
+
+struct AggState {
+  double sum = 0.0;
+  int64_t count = 0;
+  Value min;
+  Value max;
+
+  void Update(const Value& v) {
+    if (v.is_null()) return;
+    sum += v.ToDoubleOr(0.0);
+    if (count == 0 || v.Compare(min) < 0) min = v;
+    if (count == 0 || v.Compare(max) > 0) max = v;
+    ++count;
+  }
+
+  Value Finish(AggKind kind, int64_t group_rows) const {
+    switch (kind) {
+      case AggKind::kSum: return Value(sum);
+      case AggKind::kCount: return Value(group_rows);
+      case AggKind::kMin: return count > 0 ? min : Value::Null();
+      case AggKind::kMax: return count > 0 ? max : Value::Null();
+      case AggKind::kAvg:
+        return count > 0 ? Value(sum / static_cast<double>(count))
+                         : Value::Null();
+    }
+    return Value::Null();
+  }
+};
+
+ValueType AggOutputType(AggKind kind, const Schema& schema, int column) {
+  switch (kind) {
+    case AggKind::kCount: return ValueType::kInt64;
+    case AggKind::kSum:
+    case AggKind::kAvg: return ValueType::kDouble;
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return column >= 0 &&
+                     static_cast<std::size_t>(column) < schema.num_fields()
+                 ? schema.field(static_cast<std::size_t>(column)).type
+                 : ValueType::kNull;
+  }
+  return ValueType::kNull;
+}
+
+}  // namespace
+
+Result<Table> HashAggregate(const Table& in,
+                            const std::vector<int>& group_columns,
+                            const std::vector<AggSpec>& aggs) {
+  for (int c : group_columns) {
+    if (c < 0 || static_cast<std::size_t>(c) >= in.num_columns()) {
+      return Status::OutOfRange("group column " + std::to_string(c) +
+                                " out of range");
+    }
+  }
+  for (const AggSpec& a : aggs) {
+    if (a.kind != AggKind::kCount &&
+        (a.column < 0 || static_cast<std::size_t>(a.column) >= in.num_columns())) {
+      return Status::OutOfRange("aggregate column " + std::to_string(a.column) +
+                                " out of range");
+    }
+  }
+
+  struct GroupEntry {
+    std::vector<AggState> states;
+    int64_t rows = 0;
+  };
+  // std::map on the group key gives deterministic output order.
+  std::map<Record, GroupEntry> groups;
+  for (std::size_t r = 0; r < in.num_rows(); ++r) {
+    std::vector<Value> key;
+    key.reserve(group_columns.size());
+    for (int c : group_columns) {
+      key.push_back(in.at(r, static_cast<std::size_t>(c)));
+    }
+    GroupEntry& entry = groups[Record(std::move(key))];
+    if (entry.states.empty()) entry.states.resize(aggs.size());
+    entry.rows += 1;
+    for (std::size_t a = 0; a < aggs.size(); ++a) {
+      if (aggs[a].kind == AggKind::kCount) continue;
+      entry.states[a].Update(
+          in.at(r, static_cast<std::size_t>(aggs[a].column)));
+    }
+  }
+  if (group_columns.empty() && groups.empty()) {
+    groups[Record()] = GroupEntry{std::vector<AggState>(aggs.size()), 0};
+  }
+
+  std::vector<Field> fields;
+  for (int c : group_columns) {
+    fields.push_back(in.schema().field(static_cast<std::size_t>(c)));
+  }
+  for (const AggSpec& a : aggs) {
+    fields.push_back(Field{a.name, AggOutputType(a.kind, in.schema(), a.column)});
+  }
+  Table out{Schema(std::move(fields))};
+  for (const auto& [key, entry] : groups) {
+    std::vector<Value> row = key.fields();
+    for (std::size_t a = 0; a < aggs.size(); ++a) {
+      row.push_back(entry.states[a].Finish(aggs[a].kind, entry.rows));
+    }
+    RHEEM_RETURN_IF_ERROR(out.AppendRow(Record(std::move(row))));
+  }
+  return out;
+}
+
+Result<Table> HashJoinTables(const Table& left, int left_column,
+                             const Table& right, int right_column) {
+  if (left_column < 0 ||
+      static_cast<std::size_t>(left_column) >= left.num_columns()) {
+    return Status::OutOfRange("left join column out of range");
+  }
+  if (right_column < 0 ||
+      static_cast<std::size_t>(right_column) >= right.num_columns()) {
+    return Status::OutOfRange("right join column out of range");
+  }
+  std::unordered_map<Value, std::vector<std::size_t>, ValueHasher> build;
+  build.reserve(right.num_rows());
+  for (std::size_t r = 0; r < right.num_rows(); ++r) {
+    const Value& key = right.at(r, static_cast<std::size_t>(right_column));
+    if (key.is_null()) continue;  // SQL: null keys never match
+    build[key].push_back(r);
+  }
+  Table out{Schema::Concat(left.schema(), right.schema())};
+  for (std::size_t l = 0; l < left.num_rows(); ++l) {
+    const Value& key = left.at(l, static_cast<std::size_t>(left_column));
+    if (key.is_null()) continue;
+    auto it = build.find(key);
+    if (it == build.end()) continue;
+    for (std::size_t r : it->second) {
+      RHEEM_RETURN_IF_ERROR(
+          out.AppendRow(Record::Concat(left.RowAt(l), right.RowAt(r))));
+    }
+  }
+  return out;
+}
+
+Result<Table> OrderBy(const Table& in, int column, bool ascending) {
+  if (column < 0 || static_cast<std::size_t>(column) >= in.num_columns()) {
+    return Status::OutOfRange("order-by column out of range");
+  }
+  std::vector<std::size_t> order(in.num_rows());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const auto& col = in.column(static_cast<std::size_t>(column));
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const int c = col[a].Compare(col[b]);
+                     return ascending ? c < 0 : c > 0;
+                   });
+  Table out(in.schema());
+  for (std::size_t i : order) {
+    RHEEM_RETURN_IF_ERROR(out.AppendRow(in.RowAt(i)));
+  }
+  return out;
+}
+
+Result<Table> DistinctTable(const Table& in) {
+  std::unordered_map<Record, bool, RecordHasher> seen;
+  seen.reserve(in.num_rows());
+  Table out(in.schema());
+  for (std::size_t r = 0; r < in.num_rows(); ++r) {
+    Record row = in.RowAt(r);
+    auto [it, inserted] = seen.emplace(row, true);
+    if (inserted) RHEEM_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+}  // namespace relsim
+}  // namespace rheem

@@ -1,0 +1,57 @@
+#ifndef RHEEM_PLATFORMS_RELSIM_REL_EXEC_H_
+#define RHEEM_PLATFORMS_RELSIM_REL_EXEC_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "platforms/relsim/expression.h"
+#include "platforms/relsim/table.h"
+
+namespace rheem {
+namespace relsim {
+
+/// \brief The relsim engine's relational operators: a compact volcano-style
+/// execution layer over columnar tables, exercised directly by examples and
+/// the storage layer, and indirectly through the RHEEM platform adapter.
+
+/// Rows of `in` satisfying `predicate`.
+Result<Table> FilterTable(const Table& in, const ExprPtr& predicate);
+
+/// Structural projection by column indices.
+Result<Table> ProjectTable(const Table& in, const std::vector<int>& columns);
+
+/// Computed projection: each (name, expression) pair becomes a column.
+Result<Table> ProjectExprs(
+    const Table& in, const std::vector<std::pair<std::string, ExprPtr>>& items);
+
+/// Aggregate functions of HashAggregate.
+enum class AggKind { kSum, kCount, kMin, kMax, kAvg };
+
+struct AggSpec {
+  AggKind kind = AggKind::kCount;
+  int column = 0;  // ignored for kCount
+  std::string name;
+};
+
+/// Groups by `group_columns` and computes `aggs` per group. With no group
+/// columns, produces a single global-aggregate row.
+Result<Table> HashAggregate(const Table& in,
+                            const std::vector<int>& group_columns,
+                            const std::vector<AggSpec>& aggs);
+
+/// Equi-join on one column pair; output schema = Schema::Concat.
+Result<Table> HashJoinTables(const Table& left, int left_column,
+                             const Table& right, int right_column);
+
+/// Sorts by one column.
+Result<Table> OrderBy(const Table& in, int column, bool ascending = true);
+
+/// Removes duplicate rows.
+Result<Table> DistinctTable(const Table& in);
+
+}  // namespace relsim
+}  // namespace rheem
+
+#endif  // RHEEM_PLATFORMS_RELSIM_REL_EXEC_H_

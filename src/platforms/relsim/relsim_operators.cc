@@ -1,0 +1,14 @@
+#include "platforms/relsim/relsim_operators.h"
+
+#include "platforms/relsim/table.h"
+
+namespace rheem {
+namespace relsim {
+
+Result<Dataset> IngestThroughTableFormat(const Dataset& in) {
+  RHEEM_ASSIGN_OR_RETURN(Table table, Table::FromDataset(in));
+  return table.ToDataset();
+}
+
+}  // namespace relsim
+}  // namespace rheem

@@ -1,0 +1,24 @@
+#ifndef RHEEM_PLATFORMS_RELSIM_RELSIM_OPERATORS_H_
+#define RHEEM_PLATFORMS_RELSIM_RELSIM_OPERATORS_H_
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace rheem {
+namespace relsim {
+
+/// \brief Ingestion boundary of the relsim platform: row-shaped data quanta
+/// are columnarized into the engine's native Table format and linearized
+/// back for the operator pipeline (relsim evaluates RHEEM UDF operators
+/// row-at-a-time, like UDFs in a classical RDBMS).
+///
+/// This round-trip is real measured work. It is exactly the "data might not
+/// be in the required format" penalty the paper's storage abstraction (§6)
+/// proposes hot-data buffers to avoid, and the ablation_hot_buffer benchmark
+/// quantifies it.
+Result<Dataset> IngestThroughTableFormat(const Dataset& in);
+
+}  // namespace relsim
+}  // namespace rheem
+
+#endif  // RHEEM_PLATFORMS_RELSIM_RELSIM_OPERATORS_H_

@@ -1,0 +1,580 @@
+#include "platforms/relsim/sql.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace rheem {
+namespace relsim {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class TokenKind { kIdent, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // identifier (upper-cased for keyword checks), symbol
+  std::string raw;    // original spelling
+  double number = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) { Advance(); }
+
+  const Token& Peek() const { return current_; }
+
+  Token Take() {
+    Token t = current_;
+    Advance();
+    return t;
+  }
+
+  /// Consumes the next token if it is the given keyword (case-insensitive).
+  bool TakeKeyword(const std::string& keyword) {
+    if (current_.kind == TokenKind::kIdent && current_.text == keyword) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool TakeSymbol(const std::string& symbol) {
+    if (current_.kind == TokenKind::kSymbol && current_.text == symbol) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status error() const { return error_; }
+
+ private:
+  void Advance() {
+    if (!error_.ok()) return;
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= input_.size()) {
+      current_ = Token{};
+      return;
+    }
+    const char c = input_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string raw;
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_')) {
+        raw += input_[pos_++];
+      }
+      current_.kind = TokenKind::kIdent;
+      current_.raw = raw;
+      current_.text.clear();
+      for (char ch : raw) {
+        current_.text += static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && pos_ + 1 < input_.size() &&
+         std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+      const char* start = input_.c_str() + pos_;
+      char* end = nullptr;
+      current_.number = std::strtod(start, &end);
+      current_.kind = TokenKind::kNumber;
+      current_.raw.assign(start, static_cast<std::size_t>(end - start));
+      pos_ += static_cast<std::size_t>(end - start);
+      return;
+    }
+    if (c == '\'') {
+      ++pos_;
+      std::string value;
+      while (pos_ < input_.size() && input_[pos_] != '\'') {
+        value += input_[pos_++];
+      }
+      if (pos_ >= input_.size()) {
+        error_ = Status::InvalidArgument("unterminated string literal");
+        return;
+      }
+      ++pos_;  // closing quote
+      current_.kind = TokenKind::kString;
+      current_.raw = value;
+      current_.text = value;
+      return;
+    }
+    // Multi-character comparison symbols first.
+    for (const char* sym : {"<=", ">=", "<>", "!="}) {
+      if (input_.compare(pos_, 2, sym) == 0) {
+        current_.kind = TokenKind::kSymbol;
+        current_.text = sym;
+        current_.raw = sym;
+        pos_ += 2;
+        return;
+      }
+    }
+    static const std::string kSingles = "()+-*/<>=,";
+    if (kSingles.find(c) != std::string::npos) {
+      current_.kind = TokenKind::kSymbol;
+      current_.text = std::string(1, c);
+      current_.raw = current_.text;
+      ++pos_;
+      return;
+    }
+    error_ = Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "' in SQL query");
+  }
+
+  const std::string& input_;
+  std::size_t pos_ = 0;
+  Token current_;
+  Status error_;
+};
+
+// ---------------------------------------------------------------------------
+// Parsed representation
+// ---------------------------------------------------------------------------
+
+struct SelectItem {
+  ExprPtr expr;                 // null for aggregates
+  std::string expr_text;        // rendering for naming/validation
+  bool is_aggregate = false;
+  AggKind agg = AggKind::kCount;
+  std::string agg_column;       // "" = COUNT(*)
+  std::string alias;            // AS name (may be empty)
+  bool is_star = false;         // bare *
+};
+
+struct ParsedQuery {
+  std::vector<SelectItem> items;
+  std::string table;
+  std::string join_table;     // "" = no join
+  std::string join_left_col;  // column of `table`
+  std::string join_right_col; // column of `join_table`
+  ExprPtr where;                // null = none
+  std::string where_text;
+  std::vector<std::string> group_by;
+  std::string order_by;         // "" = none
+  bool order_ascending = true;
+  int64_t limit = -1;           // -1 = none
+};
+
+// ---------------------------------------------------------------------------
+// Expression parser (precedence climbing)
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(const std::string& input) : lexer_(input) {}
+
+  Result<ParsedQuery> Parse() {
+    ParsedQuery q;
+    RHEEM_RETURN_IF_ERROR(Expect("SELECT"));
+    RHEEM_RETURN_IF_ERROR(ParseSelectList(&q));
+    RHEEM_RETURN_IF_ERROR(Expect("FROM"));
+    if (lexer_.Peek().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected a table name after FROM");
+    }
+    q.table = lexer_.Take().raw;
+    if (lexer_.TakeKeyword("JOIN")) {
+      if (lexer_.Peek().kind != TokenKind::kIdent) {
+        return Status::InvalidArgument("expected a table name after JOIN");
+      }
+      q.join_table = lexer_.Take().raw;
+      RHEEM_RETURN_IF_ERROR(Expect("ON"));
+      if (lexer_.Peek().kind != TokenKind::kIdent) {
+        return Status::InvalidArgument("ON expects column = column");
+      }
+      q.join_left_col = lexer_.Take().raw;
+      if (!lexer_.TakeSymbol("=")) {
+        return Status::InvalidArgument("ON expects column = column");
+      }
+      if (lexer_.Peek().kind != TokenKind::kIdent) {
+        return Status::InvalidArgument("ON expects column = column");
+      }
+      q.join_right_col = lexer_.Take().raw;
+    }
+    if (lexer_.TakeKeyword("WHERE")) {
+      RHEEM_ASSIGN_OR_RETURN(auto e, ParseExpr());
+      q.where = e.first;
+      q.where_text = e.second;
+    }
+    if (lexer_.TakeKeyword("GROUP")) {
+      RHEEM_RETURN_IF_ERROR(Expect("BY"));
+      do {
+        if (lexer_.Peek().kind != TokenKind::kIdent) {
+          return Status::InvalidArgument("GROUP BY expects column names");
+        }
+        q.group_by.push_back(lexer_.Take().raw);
+      } while (lexer_.TakeSymbol(","));
+    }
+    if (lexer_.TakeKeyword("ORDER")) {
+      RHEEM_RETURN_IF_ERROR(Expect("BY"));
+      if (lexer_.Peek().kind != TokenKind::kIdent) {
+        return Status::InvalidArgument("ORDER BY expects a column name");
+      }
+      q.order_by = lexer_.Take().raw;
+      if (lexer_.TakeKeyword("DESC")) {
+        q.order_ascending = false;
+      } else {
+        lexer_.TakeKeyword("ASC");
+      }
+    }
+    if (lexer_.TakeKeyword("LIMIT")) {
+      if (lexer_.Peek().kind != TokenKind::kNumber) {
+        return Status::InvalidArgument("LIMIT expects a number");
+      }
+      q.limit = static_cast<int64_t>(lexer_.Take().number);
+      if (q.limit < 0) return Status::InvalidArgument("negative LIMIT");
+    }
+    RHEEM_RETURN_IF_ERROR(lexer_.error());
+    if (lexer_.Peek().kind != TokenKind::kEnd) {
+      return Status::InvalidArgument("trailing tokens after query: '" +
+                                     lexer_.Peek().raw + "'");
+    }
+    return q;
+  }
+
+ private:
+  using ExprAndText = std::pair<ExprPtr, std::string>;
+
+  Status Expect(const std::string& keyword) {
+    if (!lexer_.TakeKeyword(keyword)) {
+      return Status::InvalidArgument("expected " + keyword + " near '" +
+                                     lexer_.Peek().raw + "'");
+    }
+    return Status::OK();
+  }
+
+  static Result<AggKind> AggFromName(const std::string& upper) {
+    if (upper == "SUM") return AggKind::kSum;
+    if (upper == "COUNT") return AggKind::kCount;
+    if (upper == "MIN") return AggKind::kMin;
+    if (upper == "MAX") return AggKind::kMax;
+    if (upper == "AVG") return AggKind::kAvg;
+    return Status::NotFound("not an aggregate: " + upper);
+  }
+
+  Status ParseSelectList(ParsedQuery* q) {
+    if (lexer_.TakeSymbol("*")) {
+      SelectItem star;
+      star.is_star = true;
+      q->items.push_back(std::move(star));
+      return Status::OK();
+    }
+    do {
+      SelectItem item;
+      // Aggregate?
+      if (lexer_.Peek().kind == TokenKind::kIdent) {
+        auto agg = AggFromName(lexer_.Peek().text);
+        if (agg.ok()) {
+          Token name = lexer_.Take();
+          if (!lexer_.TakeSymbol("(")) {
+            return Status::InvalidArgument("expected ( after " + name.raw);
+          }
+          item.is_aggregate = true;
+          item.agg = agg.ValueOrDie();
+          if (lexer_.TakeSymbol("*")) {
+            if (item.agg != AggKind::kCount) {
+              return Status::InvalidArgument("only COUNT accepts *");
+            }
+          } else if (lexer_.Peek().kind == TokenKind::kIdent) {
+            item.agg_column = lexer_.Take().raw;
+          } else {
+            return Status::InvalidArgument(
+                "aggregates take a column name (or * for COUNT)");
+          }
+          if (!lexer_.TakeSymbol(")")) {
+            return Status::InvalidArgument("expected ) to close " + name.raw);
+          }
+          item.expr_text = name.text + "(" +
+                           (item.agg_column.empty() ? "*" : item.agg_column) +
+                           ")";
+        }
+      }
+      if (!item.is_aggregate) {
+        RHEEM_ASSIGN_OR_RETURN(ExprAndText e, ParseExpr());
+        item.expr = e.first;
+        item.expr_text = e.second;
+      }
+      if (lexer_.TakeKeyword("AS")) {
+        if (lexer_.Peek().kind != TokenKind::kIdent) {
+          return Status::InvalidArgument("AS expects a name");
+        }
+        item.alias = lexer_.Take().raw;
+      }
+      q->items.push_back(std::move(item));
+    } while (lexer_.TakeSymbol(","));
+    return Status::OK();
+  }
+
+  Result<ExprAndText> ParseExpr() { return ParseOr(); }
+
+  Result<ExprAndText> ParseOr() {
+    RHEEM_ASSIGN_OR_RETURN(ExprAndText left, ParseAnd());
+    while (lexer_.TakeKeyword("OR")) {
+      RHEEM_ASSIGN_OR_RETURN(ExprAndText right, ParseAnd());
+      left = {expr::Or(left.first, right.first),
+              "(" + left.second + " OR " + right.second + ")"};
+    }
+    return left;
+  }
+
+  Result<ExprAndText> ParseAnd() {
+    RHEEM_ASSIGN_OR_RETURN(ExprAndText left, ParseNot());
+    while (lexer_.TakeKeyword("AND")) {
+      RHEEM_ASSIGN_OR_RETURN(ExprAndText right, ParseNot());
+      left = {expr::And(left.first, right.first),
+              "(" + left.second + " AND " + right.second + ")"};
+    }
+    return left;
+  }
+
+  Result<ExprAndText> ParseNot() {
+    if (lexer_.TakeKeyword("NOT")) {
+      RHEEM_ASSIGN_OR_RETURN(ExprAndText inner, ParseNot());
+      return ExprAndText{expr::Not(inner.first), "NOT " + inner.second};
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprAndText> ParseComparison() {
+    RHEEM_ASSIGN_OR_RETURN(ExprAndText left, ParseAdditive());
+    static const std::pair<const char*, RelCompare> kOps[] = {
+        {"<=", RelCompare::kLe}, {">=", RelCompare::kGe},
+        {"<>", RelCompare::kNe}, {"!=", RelCompare::kNe},
+        {"=", RelCompare::kEq},  {"<", RelCompare::kLt},
+        {">", RelCompare::kGt}};
+    for (const auto& [sym, op] : kOps) {
+      if (lexer_.TakeSymbol(sym)) {
+        RHEEM_ASSIGN_OR_RETURN(ExprAndText right, ParseAdditive());
+        return ExprAndText{expr::Cmp(op, left.first, right.first),
+                           "(" + left.second + " " + sym + " " +
+                               right.second + ")"};
+      }
+    }
+    return left;
+  }
+
+  Result<ExprAndText> ParseAdditive() {
+    RHEEM_ASSIGN_OR_RETURN(ExprAndText left, ParseMultiplicative());
+    for (;;) {
+      if (lexer_.TakeSymbol("+")) {
+        RHEEM_ASSIGN_OR_RETURN(ExprAndText right, ParseMultiplicative());
+        left = {expr::Arith(RelArith::kAdd, left.first, right.first),
+                "(" + left.second + " + " + right.second + ")"};
+      } else if (lexer_.TakeSymbol("-")) {
+        RHEEM_ASSIGN_OR_RETURN(ExprAndText right, ParseMultiplicative());
+        left = {expr::Arith(RelArith::kSub, left.first, right.first),
+                "(" + left.second + " - " + right.second + ")"};
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<ExprAndText> ParseMultiplicative() {
+    RHEEM_ASSIGN_OR_RETURN(ExprAndText left, ParsePrimary());
+    for (;;) {
+      if (lexer_.TakeSymbol("*")) {
+        RHEEM_ASSIGN_OR_RETURN(ExprAndText right, ParsePrimary());
+        left = {expr::Arith(RelArith::kMul, left.first, right.first),
+                "(" + left.second + " * " + right.second + ")"};
+      } else if (lexer_.TakeSymbol("/")) {
+        RHEEM_ASSIGN_OR_RETURN(ExprAndText right, ParsePrimary());
+        left = {expr::Arith(RelArith::kDiv, left.first, right.first),
+                "(" + left.second + " / " + right.second + ")"};
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<ExprAndText> ParsePrimary() {
+    RHEEM_RETURN_IF_ERROR(lexer_.error());
+    const Token& t = lexer_.Peek();
+    switch (t.kind) {
+      case TokenKind::kNumber: {
+        Token tok = lexer_.Take();
+        const double d = tok.number;
+        const bool integral = d == static_cast<int64_t>(d) &&
+                              tok.raw.find('.') == std::string::npos;
+        ExprPtr e = integral ? expr::Lit(Value(static_cast<int64_t>(d)))
+                             : expr::Lit(Value(d));
+        return ExprAndText{e, tok.raw};
+      }
+      case TokenKind::kString: {
+        Token tok = lexer_.Take();
+        return ExprAndText{expr::Lit(Value(tok.raw)), "'" + tok.raw + "'"};
+      }
+      case TokenKind::kIdent: {
+        if (t.text == "NULL") {
+          lexer_.Take();
+          return ExprAndText{expr::Lit(Value::Null()), "NULL"};
+        }
+        if (t.text == "TRUE" || t.text == "FALSE") {
+          Token tok = lexer_.Take();
+          return ExprAndText{expr::Lit(Value(tok.text == "TRUE")), tok.text};
+        }
+        Token tok = lexer_.Take();
+        return ExprAndText{expr::Col(tok.raw), tok.raw};
+      }
+      case TokenKind::kSymbol:
+        if (t.text == "(") {
+          lexer_.Take();
+          RHEEM_ASSIGN_OR_RETURN(ExprAndText inner, ParseExpr());
+          if (!lexer_.TakeSymbol(")")) {
+            return Status::InvalidArgument("expected )");
+          }
+          return inner;
+        }
+        if (t.text == "-") {  // unary minus
+          lexer_.Take();
+          RHEEM_ASSIGN_OR_RETURN(ExprAndText inner, ParsePrimary());
+          return ExprAndText{
+              expr::Arith(RelArith::kSub, expr::Lit(Value(int64_t{0})),
+                          inner.first),
+              "-" + inner.second};
+        }
+        break;
+      case TokenKind::kEnd:
+        break;
+    }
+    return Status::InvalidArgument("unexpected token '" + t.raw +
+                                   "' in expression");
+  }
+
+  Lexer lexer_;
+};
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+Result<Table> RunParsed(const Catalog& catalog, const ParsedQuery& q) {
+  RHEEM_ASSIGN_OR_RETURN(const Table* source, catalog.Get(q.table));
+  Table current = *source;
+
+  if (!q.join_table.empty()) {
+    // Equi-join; the combined schema is left columns then right columns
+    // (duplicate names suffixed "_r" — reference those downstream).
+    RHEEM_ASSIGN_OR_RETURN(const Table* right, catalog.Get(q.join_table));
+    RHEEM_ASSIGN_OR_RETURN(int lcol, current.schema().IndexOf(q.join_left_col));
+    RHEEM_ASSIGN_OR_RETURN(int rcol, right->schema().IndexOf(q.join_right_col));
+    RHEEM_ASSIGN_OR_RETURN(current,
+                           HashJoinTables(current, lcol, *right, rcol));
+  }
+
+  if (q.where != nullptr) {
+    RHEEM_ASSIGN_OR_RETURN(current, FilterTable(current, q.where));
+  }
+
+  const bool has_aggregate =
+      std::any_of(q.items.begin(), q.items.end(),
+                  [](const SelectItem& i) { return i.is_aggregate; });
+
+  if (has_aggregate || !q.group_by.empty()) {
+    // Resolve group columns and validate non-aggregate items.
+    std::vector<int> group_cols;
+    for (const std::string& name : q.group_by) {
+      RHEEM_ASSIGN_OR_RETURN(int idx, current.schema().IndexOf(name));
+      group_cols.push_back(idx);
+    }
+    std::vector<AggSpec> aggs;
+    for (const SelectItem& item : q.items) {
+      if (item.is_star) {
+        return Status::InvalidArgument("* cannot be mixed with aggregation");
+      }
+      if (item.is_aggregate) {
+        AggSpec spec;
+        spec.kind = item.agg;
+        if (!item.agg_column.empty()) {
+          RHEEM_ASSIGN_OR_RETURN(spec.column,
+                                 current.schema().IndexOf(item.agg_column));
+        }
+        spec.name = item.alias.empty() ? item.expr_text : item.alias;
+        aggs.push_back(std::move(spec));
+      } else {
+        // Must be one of the group columns (plain reference).
+        const bool is_group_col =
+            std::find(q.group_by.begin(), q.group_by.end(), item.expr_text) !=
+            q.group_by.end();
+        if (!is_group_col) {
+          return Status::InvalidArgument(
+              "non-aggregate select item '" + item.expr_text +
+              "' must appear in GROUP BY");
+        }
+      }
+    }
+    RHEEM_ASSIGN_OR_RETURN(current, HashAggregate(current, group_cols, aggs));
+  } else if (!(q.items.size() == 1 && q.items[0].is_star)) {
+    std::vector<std::pair<std::string, ExprPtr>> projections;
+    for (const SelectItem& item : q.items) {
+      if (item.is_star) {
+        return Status::InvalidArgument("* cannot be mixed with other items");
+      }
+      projections.emplace_back(
+          item.alias.empty() ? item.expr_text : item.alias, item.expr);
+    }
+    RHEEM_ASSIGN_OR_RETURN(current, ProjectExprs(current, projections));
+  }
+
+  if (!q.order_by.empty()) {
+    RHEEM_ASSIGN_OR_RETURN(int idx, current.schema().IndexOf(q.order_by));
+    RHEEM_ASSIGN_OR_RETURN(current, OrderBy(current, idx, q.order_ascending));
+  }
+
+  if (q.limit >= 0 && static_cast<std::size_t>(q.limit) < current.num_rows()) {
+    Table limited(current.schema());
+    for (std::size_t r = 0; r < static_cast<std::size_t>(q.limit); ++r) {
+      RHEEM_RETURN_IF_ERROR(limited.AppendRow(current.RowAt(r)));
+    }
+    current = std::move(limited);
+  }
+  return current;
+}
+
+std::string Render(const ParsedQuery& q) {
+  std::string out = "SELECT ";
+  for (std::size_t i = 0; i < q.items.size(); ++i) {
+    if (i > 0) out += ", ";
+    const SelectItem& item = q.items[i];
+    out += item.is_star ? "*" : item.expr_text;
+    if (!item.alias.empty()) out += " AS " + item.alias;
+  }
+  out += " FROM " + q.table;
+  if (!q.join_table.empty()) {
+    out += " JOIN " + q.join_table + " ON " + q.join_left_col + " = " +
+           q.join_right_col;
+  }
+  if (q.where != nullptr) out += " WHERE " + q.where_text;
+  if (!q.group_by.empty()) out += " GROUP BY " + JoinStrings(q.group_by, ", ");
+  if (!q.order_by.empty()) {
+    out += " ORDER BY " + q.order_by + (q.order_ascending ? " ASC" : " DESC");
+  }
+  if (q.limit >= 0) out += " LIMIT " + std::to_string(q.limit);
+  return out;
+}
+
+}  // namespace
+
+Result<Table> ExecuteSql(const Catalog& catalog, const std::string& query) {
+  Parser parser(query);
+  RHEEM_ASSIGN_OR_RETURN(ParsedQuery parsed, parser.Parse());
+  return RunParsed(catalog, parsed);
+}
+
+Result<std::string> ExplainSql(const std::string& query) {
+  Parser parser(query);
+  RHEEM_ASSIGN_OR_RETURN(ParsedQuery parsed, parser.Parse());
+  return Render(parsed);
+}
+
+}  // namespace relsim
+}  // namespace rheem

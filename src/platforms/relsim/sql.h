@@ -1,0 +1,54 @@
+#ifndef RHEEM_PLATFORMS_RELSIM_SQL_H_
+#define RHEEM_PLATFORMS_RELSIM_SQL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "platforms/relsim/catalog.h"
+#include "platforms/relsim/expression.h"
+#include "platforms/relsim/rel_exec.h"
+#include "platforms/relsim/table.h"
+
+namespace rheem {
+namespace relsim {
+
+/// \brief Minimal SQL SELECT frontend over the relsim engine — the
+/// "declarative language" option the paper gives application developers
+/// (§3.2: "an application developer could also expose a declarative language
+/// for users to define their tasks").
+///
+/// Supported grammar (case-insensitive keywords):
+///
+///   SELECT <item> [, <item>]* | *
+///   FROM <table> [JOIN <table> ON <left_col> = <right_col>]
+///   [WHERE <expr>]
+///   [GROUP BY <column> [, <column>]*]
+///   [ORDER BY <column> [ASC|DESC]]
+///   [LIMIT <n>]
+///
+///   item  := <expr> [AS <name>]
+///          | SUM|COUNT|MIN|MAX|AVG '(' <column> | '*' ')' [AS <name>]
+///   expr  := boolean/comparison/arithmetic over columns and literals,
+///            with AND / OR / NOT, parentheses, =, <>, !=, <, <=, >, >=,
+///            +, -, *, /; string literals in single quotes.
+///
+/// Restrictions (documented, checked, and tested): one optional equi-JOIN
+/// with unqualified column names (the joined schema is left columns then
+/// right columns, duplicate names suffixed "_r"); aggregates take a plain
+/// column (or * for COUNT); non-aggregate select items under GROUP BY must
+/// be group columns.
+struct SqlQuery;  // parsed form (opaque; see sql.cc)
+
+/// Parses and runs one SELECT against the catalog.
+Result<Table> ExecuteSql(const Catalog& catalog, const std::string& query);
+
+/// Parse-only entry point: returns a normalized rendering of the parsed
+/// query (used by tests and the example's echo mode) or a parse error.
+Result<std::string> ExplainSql(const std::string& query);
+
+}  // namespace relsim
+}  // namespace rheem
+
+#endif  // RHEEM_PLATFORMS_RELSIM_SQL_H_

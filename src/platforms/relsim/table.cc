@@ -1,0 +1,69 @@
+#include "platforms/relsim/table.h"
+
+namespace rheem {
+namespace relsim {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_fields());
+}
+
+Result<Table> Table::FromDataset(const Dataset& data) {
+  Schema schema;
+  if (data.has_schema()) {
+    schema = data.schema();
+  } else if (!data.empty()) {
+    std::vector<Field> fields;
+    const Record& first = data.at(0);
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      fields.push_back(Field{"c" + std::to_string(i), first.at(i).type()});
+    }
+    schema = Schema(std::move(fields));
+  }
+  Table t(schema);
+  for (const Record& r : data.records()) {
+    RHEEM_RETURN_IF_ERROR(t.AppendRow(r));
+  }
+  return t;
+}
+
+Status Table::AppendRow(const Record& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match table of " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].push_back(row.at(i));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Record Table::RowAt(std::size_t row) const {
+  std::vector<Value> fields;
+  fields.reserve(columns_.size());
+  for (const auto& col : columns_) fields.push_back(col[row]);
+  return Record(std::move(fields));
+}
+
+Dataset Table::ToDataset() const {
+  std::vector<Record> records;
+  records.reserve(num_rows_);
+  for (std::size_t r = 0; r < num_rows_; ++r) records.push_back(RowAt(r));
+  return Dataset(std::move(records), schema_);
+}
+
+std::string Table::ToString(std::size_t max_rows) const {
+  std::string out = "Table[" + std::to_string(num_rows_) + " rows] " +
+                    schema_.ToString() + "\n";
+  for (std::size_t r = 0; r < num_rows_ && r < max_rows; ++r) {
+    out += "  " + RowAt(r).ToString() + "\n";
+  }
+  if (num_rows_ > max_rows) {
+    out += "  ... (" + std::to_string(num_rows_ - max_rows) + " more)\n";
+  }
+  return out;
+}
+
+}  // namespace relsim
+}  // namespace rheem

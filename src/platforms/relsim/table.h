@@ -1,0 +1,56 @@
+#ifndef RHEEM_PLATFORMS_RELSIM_TABLE_H_
+#define RHEEM_PLATFORMS_RELSIM_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "data/schema.h"
+
+namespace rheem {
+namespace relsim {
+
+/// \brief Column-oriented table: the native storage format of the relsim
+/// platform (the reproduction's stand-in for a PostgreSQL-style engine).
+///
+/// Crossing into relsim means columnarizing row-shaped data quanta and
+/// crossing out means linearizing back — the format-conversion cost the
+/// paper's storage section (§6) wants hot-data buffers to avoid.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema);
+
+  /// Columnarizes a row dataset. When `data` carries no schema, one is
+  /// inferred from the first record (later rows must match its arity).
+  static Result<Table> FromDataset(const Dataset& data);
+
+  const Schema& schema() const { return schema_; }
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t num_columns() const { return columns_.size(); }
+
+  Status AppendRow(const Record& row);
+
+  const std::vector<Value>& column(std::size_t i) const { return columns_[i]; }
+  const Value& at(std::size_t row, std::size_t col) const {
+    return columns_[col][row];
+  }
+
+  Record RowAt(std::size_t row) const;
+
+  /// Linearizes back to row-shaped records (schema attached).
+  Dataset ToDataset() const;
+
+  std::string ToString(std::size_t max_rows = 10) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Value>> columns_;
+  std::size_t num_rows_ = 0;
+};
+
+}  // namespace relsim
+}  // namespace rheem
+
+#endif  // RHEEM_PLATFORMS_RELSIM_TABLE_H_

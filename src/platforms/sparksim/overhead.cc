@@ -1,0 +1,20 @@
+#include "platforms/sparksim/overhead.h"
+
+namespace rheem {
+namespace sparksim {
+
+SparkOverheadModel SparkOverheadModel::FromConfig(const Config& config) {
+  SparkOverheadModel m;
+  m.job_submit_us =
+      config.GetDouble("sparksim.job_submit_us", m.job_submit_us).ValueOr(m.job_submit_us);
+  m.stage_us = config.GetDouble("sparksim.stage_us", m.stage_us).ValueOr(m.stage_us);
+  m.task_us = config.GetDouble("sparksim.task_us", m.task_us).ValueOr(m.task_us);
+  m.shuffle_fixed_us = config.GetDouble("sparksim.shuffle_fixed_us", m.shuffle_fixed_us)
+                           .ValueOr(m.shuffle_fixed_us);
+  m.collect_fixed_us = config.GetDouble("sparksim.collect_fixed_us", m.collect_fixed_us)
+                           .ValueOr(m.collect_fixed_us);
+  return m;
+}
+
+}  // namespace sparksim
+}  // namespace rheem

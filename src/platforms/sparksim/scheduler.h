@@ -1,0 +1,58 @@
+#ifndef RHEEM_PLATFORMS_SPARKSIM_SCHEDULER_H_
+#define RHEEM_PLATFORMS_SPARKSIM_SCHEDULER_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/mapping/platform.h"
+#include "platforms/sparksim/overhead.h"
+
+namespace rheem {
+namespace sparksim {
+
+/// \brief Runs per-partition tasks on the platform's worker slots and charges
+/// the per-task launch overhead — sparksim's DAG-scheduler stand-in.
+///
+/// Virtual cluster clock: the host machine may have fewer cores than the
+/// simulated cluster has slots (including the degenerate single-core case),
+/// in which case the threads serialize and measured wall time overstates the
+/// cluster's latency. RunTasks therefore times every task, computes the
+/// latency an `slots()`-wide cluster would have achieved
+/// (max(sum/slots, longest task)), and charges the *difference* to the
+/// simulated clock — near zero on a host with >= slots free cores, negative
+/// when the host serializes. ExecutionMetrics::TotalMicros (wall + simulated)
+/// thus reports the modeled cluster latency on any host, which is what the
+/// Figure 2 reproduction compares. DESIGN.md §3 documents this substitution.
+class TaskScheduler {
+ public:
+  /// `task_retries`: how many times a failed task is re-attempted before the
+  /// batch reports failure (Spark's spark.task.maxFailures analogue;
+  /// default 3 retries = 4 attempts).
+  TaskScheduler(ThreadPool* pool, SparkOverheadModel overhead,
+                int task_retries = 3)
+      : pool_(pool), overhead_(overhead), task_retries_(task_retries) {}
+
+  const SparkOverheadModel& overhead() const { return overhead_; }
+  std::size_t slots() const { return pool_->num_threads(); }
+  int task_retries() const { return task_retries_; }
+
+  /// Executes fn(0..n-1) as `n` parallel tasks; blocks until all complete.
+  /// Failed tasks are retried up to task_retries() times (each retry charges
+  /// another task launch). Charges n x task_us of simulated launch overhead
+  /// plus the virtual cluster clock correction to `metrics` and returns the
+  /// first task error (deterministically: the lowest index).
+  Status RunTasks(std::size_t n, ExecutionMetrics* metrics,
+                  const std::function<Status(std::size_t)>& fn);
+
+ private:
+  ThreadPool* pool_;
+  SparkOverheadModel overhead_;
+  int task_retries_;
+};
+
+}  // namespace sparksim
+}  // namespace rheem
+
+#endif  // RHEEM_PLATFORMS_SPARKSIM_SCHEDULER_H_

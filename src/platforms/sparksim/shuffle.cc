@@ -1,0 +1,82 @@
+#include "platforms/sparksim/shuffle.h"
+
+#include <atomic>
+
+#include "data/serialization.h"
+
+namespace rheem {
+namespace sparksim {
+
+namespace {
+
+using BucketFn = std::function<std::size_t(const Record&)>;
+
+Result<Rdd> ShuffleImpl(const Rdd& in, std::size_t out_partitions,
+                        TaskScheduler* scheduler, ExecutionMetrics* metrics,
+                        const BucketFn& bucket_of) {
+  if (out_partitions == 0) out_partitions = 1;
+  metrics->sim_overhead_micros +=
+      static_cast<int64_t>(scheduler->overhead().shuffle_fixed_us);
+
+  const std::size_t nin = in.num_partitions();
+  // blocks[input partition][output partition] = encoded bucket.
+  std::vector<std::vector<std::string>> blocks(
+      nin, std::vector<std::string>(out_partitions));
+  std::atomic<int64_t> bytes{0};
+
+  // Map side: bucket + encode.
+  RHEEM_RETURN_IF_ERROR(scheduler->RunTasks(
+      nin, metrics, [&](std::size_t pi) -> Status {
+        for (const Record& r : in.partition(pi).records()) {
+          const std::size_t target = bucket_of(r) % out_partitions;
+          Serializer::EncodeRecord(r, &blocks[pi][target]);
+        }
+        for (const std::string& b : blocks[pi]) {
+          bytes.fetch_add(static_cast<int64_t>(b.size()));
+        }
+        return Status::OK();
+      }));
+
+  // Reduce side: decode this partition's incoming blocks.
+  std::vector<Dataset> out(out_partitions);
+  RHEEM_RETURN_IF_ERROR(scheduler->RunTasks(
+      out_partitions, metrics, [&](std::size_t po) -> Status {
+        std::vector<Record> records;
+        for (std::size_t pi = 0; pi < nin; ++pi) {
+          const std::string& block = blocks[pi][po];
+          std::size_t offset = 0;
+          while (offset < block.size()) {
+            auto rec = Serializer::DecodeRecord(block, &offset);
+            if (!rec.ok()) {
+              return rec.status().WithContext("shuffle decode");
+            }
+            records.push_back(std::move(rec).ValueOrDie());
+          }
+        }
+        out[po] = Dataset(std::move(records));
+        return Status::OK();
+      }));
+
+  metrics->shuffle_bytes += bytes.load();
+  return Rdd(std::move(out));
+}
+
+}  // namespace
+
+Result<Rdd> ShuffleByKey(const Rdd& in, const KeyUdf& key,
+                         std::size_t out_partitions, TaskScheduler* scheduler,
+                         ExecutionMetrics* metrics) {
+  if (!key.fn) return Status::InvalidArgument("shuffle key UDF is empty");
+  return ShuffleImpl(in, out_partitions, scheduler, metrics,
+                     [&key](const Record& r) { return key.fn(r).Hash(); });
+}
+
+Result<Rdd> ShuffleByRecordHash(const Rdd& in, std::size_t out_partitions,
+                                TaskScheduler* scheduler,
+                                ExecutionMetrics* metrics) {
+  return ShuffleImpl(in, out_partitions, scheduler, metrics,
+                     [](const Record& r) { return r.Hash(); });
+}
+
+}  // namespace sparksim
+}  // namespace rheem

@@ -1,0 +1,32 @@
+#ifndef RHEEM_PLATFORMS_SPARKSIM_SHUFFLE_H_
+#define RHEEM_PLATFORMS_SPARKSIM_SHUFFLE_H_
+
+#include "common/result.h"
+#include "core/operators/descriptors.h"
+#include "platforms/sparksim/rdd.h"
+#include "platforms/sparksim/scheduler.h"
+
+namespace rheem {
+namespace sparksim {
+
+/// \brief Hash shuffle: redistributes every record to the partition selected
+/// by its key hash, moving the bytes through the real serializer.
+///
+/// The map side encodes each outgoing bucket (parallel tasks, one per input
+/// partition); the reduce side decodes its incoming buckets (parallel tasks,
+/// one per output partition). Shuffled byte counts land in
+/// ExecutionMetrics::shuffle_bytes, and the serialization work is genuine
+/// wall time — sparksim's shuffles cost what they claim to cost.
+Result<Rdd> ShuffleByKey(const Rdd& in, const KeyUdf& key,
+                         std::size_t out_partitions, TaskScheduler* scheduler,
+                         ExecutionMetrics* metrics);
+
+/// Shuffle keyed by the whole record's hash (used by Distinct).
+Result<Rdd> ShuffleByRecordHash(const Rdd& in, std::size_t out_partitions,
+                                TaskScheduler* scheduler,
+                                ExecutionMetrics* metrics);
+
+}  // namespace sparksim
+}  // namespace rheem
+
+#endif  // RHEEM_PLATFORMS_SPARKSIM_SHUFFLE_H_

@@ -1,0 +1,56 @@
+#ifndef RHEEM_PLATFORMS_SPARKSIM_SPARKSIM_OPERATORS_H_
+#define RHEEM_PLATFORMS_SPARKSIM_SPARKSIM_OPERATORS_H_
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/mapping/platform.h"
+#include "core/operators/physical_ops.h"
+#include "platforms/sparksim/rdd.h"
+#include "platforms/sparksim/scheduler.h"
+
+namespace rheem {
+namespace sparksim {
+
+/// External inputs to a walker run: producer op id -> partitioned data.
+using RddBindings = std::unordered_map<int, const Rdd*>;
+
+/// \brief Execution-operator layer of sparksim: evaluates physical operators
+/// over partitioned Rdds with task-parallel narrow transformations, real
+/// hash shuffles at key boundaries, broadcast side inputs, and per-iteration
+/// job submission charges for loops — the "Spark job" side of Figure 2.
+class RddWalker {
+ public:
+  RddWalker(std::size_t num_partitions, TaskScheduler* scheduler,
+            ExecutionMetrics* metrics)
+      : num_partitions_(num_partitions == 0 ? 1 : num_partitions),
+        scheduler_(scheduler), metrics_(metrics) {}
+
+  Status RunOps(const std::vector<Operator*>& ops, const RddBindings& external);
+
+  Result<const Rdd*> ResultOf(int op_id) const;
+
+ private:
+  Result<Rdd> EvalOperator(const PhysicalOperator& op,
+                           const std::vector<const Rdd*>& inputs);
+  Result<Rdd> EvalLoop(const PhysicalOperator& op, const Rdd& state0,
+                       const Rdd& data);
+
+  /// Applies a per-partition kernel as one task per partition.
+  Result<Rdd> MapPartitions(
+      const Rdd& in,
+      const std::function<Result<Dataset>(const Dataset&, std::size_t)>& fn);
+
+  std::size_t num_partitions_;
+  TaskScheduler* scheduler_;
+  ExecutionMetrics* metrics_;
+  std::map<int, Rdd> results_;
+  int64_t next_zip_id_ = 0;
+};
+
+}  // namespace sparksim
+}  // namespace rheem
+
+#endif  // RHEEM_PLATFORMS_SPARKSIM_SPARKSIM_OPERATORS_H_

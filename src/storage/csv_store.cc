@@ -1,0 +1,139 @@
+#include "storage/csv_store.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace rheem {
+namespace storage {
+
+namespace {
+
+/// Cells carry a one-character type tag so datasets round-trip with types:
+/// "i:42", "d:3.14", "s:text", "b:1", "n:" (null), "l:1;2;3" (double list).
+std::string EncodeCell(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull: return "n:";
+    case ValueType::kBool: return v.bool_unchecked() ? "b:1" : "b:0";
+    case ValueType::kInt64: return "i:" + std::to_string(v.int64_unchecked());
+    case ValueType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "d:%.17g", v.double_unchecked());
+      return buf;
+    }
+    case ValueType::kString: return "s:" + v.string_unchecked();
+    case ValueType::kDoubleList: {
+      std::string out = "l:";
+      const auto& xs = v.double_list_unchecked();
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (i > 0) out += ";";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", xs[i]);
+        out += buf;
+      }
+      return out;
+    }
+  }
+  return "n:";
+}
+
+Result<Value> DecodeCell(const std::string& cell) {
+  if (cell.size() < 2 || cell[1] != ':') {
+    return Status::IoError("malformed CSV cell: " + cell);
+  }
+  const std::string payload = cell.substr(2);
+  switch (cell[0]) {
+    case 'n': return Value::Null();
+    case 'b': return Value(payload == "1");
+    case 'i': return Value(static_cast<int64_t>(std::strtoll(payload.c_str(), nullptr, 10)));
+    case 'd': return Value(std::strtod(payload.c_str(), nullptr));
+    case 's': return Value(payload);
+    case 'l': {
+      std::vector<double> xs;
+      if (!payload.empty()) {
+        for (const std::string& part : SplitString(payload, ';')) {
+          xs.push_back(std::strtod(part.c_str(), nullptr));
+        }
+      }
+      return Value(std::move(xs));
+    }
+    default:
+      return Status::IoError("unknown CSV cell tag: " + cell);
+  }
+}
+
+}  // namespace
+
+CsvStore::CsvStore(std::string directory) : directory_(std::move(directory)) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+}
+
+std::string CsvStore::PathFor(const std::string& dataset) const {
+  return directory_ + "/" + dataset + ".csv";
+}
+
+Status CsvStore::Put(const std::string& dataset, const Dataset& data) {
+  CsvCodec codec;
+  std::string text;
+  for (const Record& r : data.records()) {
+    std::vector<std::string> cells;
+    cells.reserve(r.size());
+    for (const Value& v : r.fields()) cells.push_back(EncodeCell(v));
+    text += codec.FormatLine(cells);
+    text += "\n";
+  }
+  return WriteStringToFile(PathFor(dataset), text);
+}
+
+Result<Dataset> CsvStore::Get(const std::string& dataset) const {
+  auto text = ReadFileToString(PathFor(dataset));
+  if (!text.ok()) {
+    return Status::NotFound("csv-files: no dataset '" + dataset + "'");
+  }
+  CsvCodec codec;
+  RHEEM_ASSIGN_OR_RETURN(auto rows, codec.ParseDocument(*text));
+  std::vector<Record> records;
+  records.reserve(rows.size());
+  for (const auto& cells : rows) {
+    std::vector<Value> fields;
+    fields.reserve(cells.size());
+    for (const std::string& cell : cells) {
+      RHEEM_ASSIGN_OR_RETURN(Value v, DecodeCell(cell));
+      fields.push_back(std::move(v));
+    }
+    records.push_back(Record(std::move(fields)));
+  }
+  return Dataset(std::move(records));
+}
+
+Status CsvStore::Delete(const std::string& dataset) {
+  std::error_code ec;
+  if (!std::filesystem::remove(PathFor(dataset), ec)) {
+    return Status::NotFound("csv-files: no dataset '" + dataset + "'");
+  }
+  return Status::OK();
+}
+
+bool CsvStore::Exists(const std::string& dataset) const {
+  std::error_code ec;
+  return std::filesystem::exists(PathFor(dataset), ec);
+}
+
+std::vector<std::string> CsvStore::List() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory_, ec)) {
+    if (entry.path().extension() == ".csv") {
+      names.push_back(entry.path().stem().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace storage
+}  // namespace rheem

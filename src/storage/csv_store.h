@@ -1,0 +1,47 @@
+#ifndef RHEEM_STORAGE_CSV_STORE_H_
+#define RHEEM_STORAGE_CSV_STORE_H_
+
+#include <string>
+
+#include "storage/store_op.h"
+
+namespace rheem {
+namespace storage {
+
+/// \brief File-backed CSV backend: each dataset is one real .csv file under
+/// the store's directory (values typed by a one-line header tag).
+///
+/// The persistent-but-slow corner of the backend space: full scans re-parse
+/// text, column reads read everything. The hot-data buffer ablation uses it
+/// as the cold tier.
+class CsvStore : public StorageBackend {
+ public:
+  explicit CsvStore(std::string directory);
+
+  const std::string& name() const override { return name_; }
+  const std::string& format() const override { return format_; }
+  BackendTraits traits() const override {
+    return BackendTraits{/*columnar=*/false, /*point_lookup=*/false,
+                         /*persistent=*/true, /*scan_cost_factor=*/3.0};
+  }
+
+  Status Put(const std::string& dataset, const Dataset& data) override;
+  Result<Dataset> Get(const std::string& dataset) const override;
+  Status Delete(const std::string& dataset) override;
+  bool Exists(const std::string& dataset) const override;
+  std::vector<std::string> List() const override;
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  std::string PathFor(const std::string& dataset) const;
+
+  std::string name_ = "csv-files";
+  std::string format_ = "csv";
+  std::string directory_;
+};
+
+}  // namespace storage
+}  // namespace rheem
+
+#endif  // RHEEM_STORAGE_CSV_STORE_H_

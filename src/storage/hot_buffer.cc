@@ -1,0 +1,58 @@
+#include "storage/hot_buffer.h"
+
+namespace rheem {
+namespace storage {
+
+Result<Dataset> HotDataBuffer::Load(const std::string& dataset) {
+  auto it = cache_.find(dataset);
+  if (it != cache_.end()) {
+    ++hits_;
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(dataset);
+    it->second.lru_pos = lru_.begin();
+    return it->second.data;
+  }
+  ++misses_;
+  RHEEM_ASSIGN_OR_RETURN(Dataset data, manager_->Load(dataset));
+  const int64_t bytes = data.EstimatedBytes();
+  if (bytes <= capacity_bytes_) {
+    EvictUntilFits(bytes);
+    lru_.push_front(dataset);
+    Entry entry;
+    entry.data = data;
+    entry.bytes = bytes;
+    entry.lru_pos = lru_.begin();
+    cache_.emplace(dataset, std::move(entry));
+    resident_bytes_ += bytes;
+  }
+  return data;
+}
+
+void HotDataBuffer::Invalidate(const std::string& dataset) {
+  auto it = cache_.find(dataset);
+  if (it == cache_.end()) return;
+  resident_bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_pos);
+  cache_.erase(it);
+}
+
+void HotDataBuffer::Clear() {
+  cache_.clear();
+  lru_.clear();
+  resident_bytes_ = 0;
+}
+
+void HotDataBuffer::EvictUntilFits(int64_t incoming_bytes) {
+  while (!lru_.empty() && resident_bytes_ + incoming_bytes > capacity_bytes_) {
+    const std::string victim = lru_.back();
+    auto it = cache_.find(victim);
+    if (it != cache_.end()) {
+      resident_bytes_ -= it->second.bytes;
+      cache_.erase(it);
+    }
+    lru_.pop_back();
+  }
+}
+
+}  // namespace storage
+}  // namespace rheem

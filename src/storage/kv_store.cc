@@ -1,0 +1,97 @@
+#include "storage/kv_store.h"
+
+#include <algorithm>
+
+#include "data/serialization.h"
+
+namespace rheem {
+namespace storage {
+
+Status KvStore::Put(const std::string& dataset, const Dataset& data) {
+  return PutKeyed(dataset, data, default_key_column_);
+}
+
+Status KvStore::PutKeyed(const std::string& dataset, const Dataset& data,
+                         int key_column) {
+  Index index;
+  index.key_column = key_column;
+  for (const Record& r : data.records()) {
+    if (key_column < 0 || static_cast<std::size_t>(key_column) >= r.size()) {
+      return Status::OutOfRange("kv-store: key column " +
+                                std::to_string(key_column) +
+                                " out of range for record " + r.ToString());
+    }
+    Serializer::EncodeRecord(r, &index.buckets[r[static_cast<std::size_t>(key_column)]]);
+    ++index.rows;
+  }
+  datasets_[dataset] = std::move(index);
+  return Status::OK();
+}
+
+Result<Dataset> KvStore::Get(const std::string& dataset) const {
+  auto it = datasets_.find(dataset);
+  if (it == datasets_.end()) {
+    return Status::NotFound("kv-store: no dataset '" + dataset + "'");
+  }
+  // Deterministic scan order: sort keys.
+  std::vector<const Value*> keys;
+  keys.reserve(it->second.buckets.size());
+  for (const auto& [k, v] : it->second.buckets) keys.push_back(&k);
+  std::sort(keys.begin(), keys.end(),
+            [](const Value* a, const Value* b) { return a->Compare(*b) < 0; });
+  std::vector<Record> out;
+  out.reserve(it->second.rows);
+  for (const Value* k : keys) {
+    const std::string& bucket = it->second.buckets.at(*k);
+    std::size_t offset = 0;
+    while (offset < bucket.size()) {
+      auto rec = Serializer::DecodeRecord(bucket, &offset);
+      if (!rec.ok()) return rec.status().WithContext("kv-store decode");
+      out.push_back(std::move(rec).ValueOrDie());
+    }
+  }
+  return Dataset(std::move(out));
+}
+
+Status KvStore::Delete(const std::string& dataset) {
+  if (datasets_.erase(dataset) == 0) {
+    return Status::NotFound("kv-store: no dataset '" + dataset + "'");
+  }
+  return Status::OK();
+}
+
+bool KvStore::Exists(const std::string& dataset) const {
+  return datasets_.count(dataset) > 0;
+}
+
+std::vector<std::string> KvStore::List() const {
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const auto& [name, index] : datasets_) names.push_back(name);
+  return names;
+}
+
+Result<Dataset> KvStore::GetByKey(const std::string& dataset, int key_column,
+                                  const Value& key) const {
+  auto it = datasets_.find(dataset);
+  if (it == datasets_.end()) {
+    return Status::NotFound("kv-store: no dataset '" + dataset + "'");
+  }
+  if (key_column != it->second.key_column) {
+    // Indexed on a different column: fall back to a scan.
+    return StorageBackend::GetByKey(dataset, key_column, key);
+  }
+  auto bucket_it = it->second.buckets.find(key);
+  if (bucket_it == it->second.buckets.end()) return Dataset();
+  std::vector<Record> out;
+  std::size_t offset = 0;
+  while (offset < bucket_it->second.size()) {
+    auto rec = Serializer::DecodeRecord(bucket_it->second, &offset);
+    if (!rec.ok()) return rec.status().WithContext("kv-store decode");
+    out.push_back(std::move(rec).ValueOrDie());
+  }
+  return Dataset(std::move(out));
+}
+
+}  // namespace storage
+}  // namespace rheem

@@ -1,0 +1,58 @@
+#ifndef RHEEM_STORAGE_KV_STORE_H_
+#define RHEEM_STORAGE_KV_STORE_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "data/value.h"
+#include "storage/store_op.h"
+
+namespace rheem {
+namespace storage {
+
+/// \brief In-memory key/value backend: each dataset is an index from a key
+/// column to serialized records — fast point lookups, mediocre scans.
+class KvStore : public StorageBackend {
+ public:
+  /// Records are indexed by `default_key_column` at Put time unless the
+  /// caller uses PutKeyed with an explicit column.
+  explicit KvStore(int default_key_column = 0)
+      : default_key_column_(default_key_column) {}
+
+  const std::string& name() const override { return name_; }
+  const std::string& format() const override { return format_; }
+  BackendTraits traits() const override {
+    return BackendTraits{/*columnar=*/false, /*point_lookup=*/true,
+                         /*persistent=*/false, /*scan_cost_factor=*/1.5};
+  }
+
+  Status Put(const std::string& dataset, const Dataset& data) override;
+  Status PutKeyed(const std::string& dataset, const Dataset& data,
+                  int key_column);
+  Result<Dataset> Get(const std::string& dataset) const override;
+  Status Delete(const std::string& dataset) override;
+  bool Exists(const std::string& dataset) const override;
+  std::vector<std::string> List() const override;
+
+  Result<Dataset> GetByKey(const std::string& dataset, int key_column,
+                           const Value& key) const override;
+
+ private:
+  struct Index {
+    int key_column = 0;
+    // Key -> serialized records (multi-map semantics via concatenation).
+    std::unordered_map<Value, std::string, ValueHasher> buckets;
+    std::size_t rows = 0;
+  };
+
+  int default_key_column_;
+  std::string name_ = "kv-store";
+  std::string format_ = "kv";
+  std::map<std::string, Index> datasets_;
+};
+
+}  // namespace storage
+}  // namespace rheem
+
+#endif  // RHEEM_STORAGE_KV_STORE_H_

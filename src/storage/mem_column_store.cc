@@ -1,0 +1,75 @@
+#include "storage/mem_column_store.h"
+
+namespace rheem {
+namespace storage {
+
+Status MemColumnStore::Put(const std::string& dataset, const Dataset& data) {
+  RHEEM_ASSIGN_OR_RETURN(relsim::Table table, relsim::Table::FromDataset(data));
+  tables_[dataset] = std::move(table);
+  return Status::OK();
+}
+
+Result<Dataset> MemColumnStore::Get(const std::string& dataset) const {
+  auto it = tables_.find(dataset);
+  if (it == tables_.end()) {
+    return Status::NotFound("mem-column: no dataset '" + dataset + "'");
+  }
+  return it->second.ToDataset();
+}
+
+Status MemColumnStore::Delete(const std::string& dataset) {
+  if (tables_.erase(dataset) == 0) {
+    return Status::NotFound("mem-column: no dataset '" + dataset + "'");
+  }
+  return Status::OK();
+}
+
+bool MemColumnStore::Exists(const std::string& dataset) const {
+  return tables_.count(dataset) > 0;
+}
+
+std::vector<std::string> MemColumnStore::List() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, t] : tables_) names.push_back(name);
+  return names;
+}
+
+Result<Dataset> MemColumnStore::GetColumns(const std::string& dataset,
+                                           const std::vector<int>& columns) const {
+  auto it = tables_.find(dataset);
+  if (it == tables_.end()) {
+    return Status::NotFound("mem-column: no dataset '" + dataset + "'");
+  }
+  const relsim::Table& table = it->second;
+  for (int c : columns) {
+    if (c < 0 || static_cast<std::size_t>(c) >= table.num_columns()) {
+      return Status::OutOfRange("mem-column: column " + std::to_string(c) +
+                                " out of range in '" + dataset + "'");
+    }
+  }
+  // Columnar advantage: touch only the requested columns.
+  std::vector<Record> out;
+  out.reserve(table.num_rows());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<Value> fields;
+    fields.reserve(columns.size());
+    for (int c : columns) {
+      fields.push_back(table.at(r, static_cast<std::size_t>(c)));
+    }
+    out.push_back(Record(std::move(fields)));
+  }
+  return Dataset(std::move(out));
+}
+
+Result<const relsim::Table*> MemColumnStore::GetTable(
+    const std::string& dataset) const {
+  auto it = tables_.find(dataset);
+  if (it == tables_.end()) {
+    return Status::NotFound("mem-column: no dataset '" + dataset + "'");
+  }
+  return &it->second;
+}
+
+}  // namespace storage
+}  // namespace rheem

@@ -1,0 +1,48 @@
+#ifndef RHEEM_STORAGE_MEM_COLUMN_STORE_H_
+#define RHEEM_STORAGE_MEM_COLUMN_STORE_H_
+
+#include <map>
+#include <string>
+
+#include "platforms/relsim/table.h"
+#include "storage/store_op.h"
+
+namespace rheem {
+namespace storage {
+
+/// \brief In-memory columnar backend: datasets live as relsim Tables, so
+/// column-subset reads touch only the requested columns.
+class MemColumnStore : public StorageBackend {
+ public:
+  MemColumnStore() = default;
+
+  const std::string& name() const override { return name_; }
+  const std::string& format() const override { return format_; }
+  BackendTraits traits() const override {
+    return BackendTraits{/*columnar=*/true, /*point_lookup=*/false,
+                         /*persistent=*/false, /*scan_cost_factor=*/0.6};
+  }
+
+  Status Put(const std::string& dataset, const Dataset& data) override;
+  Result<Dataset> Get(const std::string& dataset) const override;
+  Status Delete(const std::string& dataset) override;
+  bool Exists(const std::string& dataset) const override;
+  std::vector<std::string> List() const override;
+
+  Result<Dataset> GetColumns(const std::string& dataset,
+                             const std::vector<int>& columns) const override;
+
+  /// Direct access to the native columnar representation (used by the hot
+  /// buffer to serve relsim without format conversion).
+  Result<const relsim::Table*> GetTable(const std::string& dataset) const;
+
+ private:
+  std::string name_ = "mem-column";
+  std::string format_ = "columnar";
+  std::map<std::string, relsim::Table> tables_;
+};
+
+}  // namespace storage
+}  // namespace rheem
+
+#endif  // RHEEM_STORAGE_MEM_COLUMN_STORE_H_

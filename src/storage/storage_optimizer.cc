@@ -1,0 +1,65 @@
+#include "storage/storage_optimizer.h"
+
+#include <limits>
+
+namespace rheem {
+namespace storage {
+
+double StorageOptimizer::Score(const BackendTraits& traits,
+                               const AccessProfile& profile) {
+  if (profile.requires_persistence && !traits.persistent) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Full-scan term: columnar stores scan column subsets much cheaper.
+  double scan_factor = traits.scan_cost_factor;
+  if (profile.column_subset_access && traits.columnar) {
+    scan_factor *= 0.3;
+  }
+  double cost = profile.scan_frequency * scan_factor;
+  // Lookup term: keyed backends answer point lookups without scanning.
+  const double lookup_factor = traits.point_lookup ? 0.05 : 2.0;
+  cost += profile.point_lookup_frequency * lookup_factor;
+  // Append term: file-backed stores rewrite on append in this implementation.
+  cost += profile.append_frequency * (traits.persistent ? 1.5 : 0.2);
+  return cost;
+}
+
+Result<StoragePlan> StorageOptimizer::Plan(const std::string& dataset_name,
+                                           const AccessProfile& profile) const {
+  StorageBackend* best = nullptr;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (StorageBackend* backend : manager_->Backends()) {
+    const double score = Score(backend->traits(), profile);
+    if (score < best_score) {
+      best_score = score;
+      best = backend;
+    }
+  }
+  if (best == nullptr || best_score == std::numeric_limits<double>::infinity()) {
+    return Status::NotFound(
+        "no registered backend satisfies the access profile for '" +
+        dataset_name + "'");
+  }
+  StorageAtom atom;
+  atom.backend = best->name();
+  atom.dataset = dataset_name;
+  if (profile.range_filter_column >= 0) {
+    atom.transform.Add(TransformStep::SortBy(profile.range_filter_column));
+  }
+  if (best->traits().point_lookup && profile.key_column >= 0) {
+    atom.key_column = profile.key_column;
+  }
+  StoragePlan plan;
+  plan.atoms.push_back(std::move(atom));
+  return plan;
+}
+
+Status StorageOptimizer::Store(const std::string& dataset_name,
+                               const Dataset& data,
+                               const AccessProfile& profile) const {
+  RHEEM_ASSIGN_OR_RETURN(StoragePlan plan, Plan(dataset_name, profile));
+  return manager_->Execute(plan, data);
+}
+
+}  // namespace storage
+}  // namespace rheem

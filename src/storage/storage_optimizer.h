@@ -1,0 +1,49 @@
+#ifndef RHEEM_STORAGE_STORAGE_OPTIMIZER_H_
+#define RHEEM_STORAGE_STORAGE_OPTIMIZER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/storage_plan.h"
+#include "storage/store_op.h"
+
+namespace rheem {
+namespace storage {
+
+/// \brief The unified storage optimizer (paper §6, in the spirit of WWHow!
+/// [Jindal et al., CIDR'13]): decides *where* (which backend) and *how*
+/// (which transformation plan) to store a dataset from its access profile.
+///
+/// Scoring per backend (all registered with the StorageManager):
+///   cost = scan_freq x scan_cost(backend, column_subset)
+///        + lookup_freq x lookup_cost(backend)
+///        + persistence constraint (hard)
+/// The chosen atom also gets upload-time transformations: a sort by the
+/// profile's range-filter column, and key indexing for lookup-heavy
+/// profiles. The decision is returned as an explainable StoragePlan instead
+/// of being applied blindly.
+class StorageOptimizer {
+ public:
+  explicit StorageOptimizer(StorageManager* manager) : manager_(manager) {}
+
+  /// Chooses backend + transformation plan for storing `dataset_name` with
+  /// the given profile.
+  Result<StoragePlan> Plan(const std::string& dataset_name,
+                           const AccessProfile& profile) const;
+
+  /// Convenience: Plan + Execute.
+  Status Store(const std::string& dataset_name, const Dataset& data,
+               const AccessProfile& profile) const;
+
+  /// Relative score of one backend for a profile (lower = better); exposed
+  /// for tests and the explain output.
+  static double Score(const BackendTraits& traits, const AccessProfile& profile);
+
+ private:
+  StorageManager* manager_;
+};
+
+}  // namespace storage
+}  // namespace rheem
+
+#endif  // RHEEM_STORAGE_STORAGE_OPTIMIZER_H_

@@ -1,0 +1,77 @@
+#include "storage/storage_plan.h"
+
+#include "storage/kv_store.h"
+
+namespace rheem {
+namespace storage {
+
+std::string StoragePlan::ToString() const {
+  std::string out = "storage plan (" + std::to_string(atoms.size()) +
+                    " atom(s))\n";
+  for (const StorageAtom& atom : atoms) {
+    out += "  [" + atom.backend + "] '" + atom.dataset +
+           "' <- " + atom.transform.ToString() + "\n";
+  }
+  return out;
+}
+
+Status StorageManager::RegisterBackend(std::unique_ptr<StorageBackend> backend) {
+  if (backend == nullptr) {
+    return Status::InvalidArgument("cannot register a null backend");
+  }
+  for (const auto& b : backends_) {
+    if (b->name() == backend->name()) {
+      return Status::AlreadyExists("backend '" + backend->name() +
+                                   "' already registered");
+    }
+  }
+  backends_.push_back(std::move(backend));
+  return Status::OK();
+}
+
+Result<StorageBackend*> StorageManager::Backend(const std::string& name) const {
+  for (const auto& b : backends_) {
+    if (b->name() == name) return b.get();
+  }
+  return Status::NotFound("no backend named '" + name + "'");
+}
+
+std::vector<StorageBackend*> StorageManager::Backends() const {
+  std::vector<StorageBackend*> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_) out.push_back(b.get());
+  return out;
+}
+
+Status StorageManager::Execute(const StoragePlan& plan, const Dataset& data) {
+  for (const StorageAtom& atom : plan.atoms) {
+    RHEEM_ASSIGN_OR_RETURN(StorageBackend * backend, Backend(atom.backend));
+    RHEEM_ASSIGN_OR_RETURN(Dataset transformed, atom.transform.Apply(data));
+    if (atom.key_column >= 0) {
+      // Keyed materialization where supported.
+      if (auto* kv = dynamic_cast<KvStore*>(backend)) {
+        RHEEM_RETURN_IF_ERROR(
+            kv->PutKeyed(atom.dataset, transformed, atom.key_column));
+        continue;
+      }
+    }
+    RHEEM_RETURN_IF_ERROR(backend->Put(atom.dataset, transformed));
+  }
+  return Status::OK();
+}
+
+Result<Dataset> StorageManager::Load(const std::string& dataset) const {
+  RHEEM_ASSIGN_OR_RETURN(StorageBackend * backend, Locate(dataset));
+  return backend->Get(dataset);
+}
+
+Result<StorageBackend*> StorageManager::Locate(const std::string& dataset) const {
+  for (const auto& b : backends_) {
+    if (b->Exists(dataset)) return b.get();
+  }
+  return Status::NotFound("dataset '" + dataset +
+                          "' not found on any backend");
+}
+
+}  // namespace storage
+}  // namespace rheem

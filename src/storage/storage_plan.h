@@ -1,0 +1,65 @@
+#ifndef RHEEM_STORAGE_STORAGE_PLAN_H_
+#define RHEEM_STORAGE_STORAGE_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/store_op.h"
+#include "storage/transformation.h"
+
+namespace rheem {
+namespace storage {
+
+/// \brief One unit of an execution storage plan: apply a transformation plan
+/// to the incoming data and materialize the result on one backend under one
+/// name. The counterpart of the processing layer's task atom (paper §6:
+/// "an execution storage plan is composed of storage atoms").
+struct StorageAtom {
+  std::string backend;           // target backend name
+  std::string dataset;           // name under which to store
+  TransformationPlan transform;  // applied on upload
+  /// Key column to index by when the backend supports point lookups
+  /// (-1 = backend default).
+  int key_column = -1;
+};
+
+/// \brief An optimized execution storage plan (x-store level): the atoms are
+/// executed in order against the registered backends.
+struct StoragePlan {
+  std::vector<StorageAtom> atoms;
+
+  std::string ToString() const;
+};
+
+/// \brief Registry of storage backends plus the plan executor — the runtime
+/// half of the storage abstraction. The optimizer half lives in
+/// storage_optimizer.h.
+class StorageManager {
+ public:
+  StorageManager() = default;
+
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  Status RegisterBackend(std::unique_ptr<StorageBackend> backend);
+  Result<StorageBackend*> Backend(const std::string& name) const;
+  std::vector<StorageBackend*> Backends() const;
+
+  /// Executes every atom of `plan` over `data`.
+  Status Execute(const StoragePlan& plan, const Dataset& data);
+
+  /// Finds the dataset on whichever backend holds it (first match in
+  /// registration order).
+  Result<Dataset> Load(const std::string& dataset) const;
+  Result<StorageBackend*> Locate(const std::string& dataset) const;
+
+ private:
+  std::vector<std::unique_ptr<StorageBackend>> backends_;
+};
+
+}  // namespace storage
+}  // namespace rheem
+
+#endif  // RHEEM_STORAGE_STORAGE_PLAN_H_

@@ -1,0 +1,46 @@
+#include "storage/store_op.h"
+
+namespace rheem {
+namespace storage {
+
+const char* StoreLevelToString(StoreLevel level) {
+  switch (level) {
+    case StoreLevel::kLogical: return "l-store";
+    case StoreLevel::kPhysical: return "p-store";
+    case StoreLevel::kExecution: return "x-store";
+  }
+  return "?";
+}
+
+Result<Dataset> StorageBackend::GetColumns(const std::string& dataset,
+                                           const std::vector<int>& columns) const {
+  RHEEM_ASSIGN_OR_RETURN(Dataset full, Get(dataset));
+  std::vector<Record> out;
+  out.reserve(full.size());
+  for (const Record& r : full.records()) {
+    for (int c : columns) {
+      if (c < 0 || static_cast<std::size_t>(c) >= r.size()) {
+        return Status::OutOfRange("column " + std::to_string(c) +
+                                  " out of range in '" + dataset + "'");
+      }
+    }
+    out.push_back(r.Project(columns));
+  }
+  return Dataset(std::move(out));
+}
+
+Result<Dataset> StorageBackend::GetByKey(const std::string& dataset,
+                                         int key_column, const Value& key) const {
+  RHEEM_ASSIGN_OR_RETURN(Dataset full, Get(dataset));
+  std::vector<Record> out;
+  for (const Record& r : full.records()) {
+    if (key_column < 0 || static_cast<std::size_t>(key_column) >= r.size()) {
+      return Status::OutOfRange("key column out of range in '" + dataset + "'");
+    }
+    if (r[static_cast<std::size_t>(key_column)] == key) out.push_back(r);
+  }
+  return Dataset(std::move(out));
+}
+
+}  // namespace storage
+}  // namespace rheem

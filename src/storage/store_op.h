@@ -1,0 +1,84 @@
+#ifndef RHEEM_STORAGE_STORE_OP_H_
+#define RHEEM_STORAGE_STORE_OP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace rheem {
+namespace storage {
+
+/// The three levels of the RHEEM data storage abstraction (paper §6,
+/// Figure 4), mirroring the processing stack: l-store operators express
+/// application intent, p-store operators form optimized storage plans, and
+/// x-store operators are what a concrete backend executes.
+enum class StoreLevel { kLogical, kPhysical, kExecution };
+
+const char* StoreLevelToString(StoreLevel level);
+
+/// \brief Application-level description of how a dataset will be accessed —
+/// the input the storage optimizer (WWHow!-style) uses to pick a backend and
+/// a transformation plan.
+struct AccessProfile {
+  /// Full-scan analyses per session (OLAP-ish workloads).
+  double scan_frequency = 1.0;
+  /// Point lookups by key per session (serving-ish workloads).
+  double point_lookup_frequency = 0.0;
+  /// Appends per session.
+  double append_frequency = 0.0;
+  /// True when analyses read a small column subset.
+  bool column_subset_access = false;
+  /// The columns those analyses touch (when column_subset_access).
+  std::vector<int> hot_columns;
+  /// Column most frequently range-filtered on (-1 = none); the optimizer
+  /// sorts the stored data by it to help downstream scans.
+  int range_filter_column = -1;
+  /// Key column for point lookups (-1 = none).
+  int key_column = -1;
+  /// Data must survive process restarts.
+  bool requires_persistence = false;
+};
+
+/// \brief Capability traits a backend advertises to the storage optimizer.
+struct BackendTraits {
+  bool columnar = false;          // cheap column-subset scans
+  bool point_lookup = false;      // keyed access
+  bool persistent = false;        // survives the process
+  double scan_cost_factor = 1.0;  // relative full-scan cost
+};
+
+/// \brief Execution-level storage platform (x-store): a concrete engine that
+/// materializes datasets in its own native format.
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  virtual const std::string& name() const = 0;
+  /// Native format label ("rows", "columnar", "csv", "kv").
+  virtual const std::string& format() const = 0;
+  virtual BackendTraits traits() const = 0;
+
+  virtual Status Put(const std::string& dataset, const Dataset& data) = 0;
+  virtual Result<Dataset> Get(const std::string& dataset) const = 0;
+  virtual Status Delete(const std::string& dataset) = 0;
+  virtual bool Exists(const std::string& dataset) const = 0;
+  virtual std::vector<std::string> List() const = 0;
+
+  /// Column-subset read; backends without columnar support fall back to a
+  /// full Get + projection (still correct, just not cheaper).
+  virtual Result<Dataset> GetColumns(const std::string& dataset,
+                                     const std::vector<int>& columns) const;
+
+  /// Keyed lookup (key compared against `key_column`); backends without
+  /// point-lookup support scan.
+  virtual Result<Dataset> GetByKey(const std::string& dataset, int key_column,
+                                   const Value& key) const;
+};
+
+}  // namespace storage
+}  // namespace rheem
+
+#endif  // RHEEM_STORAGE_STORE_OP_H_

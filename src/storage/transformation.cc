@@ -1,0 +1,111 @@
+#include "storage/transformation.h"
+
+#include "core/operators/kernels.h"
+
+namespace rheem {
+namespace storage {
+
+const char* TransformKindToString(TransformKind kind) {
+  switch (kind) {
+    case TransformKind::kProject: return "Project";
+    case TransformKind::kSortBy: return "SortBy";
+    case TransformKind::kFilter: return "Filter";
+    case TransformKind::kDedupe: return "Dedupe";
+  }
+  return "?";
+}
+
+TransformStep TransformStep::Project(std::vector<int> columns) {
+  TransformStep s;
+  s.kind = TransformKind::kProject;
+  s.columns = std::move(columns);
+  return s;
+}
+
+TransformStep TransformStep::SortBy(int column, bool ascending) {
+  TransformStep s;
+  s.kind = TransformKind::kSortBy;
+  s.column = column;
+  s.ascending = ascending;
+  return s;
+}
+
+TransformStep TransformStep::Filter(PredicateUdf predicate) {
+  TransformStep s;
+  s.kind = TransformKind::kFilter;
+  s.predicate = std::move(predicate);
+  return s;
+}
+
+TransformStep TransformStep::Dedupe() {
+  TransformStep s;
+  s.kind = TransformKind::kDedupe;
+  return s;
+}
+
+TransformationPlan& TransformationPlan::Add(TransformStep step) {
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+Result<Dataset> TransformationPlan::Apply(const Dataset& in) const {
+  Dataset current = in;
+  for (const TransformStep& step : steps_) {
+    switch (step.kind) {
+      case TransformKind::kProject: {
+        RHEEM_ASSIGN_OR_RETURN(current,
+                               kernels::Project(step.columns, current));
+        break;
+      }
+      case TransformKind::kSortBy: {
+        const int col = step.column;
+        const bool asc = step.ascending;
+        for (const Record& r : current.records()) {
+          if (col < 0 || static_cast<std::size_t>(col) >= r.size()) {
+            return Status::OutOfRange("SortBy column " + std::to_string(col) +
+                                      " out of range");
+          }
+        }
+        KeyUdf key;
+        key.fn = [col](const Record& r) {
+          return r[static_cast<std::size_t>(col)];
+        };
+        RHEEM_ASSIGN_OR_RETURN(Dataset sorted,
+                               kernels::SortByKey(key, current));
+        if (!asc) {
+          std::vector<Record> reversed(sorted.records().rbegin(),
+                                       sorted.records().rend());
+          sorted = Dataset(std::move(reversed));
+        }
+        current = std::move(sorted);
+        break;
+      }
+      case TransformKind::kFilter: {
+        RHEEM_ASSIGN_OR_RETURN(current,
+                               kernels::Filter(step.predicate, current));
+        break;
+      }
+      case TransformKind::kDedupe: {
+        RHEEM_ASSIGN_OR_RETURN(current, kernels::Distinct(current));
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+std::string TransformationPlan::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += TransformKindToString(steps_[i].kind);
+    if (steps_[i].kind == TransformKind::kSortBy) {
+      out += "($" + std::to_string(steps_[i].column) +
+             (steps_[i].ascending ? " asc)" : " desc)");
+    }
+  }
+  return out.empty() ? "<identity>" : out;
+}
+
+}  // namespace storage
+}  // namespace rheem

@@ -1,0 +1,66 @@
+#ifndef RHEEM_STORAGE_TRANSFORMATION_H_
+#define RHEEM_STORAGE_TRANSFORMATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/operators/descriptors.h"
+#include "data/dataset.h"
+
+namespace rheem {
+namespace storage {
+
+/// Kinds of data transformations applicable while a dataset is loaded into a
+/// store (the Cartilage [Jindal et al., SIGMOD'13] idea the paper's storage
+/// section builds on: transformation plans analogous to logical query plans,
+/// applied to raw data on upload).
+enum class TransformKind {
+  kProject,    // keep a column subset
+  kSortBy,     // order rows by one column
+  kFilter,     // keep rows satisfying a predicate UDF
+  kDedupe,     // drop duplicate rows
+};
+
+const char* TransformKindToString(TransformKind kind);
+
+/// \brief One step of a transformation plan. Steps at this level are the
+/// paper's "storage atoms": the minimum unit of data-quanta transformation
+/// (e.g. a projection), as opposed to the data quanta themselves (§6).
+struct TransformStep {
+  TransformKind kind = TransformKind::kProject;
+  std::vector<int> columns;  // kProject
+  int column = -1;           // kSortBy
+  bool ascending = true;     // kSortBy
+  PredicateUdf predicate;    // kFilter
+
+  static TransformStep Project(std::vector<int> columns);
+  static TransformStep SortBy(int column, bool ascending = true);
+  static TransformStep Filter(PredicateUdf predicate);
+  static TransformStep Dedupe();
+};
+
+/// \brief Ordered sequence of storage atoms applied on upload.
+class TransformationPlan {
+ public:
+  TransformationPlan() = default;
+
+  TransformationPlan& Add(TransformStep step);
+
+  std::size_t size() const { return steps_.size(); }
+  const std::vector<TransformStep>& steps() const { return steps_; }
+
+  /// Applies every step in order.
+  Result<Dataset> Apply(const Dataset& in) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<TransformStep> steps_;
+};
+
+}  // namespace storage
+}  // namespace rheem
+
+#endif  // RHEEM_STORAGE_TRANSFORMATION_H_

@@ -1,0 +1,278 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "apps/cleaning/data_gen.h"
+#include "apps/cleaning/operators.h"
+#include "apps/cleaning/plan_builder.h"
+#include "apps/cleaning/repair.h"
+
+namespace rheem {
+namespace cleaning {
+namespace {
+
+class CleaningTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(ctx_.RegisterDefaultPlatforms().ok()); }
+  RheemContext ctx_;
+};
+
+Dataset SmallDirtyTable() {
+  TaxTableOptions options;
+  options.rows = 300;
+  options.seed = 5;
+  options.fd_noise_rate = 0.05;
+  options.ineq_noise_rate = 0.03;
+  return GenerateTaxTable(options);
+}
+
+TEST(DataGenTest, TableMatchesSchemaAndIsDeterministic) {
+  TaxTableOptions options;
+  options.rows = 50;
+  Dataset a = GenerateTaxTable(options);
+  Dataset b = GenerateTaxTable(options);
+  ASSERT_EQ(a.size(), 50u);
+  EXPECT_TRUE(a.Validate().ok());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.at(i), b.at(i));
+}
+
+TEST(DataGenTest, CleanTableHasNoViolations) {
+  TaxTableOptions options;
+  options.rows = 120;
+  options.fd_noise_rate = 0.0;
+  options.ineq_noise_rate = 0.0;
+  Dataset clean = GenerateTaxTable(options);
+  auto fd = DetectViolationsBruteForce(clean, ZipCityRule());
+  ASSERT_TRUE(fd.ok());
+  EXPECT_TRUE(fd->empty());
+  auto ineq = DetectViolationsBruteForce(clean, SalaryTaxRule());
+  ASSERT_TRUE(ineq.ok());
+  EXPECT_TRUE(ineq->empty());
+}
+
+TEST(DataGenTest, NoiseplantsViolations) {
+  Dataset dirty = SmallDirtyTable();
+  auto fd = DetectViolationsBruteForce(dirty, ZipCityRule());
+  ASSERT_TRUE(fd.ok());
+  EXPECT_GT(fd->size(), 0u);
+  auto ineq = DetectViolationsBruteForce(dirty, SalaryTaxRule());
+  ASSERT_TRUE(ineq.ok());
+  EXPECT_GT(ineq->size(), 0u);
+}
+
+TEST(RuleTest, FdScopeBlockDetect) {
+  FdRule rule = ZipCityRule();
+  EXPECT_EQ(rule.ScopeColumns(), (std::vector<int>{1, 2}));
+  EXPECT_TRUE(rule.symmetric());
+  // Scoped layout: (tid, zip, city).
+  Record t1({Value(int64_t{0}), Value(11111), Value("springfield")});
+  Record t2({Value(int64_t{1}), Value(11111), Value("shelbyville")});
+  Record t3({Value(int64_t{2}), Value(11111), Value("springfield")});
+  Record t4({Value(int64_t{3}), Value(22222), Value("springfield")});
+  EXPECT_TRUE(rule.Detect(t1, t2));
+  EXPECT_FALSE(rule.Detect(t1, t3));  // same zip, same city
+  EXPECT_FALSE(rule.Detect(t1, t4));  // different zip
+  KeyUdf block = rule.BlockKey();
+  ASSERT_TRUE(static_cast<bool>(block.fn));
+  EXPECT_EQ(block.fn(t1), block.fn(t2));
+  EXPECT_NE(block.fn(t1), block.fn(t4));
+}
+
+TEST(RuleTest, IneqDetectAndSpec) {
+  IneqRule rule = SalaryTaxRule();
+  EXPECT_FALSE(rule.symmetric());
+  // Scoped layout: (tid, salary, tax).
+  Record rich_low_tax({Value(int64_t{0}), Value(200.0), Value(10.0)});
+  Record poor_high_tax({Value(int64_t{1}), Value(100.0), Value(20.0)});
+  EXPECT_TRUE(rule.Detect(rich_low_tax, poor_high_tax));
+  EXPECT_FALSE(rule.Detect(poor_high_tax, rich_low_tax));
+  IEJoinSpec spec = rule.ScopedIEJoinSpec();
+  EXPECT_EQ(spec.left_col1, 1);
+  EXPECT_EQ(spec.op1, CompareOp::kGreater);
+  EXPECT_EQ(spec.left_col2, 2);
+  EXPECT_EQ(spec.op2, CompareOp::kLess);
+}
+
+TEST(RuleTest, UdfRuleWrapsArbitraryPredicate) {
+  UdfRule rule(
+      "same_state_diff_name", {5, 0},
+      [](const Record& a, const Record& b) {
+        return a[1] == b[1] && a[2] != b[2];
+      },
+      [](const Record& r) { return r[1]; }, /*symmetric=*/true);
+  EXPECT_EQ(rule.kind(), RuleKind::kUdf);
+  EXPECT_TRUE(static_cast<bool>(rule.BlockKey().fn));
+}
+
+TEST(OperatorsTest, ScopeProjectsWithTidFirst) {
+  FdRule rule = ZipCityRule();
+  // Full table row + tid appended (as ZipWithId produces).
+  Record row({Value("emp"), Value(12345), Value("metropolis"), Value(1.0),
+              Value(0.2), Value("NY"), Value(int64_t{7})});
+  auto scoped = ScopeOperator::ScopeRecord(rule, row);
+  ASSERT_TRUE(scoped.ok());
+  EXPECT_EQ(*scoped, Record({Value(int64_t{7}), Value(12345),
+                             Value("metropolis")}));
+  ScopeOperator op(&rule);
+  std::vector<Record> out;
+  ASSERT_TRUE(op.ApplyOp(row, &out).ok());
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(OperatorsTest, IterateEnumeratesPairs) {
+  EXPECT_EQ(IterateOperator::CandidatePairs(4, true).size(), 6u);
+  EXPECT_EQ(IterateOperator::CandidatePairs(4, false).size(), 12u);
+  EXPECT_TRUE(IterateOperator::CandidatePairs(0, true).empty());
+  EXPECT_TRUE(IterateOperator::CandidatePairs(1, true).empty());
+}
+
+TEST(OperatorsTest, DetectPairEmitsCanonicalViolation) {
+  FdRule rule = ZipCityRule();
+  Record t1({Value(int64_t{9}), Value(1), Value("a")});
+  Record t2({Value(int64_t{3}), Value(1), Value("b")});
+  std::vector<Record> out;
+  DetectOperator::DetectPair(rule, t1, t2, &out);
+  ASSERT_EQ(out.size(), 1u);
+  auto v = ViolationFromRecord(out[0]).ValueOrDie();
+  EXPECT_EQ(v.tid1, 3);  // symmetric rules canonicalize tid order
+  EXPECT_EQ(v.tid2, 9);
+}
+
+TEST(OperatorsTest, GenFixProposesBothSidesForFd) {
+  FdRule rule = ZipCityRule();
+  Record t1({Value(int64_t{0}), Value(1), Value("a")});
+  Record t2({Value(int64_t{1}), Value(1), Value("b")});
+  Violation v{rule.id(), 0, 1};
+  auto fixes = GenFixOperator::FixesFor(rule, v, t1, t2);
+  ASSERT_EQ(fixes.size(), 2u);
+  EXPECT_EQ(fixes[0].tid, 0);
+  EXPECT_EQ(fixes[0].column, 2);
+  EXPECT_EQ(fixes[0].suggestion, Value("b"));
+  EXPECT_EQ(fixes[1].suggestion, Value("a"));
+}
+
+TEST_F(CleaningTest, AllStrategiesAgreeWithBruteForceOnFd) {
+  Dataset table = SmallDirtyTable();
+  FdRule rule = ZipCityRule();
+  auto expected = DetectViolationsBruteForce(table, rule).ValueOrDie();
+  for (DetectStrategy strategy :
+       {DetectStrategy::kMonolithicUdf, DetectStrategy::kOperatorPipeline}) {
+    DetectOptions options;
+    options.strategy = strategy;
+    auto report = DetectViolations(&ctx_, table, rule, options);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->violations, expected)
+        << DetectStrategyToString(strategy);
+  }
+}
+
+TEST_F(CleaningTest, AllStrategiesAgreeWithBruteForceOnInequality) {
+  TaxTableOptions gen;
+  gen.rows = 120;  // quadratic baselines stay fast
+  gen.seed = 9;
+  gen.ineq_noise_rate = 0.05;
+  Dataset table = GenerateTaxTable(gen);
+  IneqRule rule = SalaryTaxRule();
+  auto expected = DetectViolationsBruteForce(table, rule).ValueOrDie();
+  ASSERT_GT(expected.size(), 0u);
+  for (DetectStrategy strategy :
+       {DetectStrategy::kMonolithicUdf, DetectStrategy::kOperatorPipeline,
+        DetectStrategy::kOperatorPipelineIEJoin}) {
+    DetectOptions options;
+    options.strategy = strategy;
+    auto report = DetectViolations(&ctx_, table, rule, options);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->violations, expected)
+        << DetectStrategyToString(strategy);
+  }
+}
+
+TEST_F(CleaningTest, StrategiesAgreeAcrossPlatforms) {
+  Dataset table = SmallDirtyTable();
+  FdRule rule = ZipCityRule();
+  DetectOptions on_java;
+  on_java.force_platform = "javasim";
+  DetectOptions on_spark;
+  on_spark.force_platform = "sparksim";
+  auto java = DetectViolations(&ctx_, table, rule, on_java);
+  auto spark = DetectViolations(&ctx_, table, rule, on_spark);
+  ASSERT_TRUE(java.ok()) << java.status().ToString();
+  ASSERT_TRUE(spark.ok()) << spark.status().ToString();
+  EXPECT_EQ(java->violations, spark->violations);
+}
+
+TEST_F(CleaningTest, IEJoinStrategyRejectsNonInequalityRules) {
+  FdRule rule = ZipCityRule();
+  DetectOptions options;
+  options.strategy = DetectStrategy::kOperatorPipelineIEJoin;
+  EXPECT_TRUE(DetectViolations(&ctx_, SmallDirtyTable(), rule, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(CleaningTest, RepairEliminatesFdViolations) {
+  Dataset table = SmallDirtyTable();
+  FdRule rule = ZipCityRule();
+  auto violations = DetectViolationsBruteForce(table, rule).ValueOrDie();
+  ASSERT_GT(violations.size(), 0u);
+  auto fixes = GenerateFdFixes(table, rule, violations);
+  ASSERT_TRUE(fixes.ok()) << fixes.status().ToString();
+  EXPECT_GT(fixes->size(), 0u);
+  EXPECT_GT(CountFixedTuples(*fixes), 0u);
+  auto repaired = ApplyFixes(table, *fixes);
+  ASSERT_TRUE(repaired.ok());
+  auto after = DetectViolationsBruteForce(*repaired, rule).ValueOrDie();
+  EXPECT_TRUE(after.empty());
+  // Repair touches only the city column.
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    EXPECT_EQ(table.at(i)[0], repaired->at(i)[0]);
+    EXPECT_EQ(table.at(i)[1], repaired->at(i)[1]);
+    EXPECT_EQ(table.at(i)[3], repaired->at(i)[3]);
+  }
+}
+
+TEST_F(CleaningTest, RepairMajorityVoteKeepsDominantValue) {
+  // Three tuples share zip 1: two say "right", one says "wrong".
+  std::vector<Record> rows;
+  for (const char* city : {"right", "right", "wrong"}) {
+    rows.push_back(Record({Value("n"), Value(1), Value(city), Value(1.0),
+                           Value(0.2), Value("QA")}));
+  }
+  Dataset table(std::move(rows));
+  FdRule rule = ZipCityRule();
+  auto violations = DetectViolationsBruteForce(table, rule).ValueOrDie();
+  auto fixes = GenerateFdFixes(table, rule, violations).ValueOrDie();
+  ASSERT_EQ(fixes.size(), 1u);
+  EXPECT_EQ(fixes[0].tid, 2);
+  EXPECT_EQ(fixes[0].suggestion, Value("right"));
+}
+
+TEST(RepairTest, ApplyFixesValidatesBounds) {
+  Dataset table(std::vector<Record>{Record({Value(1)})});
+  EXPECT_FALSE(ApplyFixes(table, {Fix{5, 0, Value(2)}}).ok());
+  EXPECT_FALSE(ApplyFixes(table, {Fix{0, 9, Value(2)}}).ok());
+  // Null suggestions are skipped, not errors.
+  auto out = ApplyFixes(table, {Fix{0, 0, Value()}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->at(0)[0], Value(1));
+}
+
+TEST_F(CleaningTest, ViolationReportRendering) {
+  Dataset table = SmallDirtyTable();
+  DetectOptions options;
+  auto report = DetectViolations(&ctx_, table, ZipCityRule(), options);
+  ASSERT_TRUE(report.ok());
+  const std::string text = report->ToString(3);
+  EXPECT_NE(text.find("violation"), std::string::npos);
+}
+
+TEST(ViolationTest, RecordRoundTrip) {
+  Violation v{"rule_x", 3, 9};
+  auto back = ViolationFromRecord(ViolationToRecord(v)).ValueOrDie();
+  EXPECT_EQ(back, v);
+  EXPECT_FALSE(ViolationFromRecord(Record({Value(1)})).ok());
+}
+
+}  // namespace
+}  // namespace cleaning
+}  // namespace rheem

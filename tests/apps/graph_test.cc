@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "apps/graph/connected_components.h"
+#include "apps/graph/graph.h"
+#include "apps/graph/pagerank.h"
+
+namespace rheem {
+namespace graph {
+namespace {
+
+class GraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(ctx_.RegisterDefaultPlatforms().ok()); }
+  RheemContext ctx_;
+};
+
+TEST(GraphGenTest, RandomGraphDeterministicAndSane) {
+  EdgeList a = GenerateRandomGraph(50, 3.0, 7);
+  EdgeList b = GenerateRandomGraph(50, 3.0, 7);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (std::size_t i = 0; i < a.edges.size(); ++i) {
+    EXPECT_EQ(a.edges.at(i), b.edges.at(i));
+  }
+  for (const Record& e : a.edges.records()) {
+    EXPECT_NE(e[0], e[1]);  // no self loops
+    EXPECT_GE(e[0].ToInt64Or(-1), 0);
+    EXPECT_LT(e[0].ToInt64Or(-1), 50);
+  }
+  // Every node has at least one out-edge.
+  EXPECT_EQ(a.OutDegrees().size(), 50u);
+}
+
+TEST(GraphGenTest, CliquesAreComplete) {
+  EdgeList g = GenerateCliques(2, 3);
+  EXPECT_EQ(g.num_nodes, 6);
+  EXPECT_EQ(g.edges.size(), 2u * 3u * 2u);  // k * n*(n-1)
+  EXPECT_EQ(g.Nodes().size(), 6u);
+}
+
+TEST(GraphGenTest, OutDegreesCountEdges) {
+  std::vector<Record> edges;
+  edges.push_back(Record({Value(int64_t{0}), Value(int64_t{1})}));
+  edges.push_back(Record({Value(int64_t{0}), Value(int64_t{2})}));
+  edges.push_back(Record({Value(int64_t{1}), Value(int64_t{0})}));
+  EdgeList g;
+  g.edges = Dataset(std::move(edges));
+  auto degrees = g.OutDegrees();
+  EXPECT_EQ(degrees.at(0), 2);
+  EXPECT_EQ(degrees.at(1), 1);
+  EXPECT_EQ(degrees.count(2), 0u);
+}
+
+TEST_F(GraphTest, PageRankMatchesReference) {
+  EdgeList g = GenerateRandomGraph(40, 3.0, 11);
+  PageRankOptions options;
+  options.iterations = 10;
+  auto result = ComputePageRank(&ctx_, g, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto reference = PageRankReference(g, 10, options.damping);
+  ASSERT_EQ(result->ranks.size(), reference.size());
+  for (const auto& [node, rank] : reference) {
+    ASSERT_TRUE(result->ranks.count(node) > 0) << "node " << node;
+    EXPECT_NEAR(result->ranks.at(node), rank, 1e-9) << "node " << node;
+  }
+}
+
+TEST_F(GraphTest, PageRankMassConserved) {
+  EdgeList g = GenerateRandomGraph(30, 2.0, 13);
+  PageRankOptions options;
+  options.iterations = 15;
+  auto result = ComputePageRank(&ctx_, g, options);
+  ASSERT_TRUE(result.ok());
+  double total = 0.0;
+  for (const auto& [node, rank] : result->ranks) {
+    EXPECT_GT(rank, 0.0);
+    total += rank;
+  }
+  // With every node having out-edges, rank mass is conserved.
+  EXPECT_NEAR(total, 1.0, 0.05);
+}
+
+TEST_F(GraphTest, PageRankHubOutranksLeaves) {
+  // Star: all point to node 0; node 0 points to node 1.
+  std::vector<Record> edges;
+  for (int64_t i = 1; i < 10; ++i) {
+    edges.push_back(Record({Value(i), Value(int64_t{0})}));
+  }
+  edges.push_back(Record({Value(int64_t{0}), Value(int64_t{1})}));
+  EdgeList g;
+  g.edges = Dataset(std::move(edges));
+  PageRankOptions options;
+  options.iterations = 20;
+  auto result = ComputePageRank(&ctx_, g, options);
+  ASSERT_TRUE(result.ok());
+  for (int64_t i = 2; i < 10; ++i) {
+    EXPECT_GT(result->ranks.at(0), result->ranks.at(i));
+  }
+}
+
+TEST_F(GraphTest, PageRankEmptyGraphRejected) {
+  EdgeList empty;
+  EXPECT_FALSE(ComputePageRank(&ctx_, empty, {}).ok());
+}
+
+TEST_F(GraphTest, ConnectedComponentsFindCliques) {
+  EdgeList g = GenerateCliques(3, 4);
+  ConnectedComponentsOptions options;
+  options.iterations = 6;
+  auto result = ComputeConnectedComponents(&ctx_, g, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto reference = ConnectedComponentsReference(g);
+  EXPECT_EQ(result->components.size(), 12u);
+  for (const auto& [node, comp] : reference) {
+    EXPECT_EQ(result->components.at(node), comp) << "node " << node;
+  }
+  // Three distinct labels: 0, 4, 8.
+  EXPECT_EQ(result->components.at(5), 4);
+  EXPECT_EQ(result->components.at(11), 8);
+}
+
+TEST_F(GraphTest, ConnectedComponentsOnChain) {
+  // Undirected chain 0-1-2-3 (both directions).
+  std::vector<Record> edges;
+  for (int64_t i = 0; i < 3; ++i) {
+    edges.push_back(Record({Value(i), Value(i + 1)}));
+    edges.push_back(Record({Value(i + 1), Value(i)}));
+  }
+  EdgeList g;
+  g.edges = Dataset(std::move(edges));
+  ConnectedComponentsOptions options;
+  options.iterations = 5;  // >= diameter
+  auto result = ComputeConnectedComponents(&ctx_, g, options);
+  ASSERT_TRUE(result.ok());
+  for (const auto& [node, comp] : result->components) {
+    EXPECT_EQ(comp, 0) << "node " << node;
+  }
+}
+
+TEST_F(GraphTest, ConvergingVariantMatchesFixedRounds) {
+  EdgeList g = GenerateCliques(3, 5);
+  ConnectedComponentsOptions options;
+  options.iterations = 50;  // generous safety bound; convergence stops early
+  auto converging = ComputeConnectedComponentsConverging(&ctx_, g, options);
+  ASSERT_TRUE(converging.ok()) << converging.status().ToString();
+  auto reference = ConnectedComponentsReference(g);
+  ASSERT_EQ(converging->components.size(), reference.size());
+  for (const auto& [node, comp] : reference) {
+    EXPECT_EQ(converging->components.at(node), comp) << "node " << node;
+  }
+}
+
+TEST_F(GraphTest, ConvergingVariantStopsEarly) {
+  // A clique converges in ~2 rounds; with a 100-round budget the DoWhile
+  // version must run far fewer jobs than the fixed-round version would.
+  EdgeList g = GenerateCliques(1, 8);
+  ConnectedComponentsOptions options;
+  options.iterations = 100;
+  options.force_platform = "sparksim";  // jobs_run counts iterations there
+  auto result = ComputeConnectedComponentsConverging(&ctx_, g, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LT(result->metrics.jobs_run, 10);
+  for (const auto& [node, comp] : result->components) {
+    EXPECT_EQ(comp, 0);
+  }
+}
+
+TEST_F(GraphTest, GraphAppsAgreeAcrossPlatforms) {
+  EdgeList g = GenerateRandomGraph(25, 2.0, 17);
+  PageRankOptions java;
+  java.iterations = 8;
+  java.force_platform = "javasim";
+  PageRankOptions spark = java;
+  spark.force_platform = "sparksim";
+  auto a = ComputePageRank(&ctx_, g, java);
+  auto b = ComputePageRank(&ctx_, g, spark);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  for (const auto& [node, rank] : a->ranks) {
+    EXPECT_NEAR(b->ranks.at(node), rank, 1e-9);
+  }
+}
+
+TEST(ConnectedComponentsReferenceTest, UnionFindBasics) {
+  EdgeList g = GenerateCliques(2, 2);  // components {0,1}, {2,3}
+  auto comps = ConnectedComponentsReference(g);
+  EXPECT_EQ(comps.at(0), 0);
+  EXPECT_EQ(comps.at(1), 0);
+  EXPECT_EQ(comps.at(2), 2);
+  EXPECT_EQ(comps.at(3), 2);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace rheem

@@ -1,0 +1,80 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace rheem {
+namespace {
+
+TEST(ConfigTest, MissingKeyFallsBack) {
+  Config c;
+  EXPECT_EQ(c.GetInt("absent", 7).ValueOrDie(), 7);
+  EXPECT_EQ(c.GetDouble("absent", 1.5).ValueOrDie(), 1.5);
+  EXPECT_EQ(c.GetBool("absent", true).ValueOrDie(), true);
+  EXPECT_EQ(c.GetString("absent", "dflt").ValueOrDie(), "dflt");
+  EXPECT_FALSE(c.Has("absent"));
+}
+
+TEST(ConfigTest, TypedSettersRoundTrip) {
+  Config c;
+  c.SetInt("i", -12);
+  c.SetDouble("d", 2.25);
+  c.SetBool("b", true);
+  c.Set("s", "text");
+  EXPECT_EQ(c.GetInt("i", 0).ValueOrDie(), -12);
+  EXPECT_DOUBLE_EQ(c.GetDouble("d", 0).ValueOrDie(), 2.25);
+  EXPECT_TRUE(c.GetBool("b", false).ValueOrDie());
+  EXPECT_EQ(c.GetString("s", "").ValueOrDie(), "text");
+  EXPECT_TRUE(c.Has("i"));
+}
+
+TEST(ConfigTest, MalformedValuesAreErrorsNotFallbacks) {
+  Config c;
+  c.Set("i", "12abc");
+  c.Set("d", "x");
+  c.Set("b", "maybe");
+  EXPECT_TRUE(c.GetInt("i", 0).status().IsInvalidArgument());
+  EXPECT_TRUE(c.GetDouble("d", 0).status().IsInvalidArgument());
+  EXPECT_TRUE(c.GetBool("b", false).status().IsInvalidArgument());
+}
+
+TEST(ConfigTest, BoolSpellings) {
+  Config c;
+  for (const char* t : {"true", "TRUE", "1", "yes"}) {
+    c.Set("k", t);
+    EXPECT_TRUE(c.GetBool("k", false).ValueOrDie()) << t;
+  }
+  for (const char* f : {"false", "0", "no", "No"}) {
+    c.Set("k", f);
+    EXPECT_FALSE(c.GetBool("k", true).ValueOrDie()) << f;
+  }
+}
+
+TEST(ConfigTest, IntParsesAsDoubleToo) {
+  Config c;
+  c.SetInt("k", 5);
+  EXPECT_DOUBLE_EQ(c.GetDouble("k", 0).ValueOrDie(), 5.0);
+}
+
+TEST(ConfigTest, MergeFromOtherWins) {
+  Config a;
+  a.SetInt("x", 1);
+  a.SetInt("keep", 9);
+  Config b;
+  b.SetInt("x", 2);
+  b.SetInt("new", 3);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.GetInt("x", 0).ValueOrDie(), 2);
+  EXPECT_EQ(a.GetInt("keep", 0).ValueOrDie(), 9);
+  EXPECT_EQ(a.GetInt("new", 0).ValueOrDie(), 3);
+}
+
+TEST(ConfigTest, OverwriteSameKey) {
+  Config c;
+  c.SetInt("k", 1);
+  c.SetInt("k", 2);
+  EXPECT_EQ(c.GetInt("k", 0).ValueOrDie(), 2);
+  EXPECT_EQ(c.entries().size(), 1u);
+}
+
+}  // namespace
+}  // namespace rheem

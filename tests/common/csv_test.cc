@@ -1,0 +1,100 @@
+#include "common/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace rheem {
+namespace {
+
+TEST(CsvCodecTest, ParsesPlainLine) {
+  CsvCodec codec;
+  auto fields = codec.ParseLine("a,b,c");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvCodecTest, ParsesQuotedFieldWithComma) {
+  CsvCodec codec;
+  auto fields = codec.ParseLine(R"(a,"b,c",d)");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b,c", "d"}));
+}
+
+TEST(CsvCodecTest, ParsesEscapedQuotes) {
+  CsvCodec codec;
+  auto fields = codec.ParseLine(R"("say ""hi""",x)");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"say \"hi\"", "x"}));
+}
+
+TEST(CsvCodecTest, EmptyFields) {
+  CsvCodec codec;
+  auto fields = codec.ParseLine(",,");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields->size(), 3u);
+}
+
+TEST(CsvCodecTest, RejectsUnterminatedQuote) {
+  CsvCodec codec;
+  EXPECT_FALSE(codec.ParseLine(R"("oops)").ok());
+}
+
+TEST(CsvCodecTest, RejectsMidFieldQuote) {
+  CsvCodec codec;
+  EXPECT_FALSE(codec.ParseLine(R"(ab"cd",x)").ok());
+}
+
+TEST(CsvCodecTest, FormatQuotesOnlyWhenNeeded) {
+  CsvCodec codec;
+  EXPECT_EQ(codec.FormatLine({"a", "b"}), "a,b");
+  EXPECT_EQ(codec.FormatLine({"a,b"}), "\"a,b\"");
+  EXPECT_EQ(codec.FormatLine({"he said \"x\""}), "\"he said \"\"x\"\"\"");
+}
+
+TEST(CsvCodecTest, FormatParseRoundTrip) {
+  CsvCodec codec;
+  const std::vector<std::string> original{"plain", "with,comma", "with\"quote",
+                                          "", "multi\nline"};
+  auto parsed = codec.ParseLine(codec.FormatLine(original));
+  // Note: embedded newline survives quoting in a document context; at line
+  // level we use ParseDocument.
+  auto doc = codec.ParseDocument(codec.FormatLine(original) + "\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->size(), 1u);
+  EXPECT_EQ((*doc)[0], original);
+  (void)parsed;
+}
+
+TEST(CsvCodecTest, DocumentHandlesCrLfAndQuotedNewlines) {
+  CsvCodec codec;
+  auto rows = codec.ParseDocument("a,b\r\n\"x\ny\",z\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"x\ny", "z"}));
+}
+
+TEST(CsvCodecTest, CustomDelimiter) {
+  CsvCodec codec('\t');
+  auto fields = codec.ParseLine("a\tb");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(FileIoTest, WriteThenReadRoundTrip) {
+  const std::string path = testing::TempDir() + "/rheem_csv_test.txt";
+  ASSERT_TRUE(WriteStringToFile(path, "hello\nworld").ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "hello\nworld");
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, ReadMissingFileIsIoError) {
+  EXPECT_TRUE(ReadFileToString("/nonexistent/definitely/not/here").status()
+                  .IsIoError());
+}
+
+}  // namespace
+}  // namespace rheem

@@ -1,0 +1,71 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rheem {
+namespace {
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r.ValueOr("fallback"), "hello");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto add_one = [](int x) -> Result<int> {
+    RHEEM_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+    return v + 1;
+  };
+  ASSERT_TRUE(add_one(5).ok());
+  EXPECT_EQ(add_one(5).ValueOrDie(), 6);
+  EXPECT_TRUE(add_one(-5).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, CopySemantics) {
+  Result<std::string> a = std::string("abc");
+  Result<std::string> b = a;
+  EXPECT_EQ(*a, "abc");
+  EXPECT_EQ(*b, "abc");
+  Result<std::string> e = Status::Internal("err");
+  b = e;
+  EXPECT_FALSE(b.ok());
+  EXPECT_TRUE(b.status().IsInternal());
+}
+
+}  // namespace
+}  // namespace rheem

@@ -1,0 +1,123 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rheem {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng a(7);
+  const uint64_t first = a.NextU64();
+  a.NextU64();
+  a.Seed(7);
+  EXPECT_EQ(a.NextU64(), first);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversAllResidues) {
+  Rng rng(42);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInHalfOpenUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleRangeRespectsBounds) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble(-2.5, 4.5);
+    EXPECT_GE(d, -2.5);
+    EXPECT_LT(d, 4.5);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesProbability) {
+  Rng rng(14);
+  int heads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBool(0.3)) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, UniformityChiSquaredSmoke) {
+  // 16 buckets over NextBounded(16); chi^2 should be far below the
+  // catastrophic range for 15 dof.
+  Rng rng(15);
+  std::vector<int> buckets(16, 0);
+  const int n = 16000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.NextBounded(16)];
+  double chi2 = 0.0;
+  const double expected = n / 16.0;
+  for (int b : buckets) {
+    chi2 += (b - expected) * (b - expected) / expected;
+  }
+  EXPECT_LT(chi2, 50.0);
+}
+
+}  // namespace
+}  // namespace rheem

@@ -1,0 +1,91 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace rheem {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::Unsupported("x").IsUnsupported());
+  EXPECT_TRUE(Status::InvalidPlan("x").IsInvalidPlan());
+  EXPECT_TRUE(Status::ExecutionError("x").IsExecutionError());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_EQ(Status::NotFound("thing missing").message(), "thing missing");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::InvalidPlan("no sink").ToString(), "InvalidPlan: no sink");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status a = Status::IoError("disk gone");
+  Status b = a;  // copy ctor
+  EXPECT_TRUE(b.IsIoError());
+  EXPECT_EQ(b.message(), "disk gone");
+  Status c;
+  c = a;  // copy assign
+  EXPECT_TRUE(c.IsIoError());
+  // Copying OK over non-OK resets.
+  c = Status::OK();
+  EXPECT_TRUE(c.ok());
+}
+
+TEST(StatusTest, MoveLeavesSourceReusable) {
+  Status a = Status::Internal("boom");
+  Status b = std::move(a);
+  EXPECT_TRUE(b.IsInternal());
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status st = Status::NotFound("key").WithContext("loading config");
+  EXPECT_EQ(st.message(), "loading config: key");
+  EXPECT_TRUE(st.IsNotFound());
+  // OK statuses ignore context.
+  EXPECT_TRUE(Status::OK().WithContext("whatever").ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IoError("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto fails = []() -> Status { return Status::IoError("inner"); };
+  auto outer = [&]() -> Status {
+    RHEEM_RETURN_IF_ERROR(fails());
+    return Status::Internal("unreachable");
+  };
+  EXPECT_TRUE(outer().IsIoError());
+
+  auto succeeds = []() -> Status { return Status::OK(); };
+  auto outer_ok = [&]() -> Status {
+    RHEEM_RETURN_IF_ERROR(succeeds());
+    return Status::Internal("reached");
+  };
+  EXPECT_TRUE(outer_ok().IsInternal());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnsupported), "Unsupported");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kExecutionError),
+               "ExecutionError");
+}
+
+}  // namespace
+}  // namespace rheem

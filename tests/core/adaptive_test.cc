@@ -1,0 +1,158 @@
+#include "core/executor/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include "core/executor/executor.h"
+#include "core/operators/physical_ops.h"
+#include "platforms/javasim/javasim_platform.h"
+#include "platforms/relsim/relsim_platform.h"
+#include "platforms/sparksim/sparksim_platform.h"
+
+namespace rheem {
+namespace {
+
+Dataset Numbers(int n) {
+  std::vector<Record> records;
+  for (int i = 0; i < n; ++i) records.push_back(Record({Value(i)}));
+  return Dataset(std::move(records));
+}
+
+class AdaptiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Config config;
+    ASSERT_TRUE(registry_.Register(std::make_unique<JavaSimPlatform>(config)).ok());
+    ASSERT_TRUE(registry_.Register(std::make_unique<SparkSimPlatform>(config)).ok());
+    ASSERT_TRUE(registry_.Register(std::make_unique<RelSimPlatform>(config)).ok());
+  }
+  PlatformRegistry registry_;
+  MovementCostModel movement_;
+};
+
+/// Plan whose Filter lies about its selectivity: the hint promises `hint`,
+/// the predicate actually keeps everything. A pinned relsim prefix forces a
+/// stage boundary after the filter so the adaptive executor has a
+/// mid-flight decision point.
+struct LyingPlan {
+  Plan plan;
+  FilterOp* filter = nullptr;
+  MapOp* map = nullptr;
+  EnumeratorOptions options;
+};
+
+std::unique_ptr<LyingPlan> BuildLyingPlan(int rows, double hint) {
+  auto built = std::make_unique<LyingPlan>();
+  auto* src = built->plan.Add<CollectionSourceOp>({}, Numbers(rows));
+  PredicateUdf pred;
+  pred.fn = [](const Record&) { return true; };  // actually keeps everything
+  pred.meta.selectivity = hint;                  // ...but claims otherwise
+  built->filter = built->plan.Add<FilterOp>({src}, pred);
+  MapUdf udf;
+  udf.fn = [](const Record& r) {
+    double x = r[0].ToDoubleOr(0);
+    for (int k = 0; k < 200; ++k) x = x * 1.000001 + 0.5;
+    return Record({Value(x)});
+  };
+  udf.meta.cost_factor = 200.0;
+  built->map = built->plan.Add<MapOp>({built->filter}, udf);
+  auto* sink = built->plan.Add<CollectOp>({built->map});
+  built->plan.SetSink(sink);
+  built->options.pinned_platforms[src->id()] = "relsim";
+  built->options.pinned_platforms[built->filter->id()] = "relsim";
+  return built;
+}
+
+TEST_F(AdaptiveTest, ExecutesPlainPlanWithoutAdaptation) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, Numbers(100));
+  MapUdf udf;
+  udf.fn = [](const Record& r) { return Record({Value(r[0].ToInt64Or(0) + 1)}); };
+  auto* m = plan.Add<MapOp>({src}, udf);
+  plan.SetSink(plan.Add<CollectOp>({m}));
+  AdaptiveExecutor executor(&registry_, &movement_);
+  auto result = executor.Execute(plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->output.size(), 100u);
+  EXPECT_EQ(result->output.at(0)[0], Value(1));
+  EXPECT_EQ(result->reoptimizations, 0);
+}
+
+TEST_F(AdaptiveTest, ReoptimizesWhenSelectivityHintIsWrong) {
+  auto lying = BuildLyingPlan(60000, /*hint=*/0.0005);
+  AdaptiveExecutor executor(&registry_, &movement_);
+  AdaptiveOptions options;
+  options.enumerator = lying->options;
+  options.reoptimize_threshold = 3.0;
+  auto result = executor.Execute(lying->plan, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The filter "estimated" 30 records but produced 60000: adaptation fires.
+  EXPECT_EQ(result->reoptimizations, 1);
+  ASSERT_EQ(result->decisions.size(), 1u);
+  EXPECT_NE(result->decisions[0].find("Filter"), std::string::npos);
+  // All records survive the (lying) filter and get mapped.
+  EXPECT_EQ(result->output.size(), 60000u);
+}
+
+TEST_F(AdaptiveTest, AccurateHintNeedsNoAdaptation) {
+  auto honest = BuildLyingPlan(60000, /*hint=*/1.0);
+  AdaptiveExecutor executor(&registry_, &movement_);
+  AdaptiveOptions options;
+  options.enumerator = honest->options;
+  auto result = executor.Execute(honest->plan, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->reoptimizations, 0);
+  EXPECT_EQ(result->output.size(), 60000u);
+}
+
+TEST_F(AdaptiveTest, AdaptationRespectsMaxReoptimizations) {
+  auto lying = BuildLyingPlan(20000, /*hint=*/0.0001);
+  AdaptiveExecutor executor(&registry_, &movement_);
+  AdaptiveOptions options;
+  options.enumerator = lying->options;
+  options.max_reoptimizations = 0;  // adaptation disabled
+  auto result = executor.Execute(lying->plan, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->reoptimizations, 0);
+  EXPECT_EQ(result->output.size(), 20000u);
+}
+
+TEST_F(AdaptiveTest, ExecutedWorkIsNotRedone) {
+  auto lying = BuildLyingPlan(30000, /*hint=*/0.001);
+  AdaptiveExecutor executor(&registry_, &movement_);
+  AdaptiveOptions options;
+  options.enumerator = lying->options;
+  auto result = executor.Execute(lying->plan, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->reoptimizations, 1);
+  // The relsim prefix ran once; after re-optimization only the remaining
+  // stage(s) execute: total stages executed stays small (prefix + <=2).
+  EXPECT_LE(result->metrics.stages_run, 3);
+  EXPECT_EQ(result->output.size(), 30000u);
+}
+
+TEST_F(AdaptiveTest, ResultMatchesStaticExecutorOutput) {
+  auto lying = BuildLyingPlan(5000, /*hint=*/0.001);
+  AdaptiveExecutor executor(&registry_, &movement_);
+  AdaptiveOptions options;
+  options.enumerator = lying->options;
+  auto adaptive = executor.Execute(lying->plan, options);
+  ASSERT_TRUE(adaptive.ok());
+
+  auto honest = BuildLyingPlan(5000, /*hint=*/0.001);
+  auto estimates = CardinalityEstimator::Estimate(honest->plan).ValueOrDie();
+  Enumerator enumerator(&registry_, &movement_);
+  auto assignment =
+      enumerator.Run(honest->plan, estimates, honest->options).ValueOrDie();
+  auto eplan =
+      StageSplitter::Split(honest->plan, std::move(assignment)).ValueOrDie();
+  CrossPlatformExecutor static_executor;
+  auto expected = static_executor.Execute(eplan);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(adaptive->output.size(), expected->output.size());
+  for (std::size_t i = 0; i < adaptive->output.size(); ++i) {
+    EXPECT_EQ(adaptive->output.at(i), expected->output.at(i));
+  }
+}
+
+}  // namespace
+}  // namespace rheem

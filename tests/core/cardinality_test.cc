@@ -1,0 +1,149 @@
+#include "core/optimizer/cardinality.h"
+
+#include <gtest/gtest.h>
+
+#include "core/operators/physical_ops.h"
+
+namespace rheem {
+namespace {
+
+Dataset Numbers(int n) {
+  std::vector<Record> records;
+  for (int i = 0; i < n; ++i) records.push_back(Record({Value(i)}));
+  return Dataset(std::move(records));
+}
+
+MapUdf Identity() {
+  MapUdf udf;
+  udf.fn = [](const Record& r) { return r; };
+  return udf;
+}
+
+TEST(CardinalityTest, SourceReportsTrueSize) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, Numbers(123));
+  auto* sink = plan.Add<CollectOp>({src});
+  plan.SetSink(sink);
+  auto est = CardinalityEstimator::Estimate(plan);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->at(src->id()).cardinality, 123.0);
+  EXPECT_DOUBLE_EQ(est->at(sink->id()).cardinality, 123.0);
+}
+
+TEST(CardinalityTest, FilterScalesBySelectivity) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, Numbers(1000));
+  PredicateUdf pred;
+  pred.fn = [](const Record&) { return true; };
+  pred.meta.selectivity = 0.25;
+  auto* f = plan.Add<FilterOp>({src}, pred);
+  plan.SetSink(plan.Add<CollectOp>({f}));
+  auto est = CardinalityEstimator::Estimate(plan);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->at(f->id()).cardinality, 250.0);
+}
+
+TEST(CardinalityTest, FlatMapCanExpand) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, Numbers(100));
+  FlatMapUdf fm;
+  fm.fn = [](const Record& r) { return std::vector<Record>{r, r, r}; };
+  fm.meta.selectivity = 3.0;
+  auto* f = plan.Add<FlatMapOp>({src}, fm);
+  plan.SetSink(plan.Add<CollectOp>({f}));
+  auto est = CardinalityEstimator::Estimate(plan);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->at(f->id()).cardinality, 300.0);
+}
+
+TEST(CardinalityTest, ReduceByKeyUsesDistinctRatioHint) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, Numbers(1000));
+  KeyUdf key;
+  key.fn = [](const Record& r) { return r[0]; };
+  key.meta.selectivity = 0.02;
+  ReduceUdf red;
+  red.fn = [](const Record& a, const Record&) { return a; };
+  auto* r = plan.Add<ReduceByKeyOp>({src}, key, red);
+  plan.SetSink(plan.Add<CollectOp>({r}));
+  auto est = CardinalityEstimator::Estimate(plan);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->at(r->id()).cardinality, 20.0);
+}
+
+TEST(CardinalityTest, CrossProductMultiplies) {
+  Plan plan;
+  auto* a = plan.Add<CollectionSourceOp>({}, Numbers(30));
+  auto* b = plan.Add<CollectionSourceOp>({}, Numbers(40));
+  auto* x = plan.Add<CrossProductOp>({a, b});
+  plan.SetSink(plan.Add<CollectOp>({x}));
+  auto est = CardinalityEstimator::Estimate(plan);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->at(x->id()).cardinality, 1200.0);
+}
+
+TEST(CardinalityTest, GlobalReduceAndCountCollapseToOne) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, Numbers(500));
+  auto* c = plan.Add<CountOp>({src});
+  plan.SetSink(plan.Add<CollectOp>({c}));
+  auto est = CardinalityEstimator::Estimate(plan);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->at(c->id()).cardinality, 1.0);
+}
+
+TEST(CardinalityTest, UnionAdds) {
+  Plan plan;
+  auto* a = plan.Add<CollectionSourceOp>({}, Numbers(10));
+  auto* b = plan.Add<CollectionSourceOp>({}, Numbers(15));
+  auto* u = plan.Add<UnionOp>({a, b});
+  plan.SetSink(plan.Add<CollectOp>({u}));
+  auto est = CardinalityEstimator::Estimate(plan);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->at(u->id()).cardinality, 25.0);
+}
+
+TEST(CardinalityTest, ExternalEstimatesBindMarkers) {
+  Plan body;
+  auto* state = body.Add<LoopStateOp>({});
+  auto* m = body.Add<MapOp>({state}, Identity());
+  body.SetSink(m);
+  EstimateMap external;
+  external[state->id()] = Estimate{42.0, 16.0};
+  auto est = CardinalityEstimator::Estimate(body, external);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->at(m->id()).cardinality, 42.0);
+}
+
+TEST(CardinalityTest, UnboundMarkersDefaultToEmpty) {
+  Plan body;
+  auto* state = body.Add<LoopStateOp>({});
+  body.SetSink(state);
+  auto est = CardinalityEstimator::Estimate(body);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->at(state->id()).cardinality, 0.0);
+}
+
+TEST(CardinalityTest, AvgBytesComesFromSampledSource) {
+  Plan plan;
+  std::vector<Record> wide;
+  wide.push_back(Record({Value(std::string(100, 'x'))}));
+  auto* src = plan.Add<CollectionSourceOp>({}, Dataset(std::move(wide)));
+  plan.SetSink(plan.Add<CollectOp>({src}));
+  auto est = CardinalityEstimator::Estimate(plan);
+  ASSERT_TRUE(est.ok());
+  EXPECT_GT(est->at(src->id()).avg_bytes, 100.0);
+}
+
+TEST(CardinalityTest, SamplesScaleByFraction) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, Numbers(1000));
+  auto* s = plan.Add<SampleOp>({src}, 0.1, 42);
+  plan.SetSink(plan.Add<CollectOp>({s}));
+  auto est = CardinalityEstimator::Estimate(plan);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->at(s->id()).cardinality, 100.0);
+}
+
+}  // namespace
+}  // namespace rheem

@@ -1,0 +1,170 @@
+#include "core/optimizer/cost_learner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/api/data_quanta.h"
+#include "core/operators/physical_ops.h"
+#include "platforms/javasim/javasim_platform.h"
+#include "storage/mem_column_store.h"
+
+namespace rheem {
+namespace {
+
+TEST(CostCalibratorTest, NoObservationsMeansFactorOne) {
+  CostCalibrator calibrator;
+  EXPECT_DOUBLE_EQ(calibrator.FactorFor("javasim"), 1.0);
+  EXPECT_EQ(calibrator.observations("javasim"), 0);
+}
+
+TEST(CostCalibratorTest, SingleObservationGivesExactRatio) {
+  CostCalibrator calibrator;
+  calibrator.Observe("javasim", 100.0, 250.0);
+  EXPECT_NEAR(calibrator.FactorFor("javasim"), 2.5, 1e-9);
+  EXPECT_EQ(calibrator.observations("javasim"), 1);
+}
+
+TEST(CostCalibratorTest, GeometricMeanOverRuns) {
+  CostCalibrator calibrator;
+  calibrator.Observe("p", 100.0, 400.0);  // 4x
+  calibrator.Observe("p", 100.0, 100.0);  // 1x
+  EXPECT_NEAR(calibrator.FactorFor("p"), 2.0, 1e-9);  // sqrt(4*1)
+}
+
+TEST(CostCalibratorTest, PlatformsIsolated) {
+  CostCalibrator calibrator;
+  calibrator.Observe("a", 10, 100);
+  calibrator.Observe("b", 10, 5);
+  EXPECT_NEAR(calibrator.FactorFor("a"), 10.0, 1e-9);
+  EXPECT_NEAR(calibrator.FactorFor("b"), 0.5, 1e-9);
+}
+
+TEST(CostCalibratorTest, IgnoresDegenerateObservations) {
+  CostCalibrator calibrator;
+  calibrator.Observe("p", 0.0, 100.0);
+  calibrator.Observe("p", 100.0, 0.0);
+  calibrator.Observe("p", -5.0, 10.0);
+  EXPECT_EQ(calibrator.observations("p"), 0);
+  EXPECT_DOUBLE_EQ(calibrator.FactorFor("p"), 1.0);
+}
+
+TEST(CostCalibratorTest, SuggestConfigScalesBaseValues) {
+  CostCalibrator calibrator;
+  calibrator.Observe("javasim", 100.0, 300.0);  // model 3x too optimistic
+  Config config = calibrator.SuggestConfig(
+      {{"javasim", 0.03}, {"sparksim", 0.03}});
+  EXPECT_NEAR(config.GetDouble("javasim.per_quantum_us", 0).ValueOrDie(),
+              0.09, 1e-9);
+  // Unobserved platform keeps its base value.
+  EXPECT_NEAR(config.GetDouble("sparksim.per_quantum_us", 0).ValueOrDie(),
+              0.03, 1e-9);
+}
+
+TEST(CostCalibratorTest, SuggestedConfigImprovesPrediction) {
+  // After calibrating on a 3x-off model, predictions with the suggested
+  // per-quantum value match the "observed" world.
+  CostCalibrator calibrator;
+  const double est = 1000.0, actual = 3000.0;
+  calibrator.Observe("javasim", est, actual);
+  Config config = calibrator.SuggestConfig({{"javasim", 0.03}});
+  const double scaled =
+      config.GetDouble("javasim.per_quantum_us", 0).ValueOrDie();
+  EXPECT_NEAR(est * (scaled / 0.03), actual, 1e-6);
+}
+
+TEST(CostCalibratorTest, ReportMentionsPlatformsAndFactors) {
+  CostCalibrator calibrator;
+  calibrator.Observe("javasim", 10, 20);
+  const std::string report = calibrator.Report();
+  EXPECT_NE(report.find("javasim"), std::string::npos);
+  EXPECT_NE(report.find("2.000"), std::string::npos);
+}
+
+TEST(CostCalibratorTest, EstimateStageCostSumsOperators) {
+  Config config;
+  JavaSimPlatform java(config);
+  Plan plan;
+  std::vector<Record> rows;
+  for (int i = 0; i < 1000; ++i) rows.push_back(Record({Value(i)}));
+  auto* src = plan.Add<CollectionSourceOp>({}, Dataset(std::move(rows)));
+  MapUdf udf;
+  udf.fn = [](const Record& r) { return r; };
+  udf.meta.cost_factor = 10.0;
+  auto* m = plan.Add<MapOp>({src}, udf);
+  auto* sink = plan.Add<CollectOp>({m});
+  plan.SetSink(sink);
+  PlatformAssignment a;
+  a.by_op = {{src->id(), &java}, {m->id(), &java}, {sink->id(), &java}};
+  auto eplan = StageSplitter::Split(plan, std::move(a)).ValueOrDie();
+  auto estimates = CardinalityEstimator::Estimate(plan).ValueOrDie();
+  auto cost = CostCalibrator::EstimateStageCost(eplan.stages[0], estimates);
+  ASSERT_TRUE(cost.ok()) << cost.status().ToString();
+  // Dominated by the expensive map: 1000 quanta x 0.03us x 10.
+  EXPECT_GT(*cost, 250.0);
+  EXPECT_LT(*cost, 400.0);
+}
+
+TEST(ObserveJobTest, WiresMonitorRecordsIntoCalibrator) {
+  RheemContext ctx;
+  ASSERT_TRUE(ctx.RegisterDefaultPlatforms().ok());
+  RheemJob job(&ctx);
+  std::vector<Record> rows;
+  for (int i = 0; i < 5000; ++i) rows.push_back(Record({Value(i)}));
+  auto quanta = job.LoadCollection(Dataset(std::move(rows)))
+                    .Map(
+                        [](const Record& r) {
+                          double x = r[0].ToDoubleOr(0);
+                          for (int k = 0; k < 40; ++k) x = x * 1.0001 + 1;
+                          return Record({Value(x)});
+                        },
+                        UdfMeta::Expensive(40.0));
+  // Compile and execute the same logical plan with a monitor attached.
+  ExecutionMonitor monitor;
+  job.options().monitor = &monitor;
+  ASSERT_TRUE(quanta.Collect().ok());
+  ASSERT_FALSE(monitor.records().empty());
+
+  // Recompile identically to price the stages.
+  auto compiled = ctx.Compile(job.logical_plan(), job.options());
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  CostCalibrator calibrator;
+  ASSERT_TRUE(ObserveJob(*compiled, monitor, &calibrator).ok());
+  const std::string platform =
+      compiled->eplan.stages[0].platform()->name();
+  EXPECT_GE(calibrator.observations(platform), 1);
+  EXPECT_GT(calibrator.FactorFor(platform), 0.0);
+}
+
+TEST(ObserveJobTest, NullCalibratorRejected) {
+  CompiledJob job;
+  ExecutionMonitor monitor;
+  EXPECT_TRUE(ObserveJob(job, monitor, nullptr).IsInvalidArgument());
+}
+
+TEST(LoadFromStorageTest, BridgesStorageIntoDataflow) {
+  RheemContext ctx;
+  ASSERT_TRUE(ctx.RegisterDefaultPlatforms().ok());
+  storage::StorageManager manager;
+  ASSERT_TRUE(
+      manager.RegisterBackend(std::make_unique<storage::MemColumnStore>()).ok());
+  std::vector<Record> rows;
+  for (int i = 0; i < 10; ++i) rows.push_back(Record({Value(i)}));
+  ASSERT_TRUE(manager.Backend("mem-column")
+                  .ValueOrDie()
+                  ->Put("numbers", Dataset(std::move(rows)))
+                  .ok());
+  RheemJob job(&ctx);
+  auto quanta = job.LoadFromStorage(manager, "numbers");
+  ASSERT_TRUE(quanta.ok()) << quanta.status().ToString();
+  auto out = quanta->Filter([](const Record& r) {
+                     return r[0].ToInt64Or(0) >= 5;
+                   })
+                 .Collect();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 5u);
+
+  EXPECT_TRUE(job.LoadFromStorage(manager, "ghost").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace rheem

@@ -1,0 +1,158 @@
+#include "core/mapping/declarative.h"
+
+#include <gtest/gtest.h>
+
+#include "core/api/data_quanta.h"
+
+namespace rheem {
+namespace {
+
+constexpr const char* kTurboSpec = R"(
+# a vectorized in-memory engine, declared without touching any C++
+platform turbo
+turbo maps CollectionSource to TurboScan
+turbo maps Filter to TurboFilter weight 0.5 context "predicate vectorization"
+turbo maps Project to TurboProject weight 0.2
+turbo maps ReduceByKey to TurboAggregate weight 0.4
+turbo maps GroupByKey/HashGroupBy to TurboHashGroup weight 0.4
+turbo maps Collect to TurboFetch
+turbo cost per_quantum_us 0.005
+turbo cost parallelism 4
+turbo cost stage_overhead_us 100
+turbo cost boundary_fixed_us 10
+)";
+
+TEST(DeclarativeSpecTest, ParsesPlatformsMappingsAndCosts) {
+  auto specs = ParsePlatformSpecs(kTurboSpec);
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  ASSERT_EQ(specs->size(), 1u);
+  const DeclarativePlatformSpec& spec = (*specs)[0];
+  EXPECT_EQ(spec.name, "turbo");
+  EXPECT_EQ(spec.mappings.mappings().size(), 6u);
+  EXPECT_DOUBLE_EQ(spec.cost_params.per_quantum_micros, 0.005);
+  EXPECT_DOUBLE_EQ(spec.cost_params.parallelism, 4.0);
+  EXPECT_DOUBLE_EQ(spec.cost_params.stage_overhead_micros, 100.0);
+
+  PredicateUdf pred;
+  pred.fn = [](const Record&) { return true; };
+  FilterOp filter(pred);
+  const OperatorMapping* m = spec.mappings.Find(filter);
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->execution_operator, "TurboFilter");
+  EXPECT_DOUBLE_EQ(m->cost_weight, 0.5);
+  EXPECT_EQ(m->context, "predicate vectorization");
+}
+
+TEST(DeclarativeSpecTest, VariantMappingsParse) {
+  auto specs = ParsePlatformSpecs(kTurboSpec);
+  ASSERT_TRUE(specs.ok());
+  KeyUdf key;
+  key.fn = [](const Record& r) { return r[0]; };
+  GroupUdf group;
+  group.fn = [](const Value&, const std::vector<Record>& rs) { return rs; };
+  GroupByKeyOp hash_gb(key, group, GroupByAlgorithm::kHash);
+  GroupByKeyOp sort_gb(key, group, GroupByAlgorithm::kSort);
+  EXPECT_TRUE((*specs)[0].mappings.Supports(hash_gb));
+  EXPECT_FALSE((*specs)[0].mappings.Supports(sort_gb));  // only hash declared
+}
+
+TEST(DeclarativeSpecTest, MultiplePlatformsInOneDocument) {
+  auto specs = ParsePlatformSpecs(
+      "platform a\na maps Map to AMap\nplatform b\nb maps Filter to BFilter\n"
+      "a cost per_quantum_us 1\n");
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  ASSERT_EQ(specs->size(), 2u);
+  EXPECT_EQ((*specs)[0].name, "a");
+  EXPECT_EQ((*specs)[1].name, "b");
+  EXPECT_DOUBLE_EQ((*specs)[0].cost_params.per_quantum_micros, 1.0);
+}
+
+TEST(DeclarativeSpecTest, TrailingDotTerminatorAccepted) {
+  auto specs = ParsePlatformSpecs(
+      "platform rdfish .\nrdfish maps Map to RdfMap .\n");
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  EXPECT_EQ((*specs)[0].mappings.mappings().size(), 1u);
+}
+
+TEST(DeclarativeSpecTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParsePlatformSpecs("platform\n").ok());           // no name
+  EXPECT_FALSE(ParsePlatformSpecs("x maps Map to Y\n").ok());    // undeclared
+  EXPECT_FALSE(ParsePlatformSpecs("platform p\np maps Bogus to X\n").ok());
+  EXPECT_FALSE(ParsePlatformSpecs("platform p\np cost nope 1\n").ok());
+  EXPECT_FALSE(ParsePlatformSpecs("platform p\np cost per_quantum_us abc\n").ok());
+  EXPECT_FALSE(ParsePlatformSpecs("platform p\nplatform p\n").ok());  // dup
+  EXPECT_FALSE(ParsePlatformSpecs("platform p\np maps Map to\n").ok());
+  EXPECT_FALSE(ParsePlatformSpecs("platform p\np gibberish\n").ok());
+}
+
+TEST(DeclarativeSpecTest, CommentsAndBlankLinesIgnored) {
+  auto specs = ParsePlatformSpecs("\n# nothing here\n   \nplatform p\n");
+  ASSERT_TRUE(specs.ok());
+  EXPECT_EQ(specs->size(), 1u);
+}
+
+TEST(DeclarativePlatformTest, RegisteredPlatformWinsSupportedSubplans) {
+  // A declared platform with aggressive costs should attract the relational
+  // subset of a plan through the standard optimizer — no optimizer changes.
+  RheemContext ctx;
+  ASSERT_TRUE(ctx.RegisterDefaultPlatforms().ok());
+  ASSERT_TRUE(RegisterDeclaredPlatforms(kTurboSpec, &ctx.platforms()).ok());
+  ASSERT_TRUE(ctx.platforms().Get("turbo").ok());
+
+  std::vector<Record> rows;
+  for (int i = 0; i < 2000; ++i) {
+    rows.push_back(Record({Value(i % 10), Value(i)}));
+  }
+  RheemJob job(&ctx);
+  auto quanta = job.LoadCollection(Dataset(std::move(rows)))
+                    .Filter([](const Record& r) { return r[1].ToInt64Or(0) % 2 == 0; })
+                    .ReduceByKey([](const Record& r) { return r[0]; },
+                                 [](const Record& a, const Record& b) {
+                                   return Record({a[0], Value(a[1].ToInt64Or(0) +
+                                                              b[1].ToInt64Or(0))});
+                                 });
+  auto explain = quanta.Explain();
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  EXPECT_NE(explain->find("turbo"), std::string::npos) << *explain;
+
+  auto out = quanta.Collect();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // Even values of i cover only the even residues of i % 10.
+  EXPECT_EQ(out->size(), 5u);
+}
+
+TEST(DeclarativePlatformTest, ForcedDeclaredPlatformExecutesCorrectly) {
+  RheemContext ctx;
+  ASSERT_TRUE(ctx.RegisterDefaultPlatforms().ok());
+  ASSERT_TRUE(RegisterDeclaredPlatforms(kTurboSpec, &ctx.platforms()).ok());
+  std::vector<Record> rows;
+  for (int i = 0; i < 100; ++i) rows.push_back(Record({Value(i % 5), Value(1)}));
+  RheemJob job(&ctx);
+  job.options().force_platform = "turbo";
+  auto out = job.LoadCollection(Dataset(std::move(rows)))
+                 .Filter([](const Record&) { return true; })
+                 .ReduceByKey([](const Record& r) { return r[0]; },
+                              [](const Record& a, const Record& b) {
+                                return Record({a[0], Value(a[1].ToInt64Or(0) +
+                                                           b[1].ToInt64Or(0))});
+                              })
+                 .Collect();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 5u);
+  EXPECT_EQ(out->at(0)[1], Value(20));
+}
+
+TEST(DeclarativePlatformTest, UnmappedOperatorRejectedWhenForced) {
+  RheemContext ctx;
+  ASSERT_TRUE(RegisterDeclaredPlatforms(kTurboSpec, &ctx.platforms()).ok());
+  RheemJob job(&ctx);
+  job.options().force_platform = "turbo";
+  // turbo declares no Map mapping.
+  auto out = job.LoadCollection(Dataset(std::vector<Record>{Record({Value(1)})}))
+                 .Map([](const Record& r) { return r; })
+                 .Collect();
+  EXPECT_TRUE(out.status().IsUnsupported());
+}
+
+}  // namespace
+}  // namespace rheem

@@ -1,0 +1,143 @@
+#include "core/executor/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/executor/execution_state.h"
+#include "core/operators/physical_ops.h"
+#include "core/optimizer/enumerator.h"
+#include "platforms/javasim/javasim_platform.h"
+#include "platforms/sparksim/sparksim_platform.h"
+
+namespace rheem {
+namespace {
+
+Dataset Numbers(int n) {
+  std::vector<Record> records;
+  for (int i = 0; i < n; ++i) records.push_back(Record({Value(i)}));
+  return Dataset(std::move(records));
+}
+
+MapUdf PlusOne() {
+  MapUdf udf;
+  udf.fn = [](const Record& r) {
+    return Record({Value(r[0].ToInt64Or(0) + 1)});
+  };
+  return udf;
+}
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : java_(config_), spark_(config_) {}
+
+  ExecutionPlan MakeCrossPlatformPlan(Plan* plan) {
+    auto* src = plan->Add<CollectionSourceOp>({}, Numbers(10));
+    auto* m1 = plan->Add<MapOp>({src}, PlusOne());
+    auto* m2 = plan->Add<MapOp>({m1}, PlusOne());
+    auto* sink = plan->Add<CollectOp>({m2});
+    plan->SetSink(sink);
+    PlatformAssignment a;
+    a.by_op = {{src->id(), &java_}, {m1->id(), &java_},
+               {m2->id(), &spark_}, {sink->id(), &spark_}};
+    return StageSplitter::Split(*plan, std::move(a)).ValueOrDie();
+  }
+
+  Config config_;
+  JavaSimPlatform java_;
+  SparkSimPlatform spark_;
+};
+
+TEST_F(ExecutorTest, RunsTwoStagePlanAndMovesData) {
+  Plan plan;
+  ExecutionPlan eplan = MakeCrossPlatformPlan(&plan);
+  CrossPlatformExecutor executor;
+  auto result = executor.Execute(eplan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->output.size(), 10u);
+  EXPECT_EQ(result->output.at(0)[0], Value(2));  // 0 +1 +1
+  EXPECT_EQ(result->metrics.stages_run, 2);
+  EXPECT_EQ(result->metrics.moved_records, 10);
+  EXPECT_GT(result->metrics.moved_bytes, 0);
+}
+
+TEST_F(ExecutorTest, BoundarySerializationCanBeDisabled) {
+  Plan plan;
+  ExecutionPlan eplan = MakeCrossPlatformPlan(&plan);
+  Config config;
+  config.SetBool("executor.serialize_boundaries", false);
+  CrossPlatformExecutor executor(config);
+  auto result = executor.Execute(eplan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->output.size(), 10u);
+  EXPECT_GT(result->metrics.moved_bytes, 0);  // still accounted
+}
+
+TEST_F(ExecutorTest, RetriesTransientFailures) {
+  Plan plan;
+  ExecutionPlan eplan = MakeCrossPlatformPlan(&plan);
+  CrossPlatformExecutor executor;
+  int failures_to_inject = 2;
+  executor.set_failure_injector([&](const Stage& stage, int attempt) -> Status {
+    if (stage.id() == 0 && attempt < failures_to_inject) {
+      return Status::ExecutionError("injected fault");
+    }
+    return Status::OK();
+  });
+  ExecutionMonitor monitor;
+  executor.set_monitor(&monitor);
+  auto result = executor.Execute(eplan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->metrics.retries, 2);
+  EXPECT_EQ(monitor.failures(), 2);
+  EXPECT_EQ(result->output.size(), 10u);
+  EXPECT_NE(monitor.Report().find("FAIL"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, GivesUpAfterMaxRetries) {
+  Plan plan;
+  ExecutionPlan eplan = MakeCrossPlatformPlan(&plan);
+  Config config;
+  config.SetInt("executor.max_retries", 1);
+  CrossPlatformExecutor executor(config);
+  executor.set_failure_injector([](const Stage&, int) -> Status {
+    return Status::ExecutionError("permanent fault");
+  });
+  auto result = executor.Execute(eplan);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsExecutionError());
+  EXPECT_NE(result.status().message().find("after 2 attempt"),
+            std::string::npos);
+}
+
+TEST_F(ExecutorTest, EmptyPlanRejected) {
+  CrossPlatformExecutor executor;
+  ExecutionPlan empty;
+  EXPECT_TRUE(executor.Execute(empty).status().IsInvalidPlan());
+}
+
+TEST_F(ExecutorTest, MonitorRecordsPerStage) {
+  Plan plan;
+  ExecutionPlan eplan = MakeCrossPlatformPlan(&plan);
+  CrossPlatformExecutor executor;
+  ExecutionMonitor monitor;
+  executor.set_monitor(&monitor);
+  ASSERT_TRUE(executor.Execute(eplan).ok());
+  ASSERT_EQ(monitor.records().size(), 2u);
+  EXPECT_EQ(monitor.records()[0].platform, "javasim");
+  EXPECT_EQ(monitor.records()[1].platform, "sparksim");
+  EXPECT_TRUE(monitor.records()[0].succeeded);
+  EXPECT_EQ(monitor.records()[1].output_records, 10);
+}
+
+TEST(ExecutionStateTest, PutGetEvict) {
+  ExecutionState state;
+  EXPECT_FALSE(state.Get(1).ok());
+  state.Put(1, Numbers(3));
+  ASSERT_TRUE(state.Has(1));
+  EXPECT_EQ((*state.Get(1))->size(), 3u);
+  state.Evict(1);
+  EXPECT_FALSE(state.Has(1));
+  EXPECT_TRUE(state.Get(1).status().IsExecutionError());
+}
+
+}  // namespace
+}  // namespace rheem

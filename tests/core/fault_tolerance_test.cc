@@ -1,0 +1,196 @@
+#include <atomic>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/executor/executor.h"
+#include "core/operators/physical_ops.h"
+#include "core/optimizer/enumerator.h"
+#include "platforms/javasim/javasim_platform.h"
+#include "platforms/sparksim/sparksim_platform.h"
+#include "platforms/sparksim/scheduler.h"
+
+namespace rheem {
+namespace {
+
+Dataset Numbers(int n) {
+  std::vector<Record> records;
+  for (int i = 0; i < n; ++i) records.push_back(Record({Value(i)}));
+  return Dataset(std::move(records));
+}
+
+MapUdf PlusOne() {
+  MapUdf udf;
+  udf.fn = [](const Record& r) {
+    return Record({Value(r[0].ToInt64Or(0) + 1)});
+  };
+  return udf;
+}
+
+TEST(TaskRetryTest, FlakyTaskSucceedsWithinBudget) {
+  ThreadPool pool(2);
+  sparksim::TaskScheduler scheduler(&pool, {}, /*task_retries=*/3);
+  ExecutionMetrics metrics;
+  std::atomic<int> failures_left{2};
+  Status st = scheduler.RunTasks(4, &metrics, [&](std::size_t i) -> Status {
+    if (i == 1 && failures_left.fetch_sub(1) > 0) {
+      return Status::ExecutionError("flaky task");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(metrics.retries, 2);
+  // Retries count as extra task launches.
+  EXPECT_EQ(metrics.tasks_launched, 4 + 2);
+}
+
+TEST(TaskRetryTest, PermanentFailureExhaustsBudget) {
+  ThreadPool pool(2);
+  sparksim::TaskScheduler scheduler(&pool, {}, /*task_retries=*/2);
+  ExecutionMetrics metrics;
+  std::atomic<int> attempts{0};
+  Status st = scheduler.RunTasks(1, &metrics, [&](std::size_t) -> Status {
+    attempts.fetch_add(1);
+    return Status::ExecutionError("broken");
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(attempts.load(), 3);  // 1 + 2 retries
+  EXPECT_EQ(metrics.retries, 2);
+}
+
+TEST(TaskRetryTest, ZeroRetriesMeansSingleAttempt) {
+  ThreadPool pool(2);
+  sparksim::TaskScheduler scheduler(&pool, {}, /*task_retries=*/0);
+  ExecutionMetrics metrics;
+  std::atomic<int> attempts{0};
+  Status st = scheduler.RunTasks(1, &metrics, [&](std::size_t) -> Status {
+    attempts.fetch_add(1);
+    return Status::ExecutionError("broken");
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(attempts.load(), 1);
+  EXPECT_EQ(metrics.retries, 0);
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique directory per test: ctest runs tests of this suite in parallel.
+    dir_ = testing::TempDir() + "/rheem_checkpoints_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  /// Two-platform plan: javasim stage feeding a sparksim stage.
+  ExecutionPlan MakePlan(Plan* plan, Platform* java, Platform* spark) {
+    auto* src = plan->Add<CollectionSourceOp>({}, Numbers(20));
+    auto* m1 = plan->Add<MapOp>({src}, PlusOne());
+    auto* m2 = plan->Add<MapOp>({m1}, PlusOne());
+    auto* sink = plan->Add<CollectOp>({m2});
+    plan->SetSink(sink);
+    PlatformAssignment a;
+    a.by_op = {{src->id(), java}, {m1->id(), java},
+               {m2->id(), spark}, {sink->id(), spark}};
+    return StageSplitter::Split(*plan, std::move(a)).ValueOrDie();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointTest, SecondRunRestoresInsteadOfExecuting) {
+  Config platform_config;
+  JavaSimPlatform java(platform_config);
+  SparkSimPlatform spark(platform_config);
+  Plan plan;
+  ExecutionPlan eplan = MakePlan(&plan, &java, &spark);
+
+  Config config;
+  config.Set("executor.checkpoint_dir", dir_);
+  config.Set("executor.job_id", "ckpt_test");
+
+  CrossPlatformExecutor first(config);
+  ExecutionMonitor monitor1;
+  first.set_monitor(&monitor1);
+  auto run1 = first.Execute(eplan);
+  ASSERT_TRUE(run1.ok()) << run1.status().ToString();
+  EXPECT_EQ(run1->metrics.stages_run, 2);
+  // Checkpoint files exist for both stages' products.
+  EXPECT_FALSE(std::filesystem::is_empty(dir_));
+
+  CrossPlatformExecutor second(config);
+  ExecutionMonitor monitor2;
+  second.set_monitor(&monitor2);
+  auto run2 = second.Execute(eplan);
+  ASSERT_TRUE(run2.ok()) << run2.status().ToString();
+  // Nothing executed: both stages restored.
+  EXPECT_EQ(run2->metrics.stages_run, 0);
+  int restored = 0;
+  for (const auto& record : monitor2.records()) {
+    if (record.error == "restored from checkpoint") ++restored;
+  }
+  EXPECT_EQ(restored, 2);
+  ASSERT_EQ(run2->output.size(), run1->output.size());
+  EXPECT_EQ(run2->output.at(0), run1->output.at(0));
+}
+
+TEST_F(CheckpointTest, RecoveryResumesAfterMidJobFailure) {
+  Config platform_config;
+  JavaSimPlatform java(platform_config);
+  SparkSimPlatform spark(platform_config);
+  Plan plan;
+  ExecutionPlan eplan = MakePlan(&plan, &java, &spark);
+
+  Config config;
+  config.Set("executor.checkpoint_dir", dir_);
+  config.Set("executor.job_id", "resume_test");
+  config.SetInt("executor.max_retries", 0);
+
+  // First run: the second stage fails permanently.
+  CrossPlatformExecutor failing(config);
+  failing.set_failure_injector([](const Stage& stage, int) -> Status {
+    if (stage.id() == 1) return Status::ExecutionError("platform outage");
+    return Status::OK();
+  });
+  auto run1 = failing.Execute(eplan);
+  ASSERT_FALSE(run1.ok());
+
+  // Second run: the outage is over; stage 0 restores from its checkpoint.
+  CrossPlatformExecutor recovering(config);
+  ExecutionMonitor monitor;
+  recovering.set_monitor(&monitor);
+  auto run2 = recovering.Execute(eplan);
+  ASSERT_TRUE(run2.ok()) << run2.status().ToString();
+  EXPECT_EQ(run2->metrics.stages_run, 1);  // only the failed stage re-ran
+  EXPECT_EQ(run2->output.size(), 20u);
+  EXPECT_EQ(run2->output.at(0)[0], Value(2));
+}
+
+TEST_F(CheckpointTest, DifferentJobIdsDoNotCollide) {
+  Config platform_config;
+  JavaSimPlatform java(platform_config);
+  SparkSimPlatform spark(platform_config);
+  Plan plan;
+  ExecutionPlan eplan = MakePlan(&plan, &java, &spark);
+
+  Config config_a;
+  config_a.Set("executor.checkpoint_dir", dir_);
+  config_a.Set("executor.job_id", "job_a");
+  CrossPlatformExecutor a(config_a);
+  ASSERT_TRUE(a.Execute(eplan).ok());
+
+  Config config_b;
+  config_b.Set("executor.checkpoint_dir", dir_);
+  config_b.Set("executor.job_id", "job_b");
+  CrossPlatformExecutor b(config_b);
+  auto run_b = b.Execute(eplan);
+  ASSERT_TRUE(run_b.ok());
+  EXPECT_EQ(run_b->metrics.stages_run, 2);  // no cross-job restoration
+}
+
+}  // namespace
+}  // namespace rheem

@@ -1,0 +1,146 @@
+// Randomized end-to-end fuzzing of the whole compilation stack: randomly
+// generated dataflow pipelines are executed once with the multi-platform
+// optimizer free to choose (and split) platforms, and once forced onto the
+// single-threaded reference platform. The results must be bag-equal — the
+// platform-independence contract under thousands of operator combinations no
+// hand-written test would cover.
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/api/data_quanta.h"
+
+namespace rheem {
+namespace {
+
+std::multiset<std::string> AsMultiset(const Dataset& d) {
+  std::multiset<std::string> out;
+  for (const Record& r : d.records()) out.insert(r.ToString());
+  return out;
+}
+
+/// Random (key:int64, value:int64) dataset.
+Dataset RandomPairs(Rng* rng, int max_rows) {
+  const int rows = 1 + static_cast<int>(rng->NextBounded(
+                           static_cast<uint64_t>(max_rows)));
+  std::vector<Record> out;
+  out.reserve(static_cast<std::size_t>(rows));
+  for (int i = 0; i < rows; ++i) {
+    out.push_back(
+        Record({Value(rng->NextInt(0, 15)), Value(rng->NextInt(-100, 100))}));
+  }
+  return Dataset(std::move(out));
+}
+
+/// Appends 1..6 random operators to `q`, keeping the (key, value) shape
+/// invariant so every operator remains applicable.
+DataQuanta RandomPipeline(Rng* rng, RheemJob* job, DataQuanta q) {
+  const int steps = 1 + static_cast<int>(rng->NextBounded(6));
+  for (int s = 0; s < steps; ++s) {
+    switch (rng->NextBounded(9)) {
+      case 0:
+        q = q.Map([](const Record& r) {
+          return Record({r[0], Value(r[1].ToInt64Or(0) + 1)});
+        });
+        break;
+      case 1: {
+        const int64_t threshold = rng->NextInt(-50, 50);
+        q = q.Filter([threshold](const Record& r) {
+          return r[1].ToInt64Or(0) >= threshold;
+        });
+        break;
+      }
+      case 2:
+        q = q.FlatMap([](const Record& r) {
+          std::vector<Record> out{r};
+          if (r[1].ToInt64Or(0) % 2 == 0) {
+            out.push_back(Record({r[0], Value(r[1].ToInt64Or(0) / 2)}));
+          }
+          return out;
+        });
+        break;
+      case 3:
+        q = q.Distinct();
+        break;
+      case 4:
+        q = q.Sort([](const Record& r) { return r[1]; });
+        break;
+      case 5:
+        q = q.ReduceByKey(
+            [](const Record& r) { return r[0]; },
+            [](const Record& a, const Record& b) {
+              return Record({a[0], Value(a[1].ToInt64Or(0) + b[1].ToInt64Or(0))});
+            });
+        break;
+      case 6:
+        q = q.Union(job->LoadCollection(RandomPairs(rng, 50)));
+        break;
+      case 7:
+        // Total key (no cross-record ties): platforms may order equal keys
+        // differently, which would be a legal divergence, not a bug.
+        q = q.TopK(1 + static_cast<int64_t>(rng->NextBounded(20)),
+                   [](const Record& r) {
+                     return Value(r[1].ToInt64Or(0) * 16 + r[0].ToInt64Or(0));
+                   },
+                   rng->NextBool());
+        break;
+      default:
+        q = q.GroupByKey(
+            [](const Record& r) { return r[0]; },
+            [](const Value& key, const std::vector<Record>& members) {
+              return std::vector<Record>{Record(
+                  {key, Value(static_cast<int64_t>(members.size()))})};
+            });
+        break;
+    }
+  }
+  return q;
+}
+
+class FuzzPlansTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { ASSERT_TRUE(ctx_.RegisterDefaultPlatforms().ok()); }
+  RheemContext ctx_;
+};
+
+TEST_P(FuzzPlansTest, OptimizerChoiceMatchesReferencePlatform) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 1);
+  // Build twice from the same random tape: once per execution mode.
+  for (int round = 0; round < 4; ++round) {
+    const uint64_t seed = rng.NextU64();
+    auto run = [&](const std::string& force) {
+      Rng tape(seed);
+      RheemJob job(&ctx_);
+      job.options().force_platform = force;
+      DataQuanta q = job.LoadCollection(RandomPairs(&tape, 300));
+      q = RandomPipeline(&tape, &job, q);
+      return q.Collect();
+    };
+    auto optimized = run("");
+    auto reference = run("javasim");
+    ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    EXPECT_EQ(AsMultiset(*optimized), AsMultiset(*reference))
+        << "seed " << seed;
+  }
+}
+
+TEST_P(FuzzPlansTest, ExplainAlwaysCompiles) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 3);
+  for (int round = 0; round < 4; ++round) {
+    RheemJob job(&ctx_);
+    DataQuanta q = job.LoadCollection(RandomPairs(&rng, 100));
+    q = RandomPipeline(&rng, &job, q);
+    auto text = q.Explain();
+    ASSERT_TRUE(text.ok()) << text.status().ToString();
+    EXPECT_NE(text->find("stage 0"), std::string::npos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPlansTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace rheem

@@ -1,0 +1,217 @@
+#include "core/operators/iejoin.h"
+
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rheem {
+namespace kernels {
+namespace {
+
+Dataset TwoColumns(const std::vector<std::pair<double, double>>& rows) {
+  std::vector<Record> records;
+  for (auto [a, b] : rows) records.push_back(Record({Value(a), Value(b)}));
+  return Dataset(std::move(records));
+}
+
+std::multiset<std::string> AsMultiset(const Dataset& d) {
+  std::multiset<std::string> out;
+  for (const Record& r : d.records()) out.insert(r.ToString());
+  return out;
+}
+
+TEST(IEJoinTest, ClassicSalaryTaxExample) {
+  // Violation pairs: t1.salary > t2.salary AND t1.tax < t2.tax.
+  Dataset t = TwoColumns({{100, 20}, {200, 10}, {150, 15}, {50, 30}});
+  IEJoinSpec spec;
+  spec.left_col1 = 0;
+  spec.op1 = CompareOp::kGreater;
+  spec.right_col1 = 0;
+  spec.left_col2 = 1;
+  spec.op2 = CompareOp::kLess;
+  spec.right_col2 = 1;
+  auto fast = IEJoin(spec, t, t);
+  auto ref = IEJoinNestedLoopReference(spec, t, t);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(AsMultiset(*fast), AsMultiset(*ref));
+  // Every pair with higher salary also has lower tax here except those
+  // involving (50,30) as the left side: 3+2+1 = 6 violating ordered pairs.
+  EXPECT_EQ(fast->size(), 6u);
+}
+
+TEST(IEJoinTest, EmptyInputs) {
+  IEJoinSpec spec;
+  Dataset t = TwoColumns({{1, 2}});
+  EXPECT_TRUE(IEJoin(spec, Dataset(), t)->empty());
+  EXPECT_TRUE(IEJoin(spec, t, Dataset())->empty());
+  EXPECT_TRUE(IEJoin(spec, Dataset(), Dataset())->empty());
+}
+
+TEST(IEJoinTest, ColumnOutOfRangeFails) {
+  IEJoinSpec spec;
+  spec.left_col1 = 5;
+  Dataset t = TwoColumns({{1, 2}});
+  EXPECT_FALSE(IEJoin(spec, t, t).ok());
+}
+
+TEST(IEJoinTest, StringColumnsSupported) {
+  std::vector<Record> rows;
+  rows.push_back(Record({Value("a"), Value("z")}));
+  rows.push_back(Record({Value("b"), Value("y")}));
+  rows.push_back(Record({Value("c"), Value("x")}));
+  Dataset t{std::vector<Record>(rows)};
+  IEJoinSpec spec;  // default: col0 <, col0 ... set ops
+  spec.left_col1 = 0;
+  spec.op1 = CompareOp::kLess;
+  spec.right_col1 = 0;
+  spec.left_col2 = 1;
+  spec.op2 = CompareOp::kGreater;
+  spec.right_col2 = 1;
+  auto fast = IEJoin(spec, t, t);
+  auto ref = IEJoinNestedLoopReference(spec, t, t);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(AsMultiset(*fast), AsMultiset(*ref));
+  EXPECT_EQ(fast->size(), 3u);  // fully anti-correlated
+}
+
+TEST(IEJoinTest, TwoDistinctRelations) {
+  Dataset left = TwoColumns({{1, 9}, {5, 5}, {9, 1}});
+  Dataset right = TwoColumns({{2, 2}, {6, 6}});
+  IEJoinSpec spec;
+  spec.op1 = CompareOp::kLess;     // l.a < r.a
+  spec.op2 = CompareOp::kGreater;  // l.b > r.b
+  spec.left_col2 = 1;
+  spec.right_col2 = 1;
+  auto fast = IEJoin(spec, left, right);
+  auto ref = IEJoinNestedLoopReference(spec, left, right);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(AsMultiset(*fast), AsMultiset(*ref));
+}
+
+/// Exhaustive parameterized sweep: every combination of the two comparison
+/// operators, against the nested-loop reference on random data with heavy
+/// ties (to exercise strict/non-strict boundaries).
+class IEJoinOpsTest
+    : public ::testing::TestWithParam<std::tuple<CompareOp, CompareOp>> {};
+
+TEST_P(IEJoinOpsTest, AgreesWithNestedLoopReference) {
+  const auto [op1, op2] = GetParam();
+  Rng rng(static_cast<uint64_t>(static_cast<int>(op1)) * 31 +
+          static_cast<uint64_t>(static_cast<int>(op2)) + 7);
+  // Small value domain -> plenty of ties.
+  auto gen = [&rng](int n) {
+    std::vector<std::pair<double, double>> rows;
+    for (int i = 0; i < n; ++i) {
+      rows.emplace_back(static_cast<double>(rng.NextInt(0, 9)),
+                        static_cast<double>(rng.NextInt(0, 9)));
+    }
+    return TwoColumns(rows);
+  };
+  IEJoinSpec spec;
+  spec.left_col1 = 0;
+  spec.right_col1 = 0;
+  spec.op1 = op1;
+  spec.left_col2 = 1;
+  spec.right_col2 = 1;
+  spec.op2 = op2;
+  for (int trial = 0; trial < 5; ++trial) {
+    Dataset left = gen(60);
+    Dataset right = gen(40);
+    auto fast = IEJoin(spec, left, right);
+    auto ref = IEJoinNestedLoopReference(spec, left, right);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(AsMultiset(*fast), AsMultiset(*ref))
+        << "ops " << CompareOpToString(op1) << " / " << CompareOpToString(op2);
+    // Self-join case too.
+    auto fast_self = IEJoin(spec, left, left);
+    auto ref_self = IEJoinNestedLoopReference(spec, left, left);
+    ASSERT_TRUE(fast_self.ok());
+    EXPECT_EQ(AsMultiset(*fast_self), AsMultiset(*ref_self));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOperatorCombinations, IEJoinOpsTest,
+    ::testing::Combine(::testing::Values(CompareOp::kLess, CompareOp::kLessEqual,
+                                         CompareOp::kGreater,
+                                         CompareOp::kGreaterEqual),
+                       ::testing::Values(CompareOp::kLess, CompareOp::kLessEqual,
+                                         CompareOp::kGreater,
+                                         CompareOp::kGreaterEqual)),
+    [](const ::testing::TestParamInfo<std::tuple<CompareOp, CompareOp>>& info) {
+      auto name = [](CompareOp op) {
+        switch (op) {
+          case CompareOp::kLess: return "Lt";
+          case CompareOp::kLessEqual: return "Le";
+          case CompareOp::kGreater: return "Gt";
+          case CompareOp::kGreaterEqual: return "Ge";
+        }
+        return "?";
+      };
+      return std::string(name(std::get<0>(info.param))) +
+             name(std::get<1>(info.param));
+    });
+
+TEST(IEJoinTest, DistinctColumnsPerSide) {
+  // left uses cols (0,1), right uses cols (1,0): asymmetric column choice.
+  Dataset left = TwoColumns({{1, 5}, {3, 3}, {5, 1}});
+  Dataset right = TwoColumns({{4, 2}, {2, 4}});
+  IEJoinSpec spec;
+  spec.left_col1 = 0;
+  spec.right_col1 = 1;   // l.a vs r.b
+  spec.op1 = CompareOp::kLess;
+  spec.left_col2 = 1;
+  spec.right_col2 = 0;   // l.b vs r.a
+  spec.op2 = CompareOp::kGreaterEqual;
+  auto fast = IEJoin(spec, left, right);
+  auto ref = IEJoinNestedLoopReference(spec, left, right);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(AsMultiset(*fast), AsMultiset(*ref));
+}
+
+TEST(IEJoinTest, AllTiesNonStrictProducesFullCross) {
+  Dataset t = TwoColumns({{1, 1}, {1, 1}, {1, 1}});
+  IEJoinSpec spec;
+  spec.op1 = CompareOp::kLessEqual;
+  spec.op2 = CompareOp::kGreaterEqual;
+  spec.left_col2 = 1;
+  spec.right_col2 = 1;
+  auto out = IEJoin(spec, t, t);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 9u);
+}
+
+TEST(IEJoinTest, AllTiesStrictProducesNothing) {
+  Dataset t = TwoColumns({{1, 1}, {1, 1}, {1, 1}});
+  IEJoinSpec spec;
+  spec.op1 = CompareOp::kLess;
+  spec.op2 = CompareOp::kGreater;
+  spec.left_col2 = 1;
+  spec.right_col2 = 1;
+  auto out = IEJoin(spec, t, t);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(IEJoinTest, OutputConcatenatesLeftThenRight) {
+  Dataset left = TwoColumns({{1, 9}});
+  Dataset right = TwoColumns({{2, 2}});
+  IEJoinSpec spec;
+  spec.op1 = CompareOp::kLess;
+  spec.op2 = CompareOp::kGreater;
+  spec.left_col2 = 1;
+  spec.right_col2 = 1;
+  auto out = IEJoin(spec, left, right);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->at(0), Record({Value(1.0), Value(9.0), Value(2.0), Value(2.0)}));
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace rheem

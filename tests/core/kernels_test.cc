@@ -1,0 +1,371 @@
+#include "core/operators/kernels.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rheem {
+namespace kernels {
+namespace {
+
+Dataset Numbers(int n) {
+  std::vector<Record> records;
+  for (int i = 0; i < n; ++i) records.push_back(Record({Value(i)}));
+  return Dataset(std::move(records));
+}
+
+Dataset KeyValues(std::vector<std::pair<int, int>> pairs) {
+  std::vector<Record> records;
+  for (auto [k, v] : pairs) records.push_back(Record({Value(k), Value(v)}));
+  return Dataset(std::move(records));
+}
+
+MapUdf PlusOne() {
+  MapUdf udf;
+  udf.fn = [](const Record& r) {
+    return Record({Value(r[0].ToInt64Or(0) + 1)});
+  };
+  return udf;
+}
+
+KeyUdf FirstField() {
+  KeyUdf key;
+  key.fn = [](const Record& r) { return r[0]; };
+  return key;
+}
+
+ReduceUdf SumSecond() {
+  ReduceUdf udf;
+  udf.fn = [](const Record& a, const Record& b) {
+    return Record({a[0], Value(a[1].ToInt64Or(0) + b[1].ToInt64Or(0))});
+  };
+  return udf;
+}
+
+std::multiset<std::string> AsMultiset(const Dataset& d) {
+  std::multiset<std::string> out;
+  for (const Record& r : d.records()) out.insert(r.ToString());
+  return out;
+}
+
+TEST(MapKernelTest, AppliesUdfToEveryQuantum) {
+  auto out = Map(PlusOne(), Numbers(5));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 5u);
+  EXPECT_EQ(out->at(0)[0], Value(1));
+  EXPECT_EQ(out->at(4)[0], Value(5));
+}
+
+TEST(MapKernelTest, EmptyInputEmptyOutput) {
+  auto out = Map(PlusOne(), Dataset());
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(MapKernelTest, EmptyUdfIsError) {
+  EXPECT_FALSE(Map(MapUdf{}, Numbers(1)).ok());
+}
+
+TEST(FlatMapKernelTest, ExpandsAndDrops) {
+  FlatMapUdf udf;
+  udf.fn = [](const Record& r) -> std::vector<Record> {
+    const int64_t v = r[0].ToInt64Or(0);
+    if (v % 2 == 0) return {};          // drop evens
+    return {r, r};                       // duplicate odds
+  };
+  auto out = FlatMap(udf, Numbers(4));  // 0,1,2,3
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 4u);  // 1,1,3,3
+}
+
+TEST(FilterKernelTest, KeepsMatching) {
+  PredicateUdf udf;
+  udf.fn = [](const Record& r) { return r[0].ToInt64Or(0) >= 3; };
+  auto out = Filter(udf, Numbers(6));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 3u);
+}
+
+TEST(ProjectKernelTest, SelectsColumns) {
+  auto out = Project({1}, KeyValues({{1, 10}, {2, 20}}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->at(0), Record({Value(10)}));
+}
+
+TEST(ProjectKernelTest, OutOfRangeColumnFails) {
+  EXPECT_TRUE(Project({5}, Numbers(2)).status().IsOutOfRange());
+  EXPECT_TRUE(Project({-1}, Numbers(2)).status().IsInvalidArgument());
+}
+
+TEST(DistinctKernelTest, RemovesDuplicatesKeepsFirstOrder) {
+  auto out = Distinct(KeyValues({{1, 1}, {2, 2}, {1, 1}, {3, 3}, {2, 2}}));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_EQ(out->at(0)[0], Value(1));
+  EXPECT_EQ(out->at(1)[0], Value(2));
+  EXPECT_EQ(out->at(2)[0], Value(3));
+}
+
+TEST(SortKernelTest, SortsByKeyAscending) {
+  auto out = SortByKey(FirstField(), KeyValues({{3, 0}, {1, 0}, {2, 0}}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->at(0)[0], Value(1));
+  EXPECT_EQ(out->at(2)[0], Value(3));
+}
+
+TEST(SortKernelTest, StableOnTies) {
+  auto out = SortByKey(FirstField(), KeyValues({{1, 10}, {0, 0}, {1, 20}}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->at(1)[1], Value(10));
+  EXPECT_EQ(out->at(2)[1], Value(20));
+}
+
+TEST(SampleKernelTest, FractionBoundsRespected) {
+  EXPECT_FALSE(Sample(-0.1, 1, Numbers(10)).ok());
+  EXPECT_FALSE(Sample(1.1, 1, Numbers(10)).ok());
+  auto all = Sample(1.0, 1, Numbers(10));
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 10u);
+  auto none = Sample(0.0, 1, Numbers(10));
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(SampleKernelTest, DeterministicAndRoughlyProportional) {
+  auto a = Sample(0.3, 99, Numbers(10000));
+  auto b = Sample(0.3, 99, Numbers(10000));
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(AsMultiset(*a), AsMultiset(*b));
+  EXPECT_NEAR(static_cast<double>(a->size()), 3000.0, 200.0);
+}
+
+TEST(ZipWithIdKernelTest, AppendsSequentialIds) {
+  auto out = ZipWithId(100, Numbers(3));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->at(0)[1], Value(int64_t{100}));
+  EXPECT_EQ(out->at(2)[1], Value(int64_t{102}));
+}
+
+TEST(ReduceByKeyKernelTest, SumsPerKeyDeterministically) {
+  auto out = ReduceByKey(FirstField(), SumSecond(),
+                         KeyValues({{1, 10}, {2, 5}, {1, 7}, {2, 5}}));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  // std::map ordering: key 1 first.
+  EXPECT_EQ(out->at(0), Record({Value(1), Value(17)}));
+  EXPECT_EQ(out->at(1), Record({Value(2), Value(10)}));
+}
+
+TEST(ReduceByKeyKernelTest, SingleKeySingleOutput) {
+  auto out = ReduceByKey(FirstField(), SumSecond(),
+                         KeyValues({{1, 1}, {1, 2}, {1, 3}}));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->at(0)[1], Value(6));
+}
+
+TEST(GroupByKernelsTest, HashAndSortAgree) {
+  GroupUdf group;
+  group.fn = [](const Value& key, const std::vector<Record>& members) {
+    return std::vector<Record>{
+        Record({key, Value(static_cast<int64_t>(members.size()))})};
+  };
+  Rng rng(5);
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < 500; ++i) {
+    pairs.emplace_back(static_cast<int>(rng.NextBounded(13)), i);
+  }
+  auto hash = HashGroupBy(FirstField(), group, KeyValues(pairs));
+  auto sort = SortGroupBy(FirstField(), group, KeyValues(pairs));
+  ASSERT_TRUE(hash.ok());
+  ASSERT_TRUE(sort.ok());
+  EXPECT_EQ(AsMultiset(*hash), AsMultiset(*sort));
+}
+
+TEST(GroupByKernelsTest, GroupUdfSeesAllMembersInOrder) {
+  GroupUdf group;
+  group.fn = [](const Value& key, const std::vector<Record>& members) {
+    std::vector<Record> out;
+    for (const auto& m : members) out.push_back(Record({key, m[1]}));
+    return out;
+  };
+  auto out = HashGroupBy(FirstField(), group,
+                         KeyValues({{1, 10}, {1, 20}, {2, 30}}));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_EQ(out->at(0), Record({Value(1), Value(10)}));
+  EXPECT_EQ(out->at(1), Record({Value(1), Value(20)}));
+}
+
+TEST(GlobalReduceKernelTest, FoldsToOneRecord) {
+  ReduceUdf udf;
+  udf.fn = [](const Record& a, const Record& b) {
+    return Record({Value(a[0].ToInt64Or(0) + b[0].ToInt64Or(0))});
+  };
+  auto out = GlobalReduce(udf, Numbers(10));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->at(0)[0], Value(45));
+}
+
+TEST(GlobalReduceKernelTest, EmptyInputYieldsEmpty) {
+  ReduceUdf udf;
+  udf.fn = [](const Record& a, const Record&) { return a; };
+  auto out = GlobalReduce(udf, Dataset());
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(CountKernelTest, ReportsCardinality) {
+  auto out = Count(Numbers(7));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->at(0)[0], Value(int64_t{7}));
+  EXPECT_EQ(Count(Dataset())->at(0)[0], Value(int64_t{0}));
+}
+
+TEST(BroadcastMapKernelTest, SideInputVisibleToEveryCall) {
+  BroadcastMapUdf udf;
+  udf.fn = [](const Record& r, const Dataset& side) {
+    return Record(
+        {r[0], Value(static_cast<int64_t>(side.size()))});
+  };
+  auto out = BroadcastMap(udf, Numbers(3), Numbers(9));
+  ASSERT_TRUE(out.ok());
+  for (const Record& r : out->records()) {
+    EXPECT_EQ(r[1], Value(int64_t{9}));
+  }
+}
+
+TEST(HashJoinKernelTest, MatchesOnKeys) {
+  auto out = HashJoin(FirstField(), FirstField(),
+                      KeyValues({{1, 10}, {2, 20}, {3, 30}}),
+                      KeyValues({{2, 200}, {3, 300}, {4, 400}}));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_EQ(out->at(0), Record({Value(2), Value(20), Value(2), Value(200)}));
+}
+
+TEST(HashJoinKernelTest, DuplicateKeysProduceCrossOfRuns) {
+  auto out = HashJoin(FirstField(), FirstField(),
+                      KeyValues({{1, 1}, {1, 2}}),
+                      KeyValues({{1, 3}, {1, 4}, {1, 5}}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 6u);
+}
+
+TEST(JoinKernelsTest, HashAndSortMergeAgreeOnRandomData) {
+  Rng rng(8);
+  std::vector<std::pair<int, int>> l, r;
+  for (int i = 0; i < 300; ++i) {
+    l.emplace_back(static_cast<int>(rng.NextBounded(40)), i);
+    r.emplace_back(static_cast<int>(rng.NextBounded(40)), 1000 + i);
+  }
+  auto hj = HashJoin(FirstField(), FirstField(), KeyValues(l), KeyValues(r));
+  auto smj = SortMergeJoin(FirstField(), FirstField(), KeyValues(l), KeyValues(r));
+  ASSERT_TRUE(hj.ok());
+  ASSERT_TRUE(smj.ok());
+  EXPECT_EQ(AsMultiset(*hj), AsMultiset(*smj));
+  EXPECT_GT(hj->size(), 0u);
+}
+
+TEST(ThetaJoinKernelTest, ArbitraryPredicate) {
+  ThetaUdf udf;
+  udf.fn = [](const Record& a, const Record& b) {
+    return a[0].ToInt64Or(0) + b[0].ToInt64Or(0) == 4;
+  };
+  auto out = ThetaJoin(udf, Numbers(5), Numbers(5));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 5u);  // (0,4),(1,3),(2,2),(3,1),(4,0)
+}
+
+TEST(CrossProductKernelTest, FullPairSpace) {
+  auto out = CrossProduct(Numbers(3), Numbers(4));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 12u);
+  EXPECT_EQ(out->at(0).size(), 2u);
+}
+
+TEST(CrossProductKernelTest, EmptySideYieldsEmpty) {
+  EXPECT_TRUE(CrossProduct(Numbers(3), Dataset())->empty());
+  EXPECT_TRUE(CrossProduct(Dataset(), Numbers(3))->empty());
+}
+
+TEST(UnionKernelTest, ConcatenatesBagSemantics) {
+  auto out = Union(Numbers(2), Numbers(3));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 5u);
+  // Duplicates retained (bag union).
+  auto dup = Union(Numbers(2), Numbers(2));
+  EXPECT_EQ(dup->size(), 4u);
+}
+
+// Property: filter(p) then filter(q) == filter(q) then filter(p) == filter(p&&q)
+TEST(KernelPropertyTest, FilterCommutesAndFuses) {
+  PredicateUdf p;
+  p.fn = [](const Record& r) { return r[0].ToInt64Or(0) % 2 == 0; };
+  PredicateUdf q;
+  q.fn = [](const Record& r) { return r[0].ToInt64Or(0) > 10; };
+  PredicateUdf pq;
+  pq.fn = [&](const Record& r) { return p.fn(r) && q.fn(r); };
+  Dataset in = Numbers(100);
+  auto a = Filter(q, Filter(p, in).ValueOrDie());
+  auto b = Filter(p, Filter(q, in).ValueOrDie());
+  auto c = Filter(pq, in);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(AsMultiset(*a), AsMultiset(*b));
+  EXPECT_EQ(AsMultiset(*a), AsMultiset(*c));
+}
+
+// Property: ReduceByKey(sum) total equals global sum regardless of keys.
+TEST(KernelPropertyTest, ReduceByKeyPreservesTotal) {
+  Rng rng(21);
+  std::vector<std::pair<int, int>> pairs;
+  int64_t expected = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = static_cast<int>(rng.NextInt(-50, 50));
+    pairs.emplace_back(static_cast<int>(rng.NextBounded(17)), v);
+    expected += v;
+  }
+  auto reduced = ReduceByKey(FirstField(), SumSecond(), KeyValues(pairs));
+  ASSERT_TRUE(reduced.ok());
+  int64_t total = 0;
+  for (const Record& r : reduced->records()) total += r[1].ToInt64Or(0);
+  EXPECT_EQ(total, expected);
+}
+
+// Property: Distinct is idempotent.
+TEST(KernelPropertyTest, DistinctIdempotent) {
+  Rng rng(22);
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < 400; ++i) {
+    pairs.emplace_back(static_cast<int>(rng.NextBounded(20)),
+                       static_cast<int>(rng.NextBounded(3)));
+  }
+  auto once = Distinct(KeyValues(pairs));
+  auto twice = Distinct(*once);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(AsMultiset(*once), AsMultiset(*twice));
+}
+
+// Property: sort output is a permutation and is ordered.
+TEST(KernelPropertyTest, SortPermutationAndOrdered) {
+  Rng rng(23);
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < 500; ++i) {
+    pairs.emplace_back(static_cast<int>(rng.NextInt(-100, 100)), i);
+  }
+  Dataset in = KeyValues(pairs);
+  auto sorted = SortByKey(FirstField(), in);
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(AsMultiset(in), AsMultiset(*sorted));
+  for (std::size_t i = 1; i < sorted->size(); ++i) {
+    EXPECT_LE(sorted->at(i - 1)[0].ToInt64Or(0), sorted->at(i)[0].ToInt64Or(0));
+  }
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace rheem

@@ -1,0 +1,95 @@
+#include "core/mapping/mapping.h"
+
+#include <gtest/gtest.h>
+
+#include "core/mapping/platform.h"
+
+namespace rheem {
+namespace {
+
+KeyUdf AnyKey() {
+  KeyUdf key;
+  key.fn = [](const Record& r) { return r.empty() ? Value() : r[0]; };
+  return key;
+}
+
+GroupUdf AnyGroup() {
+  GroupUdf group;
+  group.fn = [](const Value&, const std::vector<Record>& rs) { return rs; };
+  return group;
+}
+
+TEST(MappingTableTest, FindsKindWildcard) {
+  MappingTable t;
+  t.Add(OperatorMapping{OpKind::kMap, "", "ExecMap", 1.5, "ctx"});
+  MapUdf udf;
+  udf.fn = [](const Record& r) { return r; };
+  MapOp map(udf);
+  const OperatorMapping* m = t.Find(map);
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->execution_operator, "ExecMap");
+  EXPECT_DOUBLE_EQ(m->cost_weight, 1.5);
+}
+
+TEST(MappingTableTest, ExactVariantBeatsWildcard) {
+  MappingTable t;
+  t.Add(OperatorMapping{OpKind::kGroupByKey, "", "GenericGroupBy", 1.0, ""});
+  t.Add(OperatorMapping{OpKind::kGroupByKey, "SortGroupBy", "FancySortGroupBy",
+                        0.5, ""});
+  GroupByKeyOp sort_gb(AnyKey(), AnyGroup(), GroupByAlgorithm::kSort);
+  GroupByKeyOp hash_gb(AnyKey(), AnyGroup(), GroupByAlgorithm::kHash);
+  EXPECT_EQ(t.Find(sort_gb)->execution_operator, "FancySortGroupBy");
+  EXPECT_EQ(t.Find(hash_gb)->execution_operator, "GenericGroupBy");
+}
+
+TEST(MappingTableTest, UnmappedKindIsUnsupported) {
+  MappingTable t;
+  t.Add(OperatorMapping{OpKind::kMap, "", "ExecMap", 1.0, ""});
+  CountOp count;
+  EXPECT_EQ(t.Find(count), nullptr);
+  EXPECT_FALSE(t.Supports(count));
+}
+
+TEST(MappingTableTest, VariantOnlyMappingDoesNotMatchOtherVariant) {
+  MappingTable t;
+  t.Add(OperatorMapping{OpKind::kGroupByKey, "HashGroupBy", "H", 1.0, ""});
+  GroupByKeyOp sort_gb(AnyKey(), AnyGroup(), GroupByAlgorithm::kSort);
+  EXPECT_FALSE(t.Supports(sort_gb));
+}
+
+TEST(MappingTableTest, ToStringListsMappings) {
+  MappingTable t;
+  t.Add(OperatorMapping{OpKind::kMap, "", "ExecMap", 2.0, "vectorized"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("Map -> ExecMap"), std::string::npos);
+  EXPECT_NE(s.find("vectorized"), std::string::npos);
+}
+
+TEST(ExecutionMetricsTest, MergeAccumulates) {
+  ExecutionMetrics a;
+  a.wall_micros = 10;
+  a.sim_overhead_micros = 5;
+  a.tasks_launched = 3;
+  ExecutionMetrics b;
+  b.wall_micros = 1;
+  b.shuffle_bytes = 100;
+  b.retries = 2;
+  a.MergeFrom(b);
+  EXPECT_EQ(a.wall_micros, 11);
+  EXPECT_EQ(a.sim_overhead_micros, 5);
+  EXPECT_EQ(a.tasks_launched, 3);
+  EXPECT_EQ(a.shuffle_bytes, 100);
+  EXPECT_EQ(a.retries, 2);
+  EXPECT_EQ(a.TotalMicros(), 16);
+}
+
+TEST(ExecutionMetricsTest, ToStringMentionsTotals) {
+  ExecutionMetrics m;
+  m.wall_micros = 1500;
+  m.jobs_run = 2;
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("jobs=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rheem

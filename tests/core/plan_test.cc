@@ -1,0 +1,189 @@
+#include "core/plan/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "core/operators/physical_ops.h"
+#include "core/plan/plan_printer.h"
+
+namespace rheem {
+namespace {
+
+Dataset OneRow() { return Dataset(std::vector<Record>{Record({Value(1)})}); }
+
+MapUdf Identity() {
+  MapUdf udf;
+  udf.fn = [](const Record& r) { return r; };
+  return udf;
+}
+
+TEST(PlanTest, AddAssignsSequentialIdsAndNames) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, OneRow());
+  auto* map = plan.Add<MapOp>({src}, Identity());
+  EXPECT_EQ(src->id(), 0);
+  EXPECT_EQ(map->id(), 1);
+  EXPECT_EQ(map->inputs().size(), 1u);
+  EXPECT_EQ(map->inputs()[0], src);
+  EXPECT_NE(map->name().find("Map"), std::string::npos);
+}
+
+TEST(PlanTest, TopologicalOrderRespectsEdges) {
+  Plan plan;
+  auto* a = plan.Add<CollectionSourceOp>({}, OneRow());
+  auto* b = plan.Add<CollectionSourceOp>({}, OneRow());
+  auto* u = plan.Add<UnionOp>({a, b});
+  auto* m = plan.Add<MapOp>({u}, Identity());
+  plan.SetSink(m);
+  auto topo = plan.TopologicalOrder();
+  ASSERT_TRUE(topo.ok());
+  std::map<int, std::size_t> pos;
+  for (std::size_t i = 0; i < topo->size(); ++i) pos[(*topo)[i]->id()] = i;
+  EXPECT_LT(pos[a->id()], pos[u->id()]);
+  EXPECT_LT(pos[b->id()], pos[u->id()]);
+  EXPECT_LT(pos[u->id()], pos[m->id()]);
+}
+
+TEST(PlanTest, ValidateAcceptsWellFormedDag) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, OneRow());
+  auto* sink = plan.Add<CollectOp>({src});
+  plan.SetSink(sink);
+  EXPECT_TRUE(plan.Validate().ok());
+}
+
+TEST(PlanTest, ValidateRejectsEmptyPlan) {
+  Plan plan;
+  EXPECT_TRUE(plan.Validate().IsInvalidPlan());
+}
+
+TEST(PlanTest, ValidateRejectsMissingSink) {
+  Plan plan;
+  plan.Add<CollectionSourceOp>({}, OneRow());
+  EXPECT_TRUE(plan.Validate().IsInvalidPlan());
+}
+
+TEST(PlanTest, ValidateRejectsArityMismatch) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, OneRow());
+  // UnionOp wants two inputs, gets one.
+  auto* u = plan.Add<UnionOp>({src});
+  plan.SetSink(u);
+  EXPECT_TRUE(plan.Validate().IsInvalidPlan());
+}
+
+TEST(PlanTest, ValidateRejectsOrphan) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, OneRow());
+  plan.Add<CollectionSourceOp>({}, OneRow());  // orphan
+  auto* sink = plan.Add<CollectOp>({src});
+  plan.SetSink(sink);
+  EXPECT_TRUE(plan.Validate().IsInvalidPlan());
+}
+
+TEST(PlanTest, ValidateRejectsCycle) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, OneRow());
+  auto* m1 = plan.Add<MapOp>({src}, Identity());
+  auto* m2 = plan.Add<MapOp>({m1}, Identity());
+  // Manually create a cycle m1 <- m2.
+  m1->SetInput(0, m2);
+  plan.SetSink(m2);
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(PlanTest, ValidateRejectsForeignInput) {
+  Plan other;
+  auto* foreign = other.Add<CollectionSourceOp>({}, OneRow());
+  Plan plan;
+  auto* m = plan.Add<MapOp>({foreign}, Identity());
+  plan.SetSink(m);
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(PlanTest, ConsumersOfListsDownstream) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, OneRow());
+  auto* m1 = plan.Add<MapOp>({src}, Identity());
+  auto* m2 = plan.Add<MapOp>({src}, Identity());
+  auto consumers = plan.ConsumersOf(src);
+  ASSERT_EQ(consumers.size(), 2u);
+  EXPECT_EQ(consumers[0], m1);
+  EXPECT_EQ(consumers[1], m2);
+  EXPECT_TRUE(plan.ConsumersOf(m2).empty());
+}
+
+TEST(PlanTest, PruneToSinkDropsOrphansAndRemaps) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, OneRow());
+  plan.Add<CollectionSourceOp>({}, OneRow());  // orphan at id 1
+  auto* sink = plan.Add<CollectOp>({src});     // id 2
+  plan.SetSink(sink);
+  auto remap = plan.PruneToSink();
+  ASSERT_TRUE(remap.ok());
+  EXPECT_EQ(plan.size(), 2u);
+  EXPECT_EQ(remap->at(0), 0);
+  EXPECT_EQ(remap->at(2), 1);
+  EXPECT_EQ(remap->count(1), 0u);
+  EXPECT_EQ(sink->id(), 1);
+  EXPECT_TRUE(plan.Validate().ok());
+}
+
+TEST(PlanTest, PruneWithoutSinkFails) {
+  Plan plan;
+  plan.Add<CollectionSourceOp>({}, OneRow());
+  EXPECT_FALSE(plan.PruneToSink().ok());
+}
+
+TEST(PlanPrinterTest, TextListsOperatorsAndSink) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, OneRow());
+  auto* sink = plan.Add<CollectOp>({src});
+  plan.SetSink(sink);
+  const std::string text = PlanPrinter::ToText(plan, {{src->id(), "note"}});
+  EXPECT_NE(text.find("CollectionSource"), std::string::npos);
+  EXPECT_NE(text.find("(sink)"), std::string::npos);
+  EXPECT_NE(text.find("[note]"), std::string::npos);
+}
+
+TEST(PlanPrinterTest, DotContainsNodesAndEdges) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, OneRow());
+  auto* sink = plan.Add<CollectOp>({src});
+  plan.SetSink(sink);
+  const std::string dot = PlanPrinter::ToDot(plan);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(PlanPrinterTest, DotRendersLoopBodiesAsClusters) {
+  auto body = std::make_shared<Plan>();
+  auto* state = body->Add<LoopStateOp>({});
+  body->Add<LoopDataOp>({});
+  body->SetSink(state);
+
+  Plan plan;
+  auto* init = plan.Add<CollectionSourceOp>({}, OneRow());
+  auto* data = plan.Add<CollectionSourceOp>({}, OneRow());
+  auto* loop = plan.Add<RepeatOp>({init, data}, 3, body);
+  plan.SetSink(loop);
+  const std::string dot = PlanPrinter::ToDot(plan);
+  EXPECT_NE(dot.find("cluster"), std::string::npos);
+}
+
+TEST(OperatorTest, KindNamesIncludeVariants) {
+  KeyUdf key;
+  key.fn = [](const Record& r) { return r[0]; };
+  GroupUdf group;
+  group.fn = [](const Value&, const std::vector<Record>& rs) { return rs; };
+  GroupByKeyOp hash_gb(key, group, GroupByAlgorithm::kHash);
+  GroupByKeyOp sort_gb(key, group, GroupByAlgorithm::kSort);
+  EXPECT_EQ(hash_gb.kind_name(), "HashGroupBy");
+  EXPECT_EQ(sort_gb.kind_name(), "SortGroupBy");
+  JoinOp hj(key, key, JoinAlgorithm::kHash);
+  JoinOp smj(key, key, JoinAlgorithm::kSortMerge);
+  EXPECT_EQ(hj.kind_name(), "HashJoin");
+  EXPECT_EQ(smj.kind_name(), "SortMergeJoin");
+}
+
+}  // namespace
+}  // namespace rheem

@@ -1,0 +1,188 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/api/data_quanta.h"
+#include "core/operators/kernels.h"
+
+namespace rheem {
+namespace {
+
+Dataset Numbers(std::initializer_list<int> xs) {
+  std::vector<Record> records;
+  for (int x : xs) records.push_back(Record({Value(x)}));
+  return Dataset(std::move(records));
+}
+
+TEST(IntersectKernelTest, DistinctCommonRecords) {
+  auto out = kernels::Intersect(Numbers({1, 2, 2, 3, 4}), Numbers({2, 3, 3, 5}));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_EQ(out->at(0)[0], Value(2));  // first-seen order of left
+  EXPECT_EQ(out->at(1)[0], Value(3));
+}
+
+TEST(IntersectKernelTest, EmptySides) {
+  EXPECT_TRUE(kernels::Intersect(Numbers({1}), Dataset())->empty());
+  EXPECT_TRUE(kernels::Intersect(Dataset(), Numbers({1}))->empty());
+}
+
+TEST(SubtractKernelTest, RemovesRightRecords) {
+  auto out = kernels::Subtract(Numbers({1, 2, 2, 3, 4}), Numbers({2, 4, 9}));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_EQ(out->at(0)[0], Value(1));
+  EXPECT_EQ(out->at(1)[0], Value(3));
+}
+
+TEST(SubtractKernelTest, EmptyRightIsDistinctLeft) {
+  auto out = kernels::Subtract(Numbers({1, 1, 2}), Dataset());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+}
+
+// Property: A∩B == A - (A - B) under set semantics.
+TEST(SetOpsPropertyTest, IntersectEqualsDoubleSubtract) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Record> a, b;
+    for (int i = 0; i < 200; ++i) {
+      a.push_back(Record({Value(rng.NextInt(0, 30))}));
+      b.push_back(Record({Value(rng.NextInt(0, 30))}));
+    }
+    Dataset da(std::move(a)), db(std::move(b));
+    auto direct = kernels::Intersect(da, db).ValueOrDie();
+    auto via_subtract =
+        kernels::Subtract(da, kernels::Subtract(da, db).ValueOrDie())
+            .ValueOrDie();
+    std::multiset<std::string> x, y;
+    for (const Record& r : direct.records()) x.insert(r.ToString());
+    for (const Record& r : via_subtract.records()) y.insert(r.ToString());
+    EXPECT_EQ(x, y);
+  }
+}
+
+KeyUdf FirstField() {
+  KeyUdf key;
+  key.fn = [](const Record& r) { return r[0]; };
+  return key;
+}
+
+TEST(TopKKernelTest, SmallestKInOrder) {
+  auto out = kernels::TopK(FirstField(), 3, true, Numbers({5, 1, 4, 2, 8, 3}));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_EQ(out->at(0)[0], Value(1));
+  EXPECT_EQ(out->at(1)[0], Value(2));
+  EXPECT_EQ(out->at(2)[0], Value(3));
+}
+
+TEST(TopKKernelTest, LargestKDescending) {
+  auto out = kernels::TopK(FirstField(), 2, false, Numbers({5, 1, 4, 2, 8, 3}));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_EQ(out->at(0)[0], Value(8));
+  EXPECT_EQ(out->at(1)[0], Value(5));
+}
+
+TEST(TopKKernelTest, KLargerThanInputReturnsAllSorted) {
+  auto out = kernels::TopK(FirstField(), 100, true, Numbers({3, 1, 2}));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_EQ(out->at(0)[0], Value(1));
+  EXPECT_EQ(out->at(2)[0], Value(3));
+}
+
+TEST(TopKKernelTest, EdgeCases) {
+  EXPECT_TRUE(kernels::TopK(FirstField(), 0, true, Numbers({1}))->empty());
+  EXPECT_FALSE(kernels::TopK(FirstField(), -1, true, Numbers({1})).ok());
+  EXPECT_FALSE(kernels::TopK(KeyUdf{}, 1, true, Numbers({1})).ok());
+  EXPECT_TRUE(kernels::TopK(FirstField(), 5, true, Dataset())->empty());
+}
+
+TEST(TopKKernelTest, TiesResolveToEarlierInput) {
+  std::vector<Record> rows;
+  rows.push_back(Record({Value(1), Value("first")}));
+  rows.push_back(Record({Value(1), Value("second")}));
+  rows.push_back(Record({Value(0), Value("zero")}));
+  auto out = kernels::TopK(FirstField(), 2, true, Dataset(std::move(rows)));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_EQ(out->at(0)[1], Value("zero"));
+  EXPECT_EQ(out->at(1)[1], Value("first"));
+}
+
+// Property: TopK(k) == Sort + take(k) for random inputs.
+TEST(TopKKernelTest, PropertyMatchesSortPrefix) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Record> rows;
+    for (int i = 0; i < 300; ++i) {
+      rows.push_back(Record({Value(rng.NextInt(-1000, 1000)), Value(i)}));
+    }
+    Dataset data(std::move(rows));
+    const int64_t k = 1 + static_cast<int64_t>(rng.NextBounded(50));
+    auto topk = kernels::TopK(FirstField(), k, true, data).ValueOrDie();
+    auto sorted = kernels::SortByKey(FirstField(), data).ValueOrDie();
+    ASSERT_EQ(topk.size(), static_cast<std::size_t>(k));
+    for (std::size_t i = 0; i < topk.size(); ++i) {
+      EXPECT_EQ(topk.at(i)[0], sorted.at(i)[0]) << "position " << i;
+    }
+  }
+}
+
+class SetOpsApiTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override { ASSERT_TRUE(ctx_.RegisterDefaultPlatforms().ok()); }
+  RheemContext ctx_;
+};
+
+TEST_P(SetOpsApiTest, IntersectSubtractTopKEndToEnd) {
+  Rng rng(29);
+  std::vector<Record> a, b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(Record({Value(rng.NextInt(0, 60))}));
+    b.push_back(Record({Value(rng.NextInt(30, 90))}));
+  }
+  Dataset da(a), db(b);
+
+  RheemJob job(&ctx_);
+  job.options().force_platform = GetParam();
+  auto left = job.LoadCollection(da);
+  auto right = job.LoadCollection(db);
+  auto common = left.Intersect(right).Collect();
+  ASSERT_TRUE(common.ok()) << common.status().ToString();
+  auto expected_common = kernels::Intersect(da, db).ValueOrDie();
+  EXPECT_EQ(common->size(), expected_common.size());
+
+  RheemJob job2(&ctx_);
+  job2.options().force_platform = GetParam();
+  auto only_left = job2.LoadCollection(da)
+                       .Subtract(job2.LoadCollection(db))
+                       .Collect();
+  ASSERT_TRUE(only_left.ok()) << only_left.status().ToString();
+  auto expected_sub = kernels::Subtract(da, db).ValueOrDie();
+  EXPECT_EQ(only_left->size(), expected_sub.size());
+
+  RheemJob job3(&ctx_);
+  job3.options().force_platform = GetParam();
+  auto top = job3.LoadCollection(da)
+                 .TopK(5, [](const Record& r) { return r[0]; })
+                 .Collect();
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  auto expected_top = kernels::TopK(FirstField(), 5, true, da).ValueOrDie();
+  ASSERT_EQ(top->size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(top->at(i)[0], expected_top.at(i)[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Platforms, SetOpsApiTest,
+                         ::testing::Values("javasim", "sparksim", "relsim"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace rheem

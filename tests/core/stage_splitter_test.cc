@@ -1,0 +1,157 @@
+#include "core/optimizer/stage_splitter.h"
+
+#include <gtest/gtest.h>
+
+#include "core/operators/physical_ops.h"
+#include "platforms/javasim/javasim_platform.h"
+#include "platforms/sparksim/sparksim_platform.h"
+
+namespace rheem {
+namespace {
+
+Dataset Numbers(int n) {
+  std::vector<Record> records;
+  for (int i = 0; i < n; ++i) records.push_back(Record({Value(i)}));
+  return Dataset(std::move(records));
+}
+
+MapUdf Identity() {
+  MapUdf udf;
+  udf.fn = [](const Record& r) { return r; };
+  return udf;
+}
+
+class StageSplitterTest : public ::testing::Test {
+ protected:
+  StageSplitterTest() : java_(config_), spark_(config_) {}
+
+  PlatformAssignment Assign(const Plan& plan,
+                            const std::map<int, Platform*>& by_op) {
+    PlatformAssignment a;
+    a.by_op = by_op;
+    return a;
+  }
+
+  Config config_;
+  JavaSimPlatform java_;
+  SparkSimPlatform spark_;
+};
+
+TEST_F(StageSplitterTest, SinglePlatformYieldsOneStage) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, Numbers(5));
+  auto* m = plan.Add<MapOp>({src}, Identity());
+  auto* sink = plan.Add<CollectOp>({m});
+  plan.SetSink(sink);
+  auto eplan = StageSplitter::Split(
+      plan, Assign(plan, {{src->id(), &java_}, {m->id(), &java_},
+                          {sink->id(), &java_}}));
+  ASSERT_TRUE(eplan.ok());
+  ASSERT_EQ(eplan->stages.size(), 1u);
+  EXPECT_EQ(eplan->stages[0].ops().size(), 3u);
+  EXPECT_EQ(eplan->final_stage, 0);
+  ASSERT_EQ(eplan->stages[0].outputs().size(), 1u);
+  EXPECT_EQ(eplan->stages[0].outputs()[0], sink);
+  EXPECT_TRUE(eplan->stages[0].boundary_inputs().empty());
+}
+
+TEST_F(StageSplitterTest, PlatformChangeCreatesBoundary) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, Numbers(5));
+  auto* m1 = plan.Add<MapOp>({src}, Identity());
+  auto* m2 = plan.Add<MapOp>({m1}, Identity());
+  auto* sink = plan.Add<CollectOp>({m2});
+  plan.SetSink(sink);
+  auto eplan = StageSplitter::Split(
+      plan, Assign(plan, {{src->id(), &java_}, {m1->id(), &java_},
+                          {m2->id(), &spark_}, {sink->id(), &spark_}}));
+  ASSERT_TRUE(eplan.ok());
+  ASSERT_EQ(eplan->stages.size(), 2u);
+  const Stage& first = eplan->stages[0];
+  const Stage& second = eplan->stages[1];
+  EXPECT_EQ(first.platform(), &java_);
+  EXPECT_EQ(second.platform(), &spark_);
+  ASSERT_EQ(first.outputs().size(), 1u);
+  EXPECT_EQ(first.outputs()[0], m1);
+  ASSERT_EQ(second.boundary_inputs().size(), 1u);
+  EXPECT_EQ(second.boundary_inputs()[0], m1);
+  EXPECT_EQ(second.upstream_stages(), std::vector<int>{0});
+  EXPECT_EQ(eplan->final_stage, 1);
+}
+
+TEST_F(StageSplitterTest, DiamondAcrossPlatformsStaysAcyclic) {
+  // src(java) -> a(java) -> b(spark) -> join(java); join also reads a.
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, Numbers(5));
+  auto* a = plan.Add<MapOp>({src}, Identity());
+  auto* b = plan.Add<MapOp>({a}, Identity());
+  auto* u = plan.Add<UnionOp>({a, b});
+  auto* sink = plan.Add<CollectOp>({u});
+  plan.SetSink(sink);
+  auto eplan = StageSplitter::Split(
+      plan, Assign(plan, {{src->id(), &java_}, {a->id(), &java_},
+                          {b->id(), &spark_}, {u->id(), &java_},
+                          {sink->id(), &java_}}));
+  ASSERT_TRUE(eplan.ok()) << eplan.status().ToString();
+  // Schedule order must be valid: every stage's upstreams precede it.
+  for (const Stage& s : eplan->stages) {
+    for (int dep : s.upstream_stages()) {
+      EXPECT_LT(dep, s.id());
+    }
+  }
+  // 'a' feeds a boundary (to b's spark stage), so it must be an output of
+  // its stage even though 'u' consumes it in-platform.
+  bool a_is_output = false;
+  for (const Stage& s : eplan->stages) {
+    for (const Operator* out : s.outputs()) {
+      if (out == a) a_is_output = true;
+    }
+  }
+  EXPECT_TRUE(a_is_output);
+}
+
+TEST_F(StageSplitterTest, MissingAssignmentFails) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, Numbers(5));
+  auto* sink = plan.Add<CollectOp>({src});
+  plan.SetSink(sink);
+  auto eplan = StageSplitter::Split(plan,
+                                    Assign(plan, {{src->id(), &java_}}));
+  EXPECT_FALSE(eplan.ok());
+}
+
+TEST_F(StageSplitterTest, TwoIndependentSourcesMergeAtBinaryOp) {
+  Plan plan;
+  auto* a = plan.Add<CollectionSourceOp>({}, Numbers(3));
+  auto* b = plan.Add<CollectionSourceOp>({}, Numbers(3));
+  auto* u = plan.Add<UnionOp>({a, b});
+  auto* sink = plan.Add<CollectOp>({u});
+  plan.SetSink(sink);
+  auto eplan = StageSplitter::Split(
+      plan, Assign(plan, {{a->id(), &java_}, {b->id(), &java_},
+                          {u->id(), &java_}, {sink->id(), &java_}}));
+  ASSERT_TRUE(eplan.ok());
+  // All on one platform: a and b may or may not collapse into one group,
+  // but the stage graph must execute (no dangling boundaries).
+  std::size_t total_ops = 0;
+  for (const Stage& s : eplan->stages) total_ops += s.ops().size();
+  EXPECT_EQ(total_ops, 4u);
+}
+
+TEST_F(StageSplitterTest, ExplainMentionsStagesAndPlatforms) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, Numbers(5));
+  auto* sink = plan.Add<CollectOp>({src});
+  plan.SetSink(sink);
+  auto eplan = StageSplitter::Split(
+      plan, Assign(plan, {{src->id(), &java_}, {sink->id(), &java_}}));
+  ASSERT_TRUE(eplan.ok());
+  EstimateMap est = CardinalityEstimator::Estimate(plan).ValueOrDie();
+  const std::string text = eplan->Explain(est);
+  EXPECT_NE(text.find("stage 0 on javasim"), std::string::npos);
+  EXPECT_NE(text.find("[final]"), std::string::npos);
+  EXPECT_NE(text.find("~5 rec"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rheem

@@ -1,0 +1,103 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace rheem {
+namespace {
+
+Dataset Numbers(int n) {
+  std::vector<Record> records;
+  for (int i = 0; i < n; ++i) records.push_back(Record({Value(i)}));
+  return Dataset(std::move(records));
+}
+
+TEST(DatasetTest, AppendAllCopiesAndMoves) {
+  Dataset a = Numbers(3);
+  Dataset b = Numbers(2);
+  a.AppendAll(b);
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_EQ(b.size(), 2u);
+  Dataset c = Numbers(2);
+  a.AppendAll(std::move(c));
+  EXPECT_EQ(a.size(), 7u);
+}
+
+TEST(DatasetTest, MoveAppendIntoEmptyStealsVector) {
+  Dataset a;
+  Dataset b = Numbers(4);
+  a.AppendAll(std::move(b));
+  EXPECT_EQ(a.size(), 4u);
+}
+
+TEST(DatasetTest, SplitIntoBalancedChunks) {
+  Dataset d = Numbers(10);
+  auto parts = d.SplitInto(3);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].size(), 4u);
+  EXPECT_EQ(parts[1].size(), 3u);
+  EXPECT_EQ(parts[2].size(), 3u);
+  // Order preserved across the split.
+  EXPECT_EQ(parts[0].at(0)[0], Value(0));
+  EXPECT_EQ(parts[2].at(2)[0], Value(9));
+}
+
+TEST(DatasetTest, SplitIntoMorePartsThanRows) {
+  auto parts = Numbers(2).SplitInto(5);
+  ASSERT_EQ(parts.size(), 5u);
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(DatasetTest, SplitIntoZeroBecomesOne) {
+  auto parts = Numbers(3).SplitInto(0);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].size(), 3u);
+}
+
+TEST(DatasetTest, SplitPreservesSchema) {
+  Dataset d(std::vector<Record>{Record({Value(1)})},
+            Schema::Of({Field{"x", ValueType::kInt64}}));
+  auto parts = d.SplitInto(2);
+  EXPECT_TRUE(parts[0].has_schema());
+  EXPECT_EQ(parts[0].schema().field(0).name, "x");
+}
+
+TEST(DatasetTest, SortIsStable) {
+  std::vector<Record> records;
+  records.push_back(Record({Value(1), Value("first")}));
+  records.push_back(Record({Value(0), Value("a")}));
+  records.push_back(Record({Value(1), Value("second")}));
+  Dataset d(std::move(records));
+  d.Sort([](const Record& a, const Record& b) {
+    return a[0].Compare(b[0]) < 0;
+  });
+  EXPECT_EQ(d.at(0)[1], Value("a"));
+  EXPECT_EQ(d.at(1)[1], Value("first"));
+  EXPECT_EQ(d.at(2)[1], Value("second"));
+}
+
+TEST(DatasetTest, ValidateUsesSchema) {
+  Dataset d(std::vector<Record>{Record({Value("not an int")})},
+            Schema::Of({Field{"x", ValueType::kInt64}}));
+  EXPECT_FALSE(d.Validate().ok());
+  Dataset ok(std::vector<Record>{Record({Value(1)})},
+             Schema::Of({Field{"x", ValueType::kInt64}}));
+  EXPECT_TRUE(ok.Validate().ok());
+  // No schema: vacuously valid.
+  EXPECT_TRUE(Numbers(3).Validate().ok());
+}
+
+TEST(DatasetTest, EstimatedBytesAccumulates) {
+  EXPECT_EQ(Dataset().EstimatedBytes(), 0);
+  EXPECT_GT(Numbers(10).EstimatedBytes(), Numbers(1).EstimatedBytes());
+}
+
+TEST(DatasetTest, ToStringTruncates) {
+  const std::string s = Numbers(20).ToString(3);
+  EXPECT_NE(s.find("20 rows"), std::string::npos);
+  EXPECT_NE(s.find("17 more"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rheem

@@ -1,0 +1,82 @@
+#include "data/record.h"
+
+#include <gtest/gtest.h>
+
+namespace rheem {
+namespace {
+
+TEST(RecordTest, ConstructionAndAccess) {
+  Record r({Value(1), Value("a")});
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], Value(1));
+  EXPECT_EQ(r.at(1), Value("a"));
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(Record().empty());
+}
+
+TEST(RecordTest, AppendGrows) {
+  Record r;
+  r.Append(Value(1));
+  r.Append(Value(2));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[1], Value(2));
+}
+
+TEST(RecordTest, ConcatOrdersLeftThenRight) {
+  Record l({Value(1), Value(2)});
+  Record r({Value("x")});
+  Record c = Record::Concat(l, r);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], Value(1));
+  EXPECT_EQ(c[2], Value("x"));
+}
+
+TEST(RecordTest, ConcatWithEmpty) {
+  Record l({Value(1)});
+  EXPECT_EQ(Record::Concat(l, Record()), l);
+  EXPECT_EQ(Record::Concat(Record(), l), l);
+}
+
+TEST(RecordTest, ProjectReordersAndDuplicates) {
+  Record r({Value("a"), Value("b"), Value("c")});
+  Record p = r.Project({2, 0, 2});
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0], Value("c"));
+  EXPECT_EQ(p[1], Value("a"));
+  EXPECT_EQ(p[2], Value("c"));
+}
+
+TEST(RecordTest, LexicographicCompare) {
+  EXPECT_LT(Record({Value(1), Value(2)}), Record({Value(1), Value(3)}));
+  EXPECT_LT(Record({Value(1)}), Record({Value(1), Value(0)}));
+  EXPECT_EQ(Record({Value(1)}).Compare(Record({Value(1)})), 0);
+  EXPECT_LT(Record(), Record({Value()}));
+}
+
+TEST(RecordTest, EqualityAndHash) {
+  Record a({Value(1), Value("x")});
+  Record b({Value(1), Value("x")});
+  Record c({Value(1), Value("y")});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(RecordTest, NumericEqualityAcrossIntDouble) {
+  EXPECT_EQ(Record({Value(2)}), Record({Value(2.0)}));
+  EXPECT_EQ(Record({Value(2)}).Hash(), Record({Value(2.0)}).Hash());
+}
+
+TEST(RecordTest, ToStringRendering) {
+  EXPECT_EQ(Record({Value(1), Value("a")}).ToString(), "(1, a)");
+  EXPECT_EQ(Record().ToString(), "()");
+}
+
+TEST(RecordTest, EstimatedSizeGrowsWithFields) {
+  Record small({Value(1)});
+  Record big({Value(1), Value(std::string(200, 'x'))});
+  EXPECT_LT(small.EstimatedSize(), big.EstimatedSize());
+}
+
+}  // namespace
+}  // namespace rheem

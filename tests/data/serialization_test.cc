@@ -1,0 +1,132 @@
+#include "data/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rheem {
+namespace {
+
+Record MixedRecord() {
+  return Record({Value(), Value(true), Value(int64_t{-42}), Value(3.25),
+                 Value("hello \n world"), Value(std::vector<double>{1.5, -2.5})});
+}
+
+TEST(SerializationTest, RecordRoundTrip) {
+  std::string buf;
+  Serializer::EncodeRecord(MixedRecord(), &buf);
+  std::size_t offset = 0;
+  auto decoded = Serializer::DecodeRecord(buf, &offset);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, MixedRecord());
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(SerializationTest, EncodedSizeMatchesActual) {
+  std::string buf;
+  Serializer::EncodeRecord(MixedRecord(), &buf);
+  EXPECT_EQ(static_cast<int64_t>(buf.size()),
+            Serializer::EncodedSize(MixedRecord()));
+}
+
+TEST(SerializationTest, DatasetRoundTrip) {
+  std::vector<Record> records;
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    records.push_back(Record({Value(rng.NextInt(-100, 100)),
+                              Value(rng.NextDouble()),
+                              Value("s" + std::to_string(i))}));
+  }
+  Dataset original(std::move(records));
+  const std::string wire = Serializer::EncodeDataset(original);
+  EXPECT_EQ(static_cast<int64_t>(wire.size()),
+            Serializer::EncodedSize(original));
+  auto decoded = Serializer::DecodeDataset(wire);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(decoded->at(i), original.at(i));
+  }
+}
+
+TEST(SerializationTest, EmptyDatasetRoundTrip) {
+  auto decoded = Serializer::DecodeDataset(Serializer::EncodeDataset(Dataset()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(SerializationTest, EmptyRecordRoundTrip) {
+  std::string buf;
+  Serializer::EncodeRecord(Record(), &buf);
+  std::size_t offset = 0;
+  auto decoded = Serializer::DecodeRecord(buf, &offset);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(SerializationTest, TruncatedBufferIsIoError) {
+  std::string buf;
+  Serializer::EncodeRecord(MixedRecord(), &buf);
+  for (std::size_t cut : {std::size_t{0}, std::size_t{2}, buf.size() / 2,
+                          buf.size() - 1}) {
+    std::size_t offset = 0;
+    auto r = Serializer::DecodeRecord(buf.substr(0, cut), &offset);
+    EXPECT_TRUE(r.status().IsIoError()) << "cut at " << cut;
+  }
+}
+
+TEST(SerializationTest, GarbageTypeTagIsIoError) {
+  std::string buf;
+  Serializer::EncodeRecord(Record({Value(1)}), &buf);
+  buf[4] = '\x7f';  // corrupt the first field's tag
+  std::size_t offset = 0;
+  EXPECT_TRUE(Serializer::DecodeRecord(buf, &offset).status().IsIoError());
+}
+
+TEST(SerializationTest, ConsecutiveRecordsShareBuffer) {
+  std::string buf;
+  Serializer::EncodeRecord(Record({Value(1)}), &buf);
+  Serializer::EncodeRecord(Record({Value("two")}), &buf);
+  std::size_t offset = 0;
+  auto first = Serializer::DecodeRecord(buf, &offset);
+  auto second = Serializer::DecodeRecord(buf, &offset);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*first)[0], Value(1));
+  EXPECT_EQ((*second)[0], Value("two"));
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(SerializationTest, PropertyRandomRecordsRoundTrip) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Value> fields;
+    const int n = static_cast<int>(rng.NextBounded(6));
+    for (int f = 0; f < n; ++f) {
+      switch (rng.NextBounded(6)) {
+        case 0: fields.emplace_back(); break;
+        case 1: fields.emplace_back(rng.NextBool()); break;
+        case 2: fields.emplace_back(rng.NextInt(-1000, 1000)); break;
+        case 3: fields.emplace_back(rng.NextGaussian()); break;
+        case 4:
+          fields.emplace_back(std::string(rng.NextBounded(20), 'x'));
+          break;
+        default: {
+          std::vector<double> xs(rng.NextBounded(5));
+          for (auto& x : xs) x = rng.NextDouble();
+          fields.emplace_back(std::move(xs));
+        }
+      }
+    }
+    Record original(std::move(fields));
+    std::string buf;
+    Serializer::EncodeRecord(original, &buf);
+    std::size_t offset = 0;
+    auto decoded = Serializer::DecodeRecord(buf, &offset);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, original);
+  }
+}
+
+}  // namespace
+}  // namespace rheem

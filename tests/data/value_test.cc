@@ -1,0 +1,112 @@
+#include "data/value.h"
+
+#include <gtest/gtest.h>
+
+namespace rheem {
+namespace {
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_EQ(Value(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value(int64_t{1}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(1).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(1.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("s").type(), ValueType::kString);
+  EXPECT_EQ(Value(std::vector<double>{1.0}).type(), ValueType::kDoubleList);
+}
+
+TEST(ValueTest, CheckedAccessorsMatchType) {
+  EXPECT_EQ(Value(true).AsBool().ValueOrDie(), true);
+  EXPECT_EQ(Value(42).AsInt64().ValueOrDie(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble().ValueOrDie(), 2.5);
+  EXPECT_EQ(Value("hi").AsString().ValueOrDie(), "hi");
+  EXPECT_EQ(Value(std::vector<double>{1, 2}).AsDoubleList().ValueOrDie(),
+            (std::vector<double>{1, 2}));
+}
+
+TEST(ValueTest, CheckedAccessorsRejectWrongType) {
+  EXPECT_FALSE(Value(1).AsBool().ok());
+  EXPECT_FALSE(Value("x").AsInt64().ok());
+  EXPECT_FALSE(Value("x").AsDouble().ok());
+  EXPECT_FALSE(Value(1).AsString().ok());
+  EXPECT_FALSE(Value(1.0).AsDoubleList().ok());
+}
+
+TEST(ValueTest, AsDoubleWidensInt) {
+  EXPECT_DOUBLE_EQ(Value(3).AsDouble().ValueOrDie(), 3.0);
+}
+
+TEST(ValueTest, ToDoubleOrFallbacks) {
+  EXPECT_DOUBLE_EQ(Value(2).ToDoubleOr(-1), 2.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).ToDoubleOr(-1), 2.5);
+  EXPECT_DOUBLE_EQ(Value(true).ToDoubleOr(-1), 1.0);
+  EXPECT_DOUBLE_EQ(Value("x").ToDoubleOr(-1), -1.0);
+  EXPECT_DOUBLE_EQ(Value().ToDoubleOr(-1), -1.0);
+}
+
+TEST(ValueTest, ToInt64OrFallbacks) {
+  EXPECT_EQ(Value(7).ToInt64Or(-1), 7);
+  EXPECT_EQ(Value(7.9).ToInt64Or(-1), 7);
+  EXPECT_EQ(Value("x").ToInt64Or(-1), -1);
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value(2), Value(2.0));
+  EXPECT_NE(Value(2), Value(2.5));
+  EXPECT_EQ(Value(2).Hash(), Value(2.0).Hash());
+}
+
+TEST(ValueTest, TotalOrderAcrossTypes) {
+  // null < bool < numeric < string < list
+  EXPECT_LT(Value(), Value(false));
+  EXPECT_LT(Value(true), Value(0));
+  EXPECT_LT(Value(999), Value("a"));
+  EXPECT_LT(Value("z"), Value(std::vector<double>{}));
+}
+
+TEST(ValueTest, OrderingWithinTypes) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value(-1.5), Value(1));
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_LT(Value(false), Value(true));
+  EXPECT_LT(Value(std::vector<double>{1, 2}), Value(std::vector<double>{1, 3}));
+  EXPECT_LT(Value(std::vector<double>{1}), Value(std::vector<double>{1, 0}));
+}
+
+TEST(ValueTest, NullEqualsOnlyNull) {
+  EXPECT_EQ(Value(), Value::Null());
+  EXPECT_NE(Value(), Value(0));
+  EXPECT_NE(Value(), Value(""));
+}
+
+TEST(ValueTest, CompareIsAntisymmetric) {
+  const Value values[] = {Value(),       Value(true),  Value(-3),
+                          Value(2.5),    Value("txt"), Value(std::vector<double>{1})};
+  for (const Value& a : values) {
+    for (const Value& b : values) {
+      EXPECT_EQ(a.Compare(b), -b.Compare(a));
+    }
+  }
+}
+
+TEST(ValueTest, HashEqualValuesCollide) {
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+  EXPECT_EQ(Value(std::vector<double>{1, 2}).Hash(),
+            Value(std::vector<double>{1, 2}).Hash());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+  EXPECT_EQ(Value(std::vector<double>{1, 2}).ToString(), "[1,2]");
+}
+
+TEST(ValueTest, EstimatedSizeScalesWithPayload) {
+  EXPECT_LT(Value(1).EstimatedSize(), Value(std::string(100, 'x')).EstimatedSize());
+  EXPECT_EQ(Value(std::vector<double>(10)).EstimatedSize(), 88);
+}
+
+}  // namespace
+}  // namespace rheem

@@ -1,0 +1,175 @@
+// End-to-end integration across the storage layer, the cleaning application,
+// the ML application and the multi-platform optimizer — the paper's §1
+// pipeline compressed into one test: dirty data arrives, is placed by the
+// storage optimizer, cleaned by BigDansing, and fed to ML, with every layer
+// touching the others through public APIs only.
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "apps/cleaning/data_gen.h"
+#include "apps/cleaning/plan_builder.h"
+#include "apps/cleaning/repair.h"
+#include "apps/ml/regression.h"
+#include "core/api/data_quanta.h"
+#include "storage/csv_store.h"
+#include "storage/hot_buffer.h"
+#include "storage/kv_store.h"
+#include "storage/mem_column_store.h"
+#include "storage/storage_optimizer.h"
+
+namespace rheem {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/rheem_integration_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+    ASSERT_TRUE(ctx_.RegisterDefaultPlatforms().ok());
+    ASSERT_TRUE(storage_.RegisterBackend(
+                            std::make_unique<storage::MemColumnStore>())
+                    .ok());
+    ASSERT_TRUE(storage_.RegisterBackend(
+                            std::make_unique<storage::CsvStore>(dir_))
+                    .ok());
+    ASSERT_TRUE(
+        storage_.RegisterBackend(std::make_unique<storage::KvStore>(0)).ok());
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string dir_;
+  RheemContext ctx_;
+  storage::StorageManager storage_;
+};
+
+TEST_F(IntegrationTest, StoreCleanAnalyzePipeline) {
+  // 1. Dirty data arrives and the storage optimizer places it (persistent:
+  //    raw regulatory data must survive restarts -> CSV backend).
+  cleaning::TaxTableOptions gen;
+  gen.rows = 800;
+  gen.seed = 31;
+  gen.fd_noise_rate = 0.04;
+  Dataset dirty = cleaning::GenerateTaxTable(gen);
+  storage::StorageOptimizer storage_optimizer(&storage_);
+  storage::AccessProfile profile;
+  profile.requires_persistence = true;
+  profile.scan_frequency = 5.0;
+  ASSERT_TRUE(storage_optimizer.Store("tax_raw", dirty, profile).ok());
+  EXPECT_EQ(storage_.Locate("tax_raw").ValueOrDie()->name(), "csv-files");
+
+  // 2. Analytics re-read it through the hot buffer (one parse).
+  storage::HotDataBuffer hot(&storage_, 1LL << 30);
+  Dataset working = hot.Load("tax_raw").ValueOrDie();
+  (void)hot.Load("tax_raw").ValueOrDie();
+  EXPECT_EQ(hot.misses(), 1);
+  EXPECT_EQ(hot.hits(), 1);
+  ASSERT_EQ(working.size(), dirty.size());
+
+  // 3. BigDansing detects and repairs the FD violations.
+  cleaning::FdRule rule = cleaning::ZipCityRule();
+  auto report = cleaning::DetectViolations(&ctx_, working, rule, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_GT(report->violations.size(), 0u);
+  auto fixes = cleaning::GenerateFdFixes(working, rule, report->violations);
+  ASSERT_TRUE(fixes.ok());
+  Dataset repaired = cleaning::ApplyFixes(working, *fixes).ValueOrDie();
+  auto after = cleaning::DetectViolations(&ctx_, repaired, rule, {});
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->violations.empty());
+
+  // 4. The cleaned table is re-stored for column-subset analytics (columnar)
+  //    and a model trains on features derived from it.
+  storage::AccessProfile analytic_profile;
+  analytic_profile.scan_frequency = 20.0;
+  analytic_profile.column_subset_access = true;
+  analytic_profile.hot_columns = {3, 4};
+  ASSERT_TRUE(
+      storage_optimizer.Store("tax_clean", repaired, analytic_profile).ok());
+  EXPECT_EQ(storage_.Locate("tax_clean").ValueOrDie()->name(), "mem-column");
+  Dataset features =
+      storage_.Locate("tax_clean").ValueOrDie()
+          ->GetColumns("tax_clean", {3, 4})
+          .ValueOrDie();
+
+  // salary (col 0 of the projection) predicts tax (col 1): tax = 0.2*salary
+  // after repair kept the clean rows intact.
+  std::vector<Record> training;
+  for (const Record& r : features.records()) {
+    training.push_back(
+        Record({Value(r[1].ToDoubleOr(0) / 1e4),
+                Value(std::vector<double>{r[0].ToDoubleOr(0) / 1e5})}));
+  }
+  ml::RegressionOptions options;
+  options.iterations = 150;
+  options.learning_rate = 0.5;
+  auto model =
+      ml::TrainLinearRegression(&ctx_, Dataset(std::move(training)), options);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  // Slope recovers the 0.2 tax rate (scaled: y/1e4 = 2 * x/1e5).
+  ASSERT_EQ(model->model.weights.size(), 1u);
+  EXPECT_NEAR(model->model.weights[0], 2.0, 0.3);
+}
+
+TEST_F(IntegrationTest, MultiPlatformPlanWithDeclaredAndBuiltInPlatforms) {
+  // A single job whose optimizer may pick among all three built-in
+  // platforms; verify the result is platform-agnostic by comparing against
+  // the forced-javasim run.
+  std::vector<Record> rows;
+  for (int i = 0; i < 3000; ++i) {
+    rows.push_back(Record({Value(i % 12), Value(i)}));
+  }
+  Dataset data(rows);
+  auto build = [&](RheemJob* job) {
+    return job->LoadCollection(data)
+        .Filter([](const Record& r) { return r[1].ToInt64Or(0) % 3 == 0; },
+                UdfMeta::Selective(0.33))
+        .ReduceByKey([](const Record& r) { return r[0]; },
+                     [](const Record& a, const Record& b) {
+                       return Record({a[0], Value(a[1].ToInt64Or(0) +
+                                                  b[1].ToInt64Or(0))});
+                     })
+        .TopK(3, [](const Record& r) { return r[1]; }, /*ascending=*/false);
+  };
+  RheemJob free_choice(&ctx_);
+  RheemJob forced(&ctx_);
+  forced.options().force_platform = "javasim";
+  auto a = build(&free_choice).Collect();
+  auto b = build(&forced).Collect();
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_EQ(a->size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(a->at(i), b->at(i));
+  }
+}
+
+TEST_F(IntegrationTest, MonitoredRunFeedsCostCalibration) {
+  // Execute a job with a monitor, then verify its records are usable as
+  // calibration inputs (the §4.2 feedback loop wiring).
+  RheemJob job(&ctx_);
+  ExecutionMonitor monitor;
+  job.options().monitor = &monitor;
+  std::vector<Record> rows;
+  for (int i = 0; i < 1000; ++i) rows.push_back(Record({Value(i)}));
+  auto out = job.LoadCollection(Dataset(std::move(rows)))
+                 .Map([](const Record& r) {
+                   return Record({Value(r[0].ToInt64Or(0) * 2)});
+                 })
+                 .Collect();
+  ASSERT_TRUE(out.ok());
+  ASSERT_FALSE(monitor.records().empty());
+  for (const auto& record : monitor.records()) {
+    EXPECT_TRUE(record.succeeded);
+    EXPECT_FALSE(record.platform.empty());
+  }
+}
+
+}  // namespace
+}  // namespace rheem

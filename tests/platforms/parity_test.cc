@@ -1,0 +1,178 @@
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/api/data_quanta.h"
+
+namespace rheem {
+namespace {
+
+/// Cross-platform parity: the same physical pipeline must produce the same
+/// bag of records regardless of the platform the optimizer (or a forced
+/// choice) lands it on. This is the correctness backbone of platform
+/// independence — the property the whole paper leans on.
+class ParityTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(ctx_.RegisterDefaultPlatforms().ok());
+  }
+
+  static std::multiset<std::string> AsMultiset(const Dataset& d) {
+    std::multiset<std::string> out;
+    for (const Record& r : d.records()) out.insert(r.ToString());
+    return out;
+  }
+
+  static Dataset RandomPairs(int n, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Record> rows;
+    for (int i = 0; i < n; ++i) {
+      rows.push_back(Record({Value(rng.NextInt(0, 20)),
+                             Value(rng.NextInt(-50, 50))}));
+    }
+    return Dataset(std::move(rows));
+  }
+
+  /// Reference result computed single-threaded on javasim.
+  Dataset Reference(const std::function<DataQuanta(RheemJob*)>& build) {
+    RheemJob job(&ctx_);
+    job.options().force_platform = "javasim";
+    auto out = build(&job).Collect();
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    return out.ValueOr(Dataset());
+  }
+
+  void ExpectParity(const std::function<DataQuanta(RheemJob*)>& build) {
+    Dataset expected = Reference(build);
+    RheemJob job(&ctx_);
+    job.options().force_platform = GetParam();
+    auto got = build(&job).Collect();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(AsMultiset(*got), AsMultiset(expected));
+  }
+
+  RheemContext ctx_;
+};
+
+TEST_P(ParityTest, MapFilterFlatMap) {
+  ExpectParity([](RheemJob* job) {
+    return job->LoadCollection(RandomPairs(500, 1))
+        .Map([](const Record& r) {
+          return Record({r[0], Value(r[1].ToInt64Or(0) * 3)});
+        })
+        .Filter([](const Record& r) { return r[1].ToInt64Or(0) > 0; })
+        .FlatMap([](const Record& r) {
+          return std::vector<Record>{r, Record({r[0]})};
+        });
+  });
+}
+
+TEST_P(ParityTest, ReduceByKeySum) {
+  ExpectParity([](RheemJob* job) {
+    return job->LoadCollection(RandomPairs(800, 2))
+        .ReduceByKey([](const Record& r) { return r[0]; },
+                     [](const Record& a, const Record& b) {
+                       return Record({a[0], Value(a[1].ToInt64Or(0) +
+                                                  b[1].ToInt64Or(0))});
+                     });
+  });
+}
+
+TEST_P(ParityTest, GroupByCounts) {
+  ExpectParity([](RheemJob* job) {
+    return job->LoadCollection(RandomPairs(400, 3))
+        .GroupByKey([](const Record& r) { return r[0]; },
+                    [](const Value& key, const std::vector<Record>& members) {
+                      return std::vector<Record>{Record(
+                          {key, Value(static_cast<int64_t>(members.size()))})};
+                    });
+  });
+}
+
+TEST_P(ParityTest, DistinctAndSort) {
+  ExpectParity([](RheemJob* job) {
+    return job->LoadCollection(RandomPairs(600, 4))
+        .Project({0})
+        .Distinct()
+        .Sort([](const Record& r) { return r[0]; });
+  });
+}
+
+TEST_P(ParityTest, JoinOnKey) {
+  ExpectParity([](RheemJob* job) {
+    auto left = job->LoadCollection(RandomPairs(200, 5));
+    auto right = job->LoadCollection(RandomPairs(150, 6));
+    return left.Join(right, [](const Record& r) { return r[0]; },
+                     [](const Record& r) { return r[0]; });
+  });
+}
+
+TEST_P(ParityTest, IterativeLoop) {
+  ExpectParity([](RheemJob* job) {
+    auto state = job->LoadCollection(
+        Dataset(std::vector<Record>{Record({Value(int64_t{0})})}));
+    auto data = job->LoadCollection(RandomPairs(100, 7));
+    return state.Repeat(5, data, [](DataQuanta st, DataQuanta dt) {
+      auto sum = dt.GlobalReduce([](const Record& a, const Record& b) {
+        return Record({a[0], Value(a[1].ToInt64Or(0) + b[1].ToInt64Or(0))});
+      });
+      return st.BroadcastMap(sum, [](const Record& s, const Dataset& agg) {
+        const int64_t add = agg.empty() ? 0 : agg.at(0)[1].ToInt64Or(0);
+        return Record({Value(s[0].ToInt64Or(0) + add)});
+      });
+    });
+  });
+}
+
+TEST_P(ParityTest, CountAndGlobalReduce) {
+  ExpectParity([](RheemJob* job) {
+    return job->LoadCollection(RandomPairs(321, 8)).Count();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Platforms, ParityTest,
+                         ::testing::Values("javasim", "sparksim"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+/// relsim only supports the relational subset; give it its own parity checks.
+class RelationalParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(ctx_.RegisterDefaultPlatforms().ok()); }
+  RheemContext ctx_;
+};
+
+TEST_F(RelationalParityTest, RelsimMatchesJavasimOnAggregation) {
+  auto build = [](RheemJob* job) {
+    Rng rng(11);
+    std::vector<Record> rows;
+    for (int i = 0; i < 300; ++i) {
+      rows.push_back(Record({Value(rng.NextInt(0, 9)), Value(rng.NextInt(0, 99))}));
+    }
+    return job->LoadCollection(Dataset(std::move(rows)))
+        .Filter([](const Record& r) { return r[1].ToInt64Or(0) >= 50; })
+        .ReduceByKey([](const Record& r) { return r[0]; },
+                     [](const Record& a, const Record& b) {
+                       return Record({a[0], Value(a[1].ToInt64Or(0) +
+                                                  b[1].ToInt64Or(0))});
+                     });
+  };
+  RheemJob j1(&ctx_);
+  j1.options().force_platform = "javasim";
+  RheemJob j2(&ctx_);
+  j2.options().force_platform = "relsim";
+  auto a = build(&j1).Collect();
+  auto b = build(&j2).Collect();
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  std::multiset<std::string> ma, mb;
+  for (const Record& r : a->records()) ma.insert(r.ToString());
+  for (const Record& r : b->records()) mb.insert(r.ToString());
+  EXPECT_EQ(ma, mb);
+}
+
+}  // namespace
+}  // namespace rheem

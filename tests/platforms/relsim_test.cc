@@ -1,0 +1,245 @@
+#include "platforms/relsim/relsim_platform.h"
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer/stage_splitter.h"
+#include "platforms/relsim/catalog.h"
+#include "platforms/relsim/expression.h"
+#include "platforms/relsim/rel_exec.h"
+#include "platforms/relsim/relsim_operators.h"
+#include "platforms/relsim/table.h"
+
+namespace rheem {
+namespace relsim {
+namespace {
+
+Table EmployeeTable() {
+  Table t(Schema::Of({Field{"id", ValueType::kInt64},
+                      Field{"dept", ValueType::kString},
+                      Field{"salary", ValueType::kDouble}}));
+  EXPECT_TRUE(t.AppendRow(Record({Value(1), Value("eng"), Value(100.0)})).ok());
+  EXPECT_TRUE(t.AppendRow(Record({Value(2), Value("eng"), Value(120.0)})).ok());
+  EXPECT_TRUE(t.AppendRow(Record({Value(3), Value("ops"), Value(90.0)})).ok());
+  EXPECT_TRUE(t.AppendRow(Record({Value(4), Value("ops"), Value(80.0)})).ok());
+  return t;
+}
+
+TEST(TableTest, ColumnarRoundTrip) {
+  Table t = EmployeeTable();
+  EXPECT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(t.at(1, 2), Value(120.0));
+  Dataset d = t.ToDataset();
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_TRUE(d.has_schema());
+  auto back = Table::FromDataset(d);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 4u);
+  EXPECT_EQ(back->schema().field(1).name, "dept");
+}
+
+TEST(TableTest, SchemaInferredWithoutExplicitOne) {
+  Dataset d(std::vector<Record>{Record({Value(1), Value("x")})});
+  auto t = Table::FromDataset(d);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().field(0).type, ValueType::kInt64);
+  EXPECT_EQ(t->schema().field(1).type, ValueType::kString);
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Table t(Schema::Of({Field{"a", ValueType::kInt64}}));
+  EXPECT_FALSE(t.AppendRow(Record({Value(1), Value(2)})).ok());
+}
+
+TEST(ExpressionTest, ColumnLiteralComparison) {
+  Table t = EmployeeTable();
+  auto e = expr::Cmp(RelCompare::kGt, expr::Col("salary"), expr::Lit(Value(95.0)));
+  EXPECT_TRUE(EvalPredicate(e, t, 0).ValueOrDie());   // 100 > 95
+  EXPECT_FALSE(EvalPredicate(e, t, 3).ValueOrDie());  // 80 > 95
+}
+
+TEST(ExpressionTest, ArithmeticAndLogic) {
+  Table t = EmployeeTable();
+  // salary * 2 >= 200 AND dept = "eng"
+  auto e = expr::And(
+      expr::Cmp(RelCompare::kGe,
+                expr::Arith(RelArith::kMul, expr::Col(2), expr::Lit(Value(2.0))),
+                expr::Lit(Value(200.0))),
+      expr::Cmp(RelCompare::kEq, expr::Col(1), expr::Lit(Value("eng"))));
+  EXPECT_TRUE(EvalPredicate(e, t, 0).ValueOrDie());
+  EXPECT_FALSE(EvalPredicate(e, t, 2).ValueOrDie());
+}
+
+TEST(ExpressionTest, NotAndOr) {
+  Table t = EmployeeTable();
+  auto is_eng = expr::Cmp(RelCompare::kEq, expr::Col(1), expr::Lit(Value("eng")));
+  auto not_eng = expr::Not(is_eng);
+  EXPECT_FALSE(EvalPredicate(not_eng, t, 0).ValueOrDie());
+  EXPECT_TRUE(EvalPredicate(not_eng, t, 2).ValueOrDie());
+  auto anything = expr::Or(is_eng, not_eng);
+  EXPECT_TRUE(EvalPredicate(anything, t, 1).ValueOrDie());
+}
+
+TEST(ExpressionTest, NullComparisonIsFalsy) {
+  Table t(Schema::Of({Field{"x", ValueType::kInt64}}));
+  ASSERT_TRUE(t.AppendRow(Record({Value()})).ok());
+  auto e = expr::Cmp(RelCompare::kEq, expr::Col(0), expr::Lit(Value(1)));
+  EXPECT_FALSE(EvalPredicate(e, t, 0).ValueOrDie());
+}
+
+TEST(ExpressionTest, DivisionByZeroFails) {
+  Table t = EmployeeTable();
+  auto e = expr::Arith(RelArith::kDiv, expr::Col(2), expr::Lit(Value(0.0)));
+  EXPECT_FALSE(e->Eval(t, 0).ok());
+}
+
+TEST(ExpressionTest, UnknownColumnNameFails) {
+  Table t = EmployeeTable();
+  auto e = expr::Col("nope");
+  EXPECT_TRUE(e->Eval(t, 0).status().IsNotFound());
+}
+
+TEST(RelExecTest, FilterTable) {
+  Table t = EmployeeTable();
+  auto out = FilterTable(
+      t, expr::Cmp(RelCompare::kEq, expr::Col("dept"), expr::Lit(Value("eng"))));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 2u);
+}
+
+TEST(RelExecTest, ProjectTableKeepsNames) {
+  auto out = ProjectTable(EmployeeTable(), {2, 0});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->schema().field(0).name, "salary");
+  EXPECT_EQ(out->at(0, 1), Value(1));
+}
+
+TEST(RelExecTest, ProjectExprsComputes) {
+  auto out = ProjectExprs(
+      EmployeeTable(),
+      {{"double_salary",
+        expr::Arith(RelArith::kMul, expr::Col("salary"), expr::Lit(Value(2.0)))}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->at(1, 0), Value(240.0));
+}
+
+TEST(RelExecTest, HashAggregateGrouped) {
+  auto out = HashAggregate(EmployeeTable(), {1},
+                           {AggSpec{AggKind::kCount, 0, "n"},
+                            AggSpec{AggKind::kSum, 2, "total"},
+                            AggSpec{AggKind::kAvg, 2, "avg"},
+                            AggSpec{AggKind::kMax, 2, "top"}});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 2u);  // eng, ops (sorted by group key)
+  EXPECT_EQ(out->at(0, 0), Value("eng"));
+  EXPECT_EQ(out->at(0, 1), Value(int64_t{2}));
+  EXPECT_EQ(out->at(0, 2), Value(220.0));
+  EXPECT_EQ(out->at(0, 3), Value(110.0));
+  EXPECT_EQ(out->at(0, 4), Value(120.0));
+}
+
+TEST(RelExecTest, HashAggregateGlobal) {
+  auto out = HashAggregate(EmployeeTable(), {},
+                           {AggSpec{AggKind::kCount, 0, "n"},
+                            AggSpec{AggKind::kMin, 2, "lowest"}});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->at(0, 0), Value(int64_t{4}));
+  EXPECT_EQ(out->at(0, 1), Value(80.0));
+}
+
+TEST(RelExecTest, HashJoinTables) {
+  Table depts(Schema::Of({Field{"dept", ValueType::kString},
+                          Field{"floor", ValueType::kInt64}}));
+  ASSERT_TRUE(depts.AppendRow(Record({Value("eng"), Value(3)})).ok());
+  ASSERT_TRUE(depts.AppendRow(Record({Value("hr"), Value(1)})).ok());
+  auto out = HashJoinTables(EmployeeTable(), 1, depts, 0);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 2u);  // two eng employees
+  EXPECT_EQ(out->schema().num_fields(), 5u);
+}
+
+TEST(RelExecTest, OrderByDescending) {
+  auto out = OrderBy(EmployeeTable(), 2, /*ascending=*/false);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->at(0, 2), Value(120.0));
+  EXPECT_EQ(out->at(3, 2), Value(80.0));
+}
+
+TEST(RelExecTest, DistinctTable) {
+  Table t(Schema::Of({Field{"x", ValueType::kInt64}}));
+  for (int v : {1, 2, 1, 3, 2}) {
+    ASSERT_TRUE(t.AppendRow(Record({Value(v)})).ok());
+  }
+  auto out = DistinctTable(t);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 3u);
+}
+
+TEST(CatalogTest, RegisterGetDropList) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Register("emp", EmployeeTable()).ok());
+  EXPECT_TRUE(catalog.Register("emp", EmployeeTable()).IsAlreadyExists());
+  EXPECT_TRUE(catalog.Has("emp"));
+  EXPECT_EQ(catalog.Get("emp").ValueOrDie()->num_rows(), 4u);
+  EXPECT_EQ(catalog.List(), std::vector<std::string>{"emp"});
+  ASSERT_TRUE(catalog.Drop("emp").ok());
+  EXPECT_TRUE(catalog.Get("emp").status().IsNotFound());
+  EXPECT_TRUE(catalog.Drop("emp").IsNotFound());
+}
+
+TEST(RelSimPlatformTest, SupportsRelationalSubsetOnly) {
+  Config config;
+  RelSimPlatform rel(config);
+  CountOp count;
+  CrossProductOp cross;
+  EXPECT_TRUE(rel.Supports(count));
+  EXPECT_TRUE(rel.Supports(cross));
+  MapUdf udf;
+  udf.fn = [](const Record& r) { return r; };
+  MapOp map(udf);
+  EXPECT_FALSE(rel.Supports(map));
+  SampleOp sample(0.5, 1);
+  EXPECT_FALSE(rel.Supports(sample));
+  IEJoinOp iejoin(IEJoinSpec{});
+  EXPECT_FALSE(rel.Supports(iejoin));
+}
+
+TEST(RelSimPlatformTest, ExecutesRelationalStage) {
+  Config config;
+  RelSimPlatform rel(config);
+  Plan plan;
+  std::vector<Record> rows;
+  for (int i = 0; i < 20; ++i) rows.push_back(Record({Value(i % 4), Value(i)}));
+  auto* src = plan.Add<CollectionSourceOp>({}, Dataset(std::move(rows)));
+  KeyUdf key;
+  key.fn = [](const Record& r) { return r[0]; };
+  ReduceUdf red;
+  red.fn = [](const Record& a, const Record& b) {
+    return Record({a[0], Value(a[1].ToInt64Or(0) + b[1].ToInt64Or(0))});
+  };
+  auto* agg = plan.Add<ReduceByKeyOp>({src}, key, red);
+  auto* sink = plan.Add<CollectOp>({agg});
+  plan.SetSink(sink);
+  PlatformAssignment a;
+  a.by_op = {{src->id(), &rel}, {agg->id(), &rel}, {sink->id(), &rel}};
+  auto eplan = StageSplitter::Split(plan, std::move(a)).ValueOrDie();
+  ExecutionMetrics metrics;
+  auto out = rel.ExecuteStage(eplan.stages[0], {}, &metrics);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ((*out)[0].size(), 4u);
+  EXPECT_GT(metrics.sim_overhead_micros, 0);
+}
+
+TEST(RelSimPlatformTest, IngestRoundTripsThroughColumnarFormat) {
+  Dataset d(std::vector<Record>{Record({Value(1), Value("a")}),
+                                Record({Value(2), Value("b")})});
+  auto out = IngestThroughTableFormat(d);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_EQ(out->at(1), d.at(1));
+}
+
+}  // namespace
+}  // namespace relsim
+}  // namespace rheem

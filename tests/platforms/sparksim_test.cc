@@ -1,0 +1,242 @@
+#include "platforms/sparksim/sparksim_platform.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/optimizer/stage_splitter.h"
+#include "platforms/sparksim/rdd.h"
+#include "platforms/sparksim/scheduler.h"
+#include "platforms/sparksim/shuffle.h"
+#include "platforms/sparksim/sparksim_operators.h"
+
+namespace rheem {
+namespace {
+
+using sparksim::Rdd;
+
+Dataset Numbers(int n) {
+  std::vector<Record> records;
+  for (int i = 0; i < n; ++i) records.push_back(Record({Value(i)}));
+  return Dataset(std::move(records));
+}
+
+TEST(RddTest, FromDatasetPartitionsAndGathersInOrder) {
+  Rdd rdd = Rdd::FromDataset(Numbers(10), 3);
+  EXPECT_EQ(rdd.num_partitions(), 3u);
+  EXPECT_EQ(rdd.TotalRows(), 10u);
+  Dataset gathered = rdd.Gather();
+  ASSERT_EQ(gathered.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(gathered.at(static_cast<std::size_t>(i))[0], Value(i));
+  }
+}
+
+TEST(RddTest, SingleHoldsOnePartition) {
+  Rdd rdd = Rdd::Single(Numbers(4));
+  EXPECT_EQ(rdd.num_partitions(), 1u);
+  EXPECT_EQ(rdd.TotalRows(), 4u);
+}
+
+TEST(SparkOverheadTest, ConfigOverridesDefaults) {
+  Config config;
+  config.SetDouble("sparksim.job_submit_us", 123.0);
+  auto m = sparksim::SparkOverheadModel::FromConfig(config);
+  EXPECT_DOUBLE_EQ(m.job_submit_us, 123.0);
+  EXPECT_DOUBLE_EQ(m.stage_us, sparksim::SparkOverheadModel().stage_us);
+}
+
+TEST(TaskSchedulerTest, ChargesPerTaskOverhead) {
+  ThreadPool pool(2);
+  sparksim::SparkOverheadModel overhead;
+  overhead.task_us = 100.0;
+  sparksim::TaskScheduler scheduler(&pool, overhead);
+  ExecutionMetrics metrics;
+  std::atomic<int> ran{0};
+  Stopwatch wall;
+  ASSERT_TRUE(scheduler
+                  .RunTasks(5, &metrics,
+                            [&](std::size_t) {
+                              ran.fetch_add(1);
+                              return Status::OK();
+                            })
+                  .ok());
+  const int64_t wall_us = wall.ElapsedMicros();
+  EXPECT_EQ(ran.load(), 5);
+  EXPECT_EQ(metrics.tasks_launched, 5);
+  // 5 x 100us of launch overhead plus the virtual-clock correction, which
+  // can subtract at most the measured batch wall time.
+  EXPECT_LE(metrics.sim_overhead_micros, 500);
+  EXPECT_GE(metrics.sim_overhead_micros, 500 - wall_us);
+}
+
+TEST(TaskSchedulerTest, VirtualClusterClockModelsSlotParallelism) {
+  // Four CPU-bound tasks on a 4-slot scheduler: regardless of how many real
+  // cores the host has, wall + simulated correction must land between the
+  // longest single task (perfect parallelism) and the serial sum.
+  ThreadPool pool(4);
+  sparksim::SparkOverheadModel overhead;
+  overhead.task_us = 0.0;
+  sparksim::TaskScheduler scheduler(&pool, overhead);
+  ExecutionMetrics metrics;
+  std::vector<int64_t> task_us(4, 0);
+  Stopwatch wall;
+  ASSERT_TRUE(scheduler
+                  .RunTasks(4, &metrics,
+                            [&](std::size_t i) {
+                              ThreadCpuTimer cpu;
+                              volatile double x = 1.0;
+                              for (int k = 0; k < 4000000; ++k) {
+                                x = x * 1.0000001 + 1e-9;
+                              }
+                              task_us[i] = cpu.ElapsedMicros();
+                              return Status::OK();
+                            })
+                  .ok());
+  const int64_t wall_us = wall.ElapsedMicros();
+  int64_t longest = 0, total = 0;
+  for (int64_t t : task_us) {
+    longest = std::max(longest, t);
+    total += t;
+  }
+  const int64_t modeled = wall_us + metrics.sim_overhead_micros;
+  EXPECT_GE(modeled, total / 4 / 2);  // not faster than 4-way parallel (slack 2x)
+  EXPECT_LE(modeled, total);          // never slower than serial execution
+  EXPECT_GE(modeled, longest / 2);
+}
+
+TEST(TaskSchedulerTest, FirstErrorWinsDeterministically) {
+  ThreadPool pool(4);
+  sparksim::TaskScheduler scheduler(&pool, {});
+  ExecutionMetrics metrics;
+  Status st = scheduler.RunTasks(8, &metrics, [](std::size_t i) -> Status {
+    if (i == 2) return Status::ExecutionError("task2");
+    if (i == 6) return Status::ExecutionError("task6");
+    return Status::OK();
+  });
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "task2");
+}
+
+TEST(ShuffleTest, ByKeyGroupsKeysIntoSamePartition) {
+  Rdd in = Rdd::FromDataset(Numbers(100), 4);
+  KeyUdf key;
+  key.fn = [](const Record& r) { return Value(r[0].ToInt64Or(0) % 10); };
+  ThreadPool pool(4);
+  sparksim::TaskScheduler scheduler(&pool, {});
+  ExecutionMetrics metrics;
+  auto out = sparksim::ShuffleByKey(in, key, 4, &scheduler, &metrics);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->TotalRows(), 100u);
+  EXPECT_GT(metrics.shuffle_bytes, 0);
+  // Every key must live in exactly one partition.
+  std::map<int64_t, std::set<std::size_t>> where;
+  for (std::size_t p = 0; p < out->num_partitions(); ++p) {
+    for (const Record& r : out->partition(p).records()) {
+      where[r[0].ToInt64Or(0) % 10].insert(p);
+    }
+  }
+  for (const auto& [k, parts] : where) {
+    EXPECT_EQ(parts.size(), 1u) << "key " << k;
+  }
+}
+
+TEST(ShuffleTest, PreservesRecordMultiset) {
+  Rdd in = Rdd::FromDataset(Numbers(57), 3);
+  ThreadPool pool(2);
+  sparksim::TaskScheduler scheduler(&pool, {});
+  ExecutionMetrics metrics;
+  auto out = sparksim::ShuffleByRecordHash(in, 5, &scheduler, &metrics);
+  ASSERT_TRUE(out.ok());
+  std::multiset<int64_t> before, after;
+  const Dataset gathered_in = in.Gather();
+  const Dataset gathered_out = out->Gather();
+  for (const Record& r : gathered_in.records()) before.insert(r[0].ToInt64Or(0));
+  for (const Record& r : gathered_out.records()) after.insert(r[0].ToInt64Or(0));
+  EXPECT_EQ(before, after);
+}
+
+TEST(SparkSimPlatformTest, StageExecutionChargesOverheads) {
+  Config config;
+  config.SetInt("sparksim.slots", 4);
+  SparkSimPlatform spark(config);
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, Numbers(100));
+  MapUdf udf;
+  udf.fn = [](const Record& r) { return Record({Value(r[0].ToInt64Or(0) * 2)}); };
+  auto* m = plan.Add<MapOp>({src}, udf);
+  auto* sink = plan.Add<CollectOp>({m});
+  plan.SetSink(sink);
+  PlatformAssignment a;
+  a.by_op = {{src->id(), &spark}, {m->id(), &spark}, {sink->id(), &spark}};
+  auto eplan = StageSplitter::Split(plan, std::move(a)).ValueOrDie();
+  ExecutionMetrics metrics;
+  auto out = spark.ExecuteStage(eplan.stages[0], {}, &metrics);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ((*out)[0].size(), 100u);
+  EXPECT_GT(metrics.sim_overhead_micros, 0);
+  EXPECT_GT(metrics.tasks_launched, 0);
+  EXPECT_EQ(metrics.jobs_run, 1);
+}
+
+TEST(SparkSimPlatformTest, LoopChargesJobPerIteration) {
+  Config config;
+  config.SetDouble("sparksim.job_submit_us", 1000.0);
+  config.SetDouble("sparksim.stage_us", 0.0);
+  config.SetDouble("sparksim.task_us", 0.0);
+  config.SetDouble("sparksim.collect_fixed_us", 0.0);
+  config.SetDouble("sparksim.shuffle_fixed_us", 0.0);
+  SparkSimPlatform spark(config);
+
+  auto body = std::make_shared<Plan>();
+  auto* st = body->Add<LoopStateOp>({});
+  MapUdf inc;
+  inc.fn = [](const Record& r) { return Record({Value(r[0].ToInt64Or(0) + 1)}); };
+  auto* m = body->Add<MapOp>({st}, inc);
+  body->SetSink(m);
+
+  Plan plan;
+  auto* init = plan.Add<CollectionSourceOp>(
+      {}, Dataset(std::vector<Record>{Record({Value(int64_t{0})})}));
+  auto* data = plan.Add<CollectionSourceOp>({}, Numbers(1));
+  auto* loop = plan.Add<RepeatOp>({init, data}, 25, body);
+  plan.SetSink(loop);
+  PlatformAssignment a;
+  a.by_op = {{init->id(), &spark}, {data->id(), &spark}, {loop->id(), &spark}};
+  auto eplan = StageSplitter::Split(plan, std::move(a)).ValueOrDie();
+  ExecutionMetrics metrics;
+  Stopwatch wall;
+  auto out = spark.ExecuteStage(eplan.stages[0], {}, &metrics);
+  const int64_t wall_us = wall.ElapsedMicros();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ((*out)[0].at(0)[0], Value(int64_t{25}));
+  // 1 outer submission + 25 per-iteration submissions; the virtual-clock
+  // correction can subtract at most the measured wall time.
+  EXPECT_EQ(metrics.jobs_run, 26);
+  EXPECT_GE(metrics.sim_overhead_micros, 26 * 1000 - wall_us);
+}
+
+TEST(SparkSimPlatformTest, PartitionsConfigurable) {
+  Config config;
+  config.SetInt("sparksim.partitions", 3);
+  SparkSimPlatform spark(config);
+  EXPECT_EQ(spark.num_partitions(), 3u);
+}
+
+TEST(SparkSimPlatformTest, RelationalOpsUnsupportedListEmpty) {
+  // sparksim maps the whole pool: spot-check a few exotic kinds.
+  Config config;
+  SparkSimPlatform spark(config);
+  CrossProductOp cross;
+  EXPECT_TRUE(spark.Supports(cross));
+  auto body = std::make_shared<Plan>();
+  auto* st = body->Add<LoopStateOp>({});
+  body->SetSink(st);
+  RepeatOp loop(2, body);
+  EXPECT_TRUE(spark.Supports(loop));
+}
+
+}  // namespace
+}  // namespace rheem

@@ -1,0 +1,212 @@
+#include "platforms/relsim/sql.h"
+
+#include <gtest/gtest.h>
+
+namespace rheem {
+namespace relsim {
+namespace {
+
+class SqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table emp(Schema::Of({Field{"id", ValueType::kInt64},
+                          Field{"dept", ValueType::kString},
+                          Field{"salary", ValueType::kDouble},
+                          Field{"age", ValueType::kInt64}}));
+    ASSERT_TRUE(emp.AppendRow(Record({Value(1), Value("eng"), Value(100.0), Value(30)})).ok());
+    ASSERT_TRUE(emp.AppendRow(Record({Value(2), Value("eng"), Value(120.0), Value(35)})).ok());
+    ASSERT_TRUE(emp.AppendRow(Record({Value(3), Value("ops"), Value(90.0), Value(28)})).ok());
+    ASSERT_TRUE(emp.AppendRow(Record({Value(4), Value("ops"), Value(80.0), Value(41)})).ok());
+    ASSERT_TRUE(emp.AppendRow(Record({Value(5), Value("hr"), Value(70.0), Value(50)})).ok());
+    ASSERT_TRUE(catalog_.Register("emp", std::move(emp)).ok());
+  }
+  Catalog catalog_;
+};
+
+TEST_F(SqlTest, SelectStar) {
+  auto t = ExecuteSql(catalog_, "SELECT * FROM emp");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 5u);
+  EXPECT_EQ(t->num_columns(), 4u);
+}
+
+TEST_F(SqlTest, WhereComparisonAndLogic) {
+  auto t = ExecuteSql(
+      catalog_, "SELECT id FROM emp WHERE salary >= 90 AND dept <> 'hr'");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 3u);
+  auto t2 = ExecuteSql(catalog_,
+                       "SELECT id FROM emp WHERE dept = 'hr' OR age > 40");
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t2->num_rows(), 2u);  // ids 4 and 5
+  auto t3 = ExecuteSql(catalog_, "SELECT id FROM emp WHERE NOT dept = 'eng'");
+  ASSERT_TRUE(t3.ok());
+  EXPECT_EQ(t3->num_rows(), 3u);
+}
+
+TEST_F(SqlTest, ComputedProjectionWithAlias) {
+  auto t = ExecuteSql(catalog_,
+                      "SELECT id, salary * 1.1 AS raised FROM emp WHERE id = 1");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(t->schema().field(1).name, "raised");
+  EXPECT_NEAR(t->at(0, 1).ToDoubleOr(0), 110.0, 1e-9);
+}
+
+TEST_F(SqlTest, ArithmeticPrecedence) {
+  auto t = ExecuteSql(catalog_, "SELECT 2 + 3 * 4 AS v FROM emp LIMIT 1");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->at(0, 0), Value(14));
+  auto t2 = ExecuteSql(catalog_, "SELECT (2 + 3) * 4 AS v FROM emp LIMIT 1");
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t2->at(0, 0), Value(20));
+}
+
+TEST_F(SqlTest, UnaryMinus) {
+  auto t = ExecuteSql(catalog_, "SELECT -age AS neg FROM emp WHERE id = 1");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->at(0, 0), Value(-30));
+}
+
+TEST_F(SqlTest, GroupByWithAggregates) {
+  auto t = ExecuteSql(catalog_,
+                      "SELECT dept, COUNT(*) AS n, SUM(salary) AS total, "
+                      "AVG(age) AS avg_age FROM emp GROUP BY dept "
+                      "ORDER BY dept");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->num_rows(), 3u);
+  EXPECT_EQ(t->at(0, 0), Value("eng"));
+  EXPECT_EQ(t->at(0, 1), Value(int64_t{2}));
+  EXPECT_EQ(t->at(0, 2), Value(220.0));
+  EXPECT_EQ(t->at(0, 3), Value(32.5));
+}
+
+TEST_F(SqlTest, GlobalAggregate) {
+  auto t = ExecuteSql(catalog_, "SELECT COUNT(*) AS n, MAX(salary) AS top FROM emp");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(t->at(0, 0), Value(int64_t{5}));
+  EXPECT_EQ(t->at(0, 1), Value(120.0));
+}
+
+TEST_F(SqlTest, AggregateWithWhere) {
+  auto t = ExecuteSql(catalog_,
+                      "SELECT MIN(salary) AS low FROM emp WHERE dept = 'eng'");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->at(0, 0), Value(100.0));
+}
+
+TEST_F(SqlTest, OrderByDescAndLimit) {
+  auto t = ExecuteSql(catalog_,
+                      "SELECT id, salary FROM emp ORDER BY salary DESC LIMIT 2");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->at(0, 0), Value(2));
+  EXPECT_EQ(t->at(1, 0), Value(1));
+}
+
+TEST_F(SqlTest, LimitLargerThanTableIsNoOp) {
+  auto t = ExecuteSql(catalog_, "SELECT * FROM emp LIMIT 100");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 5u);
+}
+
+TEST_F(SqlTest, KeywordsAreCaseInsensitive) {
+  auto t = ExecuteSql(catalog_,
+                      "select dept, count(*) as n from emp group by dept "
+                      "order by n desc limit 1");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(t->at(0, 1), Value(int64_t{2}));
+}
+
+TEST_F(SqlTest, ParseErrorsAreReported) {
+  EXPECT_FALSE(ExecuteSql(catalog_, "SELECT FROM emp").ok());
+  EXPECT_FALSE(ExecuteSql(catalog_, "SELECT * emp").ok());
+  EXPECT_FALSE(ExecuteSql(catalog_, "SELECT * FROM emp WHERE").ok());
+  EXPECT_FALSE(ExecuteSql(catalog_, "SELECT * FROM emp garbage").ok());
+  EXPECT_FALSE(ExecuteSql(catalog_, "SELECT SUM(*) FROM emp").ok());
+  EXPECT_FALSE(ExecuteSql(catalog_, "SELECT * FROM emp WHERE name = 'x").ok());
+  EXPECT_FALSE(ExecuteSql(catalog_, "SELECT * FROM emp LIMIT x").ok());
+}
+
+TEST_F(SqlTest, SemanticErrorsAreReported) {
+  // Unknown table / column.
+  EXPECT_TRUE(ExecuteSql(catalog_, "SELECT * FROM ghosts").status().IsNotFound());
+  EXPECT_FALSE(ExecuteSql(catalog_, "SELECT nope FROM emp").ok());
+  // Non-aggregate item outside GROUP BY.
+  EXPECT_FALSE(
+      ExecuteSql(catalog_, "SELECT age, COUNT(*) FROM emp GROUP BY dept").ok());
+  // Star mixed with aggregation.
+  EXPECT_FALSE(ExecuteSql(catalog_, "SELECT *, COUNT(*) FROM emp").ok());
+}
+
+TEST_F(SqlTest, ExplainRendersNormalizedQuery) {
+  auto text = ExplainSql(
+      "select dept, sum(salary) from emp where age > 30 group by dept "
+      "order by dept limit 3");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_EQ(*text,
+            "SELECT dept, SUM(salary) FROM emp WHERE (age > 30) "
+            "GROUP BY dept ORDER BY dept ASC LIMIT 3");
+}
+
+TEST_F(SqlTest, ExplainRejectsBadQuery) {
+  EXPECT_FALSE(ExplainSql("DELETE FROM emp").ok());
+}
+
+class SqlJoinTest : public SqlTest {
+ protected:
+  void SetUp() override {
+    SqlTest::SetUp();
+    Table depts(Schema::Of({Field{"name", ValueType::kString},
+                            Field{"floor", ValueType::kInt64}}));
+    ASSERT_TRUE(depts.AppendRow(Record({Value("eng"), Value(3)})).ok());
+    ASSERT_TRUE(depts.AppendRow(Record({Value("ops"), Value(1)})).ok());
+    ASSERT_TRUE(catalog_.Register("depts", std::move(depts)).ok());
+  }
+};
+
+TEST_F(SqlJoinTest, EquiJoinProducesConcatenatedRows) {
+  auto t = ExecuteSql(catalog_,
+                      "SELECT id, name, floor FROM emp JOIN depts "
+                      "ON dept = name ORDER BY id");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  // hr has no matching department: inner join drops id 5.
+  ASSERT_EQ(t->num_rows(), 4u);
+  EXPECT_EQ(t->at(0, 0), Value(1));
+  EXPECT_EQ(t->at(0, 1), Value("eng"));
+  EXPECT_EQ(t->at(0, 2), Value(3));
+}
+
+TEST_F(SqlJoinTest, JoinComposesWithWhereAndAggregation) {
+  auto t = ExecuteSql(catalog_,
+                      "SELECT floor, SUM(salary) AS total FROM emp JOIN depts "
+                      "ON dept = name WHERE salary >= 90 GROUP BY floor "
+                      "ORDER BY floor");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->at(0, 0), Value(1));    // ops floor
+  EXPECT_EQ(t->at(0, 1), Value(90.0));
+  EXPECT_EQ(t->at(1, 1), Value(220.0));
+}
+
+TEST_F(SqlJoinTest, JoinErrorsReported) {
+  EXPECT_FALSE(ExecuteSql(catalog_, "SELECT * FROM emp JOIN ON x = y").ok());
+  EXPECT_FALSE(ExecuteSql(catalog_, "SELECT * FROM emp JOIN depts").ok());
+  EXPECT_FALSE(
+      ExecuteSql(catalog_, "SELECT * FROM emp JOIN depts ON dept = nope").ok());
+  EXPECT_TRUE(ExecuteSql(catalog_, "SELECT * FROM emp JOIN ghosts ON a = b")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(SqlJoinTest, ExplainRendersJoin) {
+  auto text = ExplainSql("select * from emp join depts on dept = name");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "SELECT * FROM emp JOIN depts ON dept = name");
+}
+
+}  // namespace
+}  // namespace relsim
+}  // namespace rheem

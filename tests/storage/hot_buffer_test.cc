@@ -1,0 +1,102 @@
+#include "storage/hot_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/mem_column_store.h"
+
+namespace rheem {
+namespace storage {
+namespace {
+
+Dataset Payload(int rows, int id) {
+  std::vector<Record> out;
+  for (int i = 0; i < rows; ++i) {
+    out.push_back(Record({Value(id), Value(std::string(64, 'x'))}));
+  }
+  return Dataset(std::move(out));
+}
+
+class HotBufferTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(manager_.RegisterBackend(std::make_unique<MemColumnStore>()).ok());
+    auto* backend = manager_.Backend("mem-column").ValueOrDie();
+    ASSERT_TRUE(backend->Put("a", Payload(10, 1)).ok());
+    ASSERT_TRUE(backend->Put("b", Payload(10, 2)).ok());
+    ASSERT_TRUE(backend->Put("c", Payload(10, 3)).ok());
+  }
+  StorageManager manager_;
+};
+
+TEST_F(HotBufferTest, SecondLoadIsAHit) {
+  HotDataBuffer buffer(&manager_, 1 << 20);
+  ASSERT_TRUE(buffer.Load("a").ok());
+  EXPECT_EQ(buffer.misses(), 1);
+  EXPECT_EQ(buffer.hits(), 0);
+  ASSERT_TRUE(buffer.Load("a").ok());
+  EXPECT_EQ(buffer.hits(), 1);
+  EXPECT_EQ(buffer.resident_entries(), 1u);
+}
+
+TEST_F(HotBufferTest, ReturnsSameContentAsBackend) {
+  HotDataBuffer buffer(&manager_, 1 << 20);
+  auto direct = manager_.Load("b").ValueOrDie();
+  auto cached_cold = buffer.Load("b").ValueOrDie();
+  auto cached_hot = buffer.Load("b").ValueOrDie();
+  EXPECT_EQ(cached_cold.size(), direct.size());
+  EXPECT_EQ(cached_hot.size(), direct.size());
+  EXPECT_EQ(cached_hot.at(0), direct.at(0));
+}
+
+TEST_F(HotBufferTest, EvictsLeastRecentlyUsed) {
+  // Capacity fits ~2 datasets of this size.
+  const int64_t one = Payload(10, 1).EstimatedBytes();
+  HotDataBuffer buffer(&manager_, one * 2 + 10);
+  ASSERT_TRUE(buffer.Load("a").ok());
+  ASSERT_TRUE(buffer.Load("b").ok());
+  ASSERT_TRUE(buffer.Load("a").ok());  // refresh a; b is now LRU
+  ASSERT_TRUE(buffer.Load("c").ok());  // evicts b
+  EXPECT_EQ(buffer.resident_entries(), 2u);
+  ASSERT_TRUE(buffer.Load("b").ok());  // miss again
+  EXPECT_EQ(buffer.misses(), 4);       // a, b, c, b
+  EXPECT_EQ(buffer.hits(), 1);         // second a
+}
+
+TEST_F(HotBufferTest, OversizedDatasetBypassesCache) {
+  HotDataBuffer buffer(&manager_, 8);  // tiny capacity
+  ASSERT_TRUE(buffer.Load("a").ok());
+  EXPECT_EQ(buffer.resident_entries(), 0u);
+  ASSERT_TRUE(buffer.Load("a").ok());
+  EXPECT_EQ(buffer.hits(), 0);
+  EXPECT_EQ(buffer.misses(), 2);
+}
+
+TEST_F(HotBufferTest, InvalidateDropsEntry) {
+  HotDataBuffer buffer(&manager_, 1 << 20);
+  ASSERT_TRUE(buffer.Load("a").ok());
+  buffer.Invalidate("a");
+  EXPECT_EQ(buffer.resident_entries(), 0u);
+  EXPECT_EQ(buffer.resident_bytes(), 0);
+  ASSERT_TRUE(buffer.Load("a").ok());
+  EXPECT_EQ(buffer.misses(), 2);
+  buffer.Invalidate("never-cached");  // no-op
+}
+
+TEST_F(HotBufferTest, ClearEmptiesEverything) {
+  HotDataBuffer buffer(&manager_, 1 << 20);
+  ASSERT_TRUE(buffer.Load("a").ok());
+  ASSERT_TRUE(buffer.Load("b").ok());
+  buffer.Clear();
+  EXPECT_EQ(buffer.resident_entries(), 0u);
+  EXPECT_EQ(buffer.resident_bytes(), 0);
+}
+
+TEST_F(HotBufferTest, MissingDatasetPropagatesError) {
+  HotDataBuffer buffer(&manager_, 1 << 20);
+  EXPECT_TRUE(buffer.Load("ghost").status().IsNotFound());
+  EXPECT_EQ(buffer.misses(), 1);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace rheem

@@ -1,0 +1,120 @@
+#include "storage/storage_optimizer.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "storage/csv_store.h"
+#include "storage/kv_store.h"
+#include "storage/mem_column_store.h"
+
+namespace rheem {
+namespace storage {
+namespace {
+
+Dataset People() {
+  std::vector<Record> rows;
+  rows.push_back(Record({Value(2), Value("bob"), Value(2.0)}));
+  rows.push_back(Record({Value(1), Value("ada"), Value(3.5)}));
+  return Dataset(std::move(rows));
+}
+
+class StorageOptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tmp_ = testing::TempDir() + "/rheem_optimizer_store_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ASSERT_TRUE(manager_.RegisterBackend(std::make_unique<MemColumnStore>()).ok());
+    ASSERT_TRUE(manager_.RegisterBackend(std::make_unique<CsvStore>(tmp_)).ok());
+    ASSERT_TRUE(manager_.RegisterBackend(std::make_unique<KvStore>(0)).ok());
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(tmp_, ec);
+  }
+
+  std::string tmp_;
+  StorageManager manager_;
+};
+
+TEST_F(StorageOptimizerTest, LookupHeavyProfileChoosesKvStore) {
+  StorageOptimizer optimizer(&manager_);
+  AccessProfile profile;
+  profile.scan_frequency = 0.1;
+  profile.point_lookup_frequency = 50.0;
+  profile.key_column = 0;
+  auto plan = optimizer.Plan("sessions", profile);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->atoms.size(), 1u);
+  EXPECT_EQ(plan->atoms[0].backend, "kv-store");
+  EXPECT_EQ(plan->atoms[0].key_column, 0);
+}
+
+TEST_F(StorageOptimizerTest, ColumnSubsetScansChooseColumnar) {
+  StorageOptimizer optimizer(&manager_);
+  AccessProfile profile;
+  profile.scan_frequency = 20.0;
+  profile.column_subset_access = true;
+  profile.hot_columns = {2};
+  auto plan = optimizer.Plan("metrics", profile);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->atoms[0].backend, "mem-column");
+}
+
+TEST_F(StorageOptimizerTest, PersistenceConstraintForcesCsv) {
+  StorageOptimizer optimizer(&manager_);
+  AccessProfile profile;
+  profile.requires_persistence = true;
+  profile.scan_frequency = 10.0;
+  auto plan = optimizer.Plan("archive", profile);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->atoms[0].backend, "csv-files");
+}
+
+TEST_F(StorageOptimizerTest, UnsatisfiableConstraintFails) {
+  StorageManager only_mem;
+  ASSERT_TRUE(only_mem.RegisterBackend(std::make_unique<MemColumnStore>()).ok());
+  StorageOptimizer optimizer(&only_mem);
+  AccessProfile profile;
+  profile.requires_persistence = true;
+  EXPECT_TRUE(optimizer.Plan("x", profile).status().IsNotFound());
+}
+
+TEST_F(StorageOptimizerTest, RangeFilterColumnAddsSortTransform) {
+  StorageOptimizer optimizer(&manager_);
+  AccessProfile profile;
+  profile.range_filter_column = 0;
+  auto plan = optimizer.Plan("sorted", profile);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->atoms[0].transform.size(), 1u);
+  EXPECT_EQ(plan->atoms[0].transform.steps()[0].kind, TransformKind::kSortBy);
+}
+
+TEST_F(StorageOptimizerTest, StoreExecutesPlanEndToEnd) {
+  StorageOptimizer optimizer(&manager_);
+  AccessProfile profile;
+  profile.range_filter_column = 0;
+  ASSERT_TRUE(optimizer.Store("people", People(), profile).ok());
+  auto loaded = manager_.Load("people");
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  // The sort transform ran on upload.
+  EXPECT_EQ(loaded->at(0)[0], Value(1));
+}
+
+TEST_F(StorageOptimizerTest, ScoreOrdersBackendsSensibly) {
+  AccessProfile lookups;
+  lookups.point_lookup_frequency = 100.0;
+  lookups.scan_frequency = 0.0;
+  EXPECT_LT(StorageOptimizer::Score(KvStore(0).traits(), lookups),
+            StorageOptimizer::Score(MemColumnStore().traits(), lookups));
+  AccessProfile scans;
+  scans.scan_frequency = 100.0;
+  scans.column_subset_access = true;
+  EXPECT_LT(StorageOptimizer::Score(MemColumnStore().traits(), scans),
+            StorageOptimizer::Score(CsvStore("/tmp/x").traits(), scans));
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace rheem

@@ -1,0 +1,107 @@
+#include "storage/transformation.h"
+
+#include <gtest/gtest.h>
+
+namespace rheem {
+namespace storage {
+namespace {
+
+Dataset Rows() {
+  std::vector<Record> rows;
+  rows.push_back(Record({Value(3), Value("c"), Value(30)}));
+  rows.push_back(Record({Value(1), Value("a"), Value(10)}));
+  rows.push_back(Record({Value(2), Value("b"), Value(20)}));
+  rows.push_back(Record({Value(1), Value("a"), Value(10)}));  // duplicate
+  return Dataset(std::move(rows));
+}
+
+TEST(TransformationTest, IdentityPlanPassesThrough) {
+  TransformationPlan plan;
+  auto out = plan.Apply(Rows());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 4u);
+  EXPECT_EQ(plan.ToString(), "<identity>");
+}
+
+TEST(TransformationTest, ProjectStep) {
+  TransformationPlan plan;
+  plan.Add(TransformStep::Project({1}));
+  auto out = plan.Apply(Rows());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->at(0), Record({Value("c")}));
+}
+
+TEST(TransformationTest, SortAscendingAndDescending) {
+  TransformationPlan asc;
+  asc.Add(TransformStep::SortBy(0));
+  auto up = asc.Apply(Rows());
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(up->at(0)[0], Value(1));
+  EXPECT_EQ(up->at(3)[0], Value(3));
+
+  TransformationPlan desc;
+  desc.Add(TransformStep::SortBy(0, /*ascending=*/false));
+  auto down = desc.Apply(Rows());
+  ASSERT_TRUE(down.ok());
+  EXPECT_EQ(down->at(0)[0], Value(3));
+}
+
+TEST(TransformationTest, FilterStep) {
+  TransformationPlan plan;
+  PredicateUdf pred;
+  pred.fn = [](const Record& r) { return r[2].ToInt64Or(0) >= 20; };
+  plan.Add(TransformStep::Filter(pred));
+  auto out = plan.Apply(Rows());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+}
+
+TEST(TransformationTest, DedupeStep) {
+  TransformationPlan plan;
+  plan.Add(TransformStep::Dedupe());
+  auto out = plan.Apply(Rows());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 3u);
+}
+
+TEST(TransformationTest, StepsComposeInOrder) {
+  // Filter out small values, then project name, then dedupe, then sort.
+  TransformationPlan plan;
+  PredicateUdf pred;
+  pred.fn = [](const Record& r) { return r[2].ToInt64Or(0) >= 10; };
+  plan.Add(TransformStep::Filter(pred))
+      .Add(TransformStep::Project({1}))
+      .Add(TransformStep::Dedupe())
+      .Add(TransformStep::SortBy(0));
+  auto out = plan.Apply(Rows());
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_EQ(out->at(0)[0], Value("a"));
+  EXPECT_EQ(out->at(2)[0], Value("c"));
+  EXPECT_NE(plan.ToString().find("Filter"), std::string::npos);
+  EXPECT_NE(plan.ToString().find("SortBy"), std::string::npos);
+}
+
+TEST(TransformationTest, SortColumnOutOfRangeFails) {
+  TransformationPlan plan;
+  plan.Add(TransformStep::SortBy(9));
+  EXPECT_TRUE(plan.Apply(Rows()).status().IsOutOfRange());
+}
+
+TEST(TransformationTest, ProjectColumnOutOfRangeFails) {
+  TransformationPlan plan;
+  plan.Add(TransformStep::Project({7}));
+  EXPECT_FALSE(plan.Apply(Rows()).ok());
+}
+
+TEST(TransformationTest, EmptyInputIsFine) {
+  TransformationPlan plan;
+  plan.Add(TransformStep::SortBy(0)).Add(TransformStep::Dedupe());
+  auto out = plan.Apply(Dataset());
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace rheem
