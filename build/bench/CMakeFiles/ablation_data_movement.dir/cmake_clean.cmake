@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_data_movement.dir/ablation_data_movement.cc.o"
+  "CMakeFiles/ablation_data_movement.dir/ablation_data_movement.cc.o.d"
+  "ablation_data_movement"
+  "ablation_data_movement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_data_movement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

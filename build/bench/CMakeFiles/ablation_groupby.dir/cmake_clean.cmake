@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_groupby.dir/ablation_groupby.cc.o"
+  "CMakeFiles/ablation_groupby.dir/ablation_groupby.cc.o.d"
+  "ablation_groupby"
+  "ablation_groupby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_groupby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hot_buffer.dir/ablation_hot_buffer.cc.o"
+  "CMakeFiles/ablation_hot_buffer.dir/ablation_hot_buffer.cc.o.d"
+  "ablation_hot_buffer"
+  "ablation_hot_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hot_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

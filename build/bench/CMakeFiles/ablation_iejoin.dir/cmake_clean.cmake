@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_iejoin.dir/ablation_iejoin.cc.o"
+  "CMakeFiles/ablation_iejoin.dir/ablation_iejoin.cc.o.d"
+  "ablation_iejoin"
+  "ablation_iejoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_iejoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_platform_choice.dir/ablation_platform_choice.cc.o"
+  "CMakeFiles/ablation_platform_choice.dir/ablation_platform_choice.cc.o.d"
+  "ablation_platform_choice"
+  "ablation_platform_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_platform_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

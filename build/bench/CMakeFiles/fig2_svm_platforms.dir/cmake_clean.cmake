@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_svm_platforms.dir/fig2_svm_platforms.cc.o"
+  "CMakeFiles/fig2_svm_platforms.dir/fig2_svm_platforms.cc.o.d"
+  "fig2_svm_platforms"
+  "fig2_svm_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_svm_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

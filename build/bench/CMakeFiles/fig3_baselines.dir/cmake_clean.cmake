@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_baselines.dir/fig3_baselines.cc.o"
+  "CMakeFiles/fig3_baselines.dir/fig3_baselines.cc.o.d"
+  "fig3_baselines"
+  "fig3_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

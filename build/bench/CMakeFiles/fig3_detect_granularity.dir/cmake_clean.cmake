@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_detect_granularity.dir/fig3_detect_granularity.cc.o"
+  "CMakeFiles/fig3_detect_granularity.dir/fig3_detect_granularity.cc.o.d"
+  "fig3_detect_granularity"
+  "fig3_detect_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_detect_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

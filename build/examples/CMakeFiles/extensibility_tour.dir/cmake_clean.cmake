@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensibility_tour.dir/extensibility_tour.cpp.o"
+  "CMakeFiles/extensibility_tour.dir/extensibility_tour.cpp.o.d"
+  "extensibility_tour"
+  "extensibility_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensibility_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiplatform_analytics.dir/multiplatform_analytics.cpp.o"
+  "CMakeFiles/multiplatform_analytics.dir/multiplatform_analytics.cpp.o.d"
+  "multiplatform_analytics"
+  "multiplatform_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiplatform_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

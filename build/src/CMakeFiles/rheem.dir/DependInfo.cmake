@@ -1,0 +1,92 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cleaning/data_gen.cc" "src/CMakeFiles/rheem.dir/apps/cleaning/data_gen.cc.o" "gcc" "src/CMakeFiles/rheem.dir/apps/cleaning/data_gen.cc.o.d"
+  "/root/repo/src/apps/cleaning/operators.cc" "src/CMakeFiles/rheem.dir/apps/cleaning/operators.cc.o" "gcc" "src/CMakeFiles/rheem.dir/apps/cleaning/operators.cc.o.d"
+  "/root/repo/src/apps/cleaning/plan_builder.cc" "src/CMakeFiles/rheem.dir/apps/cleaning/plan_builder.cc.o" "gcc" "src/CMakeFiles/rheem.dir/apps/cleaning/plan_builder.cc.o.d"
+  "/root/repo/src/apps/cleaning/repair.cc" "src/CMakeFiles/rheem.dir/apps/cleaning/repair.cc.o" "gcc" "src/CMakeFiles/rheem.dir/apps/cleaning/repair.cc.o.d"
+  "/root/repo/src/apps/cleaning/rule.cc" "src/CMakeFiles/rheem.dir/apps/cleaning/rule.cc.o" "gcc" "src/CMakeFiles/rheem.dir/apps/cleaning/rule.cc.o.d"
+  "/root/repo/src/apps/cleaning/violation.cc" "src/CMakeFiles/rheem.dir/apps/cleaning/violation.cc.o" "gcc" "src/CMakeFiles/rheem.dir/apps/cleaning/violation.cc.o.d"
+  "/root/repo/src/apps/graph/connected_components.cc" "src/CMakeFiles/rheem.dir/apps/graph/connected_components.cc.o" "gcc" "src/CMakeFiles/rheem.dir/apps/graph/connected_components.cc.o.d"
+  "/root/repo/src/apps/graph/graph.cc" "src/CMakeFiles/rheem.dir/apps/graph/graph.cc.o" "gcc" "src/CMakeFiles/rheem.dir/apps/graph/graph.cc.o.d"
+  "/root/repo/src/apps/graph/pagerank.cc" "src/CMakeFiles/rheem.dir/apps/graph/pagerank.cc.o" "gcc" "src/CMakeFiles/rheem.dir/apps/graph/pagerank.cc.o.d"
+  "/root/repo/src/apps/ml/dataset_gen.cc" "src/CMakeFiles/rheem.dir/apps/ml/dataset_gen.cc.o" "gcc" "src/CMakeFiles/rheem.dir/apps/ml/dataset_gen.cc.o.d"
+  "/root/repo/src/apps/ml/kmeans.cc" "src/CMakeFiles/rheem.dir/apps/ml/kmeans.cc.o" "gcc" "src/CMakeFiles/rheem.dir/apps/ml/kmeans.cc.o.d"
+  "/root/repo/src/apps/ml/ml_operators.cc" "src/CMakeFiles/rheem.dir/apps/ml/ml_operators.cc.o" "gcc" "src/CMakeFiles/rheem.dir/apps/ml/ml_operators.cc.o.d"
+  "/root/repo/src/apps/ml/regression.cc" "src/CMakeFiles/rheem.dir/apps/ml/regression.cc.o" "gcc" "src/CMakeFiles/rheem.dir/apps/ml/regression.cc.o.d"
+  "/root/repo/src/apps/ml/svm.cc" "src/CMakeFiles/rheem.dir/apps/ml/svm.cc.o" "gcc" "src/CMakeFiles/rheem.dir/apps/ml/svm.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/rheem.dir/common/config.cc.o" "gcc" "src/CMakeFiles/rheem.dir/common/config.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/rheem.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/rheem.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/rheem.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/rheem.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/rheem.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/rheem.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/rheem.dir/common/status.cc.o" "gcc" "src/CMakeFiles/rheem.dir/common/status.cc.o.d"
+  "/root/repo/src/common/stopwatch.cc" "src/CMakeFiles/rheem.dir/common/stopwatch.cc.o" "gcc" "src/CMakeFiles/rheem.dir/common/stopwatch.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/rheem.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/rheem.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/rheem.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/rheem.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/api/context.cc" "src/CMakeFiles/rheem.dir/core/api/context.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/api/context.cc.o.d"
+  "/root/repo/src/core/api/data_quanta.cc" "src/CMakeFiles/rheem.dir/core/api/data_quanta.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/api/data_quanta.cc.o.d"
+  "/root/repo/src/core/api/logical_nodes.cc" "src/CMakeFiles/rheem.dir/core/api/logical_nodes.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/api/logical_nodes.cc.o.d"
+  "/root/repo/src/core/executor/adaptive.cc" "src/CMakeFiles/rheem.dir/core/executor/adaptive.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/executor/adaptive.cc.o.d"
+  "/root/repo/src/core/executor/execution_state.cc" "src/CMakeFiles/rheem.dir/core/executor/execution_state.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/executor/execution_state.cc.o.d"
+  "/root/repo/src/core/executor/executor.cc" "src/CMakeFiles/rheem.dir/core/executor/executor.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/executor/executor.cc.o.d"
+  "/root/repo/src/core/executor/monitor.cc" "src/CMakeFiles/rheem.dir/core/executor/monitor.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/executor/monitor.cc.o.d"
+  "/root/repo/src/core/mapping/declarative.cc" "src/CMakeFiles/rheem.dir/core/mapping/declarative.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/mapping/declarative.cc.o.d"
+  "/root/repo/src/core/mapping/mapping.cc" "src/CMakeFiles/rheem.dir/core/mapping/mapping.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/mapping/mapping.cc.o.d"
+  "/root/repo/src/core/mapping/platform.cc" "src/CMakeFiles/rheem.dir/core/mapping/platform.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/mapping/platform.cc.o.d"
+  "/root/repo/src/core/operators/descriptors.cc" "src/CMakeFiles/rheem.dir/core/operators/descriptors.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/operators/descriptors.cc.o.d"
+  "/root/repo/src/core/operators/iejoin.cc" "src/CMakeFiles/rheem.dir/core/operators/iejoin.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/operators/iejoin.cc.o.d"
+  "/root/repo/src/core/operators/kernels.cc" "src/CMakeFiles/rheem.dir/core/operators/kernels.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/operators/kernels.cc.o.d"
+  "/root/repo/src/core/operators/physical_ops.cc" "src/CMakeFiles/rheem.dir/core/operators/physical_ops.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/operators/physical_ops.cc.o.d"
+  "/root/repo/src/core/optimizer/cardinality.cc" "src/CMakeFiles/rheem.dir/core/optimizer/cardinality.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/optimizer/cardinality.cc.o.d"
+  "/root/repo/src/core/optimizer/channel.cc" "src/CMakeFiles/rheem.dir/core/optimizer/channel.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/optimizer/channel.cc.o.d"
+  "/root/repo/src/core/optimizer/cost_learner.cc" "src/CMakeFiles/rheem.dir/core/optimizer/cost_learner.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/optimizer/cost_learner.cc.o.d"
+  "/root/repo/src/core/optimizer/cost_model.cc" "src/CMakeFiles/rheem.dir/core/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/core/optimizer/enumerator.cc" "src/CMakeFiles/rheem.dir/core/optimizer/enumerator.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/optimizer/enumerator.cc.o.d"
+  "/root/repo/src/core/optimizer/logical_rewrites.cc" "src/CMakeFiles/rheem.dir/core/optimizer/logical_rewrites.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/optimizer/logical_rewrites.cc.o.d"
+  "/root/repo/src/core/optimizer/stage_splitter.cc" "src/CMakeFiles/rheem.dir/core/optimizer/stage_splitter.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/optimizer/stage_splitter.cc.o.d"
+  "/root/repo/src/core/plan/operator.cc" "src/CMakeFiles/rheem.dir/core/plan/operator.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/plan/operator.cc.o.d"
+  "/root/repo/src/core/plan/plan.cc" "src/CMakeFiles/rheem.dir/core/plan/plan.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/plan/plan.cc.o.d"
+  "/root/repo/src/core/plan/plan_printer.cc" "src/CMakeFiles/rheem.dir/core/plan/plan_printer.cc.o" "gcc" "src/CMakeFiles/rheem.dir/core/plan/plan_printer.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/rheem.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/rheem.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/record.cc" "src/CMakeFiles/rheem.dir/data/record.cc.o" "gcc" "src/CMakeFiles/rheem.dir/data/record.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/rheem.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/rheem.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/serialization.cc" "src/CMakeFiles/rheem.dir/data/serialization.cc.o" "gcc" "src/CMakeFiles/rheem.dir/data/serialization.cc.o.d"
+  "/root/repo/src/data/value.cc" "src/CMakeFiles/rheem.dir/data/value.cc.o" "gcc" "src/CMakeFiles/rheem.dir/data/value.cc.o.d"
+  "/root/repo/src/platforms/javasim/javasim_operators.cc" "src/CMakeFiles/rheem.dir/platforms/javasim/javasim_operators.cc.o" "gcc" "src/CMakeFiles/rheem.dir/platforms/javasim/javasim_operators.cc.o.d"
+  "/root/repo/src/platforms/javasim/javasim_platform.cc" "src/CMakeFiles/rheem.dir/platforms/javasim/javasim_platform.cc.o" "gcc" "src/CMakeFiles/rheem.dir/platforms/javasim/javasim_platform.cc.o.d"
+  "/root/repo/src/platforms/relsim/catalog.cc" "src/CMakeFiles/rheem.dir/platforms/relsim/catalog.cc.o" "gcc" "src/CMakeFiles/rheem.dir/platforms/relsim/catalog.cc.o.d"
+  "/root/repo/src/platforms/relsim/expression.cc" "src/CMakeFiles/rheem.dir/platforms/relsim/expression.cc.o" "gcc" "src/CMakeFiles/rheem.dir/platforms/relsim/expression.cc.o.d"
+  "/root/repo/src/platforms/relsim/rel_exec.cc" "src/CMakeFiles/rheem.dir/platforms/relsim/rel_exec.cc.o" "gcc" "src/CMakeFiles/rheem.dir/platforms/relsim/rel_exec.cc.o.d"
+  "/root/repo/src/platforms/relsim/relsim_operators.cc" "src/CMakeFiles/rheem.dir/platforms/relsim/relsim_operators.cc.o" "gcc" "src/CMakeFiles/rheem.dir/platforms/relsim/relsim_operators.cc.o.d"
+  "/root/repo/src/platforms/relsim/relsim_platform.cc" "src/CMakeFiles/rheem.dir/platforms/relsim/relsim_platform.cc.o" "gcc" "src/CMakeFiles/rheem.dir/platforms/relsim/relsim_platform.cc.o.d"
+  "/root/repo/src/platforms/relsim/sql.cc" "src/CMakeFiles/rheem.dir/platforms/relsim/sql.cc.o" "gcc" "src/CMakeFiles/rheem.dir/platforms/relsim/sql.cc.o.d"
+  "/root/repo/src/platforms/relsim/table.cc" "src/CMakeFiles/rheem.dir/platforms/relsim/table.cc.o" "gcc" "src/CMakeFiles/rheem.dir/platforms/relsim/table.cc.o.d"
+  "/root/repo/src/platforms/sparksim/overhead.cc" "src/CMakeFiles/rheem.dir/platforms/sparksim/overhead.cc.o" "gcc" "src/CMakeFiles/rheem.dir/platforms/sparksim/overhead.cc.o.d"
+  "/root/repo/src/platforms/sparksim/rdd.cc" "src/CMakeFiles/rheem.dir/platforms/sparksim/rdd.cc.o" "gcc" "src/CMakeFiles/rheem.dir/platforms/sparksim/rdd.cc.o.d"
+  "/root/repo/src/platforms/sparksim/scheduler.cc" "src/CMakeFiles/rheem.dir/platforms/sparksim/scheduler.cc.o" "gcc" "src/CMakeFiles/rheem.dir/platforms/sparksim/scheduler.cc.o.d"
+  "/root/repo/src/platforms/sparksim/shuffle.cc" "src/CMakeFiles/rheem.dir/platforms/sparksim/shuffle.cc.o" "gcc" "src/CMakeFiles/rheem.dir/platforms/sparksim/shuffle.cc.o.d"
+  "/root/repo/src/platforms/sparksim/sparksim_operators.cc" "src/CMakeFiles/rheem.dir/platforms/sparksim/sparksim_operators.cc.o" "gcc" "src/CMakeFiles/rheem.dir/platforms/sparksim/sparksim_operators.cc.o.d"
+  "/root/repo/src/platforms/sparksim/sparksim_platform.cc" "src/CMakeFiles/rheem.dir/platforms/sparksim/sparksim_platform.cc.o" "gcc" "src/CMakeFiles/rheem.dir/platforms/sparksim/sparksim_platform.cc.o.d"
+  "/root/repo/src/storage/csv_store.cc" "src/CMakeFiles/rheem.dir/storage/csv_store.cc.o" "gcc" "src/CMakeFiles/rheem.dir/storage/csv_store.cc.o.d"
+  "/root/repo/src/storage/hot_buffer.cc" "src/CMakeFiles/rheem.dir/storage/hot_buffer.cc.o" "gcc" "src/CMakeFiles/rheem.dir/storage/hot_buffer.cc.o.d"
+  "/root/repo/src/storage/kv_store.cc" "src/CMakeFiles/rheem.dir/storage/kv_store.cc.o" "gcc" "src/CMakeFiles/rheem.dir/storage/kv_store.cc.o.d"
+  "/root/repo/src/storage/mem_column_store.cc" "src/CMakeFiles/rheem.dir/storage/mem_column_store.cc.o" "gcc" "src/CMakeFiles/rheem.dir/storage/mem_column_store.cc.o.d"
+  "/root/repo/src/storage/storage_optimizer.cc" "src/CMakeFiles/rheem.dir/storage/storage_optimizer.cc.o" "gcc" "src/CMakeFiles/rheem.dir/storage/storage_optimizer.cc.o.d"
+  "/root/repo/src/storage/storage_plan.cc" "src/CMakeFiles/rheem.dir/storage/storage_plan.cc.o" "gcc" "src/CMakeFiles/rheem.dir/storage/storage_plan.cc.o.d"
+  "/root/repo/src/storage/store_op.cc" "src/CMakeFiles/rheem.dir/storage/store_op.cc.o" "gcc" "src/CMakeFiles/rheem.dir/storage/store_op.cc.o.d"
+  "/root/repo/src/storage/transformation.cc" "src/CMakeFiles/rheem.dir/storage/transformation.cc.o" "gcc" "src/CMakeFiles/rheem.dir/storage/transformation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

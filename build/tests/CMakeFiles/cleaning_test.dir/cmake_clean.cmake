@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaning_test.dir/apps/cleaning_test.cc.o"
+  "CMakeFiles/cleaning_test.dir/apps/cleaning_test.cc.o.d"
+  "cleaning_test"
+  "cleaning_test.pdb"
+  "cleaning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

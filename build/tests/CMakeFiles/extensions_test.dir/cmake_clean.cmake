@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensions_test.dir/core/adaptive_test.cc.o"
+  "CMakeFiles/extensions_test.dir/core/adaptive_test.cc.o.d"
+  "CMakeFiles/extensions_test.dir/core/cost_learner_test.cc.o"
+  "CMakeFiles/extensions_test.dir/core/cost_learner_test.cc.o.d"
+  "CMakeFiles/extensions_test.dir/core/declarative_test.cc.o"
+  "CMakeFiles/extensions_test.dir/core/declarative_test.cc.o.d"
+  "extensions_test"
+  "extensions_test.pdb"
+  "extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

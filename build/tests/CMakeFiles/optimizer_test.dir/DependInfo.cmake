@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/cardinality_test.cc" "tests/CMakeFiles/optimizer_test.dir/core/cardinality_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_test.dir/core/cardinality_test.cc.o.d"
+  "/root/repo/tests/core/cost_model_test.cc" "tests/CMakeFiles/optimizer_test.dir/core/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_test.dir/core/cost_model_test.cc.o.d"
+  "/root/repo/tests/core/enumerator_test.cc" "tests/CMakeFiles/optimizer_test.dir/core/enumerator_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_test.dir/core/enumerator_test.cc.o.d"
+  "/root/repo/tests/core/rewrites_test.cc" "tests/CMakeFiles/optimizer_test.dir/core/rewrites_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_test.dir/core/rewrites_test.cc.o.d"
+  "/root/repo/tests/core/stage_splitter_test.cc" "tests/CMakeFiles/optimizer_test.dir/core/stage_splitter_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_test.dir/core/stage_splitter_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rheem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_test.dir/core/cardinality_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/core/cardinality_test.cc.o.d"
+  "CMakeFiles/optimizer_test.dir/core/cost_model_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/core/cost_model_test.cc.o.d"
+  "CMakeFiles/optimizer_test.dir/core/enumerator_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/core/enumerator_test.cc.o.d"
+  "CMakeFiles/optimizer_test.dir/core/rewrites_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/core/rewrites_test.cc.o.d"
+  "CMakeFiles/optimizer_test.dir/core/stage_splitter_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/core/stage_splitter_test.cc.o.d"
+  "optimizer_test"
+  "optimizer_test.pdb"
+  "optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/platforms/javasim_test.cc" "tests/CMakeFiles/platforms_test.dir/platforms/javasim_test.cc.o" "gcc" "tests/CMakeFiles/platforms_test.dir/platforms/javasim_test.cc.o.d"
+  "/root/repo/tests/platforms/parity_test.cc" "tests/CMakeFiles/platforms_test.dir/platforms/parity_test.cc.o" "gcc" "tests/CMakeFiles/platforms_test.dir/platforms/parity_test.cc.o.d"
+  "/root/repo/tests/platforms/relsim_test.cc" "tests/CMakeFiles/platforms_test.dir/platforms/relsim_test.cc.o" "gcc" "tests/CMakeFiles/platforms_test.dir/platforms/relsim_test.cc.o.d"
+  "/root/repo/tests/platforms/sparksim_test.cc" "tests/CMakeFiles/platforms_test.dir/platforms/sparksim_test.cc.o" "gcc" "tests/CMakeFiles/platforms_test.dir/platforms/sparksim_test.cc.o.d"
+  "/root/repo/tests/platforms/sql_test.cc" "tests/CMakeFiles/platforms_test.dir/platforms/sql_test.cc.o" "gcc" "tests/CMakeFiles/platforms_test.dir/platforms/sql_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rheem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

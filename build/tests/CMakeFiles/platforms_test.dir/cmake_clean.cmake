@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platforms_test.dir/platforms/javasim_test.cc.o"
+  "CMakeFiles/platforms_test.dir/platforms/javasim_test.cc.o.d"
+  "CMakeFiles/platforms_test.dir/platforms/parity_test.cc.o"
+  "CMakeFiles/platforms_test.dir/platforms/parity_test.cc.o.d"
+  "CMakeFiles/platforms_test.dir/platforms/relsim_test.cc.o"
+  "CMakeFiles/platforms_test.dir/platforms/relsim_test.cc.o.d"
+  "CMakeFiles/platforms_test.dir/platforms/sparksim_test.cc.o"
+  "CMakeFiles/platforms_test.dir/platforms/sparksim_test.cc.o.d"
+  "CMakeFiles/platforms_test.dir/platforms/sql_test.cc.o"
+  "CMakeFiles/platforms_test.dir/platforms/sql_test.cc.o.d"
+  "platforms_test"
+  "platforms_test.pdb"
+  "platforms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platforms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
