@@ -21,6 +21,9 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kIoError: return "IoError";
     case StatusCode::kOutOfRange: return "OutOfRange";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -68,6 +71,15 @@ Status Status::OutOfRange(std::string msg) {
 }
 Status Status::Internal(std::string msg) {
   return Status(StatusCode::kInternal, std::move(msg));
+}
+Status Status::ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+Status Status::Cancelled(std::string msg) {
+  return Status(StatusCode::kCancelled, std::move(msg));
+}
+Status Status::DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
 }
 
 const std::string& Status::message() const {

@@ -23,6 +23,9 @@ enum class StatusCode {
   kIoError = 7,
   kOutOfRange = 8,
   kInternal = 9,
+  kResourceExhausted = 10,
+  kCancelled = 11,
+  kDeadlineExceeded = 12,
 };
 
 /// \brief Returns a human-readable name for a status code ("InvalidPlan", ...).
@@ -52,6 +55,9 @@ class Status {
   static Status IoError(std::string msg);
   static Status OutOfRange(std::string msg);
   static Status Internal(std::string msg);
+  static Status ResourceExhausted(std::string msg);
+  static Status Cancelled(std::string msg);
+  static Status DeadlineExceeded(std::string msg);
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -69,6 +75,13 @@ class Status {
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// \brief Prepends context to the message, keeping the code.
   Status WithContext(const std::string& context) const;

@@ -13,21 +13,32 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
     shutdown_ = true;
   }
   cv_.notify_all();
   for (auto& t : threads_) t.join();
+  threads_.clear();
 }
 
-void ThreadPool::Schedule(std::function<void()> task) {
+bool ThreadPool::Schedule(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
+  return true;
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -63,7 +74,7 @@ void ThreadPool::ParallelFor(std::size_t n,
   auto state = std::make_shared<SharedState>();
   state->remaining.store(n);
   for (std::size_t i = 0; i < n; ++i) {
-    Schedule([state, &fn, i]() {
+    auto task = [state, &fn, i]() {
       try {
         fn(i);
       } catch (...) {
@@ -74,7 +85,10 @@ void ThreadPool::ParallelFor(std::size_t n,
         std::lock_guard<std::mutex> lock(state->mu);
         state->done_cv.notify_all();
       }
-    });
+    };
+    // A shut-down pool cannot run the task; do it inline so the barrier
+    // below still completes.
+    if (!Schedule(task)) task();
   }
   std::unique_lock<std::mutex> lock(state->mu);
   state->done_cv.wait(lock, [&]() { return state->remaining.load() == 0; });

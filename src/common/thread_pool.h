@@ -29,10 +29,15 @@ class ThreadPool {
 
   std::size_t num_threads() const { return threads_.size(); }
 
-  /// Enqueues a fire-and-forget task.
-  void Schedule(std::function<void()> task);
+  /// Number of tasks waiting in the queue (excludes tasks already running).
+  std::size_t pending() const;
 
-  /// Enqueues a task and returns a future for its result.
+  /// Enqueues a fire-and-forget task. Returns false (dropping the task)
+  /// when the pool has been shut down — no worker would ever run it.
+  bool Schedule(std::function<void()> task);
+
+  /// Enqueues a task and returns a future for its result. If the pool is
+  /// already shut down the returned future reports std::broken_promise.
   template <typename F>
   auto Submit(F&& f) -> std::future<decltype(f())> {
     using R = decltype(f());
@@ -41,6 +46,10 @@ class ThreadPool {
     Schedule([task]() { (*task)(); });
     return fut;
   }
+
+  /// Drains queued tasks and joins the workers. Idempotent; called by the
+  /// destructor. After shutdown Schedule() rejects new tasks.
+  void Shutdown();
 
   /// Runs fn(i) for i in [0, n) across the pool and blocks until all finish.
   /// Exceptions escaping fn are rethrown on the calling thread (first one).
@@ -51,7 +60,7 @@ class ThreadPool {
 
   std::vector<std::thread> threads_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   bool shutdown_ = false;
 };

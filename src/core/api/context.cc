@@ -6,6 +6,7 @@
 #include "core/api/logical_nodes.h"
 #include "core/optimizer/enumerator.h"
 #include "core/optimizer/logical_rewrites.h"
+#include "core/service/job_server.h"
 #include "platforms/javasim/javasim_platform.h"
 #include "platforms/relsim/relsim_platform.h"
 #include "platforms/sparksim/sparksim_platform.h"
@@ -13,6 +14,23 @@
 namespace rheem {
 
 RheemContext::RheemContext(Config config) : config_(std::move(config)) {}
+
+RheemContext::~RheemContext() = default;  // JobServer's dtor drains
+
+JobServer& RheemContext::job_server() {
+  std::lock_guard<std::mutex> lock(server_mu_);
+  if (server_ == nullptr) server_ = std::make_unique<JobServer>(this);
+  return *server_;
+}
+
+Result<JobHandle> RheemContext::Submit(const Plan& logical_plan) {
+  return job_server().Submit(logical_plan);
+}
+
+Result<JobHandle> RheemContext::Submit(const Plan& logical_plan,
+                                       const JobOptions& options) {
+  return job_server().Submit(logical_plan, options);
+}
 
 Status RheemContext::RegisterDefaultPlatforms() {
   RHEEM_ASSIGN_OR_RETURN(

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/config.h"
@@ -16,6 +17,10 @@
 #include "core/plan/plan.h"
 
 namespace rheem {
+
+class JobServer;   // core/service/job_server.h
+class JobHandle;
+struct JobOptions;
 
 /// Per-job execution knobs consumed by RheemContext::Compile/Execute.
 struct ExecutionOptions {
@@ -55,6 +60,7 @@ struct CompiledJob {
 class RheemContext {
  public:
   explicit RheemContext(Config config = Config());
+  ~RheemContext();  // drains the lazily created JobServer, if any
 
   /// Registers the built-in simulated platforms selected by config.
   Status RegisterDefaultPlatforms();
@@ -72,6 +78,16 @@ class RheemContext {
   Result<ExecutionResult> Execute(const Plan& logical_plan,
                                   const ExecutionOptions& options = {}) const;
 
+  /// Async convenience over the service layer: submits to this context's
+  /// JobServer (created lazily from the `service.*` config keys) and returns
+  /// a JobHandle future. The plan is borrowed and must outlive completion.
+  /// Callers needing JobOptions/JobHandle include core/service/job_server.h.
+  Result<JobHandle> Submit(const Plan& logical_plan);
+  Result<JobHandle> Submit(const Plan& logical_plan, const JobOptions& options);
+
+  /// The context's serving layer (lazily created on first use).
+  JobServer& job_server();
+
   /// Translates a logical plan (GenericLogicalOp nodes and/or arbitrary
   /// per-quantum LogicalOperator subclasses, which get wrapper physical
   /// operators) into a physical plan. `pins` receives physical-op-id ->
@@ -84,6 +100,10 @@ class RheemContext {
   Config config_;
   PlatformRegistry registry_;
   MovementCostModel movement_;
+  std::mutex server_mu_;  // guards lazy creation of server_
+  // Declared last: jobs reference the registry's platforms, so the server
+  // must drain before anything else is torn down.
+  std::unique_ptr<JobServer> server_;
 };
 
 }  // namespace rheem

@@ -223,6 +223,16 @@ Result<ExecutionResult> DataQuanta::CollectWithMetrics() const {
   return job_->ctx_->Execute(*job_->plan_, job_->options_);
 }
 
+Result<Plan*> DataQuanta::Seal() const {
+  if (!valid()) return Status::InvalidArgument("empty DataQuanta");
+  if (job_->ctx_ == nullptr) {
+    return Status::InvalidArgument("cannot Seal inside a loop body");
+  }
+  auto* sink = Append(OpKind::kCollect, {node_});
+  job_->plan_->SetSink(sink);
+  return job_->plan_.get();
+}
+
 Result<std::string> DataQuanta::Explain() const {
   if (!valid()) return Status::InvalidArgument("empty DataQuanta");
   if (job_->ctx_ == nullptr) {

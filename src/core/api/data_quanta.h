@@ -104,6 +104,10 @@ class DataQuanta {
 
   // --- terminals ---------------------------------------------------------------
   Result<Dataset> Collect() const;
+  /// Appends a Collect sink and returns the job's logical plan WITHOUT
+  /// executing — the handoff point for RheemContext::Submit. The plan stays
+  /// owned by the RheemJob, which must outlive any submitted jobs.
+  Result<Plan*> Seal() const;
   Result<ExecutionResult> CollectWithMetrics() const;
   /// Compiles without executing; returns the multi-stage execution plan
   /// rendered as text.

@@ -1,5 +1,7 @@
 #include "core/api/logical_nodes.h"
 
+#include "core/optimizer/fingerprint.h"
+
 namespace rheem {
 
 int GenericLogicalOp::arity() const {
@@ -62,6 +64,56 @@ double GenericLogicalOp::SelectivityHint() const {
     case OpKind::kThetaJoin: return theta.meta.selectivity;
     default: return 1.0;
   }
+}
+
+std::string GenericLogicalOp::FingerprintToken() const {
+  std::string t = kind_name();
+  if (!pinned_platform.empty()) t += "|pin=" + pinned_platform;
+  t += "|sel=" + std::to_string(SelectivityHint());
+  t += "|cost=" + std::to_string(CostHint());
+  switch (kind_) {
+    case OpKind::kCollectionSource:
+      t += "|data=" + std::to_string(PlanFingerprint::OfDataset(source_data));
+      break;
+    case OpKind::kProject:
+      t += "|cols=";
+      for (int c : columns) t += std::to_string(c) + ",";
+      break;
+    case OpKind::kSample:
+      t += "|frac=" + std::to_string(fraction) +
+           "|seed=" + std::to_string(seed);
+      break;
+    case OpKind::kGroupByKey:
+      t += groupby_algorithm == GroupByAlgorithm::kHash ? "|hash" : "|sort";
+      break;
+    case OpKind::kJoin:
+      t += join_algorithm == JoinAlgorithm::kHash ? "|hash" : "|merge";
+      break;
+    case OpKind::kIEJoin:
+      t += "|ie=" + std::to_string(iejoin.left_col1) +
+           CompareOpToString(iejoin.op1) + std::to_string(iejoin.right_col1) +
+           "&" + std::to_string(iejoin.left_col2) +
+           CompareOpToString(iejoin.op2) + std::to_string(iejoin.right_col2);
+      break;
+    case OpKind::kTopK:
+      t += "|k=" + std::to_string(topk) + (ascending ? "|asc" : "|desc");
+      break;
+    case OpKind::kRepeat:
+    case OpKind::kDoWhile:
+      if (loop != nullptr) {
+        t += "|iters=" + std::to_string(loop->is_do_while
+                                            ? loop->max_iterations
+                                            : loop->iterations);
+        if (loop->body != nullptr) {
+          auto body_fp = PlanFingerprint::Compute(*loop->body);
+          t += "|body=" + std::to_string(body_fp.ValueOr(0));
+        }
+      }
+      break;
+    default:
+      break;
+  }
+  return t;
 }
 
 double GenericLogicalOp::CostHint() const {

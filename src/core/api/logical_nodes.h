@@ -51,6 +51,12 @@ class GenericLogicalOp : public LogicalOperator {
   double SelectivityHint() const override;
   double CostHint() const override;
 
+  /// Folds the payload slots that determine semantics beyond the kind —
+  /// source data content, projection columns, sample parameters, algorithm
+  /// choices, TopK/loop bounds, platform pin, UDF metadata — so the plan
+  /// cache never conflates two differently-parameterized queries.
+  std::string FingerprintToken() const override;
+
   // --- payload slots (filled by the DataQuanta builder) -------------------
   Dataset source_data;
   MapUdf map;

@@ -1,0 +1,53 @@
+#ifndef RHEEM_CORE_EXECUTOR_CANCELLATION_H_
+#define RHEEM_CORE_EXECUTOR_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "common/status.h"
+
+namespace rheem {
+
+/// \brief Cooperative cancellation flag shared between a job's owner and the
+/// executor running it.
+///
+/// Cancellation is checked at stage boundaries (before every stage attempt),
+/// never mid-kernel: a running task atom finishes, its successors don't
+/// start. One token may be observed by many threads.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// \brief Per-job stop conditions the executor polls between stages: an
+/// optional cancel token and an optional absolute deadline.
+struct StopCondition {
+  const CancelToken* token = nullptr;  // not owned; nullptr = no cancellation
+  std::chrono::steady_clock::time_point deadline{};  // epoch = no deadline
+  bool has_deadline = false;
+
+  /// OK while the job may keep running; Cancelled / DeadlineExceeded once it
+  /// must stop.
+  Status Check() const {
+    if (token != nullptr && token->cancelled()) {
+      return Status::Cancelled("job cancelled");
+    }
+    if (has_deadline && std::chrono::steady_clock::now() > deadline) {
+      return Status::DeadlineExceeded("job deadline exceeded");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_EXECUTOR_CANCELLATION_H_

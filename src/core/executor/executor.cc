@@ -1,8 +1,12 @@
 #include "core/executor/executor.h"
 
+#include <condition_variable>
+#include <deque>
 #include <filesystem>
 #include <map>
+#include <mutex>
 #include <set>
+#include <vector>
 
 #include "common/csv.h"
 #include "common/logging.h"
@@ -11,6 +15,90 @@
 #include "data/serialization.h"
 
 namespace rheem {
+
+namespace {
+
+/// Dynamic DAG scheduler: dispatches every stage whose upstream stages have
+/// completed onto `pool`, tracking readiness with indegree counts. The
+/// calling thread coordinates and blocks; stage bodies run on pool workers.
+/// On the first stage failure no further stages start, but in-flight stages
+/// are awaited before returning (their state references live on this frame).
+Status RunStagesDag(const std::vector<Stage>& stages, ThreadPool* pool,
+                    const std::function<Status(const Stage&)>& run_stage) {
+  const std::size_t n = stages.size();
+  std::map<int, std::size_t> index_of;
+  for (std::size_t i = 0; i < n; ++i) index_of[stages[i].id()] = i;
+
+  std::vector<std::vector<std::size_t>> dependents(n);
+  std::vector<std::size_t> indegree(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int up : stages[i].upstream_stages()) {
+      auto it = index_of.find(up);
+      if (it == index_of.end()) {
+        return Status::InvalidPlan("stage " + std::to_string(stages[i].id()) +
+                                   " depends on unknown stage " +
+                                   std::to_string(up));
+      }
+      dependents[it->second].push_back(i);
+      ++indegree[i];
+    }
+  }
+
+  struct Ctl {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::size_t> ready;
+    std::size_t in_flight = 0;
+    std::size_t completed = 0;
+    bool failed = false;
+    Status error;
+  };
+  Ctl ctl;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ctl.ready.push_back(i);
+  }
+
+  std::unique_lock<std::mutex> lk(ctl.mu);
+  for (;;) {
+    if (!ctl.failed && !ctl.ready.empty()) {
+      const std::size_t idx = ctl.ready.front();
+      ctl.ready.pop_front();
+      ++ctl.in_flight;
+      lk.unlock();
+      auto task = [&ctl, &stages, &dependents, &indegree, &run_stage, idx]() {
+        Status st = run_stage(stages[idx]);
+        std::lock_guard<std::mutex> g(ctl.mu);
+        --ctl.in_flight;
+        ++ctl.completed;
+        if (!st.ok()) {
+          if (!ctl.failed) {
+            ctl.failed = true;
+            ctl.error = std::move(st);
+          }
+        } else {
+          for (std::size_t d : dependents[idx]) {
+            if (--indegree[d] == 0) ctl.ready.push_back(d);
+          }
+        }
+        ctl.cv.notify_all();
+      };
+      // A shut-down pool cannot carry the task; run it inline to keep the
+      // job making (serial) progress.
+      if (!pool->Schedule(task)) task();
+      lk.lock();
+      continue;
+    }
+    if (ctl.in_flight == 0) {
+      if (ctl.failed) return ctl.error;
+      if (ctl.completed == n) return Status::OK();
+      // Nothing running, nothing ready, not done: the stage graph is cyclic.
+      return Status::Internal("stage scheduler stalled on a cyclic graph");
+    }
+    ctl.cv.wait(lk);
+  }
+}
+
+}  // namespace
 
 CrossPlatformExecutor::CrossPlatformExecutor(Config config)
     : config_(std::move(config)) {}
@@ -24,6 +112,8 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
                          config_.GetInt("executor.max_retries", 2));
   RHEEM_ASSIGN_OR_RETURN(bool serialize_boundaries,
                          config_.GetBool("executor.serialize_boundaries", true));
+  RHEEM_ASSIGN_OR_RETURN(bool parallel_stages,
+                         config_.GetBool("executor.parallel_stages", true));
   RHEEM_ASSIGN_OR_RETURN(std::string checkpoint_dir,
                          config_.GetString("executor.checkpoint_dir", ""));
   RHEEM_ASSIGN_OR_RETURN(std::string job_id,
@@ -50,7 +140,15 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
     }
   }
 
-  for (const Stage& stage : eplan.stages) {
+  // Guards `state`, `metrics` and `consumers_left` when stages run
+  // concurrently. Datasets borrowed from `state` stay valid while held: a
+  // stage's inputs keep a positive consumer count until the stage finishes,
+  // and ExecutionState is node-based, so unrelated Put/Evict don't move them.
+  std::mutex mu;
+
+  auto run_stage = [&](const Stage& stage) -> Status {
+    RHEEM_RETURN_IF_ERROR(stop_.Check());
+
     // Fault recovery: if every product of this stage survives from a prior
     // run of the same job id, restore it instead of re-executing.
     if (!checkpoint_dir.empty() && !stage.outputs().empty()) {
@@ -70,8 +168,11 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
         restored.push_back(std::move(decoded).ValueOrDie());
       }
       if (all_present) {
-        for (std::size_t i = 0; i < restored.size(); ++i) {
-          state.Put(stage.outputs()[i]->id(), std::move(restored[i]));
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          for (std::size_t i = 0; i < restored.size(); ++i) {
+            state.Put(stage.outputs()[i]->id(), std::move(restored[i]));
+          }
         }
         if (monitor_ != nullptr) {
           ExecutionMonitor::StageRecord record;
@@ -81,7 +182,7 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
           record.error = "restored from checkpoint";
           monitor_->RecordStage(record);
         }
-        continue;
+        return Status::OK();
       }
     }
 
@@ -90,29 +191,38 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
     std::vector<Dataset> converted;  // keep conversions alive for the call
     converted.reserve(stage.boundary_inputs().size());
     for (const Operator* producer : stage.boundary_inputs()) {
-      RHEEM_ASSIGN_OR_RETURN(const Dataset* data, state.Get(producer->id()));
+      const Dataset* data = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        RHEEM_ASSIGN_OR_RETURN(data, state.Get(producer->id()));
+      }
       Platform* from =
           eplan.assignment.by_op.count(producer->id()) > 0
               ? eplan.assignment.by_op.at(producer->id())
               : nullptr;
       const bool crosses = from != nullptr && from != stage.platform();
       if (crosses) {
-        metrics.moved_records += static_cast<int64_t>(data->size());
         if (serialize_boundaries) {
           // Real work: encode on the producer side, decode on the consumer
           // side (ChannelKind::kSerializedStream).
           Stopwatch sw;
           std::string wire = Serializer::EncodeDataset(*data);
-          metrics.moved_bytes += static_cast<int64_t>(wire.size());
           auto decoded = Serializer::DecodeDataset(wire);
           if (!decoded.ok()) {
             return decoded.status().WithContext("boundary conversion");
           }
           converted.push_back(std::move(decoded).ValueOrDie());
-          metrics.wall_micros += sw.ElapsedMicros();
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            metrics.moved_records += static_cast<int64_t>(data->size());
+            metrics.moved_bytes += static_cast<int64_t>(wire.size());
+            metrics.wall_micros += sw.ElapsedMicros();
+          }
           boundary[producer->id()] = &converted.back();
           continue;
         }
+        std::lock_guard<std::mutex> lock(mu);
+        metrics.moved_records += static_cast<int64_t>(data->size());
         metrics.moved_bytes += Serializer::EncodedSize(*data);
       }
       boundary[producer->id()] = data;
@@ -122,7 +232,11 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
     Status last_error = Status::OK();
     bool done = false;
     for (int attempt = 0; attempt <= max_retries && !done; ++attempt) {
-      if (attempt > 0) ++metrics.retries;
+      RHEEM_RETURN_IF_ERROR(stop_.Check());
+      if (attempt > 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++metrics.retries;
+      }
       ExecutionMetrics stage_metrics;
       Stopwatch sw;
       Status injected =
@@ -149,9 +263,6 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
               std::to_string(stage.id()) + " but " +
               std::to_string(stage.outputs().size()) + " were declared");
         }
-        metrics.MergeFrom(stage_metrics);
-        metrics.wall_micros += wall;
-        metrics.stages_run += 1;
         for (std::size_t i = 0; i < out.size(); ++i) {
           record.output_records += static_cast<int64_t>(out[i].size());
           if (!checkpoint_dir.empty()) {
@@ -163,7 +274,15 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
                                  << written.ToString();
             }
           }
-          state.Put(stage.outputs()[i]->id(), std::move(out[i]));
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          metrics.MergeFrom(stage_metrics);
+          metrics.wall_micros += wall;
+          metrics.stages_run += 1;
+          for (std::size_t i = 0; i < out.size(); ++i) {
+            state.Put(stage.outputs()[i]->id(), std::move(out[i]));
+          }
         }
         record.succeeded = true;
         done = true;
@@ -183,13 +302,26 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
     }
 
     // Evict boundary inputs no longer needed by later stages.
-    for (const Operator* producer : stage.boundary_inputs()) {
-      auto it = consumers_left.find(producer->id());
-      if (it != consumers_left.end() && --it->second == 0 &&
-          producer != eplan.plan->sink()) {
-        state.Evict(producer->id());
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      for (const Operator* producer : stage.boundary_inputs()) {
+        auto it = consumers_left.find(producer->id());
+        if (it != consumers_left.end() && --it->second == 0 &&
+            producer != eplan.plan->sink()) {
+          state.Evict(producer->id());
+        }
       }
     }
+    return Status::OK();
+  };
+
+  if (!parallel_stages || eplan.stages.size() <= 1) {
+    for (const Stage& stage : eplan.stages) {
+      RHEEM_RETURN_IF_ERROR(run_stage(stage));
+    }
+  } else {
+    ThreadPool* pool = pool_ != nullptr ? pool_ : &DefaultThreadPool();
+    RHEEM_RETURN_IF_ERROR(RunStagesDag(eplan.stages, pool, run_stage));
   }
 
   RHEEM_ASSIGN_OR_RETURN(const Dataset* final_data,

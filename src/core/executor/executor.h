@@ -5,6 +5,8 @@
 
 #include "common/config.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/executor/cancellation.h"
 #include "core/executor/monitor.h"
 #include "core/optimizer/stage_splitter.h"
 
@@ -21,6 +23,11 @@ struct ExecutionResult {
 /// boundaries, monitors progress, retries failed atoms, and hands the final
 /// aggregate back to the caller.
 ///
+/// Independent stages (task atoms with no dependency path between them) run
+/// concurrently on a ThreadPool; dependent stages respect the DAG order. The
+/// calling thread acts as the scheduler and blocks until the job finishes,
+/// so it must not itself be a worker of the stage pool.
+///
 /// Cross-platform boundaries perform *real* serialization+deserialization of
 /// the crossing datasets (ChannelKind::kSerializedStream), so the movement
 /// costs reported by benchmarks are measured, not modelled.
@@ -28,6 +35,8 @@ struct ExecutionResult {
 /// Config keys:
 ///   executor.max_retries        (int, default 2)   retries per failed stage
 ///   executor.serialize_boundaries (bool, default true)
+///   executor.parallel_stages    (bool, default true): run independent stages
+///       concurrently; disable for strictly serial stage-by-stage execution.
 ///   executor.checkpoint_dir     (string, default "" = off): directory where
 ///       every stage's boundary outputs are persisted; a re-run of the same
 ///       job (keyed by executor.job_id) skips stages whose products are
@@ -47,6 +56,15 @@ class CrossPlatformExecutor {
   }
   void set_monitor(ExecutionMonitor* monitor) { monitor_ = monitor; }
 
+  /// Pool carrying concurrent stage tasks (not owned). Defaults to the
+  /// process-wide DefaultThreadPool().
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Cancellation/deadline polled at stage boundaries: a cancelled or
+  /// overdue job stops before its next stage attempt and Execute returns
+  /// Cancelled / DeadlineExceeded.
+  void set_stop_condition(StopCondition stop) { stop_ = stop; }
+
   /// Runs all stages of `eplan` and returns the plan sink's output.
   Result<ExecutionResult> Execute(const ExecutionPlan& eplan);
 
@@ -54,6 +72,8 @@ class CrossPlatformExecutor {
   Config config_;
   FailureInjector failure_injector_;
   ExecutionMonitor* monitor_ = nullptr;  // optional, not owned
+  ThreadPool* pool_ = nullptr;           // optional, not owned
+  StopCondition stop_;
 };
 
 }  // namespace rheem

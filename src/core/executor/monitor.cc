@@ -5,10 +5,17 @@
 namespace rheem {
 
 void ExecutionMonitor::RecordStage(StageRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
   records_.push_back(std::move(record));
 }
 
+std::vector<ExecutionMonitor::StageRecord> ExecutionMonitor::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
 int64_t ExecutionMonitor::failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
   int64_t n = 0;
   for (const auto& r : records_) {
     if (!r.succeeded) ++n;
@@ -17,6 +24,7 @@ int64_t ExecutionMonitor::failures() const {
 }
 
 std::string ExecutionMonitor::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "execution report (" + std::to_string(records_.size()) +
                     " stage attempt(s))\n";
   char buf[256];

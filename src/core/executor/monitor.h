@@ -2,6 +2,7 @@
 #define RHEEM_CORE_EXECUTOR_MONITOR_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,10 @@ namespace rheem {
 
 /// \brief Per-stage progress log kept by the Executor (paper §4.2: the
 /// Executor monitors the progress of plan execution).
+///
+/// Thread-safe: independent stages execute concurrently (and the JobServer
+/// may share one monitor across jobs), so RecordStage and the readers
+/// synchronize on an internal mutex. records() returns a snapshot.
 class ExecutionMonitor {
  public:
   struct StageRecord {
@@ -26,7 +31,8 @@ class ExecutionMonitor {
 
   void RecordStage(StageRecord record);
 
-  const std::vector<StageRecord>& records() const { return records_; }
+  /// Snapshot of all records so far, in arrival order.
+  std::vector<StageRecord> records() const;
 
   /// Number of failed attempts observed.
   int64_t failures() const;
@@ -35,6 +41,7 @@ class ExecutionMonitor {
   std::string Report() const;
 
  private:
+  mutable std::mutex mu_;
   std::vector<StageRecord> records_;
 };
 

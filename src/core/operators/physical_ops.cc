@@ -1,6 +1,29 @@
 #include "core/operators/physical_ops.h"
 
+#include "core/optimizer/fingerprint.h"
+
 namespace rheem {
+
+std::string CollectionSourceOp::FingerprintToken() const {
+  return kind_name() + "|data=" +
+         std::to_string(PlanFingerprint::OfDataset(data_));
+}
+
+std::string RepeatOp::FingerprintToken() const {
+  std::string t = kind_name() + "|iters=" + std::to_string(num_iterations_);
+  if (body_ != nullptr) {
+    t += "|body=" + std::to_string(PlanFingerprint::Compute(*body_).ValueOr(0));
+  }
+  return t;
+}
+
+std::string DoWhileOp::FingerprintToken() const {
+  std::string t = kind_name() + "|max=" + std::to_string(max_iterations_);
+  if (body_ != nullptr) {
+    t += "|body=" + std::to_string(PlanFingerprint::Compute(*body_).ValueOr(0));
+  }
+  return t;
+}
 
 const char* OpKindToString(OpKind kind) {
   switch (kind) {

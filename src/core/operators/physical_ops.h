@@ -80,6 +80,7 @@ class CollectionSourceOp : public PhysicalOperator {
   explicit CollectionSourceOp(Dataset data) : data_(std::move(data)) {}
   OpKind kind() const override { return OpKind::kCollectionSource; }
   int arity() const override { return 0; }
+  std::string FingerprintToken() const override;
   const Dataset& data() const { return data_; }
   Dataset* mutable_data() { return &data_; }
 
@@ -94,6 +95,9 @@ class StageInputOp : public PhysicalOperator {
   explicit StageInputOp(int slot) : slot_(slot) {}
   OpKind kind() const override { return OpKind::kStageInput; }
   int arity() const override { return 0; }
+  std::string FingerprintToken() const override {
+    return kind_name() + "|slot=" + std::to_string(slot_);
+  }
   int slot() const { return slot_; }
 
  private:
@@ -156,6 +160,11 @@ class ProjectOp : public PhysicalOperator {
   explicit ProjectOp(std::vector<int> columns) : columns_(std::move(columns)) {}
   OpKind kind() const override { return OpKind::kProject; }
   int arity() const override { return 1; }
+  std::string FingerprintToken() const override {
+    std::string t = kind_name() + "|cols=";
+    for (int c : columns_) t += std::to_string(c) + ",";
+    return t;
+  }
   const std::vector<int>& columns() const { return columns_; }
 
  private:
@@ -187,6 +196,10 @@ class SampleOp : public PhysicalOperator {
       : fraction_(fraction), seed_(seed) {}
   OpKind kind() const override { return OpKind::kSample; }
   int arity() const override { return 1; }
+  std::string FingerprintToken() const override {
+    return kind_name() + "|frac=" + std::to_string(fraction_) +
+           "|seed=" + std::to_string(seed_);
+  }
   double fraction() const { return fraction_; }
   uint64_t seed() const { return seed_; }
 
@@ -357,6 +370,10 @@ class TopKOp : public PhysicalOperator {
       : key_(std::move(key)), k_(k), ascending_(ascending) {}
   OpKind kind() const override { return OpKind::kTopK; }
   int arity() const override { return 1; }
+  std::string FingerprintToken() const override {
+    return kind_name() + "|k=" + std::to_string(k_) +
+           (ascending_ ? "|asc" : "|desc");
+  }
   const KeyUdf& key() const { return key_; }
   int64_t k() const { return k_; }
   bool ascending() const { return ascending_; }
@@ -378,6 +395,7 @@ class RepeatOp : public PhysicalOperator {
       : num_iterations_(num_iterations), body_(std::move(body)) {}
   OpKind kind() const override { return OpKind::kRepeat; }
   int arity() const override { return 2; }
+  std::string FingerprintToken() const override;
   int num_iterations() const { return num_iterations_; }
   const Plan& body() const { return *body_; }
   std::shared_ptr<Plan> body_ptr() const { return body_; }
@@ -397,6 +415,7 @@ class DoWhileOp : public PhysicalOperator {
         body_(std::move(body)) {}
   OpKind kind() const override { return OpKind::kDoWhile; }
   int arity() const override { return 2; }
+  std::string FingerprintToken() const override;
   const LoopConditionUdf& condition() const { return condition_; }
   int max_iterations() const { return max_iterations_; }
   const Plan& body() const { return *body_; }

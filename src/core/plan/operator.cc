@@ -1,5 +1,7 @@
 #include "core/plan/operator.h"
 
+#include <typeinfo>
+
 namespace rheem {
 
 const char* OpLevelToString(OpLevel level) {
@@ -9,6 +11,12 @@ const char* OpLevelToString(OpLevel level) {
     case OpLevel::kExecution: return "execution";
   }
   return "?";
+}
+
+std::string LogicalOperator::FingerprintToken() const {
+  return kind_name() + "@" + typeid(*this).name() +
+         "|sel=" + std::to_string(SelectivityHint()) +
+         "|cost=" + std::to_string(CostHint());
 }
 
 }  // namespace rheem

@@ -45,6 +45,14 @@ class Operator {
   /// Short kind label, e.g. "Map", "HashGroupBy" (for printing/mappings).
   virtual std::string kind_name() const = 0;
 
+  /// Token folded into plan fingerprints (core/optimizer/fingerprint.h).
+  /// Two operators with equal tokens, names and wiring are treated as
+  /// semantically interchangeable by the plan cache, so subclasses carrying
+  /// payload beyond their kind (parameters, UDF metadata) must encode it
+  /// here. UDF closures themselves cannot be hashed; the contract is that
+  /// equal tokens imply equal behaviour.
+  virtual std::string FingerprintToken() const { return kind_name(); }
+
   /// Number of dataflow inputs this operator requires.
   virtual int arity() const = 0;
 
@@ -83,6 +91,11 @@ class LogicalOperator : public Operator {
 
   /// Relative CPU weight of one ApplyOp call (1.0 = trivial arithmetic).
   virtual double CostHint() const { return 1.0; }
+
+  /// Default token: kind label + concrete C++ type + hints, so two distinct
+  /// application operator classes sharing a kind label never collide in the
+  /// plan cache.
+  std::string FingerprintToken() const override;
 };
 
 }  // namespace rheem

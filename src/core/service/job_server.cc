@@ -1,0 +1,242 @@
+#include "core/service/job_server.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/executor/executor.h"
+#include "core/optimizer/fingerprint.h"
+
+namespace rheem {
+
+const char* JobStateToString(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kSucceeded: return "succeeded";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+JobState JobHandle::state() const {
+  return rec_ ? rec_->state.load() : JobState::kCancelled;
+}
+
+void JobHandle::Cancel() {
+  if (rec_ != nullptr) rec_->token.Cancel();
+}
+
+bool JobHandle::done() const {
+  if (rec_ == nullptr) return true;
+  std::lock_guard<std::mutex> lock(rec_->mu);
+  return rec_->done;
+}
+
+Result<ExecutionResult> JobHandle::Wait() const {
+  if (rec_ == nullptr) {
+    return Status::InvalidArgument("Wait() on an empty JobHandle");
+  }
+  std::unique_lock<std::mutex> lock(rec_->mu);
+  rec_->cv.wait(lock, [this]() { return rec_->done; });
+  return rec_->result;
+}
+
+bool JobHandle::WaitFor(std::chrono::milliseconds timeout) const {
+  if (rec_ == nullptr) return true;
+  std::unique_lock<std::mutex> lock(rec_->mu);
+  return rec_->cv.wait_for(lock, timeout, [this]() { return rec_->done; });
+}
+
+JobServer::JobServer(RheemContext* ctx)
+    : ctx_(ctx),
+      max_concurrent_(static_cast<std::size_t>(std::max<int64_t>(
+          1, ctx->config().GetInt("service.max_concurrent", 4).ValueOr(4)))),
+      queue_depth_(static_cast<std::size_t>(std::max<int64_t>(
+          0, ctx->config().GetInt("service.queue_depth", 16).ValueOr(16)))),
+      cache_(static_cast<std::size_t>(std::max<int64_t>(
+          0,
+          ctx->config().GetInt("service.plan_cache_capacity", 64).ValueOr(64)))) {
+  workers_.reserve(max_concurrent_);
+  for (std::size_t i = 0; i < max_concurrent_; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+JobServer::~JobServer() { Shutdown(/*drain=*/true); }
+
+Result<JobHandle> JobServer::Submit(const Plan& logical_plan,
+                                    JobOptions options) {
+  auto rec = std::make_shared<internal::JobRecord>();
+  rec->plan = &logical_plan;
+  rec->options = std::move(options);
+  if (rec->options.deadline.count() > 0) {
+    rec->has_deadline = true;
+    rec->deadline = std::chrono::steady_clock::now() + rec->options.deadline;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      ++rejected_;
+      return Status::Cancelled("JobServer is shut down");
+    }
+    // `queue_depth_` bounds jobs *waiting* beyond the workers: queued jobs
+    // an idle worker will pick up immediately are capacity, not backlog —
+    // so depth 0 still admits up to max_concurrent in flight.
+    const std::size_t idle_workers = max_concurrent_ - running_.size();
+    if (queue_.size() >= queue_depth_ + idle_workers) {
+      ++rejected_;
+      return Status::ResourceExhausted(
+          "job queue full (" + std::to_string(queue_.size()) +
+          " waiting, " + std::to_string(running_.size()) +
+          " running, service.queue_depth=" + std::to_string(queue_depth_) +
+          "); retry later");
+    }
+    rec->id = next_id_++;
+    ++submitted_;
+    queue_.push_back(rec);
+  }
+  cv_.notify_one();
+  return JobHandle(rec);
+}
+
+void JobServer::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<internal::JobRecord> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      job = queue_.front();
+      queue_.pop_front();
+      running_.push_back(job);
+    }
+    RunJob(job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_.erase(std::find(running_.begin(), running_.end(), job));
+    }
+    cv_.notify_all();
+  }
+}
+
+void JobServer::RunJob(const std::shared_ptr<internal::JobRecord>& job) {
+  job->state.store(JobState::kRunning);
+
+  StopCondition stop;
+  stop.token = &job->token;
+  stop.deadline = job->deadline;
+  stop.has_deadline = job->has_deadline;
+  // A job cancelled or overdue while it sat in the queue never starts.
+  if (Status st = stop.Check(); !st.ok()) {
+    Finish(job, std::move(st));
+    return;
+  }
+
+  // Compile, going through the plan cache when allowed: a hit skips
+  // translation, rewrites, estimation, enumeration and stage-splitting.
+  std::shared_ptr<const CompiledJob> compiled;
+  const ExecutionOptions& eo = job->options.exec;
+  if (job->options.use_plan_cache) {
+    auto plan_fp = PlanFingerprint::Compute(*job->plan);
+    if (plan_fp.ok()) {
+      uint64_t key = *plan_fp;
+      key = PlanFingerprint::Mix(key, eo.force_platform);
+      key = PlanFingerprint::Mix(key, static_cast<uint64_t>(eo.movement_aware));
+      key = PlanFingerprint::Mix(
+          key, static_cast<uint64_t>(eo.apply_logical_rewrites));
+      compiled = cache_.Lookup(key);
+      if (compiled == nullptr) {
+        auto fresh = ctx_->Compile(*job->plan, eo);
+        if (!fresh.ok()) {
+          Finish(job, fresh.status());
+          return;
+        }
+        compiled = std::make_shared<const CompiledJob>(
+            std::move(fresh).ValueOrDie());
+        cache_.Insert(key, compiled);
+      }
+    }
+  }
+  if (compiled == nullptr) {  // cache disabled or plan not fingerprintable
+    auto fresh = ctx_->Compile(*job->plan, eo);
+    if (!fresh.ok()) {
+      Finish(job, fresh.status());
+      return;
+    }
+    compiled =
+        std::make_shared<const CompiledJob>(std::move(fresh).ValueOrDie());
+  }
+
+  CrossPlatformExecutor executor(ctx_->config());
+  if (eo.monitor != nullptr) executor.set_monitor(eo.monitor);
+  if (eo.failure_injector) executor.set_failure_injector(eo.failure_injector);
+  executor.set_stop_condition(stop);
+  Finish(job, executor.Execute(compiled->eplan));
+}
+
+void JobServer::Finish(const std::shared_ptr<internal::JobRecord>& job,
+                       Result<ExecutionResult> result) {
+  JobState terminal;
+  if (result.ok()) {
+    terminal = JobState::kSucceeded;
+  } else if (result.status().IsCancelled()) {
+    terminal = JobState::kCancelled;
+  } else {
+    terminal = JobState::kFailed;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (terminal) {
+      case JobState::kSucceeded: ++succeeded_; break;
+      case JobState::kCancelled: ++cancelled_; break;
+      default: ++failed_; break;
+    }
+  }
+  job->state.store(terminal);
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->result = std::move(result);
+    job->done = true;
+  }
+  job->cv.notify_all();
+}
+
+void JobServer::CancelAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& job : queue_) job->token.Cancel();
+  for (const auto& job : running_) job->token.Cancel();
+}
+
+void JobServer::Shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ && workers_.empty()) return;
+    shutdown_ = true;
+    if (!drain) {
+      for (const auto& job : queue_) job->token.Cancel();
+      for (const auto& job : running_) job->token.Cancel();
+    }
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+JobServerStats JobServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JobServerStats s;
+  s.submitted = submitted_;
+  s.rejected = rejected_;
+  s.succeeded = succeeded_;
+  s.failed = failed_;
+  s.cancelled = cancelled_;
+  s.queued = queue_.size();
+  s.running = running_.size();
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace rheem

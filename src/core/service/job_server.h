@@ -1,0 +1,178 @@
+#ifndef RHEEM_CORE_SERVICE_JOB_SERVER_H_
+#define RHEEM_CORE_SERVICE_JOB_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/api/context.h"
+#include "core/executor/cancellation.h"
+#include "core/service/plan_cache.h"
+
+namespace rheem {
+
+/// Lifecycle of a submitted job.
+enum class JobState {
+  kQueued,     // admitted, waiting for a worker
+  kRunning,    // compiling or executing
+  kSucceeded,
+  kFailed,     // compile/execute error (incl. deadline exceeded)
+  kCancelled,
+};
+
+const char* JobStateToString(JobState state);
+
+/// Per-submission knobs: the usual ExecutionOptions plus serving concerns.
+struct JobOptions {
+  ExecutionOptions exec;
+  /// Wall-clock budget measured from Submit(); 0 = none. An overdue job
+  /// stops at its next stage boundary with DeadlineExceeded (queued jobs
+  /// past their deadline never start).
+  std::chrono::milliseconds deadline{0};
+  /// Disable to force a fresh compile for this submission (e.g. when the
+  /// caller knows its UDF closures differ from a structurally equal plan).
+  bool use_plan_cache = true;
+};
+
+namespace internal {
+
+/// Shared state between a JobHandle and the worker running the job.
+struct JobRecord {
+  uint64_t id = 0;
+  const Plan* plan = nullptr;  // not owned; must outlive completion
+  JobOptions options;
+  std::chrono::steady_clock::time_point deadline{};
+  bool has_deadline = false;
+  CancelToken token;
+  std::atomic<JobState> state{JobState::kQueued};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Result<ExecutionResult> result{Status::Internal("job still pending")};
+};
+
+}  // namespace internal
+
+/// \brief Future-like handle to a submitted job. Copyable; all copies refer
+/// to the same job.
+class JobHandle {
+ public:
+  JobHandle() = default;  // empty handle; valid() is false
+
+  bool valid() const { return rec_ != nullptr; }
+  uint64_t id() const { return rec_ ? rec_->id : 0; }
+  JobState state() const;
+
+  /// Requests cooperative cancellation: a queued job never starts, a
+  /// running one stops at its next stage boundary.
+  void Cancel();
+
+  /// True once the job has finished (any terminal state).
+  bool done() const;
+
+  /// Blocks until the job finishes and returns its result. An empty handle
+  /// returns InvalidArgument.
+  Result<ExecutionResult> Wait() const;
+
+  /// Blocks up to `timeout`; true when the job finished in time.
+  bool WaitFor(std::chrono::milliseconds timeout) const;
+
+ private:
+  friend class JobServer;
+  explicit JobHandle(std::shared_ptr<internal::JobRecord> rec)
+      : rec_(std::move(rec)) {}
+
+  std::shared_ptr<internal::JobRecord> rec_;
+};
+
+/// Counters describing a server's life so far (one consistent snapshot).
+struct JobServerStats {
+  int64_t submitted = 0;
+  int64_t rejected = 0;   // admission refusals (queue full / shut down)
+  int64_t succeeded = 0;
+  int64_t failed = 0;
+  int64_t cancelled = 0;
+  std::size_t queued = 0;   // currently waiting
+  std::size_t running = 0;  // currently in a worker
+  PlanCache::Stats cache;
+};
+
+/// \brief The serving layer above RheemContext: accepts concurrent job
+/// submissions, admission-controls them, compiles through the plan cache and
+/// runs them on worker threads (paper §4.2's Executor, lifted from one job
+/// at a time to a multi-tenant service).
+///
+/// Submit() is the only entry point: it either admits the job — bounded by
+/// `service.queue_depth` waiting jobs on top of `service.max_concurrent`
+/// running ones — and returns a JobHandle, or rejects it immediately with
+/// ResourceExhausted so callers get backpressure instead of unbounded
+/// queueing. Worker threads drive the CrossPlatformExecutor; within each
+/// job, independent stages additionally fan out onto the shared
+/// DefaultThreadPool().
+///
+/// Shutdown(true) (also the destructor) drains: no new admissions, queued
+/// and running jobs finish. Shutdown(false) cancels everything in flight
+/// first. Every admitted job's handle always resolves.
+///
+/// Config keys (read from the context's Config at construction):
+///   service.max_concurrent       (int, default 4)  worker threads
+///   service.queue_depth          (int, default 16) max waiting jobs
+///   service.plan_cache_capacity  (int, default 64) 0 disables the cache
+class JobServer {
+ public:
+  explicit JobServer(RheemContext* ctx);
+  ~JobServer();  // Shutdown(/*drain=*/true)
+
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  /// Admits a job or rejects it (ResourceExhausted when the queue is full,
+  /// Cancelled after shutdown). `logical_plan` is borrowed and must stay
+  /// alive until the returned handle resolves.
+  Result<JobHandle> Submit(const Plan& logical_plan, JobOptions options = {});
+
+  /// Cancels every queued and running job (their handles resolve with
+  /// Cancelled). The server keeps accepting new work.
+  void CancelAll();
+
+  /// Stops admissions and joins the workers. drain=true lets in-flight and
+  /// queued jobs finish; drain=false cancels them first. Idempotent.
+  void Shutdown(bool drain = true);
+
+  JobServerStats stats() const;
+  PlanCache& plan_cache() { return cache_; }
+
+ private:
+  void WorkerLoop();
+  void RunJob(const std::shared_ptr<internal::JobRecord>& job);
+  void Finish(const std::shared_ptr<internal::JobRecord>& job,
+              Result<ExecutionResult> result);
+
+  RheemContext* ctx_;  // not owned
+  std::size_t max_concurrent_;
+  std::size_t queue_depth_;
+  PlanCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<internal::JobRecord>> queue_;
+  std::vector<std::shared_ptr<internal::JobRecord>> running_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+  uint64_t next_id_ = 1;
+  int64_t submitted_ = 0;
+  int64_t rejected_ = 0;
+  int64_t succeeded_ = 0;
+  int64_t failed_ = 0;
+  int64_t cancelled_ = 0;
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_SERVICE_JOB_SERVER_H_

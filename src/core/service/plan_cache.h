@@ -1,0 +1,66 @@
+#ifndef RHEEM_CORE_SERVICE_PLAN_CACHE_H_
+#define RHEEM_CORE_SERVICE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "core/api/context.h"
+
+namespace rheem {
+
+/// \brief Thread-safe LRU cache of compiled jobs keyed by plan fingerprint.
+///
+/// Cross-platform optimization (estimate -> enumerate -> stage-split) is
+/// expensive relative to small jobs; a serving layer sees the same query
+/// shapes again and again, so the JobServer caches the CompiledJob and skips
+/// the whole optimizer on a hit (RHEEMix-style plan reuse). Entries are
+/// shared const: several in-flight jobs may execute one cached plan
+/// concurrently — execution never mutates a compiled plan.
+///
+/// Keys come from PlanFingerprint + the submission options; see
+/// Operator::FingerprintToken for what "same plan" means (equal structure,
+/// parameters and UDF metadata — closure bodies are assumed to follow).
+class PlanCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+  };
+
+  /// capacity 0 disables the cache (every Lookup misses, Insert drops).
+  explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached job and refreshes its recency, or nullptr (a miss).
+  std::shared_ptr<const CompiledJob> Lookup(uint64_t key);
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used one
+  /// beyond capacity.
+  void Insert(uint64_t key, std::shared_ptr<const CompiledJob> job);
+
+  Stats stats() const;
+
+  void Clear();
+
+ private:
+  using Entry = std::pair<uint64_t, std::shared_ptr<const CompiledJob>>;
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_SERVICE_PLAN_CACHE_H_

@@ -88,6 +88,48 @@ TEST(ThreadPoolTest, DestructorJoinsCleanly) {
   SUCCEED();
 }
 
+TEST(ThreadPoolTest, PendingReportsQueuedTasks) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started;
+  ASSERT_TRUE(pool.Schedule([&]() {
+    started.set_value();
+    gate.wait();
+  }));
+  started.get_future().wait();  // the only worker is now blocked
+  EXPECT_EQ(pool.pending(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(pool.Schedule([gate]() { gate.wait(); }));
+  }
+  EXPECT_EQ(pool.pending(), 5u);
+  release.set_value();
+}
+
+TEST(ThreadPoolTest, ScheduleAfterShutdownReturnsFalse) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.Schedule([]() {}));
+  pool.Shutdown();
+  // Must refuse (and not deadlock): no worker would ever run the task.
+  EXPECT_FALSE(pool.Schedule([]() { FAIL() << "ran after shutdown"; }));
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForAfterShutdownRunsInline) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::atomic<int> calls{0};
+  pool.ParallelFor(8, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 8);  // falls back to the calling thread
+}
+
 TEST(ThreadPoolTest, DefaultPoolIsUsable) {
   auto fut = DefaultThreadPool().Submit([]() { return 5; });
   EXPECT_EQ(fut.get(), 5);

@@ -1,0 +1,107 @@
+#include "core/optimizer/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include "core/api/data_quanta.h"
+#include "core/operators/physical_ops.h"
+
+namespace rheem {
+namespace {
+
+Dataset Numbers(int n) {
+  std::vector<Record> records;
+  for (int i = 0; i < n; ++i) records.push_back(Record({Value(i)}));
+  return Dataset(std::move(records));
+}
+
+MapUdf PlusOne() {
+  MapUdf udf;
+  udf.fn = [](const Record& r) {
+    return Record({Value(r[0].ToInt64Or(0) + 1)});
+  };
+  return udf;
+}
+
+/// src -> map -> collect over Numbers(n), with a parameterizable TopK tail.
+uint64_t PhysicalPipelineFp(int n, int64_t k, bool ascending) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, Numbers(n));
+  auto* map = plan.Add<MapOp>({src}, PlusOne());
+  KeyUdf key;
+  key.fn = [](const Record& r) { return r[0]; };
+  auto* topk = plan.Add<TopKOp>({map}, key, k, ascending);
+  auto* sink = plan.Add<CollectOp>({topk});
+  plan.SetSink(sink);
+  auto fp = PlanFingerprint::Compute(plan);
+  EXPECT_TRUE(fp.ok()) << fp.status().ToString();
+  return fp.ValueOr(0);
+}
+
+TEST(FingerprintTest, IdenticalPlansAgree) {
+  EXPECT_EQ(PhysicalPipelineFp(10, 3, true), PhysicalPipelineFp(10, 3, true));
+}
+
+TEST(FingerprintTest, ParameterChangesFingerprint) {
+  const uint64_t base = PhysicalPipelineFp(10, 3, true);
+  EXPECT_NE(base, PhysicalPipelineFp(10, 5, true));   // k
+  EXPECT_NE(base, PhysicalPipelineFp(10, 3, false));  // sort direction
+}
+
+TEST(FingerprintTest, SourceDataChangesFingerprint) {
+  EXPECT_NE(PhysicalPipelineFp(10, 3, true), PhysicalPipelineFp(11, 3, true));
+}
+
+TEST(FingerprintTest, StructureChangesFingerprint) {
+  Plan one;
+  auto* src1 = one.Add<CollectionSourceOp>({}, Numbers(10));
+  auto* map1 = one.Add<MapOp>({src1}, PlusOne());
+  one.SetSink(one.Add<CollectOp>({map1}));
+
+  Plan two;
+  auto* src2 = two.Add<CollectionSourceOp>({}, Numbers(10));
+  auto* map2a = two.Add<MapOp>({src2}, PlusOne());
+  auto* map2b = two.Add<MapOp>({map2a}, PlusOne());
+  two.SetSink(two.Add<CollectOp>({map2b}));
+
+  auto fp_one = PlanFingerprint::Compute(one);
+  auto fp_two = PlanFingerprint::Compute(two);
+  ASSERT_TRUE(fp_one.ok());
+  ASSERT_TRUE(fp_two.ok());
+  EXPECT_NE(*fp_one, *fp_two);
+}
+
+TEST(FingerprintTest, PlanWithoutSinkIsAnError) {
+  Plan plan;
+  plan.Add<CollectionSourceOp>({}, Numbers(3));
+  EXPECT_FALSE(PlanFingerprint::Compute(plan).ok());
+}
+
+TEST(FingerprintTest, LogicalPlansFingerprintViaSeal) {
+  RheemContext ctx;
+  ASSERT_TRUE(ctx.RegisterDefaultPlatforms().ok());
+  auto build = [&ctx](double selectivity) {
+    auto job = std::make_unique<RheemJob>(&ctx);
+    Plan* plan =
+        job->LoadCollection(Numbers(10))
+            .Filter([](const Record& r) { return r[0].ToInt64Or(0) > 3; },
+                    UdfMeta::Selective(selectivity))
+            .Seal()
+            .ValueOrDie();
+    auto fp = PlanFingerprint::Compute(*plan);
+    EXPECT_TRUE(fp.ok()) << fp.status().ToString();
+    return fp.ValueOr(0);
+  };
+  EXPECT_EQ(build(0.5), build(0.5));  // same pipeline -> same key
+  EXPECT_NE(build(0.5), build(0.9));  // UDF metadata participates
+}
+
+TEST(FingerprintTest, DatasetHashCoversContent) {
+  const uint64_t a = PlanFingerprint::OfDataset(Numbers(5));
+  const uint64_t b = PlanFingerprint::OfDataset(Numbers(5));
+  const uint64_t c = PlanFingerprint::OfDataset(Numbers(6));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace rheem

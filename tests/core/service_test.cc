@@ -1,0 +1,319 @@
+#include "core/service/job_server.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/api/data_quanta.h"
+#include "core/service/plan_cache.h"
+
+namespace rheem {
+namespace {
+
+Dataset Numbers(int n) {
+  std::vector<Record> records;
+  for (int i = 0; i < n; ++i) records.push_back(Record({Value(i)}));
+  return Dataset(std::move(records));
+}
+
+/// Builds `n -> n * 2` over Numbers(count); optionally sleeping per record
+/// so a job occupies its worker long enough to observe queueing.
+Plan* BuildDoublerPlan(RheemJob* job, int count, int sleep_ms_per_record = 0) {
+  auto quanta = job->LoadCollection(Numbers(count))
+                    .Map([sleep_ms_per_record](const Record& r) {
+                      if (sleep_ms_per_record > 0) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(sleep_ms_per_record));
+                      }
+                      return Record({Value(r[0].ToInt64Or(0) * 2)});
+                    });
+  auto sealed = quanta.Seal();
+  EXPECT_TRUE(sealed.ok()) << sealed.status().ToString();
+  return sealed.ValueOrDie();
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(ctx_.RegisterDefaultPlatforms().ok()); }
+
+  RheemContext ctx_;
+};
+
+TEST_F(ServiceTest, SubmitAndWaitReturnsResult) {
+  RheemJob job(&ctx_);
+  Plan* plan = BuildDoublerPlan(&job, 10);
+  auto handle = ctx_.Submit(*plan);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  auto result = handle->Wait();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->output.size(), 10u);
+  EXPECT_EQ(handle->state(), JobState::kSucceeded);
+  EXPECT_TRUE(handle->done());
+}
+
+TEST_F(ServiceTest, SixteenConcurrentJobsAllSucceed) {
+  Config config;
+  config.SetInt("service.max_concurrent", 4);
+  config.SetInt("service.queue_depth", 32);
+  RheemContext ctx(config);
+  ASSERT_TRUE(ctx.RegisterDefaultPlatforms().ok());
+
+  std::vector<std::unique_ptr<RheemJob>> jobs;
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 16; ++i) {
+    jobs.push_back(std::make_unique<RheemJob>(&ctx));
+    Plan* plan = BuildDoublerPlan(jobs.back().get(), 50);
+    auto handle = ctx.Submit(*plan);
+    ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+    handles.push_back(*handle);
+  }
+  for (JobHandle& h : handles) {
+    auto result = h.Wait();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->output.size(), 50u);
+    EXPECT_EQ(h.state(), JobState::kSucceeded);
+  }
+  JobServerStats stats = ctx.job_server().stats();
+  EXPECT_EQ(stats.submitted, 16);
+  EXPECT_EQ(stats.succeeded, 16);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.running, 0u);
+}
+
+TEST_F(ServiceTest, FullQueueRejectsWithResourceExhausted) {
+  Config config;
+  config.SetInt("service.max_concurrent", 1);
+  config.SetInt("service.queue_depth", 1);
+  RheemContext ctx(config);
+  ASSERT_TRUE(ctx.RegisterDefaultPlatforms().ok());
+
+  // One slow job occupies the only worker; one more fits in the queue; the
+  // rest must be rejected with backpressure, not queued unboundedly.
+  RheemJob slow_job(&ctx);
+  Plan* slow = BuildDoublerPlan(&slow_job, 20, /*sleep_ms_per_record=*/25);
+  auto running = ctx.Submit(*slow);
+  ASSERT_TRUE(running.ok());
+
+  RheemJob fill_job(&ctx);
+  Plan* fill = BuildDoublerPlan(&fill_job, 5);
+  bool saw_rejection = false;
+  JobHandle queued;
+  for (int i = 0; i < 50 && !saw_rejection; ++i) {
+    auto h = ctx.Submit(*fill);
+    if (h.ok()) {
+      queued = *h;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    } else {
+      EXPECT_TRUE(h.status().IsResourceExhausted()) << h.status().ToString();
+      saw_rejection = true;
+    }
+  }
+  EXPECT_TRUE(saw_rejection);
+  EXPECT_GE(ctx.job_server().stats().rejected, 1);
+  ASSERT_TRUE(running->Wait().ok());
+  if (queued.valid()) {
+    EXPECT_TRUE(queued.Wait().ok());
+  }
+}
+
+TEST_F(ServiceTest, PlanCacheHitsOnResubmission) {
+  RheemJob job(&ctx_);
+  Plan* plan = BuildDoublerPlan(&job, 10);
+  for (int round = 0; round < 3; ++round) {
+    auto handle = ctx_.Submit(*plan);
+    ASSERT_TRUE(handle.ok());
+    auto result = handle->Wait();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->output.size(), 10u);
+  }
+  PlanCache::Stats cache = ctx_.job_server().stats().cache;
+  EXPECT_EQ(cache.misses, 1);
+  EXPECT_EQ(cache.hits, 2);
+  EXPECT_EQ(cache.size, 1u);
+}
+
+TEST_F(ServiceTest, PlanCacheDistinguishesSourceData) {
+  RheemJob job_a(&ctx_);
+  RheemJob job_b(&ctx_);
+  Plan* a = BuildDoublerPlan(&job_a, 10);
+  Plan* b = BuildDoublerPlan(&job_b, 11);  // same shape, different data
+  auto ha = ctx_.Submit(*a);
+  ASSERT_TRUE(ha.ok());
+  ASSERT_TRUE(ha->Wait().ok());
+  auto hb = ctx_.Submit(*b);
+  ASSERT_TRUE(hb.ok());
+  auto rb = hb->Wait();
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(rb->output.size(), 11u);  // must NOT reuse plan a's embedded data
+  PlanCache::Stats cache = ctx_.job_server().stats().cache;
+  EXPECT_EQ(cache.misses, 2);
+  EXPECT_EQ(cache.hits, 0);
+}
+
+TEST_F(ServiceTest, OptingOutOfPlanCacheCompilesFresh) {
+  RheemJob job(&ctx_);
+  Plan* plan = BuildDoublerPlan(&job, 10);
+  JobOptions options;
+  options.use_plan_cache = false;
+  for (int round = 0; round < 2; ++round) {
+    auto handle = ctx_.Submit(*plan, options);
+    ASSERT_TRUE(handle.ok());
+    ASSERT_TRUE(handle->Wait().ok());
+  }
+  PlanCache::Stats cache = ctx_.job_server().stats().cache;
+  EXPECT_EQ(cache.hits, 0);
+  EXPECT_EQ(cache.misses, 0);
+}
+
+TEST_F(ServiceTest, CancelledQueuedJobNeverRuns) {
+  Config config;
+  config.SetInt("service.max_concurrent", 1);
+  RheemContext ctx(config);
+  ASSERT_TRUE(ctx.RegisterDefaultPlatforms().ok());
+
+  RheemJob slow_job(&ctx);
+  Plan* slow = BuildDoublerPlan(&slow_job, 20, /*sleep_ms_per_record=*/10);
+  auto running = ctx.Submit(*slow);
+  ASSERT_TRUE(running.ok());
+
+  RheemJob victim_job(&ctx);
+  Plan* victim_plan = BuildDoublerPlan(&victim_job, 5);
+  auto victim = ctx.Submit(*victim_plan);
+  ASSERT_TRUE(victim.ok());
+  victim->Cancel();
+
+  auto result = victim->Wait();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+  EXPECT_EQ(victim->state(), JobState::kCancelled);
+  ASSERT_TRUE(running->Wait().ok());
+}
+
+TEST_F(ServiceTest, DeadlineExpiredInQueueFailsWithDeadlineExceeded) {
+  Config config;
+  config.SetInt("service.max_concurrent", 1);
+  RheemContext ctx(config);
+  ASSERT_TRUE(ctx.RegisterDefaultPlatforms().ok());
+
+  RheemJob slow_job(&ctx);
+  Plan* slow = BuildDoublerPlan(&slow_job, 20, /*sleep_ms_per_record=*/15);
+  auto running = ctx.Submit(*slow);
+  ASSERT_TRUE(running.ok());
+
+  RheemJob late_job(&ctx);
+  Plan* late_plan = BuildDoublerPlan(&late_job, 5);
+  JobOptions options;
+  options.deadline = std::chrono::milliseconds(1);  // expires while queued
+  auto late = ctx.Submit(*late_plan, options);
+  ASSERT_TRUE(late.ok());
+
+  auto result = late->Wait();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded()) << result.status().ToString();
+  EXPECT_EQ(late->state(), JobState::kFailed);
+  ASSERT_TRUE(running->Wait().ok());
+}
+
+TEST_F(ServiceTest, ShutdownDrainsQueuedJobs) {
+  Config config;
+  config.SetInt("service.max_concurrent", 2);
+  RheemContext ctx(config);
+  ASSERT_TRUE(ctx.RegisterDefaultPlatforms().ok());
+
+  std::vector<std::unique_ptr<RheemJob>> jobs;
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back(std::make_unique<RheemJob>(&ctx));
+    Plan* plan = BuildDoublerPlan(jobs.back().get(), 10,
+                                  /*sleep_ms_per_record=*/2);
+    auto handle = ctx.Submit(*plan);
+    ASSERT_TRUE(handle.ok());
+    handles.push_back(*handle);
+  }
+  ctx.job_server().Shutdown(/*drain=*/true);
+  for (JobHandle& h : handles) {
+    EXPECT_TRUE(h.done());
+    EXPECT_TRUE(h.Wait().ok());
+    EXPECT_EQ(h.state(), JobState::kSucceeded);
+  }
+  // After shutdown, admissions are refused.
+  RheemJob post_job(&ctx);
+  Plan* post = BuildDoublerPlan(&post_job, 3);
+  auto refused = ctx.Submit(*post);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsCancelled());
+}
+
+TEST_F(ServiceTest, ShutdownWithoutDrainCancelsInFlight) {
+  Config config;
+  config.SetInt("service.max_concurrent", 1);
+  RheemContext ctx(config);
+  ASSERT_TRUE(ctx.RegisterDefaultPlatforms().ok());
+
+  std::vector<std::unique_ptr<RheemJob>> jobs;
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(std::make_unique<RheemJob>(&ctx));
+    Plan* plan = BuildDoublerPlan(jobs.back().get(), 20,
+                                  /*sleep_ms_per_record=*/10);
+    auto handle = ctx.Submit(*plan);
+    ASSERT_TRUE(handle.ok());
+    handles.push_back(*handle);
+  }
+  ctx.job_server().Shutdown(/*drain=*/false);
+  int cancelled = 0;
+  for (JobHandle& h : handles) {
+    EXPECT_TRUE(h.done());  // every admitted handle resolves
+    auto result = h.Wait();
+    if (!result.ok() && result.status().IsCancelled()) ++cancelled;
+  }
+  EXPECT_GE(cancelled, 1);  // the queued tail never ran
+}
+
+TEST_F(ServiceTest, StatsCountTerminalStates) {
+  RheemJob job(&ctx_);
+  Plan* plan = BuildDoublerPlan(&job, 10);
+  auto handle = ctx_.Submit(*plan);
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(handle->Wait().ok());
+  JobServerStats stats = ctx_.job_server().stats();
+  EXPECT_EQ(stats.submitted, 1);
+  EXPECT_EQ(stats.succeeded, 1);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_EQ(stats.cancelled, 0);
+}
+
+TEST(PlanCacheTest, LruEvictsOldestAndCountsStats) {
+  PlanCache cache(2);
+  auto job1 = std::make_shared<const CompiledJob>();
+  auto job2 = std::make_shared<const CompiledJob>();
+  auto job3 = std::make_shared<const CompiledJob>();
+  EXPECT_EQ(cache.Lookup(1), nullptr);  // miss
+  cache.Insert(1, job1);
+  cache.Insert(2, job2);
+  EXPECT_EQ(cache.Lookup(1), job1);  // hit refreshes recency
+  cache.Insert(3, job3);             // evicts 2 (LRU), not 1
+  EXPECT_EQ(cache.Lookup(2), nullptr);
+  EXPECT_EQ(cache.Lookup(1), job1);
+  EXPECT_EQ(cache.Lookup(3), job3);
+  PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 3);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_EQ(stats.capacity, 2u);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().size, 0u);
+}
+
+TEST(PlanCacheTest, ZeroCapacityDisables) {
+  PlanCache cache(0);
+  cache.Insert(7, std::make_shared<const CompiledJob>());
+  EXPECT_EQ(cache.Lookup(7), nullptr);
+  EXPECT_EQ(cache.stats().size, 0u);
+}
+
+}  // namespace
+}  // namespace rheem
