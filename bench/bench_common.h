@@ -73,6 +73,33 @@ class ResultTable {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// Collects pre-formatted JSON objects and writes a committed
+/// `BENCH_<name>.json` result file: {"bench": name, "results": [rows...]}.
+class JsonResults {
+ public:
+  explicit JsonResults(std::string bench) : bench_(std::move(bench)) {}
+
+  void Add(std::string row_json) { rows_.push_back(std::move(row_json)); }
+
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
+                 bench_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "    %s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::string> rows_;
+};
+
 inline std::string Ms(double micros) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.1f", micros * 1e-3);

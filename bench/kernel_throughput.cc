@@ -1,0 +1,202 @@
+// Kernel throughput: serial vs morsel-parallel vs fused execution of a
+// Map -> Filter -> ReduceByKey pipeline at pool widths 1/2/4/8.
+//
+// The host container may have a single core, so in addition to measured wall
+// time each parallel run reports a *modeled* latency at width w:
+//   serial_part + max(parallel_cpu / w, critical_path)
+// from the per-kernel timing counters — the same virtual-clock substitution
+// the sparksim TaskScheduler performs (DESIGN.md §3). Results land in
+// BENCH_kernels.json.
+//
+// Usage: kernel_throughput [--smoke]   (--smoke: small input, fewer widths)
+
+#include "bench/bench_common.h"
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/operators/kernels.h"
+
+namespace rheem {
+namespace bench {
+namespace {
+
+using kernels::FusedStep;
+using kernels::KernelOptions;
+
+Dataset MakeRows(int64_t n) {
+  std::vector<Record> rows;
+  rows.reserve(static_cast<std::size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    rows.push_back(Record({Value(i % 1000), Value(i)}));
+  }
+  return Dataset(std::move(rows));
+}
+
+MapUdf Arithmetic() {
+  MapUdf udf;
+  udf.fn = [](const Record& r) {
+    int64_t x = r[1].ToInt64Or(0);
+    x = x * 3 + 1;
+    x ^= x >> 7;
+    return Record({r[0], Value(x)});
+  };
+  return udf;
+}
+
+PredicateUdf KeepMost() {  // ~87.5% pass
+  PredicateUdf udf;
+  udf.fn = [](const Record& r) { return r[1].ToInt64Or(0) % 8 != 0; };
+  return udf;
+}
+
+KeyUdf FirstField() {
+  KeyUdf key;
+  key.fn = [](const Record& r) { return r[0]; };
+  return key;
+}
+
+ReduceUdf SumSecond() {
+  ReduceUdf udf;
+  udf.fn = [](const Record& a, const Record& b) {
+    return Record({a[0], Value(a[1].ToInt64Or(0) + b[1].ToInt64Or(0))});
+  };
+  return udf;
+}
+
+struct RunResult {
+  int64_t wall_us = 0;     // measured on this host
+  int64_t modeled_us = 0;  // latency a w-wide pool would achieve
+  std::size_t out_rows = 0;
+};
+
+int64_t ModeledTotal(std::size_t workers) {
+  int64_t total = 0;
+  for (const auto& t : kernels::SnapshotKernelTimings()) {
+    total += kernels::ModeledMicrosAtWidth(t, workers);
+  }
+  return total;
+}
+
+RunResult RunPipeline(const Dataset& in, const KernelOptions& opts,
+                      bool fused, std::size_t workers) {
+  kernels::ResetKernelTimings();
+  Stopwatch sw;
+  Result<Dataset> narrowed = fused
+      ? kernels::FusedPipeline({FusedStep::OfMap(Arithmetic()),
+                                FusedStep::OfFilter(KeepMost())},
+                               in, opts)
+      : [&]() -> Result<Dataset> {
+          auto mapped = kernels::Map(Arithmetic(), in, opts);
+          if (!mapped.ok()) return mapped.status();
+          return kernels::Filter(KeepMost(), *mapped, opts);
+        }();
+  if (!narrowed.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 narrowed.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto reduced = kernels::ReduceByKey(FirstField(), SumSecond(), *narrowed,
+                                      opts);
+  if (!reduced.ok()) {
+    std::fprintf(stderr, "reduce failed: %s\n",
+                 reduced.status().ToString().c_str());
+    std::exit(1);
+  }
+  RunResult r;
+  r.wall_us = sw.ElapsedMicros();
+  r.modeled_us = opts.parallel ? ModeledTotal(workers) : r.wall_us;
+  r.out_rows = reduced->size();
+  return r;
+}
+
+void Run(bool smoke) {
+  const int64_t rows = smoke ? 100000 : 1000000;
+  const std::vector<std::size_t> widths =
+      smoke ? std::vector<std::size_t>{1, 4}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+  std::printf("== Kernel throughput: Map -> Filter -> ReduceByKey, %lld rows "
+              "==\n\n",
+              static_cast<long long>(rows));
+  const Dataset in = MakeRows(rows);
+
+  const RunResult serial =
+      RunPipeline(in, KernelOptions::Serial(), /*fused=*/false, 1);
+
+  ResultTable table(
+      {"mode", "workers", "wall_ms", "modeled_ms", "modeled_speedup"});
+  table.AddRow({"serial", "1", Ms(static_cast<double>(serial.wall_us)),
+                Ms(static_cast<double>(serial.wall_us)), "1.0x"});
+  JsonResults json("kernel_throughput");
+  char row[256];
+  std::snprintf(row, sizeof(row),
+                "{\"mode\": \"serial\", \"workers\": 1, \"rows\": %lld, "
+                "\"wall_us\": %lld, \"modeled_us\": %lld, "
+                "\"modeled_speedup\": 1.0}",
+                static_cast<long long>(rows),
+                static_cast<long long>(serial.wall_us),
+                static_cast<long long>(serial.wall_us));
+  json.Add(row);
+
+  double fused_speedup_at_4 = 0.0;
+  for (const char* mode : {"parallel", "fused"}) {
+    const bool fused = std::strcmp(mode, "fused") == 0;
+    for (std::size_t w : widths) {
+      ThreadPool pool(w);
+      KernelOptions opts;
+      opts.pool = &pool;
+      const RunResult r = RunPipeline(in, opts, fused, w);
+      if (r.out_rows != serial.out_rows) {
+        std::fprintf(stderr, "output mismatch: %zu vs %zu rows\n", r.out_rows,
+                     serial.out_rows);
+        std::exit(1);
+      }
+      const double speedup = r.modeled_us > 0
+          ? static_cast<double>(serial.wall_us) /
+                static_cast<double>(r.modeled_us)
+          : 0.0;
+      if (fused && w == 4) fused_speedup_at_4 = speedup;
+      table.AddRow({mode, std::to_string(w),
+                    Ms(static_cast<double>(r.wall_us)),
+                    Ms(static_cast<double>(r.modeled_us)), Times(speedup)});
+      std::snprintf(row, sizeof(row),
+                    "{\"mode\": \"%s\", \"workers\": %zu, \"rows\": %lld, "
+                    "\"wall_us\": %lld, \"modeled_us\": %lld, "
+                    "\"modeled_speedup\": %.2f}",
+                    mode, w, static_cast<long long>(rows),
+                    static_cast<long long>(r.wall_us),
+                    static_cast<long long>(r.modeled_us), speedup);
+      json.Add(row);
+    }
+  }
+
+  table.Print();
+  if (!json.WriteTo("BENCH_kernels.json")) {
+    std::fprintf(stderr, "failed to write BENCH_kernels.json\n");
+    std::exit(1);
+  }
+  std::printf("\nwrote BENCH_kernels.json\n");
+  if (!smoke && fused_speedup_at_4 < 2.5) {
+    std::fprintf(stderr,
+                 "FAIL: fused modeled speedup at 4 workers = %.2fx < 2.5x\n",
+                 fused_speedup_at_4);
+    std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rheem
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  rheem::bench::Run(smoke);
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 
@@ -65,33 +66,47 @@ void ThreadPool::ParallelFor(std::size_t n,
     fn(0);
     return;
   }
+  // Work-claiming: helpers and the caller pull indices off a shared counter.
+  // The caller always participates, so the loop completes even when every
+  // pool worker is blocked in a nested ParallelFor — a real situation now
+  // that morsel-parallel kernels run inside stages that themselves execute
+  // on pool workers.
   struct SharedState {
-    std::atomic<std::size_t> remaining;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
     std::mutex mu;
     std::condition_variable done_cv;
     std::exception_ptr first_error;
   };
   auto state = std::make_shared<SharedState>();
-  state->remaining.store(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    auto task = [state, &fn, i]() {
+  state->n = n;
+  state->fn = &fn;  // valid until done == n; the caller blocks below
+  auto drain = [](const std::shared_ptr<SharedState>& s) {
+    for (;;) {
+      const std::size_t i = s->next.fetch_add(1);
+      if (i >= s->n) return;
       try {
-        fn(i);
+        (*s->fn)(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state->mu);
-        if (!state->first_error) state->first_error = std::current_exception();
+        std::lock_guard<std::mutex> lock(s->mu);
+        if (!s->first_error) s->first_error = std::current_exception();
       }
-      if (state->remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(state->mu);
-        state->done_cv.notify_all();
+      if (s->done.fetch_add(1) + 1 == s->n) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->done_cv.notify_all();
       }
-    };
-    // A shut-down pool cannot run the task; do it inline so the barrier
-    // below still completes.
-    if (!Schedule(task)) task();
+    }
+  };
+  const std::size_t helpers = std::min(num_threads(), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    // A shut-down pool cannot carry helpers; the caller drains alone.
+    if (!Schedule([state, drain]() { drain(state); })) break;
   }
+  drain(state);
   std::unique_lock<std::mutex> lock(state->mu);
-  state->done_cv.wait(lock, [&]() { return state->remaining.load() == 0; });
+  state->done_cv.wait(lock, [&]() { return state->done.load() == n; });
   if (state->first_error) std::rethrow_exception(state->first_error);
 }
 

@@ -53,6 +53,9 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n) across the pool and blocks until all finish.
   /// Exceptions escaping fn are rethrown on the calling thread (first one).
+  /// The calling thread claims work itself, so nesting is safe: a pool
+  /// worker may call ParallelFor on its own pool without deadlocking even
+  /// when every other worker is blocked the same way.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -14,13 +14,15 @@ void ExecutionMetrics::MergeFrom(const ExecutionMetrics& other) {
   moved_records += other.moved_records;
   moved_bytes += other.moved_bytes;
   retries += other.retries;
+  fused_operators += other.fused_operators;
 }
 
 std::string ExecutionMetrics::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "total=%.3fms (wall=%.3fms sim=%.3fms) jobs=%lld stages=%lld "
-                "tasks=%lld shuffle=%lldB moved=%lldrec/%lldB retries=%lld",
+                "tasks=%lld shuffle=%lldB moved=%lldrec/%lldB retries=%lld "
+                "fused=%lld",
                 static_cast<double>(TotalMicros()) * 1e-3,
                 static_cast<double>(wall_micros) * 1e-3,
                 static_cast<double>(sim_overhead_micros) * 1e-3,
@@ -30,7 +32,8 @@ std::string ExecutionMetrics::ToString() const {
                 static_cast<long long>(shuffle_bytes),
                 static_cast<long long>(moved_records),
                 static_cast<long long>(moved_bytes),
-                static_cast<long long>(retries));
+                static_cast<long long>(retries),
+                static_cast<long long>(fused_operators));
   return buf;
 }
 

@@ -1,0 +1,84 @@
+#include "core/operators/fusion.h"
+
+#include <unordered_map>
+
+namespace rheem {
+namespace fusion {
+
+bool IsFusable(const Operator& op) {
+  const auto* p = dynamic_cast<const PhysicalOperator*>(&op);
+  if (p == nullptr) return false;
+  switch (p->kind()) {
+    case OpKind::kMap:
+    case OpKind::kFilter:
+    case OpKind::kFlatMap:
+    case OpKind::kProject:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<FusionUnit> PlanFusionUnits(
+    const std::vector<Operator*>& ops,
+    const std::unordered_set<int>& preserve, bool enable) {
+  std::vector<FusionUnit> units;
+  if (!enable) {
+    units.reserve(ops.size());
+    for (Operator* op : ops) units.push_back(FusionUnit{{op}});
+    return units;
+  }
+  // Consumer counts within this operator list. Consumers outside the list
+  // (later stages, the driver) address results by id and are covered by
+  // `preserve`.
+  std::unordered_map<int, int> consumers;
+  for (Operator* op : ops) {
+    for (Operator* in : op->inputs()) ++consumers[in->id()];
+  }
+  for (Operator* op : ops) {
+    const bool extend =
+        !units.empty() && units.back().ops.size() >= 1 && IsFusable(*op) &&
+        IsFusable(*units.back().ops.back()) && op->inputs().size() == 1 &&
+        op->inputs()[0] == units.back().ops.back() &&
+        consumers[units.back().ops.back()->id()] == 1 &&
+        preserve.count(units.back().ops.back()->id()) == 0;
+    if (extend) {
+      units.back().ops.push_back(op);
+    } else {
+      units.push_back(FusionUnit{{op}});
+    }
+  }
+  return units;
+}
+
+std::vector<kernels::FusedStep> StepsFor(const std::vector<Operator*>& chain) {
+  std::vector<kernels::FusedStep> steps;
+  steps.reserve(chain.size());
+  for (Operator* base : chain) {
+    const auto& op = static_cast<const PhysicalOperator&>(*base);
+    switch (op.kind()) {
+      case OpKind::kMap:
+        steps.push_back(kernels::FusedStep::OfMap(
+            static_cast<const MapOp&>(op).udf()));
+        break;
+      case OpKind::kFilter:
+        steps.push_back(kernels::FusedStep::OfFilter(
+            static_cast<const FilterOp&>(op).udf()));
+        break;
+      case OpKind::kFlatMap:
+        steps.push_back(kernels::FusedStep::OfFlatMap(
+            static_cast<const FlatMapOp&>(op).udf()));
+        break;
+      case OpKind::kProject:
+        steps.push_back(kernels::FusedStep::OfProject(
+            static_cast<const ProjectOp&>(op).columns()));
+        break;
+      default:
+        break;  // PlanFusionUnits never puts other kinds in a chain
+    }
+  }
+  return steps;
+}
+
+}  // namespace fusion
+}  // namespace rheem

@@ -1,0 +1,50 @@
+#ifndef RHEEM_CORE_OPERATORS_FUSION_H_
+#define RHEEM_CORE_OPERATORS_FUSION_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/operators/kernels.h"
+#include "core/operators/physical_ops.h"
+
+namespace rheem {
+namespace fusion {
+
+/// \brief Pipeline-fusion planning over a stage's operator list.
+///
+/// Record-at-a-time operators (Map, Filter, FlatMap, Project) compose without
+/// semantic interaction — Hueske et al.'s "Opening the Black Boxes" result —
+/// so a chain of them can run as one kernels::FusedPipeline pass with no
+/// intermediate Dataset materialization. The planner here is shared by the
+/// javasim walker (fuses whole-Dataset chains) and the sparksim walker
+/// (fuses per partition, leaving every shuffle boundary intact).
+
+/// True when `op` is a record-at-a-time physical operator FusedPipeline can
+/// absorb. Stateful record-wise ops (ZipWithId: global ids; Sample: one RNG
+/// stream) are deliberately excluded.
+bool IsFusable(const Operator& op);
+
+/// One execution unit of a stage: a single operator evaluated normally, or a
+/// maximal fusable chain evaluated as one FusedPipeline pass.
+struct FusionUnit {
+  std::vector<Operator*> ops;
+  bool fused() const { return ops.size() > 1; }
+};
+
+/// Partitions `ops` (already topologically ordered) into execution units.
+/// Consecutive list entries A, B merge when both are fusable, B's only input
+/// is A, A feeds no other operator in `ops`, and A's id is not in `preserve`
+/// (operator outputs that must stay addressable: stage outputs, loop sinks).
+/// With `enable` false every operator is its own unit — the exact unfused
+/// execution order.
+std::vector<FusionUnit> PlanFusionUnits(
+    const std::vector<Operator*>& ops,
+    const std::unordered_set<int>& preserve, bool enable);
+
+/// Converts a fusable chain into FusedPipeline steps (one per operator).
+std::vector<kernels::FusedStep> StepsFor(const std::vector<Operator*>& chain);
+
+}  // namespace fusion
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_OPERATORS_FUSION_H_

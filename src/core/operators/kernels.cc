@@ -1,126 +1,623 @@
 #include "core/operators/kernels.h"
 
 #include <algorithm>
+#include <atomic>
+#include <iterator>
 #include <map>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "data/record.h"
 
 namespace rheem {
 namespace kernels {
+namespace {
 
-Result<Dataset> Map(const MapUdf& udf, const Dataset& in) {
+// ---------------------------------------------------------------------------
+// Per-kernel timing registry
+// ---------------------------------------------------------------------------
+
+enum KernelId : int {
+  kIdMap = 0,
+  kIdFlatMap,
+  kIdFilter,
+  kIdProject,
+  kIdZipWithId,
+  kIdSample,
+  kIdBroadcastMap,
+  kIdReduceByKey,
+  kIdHashGroupBy,
+  kIdSortByKey,
+  kIdSortGroupBy,
+  kIdGlobalReduce,
+  kIdCount,
+  kIdHashJoin,
+  kIdFusedPipeline,
+  kNumKernelIds,
+};
+
+constexpr const char* kKernelNames[kNumKernelIds] = {
+    "Map",         "FlatMap",     "Filter",    "Project",
+    "ZipWithId",   "Sample",      "BroadcastMap", "ReduceByKey",
+    "HashGroupBy", "SortByKey",   "SortGroupBy",  "GlobalReduce",
+    "Count",       "HashJoin",    "FusedPipeline"};
+
+struct TimingCell {
+  std::atomic<int64_t> invocations{0};
+  std::atomic<int64_t> records_in{0};
+  std::atomic<int64_t> wall{0};
+  std::atomic<int64_t> parallel_cpu{0};
+  std::atomic<int64_t> critical{0};
+  std::atomic<int64_t> serial{0};
+};
+
+TimingCell* Cells() {
+  static TimingCell cells[kNumKernelIds];
+  return cells;
+}
+
+/// Accumulates one kernel call's timing and flushes it into the registry on
+/// destruction. Morsel bodies report their thread-CPU time via AddMorselCpu
+/// (any thread); the caller reports the wall time of each parallel region via
+/// AddLoopWall (caller thread only). Everything not inside a parallel region
+/// counts as the call's serial part.
+class TimingScope {
+ public:
+  TimingScope(int id, std::size_t records) : id_(id), records_(records) {}
+
+  ~TimingScope() {
+    const int64_t wall = wall_.ElapsedMicros();
+    TimingCell& c = Cells()[id_];
+    c.invocations.fetch_add(1, std::memory_order_relaxed);
+    c.records_in.fetch_add(static_cast<int64_t>(records_),
+                           std::memory_order_relaxed);
+    c.wall.fetch_add(wall, std::memory_order_relaxed);
+    c.parallel_cpu.fetch_add(pcpu_.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+    c.critical.fetch_add(critical_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    c.serial.fetch_add(std::max<int64_t>(0, wall - loop_wall_),
+                       std::memory_order_relaxed);
+  }
+
+  void AddMorselCpu(int64_t micros) {
+    pcpu_.fetch_add(micros, std::memory_order_relaxed);
+    int64_t cur = critical_.load(std::memory_order_relaxed);
+    while (micros > cur && !critical_.compare_exchange_weak(
+                               cur, micros, std::memory_order_relaxed)) {
+    }
+  }
+
+  void AddLoopWall(int64_t micros) { loop_wall_ += micros; }
+
+ private:
+  int id_;
+  std::size_t records_;
+  Stopwatch wall_;
+  std::atomic<int64_t> pcpu_{0};
+  std::atomic<int64_t> critical_{0};
+  int64_t loop_wall_ = 0;  // touched by the calling thread only
+};
+
+// ---------------------------------------------------------------------------
+// Morsel helpers
+// ---------------------------------------------------------------------------
+
+using MorselRange = std::pair<std::size_t, std::size_t>;
+
+std::vector<MorselRange> MorselRanges(std::size_t n, std::size_t morsel_size) {
+  if (morsel_size == 0) morsel_size = 1;
+  std::vector<MorselRange> ranges;
+  ranges.reserve((n + morsel_size - 1) / morsel_size);
+  for (std::size_t b = 0; b < n; b += morsel_size) {
+    ranges.emplace_back(b, std::min(n, b + morsel_size));
+  }
+  return ranges;
+}
+
+/// Inputs of at most one morsel stay on the serial path: no task overhead for
+/// small data, and every existing small-input caller keeps byte-exact
+/// behavior regardless of the `kernels.parallel` setting.
+bool UseParallel(const KernelOptions& opts, std::size_t n) {
+  return opts.parallel && n > std::max<std::size_t>(1, opts.morsel_size);
+}
+
+ThreadPool& PoolFor(const KernelOptions& opts) {
+  return opts.pool != nullptr ? *opts.pool : DefaultThreadPool();
+}
+
+/// Runs body(m, begin, end) for every morsel on the pool. Reports the first
+/// failure in *morsel order*, so errors are as deterministic as the serial
+/// scan (the first failing record lives in the first failing morsel).
+template <typename Body>
+Status RunMorsels(const KernelOptions& opts,
+                  const std::vector<MorselRange>& ranges, TimingScope& scope,
+                  const Body& body) {
+  std::vector<Status> statuses(ranges.size());
+  Stopwatch loop;
+  PoolFor(opts).ParallelFor(ranges.size(), [&](std::size_t m) {
+    ThreadCpuTimer cpu;
+    statuses[m] = body(m, ranges[m].first, ranges[m].second);
+    scope.AddMorselCpu(cpu.ElapsedMicros());
+  });
+  scope.AddLoopWall(loop.ElapsedMicros());
+  for (Status& st : statuses) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::OK();
+}
+
+/// Splices per-morsel outputs in morsel order, reserving the final size once.
+Dataset ConcatMorsels(std::vector<std::vector<Record>> parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<Record> out;
+  out.reserve(total);
+  for (auto& p : parts) {
+    out.insert(out.end(), std::make_move_iterator(p.begin()),
+               std::make_move_iterator(p.end()));
+  }
+  return Dataset(std::move(out));
+}
+
+/// Greedily packs consecutive groups (given per-group record counts) into
+/// chunks of roughly `target` input records, so group-UDF application
+/// parallelizes without spawning a task per tiny group.
+std::vector<MorselRange> ChunkBySize(const std::vector<std::size_t>& sizes,
+                                     std::size_t target) {
+  if (target == 0) target = 1;
+  std::vector<MorselRange> chunks;
+  std::size_t start = 0;
+  std::size_t load = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    load += sizes[i];
+    if (load >= target) {
+      chunks.emplace_back(start, i + 1);
+      start = i + 1;
+      load = 0;
+    }
+  }
+  if (start < sizes.size()) chunks.emplace_back(start, sizes.size());
+  return chunks;
+}
+
+Status CheckProjection(const std::vector<int>& columns, const Record& r) {
+  for (int c : columns) {
+    if (static_cast<std::size_t>(c) >= r.size()) {
+      return Status::OutOfRange("projection column " + std::to_string(c) +
+                                " out of range for record of arity " +
+                                std::to_string(r.size()));
+    }
+  }
+  return Status::OK();
+}
+
+/// Decorated sort entry for the parallel run-sort + merge. Ordering by
+/// (key, original index) is a total order equivalent to stable_sort by key.
+struct SortEntry {
+  Value key;
+  std::size_t index = 0;
+};
+
+bool SortEntryLess(const SortEntry& a, const SortEntry& b) {
+  const int c = a.key.Compare(b.key);
+  if (c != 0) return c < 0;
+  return a.index < b.index;
+}
+
+/// Parallel decorate + per-morsel sort + pairwise parallel merge. On return
+/// `buf_a` and `buf_b` are sized n and the returned pointer (into one of
+/// them) holds all n entries in stable key order.
+template <typename KeyFn>
+SortEntry* ParallelSortEntries(const KeyFn& key_fn, const Dataset& in,
+                               const KernelOptions& opts, TimingScope& scope,
+                               std::vector<SortEntry>& buf_a,
+                               std::vector<SortEntry>& buf_b) {
+  const std::size_t n = in.size();
+  const auto ranges = MorselRanges(n, opts.morsel_size);
+  buf_a.resize(n);
+  buf_b.resize(n);
+  Stopwatch sort_loop;
+  PoolFor(opts).ParallelFor(ranges.size(), [&](std::size_t m) {
+    ThreadCpuTimer cpu;
+    const auto [b, e] = ranges[m];
+    for (std::size_t i = b; i < e; ++i) {
+      buf_a[i] = SortEntry{key_fn(in.at(i)), i};
+    }
+    std::sort(buf_a.begin() + static_cast<std::ptrdiff_t>(b),
+              buf_a.begin() + static_cast<std::ptrdiff_t>(e), SortEntryLess);
+    scope.AddMorselCpu(cpu.ElapsedMicros());
+  });
+  scope.AddLoopWall(sort_loop.ElapsedMicros());
+
+  std::vector<std::size_t> bounds;
+  bounds.reserve(ranges.size() + 1);
+  bounds.push_back(0);
+  for (const auto& r : ranges) bounds.push_back(r.second);
+  SortEntry* src = buf_a.data();
+  SortEntry* dst = buf_b.data();
+  while (bounds.size() > 2) {
+    const std::size_t runs = bounds.size() - 1;
+    const std::size_t merged_runs = (runs + 1) / 2;
+    Stopwatch level;
+    PoolFor(opts).ParallelFor(merged_runs, [&](std::size_t p) {
+      ThreadCpuTimer cpu;
+      const std::size_t lo = bounds[2 * p];
+      const std::size_t mid = bounds[std::min(2 * p + 1, runs)];
+      const std::size_t hi = bounds[std::min(2 * p + 2, runs)];
+      if (mid == hi) {
+        // Odd run out: carry it to the next level unchanged.
+        std::move(src + lo, src + mid, dst + lo);
+      } else {
+        std::merge(std::make_move_iterator(src + lo),
+                   std::make_move_iterator(src + mid),
+                   std::make_move_iterator(src + mid),
+                   std::make_move_iterator(src + hi), dst + lo, SortEntryLess);
+      }
+      scope.AddMorselCpu(cpu.ElapsedMicros());
+    });
+    scope.AddLoopWall(level.ElapsedMicros());
+    std::vector<std::size_t> next_bounds;
+    next_bounds.reserve(merged_runs + 1);
+    next_bounds.push_back(0);
+    for (std::size_t p = 0; p < merged_runs; ++p) {
+      next_bounds.push_back(bounds[std::min(2 * p + 2, runs)]);
+    }
+    bounds = std::move(next_bounds);
+    std::swap(src, dst);
+  }
+  return src;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// KernelOptions / timing API
+// ---------------------------------------------------------------------------
+
+KernelOptions KernelOptions::FromConfig(const Config& config,
+                                        ThreadPool* pool) {
+  KernelOptions o;
+  o.parallel = config.GetBool("kernels.parallel", o.parallel).ValueOr(o.parallel);
+  const int64_t morsel =
+      config.GetInt("kernels.morsel_size", static_cast<int64_t>(o.morsel_size))
+          .ValueOr(static_cast<int64_t>(o.morsel_size));
+  if (morsel > 0) o.morsel_size = static_cast<std::size_t>(morsel);
+  o.pool = pool;
+  return o;
+}
+
+std::vector<KernelTiming> SnapshotKernelTimings() {
+  std::vector<KernelTiming> out;
+  for (int id = 0; id < kNumKernelIds; ++id) {
+    TimingCell& c = Cells()[id];
+    KernelTiming t;
+    t.kernel = kKernelNames[id];
+    t.invocations = c.invocations.load(std::memory_order_relaxed);
+    if (t.invocations == 0) continue;
+    t.records_in = c.records_in.load(std::memory_order_relaxed);
+    t.wall_micros = c.wall.load(std::memory_order_relaxed);
+    t.parallel_cpu_micros = c.parallel_cpu.load(std::memory_order_relaxed);
+    t.critical_path_micros = c.critical.load(std::memory_order_relaxed);
+    t.serial_micros = c.serial.load(std::memory_order_relaxed);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+void ResetKernelTimings() {
+  for (int id = 0; id < kNumKernelIds; ++id) {
+    TimingCell& c = Cells()[id];
+    c.invocations.store(0, std::memory_order_relaxed);
+    c.records_in.store(0, std::memory_order_relaxed);
+    c.wall.store(0, std::memory_order_relaxed);
+    c.parallel_cpu.store(0, std::memory_order_relaxed);
+    c.critical.store(0, std::memory_order_relaxed);
+    c.serial.store(0, std::memory_order_relaxed);
+  }
+}
+
+int64_t ModeledMicrosAtWidth(const KernelTiming& t, std::size_t workers) {
+  if (workers == 0) workers = 1;
+  const int64_t spread =
+      t.parallel_cpu_micros / static_cast<int64_t>(workers);
+  return t.serial_micros + std::max(spread, t.critical_path_micros);
+}
+
+// ---------------------------------------------------------------------------
+// Record-at-a-time kernels
+// ---------------------------------------------------------------------------
+
+Result<Dataset> Map(const MapUdf& udf, const Dataset& in,
+                    const KernelOptions& opts) {
   if (!udf.fn) return Status::InvalidArgument("Map UDF is empty");
-  std::vector<Record> out;
-  out.reserve(in.size());
-  for (const auto& r : in.records()) out.push_back(udf.fn(r));
-  return Dataset(std::move(out));
+  TimingScope scope(kIdMap, in.size());
+  if (!UseParallel(opts, in.size())) {
+    std::vector<Record> out;
+    out.reserve(in.size());
+    for (const auto& r : in.records()) out.push_back(udf.fn(r));
+    return Dataset(std::move(out));
+  }
+  const auto ranges = MorselRanges(in.size(), opts.morsel_size);
+  std::vector<std::vector<Record>> parts(ranges.size());
+  RHEEM_RETURN_IF_ERROR(RunMorsels(
+      opts, ranges, scope, [&](std::size_t m, std::size_t b, std::size_t e) {
+        auto& part = parts[m];
+        part.reserve(e - b);
+        for (std::size_t i = b; i < e; ++i) part.push_back(udf.fn(in.at(i)));
+        return Status::OK();
+      }));
+  return ConcatMorsels(std::move(parts));
 }
 
-Result<Dataset> FlatMap(const FlatMapUdf& udf, const Dataset& in) {
+Result<Dataset> FlatMap(const FlatMapUdf& udf, const Dataset& in,
+                        const KernelOptions& opts) {
   if (!udf.fn) return Status::InvalidArgument("FlatMap UDF is empty");
-  std::vector<Record> out;
-  out.reserve(in.size());
-  for (const auto& r : in.records()) {
-    std::vector<Record> produced = udf.fn(r);
-    for (auto& p : produced) out.push_back(std::move(p));
+  TimingScope scope(kIdFlatMap, in.size());
+  if (!UseParallel(opts, in.size())) {
+    std::vector<Record> out;
+    out.reserve(in.size());
+    for (const auto& r : in.records()) {
+      std::vector<Record> produced = udf.fn(r);
+      for (auto& p : produced) out.push_back(std::move(p));
+    }
+    return Dataset(std::move(out));
   }
-  return Dataset(std::move(out));
+  const auto ranges = MorselRanges(in.size(), opts.morsel_size);
+  std::vector<std::vector<Record>> parts(ranges.size());
+  RHEEM_RETURN_IF_ERROR(RunMorsels(
+      opts, ranges, scope, [&](std::size_t m, std::size_t b, std::size_t e) {
+        auto& part = parts[m];
+        part.reserve(e - b);
+        for (std::size_t i = b; i < e; ++i) {
+          std::vector<Record> produced = udf.fn(in.at(i));
+          for (auto& p : produced) part.push_back(std::move(p));
+        }
+        return Status::OK();
+      }));
+  return ConcatMorsels(std::move(parts));
 }
 
-Result<Dataset> Filter(const PredicateUdf& udf, const Dataset& in) {
+Result<Dataset> Filter(const PredicateUdf& udf, const Dataset& in,
+                       const KernelOptions& opts) {
   if (!udf.fn) return Status::InvalidArgument("Filter UDF is empty");
-  std::vector<Record> out;
-  for (const auto& r : in.records()) {
-    if (udf.fn(r)) out.push_back(r);
+  TimingScope scope(kIdFilter, in.size());
+  if (!UseParallel(opts, in.size())) {
+    // Index gather: decide first, then copy exactly the survivors into a
+    // right-sized vector — no reallocation churn on large outputs.
+    std::vector<std::size_t> kept;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      if (udf.fn(in.at(i))) kept.push_back(i);
+    }
+    std::vector<Record> out;
+    out.reserve(kept.size());
+    for (std::size_t i : kept) out.push_back(in.at(i));
+    return Dataset(std::move(out));
   }
-  return Dataset(std::move(out));
+  const auto ranges = MorselRanges(in.size(), opts.morsel_size);
+  std::vector<std::vector<Record>> parts(ranges.size());
+  RHEEM_RETURN_IF_ERROR(RunMorsels(
+      opts, ranges, scope, [&](std::size_t m, std::size_t b, std::size_t e) {
+        std::vector<std::size_t> kept;
+        for (std::size_t i = b; i < e; ++i) {
+          if (udf.fn(in.at(i))) kept.push_back(i);
+        }
+        auto& part = parts[m];
+        part.reserve(kept.size());
+        for (std::size_t i : kept) part.push_back(in.at(i));
+        return Status::OK();
+      }));
+  return ConcatMorsels(std::move(parts));
 }
 
-Result<Dataset> Project(const std::vector<int>& columns, const Dataset& in) {
+Result<Dataset> Project(const std::vector<int>& columns, const Dataset& in,
+                        const KernelOptions& opts) {
   for (int c : columns) {
     if (c < 0) return Status::InvalidArgument("negative projection column");
   }
-  std::vector<Record> out;
-  out.reserve(in.size());
-  for (const auto& r : in.records()) {
-    for (int c : columns) {
-      if (static_cast<std::size_t>(c) >= r.size()) {
-        return Status::OutOfRange("projection column " + std::to_string(c) +
-                                  " out of range for record of arity " +
-                                  std::to_string(r.size()));
-      }
+  TimingScope scope(kIdProject, in.size());
+  if (!UseParallel(opts, in.size())) {
+    std::vector<Record> out;
+    out.reserve(in.size());
+    for (const auto& r : in.records()) {
+      RHEEM_RETURN_IF_ERROR(CheckProjection(columns, r));
+      out.push_back(r.Project(columns));
     }
-    out.push_back(r.Project(columns));
+    return Dataset(std::move(out));
   }
-  return Dataset(std::move(out));
+  const auto ranges = MorselRanges(in.size(), opts.morsel_size);
+  std::vector<std::vector<Record>> parts(ranges.size());
+  RHEEM_RETURN_IF_ERROR(RunMorsels(
+      opts, ranges, scope, [&](std::size_t m, std::size_t b, std::size_t e) {
+        auto& part = parts[m];
+        part.reserve(e - b);
+        for (std::size_t i = b; i < e; ++i) {
+          RHEEM_RETURN_IF_ERROR(CheckProjection(columns, in.at(i)));
+          part.push_back(in.at(i).Project(columns));
+        }
+        return Status::OK();
+      }));
+  return ConcatMorsels(std::move(parts));
 }
 
 Result<Dataset> Distinct(const Dataset& in) {
-  std::unordered_map<Record, bool, RecordHasher> seen;
+  // Keyed by pointers into the input — records are hashed/compared in place
+  // and copied exactly once, into the right-sized output.
+  struct PtrHash {
+    std::size_t operator()(const Record* r) const { return r->Hash(); }
+  };
+  struct PtrEq {
+    bool operator()(const Record* a, const Record* b) const { return *a == *b; }
+  };
+  std::unordered_set<const Record*, PtrHash, PtrEq> seen;
   seen.reserve(in.size());
+  std::vector<std::size_t> kept;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (seen.insert(&in.at(i)).second) kept.push_back(i);
+  }
   std::vector<Record> out;
-  for (const auto& r : in.records()) {
-    auto [it, inserted] = seen.emplace(r, true);
-    if (inserted) out.push_back(r);
+  out.reserve(kept.size());
+  for (std::size_t i : kept) out.push_back(in.at(i));
+  return Dataset(std::move(out));
+}
+
+Result<Dataset> SortByKey(const KeyUdf& key, const Dataset& in,
+                          const KernelOptions& opts) {
+  if (!key.fn) return Status::InvalidArgument("Sort key UDF is empty");
+  TimingScope scope(kIdSortByKey, in.size());
+  if (!UseParallel(opts, in.size())) {
+    // Decorate-sort-undecorate: evaluate the key once per record.
+    std::vector<std::pair<Value, const Record*>> decorated;
+    decorated.reserve(in.size());
+    for (const auto& r : in.records()) decorated.emplace_back(key.fn(r), &r);
+    std::stable_sort(decorated.begin(), decorated.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first.Compare(b.first) < 0;
+                     });
+    std::vector<Record> out;
+    out.reserve(in.size());
+    for (const auto& [k, r] : decorated) out.push_back(*r);
+    return Dataset(std::move(out));
+  }
+  std::vector<SortEntry> buf_a, buf_b;
+  const SortEntry* sorted =
+      ParallelSortEntries(key.fn, in, opts, scope, buf_a, buf_b);
+  std::vector<Record> out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out.push_back(in.at(sorted[i].index));
   }
   return Dataset(std::move(out));
 }
 
-Result<Dataset> SortByKey(const KeyUdf& key, const Dataset& in) {
-  if (!key.fn) return Status::InvalidArgument("Sort key UDF is empty");
-  // Decorate-sort-undecorate: evaluate the key once per record.
-  std::vector<std::pair<Value, const Record*>> decorated;
-  decorated.reserve(in.size());
-  for (const auto& r : in.records()) decorated.emplace_back(key.fn(r), &r);
-  std::stable_sort(decorated.begin(), decorated.end(),
-                   [](const auto& a, const auto& b) {
-                     return a.first.Compare(b.first) < 0;
-                   });
-  std::vector<Record> out;
-  out.reserve(in.size());
-  for (const auto& [k, r] : decorated) out.push_back(*r);
-  return Dataset(std::move(out));
-}
-
-Result<Dataset> Sample(double fraction, uint64_t seed, const Dataset& in) {
+Result<Dataset> Sample(double fraction, uint64_t seed, const Dataset& in,
+                       const KernelOptions& opts) {
   if (fraction < 0.0 || fraction > 1.0) {
     return Status::InvalidArgument("sample fraction must be in [0,1]");
   }
+  TimingScope scope(kIdSample, in.size());
+  // The RNG is a serial stream (no jump-ahead), so the keep/drop decisions
+  // are always made sequentially; only the gather parallelizes. Decisions —
+  // and therefore output — are identical on every path.
   Rng rng(seed);
-  std::vector<Record> out;
-  for (const auto& r : in.records()) {
-    if (rng.NextBool(fraction)) out.push_back(r);
+  std::vector<char> keep(in.size(), 0);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    keep[i] = rng.NextBool(fraction) ? 1 : 0;
+    kept += keep[i];
   }
-  return Dataset(std::move(out));
+  if (!UseParallel(opts, in.size())) {
+    std::vector<Record> out;
+    out.reserve(kept);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      if (keep[i]) out.push_back(in.at(i));
+    }
+    return Dataset(std::move(out));
+  }
+  const auto ranges = MorselRanges(in.size(), opts.morsel_size);
+  std::vector<std::vector<Record>> parts(ranges.size());
+  RHEEM_RETURN_IF_ERROR(RunMorsels(
+      opts, ranges, scope, [&](std::size_t m, std::size_t b, std::size_t e) {
+        std::size_t local = 0;
+        for (std::size_t i = b; i < e; ++i) local += keep[i];
+        auto& part = parts[m];
+        part.reserve(local);
+        for (std::size_t i = b; i < e; ++i) {
+          if (keep[i]) part.push_back(in.at(i));
+        }
+        return Status::OK();
+      }));
+  return ConcatMorsels(std::move(parts));
 }
 
-Result<Dataset> ZipWithId(int64_t first_id, const Dataset& in) {
-  std::vector<Record> out;
-  out.reserve(in.size());
-  int64_t id = first_id;
-  for (const auto& r : in.records()) {
-    Record withId = r;
-    withId.Append(Value(id++));
-    out.push_back(std::move(withId));
+Result<Dataset> ZipWithId(int64_t first_id, const Dataset& in,
+                          const KernelOptions& opts) {
+  TimingScope scope(kIdZipWithId, in.size());
+  if (!UseParallel(opts, in.size())) {
+    std::vector<Record> out;
+    out.reserve(in.size());
+    int64_t id = first_id;
+    for (const auto& r : in.records()) {
+      Record withId = r;
+      withId.Append(Value(id++));
+      out.push_back(std::move(withId));
+    }
+    return Dataset(std::move(out));
   }
-  return Dataset(std::move(out));
+  const auto ranges = MorselRanges(in.size(), opts.morsel_size);
+  std::vector<std::vector<Record>> parts(ranges.size());
+  RHEEM_RETURN_IF_ERROR(RunMorsels(
+      opts, ranges, scope, [&](std::size_t m, std::size_t b, std::size_t e) {
+        auto& part = parts[m];
+        part.reserve(e - b);
+        for (std::size_t i = b; i < e; ++i) {
+          Record withId = in.at(i);
+          withId.Append(Value(first_id + static_cast<int64_t>(i)));
+          part.push_back(std::move(withId));
+        }
+        return Status::OK();
+      }));
+  return ConcatMorsels(std::move(parts));
 }
+
+// ---------------------------------------------------------------------------
+// Aggregation kernels
+// ---------------------------------------------------------------------------
 
 Result<Dataset> ReduceByKey(const KeyUdf& key, const ReduceUdf& reduce,
-                            const Dataset& in) {
+                            const Dataset& in, const KernelOptions& opts) {
   if (!key.fn) return Status::InvalidArgument("ReduceByKey key UDF is empty");
   if (!reduce.fn) return Status::InvalidArgument("ReduceByKey reduce UDF is empty");
+  TimingScope scope(kIdReduceByKey, in.size());
   // std::map keeps output deterministic across platforms and partitionings.
-  std::map<Value, Record> acc;
-  for (const auto& r : in.records()) {
-    Value k = key.fn(r);
-    auto it = acc.find(k);
-    if (it == acc.end()) {
-      acc.emplace(std::move(k), r);
-    } else {
-      it->second = reduce.fn(it->second, r);
+  if (!UseParallel(opts, in.size())) {
+    std::map<Value, Record> acc;
+    for (const auto& r : in.records()) {
+      Value k = key.fn(r);
+      auto it = acc.find(k);
+      if (it == acc.end()) {
+        acc.emplace(std::move(k), r);
+      } else {
+        it->second = reduce.fn(it->second, r);
+      }
+    }
+    std::vector<Record> out;
+    out.reserve(acc.size());
+    for (auto& [k, v] : acc) out.push_back(std::move(v));
+    return Dataset(std::move(out));
+  }
+  // Per-morsel partial maps folded in input order, merged in morsel order:
+  // for the associative/commutative combiners ReduceUdf requires, the result
+  // equals the serial left fold; output order (sorted by key) is identical.
+  const auto ranges = MorselRanges(in.size(), opts.morsel_size);
+  std::vector<std::map<Value, Record>> partials(ranges.size());
+  RHEEM_RETURN_IF_ERROR(RunMorsels(
+      opts, ranges, scope, [&](std::size_t m, std::size_t b, std::size_t e) {
+        auto& acc = partials[m];
+        for (std::size_t i = b; i < e; ++i) {
+          const Record& r = in.at(i);
+          Value k = key.fn(r);
+          auto it = acc.find(k);
+          if (it == acc.end()) {
+            acc.emplace(std::move(k), r);
+          } else {
+            it->second = reduce.fn(it->second, r);
+          }
+        }
+        return Status::OK();
+      }));
+  std::map<Value, Record> acc = std::move(partials[0]);
+  for (std::size_t m = 1; m < partials.size(); ++m) {
+    for (auto& [k, v] : partials[m]) {
+      auto it = acc.find(k);
+      if (it == acc.end()) {
+        acc.emplace(k, std::move(v));
+      } else {
+        it->second = reduce.fn(it->second, v);
+      }
     }
   }
   std::vector<Record> out;
@@ -130,98 +627,303 @@ Result<Dataset> ReduceByKey(const KeyUdf& key, const ReduceUdf& reduce,
 }
 
 Result<Dataset> HashGroupBy(const KeyUdf& key, const GroupUdf& group,
-                            const Dataset& in) {
+                            const Dataset& in, const KernelOptions& opts) {
   if (!key.fn) return Status::InvalidArgument("GroupBy key UDF is empty");
   if (!group.fn) return Status::InvalidArgument("GroupBy group UDF is empty");
-  std::unordered_map<Value, std::vector<Record>, ValueHasher> groups;
-  groups.reserve(in.size());
-  // Track first-seen order of keys for deterministic output.
+  TimingScope scope(kIdHashGroupBy, in.size());
+  using IndexGroups =
+      std::unordered_map<Value, std::vector<std::size_t>, ValueHasher>;
+  if (!UseParallel(opts, in.size())) {
+    // Group by index, materializing each member list once, right-sized, at
+    // the point of the UDF call.
+    IndexGroups groups;
+    groups.reserve(in.size());
+    // Track first-seen order of keys for deterministic output.
+    std::vector<const Value*> key_order;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      Value k = key.fn(in.at(i));
+      auto [it, inserted] = groups.try_emplace(std::move(k));
+      if (inserted) key_order.push_back(&it->first);
+      it->second.push_back(i);
+    }
+    std::vector<Record> out;
+    for (const Value* k : key_order) {
+      const std::vector<std::size_t>& idx = groups.at(*k);
+      std::vector<Record> members;
+      members.reserve(idx.size());
+      for (std::size_t i : idx) members.push_back(in.at(i));
+      std::vector<Record> produced = group.fn(*k, members);
+      for (auto& p : produced) out.push_back(std::move(p));
+    }
+    return Dataset(std::move(out));
+  }
+  // Phase 1: per-morsel index groups with local first-seen key order.
+  struct Partial {
+    IndexGroups groups;
+    std::vector<const Value*> order;
+  };
+  const auto ranges = MorselRanges(in.size(), opts.morsel_size);
+  std::vector<Partial> partials(ranges.size());
+  RHEEM_RETURN_IF_ERROR(RunMorsels(
+      opts, ranges, scope, [&](std::size_t m, std::size_t b, std::size_t e) {
+        Partial& p = partials[m];
+        p.groups.reserve(e - b);
+        for (std::size_t i = b; i < e; ++i) {
+          Value k = key.fn(in.at(i));
+          auto [it, inserted] = p.groups.try_emplace(std::move(k));
+          if (inserted) p.order.push_back(&it->first);
+          it->second.push_back(i);
+        }
+        return Status::OK();
+      }));
+  // Phase 2 (serial): merge in morsel order. Global key order = first-seen
+  // order over the input, member indices ascend per key — exactly serial.
+  IndexGroups merged;
+  merged.reserve(in.size());
   std::vector<const Value*> key_order;
-  for (const auto& r : in.records()) {
-    Value k = key.fn(r);
-    auto [it, inserted] = groups.try_emplace(std::move(k));
-    if (inserted) key_order.push_back(&it->first);
-    it->second.push_back(r);
+  for (const Partial& p : partials) {
+    for (const Value* k : p.order) {
+      auto src = p.groups.find(*k);
+      auto [it, inserted] = merged.try_emplace(*k);
+      if (inserted) key_order.push_back(&it->first);
+      it->second.insert(it->second.end(), src->second.begin(),
+                        src->second.end());
+    }
   }
-  std::vector<Record> out;
-  for (const Value* k : key_order) {
-    std::vector<Record> produced = group.fn(*k, groups.at(*k));
-    for (auto& p : produced) out.push_back(std::move(p));
-  }
-  return Dataset(std::move(out));
+  // Phase 3: apply the group UDF over key chunks in parallel; chunking is
+  // deterministic (by member counts), output concatenated in key order.
+  std::vector<std::size_t> sizes;
+  sizes.reserve(key_order.size());
+  for (const Value* k : key_order) sizes.push_back(merged.at(*k).size());
+  const auto chunks = ChunkBySize(sizes, opts.morsel_size);
+  std::vector<std::vector<Record>> parts(chunks.size());
+  RHEEM_RETURN_IF_ERROR(RunMorsels(
+      opts, chunks, scope, [&](std::size_t c, std::size_t b, std::size_t e) {
+        auto& part = parts[c];
+        for (std::size_t ki = b; ki < e; ++ki) {
+          const Value* k = key_order[ki];
+          const std::vector<std::size_t>& idx = merged.at(*k);
+          std::vector<Record> members;
+          members.reserve(idx.size());
+          for (std::size_t i : idx) members.push_back(in.at(i));
+          std::vector<Record> produced = group.fn(*k, members);
+          for (auto& p : produced) part.push_back(std::move(p));
+        }
+        return Status::OK();
+      }));
+  return ConcatMorsels(std::move(parts));
 }
 
 Result<Dataset> SortGroupBy(const KeyUdf& key, const GroupUdf& group,
-                            const Dataset& in) {
+                            const Dataset& in, const KernelOptions& opts) {
   if (!key.fn) return Status::InvalidArgument("GroupBy key UDF is empty");
   if (!group.fn) return Status::InvalidArgument("GroupBy group UDF is empty");
-  std::vector<std::pair<Value, const Record*>> decorated;
-  decorated.reserve(in.size());
-  for (const auto& r : in.records()) decorated.emplace_back(key.fn(r), &r);
-  std::stable_sort(decorated.begin(), decorated.end(),
-                   [](const auto& a, const auto& b) {
-                     return a.first.Compare(b.first) < 0;
-                   });
-  std::vector<Record> out;
-  std::size_t i = 0;
-  while (i < decorated.size()) {
-    std::size_t j = i;
-    std::vector<Record> members;
-    while (j < decorated.size() &&
-           decorated[j].first.Compare(decorated[i].first) == 0) {
-      members.push_back(*decorated[j].second);
-      ++j;
+  TimingScope scope(kIdSortGroupBy, in.size());
+  if (!UseParallel(opts, in.size())) {
+    std::vector<std::pair<Value, const Record*>> decorated;
+    decorated.reserve(in.size());
+    for (const auto& r : in.records()) decorated.emplace_back(key.fn(r), &r);
+    std::stable_sort(decorated.begin(), decorated.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first.Compare(b.first) < 0;
+                     });
+    std::vector<Record> out;
+    std::size_t i = 0;
+    while (i < decorated.size()) {
+      std::size_t j = i;
+      std::vector<Record> members;
+      while (j < decorated.size() &&
+             decorated[j].first.Compare(decorated[i].first) == 0) {
+        members.push_back(*decorated[j].second);
+        ++j;
+      }
+      std::vector<Record> produced = group.fn(decorated[i].first, members);
+      for (auto& p : produced) out.push_back(std::move(p));
+      i = j;
     }
-    std::vector<Record> produced = group.fn(decorated[i].first, members);
-    for (auto& p : produced) out.push_back(std::move(p));
+    return Dataset(std::move(out));
+  }
+  std::vector<SortEntry> buf_a, buf_b;
+  const SortEntry* sorted =
+      ParallelSortEntries(key.fn, in, opts, scope, buf_a, buf_b);
+  // Serial run-boundary scan, then the group UDF over run chunks in parallel.
+  std::vector<MorselRange> runs;
+  std::size_t i = 0;
+  while (i < in.size()) {
+    std::size_t j = i + 1;
+    while (j < in.size() && sorted[j].key.Compare(sorted[i].key) == 0) ++j;
+    runs.emplace_back(i, j);
     i = j;
   }
-  return Dataset(std::move(out));
+  std::vector<std::size_t> sizes;
+  sizes.reserve(runs.size());
+  for (const auto& r : runs) sizes.push_back(r.second - r.first);
+  const auto chunks = ChunkBySize(sizes, opts.morsel_size);
+  std::vector<std::vector<Record>> parts(chunks.size());
+  RHEEM_RETURN_IF_ERROR(RunMorsels(
+      opts, chunks, scope, [&](std::size_t c, std::size_t b, std::size_t e) {
+        auto& part = parts[c];
+        for (std::size_t g = b; g < e; ++g) {
+          const auto [s0, s1] = runs[g];
+          std::vector<Record> members;
+          members.reserve(s1 - s0);
+          for (std::size_t k = s0; k < s1; ++k) {
+            members.push_back(in.at(sorted[k].index));
+          }
+          std::vector<Record> produced = group.fn(sorted[s0].key, members);
+          for (auto& p : produced) part.push_back(std::move(p));
+        }
+        return Status::OK();
+      }));
+  return ConcatMorsels(std::move(parts));
 }
 
-Result<Dataset> GlobalReduce(const ReduceUdf& reduce, const Dataset& in) {
+Result<Dataset> GlobalReduce(const ReduceUdf& reduce, const Dataset& in,
+                             const KernelOptions& opts) {
   if (!reduce.fn) return Status::InvalidArgument("GlobalReduce UDF is empty");
   if (in.empty()) return Dataset();
-  Record acc = in.at(0);
-  for (std::size_t i = 1; i < in.size(); ++i) {
-    acc = reduce.fn(acc, in.at(i));
+  TimingScope scope(kIdGlobalReduce, in.size());
+  if (!UseParallel(opts, in.size())) {
+    Record acc = in.at(0);
+    for (std::size_t i = 1; i < in.size(); ++i) {
+      acc = reduce.fn(acc, in.at(i));
+    }
+    return Dataset(std::vector<Record>{std::move(acc)});
+  }
+  // Per-morsel left folds combined left-to-right: equal to the serial fold
+  // by associativity alone (operand order is preserved).
+  const auto ranges = MorselRanges(in.size(), opts.morsel_size);
+  std::vector<Record> partials(ranges.size());
+  RHEEM_RETURN_IF_ERROR(RunMorsels(
+      opts, ranges, scope, [&](std::size_t m, std::size_t b, std::size_t e) {
+        Record acc = in.at(b);
+        for (std::size_t i = b + 1; i < e; ++i) {
+          acc = reduce.fn(acc, in.at(i));
+        }
+        partials[m] = std::move(acc);
+        return Status::OK();
+      }));
+  Record acc = std::move(partials[0]);
+  for (std::size_t m = 1; m < partials.size(); ++m) {
+    acc = reduce.fn(acc, partials[m]);
   }
   return Dataset(std::vector<Record>{std::move(acc)});
 }
 
-Result<Dataset> Count(const Dataset& in) {
+Result<Dataset> Count(const Dataset& in, const KernelOptions& opts) {
+  (void)opts;  // counting a materialized Dataset is O(1)
+  TimingScope scope(kIdCount, in.size());
   return Dataset(std::vector<Record>{
       Record({Value(static_cast<int64_t>(in.size()))})});
 }
 
 Result<Dataset> BroadcastMap(const BroadcastMapUdf& udf, const Dataset& main,
-                             const Dataset& broadcast) {
+                             const Dataset& broadcast,
+                             const KernelOptions& opts) {
   if (!udf.fn) return Status::InvalidArgument("BroadcastMap UDF is empty");
-  std::vector<Record> out;
-  out.reserve(main.size());
-  for (const auto& r : main.records()) out.push_back(udf.fn(r, broadcast));
-  return Dataset(std::move(out));
+  TimingScope scope(kIdBroadcastMap, main.size());
+  if (!UseParallel(opts, main.size())) {
+    std::vector<Record> out;
+    out.reserve(main.size());
+    for (const auto& r : main.records()) out.push_back(udf.fn(r, broadcast));
+    return Dataset(std::move(out));
+  }
+  const auto ranges = MorselRanges(main.size(), opts.morsel_size);
+  std::vector<std::vector<Record>> parts(ranges.size());
+  RHEEM_RETURN_IF_ERROR(RunMorsels(
+      opts, ranges, scope, [&](std::size_t m, std::size_t b, std::size_t e) {
+        auto& part = parts[m];
+        part.reserve(e - b);
+        for (std::size_t i = b; i < e; ++i) {
+          part.push_back(udf.fn(main.at(i), broadcast));
+        }
+        return Status::OK();
+      }));
+  return ConcatMorsels(std::move(parts));
 }
 
+// ---------------------------------------------------------------------------
+// Join kernels
+// ---------------------------------------------------------------------------
+
 Result<Dataset> HashJoin(const KeyUdf& left_key, const KeyUdf& right_key,
-                         const Dataset& left, const Dataset& right) {
+                         const Dataset& left, const Dataset& right,
+                         const KernelOptions& opts) {
   if (!left_key.fn || !right_key.fn) {
     return Status::InvalidArgument("Join key UDF is empty");
   }
-  std::unordered_map<Value, std::vector<const Record*>, ValueHasher> build;
-  build.reserve(right.size());
-  for (const auto& r : right.records()) {
-    build[right_key.fn(r)].push_back(&r);
-  }
-  std::vector<Record> out;
-  for (const auto& l : left.records()) {
-    auto it = build.find(left_key.fn(l));
-    if (it == build.end()) continue;
-    for (const Record* r : it->second) {
-      out.push_back(Record::Concat(l, *r));
+  TimingScope scope(kIdHashJoin, left.size() + right.size());
+  if (!UseParallel(opts, std::max(left.size(), right.size()))) {
+    std::unordered_map<Value, std::vector<const Record*>, ValueHasher> build;
+    build.reserve(right.size());
+    for (const auto& r : right.records()) {
+      build[right_key.fn(r)].push_back(&r);
     }
+    std::vector<Record> out;
+    for (const auto& l : left.records()) {
+      auto it = build.find(left_key.fn(l));
+      if (it == build.end()) continue;
+      for (const Record* r : it->second) {
+        out.push_back(Record::Concat(l, *r));
+      }
+    }
+    return Dataset(std::move(out));
   }
-  return Dataset(std::move(out));
+  // Partitioned build: all rows of a key hash to one partition and are
+  // appended in input order, so the per-key match lists — and therefore the
+  // probe output — are independent of the partition count.
+  const std::size_t P =
+      std::max<std::size_t>(1, std::min<std::size_t>(
+                                   PoolFor(opts).num_threads() + 1, 64));
+  std::vector<Value> rkeys(right.size());
+  std::vector<std::size_t> rpart(right.size());
+  const auto rranges = MorselRanges(right.size(), opts.morsel_size);
+  RHEEM_RETURN_IF_ERROR(RunMorsels(
+      opts, rranges, scope, [&](std::size_t m, std::size_t b, std::size_t e) {
+        (void)m;
+        for (std::size_t i = b; i < e; ++i) {
+          rkeys[i] = right_key.fn(right.at(i));
+          rpart[i] = ValueHasher{}(rkeys[i]) % P;
+        }
+        return Status::OK();
+      }));
+  std::vector<std::size_t> counts(P, 0);
+  for (std::size_t p : rpart) ++counts[p];
+  std::vector<std::vector<std::size_t>> part_rows(P);
+  for (std::size_t p = 0; p < P; ++p) part_rows[p].reserve(counts[p]);
+  for (std::size_t i = 0; i < rpart.size(); ++i) {
+    part_rows[rpart[i]].push_back(i);
+  }
+  using Table =
+      std::unordered_map<Value, std::vector<std::size_t>, ValueHasher>;
+  std::vector<Table> tables(P);
+  Stopwatch build_loop;
+  PoolFor(opts).ParallelFor(P, [&](std::size_t p) {
+    ThreadCpuTimer cpu;
+    Table& t = tables[p];
+    t.reserve(part_rows[p].size());
+    for (std::size_t i : part_rows[p]) t[rkeys[i]].push_back(i);
+    scope.AddMorselCpu(cpu.ElapsedMicros());
+  });
+  scope.AddLoopWall(build_loop.ElapsedMicros());
+  const auto lranges = MorselRanges(left.size(), opts.morsel_size);
+  std::vector<std::vector<Record>> parts(lranges.size());
+  RHEEM_RETURN_IF_ERROR(RunMorsels(
+      opts, lranges, scope, [&](std::size_t m, std::size_t b, std::size_t e) {
+        auto& part = parts[m];
+        for (std::size_t i = b; i < e; ++i) {
+          const Record& l = left.at(i);
+          Value k = left_key.fn(l);
+          const Table& t = tables[ValueHasher{}(k) % P];
+          auto it = t.find(k);
+          if (it == t.end()) continue;
+          for (std::size_t j : it->second) {
+            part.push_back(Record::Concat(l, right.at(j)));
+          }
+        }
+        return Status::OK();
+      }));
+  return ConcatMorsels(std::move(parts));
 }
 
 Result<Dataset> SortMergeJoin(const KeyUdf& left_key, const KeyUdf& right_key,
@@ -361,6 +1063,141 @@ Result<Dataset> TopK(const KeyUdf& key, int64_t k, bool ascending,
   out.reserve(heap.size());
   for (const Entry& e : heap) out.push_back(in.at(e.index));
   return Dataset(std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// Fused pipeline
+// ---------------------------------------------------------------------------
+
+FusedStep FusedStep::OfMap(MapUdf udf) {
+  FusedStep s;
+  s.kind = Kind::kMap;
+  s.map = std::move(udf);
+  return s;
+}
+
+FusedStep FusedStep::OfFilter(PredicateUdf udf) {
+  FusedStep s;
+  s.kind = Kind::kFilter;
+  s.filter = std::move(udf);
+  return s;
+}
+
+FusedStep FusedStep::OfFlatMap(FlatMapUdf udf) {
+  FusedStep s;
+  s.kind = Kind::kFlatMap;
+  s.flat_map = std::move(udf);
+  return s;
+}
+
+FusedStep FusedStep::OfProject(std::vector<int> columns) {
+  FusedStep s;
+  s.kind = Kind::kProject;
+  s.columns = std::move(columns);
+  return s;
+}
+
+namespace {
+
+Status ValidateSteps(const std::vector<FusedStep>& steps) {
+  for (const FusedStep& s : steps) {
+    switch (s.kind) {
+      case FusedStep::Kind::kMap:
+        if (!s.map.fn) return Status::InvalidArgument("Map UDF is empty");
+        break;
+      case FusedStep::Kind::kFilter:
+        if (!s.filter.fn) return Status::InvalidArgument("Filter UDF is empty");
+        break;
+      case FusedStep::Kind::kFlatMap:
+        if (!s.flat_map.fn)
+          return Status::InvalidArgument("FlatMap UDF is empty");
+        break;
+      case FusedStep::Kind::kProject:
+        for (int c : s.columns) {
+          if (c < 0) return Status::InvalidArgument("negative projection column");
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+/// Drives one record through steps[s..], appending survivors to `out` —
+/// depth-first, so emission order matches running the kernels one at a time.
+Status DriveRecord(const std::vector<FusedStep>& steps, std::size_t s,
+                   const Record& r, std::vector<Record>& out) {
+  if (s == steps.size()) {
+    out.push_back(r);
+    return Status::OK();
+  }
+  const FusedStep& step = steps[s];
+  const bool last = (s + 1 == steps.size());
+  switch (step.kind) {
+    case FusedStep::Kind::kMap: {
+      Record next = step.map.fn(r);
+      if (last) {
+        out.push_back(std::move(next));
+        return Status::OK();
+      }
+      return DriveRecord(steps, s + 1, next, out);
+    }
+    case FusedStep::Kind::kFilter:
+      if (!step.filter.fn(r)) return Status::OK();
+      return DriveRecord(steps, s + 1, r, out);
+    case FusedStep::Kind::kFlatMap: {
+      std::vector<Record> produced = step.flat_map.fn(r);
+      for (Record& p : produced) {
+        if (last) {
+          out.push_back(std::move(p));
+        } else {
+          RHEEM_RETURN_IF_ERROR(DriveRecord(steps, s + 1, p, out));
+        }
+      }
+      return Status::OK();
+    }
+    case FusedStep::Kind::kProject: {
+      RHEEM_RETURN_IF_ERROR(CheckProjection(step.columns, r));
+      Record next = r.Project(step.columns);
+      if (last) {
+        out.push_back(std::move(next));
+        return Status::OK();
+      }
+      return DriveRecord(steps, s + 1, next, out);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Dataset> FusedPipeline(const std::vector<FusedStep>& steps,
+                              const Dataset& in, const KernelOptions& opts) {
+  RHEEM_RETURN_IF_ERROR(ValidateSteps(steps));
+  TimingScope scope(kIdFusedPipeline, in.size());
+  if (steps.empty()) {
+    std::vector<Record> out(in.records());
+    return Dataset(std::move(out));
+  }
+  if (!UseParallel(opts, in.size())) {
+    std::vector<Record> out;
+    out.reserve(in.size());
+    for (const auto& r : in.records()) {
+      RHEEM_RETURN_IF_ERROR(DriveRecord(steps, 0, r, out));
+    }
+    return Dataset(std::move(out));
+  }
+  const auto ranges = MorselRanges(in.size(), opts.morsel_size);
+  std::vector<std::vector<Record>> parts(ranges.size());
+  RHEEM_RETURN_IF_ERROR(RunMorsels(
+      opts, ranges, scope, [&](std::size_t m, std::size_t b, std::size_t e) {
+        auto& part = parts[m];
+        part.reserve(e - b);
+        for (std::size_t i = b; i < e; ++i) {
+          RHEEM_RETURN_IF_ERROR(DriveRecord(steps, 0, in.at(i), part));
+        }
+        return Status::OK();
+      }));
+  return ConcatMorsels(std::move(parts));
 }
 
 }  // namespace kernels

@@ -2,9 +2,12 @@
 #define RHEEM_CORE_OPERATORS_KERNELS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/config.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/operators/descriptors.h"
 #include "data/dataset.h"
 
@@ -20,43 +23,109 @@ namespace kernels {
 /// Centralizing the data-path logic here keeps the three platforms honest:
 /// they differ in *execution strategy* (the thing the paper studies), not in
 /// operator semantics.
+///
+/// Kernels are morsel-parallel: inputs larger than one morsel are split into
+/// contiguous chunks executed on a ThreadPool, with per-morsel outputs
+/// concatenated in morsel order (or per-morsel partial accumulators merged in
+/// morsel order). Output is *identical* to the serial path for every kernel
+/// — parallelism changes wall time, never results. See
+/// docs/parallel_kernels.md for the determinism argument per kernel.
 
-Result<Dataset> Map(const MapUdf& udf, const Dataset& in);
-Result<Dataset> FlatMap(const FlatMapUdf& udf, const Dataset& in);
-Result<Dataset> Filter(const PredicateUdf& udf, const Dataset& in);
-Result<Dataset> Project(const std::vector<int>& columns, const Dataset& in);
+/// Execution knobs threaded through every parallelizable kernel.
+///
+/// Config keys (read by KernelOptions::FromConfig):
+///   kernels.parallel     (bool,  default true)  enable morsel parallelism
+///   kernels.morsel_size  (int,   default 16384) records per morsel
+struct KernelOptions {
+  bool parallel = true;
+  std::size_t morsel_size = 16384;
+  /// Pool for morsel execution; nullptr means DefaultThreadPool().
+  ThreadPool* pool = nullptr;
+
+  static KernelOptions FromConfig(const Config& config,
+                                  ThreadPool* pool = nullptr);
+  static KernelOptions Serial() {
+    KernelOptions o;
+    o.parallel = false;
+    return o;
+  }
+};
+
+/// \brief Cumulative per-kernel timing counters (thread-safe, process-wide).
+///
+/// `parallel_cpu_micros` is the summed thread-CPU time of all morsel bodies
+/// and `critical_path_micros` the sum over calls of the slowest morsel; both
+/// are zero for serial-path calls. They let benches model the latency a
+/// `w`-wide pool would achieve even when the host has fewer cores — the same
+/// virtual-clock substitution the sparksim TaskScheduler performs
+/// (DESIGN.md §3).
+struct KernelTiming {
+  std::string kernel;
+  int64_t invocations = 0;
+  int64_t records_in = 0;
+  int64_t wall_micros = 0;           // measured end-to-end on this host
+  int64_t parallel_cpu_micros = 0;   // Σ thread-CPU time of morsel bodies
+  int64_t critical_path_micros = 0;  // Σ per-call max morsel CPU time
+  int64_t serial_micros = 0;         // wall time outside the morsel loop
+};
+
+/// Snapshot of all kernels invoked since the last reset (zero rows omitted).
+std::vector<KernelTiming> SnapshotKernelTimings();
+void ResetKernelTimings();
+
+/// Latency a `workers`-wide pool would achieve for the recorded calls:
+/// serial + max(parallel_cpu / workers, critical_path).
+int64_t ModeledMicrosAtWidth(const KernelTiming& t, std::size_t workers);
+
+Result<Dataset> Map(const MapUdf& udf, const Dataset& in,
+                    const KernelOptions& opts = {});
+Result<Dataset> FlatMap(const FlatMapUdf& udf, const Dataset& in,
+                        const KernelOptions& opts = {});
+Result<Dataset> Filter(const PredicateUdf& udf, const Dataset& in,
+                       const KernelOptions& opts = {});
+Result<Dataset> Project(const std::vector<int>& columns, const Dataset& in,
+                        const KernelOptions& opts = {});
 Result<Dataset> Distinct(const Dataset& in);
-Result<Dataset> SortByKey(const KeyUdf& key, const Dataset& in);
-Result<Dataset> Sample(double fraction, uint64_t seed, const Dataset& in);
+Result<Dataset> SortByKey(const KeyUdf& key, const Dataset& in,
+                          const KernelOptions& opts = {});
+Result<Dataset> Sample(double fraction, uint64_t seed, const Dataset& in,
+                       const KernelOptions& opts = {});
 
 /// Appends ids [first_id, first_id + in.size()) as a trailing int64 field.
-Result<Dataset> ZipWithId(int64_t first_id, const Dataset& in);
+Result<Dataset> ZipWithId(int64_t first_id, const Dataset& in,
+                          const KernelOptions& opts = {});
 
 /// Hash-based key/combine aggregation; emits one record per key (the reduced
-/// record, key not re-attached — reducers see full records).
+/// record, key not re-attached — reducers see full records). The parallel
+/// path folds per-morsel partial maps merged in morsel order; identical to
+/// serial for associative reducers (the ReduceUdf contract).
 Result<Dataset> ReduceByKey(const KeyUdf& key, const ReduceUdf& reduce,
-                            const Dataset& in);
+                            const Dataset& in, const KernelOptions& opts = {});
 
 /// Hash-grouping, then the whole-group UDF per key (iteration order is the
-/// key order to keep results deterministic).
+/// first-seen key order to keep results deterministic).
 Result<Dataset> HashGroupBy(const KeyUdf& key, const GroupUdf& group,
-                            const Dataset& in);
+                            const Dataset& in, const KernelOptions& opts = {});
 
 /// Sort-grouping: sorts by key then runs the group UDF over runs.
 Result<Dataset> SortGroupBy(const KeyUdf& key, const GroupUdf& group,
-                            const Dataset& in);
+                            const Dataset& in, const KernelOptions& opts = {});
 
 /// Pairwise reduction of the whole input to <=1 record.
-Result<Dataset> GlobalReduce(const ReduceUdf& reduce, const Dataset& in);
+Result<Dataset> GlobalReduce(const ReduceUdf& reduce, const Dataset& in,
+                             const KernelOptions& opts = {});
 
-Result<Dataset> Count(const Dataset& in);
+Result<Dataset> Count(const Dataset& in, const KernelOptions& opts = {});
 
 Result<Dataset> BroadcastMap(const BroadcastMapUdf& udf, const Dataset& main,
-                             const Dataset& broadcast);
+                             const Dataset& broadcast,
+                             const KernelOptions& opts = {});
 
-/// Build-side = right input (hashed); probe-side = left.
+/// Build-side = right input (hashed); probe-side = left. The parallel path
+/// builds a partitioned hash table and probes left morsels concurrently.
 Result<Dataset> HashJoin(const KeyUdf& left_key, const KeyUdf& right_key,
-                         const Dataset& left, const Dataset& right);
+                         const Dataset& left, const Dataset& right,
+                         const KernelOptions& opts = {});
 
 Result<Dataset> SortMergeJoin(const KeyUdf& left_key, const KeyUdf& right_key,
                               const Dataset& left, const Dataset& right);
@@ -79,6 +148,34 @@ Result<Dataset> Subtract(const Dataset& left, const Dataset& right);
 /// in key order; ties resolved by input order. O(n log k) heap selection.
 Result<Dataset> TopK(const KeyUdf& key, int64_t k, bool ascending,
                      const Dataset& in);
+
+/// \brief One step of a fused record-at-a-time pipeline.
+///
+/// Hueske et al. ("Opening the Black Boxes in Data Flow Optimization") show
+/// map/filter/flatmap/project chains can be evaluated in a single pass with
+/// unchanged semantics; FusedPipeline is that pass. Each input record is
+/// driven through every step in order with no intermediate Dataset
+/// materialization.
+struct FusedStep {
+  enum class Kind { kMap, kFilter, kFlatMap, kProject };
+  Kind kind = Kind::kMap;
+  MapUdf map;
+  PredicateUdf filter;
+  FlatMapUdf flat_map;
+  std::vector<int> columns;
+
+  static FusedStep OfMap(MapUdf udf);
+  static FusedStep OfFilter(PredicateUdf udf);
+  static FusedStep OfFlatMap(FlatMapUdf udf);
+  static FusedStep OfProject(std::vector<int> columns);
+};
+
+/// Evaluates the fused chain over `in` (morsel-parallel like Map). An empty
+/// chain is the identity. Output is identical to applying the steps as
+/// separate kernels in sequence.
+Result<Dataset> FusedPipeline(const std::vector<FusedStep>& steps,
+                              const Dataset& in,
+                              const KernelOptions& opts = {});
 
 }  // namespace kernels
 }  // namespace rheem

@@ -56,6 +56,7 @@ double BasicCostModel::OperatorCostMicros(const PhysicalOperator& op,
   const double q = params_.per_quantum_micros;
   const double par = std::max(1.0, params_.parallelism);
   const double shuffle = params_.shuffle_micros_per_quantum;
+  const double fuse = params_.fusion_discount;
   const UdfHints hints = HintsOf(op);
 
   const double in0 = in_cards.empty() ? 0.0 : in_cards[0];
@@ -73,9 +74,11 @@ double BasicCostModel::OperatorCostMicros(const PhysicalOperator& op,
     case OpKind::kMap:
     case OpKind::kFlatMap:
     case OpKind::kFilter:
-    case OpKind::kBroadcastMap:
+      return in0 * q * hints.cost_factor * fuse / par;
+    case OpKind::kBroadcastMap:  // side input blocks fusion
       return in0 * q * hints.cost_factor / par;
     case OpKind::kProject:
+      return in0 * q * fuse / par;
     case OpKind::kZipWithId:
     case OpKind::kSample:
       return in0 * q / par;

@@ -59,6 +59,11 @@ class BasicCostModel : public PlatformCostModel {
     double boundary_fixed_micros = 50.0;
     /// Extra per-quantum cost at shuffle boundaries (key-based operators).
     double shuffle_micros_per_quantum = 0.0;
+    /// Multiplier (<= 1.0) on the per-tuple cost of pipeline-fusable
+    /// operators (Map/FlatMap/Filter/Project): platforms that fuse such
+    /// chains into one pass skip the per-operator materialization, so their
+    /// tuples are cheaper. 1.0 = fusion off / not modeled.
+    double fusion_discount = 1.0;
   };
 
   explicit BasicCostModel(Params params) : params_(params) {}

@@ -5,6 +5,7 @@
 namespace rheem {
 
 void Dataset::AppendAll(const Dataset& other) {
+  records_.reserve(records_.size() + other.records_.size());
   records_.insert(records_.end(), other.records_.begin(), other.records_.end());
 }
 
@@ -13,6 +14,7 @@ void Dataset::AppendAll(Dataset&& other) {
     records_ = std::move(other.records_);
     return;
   }
+  records_.reserve(records_.size() + other.records_.size());
   records_.insert(records_.end(),
                   std::make_move_iterator(other.records_.begin()),
                   std::make_move_iterator(other.records_.end()));

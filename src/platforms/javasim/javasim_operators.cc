@@ -1,15 +1,54 @@
 #include "platforms/javasim/javasim_operators.h"
 
+#include "core/operators/fusion.h"
 #include "core/operators/iejoin.h"
 #include "core/plan/plan.h"
-#include "core/operators/kernels.h"
 
 namespace rheem {
 namespace javasim {
 
+Result<const Dataset*> DatasetWalker::ResolveInput(
+    const Operator& producer, const BoundaryMap& external,
+    const Operator& consumer) const {
+  auto it = results_.find(producer.id());
+  if (it != results_.end()) return &it->second;
+  auto ext = external.find(producer.id());
+  if (ext == external.end()) {
+    return Status::ExecutionError("javasim: missing input #" +
+                                  std::to_string(producer.id()) + " for " +
+                                  consumer.name());
+  }
+  return ext->second;
+}
+
 Status DatasetWalker::RunOps(const std::vector<Operator*>& ops,
-                             const BoundaryMap& external) {
-  for (Operator* base : ops) {
+                             const BoundaryMap& external,
+                             const std::unordered_set<int>& preserve) {
+  const std::vector<fusion::FusionUnit> units =
+      fusion::PlanFusionUnits(ops, preserve, fuse_);
+  for (const fusion::FusionUnit& unit : units) {
+    if (unit.fused()) {
+      // One pass over the head's input; only the tail's result materializes
+      // (the planner guarantees no one else reads the intermediates).
+      Operator* head = unit.ops.front();
+      Operator* tail = unit.ops.back();
+      if (dynamic_cast<PhysicalOperator*>(head) == nullptr ||
+          head->inputs().empty()) {
+        return Status::InvalidPlan("javasim: malformed fused chain at " +
+                                   head->name());
+      }
+      RHEEM_ASSIGN_OR_RETURN(const Dataset* in,
+                             ResolveInput(*head->inputs()[0], external, *head));
+      RHEEM_ASSIGN_OR_RETURN(
+          Dataset out,
+          kernels::FusedPipeline(fusion::StepsFor(unit.ops), *in, opts_));
+      results_[tail->id()] = std::move(out);
+      if (metrics_ != nullptr) {
+        metrics_->fused_operators += static_cast<int64_t>(unit.ops.size());
+      }
+      continue;
+    }
+    Operator* base = unit.ops.front();
     auto* op = dynamic_cast<PhysicalOperator*>(base);
     if (op == nullptr) {
       return Status::InvalidPlan("javasim can only execute physical operators");
@@ -17,18 +56,9 @@ Status DatasetWalker::RunOps(const std::vector<Operator*>& ops,
     std::vector<const Dataset*> inputs;
     inputs.reserve(op->inputs().size());
     for (Operator* in : op->inputs()) {
-      auto it = results_.find(in->id());
-      if (it != results_.end()) {
-        inputs.push_back(&it->second);
-      } else {
-        auto ext = external.find(in->id());
-        if (ext == external.end()) {
-          return Status::ExecutionError("javasim: missing input #" +
-                                        std::to_string(in->id()) + " for " +
-                                        op->name());
-        }
-        inputs.push_back(ext->second);
-      }
+      RHEEM_ASSIGN_OR_RETURN(const Dataset* d,
+                             ResolveInput(*in, external, *op));
+      inputs.push_back(d);
     }
     RHEEM_ASSIGN_OR_RETURN(Dataset out, EvalOperator(*op, inputs));
     results_[op->id()] = std::move(out);
@@ -58,49 +88,54 @@ Result<Dataset> DatasetWalker::EvalOperator(
       return Status::ExecutionError(op.kind_name() +
                                     " must be bound externally");
     case OpKind::kMap:
-      return kernels::Map(static_cast<const MapOp&>(op).udf(), in0);
+      return kernels::Map(static_cast<const MapOp&>(op).udf(), in0, opts_);
     case OpKind::kFlatMap:
-      return kernels::FlatMap(static_cast<const FlatMapOp&>(op).udf(), in0);
+      return kernels::FlatMap(static_cast<const FlatMapOp&>(op).udf(), in0,
+                              opts_);
     case OpKind::kFilter:
-      return kernels::Filter(static_cast<const FilterOp&>(op).udf(), in0);
+      return kernels::Filter(static_cast<const FilterOp&>(op).udf(), in0,
+                             opts_);
     case OpKind::kProject:
-      return kernels::Project(static_cast<const ProjectOp&>(op).columns(), in0);
+      return kernels::Project(static_cast<const ProjectOp&>(op).columns(), in0,
+                              opts_);
     case OpKind::kDistinct:
       return kernels::Distinct(in0);
     case OpKind::kSort:
-      return kernels::SortByKey(static_cast<const SortOp&>(op).key(), in0);
+      return kernels::SortByKey(static_cast<const SortOp&>(op).key(), in0,
+                                opts_);
     case OpKind::kSample: {
       const auto& s = static_cast<const SampleOp&>(op);
-      return kernels::Sample(s.fraction(), s.seed(), in0);
+      return kernels::Sample(s.fraction(), s.seed(), in0, opts_);
     }
     case OpKind::kZipWithId: {
-      auto out = kernels::ZipWithId(next_zip_id_, in0);
+      auto out = kernels::ZipWithId(next_zip_id_, in0, opts_);
       if (out.ok()) next_zip_id_ += static_cast<int64_t>(in0.size());
       return out;
     }
     case OpKind::kReduceByKey: {
       const auto& r = static_cast<const ReduceByKeyOp&>(op);
-      return kernels::ReduceByKey(r.key(), r.reduce(), in0);
+      return kernels::ReduceByKey(r.key(), r.reduce(), in0, opts_);
     }
     case OpKind::kGroupByKey: {
       const auto& g = static_cast<const GroupByKeyOp&>(op);
       return g.algorithm() == GroupByAlgorithm::kHash
-                 ? kernels::HashGroupBy(g.key(), g.group(), in0)
-                 : kernels::SortGroupBy(g.key(), g.group(), in0);
+                 ? kernels::HashGroupBy(g.key(), g.group(), in0, opts_)
+                 : kernels::SortGroupBy(g.key(), g.group(), in0, opts_);
     }
     case OpKind::kGlobalReduce:
       return kernels::GlobalReduce(
-          static_cast<const GlobalReduceOp&>(op).reduce(), in0);
+          static_cast<const GlobalReduceOp&>(op).reduce(), in0, opts_);
     case OpKind::kCount:
-      return kernels::Count(in0);
+      return kernels::Count(in0, opts_);
     case OpKind::kBroadcastMap:
       return kernels::BroadcastMap(
-          static_cast<const BroadcastMapOp&>(op).udf(), in0, *inputs[1]);
+          static_cast<const BroadcastMapOp&>(op).udf(), in0, *inputs[1],
+          opts_);
     case OpKind::kJoin: {
       const auto& j = static_cast<const JoinOp&>(op);
       return j.algorithm() == JoinAlgorithm::kHash
                  ? kernels::HashJoin(j.left_key(), j.right_key(), in0,
-                                     *inputs[1])
+                                     *inputs[1], opts_)
                  : kernels::SortMergeJoin(j.left_key(), j.right_key(), in0,
                                           *inputs[1]);
     }
@@ -158,6 +193,9 @@ Result<Dataset> DatasetWalker::EvalLoop(const PhysicalOperator& op,
     if (p->kind() == OpKind::kLoopState) state_marker = p;
     if (p->kind() == OpKind::kLoopData) data_marker = p;
   }
+  // The body sink's result is read back after every iteration.
+  std::unordered_set<int> preserve;
+  if (body->sink() != nullptr) preserve.insert(body->sink()->id());
   Dataset state = state0;
   for (int iter = 0; iter < iterations; ++iter) {
     if (condition != nullptr && condition->fn && !condition->fn(state, iter)) {
@@ -168,7 +206,7 @@ Result<Dataset> DatasetWalker::EvalLoop(const PhysicalOperator& op,
     if (data_marker != nullptr) bindings[data_marker->id()] = &data;
     // A fresh walker per iteration: body results must not leak across
     // iterations (ids collide), but the zip-id counter carries over.
-    DatasetWalker body_walker(metrics_);
+    DatasetWalker body_walker(metrics_, opts_, fuse_);
     body_walker.next_zip_id_ = next_zip_id_;
     std::vector<Operator*> body_ops;
     for (Operator* o : body_topo) {
@@ -179,7 +217,7 @@ Result<Dataset> DatasetWalker::EvalLoop(const PhysicalOperator& op,
       }
       body_ops.push_back(o);
     }
-    RHEEM_RETURN_IF_ERROR(body_walker.RunOps(body_ops, bindings));
+    RHEEM_RETURN_IF_ERROR(body_walker.RunOps(body_ops, bindings, preserve));
     next_zip_id_ = body_walker.next_zip_id_;
     // The body may return a marker directly (degenerate bodies).
     if (body->sink() == state_marker) continue;

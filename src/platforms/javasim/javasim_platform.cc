@@ -11,7 +11,18 @@ BasicCostModel::Params JavaParams(const Config& config) {
   BasicCostModel::Params p;
   p.per_quantum_micros = config.GetDouble("javasim.per_quantum_us", 0.03)
                              .ValueOr(0.03);
-  p.parallelism = 1.0;
+  // Morsel parallelism gives javasim a modeled intra-process speedup; it is
+  // a fixed config constant (not hardware-sniffed) so platform choices stay
+  // reproducible. Still far below sparksim's slot count: heavy parallel jobs
+  // keep landing on the cluster platform.
+  const bool parallel = config.GetBool("kernels.parallel", true).ValueOr(true);
+  p.parallelism =
+      parallel ? config.GetDouble("kernels.cost_parallelism", 3.0).ValueOr(3.0)
+               : 1.0;
+  const bool fuse = config.GetBool("kernels.fuse", true).ValueOr(true);
+  p.fusion_discount =
+      fuse ? config.GetDouble("kernels.fusion_discount", 0.75).ValueOr(0.75)
+           : 1.0;
   p.stage_overhead_micros = 0.0;
   p.job_overhead_micros = 0.0;
   p.boundary_micros_per_byte = 0.0004;
@@ -63,15 +74,21 @@ MappingTable JavaMappings() {
 }  // namespace
 
 JavaSimPlatform::JavaSimPlatform(const Config& config)
-    : Platform(kName), cost_model_(JavaParams(config)) {
+    : Platform(kName),
+      kernel_opts_(kernels::KernelOptions::FromConfig(config)),
+      fuse_(config.GetBool("kernels.fuse", true).ValueOr(true)),
+      cost_model_(JavaParams(config)) {
   mappings_ = JavaMappings();
 }
 
 Result<std::vector<Dataset>> JavaSimPlatform::ExecuteStage(
     const Stage& stage, const BoundaryMap& boundary_inputs,
     ExecutionMetrics* metrics) {
-  javasim::DatasetWalker walker(metrics);
-  RHEEM_RETURN_IF_ERROR(walker.RunOps(stage.ops(), boundary_inputs));
+  javasim::DatasetWalker walker(metrics, kernel_opts_, fuse_);
+  // Stage outputs are read back by the executor: never fuse them away.
+  std::unordered_set<int> preserve;
+  for (const Operator* out : stage.outputs()) preserve.insert(out->id());
+  RHEEM_RETURN_IF_ERROR(walker.RunOps(stage.ops(), boundary_inputs, preserve));
   std::vector<Dataset> outputs;
   outputs.reserve(stage.outputs().size());
   for (const Operator* out : stage.outputs()) {

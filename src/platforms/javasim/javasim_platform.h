@@ -3,18 +3,28 @@
 
 #include "common/config.h"
 #include "core/mapping/platform.h"
+#include "core/operators/kernels.h"
 
 namespace rheem {
 
 /// \brief The "plain Java program" platform of the paper's Figure 2:
-/// single-threaded, eager, with essentially zero fixed overheads.
+/// eager, in-process, with essentially zero fixed overheads.
 ///
 /// Strengths (encoded in its cost model): tiny/medium inputs and iterative
-/// jobs, where cluster-style platforms drown in scheduling latency.
-/// Weakness: no parallelism, so throughput-bound jobs scale linearly.
+/// jobs, where cluster-style platforms drown in scheduling latency. Its
+/// kernels run morsel-parallel on the shared thread pool and fuse
+/// record-at-a-time chains into single passes, but it has no cluster-scale
+/// horizontal parallelism, so throughput-bound jobs still favor sparksim.
 ///
 /// Config keys:
-///   javasim.per_quantum_us  (double, default 0.03) estimated cost/quantum
+///   javasim.per_quantum_us    (double, default 0.03) estimated cost/quantum
+///   kernels.parallel          (bool,   default true) morsel parallelism
+///   kernels.morsel_size       (int,    default 16384) records per morsel
+///   kernels.fuse              (bool,   default true) pipeline fusion
+///   kernels.cost_parallelism  (double, default 3.0) modeled speedup from
+///                             morsel parallelism when kernels.parallel is on
+///   kernels.fusion_discount   (double, default 0.75) modeled per-tuple
+///                             discount for fusable ops when kernels.fuse is on
 class JavaSimPlatform : public Platform {
  public:
   static constexpr const char* kName = "javasim";
@@ -28,6 +38,8 @@ class JavaSimPlatform : public Platform {
                                             ExecutionMetrics* metrics) override;
 
  private:
+  kernels::KernelOptions kernel_opts_;
+  bool fuse_ = true;
   BasicCostModel cost_model_;
 };
 

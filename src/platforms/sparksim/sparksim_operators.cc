@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "core/operators/fusion.h"
 #include "core/operators/iejoin.h"
 #include "core/plan/plan.h"
 #include "core/operators/kernels.h"
@@ -10,9 +11,48 @@
 namespace rheem {
 namespace sparksim {
 
+namespace {
+
+// Partitions are sparksim's parallelism unit: every kernel invoked inside a
+// scheduler task runs serially so the virtual cluster clock prices each
+// task's true CPU work (and no nested pool work hides from it).
+const kernels::KernelOptions& SerialOpts() {
+  static const kernels::KernelOptions opts = kernels::KernelOptions::Serial();
+  return opts;
+}
+
+}  // namespace
+
 Status RddWalker::RunOps(const std::vector<Operator*>& ops,
-                         const RddBindings& external) {
-  for (Operator* base : ops) {
+                         const RddBindings& external,
+                         const std::unordered_set<int>& preserve) {
+  const std::vector<fusion::FusionUnit> units =
+      fusion::PlanFusionUnits(ops, preserve, fuse_);
+  for (const fusion::FusionUnit& unit : units) {
+    if (unit.fused()) {
+      // A narrow record-at-a-time chain: one fused pass per partition. The
+      // chain never spans a shuffle because key-based ops are not fusable.
+      Operator* head = unit.ops.front();
+      Operator* tail = unit.ops.back();
+      if (dynamic_cast<PhysicalOperator*>(head) == nullptr ||
+          head->inputs().empty()) {
+        return Status::InvalidPlan("sparksim: malformed fused chain at " +
+                                   head->name());
+      }
+      RHEEM_ASSIGN_OR_RETURN(const Rdd* in,
+                             ResolveInput(*head->inputs()[0], external, *head));
+      const std::vector<kernels::FusedStep> steps = fusion::StepsFor(unit.ops);
+      RHEEM_ASSIGN_OR_RETURN(
+          Rdd out, MapPartitions(*in, [&steps](const Dataset& d, std::size_t) {
+            return kernels::FusedPipeline(steps, d, SerialOpts());
+          }));
+      results_[tail->id()] = std::move(out);
+      if (metrics_ != nullptr) {
+        metrics_->fused_operators += static_cast<int64_t>(unit.ops.size());
+      }
+      continue;
+    }
+    Operator* base = unit.ops.front();
     auto* op = dynamic_cast<PhysicalOperator*>(base);
     if (op == nullptr) {
       return Status::InvalidPlan("sparksim can only execute physical operators");
@@ -20,23 +60,27 @@ Status RddWalker::RunOps(const std::vector<Operator*>& ops,
     std::vector<const Rdd*> inputs;
     inputs.reserve(op->inputs().size());
     for (Operator* in : op->inputs()) {
-      auto it = results_.find(in->id());
-      if (it != results_.end()) {
-        inputs.push_back(&it->second);
-      } else {
-        auto ext = external.find(in->id());
-        if (ext == external.end()) {
-          return Status::ExecutionError("sparksim: missing input #" +
-                                        std::to_string(in->id()) + " for " +
-                                        op->name());
-        }
-        inputs.push_back(ext->second);
-      }
+      RHEEM_ASSIGN_OR_RETURN(const Rdd* r, ResolveInput(*in, external, *op));
+      inputs.push_back(r);
     }
     RHEEM_ASSIGN_OR_RETURN(Rdd out, EvalOperator(*op, inputs));
     results_[op->id()] = std::move(out);
   }
   return Status::OK();
+}
+
+Result<const Rdd*> RddWalker::ResolveInput(const Operator& producer,
+                                           const RddBindings& external,
+                                           const Operator& consumer) const {
+  auto it = results_.find(producer.id());
+  if (it != results_.end()) return &it->second;
+  auto ext = external.find(producer.id());
+  if (ext == external.end()) {
+    return Status::ExecutionError("sparksim: missing input #" +
+                                  std::to_string(producer.id()) + " for " +
+                                  consumer.name());
+  }
+  return ext->second;
 }
 
 Result<const Rdd*> RddWalker::ResultOf(int op_id) const {
@@ -78,25 +122,25 @@ Result<Rdd> RddWalker::EvalOperator(const PhysicalOperator& op,
     case OpKind::kMap: {
       const auto& udf = static_cast<const MapOp&>(op).udf();
       return MapPartitions(in0, [&udf](const Dataset& d, std::size_t) {
-        return kernels::Map(udf, d);
+        return kernels::Map(udf, d, SerialOpts());
       });
     }
     case OpKind::kFlatMap: {
       const auto& udf = static_cast<const FlatMapOp&>(op).udf();
       return MapPartitions(in0, [&udf](const Dataset& d, std::size_t) {
-        return kernels::FlatMap(udf, d);
+        return kernels::FlatMap(udf, d, SerialOpts());
       });
     }
     case OpKind::kFilter: {
       const auto& udf = static_cast<const FilterOp&>(op).udf();
       return MapPartitions(in0, [&udf](const Dataset& d, std::size_t) {
-        return kernels::Filter(udf, d);
+        return kernels::Filter(udf, d, SerialOpts());
       });
     }
     case OpKind::kProject: {
       const auto& cols = static_cast<const ProjectOp&>(op).columns();
       return MapPartitions(in0, [&cols](const Dataset& d, std::size_t) {
-        return kernels::Project(cols, d);
+        return kernels::Project(cols, d, SerialOpts());
       });
     }
     case OpKind::kDistinct: {
@@ -119,7 +163,7 @@ Result<Rdd> RddWalker::EvalOperator(const PhysicalOperator& op,
       metrics_->sim_overhead_micros +=
           static_cast<int64_t>(scheduler_->overhead().collect_fixed_us);
       RHEEM_ASSIGN_OR_RETURN(Dataset sorted,
-                             kernels::SortByKey(key, in0.Gather()));
+                             kernels::SortByKey(key, in0.Gather(), SerialOpts()));
       return Rdd::Single(std::move(sorted));
     }
     case OpKind::kSample: {
@@ -128,7 +172,8 @@ Result<Rdd> RddWalker::EvalOperator(const PhysicalOperator& op,
       const uint64_t seed = s.seed();
       return MapPartitions(in0, [fraction, seed](const Dataset& d,
                                                  std::size_t i) {
-        return kernels::Sample(fraction, seed + i * 0x9e3779b9ULL, d);
+        return kernels::Sample(fraction, seed + i * 0x9e3779b9ULL, d,
+                               SerialOpts());
       });
     }
     case OpKind::kZipWithId: {
@@ -139,7 +184,7 @@ Result<Rdd> RddWalker::EvalOperator(const PhysicalOperator& op,
       }
       next_zip_id_ = offsets.back();
       return MapPartitions(in0, [&offsets](const Dataset& d, std::size_t i) {
-        return kernels::ZipWithId(offsets[i], d);
+        return kernels::ZipWithId(offsets[i], d, SerialOpts());
       });
     }
     case OpKind::kReduceByKey: {
@@ -147,13 +192,13 @@ Result<Rdd> RddWalker::EvalOperator(const PhysicalOperator& op,
       // Map-side combine before the shuffle (Spark's combiner).
       RHEEM_ASSIGN_OR_RETURN(
           Rdd combined, MapPartitions(in0, [&r](const Dataset& d, std::size_t) {
-            return kernels::ReduceByKey(r.key(), r.reduce(), d);
+            return kernels::ReduceByKey(r.key(), r.reduce(), d, SerialOpts());
           }));
       RHEEM_ASSIGN_OR_RETURN(Rdd shuffled,
                              ShuffleByKey(combined, r.key(), num_partitions_,
                                           scheduler_, metrics_));
       return MapPartitions(shuffled, [&r](const Dataset& d, std::size_t) {
-        return kernels::ReduceByKey(r.key(), r.reduce(), d);
+        return kernels::ReduceByKey(r.key(), r.reduce(), d, SerialOpts());
       });
     }
     case OpKind::kGroupByKey: {
@@ -163,20 +208,22 @@ Result<Rdd> RddWalker::EvalOperator(const PhysicalOperator& op,
                                           scheduler_, metrics_));
       return MapPartitions(shuffled, [&g](const Dataset& d, std::size_t) {
         return g.algorithm() == GroupByAlgorithm::kHash
-                   ? kernels::HashGroupBy(g.key(), g.group(), d)
-                   : kernels::SortGroupBy(g.key(), g.group(), d);
+                   ? kernels::HashGroupBy(g.key(), g.group(), d, SerialOpts())
+                   : kernels::SortGroupBy(g.key(), g.group(), d,
+                                          SerialOpts());
       });
     }
     case OpKind::kGlobalReduce: {
       const auto& r = static_cast<const GlobalReduceOp&>(op);
       RHEEM_ASSIGN_OR_RETURN(
           Rdd partials, MapPartitions(in0, [&r](const Dataset& d, std::size_t) {
-            return kernels::GlobalReduce(r.reduce(), d);
+            return kernels::GlobalReduce(r.reduce(), d, SerialOpts());
           }));
       metrics_->sim_overhead_micros +=
           static_cast<int64_t>(scheduler_->overhead().collect_fixed_us);
       RHEEM_ASSIGN_OR_RETURN(Dataset final_value,
-                             kernels::GlobalReduce(r.reduce(), partials.Gather()));
+                             kernels::GlobalReduce(r.reduce(), partials.Gather(),
+                                                   SerialOpts()));
       return Rdd::Single(std::move(final_value));
     }
     case OpKind::kCount: {
@@ -193,7 +240,7 @@ Result<Rdd> RddWalker::EvalOperator(const PhysicalOperator& op,
           static_cast<int64_t>(scheduler_->overhead().collect_fixed_us);
       return MapPartitions(in0, [&udf, &broadcast](const Dataset& d,
                                                    std::size_t) {
-        return kernels::BroadcastMap(udf, d, broadcast);
+        return kernels::BroadcastMap(udf, d, broadcast, SerialOpts());
       });
     }
     case OpKind::kJoin: {
@@ -208,7 +255,7 @@ Result<Rdd> RddWalker::EvalOperator(const PhysicalOperator& op,
       return MapPartitions(left, [&](const Dataset& d, std::size_t i) {
         return j.algorithm() == JoinAlgorithm::kHash
                    ? kernels::HashJoin(j.left_key(), j.right_key(), d,
-                                       right.partition(i))
+                                       right.partition(i), SerialOpts())
                    : kernels::SortMergeJoin(j.left_key(), j.right_key(), d,
                                             right.partition(i));
       });
@@ -336,9 +383,12 @@ Result<Rdd> RddWalker::EvalLoop(const PhysicalOperator& op, const Rdd& state0,
     RddBindings bindings;
     if (state_marker != nullptr) bindings[state_marker->id()] = &state;
     if (data_marker != nullptr) bindings[data_marker->id()] = &data;
-    RddWalker body_walker(num_partitions_, scheduler_, metrics_);
+    RddWalker body_walker(num_partitions_, scheduler_, metrics_, fuse_);
     body_walker.next_zip_id_ = next_zip_id_;
-    RHEEM_RETURN_IF_ERROR(body_walker.RunOps(body_ops, bindings));
+    // The loop sink feeds the next iteration: it must stay addressable.
+    std::unordered_set<int> body_preserve;
+    if (body->sink() != nullptr) body_preserve.insert(body->sink()->id());
+    RHEEM_RETURN_IF_ERROR(body_walker.RunOps(body_ops, bindings, body_preserve));
     next_zip_id_ = body_walker.next_zip_id_;
     // The body may return a marker directly (degenerate bodies).
     if (body->sink() == state_marker) continue;

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -21,18 +22,32 @@ using RddBindings = std::unordered_map<int, const Rdd*>;
 /// over partitioned Rdds with task-parallel narrow transformations, real
 /// hash shuffles at key boundaries, broadcast side inputs, and per-iteration
 /// job submission charges for loops — the "Spark job" side of Figure 2.
+///
+/// Parallelism comes from one task per partition on the slot pool; kernels
+/// inside a task run serially so the virtual cluster clock prices each
+/// task's true CPU work. With `fuse` enabled, consecutive narrow
+/// record-at-a-time operators (Map/Filter/FlatMap/Project) execute as one
+/// fused pass per partition — shuffle boundaries are never crossed because
+/// key-based operators are not fusable.
 class RddWalker {
  public:
   RddWalker(std::size_t num_partitions, TaskScheduler* scheduler,
-            ExecutionMetrics* metrics)
+            ExecutionMetrics* metrics, bool fuse = false)
       : num_partitions_(num_partitions == 0 ? 1 : num_partitions),
-        scheduler_(scheduler), metrics_(metrics) {}
+        scheduler_(scheduler), metrics_(metrics), fuse_(fuse) {}
 
-  Status RunOps(const std::vector<Operator*>& ops, const RddBindings& external);
+  /// Operators whose ids appear in `preserve` keep an addressable Rdd
+  /// result (stage outputs, loop sinks) and are never fused away.
+  Status RunOps(const std::vector<Operator*>& ops, const RddBindings& external,
+                const std::unordered_set<int>& preserve = {});
 
   Result<const Rdd*> ResultOf(int op_id) const;
 
  private:
+  Result<const Rdd*> ResolveInput(const Operator& producer,
+                                  const RddBindings& external,
+                                  const Operator& consumer) const;
+
   Result<Rdd> EvalOperator(const PhysicalOperator& op,
                            const std::vector<const Rdd*>& inputs);
   Result<Rdd> EvalLoop(const PhysicalOperator& op, const Rdd& state0,
@@ -46,6 +61,7 @@ class RddWalker {
   std::size_t num_partitions_;
   TaskScheduler* scheduler_;
   ExecutionMetrics* metrics_;
+  bool fuse_ = false;
   std::map<int, Rdd> results_;
   int64_t next_zip_id_ = 0;
 };

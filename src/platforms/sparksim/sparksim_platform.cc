@@ -1,5 +1,7 @@
 #include "platforms/sparksim/sparksim_platform.h"
 
+#include <unordered_set>
+
 #include "core/optimizer/stage_splitter.h"
 #include "platforms/sparksim/rdd.h"
 #include "platforms/sparksim/scheduler.h"
@@ -22,6 +24,11 @@ BasicCostModel::Params SparkParams(const Config& config,
   p.boundary_fixed_micros = overhead.collect_fixed_us;
   // Estimated per-quantum shuffle toll (ser+deser+hash).
   p.shuffle_micros_per_quantum = 0.05;
+  // Narrow record-at-a-time chains fuse into one pass per partition.
+  const bool fuse = config.GetBool("kernels.fuse", true).ValueOr(true);
+  p.fusion_discount =
+      fuse ? config.GetDouble("kernels.fusion_discount", 0.75).ValueOr(0.75)
+           : 1.0;
   return p;
 }
 
@@ -81,6 +88,7 @@ SparkSimPlatform::SparkSimPlatform(const Config& config)
               .ValueOr(8))),
       task_retries_(static_cast<int>(
           config.GetInt("sparksim.task_retries", 3).ValueOr(3))),
+      fuse_(config.GetBool("kernels.fuse", true).ValueOr(true)),
       cost_model_(SparkParams(config, overhead_, pool_->num_threads())) {
   mappings_ = SparkMappings();
 }
@@ -94,7 +102,7 @@ Result<std::vector<Dataset>> SparkSimPlatform::ExecuteStage(
       static_cast<int64_t>(overhead_.job_submit_us + overhead_.stage_us);
 
   sparksim::TaskScheduler scheduler(pool_.get(), overhead_, task_retries_);
-  sparksim::RddWalker walker(num_partitions_, &scheduler, metrics);
+  sparksim::RddWalker walker(num_partitions_, &scheduler, metrics, fuse_);
 
   // Parallelize incoming boundary datasets.
   std::vector<std::unique_ptr<sparksim::Rdd>> bound;
@@ -106,7 +114,10 @@ Result<std::vector<Dataset>> SparkSimPlatform::ExecuteStage(
     bindings[op_id] = bound.back().get();
   }
 
-  RHEEM_RETURN_IF_ERROR(walker.RunOps(stage.ops(), bindings));
+  // Stage outputs are gathered below: never fuse them away.
+  std::unordered_set<int> preserve;
+  for (const Operator* out : stage.outputs()) preserve.insert(out->id());
+  RHEEM_RETURN_IF_ERROR(walker.RunOps(stage.ops(), bindings, preserve));
 
   std::vector<Dataset> outputs;
   outputs.reserve(stage.outputs().size());

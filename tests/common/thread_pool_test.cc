@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -134,6 +135,28 @@ TEST(ThreadPoolTest, DefaultPoolIsUsable) {
   auto fut = DefaultThreadPool().Submit([]() { return 5; });
   EXPECT_EQ(fut.get(), 5);
   EXPECT_GE(DefaultThreadPool().num_threads(), 2u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // ParallelFor is work-claiming: the caller drains indices itself, so a
+  // pool worker may start a nested ParallelFor on the same pool even when
+  // every other worker is busy doing the same.
+  ThreadPool pool(2);
+  std::atomic<int> inner_calls{0};
+  pool.ParallelFor(4, [&](std::size_t) {
+    pool.ParallelFor(8, [&](std::size_t) { inner_calls.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_calls.load(), 4 * 8);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(16,
+                       [](std::size_t i) {
+                         if (i % 2 == 0) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
 }
 
 }  // namespace

@@ -99,8 +99,10 @@ TEST(DeclarativePlatformTest, RegisteredPlatformWinsSupportedSubplans) {
   ASSERT_TRUE(RegisterDeclaredPlatforms(kTurboSpec, &ctx.platforms()).ok());
   ASSERT_TRUE(ctx.platforms().Get("turbo").ok());
 
+  // Large enough that turbo's throughput advantage beats javasim even with
+  // javasim's modeled morsel parallelism and fusion discounts.
   std::vector<Record> rows;
-  for (int i = 0; i < 2000; ++i) {
+  for (int i = 0; i < 20000; ++i) {
     rows.push_back(Record({Value(i % 10), Value(i)}));
   }
   RheemJob job(&ctx);

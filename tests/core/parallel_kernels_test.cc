@@ -1,0 +1,446 @@
+// Parity suite for morsel-parallel kernels and pipeline fusion: the parallel
+// path (including FusedPipeline) must be byte-identical to the serial path at
+// every size around the morsel boundary. Also the concurrency tests run under
+// TSan in CI (RHEEM_SANITIZE=thread builds this binary).
+#include "core/operators/kernels.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/operators/fusion.h"
+#include "core/plan/plan.h"
+
+namespace rheem {
+namespace kernels {
+namespace {
+
+// Small morsels so the 10x-morsel case stays fast.
+constexpr std::size_t kMorsel = 256;
+
+KernelOptions Par() {
+  KernelOptions opts;
+  opts.parallel = true;
+  opts.morsel_size = kMorsel;
+  return opts;
+}
+
+std::vector<std::size_t> ParitySizes() {
+  return {0, 1, kMorsel - 1, kMorsel, 10 * kMorsel + 7};
+}
+
+// Three fields: a skewed key, a unique value, and a pseudo-random payload.
+Dataset MakeInput(std::size_t n) {
+  std::vector<Record> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    records.push_back(Record({Value(static_cast<int64_t>(i % 17)),
+                              Value(static_cast<int64_t>(i)),
+                              Value(static_cast<int64_t>(i * 31 % 101))}));
+  }
+  return Dataset(std::move(records));
+}
+
+void ExpectSameDataset(const Dataset& serial, const Dataset& parallel) {
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial.records()[i], parallel.records()[i]) << "row " << i;
+  }
+}
+
+MapUdf DoubleSecond() {
+  MapUdf udf;
+  udf.fn = [](const Record& r) {
+    return Record({r[0], Value(r[1].ToInt64Or(0) * 2), r[2]});
+  };
+  return udf;
+}
+
+FlatMapUdf RepeatByKey() {
+  FlatMapUdf udf;
+  udf.fn = [](const Record& r) {
+    // 0..2 copies: exercises variable-length morsel outputs.
+    std::vector<Record> out;
+    for (int64_t k = 0; k < r[0].ToInt64Or(0) % 3; ++k) {
+      out.push_back(Record({r[1], Value(k)}));
+    }
+    return out;
+  };
+  return udf;
+}
+
+PredicateUdf DropMultiplesOfSeven() {
+  PredicateUdf udf;
+  udf.fn = [](const Record& r) { return r[1].ToInt64Or(0) % 7 != 0; };
+  return udf;
+}
+
+KeyUdf FirstField() {
+  KeyUdf key;
+  key.fn = [](const Record& r) { return r[0]; };
+  return key;
+}
+
+ReduceUdf SumSecond() {
+  ReduceUdf udf;
+  udf.fn = [](const Record& a, const Record& b) {
+    return Record({a[0], Value(a[1].ToInt64Or(0) + b[1].ToInt64Or(0))});
+  };
+  return udf;
+}
+
+ReduceUdf SumFirst() {
+  ReduceUdf udf;
+  udf.fn = [](const Record& a, const Record& b) {
+    return Record({Value(a[0].ToInt64Or(0) + b[0].ToInt64Or(0))});
+  };
+  return udf;
+}
+
+GroupUdf CountAndSum() {
+  GroupUdf udf;
+  udf.fn = [](const Value& key, const std::vector<Record>& members) {
+    int64_t sum = 0;
+    for (const Record& m : members) sum += m[1].ToInt64Or(0);
+    return std::vector<Record>{
+        Record({key, Value(static_cast<int64_t>(members.size())), Value(sum)})};
+  };
+  return udf;
+}
+
+BroadcastMapUdf AddBroadcastSize() {
+  BroadcastMapUdf udf;
+  udf.fn = [](const Record& r, const Dataset& side) {
+    return Record({r[0], Value(r[1].ToInt64Or(0) +
+                               static_cast<int64_t>(side.size()))});
+  };
+  return udf;
+}
+
+// Runs `kernel` serially and in parallel on every parity size and demands
+// byte-identical outputs.
+template <typename KernelFn>
+void CheckParity(const char* label, KernelFn kernel) {
+  for (std::size_t n : ParitySizes()) {
+    SCOPED_TRACE(std::string(label) + " n=" + std::to_string(n));
+    const Dataset in = MakeInput(n);
+    auto serial = kernel(in, KernelOptions::Serial());
+    auto parallel = kernel(in, Par());
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectSameDataset(*serial, *parallel);
+  }
+}
+
+TEST(KernelParityTest, Map) {
+  CheckParity("Map", [](const Dataset& in, const KernelOptions& o) {
+    return Map(DoubleSecond(), in, o);
+  });
+}
+
+TEST(KernelParityTest, FlatMap) {
+  CheckParity("FlatMap", [](const Dataset& in, const KernelOptions& o) {
+    return FlatMap(RepeatByKey(), in, o);
+  });
+}
+
+TEST(KernelParityTest, Filter) {
+  CheckParity("Filter", [](const Dataset& in, const KernelOptions& o) {
+    return Filter(DropMultiplesOfSeven(), in, o);
+  });
+}
+
+TEST(KernelParityTest, Project) {
+  CheckParity("Project", [](const Dataset& in, const KernelOptions& o) {
+    return Project({2, 0}, in, o);
+  });
+}
+
+TEST(KernelParityTest, ProjectReportsFirstBadRecord) {
+  // Error behaviour must match the serial path too: out-of-range columns.
+  const Dataset in = MakeInput(10 * kMorsel + 7);
+  auto serial = Project({5}, in, KernelOptions::Serial());
+  auto parallel = Project({5}, in, Par());
+  ASSERT_FALSE(serial.ok());
+  ASSERT_FALSE(parallel.ok());
+  EXPECT_EQ(serial.status().ToString(), parallel.status().ToString());
+}
+
+TEST(KernelParityTest, SortByKey) {
+  // The key i%17 is heavily tied: parallel merge must preserve stability.
+  CheckParity("SortByKey", [](const Dataset& in, const KernelOptions& o) {
+    return SortByKey(FirstField(), in, o);
+  });
+}
+
+TEST(KernelParityTest, Sample) {
+  CheckParity("Sample", [](const Dataset& in, const KernelOptions& o) {
+    return Sample(0.4, 42, in, o);
+  });
+}
+
+TEST(KernelParityTest, ZipWithId) {
+  CheckParity("ZipWithId", [](const Dataset& in, const KernelOptions& o) {
+    return ZipWithId(1000, in, o);
+  });
+}
+
+TEST(KernelParityTest, ReduceByKey) {
+  CheckParity("ReduceByKey", [](const Dataset& in, const KernelOptions& o) {
+    return ReduceByKey(FirstField(), SumSecond(), in, o);
+  });
+}
+
+TEST(KernelParityTest, HashGroupBy) {
+  CheckParity("HashGroupBy", [](const Dataset& in, const KernelOptions& o) {
+    return HashGroupBy(FirstField(), CountAndSum(), in, o);
+  });
+}
+
+TEST(KernelParityTest, SortGroupBy) {
+  CheckParity("SortGroupBy", [](const Dataset& in, const KernelOptions& o) {
+    return SortGroupBy(FirstField(), CountAndSum(), in, o);
+  });
+}
+
+TEST(KernelParityTest, GlobalReduce) {
+  CheckParity("GlobalReduce", [](const Dataset& in, const KernelOptions& o) {
+    return GlobalReduce(SumFirst(), in, o);
+  });
+}
+
+TEST(KernelParityTest, Count) {
+  CheckParity("Count", [](const Dataset& in, const KernelOptions& o) {
+    return Count(in, o);
+  });
+}
+
+TEST(KernelParityTest, BroadcastMap) {
+  const Dataset side = MakeInput(5);
+  CheckParity("BroadcastMap", [&](const Dataset& in, const KernelOptions& o) {
+    return BroadcastMap(AddBroadcastSize(), in, side, o);
+  });
+}
+
+TEST(KernelParityTest, HashJoin) {
+  for (std::size_t n : ParitySizes()) {
+    SCOPED_TRACE("HashJoin n=" + std::to_string(n));
+    const Dataset left = MakeInput(n);
+    const Dataset right = MakeInput(std::min<std::size_t>(n, 3 * 17 + 5));
+    auto serial = HashJoin(FirstField(), FirstField(), left, right,
+                           KernelOptions::Serial());
+    auto parallel = HashJoin(FirstField(), FirstField(), left, right, Par());
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectSameDataset(*serial, *parallel);
+  }
+}
+
+std::vector<FusedStep> MapFilterFlatMapProjectSteps() {
+  return {FusedStep::OfMap(DoubleSecond()),
+          FusedStep::OfFilter(DropMultiplesOfSeven()),
+          FusedStep::OfFlatMap(RepeatByKey()),
+          FusedStep::OfProject({1, 0})};
+}
+
+// The fused pass must equal applying the kernels one by one — serially and
+// in parallel.
+TEST(KernelParityTest, FusedPipelineMatchesUnfusedChain) {
+  for (std::size_t n : ParitySizes()) {
+    SCOPED_TRACE("FusedPipeline n=" + std::to_string(n));
+    const Dataset in = MakeInput(n);
+    auto mapped = Map(DoubleSecond(), in, KernelOptions::Serial());
+    ASSERT_TRUE(mapped.ok());
+    auto filtered =
+        Filter(DropMultiplesOfSeven(), *mapped, KernelOptions::Serial());
+    ASSERT_TRUE(filtered.ok());
+    auto flat = FlatMap(RepeatByKey(), *filtered, KernelOptions::Serial());
+    ASSERT_TRUE(flat.ok());
+    auto unfused = Project({1, 0}, *flat, KernelOptions::Serial());
+    ASSERT_TRUE(unfused.ok());
+
+    auto fused_serial =
+        FusedPipeline(MapFilterFlatMapProjectSteps(), in,
+                      KernelOptions::Serial());
+    auto fused_parallel = FusedPipeline(MapFilterFlatMapProjectSteps(), in,
+                                        Par());
+    ASSERT_TRUE(fused_serial.ok()) << fused_serial.status().ToString();
+    ASSERT_TRUE(fused_parallel.ok()) << fused_parallel.status().ToString();
+    ExpectSameDataset(*unfused, *fused_serial);
+    ExpectSameDataset(*unfused, *fused_parallel);
+  }
+}
+
+TEST(KernelParityTest, EmptyFusedPipelineIsIdentity) {
+  const Dataset in = MakeInput(kMorsel + 3);
+  auto out = FusedPipeline({}, in, Par());
+  ASSERT_TRUE(out.ok());
+  ExpectSameDataset(in, *out);
+}
+
+TEST(KernelOptionsTest, FromConfigReadsKeys) {
+  Config config;
+  config.SetBool("kernels.parallel", false);
+  config.SetInt("kernels.morsel_size", 512);
+  KernelOptions opts = KernelOptions::FromConfig(config);
+  EXPECT_FALSE(opts.parallel);
+  EXPECT_EQ(opts.morsel_size, 512u);
+  EXPECT_TRUE(KernelOptions().parallel);  // default on
+}
+
+TEST(KernelTimingTest, RecordsCallsAndModelsWidth) {
+  ResetKernelTimings();
+  const std::size_t n = 10 * kMorsel + 7;
+  ASSERT_TRUE(Map(DoubleSecond(), MakeInput(n), Par()).ok());
+  const auto timings = SnapshotKernelTimings();
+  const KernelTiming* map = nullptr;
+  for (const auto& t : timings) {
+    if (t.kernel == "Map") map = &t;
+  }
+  ASSERT_NE(map, nullptr);
+  EXPECT_EQ(map->invocations, 1);
+  EXPECT_EQ(map->records_in, static_cast<int64_t>(n));
+  // Wider modeled pools can only be faster, floored at the critical path.
+  EXPECT_GE(ModeledMicrosAtWidth(*map, 1), ModeledMicrosAtWidth(*map, 4));
+  EXPECT_GE(ModeledMicrosAtWidth(*map, 4), ModeledMicrosAtWidth(*map, 64));
+  EXPECT_GE(ModeledMicrosAtWidth(*map, 64),
+            map->serial_micros + map->critical_path_micros);
+  ResetKernelTimings();
+  EXPECT_TRUE(SnapshotKernelTimings().empty());
+}
+
+// --- Fusion planner -------------------------------------------------------
+
+PredicateUdf KeepAll() {
+  PredicateUdf udf;
+  udf.fn = [](const Record&) { return true; };
+  return udf;
+}
+
+TEST(FusionPlannerTest, FusesMaximalChains) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, MakeInput(8));
+  auto* m = plan.Add<MapOp>({src}, DoubleSecond());
+  auto* f = plan.Add<FilterOp>({m}, KeepAll());
+  auto* p = plan.Add<ProjectOp>({f}, std::vector<int>{0, 1});
+  auto* sink = plan.Add<CollectOp>({p});
+  plan.SetSink(sink);
+  auto topo = plan.TopologicalOrder();
+  ASSERT_TRUE(topo.ok());
+
+  auto units = fusion::PlanFusionUnits(*topo, {}, /*enable=*/true);
+  ASSERT_EQ(units.size(), 3u);  // source | map+filter+project | collect
+  EXPECT_FALSE(units[0].fused());
+  ASSERT_TRUE(units[1].fused());
+  EXPECT_EQ(units[1].ops.size(), 3u);
+  EXPECT_EQ(units[1].ops.front(), m);
+  EXPECT_EQ(units[1].ops.back(), p);
+  EXPECT_FALSE(units[2].fused());
+
+  const auto steps = fusion::StepsFor(units[1].ops);
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_EQ(steps[0].kind, FusedStep::Kind::kMap);
+  EXPECT_EQ(steps[1].kind, FusedStep::Kind::kFilter);
+  EXPECT_EQ(steps[2].kind, FusedStep::Kind::kProject);
+}
+
+TEST(FusionPlannerTest, DisabledMeansSingletonUnits) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, MakeInput(4));
+  auto* m = plan.Add<MapOp>({src}, DoubleSecond());
+  auto* f = plan.Add<FilterOp>({m}, KeepAll());
+  plan.SetSink(f);
+  auto topo = plan.TopologicalOrder();
+  ASSERT_TRUE(topo.ok());
+  auto units = fusion::PlanFusionUnits(*topo, {}, /*enable=*/false);
+  ASSERT_EQ(units.size(), 3u);
+  for (const auto& u : units) EXPECT_FALSE(u.fused());
+}
+
+TEST(FusionPlannerTest, PreservedOperatorBreaksChain) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, MakeInput(4));
+  auto* m = plan.Add<MapOp>({src}, DoubleSecond());
+  auto* f = plan.Add<FilterOp>({m}, KeepAll());
+  plan.SetSink(f);
+  auto topo = plan.TopologicalOrder();
+  ASSERT_TRUE(topo.ok());
+  // m's result must stay addressable (e.g. a stage output): no fusing past it.
+  auto units = fusion::PlanFusionUnits(*topo, {m->id()}, /*enable=*/true);
+  ASSERT_EQ(units.size(), 3u);
+  for (const auto& u : units) EXPECT_FALSE(u.fused());
+}
+
+TEST(FusionPlannerTest, MultiConsumerBreaksChain) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, MakeInput(4));
+  auto* m = plan.Add<MapOp>({src}, DoubleSecond());
+  auto* f1 = plan.Add<FilterOp>({m}, KeepAll());
+  auto* f2 = plan.Add<FilterOp>({m}, KeepAll());
+  auto* u = plan.Add<UnionOp>({f1, f2});
+  plan.SetSink(u);
+  auto topo = plan.TopologicalOrder();
+  ASSERT_TRUE(topo.ok());
+  auto units = fusion::PlanFusionUnits(*topo, {}, /*enable=*/true);
+  // m feeds two filters: it cannot be absorbed into either.
+  for (const auto& unit : units) {
+    if (unit.fused()) {
+      for (const Operator* op : unit.ops) EXPECT_NE(op, m);
+    }
+  }
+}
+
+TEST(FusionPlannerTest, NonFusableKindsStayAlone) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, MakeInput(4));
+  auto* m = plan.Add<MapOp>({src}, DoubleSecond());
+  auto* r = plan.Add<ReduceByKeyOp>({m}, FirstField(), SumSecond());
+  auto* m2 = plan.Add<MapOp>({r}, DoubleSecond());
+  plan.SetSink(m2);
+  auto topo = plan.TopologicalOrder();
+  ASSERT_TRUE(topo.ok());
+  EXPECT_FALSE(fusion::IsFusable(*r));
+  EXPECT_TRUE(fusion::IsFusable(*m));
+  auto units = fusion::PlanFusionUnits(*topo, {}, /*enable=*/true);
+  // Nothing to fuse: map | reduce | map are separated by the key boundary.
+  for (const auto& unit : units) EXPECT_FALSE(unit.fused());
+}
+
+// --- Concurrency (exercised under TSan in CI) -----------------------------
+
+TEST(KernelConcurrencyTest, ConcurrentParallelKernelsShareDefaultPool) {
+  const Dataset in = MakeInput(4 * kMorsel + 3);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&in]() {
+      auto mapped = Map(DoubleSecond(), in, Par());
+      ASSERT_TRUE(mapped.ok());
+      auto reduced = ReduceByKey(FirstField(), SumSecond(), *mapped, Par());
+      ASSERT_TRUE(reduced.ok());
+      EXPECT_EQ(reduced->size(), 17u);
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+TEST(KernelConcurrencyTest, ConcurrentFusedPipelines) {
+  const Dataset in = MakeInput(4 * kMorsel + 3);
+  auto expected = FusedPipeline(MapFilterFlatMapProjectSteps(), in,
+                                KernelOptions::Serial());
+  ASSERT_TRUE(expected.ok());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&in, &expected]() {
+      auto out = FusedPipeline(MapFilterFlatMapProjectSteps(), in, Par());
+      ASSERT_TRUE(out.ok());
+      ExpectSameDataset(*expected, *out);
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace rheem
