@@ -62,6 +62,10 @@ int main() {
   Config config;
   config.SetInt("service.max_concurrent", 4);  // worker threads
   config.SetInt("service.queue_depth", 8);     // waiting jobs beyond that
+  // Observability: the server rewrites this Chrome trace after every job,
+  // so the final file holds the whole session's job->stage->kernel tree.
+  config.SetBool("metrics.enabled", true);
+  config.Set("trace.path", "/tmp/rheem_job_service_trace.json");
   RheemContext ctx(config);
   if (!ctx.RegisterDefaultPlatforms().ok()) return 1;
 
@@ -137,5 +141,7 @@ int main() {
               static_cast<long long>(stats.succeeded),
               static_cast<long long>(stats.failed),
               static_cast<long long>(stats.cancelled));
+  std::printf("trace written to /tmp/rheem_job_service_trace.json "
+              "(chrome://tracing / ui.perfetto.dev)\n");
   return 0;
 }

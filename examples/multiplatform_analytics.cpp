@@ -38,7 +38,13 @@ Dataset SensorReadings(int64_t rows) {
 }  // namespace
 
 int main() {
-  RheemContext ctx;
+  // Observability on: process metrics plus a Chrome trace_event file that
+  // chrome://tracing or https://ui.perfetto.dev can open directly. See
+  // docs/observability.md for the span taxonomy and metric names.
+  Config config;
+  config.SetBool("metrics.enabled", true);
+  config.Set("trace.path", "/tmp/rheem_multiplatform_trace.json");
+  RheemContext ctx(config);
   if (auto st = ctx.RegisterDefaultPlatforms(); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
@@ -72,12 +78,16 @@ int main() {
   // --- processing layer: relational prefix + ML core -----------------------
   // Per-well averages via keyed aggregation (a relational-friendly subplan),
   // then an SVM over the per-reading features.
+  // The feature map and the aggregation are pinned to different platforms
+  // here so the tour reliably produces a cross-platform job — the emitted
+  // trace then shows javasim and sparksim stages side by side.
   RheemJob job(&ctx);
   auto per_well =
       job.LoadCollection(working)
           .Map([](const Record& r) {
             return Record({r[0], r[1], r[2], Value(int64_t{1})});
           })
+          .OnPlatform("javasim")
           .ReduceByKey(
               [](const Record& r) { return r[0]; },
               [](const Record& a, const Record& b) {
@@ -86,6 +96,7 @@ int main() {
                                Value(a[3].ToInt64Or(0) + b[3].ToInt64Or(0))});
               },
               /*key_distinct_ratio=*/0.002)
+          .OnPlatform("sparksim")
           .Map([](const Record& r) {
             const double n = static_cast<double>(r[3].ToInt64Or(1));
             return Record({r[0], Value(r[1].ToDoubleOr(0) / n),
@@ -94,9 +105,13 @@ int main() {
   if (auto plan = per_well.Explain(); plan.ok()) {
     std::printf("--- per-well aggregation plan ---\n%s\n", plan->c_str());
   }
-  auto aggregates = per_well.Collect();
+  auto aggregates = per_well.CollectWithMetrics();
   std::printf("per-well aggregates: %zu wells\n\n",
-              aggregates.ok() ? aggregates->size() : 0);
+              aggregates.ok() ? aggregates->output.size() : 0);
+  if (aggregates.ok() && !aggregates->report.empty()) {
+    std::printf("--- per-well job, as executed ---\n%s\n",
+                aggregates->report.c_str());
+  }
 
   // Reshape to (label, features) and train the productivity classifier.
   std::vector<Record> training;
@@ -120,5 +135,7 @@ int main() {
   std::printf("hot buffer: %lld hit(s), %lld miss(es)\n",
               static_cast<long long>(hot.hits()),
               static_cast<long long>(hot.misses()));
+  std::printf("\nexecution trace written to /tmp/rheem_multiplatform_trace.json"
+              " (open with chrome://tracing or ui.perfetto.dev)\n");
   return 0;
 }

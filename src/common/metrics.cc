@@ -1,0 +1,149 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/config.h"
+#include "common/trace.h"
+
+namespace rheem {
+
+Histogram::Histogram(std::vector<int64_t> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(int64_t value) {
+  // First bound >= value; the last slot is the +Inf overflow bucket.
+  std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+int64_t Histogram::bucket_count(std::size_t i) const {
+  int64_t total = 0;
+  for (std::size_t b = 0; b <= i && b < bounds_.size(); ++b) {
+    total += buckets_[b].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+const std::vector<int64_t>& DefaultLatencyBoundsMicros() {
+  static const std::vector<int64_t> bounds = {
+      10, 100, 1000, 10000, 100000, 1000000, 10000000};
+  return bounds;
+}
+
+int64_t MetricsSnapshot::counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::ostringstream os;
+  for (const auto& [name, v] : counters) {
+    os << name << " " << v << "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    os << name << " " << v << " (gauge)\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    os << name << " count=" << h.count << " sum=" << h.sum;
+    if (h.count > 0) os << " mean=" << (h.sum / h.count);
+    os << "\n";
+  }
+  return os.str();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Never destroyed: instrumentation sites may fire during static teardown.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<int64_t>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  // Copy everything while holding the lock; formatting/serialization then
+  // happens on the caller's copy, so concurrent counter creation (e.g. a
+  // Submit racing a drain) can never invalidate what we iterate.
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters[name] = c->value();
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges[name] = g->value();
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramValue v;
+    v.bounds = h->bounds();
+    v.count = h->count();
+    v.sum = h->sum();
+    int64_t running = 0;
+    for (std::size_t i = 0; i <= v.bounds.size(); ++i) {
+      running += h->buckets_[i].load(std::memory_order_relaxed);
+      v.cumulative.push_back(running);
+    }
+    snap.histograms[name] = std::move(v);
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  // Zero in place rather than destroying: instrumentation sites cache the
+  // pointers returned by counter()/gauge()/histogram() for the process
+  // lifetime, so those must survive any number of Resets.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->value_.store(0);
+  for (auto& [name, g] : gauges_) g->value_.store(0);
+  for (auto& [name, h] : histograms_) {
+    for (std::size_t i = 0; i <= h->bounds_.size(); ++i) h->buckets_[i].store(0);
+    h->count_.store(0);
+    h->sum_.store(0);
+  }
+}
+
+std::string MetricsRegistry::ReportText() const { return Snapshot().ToString(); }
+
+void ApplyObservabilityConfig(const Config& config) {
+  if (config.Has("metrics.enabled")) {
+    MetricsRegistry::Global().set_enabled(
+        config.GetBool("metrics.enabled", false).ValueOr(false));
+  }
+  if (config.Has("trace.enabled")) {
+    Tracer::Global().set_enabled(
+        config.GetBool("trace.enabled", false).ValueOr(false));
+  }
+  if (config.Has("trace.path") &&
+      !config.GetString("trace.path", "").ValueOr("").empty()) {
+    Tracer::Global().set_enabled(true);
+  }
+}
+
+}  // namespace rheem

@@ -1,0 +1,159 @@
+#ifndef RHEEM_COMMON_METRICS_H_
+#define RHEEM_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rheem {
+
+class Config;
+
+/// \brief Process-wide metrics for the three execution layers (service,
+/// optimizer/executor, platform kernels).
+///
+/// The paper's Executor "monitors the execution of tasks" (§4.2); the
+/// per-job ExecutionMetrics struct reports one job's totals, while this
+/// registry is the *process* view a serving deployment scrapes: counters,
+/// gauges and fixed-bucket histograms keyed by dotted names
+/// ("executor.stages_total", "kernels.morsels_executed").
+///
+/// Concurrency contract:
+///  - Instrument sites pay one relaxed atomic load when disabled (the
+///    `enabled` flag) and one relaxed fetch_add when enabled.
+///  - Metric objects are created once and never destroyed until Reset();
+///    pointers returned by counter()/gauge()/histogram() stay valid across
+///    Snapshot() calls.
+///  - Snapshot() copies every value under the registry lock into a plain
+///    struct — it never exposes the live map, so exporters may format and
+///    write while jobs keep executing (snapshot-during-Submit safe).
+class Counter {
+ public:
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Histogram with fixed bucket upper bounds (le semantics) set at creation.
+/// Observe() is lock-free; buckets never resize.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<int64_t> bounds);
+
+  void Observe(int64_t value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  /// Cumulative count of observations <= bounds()[i].
+  int64_t bucket_count(std::size_t i) const;
+
+ private:
+  friend class MetricsRegistry;
+  std::vector<int64_t> bounds_;                       // ascending, fixed
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;   // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// Default exponential microsecond bounds shared by the latency histograms.
+const std::vector<int64_t>& DefaultLatencyBoundsMicros();
+
+/// One consistent copy of the registry, safe to format/serialize while
+/// execution continues.
+struct MetricsSnapshot {
+  struct HistogramValue {
+    std::vector<int64_t> bounds;
+    std::vector<int64_t> cumulative;  // per bound, plus +Inf as last element
+    int64_t count = 0;
+    int64_t sum = 0;
+  };
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramValue> histograms;
+
+  /// Value of a counter (0 when absent) — test/report convenience.
+  int64_t counter(const std::string& name) const;
+  std::string ToString() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every subsystem publishes into.
+  static MetricsRegistry& Global();
+
+  /// Cheap relaxed-atomic gate checked by every instrumentation site.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Get-or-create. Thread-safe; the returned pointer stays valid for the
+  /// process lifetime (Reset() zeroes values in place, it never destroys
+  /// metric objects). Histogram bounds are fixed by the first creation;
+  /// later callers get the existing instance regardless of `bounds`.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name,
+                       const std::vector<int64_t>& bounds);
+
+  /// Consistent point-in-time copy (never iterates a live map outside the
+  /// lock; see class comment).
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric in place. Previously returned pointers remain
+  /// valid (they observe the zeroed values) — safe for test setup even while
+  /// instrumented code holds cached pointers.
+  void Reset();
+
+  /// Human-readable dump of Snapshot().
+  std::string ReportText() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::atomic<bool> enabled_{false};
+};
+
+/// Convenience used by hot paths: counter lookup amortized by the caller
+/// (static-local pointer), addition gated on the registry's enabled flag.
+inline void CountIfEnabled(Counter* c, int64_t delta) {
+  if (MetricsRegistry::Global().enabled()) c->Add(delta);
+}
+
+/// Applies the observability keys of `config` to the process-wide registry
+/// and tracer. Only keys that are *present* take effect, so contexts without
+/// an opinion never disable what another context enabled.
+///
+/// Keys:
+///   metrics.enabled  (bool)   turn the metrics registry on/off
+///   trace.enabled    (bool)   turn the span tracer on/off
+///   trace.path       (string) non-empty implies trace.enabled=true; the
+///                             serving/execution layers write a Chrome
+///                             trace_event JSON file here after each job.
+void ApplyObservabilityConfig(const Config& config);
+
+}  // namespace rheem
+
+#endif  // RHEEM_COMMON_METRICS_H_

@@ -1,0 +1,205 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+namespace rheem {
+
+namespace {
+
+int64_t NowMicros() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+uint64_t ThisThreadOrdinal() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t ordinal = next.fetch_add(1);
+  return ordinal;
+}
+
+/// Innermost TraceSpan opened by this thread; TraceSpan's RAII guarantees
+/// LIFO push/pop per thread, so a plain vector works.
+std::vector<uint64_t>& ThreadSpanStack() {
+  thread_local std::vector<uint64_t> stack;
+  return stack;
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  // Never destroyed: spans may close during static teardown.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::set_max_spans(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_spans_ = cap;
+}
+
+int64_t Tracer::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+uint64_t Tracer::BeginSpan(const std::string& name, const std::string& category,
+                           uint64_t parent_id) {
+  if (!enabled()) return 0;
+  if (parent_id == 0) parent_id = CurrentSpanId();
+  const int64_t now = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return 0;
+  }
+  SpanRecord rec;
+  rec.id = static_cast<uint64_t>(spans_.size()) + 1;
+  rec.parent_id = parent_id;
+  rec.name = name;
+  rec.category = category;
+  rec.start_micros = now;
+  rec.thread_id = ThisThreadOrdinal();
+  spans_.push_back(std::move(rec));
+  ++open_count_;
+  return spans_.back().id;
+}
+
+void Tracer::AddTag(uint64_t span_id, const std::string& key,
+                    const std::string& value) {
+  if (span_id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (span_id > spans_.size()) return;
+  SpanRecord& rec = spans_[span_id - 1];
+  if (!rec.closed()) rec.tags.emplace_back(key, value);
+}
+
+void Tracer::EndSpan(uint64_t span_id) {
+  if (span_id == 0) return;
+  const int64_t now = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (span_id > spans_.size()) return;
+  SpanRecord& rec = spans_[span_id - 1];
+  if (rec.closed()) return;
+  rec.end_micros = now;
+  --open_count_;
+}
+
+uint64_t Tracer::CurrentSpanId() {
+  const auto& stack = ThreadSpanStack();
+  return stack.empty() ? 0 : stack.back();
+}
+
+std::vector<SpanRecord> Tracer::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::size_t Tracer::OpenSpanCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_count_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  open_count_ = 0;
+  dropped_ = 0;
+}
+
+std::string Tracer::ExportChromeTrace() const {
+  // Snapshot first (Spans() copies under the lock), format outside: a
+  // concurrent job finishing spans mid-export can never corrupt the JSON.
+  const std::vector<SpanRecord> spans = Spans();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!s.closed()) continue;  // incomplete spans are dropped from exports
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(&out, s.name);
+    out += "\",\"cat\":\"";
+    AppendJsonEscaped(&out, s.category);
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(s.thread_id);
+    out += ",\"ts\":" + std::to_string(s.start_micros);
+    out += ",\"dur\":" + std::to_string(s.end_micros - s.start_micros);
+    out += ",\"args\":{\"span_id\":\"" + std::to_string(s.id) + "\"";
+    if (s.parent_id != 0) {
+      out += ",\"parent_id\":\"" + std::to_string(s.parent_id) + "\"";
+    }
+    for (const auto& [key, value] : s.tags) {
+      out += ",\"";
+      AppendJsonEscaped(&out, key);
+      out += "\":\"";
+      AppendJsonEscaped(&out, value);
+      out += "\"";
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  const std::string json = ExportChromeTrace();
+  std::ofstream file(path, std::ios::trunc | std::ios::binary);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open trace file '" + path + "'");
+  }
+  file << json;
+  if (!file.good()) {
+    return Status::IoError("failed writing trace file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+TraceSpan::TraceSpan(const std::string& name, const std::string& category)
+    : TraceSpan(name, category, 0) {}
+
+TraceSpan::TraceSpan(const std::string& name, const std::string& category,
+                     uint64_t parent_id) {
+  id_ = Tracer::Global().BeginSpan(name, category, parent_id);
+  if (id_ != 0) ThreadSpanStack().push_back(id_);
+}
+
+TraceSpan::~TraceSpan() {
+  if (id_ == 0) return;
+  auto& stack = ThreadSpanStack();
+  // RAII scoping makes this LIFO; tolerate an unbalanced stack anyway.
+  if (!stack.empty() && stack.back() == id_) stack.pop_back();
+  Tracer::Global().EndSpan(id_);
+}
+
+void TraceSpan::AddTag(const std::string& key, const std::string& value) {
+  Tracer::Global().AddTag(id_, key, value);
+}
+
+void TraceSpan::AddTag(const std::string& key, int64_t value) {
+  Tracer::Global().AddTag(id_, key, std::to_string(value));
+}
+
+}  // namespace rheem

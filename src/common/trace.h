@@ -1,0 +1,133 @@
+#ifndef RHEEM_COMMON_TRACE_H_
+#define RHEEM_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rheem {
+
+/// \brief Span-based execution tracer connecting the three layers.
+///
+/// A span is one timed region with a name, a category, string tags and a
+/// parent: job admission -> optimization (enumeration, costing, fusion
+/// planning) -> per-stage execution -> per-kernel invocations all open spans,
+/// so one submitted job renders as a single nested tree. Spans nest two
+/// ways:
+///  - implicitly: a span opened on a thread becomes the parent of the next
+///    span opened on that same thread (thread-local span stack);
+///  - explicitly: work handed to a pool worker passes the parent span id it
+///    captured on the scheduling thread (TraceSpan's parent_id constructor),
+///    which is how stage tasks stay children of their job and sparksim
+///    partition tasks stay children of their stage.
+///
+/// Disabled (the default), every instrumentation site pays a single relaxed
+/// atomic load and constructs nothing. Enabled, finished spans accumulate in
+/// a bounded in-memory buffer that ExportChromeTrace() serializes in the
+/// Chrome trace_event JSON format (open with chrome://tracing or Perfetto).
+/// Export takes a consistent snapshot under the buffer lock and formats
+/// outside it, so tracing jobs may keep finishing spans mid-export.
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;  // 0 = root
+  std::string name;
+  std::string category;
+  int64_t start_micros = 0;  // relative to the tracer epoch
+  int64_t end_micros = -1;   // -1 while still open
+  uint64_t thread_id = 0;    // stable per-thread ordinal, not the OS id
+  std::vector<std::pair<std::string, std::string>> tags;
+
+  bool closed() const { return end_micros >= 0; }
+};
+
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Spans retained before new ones are dropped (counted in
+  /// dropped_spans()); keeps a pathological job from growing unbounded.
+  void set_max_spans(std::size_t cap);
+  int64_t dropped_spans() const;
+
+  /// Opens a span. parent_id 0 means "parent = current span of this thread"
+  /// (the top of the thread-local stack; 0 if none). Returns the span id, or
+  /// 0 when tracing is disabled or the buffer is full.
+  uint64_t BeginSpan(const std::string& name, const std::string& category,
+                     uint64_t parent_id = 0);
+
+  /// Attaches a key/value tag to an *open* span. No-op on id 0.
+  void AddTag(uint64_t span_id, const std::string& key,
+              const std::string& value);
+
+  /// Closes the span. No-op on id 0 or an already-closed span.
+  void EndSpan(uint64_t span_id);
+
+  /// The innermost open span started by this thread (0 when none). Capture
+  /// this before handing work to another thread to keep the tree connected.
+  static uint64_t CurrentSpanId();
+
+  /// Consistent snapshot of every recorded span (open and closed).
+  std::vector<SpanRecord> Spans() const;
+
+  /// Number of spans begun and not yet ended ("every span closes" checks).
+  std::size_t OpenSpanCount() const;
+
+  /// Drops all recorded spans (the per-thread stacks of *other* threads are
+  /// untouched; call between jobs, not mid-span).
+  void Clear();
+
+  /// Chrome trace_event JSON ("traceEvents" complete events). Snapshot
+  /// taken under the lock, serialization outside it.
+  std::string ExportChromeTrace() const;
+
+  /// ExportChromeTrace() to a file.
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  Tracer() = default;
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;     // index = id - 1
+  std::size_t open_count_ = 0;
+  std::size_t max_spans_ = 1 << 20;
+  int64_t dropped_ = 0;
+  std::atomic<bool> enabled_{false};
+};
+
+/// \brief RAII span: opens in the constructor (when tracing is enabled),
+/// closes in the destructor, and maintains the thread-local nesting stack.
+/// Move-only value semantics are intentionally absent — bind one to a scope.
+class TraceSpan {
+ public:
+  /// Child of the current thread's innermost span.
+  TraceSpan(const std::string& name, const std::string& category);
+  /// Child of an explicit parent (cross-thread edges). parent_id 0 falls
+  /// back to the thread-local parent.
+  TraceSpan(const std::string& name, const std::string& category,
+            uint64_t parent_id);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  uint64_t id() const { return id_; }
+  bool active() const { return id_ != 0; }
+
+  void AddTag(const std::string& key, const std::string& value);
+  void AddTag(const std::string& key, int64_t value);
+
+ private:
+  uint64_t id_ = 0;
+};
+
+}  // namespace rheem
+
+#endif  // RHEEM_COMMON_TRACE_H_

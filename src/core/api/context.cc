@@ -2,7 +2,10 @@
 
 #include <set>
 
+#include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "core/api/logical_nodes.h"
 #include "core/optimizer/enumerator.h"
 #include "core/optimizer/logical_rewrites.h"
@@ -13,7 +16,9 @@
 
 namespace rheem {
 
-RheemContext::RheemContext(Config config) : config_(std::move(config)) {}
+RheemContext::RheemContext(Config config) : config_(std::move(config)) {
+  ApplyObservabilityConfig(config_);
+}
 
 RheemContext::~RheemContext() = default;  // JobServer's dtor drains
 
@@ -217,13 +222,25 @@ Result<std::unique_ptr<Plan>> RheemContext::TranslateToPhysical(
 
 Result<CompiledJob> RheemContext::Compile(const Plan& logical_plan,
                                           const ExecutionOptions& options) const {
+  TraceSpan optimize_span("optimize", "optimizer");
+  const uint64_t optimize_id = optimize_span.id();
+  CountIfEnabled(MetricsRegistry::Global().counter("optimizer.plans_compiled"),
+                 1);
+
   std::map<int, std::string> pins;
-  RHEEM_ASSIGN_OR_RETURN(std::unique_ptr<Plan> physical,
-                         TranslateToPhysical(logical_plan, &pins));
+  std::unique_ptr<Plan> physical;
+  {
+    TraceSpan span("translate", "optimizer", optimize_id);
+    RHEEM_ASSIGN_OR_RETURN(physical, TranslateToPhysical(logical_plan, &pins));
+  }
   if (options.apply_logical_rewrites) {
+    TraceSpan span("rewrite", "optimizer", optimize_id);
     RHEEM_ASSIGN_OR_RETURN(auto stats,
                            ApplicationRewrites::Apply(physical.get(), &pins));
-    (void)stats;
+    span.AddTag("rules_applied",
+                static_cast<int64_t>(stats.filters_reordered +
+                                     stats.filters_pushed +
+                                     stats.projects_pushed));
   } else {
     RHEEM_ASSIGN_OR_RETURN(auto remap, physical->PruneToSink());
     std::map<int, std::string> updated;
@@ -235,17 +252,31 @@ Result<CompiledJob> RheemContext::Compile(const Plan& logical_plan,
   }
   RHEEM_RETURN_IF_ERROR(physical->Validate());
 
-  RHEEM_ASSIGN_OR_RETURN(EstimateMap estimates,
-                         CardinalityEstimator::Estimate(*physical));
+  EstimateMap estimates;
+  {
+    TraceSpan span("estimate", "optimizer", optimize_id);
+    RHEEM_ASSIGN_OR_RETURN(estimates, CardinalityEstimator::Estimate(*physical));
+  }
   Enumerator enumerator(&registry_, &movement_);
   EnumeratorOptions eo;
   eo.force_platform = options.force_platform;
   eo.pinned_platforms = pins;
   eo.movement_aware = options.movement_aware;
-  RHEEM_ASSIGN_OR_RETURN(PlatformAssignment assignment,
-                         enumerator.Run(*physical, estimates, eo));
-  RHEEM_ASSIGN_OR_RETURN(ExecutionPlan eplan,
-                         StageSplitter::Split(*physical, std::move(assignment)));
+  PlatformAssignment assignment;
+  {
+    TraceSpan span("enumerate", "optimizer", optimize_id);
+    span.AddTag("operators", static_cast<int64_t>(physical->size()));
+    RHEEM_ASSIGN_OR_RETURN(assignment, enumerator.Run(*physical, estimates, eo));
+  }
+  ExecutionPlan eplan;
+  {
+    TraceSpan span("split_stages", "optimizer", optimize_id);
+    RHEEM_ASSIGN_OR_RETURN(
+        eplan, StageSplitter::Split(*physical, std::move(assignment)));
+    span.AddTag("stages", static_cast<int64_t>(eplan.stages.size()));
+  }
+  CountIfEnabled(MetricsRegistry::Global().counter("optimizer.stages_planned"),
+                 static_cast<int64_t>(eplan.stages.size()));
   CompiledJob job;
   job.physical = std::move(physical);
   job.estimates = std::move(estimates);
@@ -261,7 +292,18 @@ Result<ExecutionResult> RheemContext::Execute(
   if (options.failure_injector) {
     executor.set_failure_injector(options.failure_injector);
   }
-  return executor.Execute(job.eplan);
+  auto result = executor.Execute(job.eplan);
+  // Direct (non-JobServer) runs flush the trace here, once the job's spans
+  // have all closed.
+  const std::string trace_path =
+      config_.GetString("trace.path", "").ValueOr("");
+  if (!trace_path.empty() && Tracer::Global().enabled()) {
+    if (Status st = Tracer::Global().WriteChromeTrace(trace_path); !st.ok()) {
+      RHEEM_LOG(Warning) << "failed to write trace to " << trace_path << ": "
+                         << st.ToString();
+    }
+  }
+  return result;
 }
 
 }  // namespace rheem

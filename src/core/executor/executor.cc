@@ -1,16 +1,20 @@
 #include "core/executor/executor.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <filesystem>
 #include <map>
 #include <mutex>
 #include <set>
+#include <sstream>
 #include <vector>
 
 #include "common/csv.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "core/executor/execution_state.h"
 #include "data/serialization.h"
 
@@ -98,10 +102,43 @@ Status RunStagesDag(const std::vector<Stage>& stages, ThreadPool* pool,
   }
 }
 
+/// EXPLAIN ANALYZE-style text: one line per stage attempt (in stage/attempt
+/// order regardless of the concurrent completion order) plus job totals.
+std::string BuildExecutionReport(
+    std::vector<ExecutionMonitor::StageRecord> records,
+    const ExecutionMetrics& metrics) {
+  std::sort(records.begin(), records.end(),
+            [](const ExecutionMonitor::StageRecord& a,
+               const ExecutionMonitor::StageRecord& b) {
+              if (a.stage_id != b.stage_id) return a.stage_id < b.stage_id;
+              return a.attempt < b.attempt;
+            });
+  std::ostringstream os;
+  os << "EXPLAIN ANALYZE  stages=" << metrics.stages_run
+     << " retries=" << metrics.retries << " wall=" << metrics.wall_micros
+     << "us sim=" << metrics.sim_overhead_micros << "us\n";
+  for (const auto& r : records) {
+    os << "  stage " << r.stage_id << " [" << r.platform << "] attempt "
+       << r.attempt << "  "
+       << (r.succeeded ? (r.error.empty() ? "ok" : r.error.c_str()) : "FAILED")
+       << "  wall=" << r.wall_micros << "us rows=" << r.output_records;
+    if (!r.succeeded && !r.error.empty()) os << "  error: " << r.error;
+    os << "\n";
+  }
+  os << "  totals: moved_records=" << metrics.moved_records
+     << " moved_bytes=" << metrics.moved_bytes
+     << " shuffle_bytes=" << metrics.shuffle_bytes
+     << " tasks_launched=" << metrics.tasks_launched
+     << " fused_operators=" << metrics.fused_operators << "\n";
+  return os.str();
+}
+
 }  // namespace
 
 CrossPlatformExecutor::CrossPlatformExecutor(Config config)
-    : config_(std::move(config)) {}
+    : config_(std::move(config)) {
+  ApplyObservabilityConfig(config_);
+}
 
 Result<ExecutionResult> CrossPlatformExecutor::Execute(
     const ExecutionPlan& eplan) {
@@ -127,9 +164,33 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
            ".bin";
   };
 
+  // Observability: the `execute` span parents every stage attempt span (the
+  // job-level span, when running under the JobServer, is already on this
+  // thread's span stack). Counter pointers are resolved once per job; the
+  // per-stage increments are relaxed-atomic adds gated on `metrics.enabled`.
+  TraceSpan exec_span("execute", "executor");
+  exec_span.AddTag("stages", static_cast<int64_t>(eplan.stages.size()));
+  const uint64_t exec_span_id = exec_span.id();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* stages_counter = registry.counter("executor.stages_total");
+  Counter* attempts_counter = registry.counter("executor.stage_attempts_total");
+  Counter* retries_counter = registry.counter("executor.retries_total");
+  Counter* failures_counter = registry.counter("executor.stage_failures_total");
+  Counter* restored_counter = registry.counter("executor.stages_restored_total");
+  Counter* moved_records_counter = registry.counter("executor.moved_records_total");
+  Counter* moved_bytes_counter = registry.counter("executor.moved_bytes_total");
+  Histogram* stage_wall_histogram =
+      registry.histogram("executor.stage_wall_us", DefaultLatencyBoundsMicros());
+  CountIfEnabled(registry.counter("executor.jobs_total"), 1);
+
   ExecutionState state;
   ExecutionMetrics metrics;
   metrics.jobs_run += 1;
+
+  // Every stage attempt's record, for the EXPLAIN ANALYZE report (kept even
+  // when no external monitor is attached). Guarded by `mu` below.
+  std::vector<ExecutionMonitor::StageRecord> report_records;
+  const bool want_report = registry.enabled();
 
   // Reference counts for eviction: how many stages still consume each
   // boundary dataset.
@@ -168,20 +229,24 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
         restored.push_back(std::move(decoded).ValueOrDie());
       }
       if (all_present) {
+        TraceSpan restore_span("stage", "executor", exec_span_id);
+        restore_span.AddTag("stage", static_cast<int64_t>(stage.id()));
+        restore_span.AddTag("platform", stage.platform()->name());
+        restore_span.AddTag("restored", "true");
+        CountIfEnabled(restored_counter, 1);
+        ExecutionMonitor::StageRecord record;
+        record.stage_id = stage.id();
+        record.platform = stage.platform()->name();
+        record.succeeded = true;
+        record.error = "restored from checkpoint";
         {
           std::lock_guard<std::mutex> lock(mu);
           for (std::size_t i = 0; i < restored.size(); ++i) {
             state.Put(stage.outputs()[i]->id(), std::move(restored[i]));
           }
+          if (want_report) report_records.push_back(record);
         }
-        if (monitor_ != nullptr) {
-          ExecutionMonitor::StageRecord record;
-          record.stage_id = stage.id();
-          record.platform = stage.platform()->name();
-          record.succeeded = true;
-          record.error = "restored from checkpoint";
-          monitor_->RecordStage(record);
-        }
+        if (monitor_ != nullptr) monitor_->RecordStage(record);
         return Status::OK();
       }
     }
@@ -212,6 +277,8 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
             return decoded.status().WithContext("boundary conversion");
           }
           converted.push_back(std::move(decoded).ValueOrDie());
+          CountIfEnabled(moved_records_counter, static_cast<int64_t>(data->size()));
+          CountIfEnabled(moved_bytes_counter, static_cast<int64_t>(wire.size()));
           {
             std::lock_guard<std::mutex> lock(mu);
             metrics.moved_records += static_cast<int64_t>(data->size());
@@ -221,9 +288,12 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
           boundary[producer->id()] = &converted.back();
           continue;
         }
+        const int64_t approx_bytes = Serializer::EncodedSize(*data);
+        CountIfEnabled(moved_records_counter, static_cast<int64_t>(data->size()));
+        CountIfEnabled(moved_bytes_counter, approx_bytes);
         std::lock_guard<std::mutex> lock(mu);
         metrics.moved_records += static_cast<int64_t>(data->size());
-        metrics.moved_bytes += Serializer::EncodedSize(*data);
+        metrics.moved_bytes += approx_bytes;
       }
       boundary[producer->id()] = data;
     }
@@ -237,6 +307,14 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
         std::lock_guard<std::mutex> lock(mu);
         ++metrics.retries;
       }
+      if (attempt > 0) CountIfEnabled(retries_counter, 1);
+      CountIfEnabled(attempts_counter, 1);
+      // One span per attempt: retries render as sibling `stage` spans, each
+      // tagged with its attempt number, under the job's `execute` span.
+      TraceSpan attempt_span("stage", "executor", exec_span_id);
+      attempt_span.AddTag("stage", static_cast<int64_t>(stage.id()));
+      attempt_span.AddTag("platform", stage.platform()->name());
+      attempt_span.AddTag("attempt", static_cast<int64_t>(attempt));
       ExecutionMetrics stage_metrics;
       Stopwatch sw;
       Status injected =
@@ -246,6 +324,9 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
               ? stage.platform()->ExecuteStage(stage, boundary, &stage_metrics)
               : Result<std::vector<Dataset>>(injected);
       const int64_t wall = sw.ElapsedMicros();
+      if (MetricsRegistry::Global().enabled()) {
+        stage_wall_histogram->Observe(wall);
+      }
 
       ExecutionMonitor::StageRecord record;
       record.stage_id = stage.id();
@@ -286,12 +367,21 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
         }
         record.succeeded = true;
         done = true;
+        CountIfEnabled(stages_counter, 1);
       } else {
         last_error = outputs.status();
         record.succeeded = false;
         record.error = last_error.ToString();
+        CountIfEnabled(failures_counter, 1);
+        attempt_span.AddTag("error", record.error);
         RHEEM_LOG(Warning) << "stage " << stage.id() << " attempt " << attempt
                            << " failed: " << last_error.ToString();
+      }
+      attempt_span.AddTag("succeeded", record.succeeded ? "true" : "false");
+      attempt_span.AddTag("rows_out", record.output_records);
+      if (want_report) {
+        std::lock_guard<std::mutex> lock(mu);
+        report_records.push_back(record);
       }
       if (monitor_ != nullptr) monitor_->RecordStage(record);
     }
@@ -329,6 +419,9 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
   ExecutionResult result;
   result.output = *final_data;
   result.metrics = metrics;
+  if (want_report) {
+    result.report = BuildExecutionReport(std::move(report_records), metrics);
+  }
   return result;
 }
 

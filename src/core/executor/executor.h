@@ -16,6 +16,11 @@ namespace rheem {
 struct ExecutionResult {
   Dataset output;
   ExecutionMetrics metrics;
+  /// EXPLAIN ANALYZE-style per-stage report (platform, attempts, wall time,
+  /// output rows, movement totals). Populated when the process-wide
+  /// MetricsRegistry is enabled (`metrics.enabled`); empty otherwise so the
+  /// disabled path does no string work.
+  std::string report;
 };
 
 /// \brief RHEEM's Executor (paper Figure 1 / §4.2): schedules the execution

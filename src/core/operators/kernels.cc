@@ -4,12 +4,14 @@
 #include <atomic>
 #include <iterator>
 #include <map>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
-#include "common/rng.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "data/record.h"
 
 namespace rheem {
@@ -59,6 +61,24 @@ TimingCell* Cells() {
   return cells;
 }
 
+// Registry mirrors of the timing cells, aggregated across kernels. Pointers
+// are resolved once (the registry never invalidates them) so the enabled path
+// pays one relaxed atomic add per event and the disabled path only the
+// enabled() check inside CountIfEnabled.
+Counter* InvocationsCounter() {
+  static Counter* c = MetricsRegistry::Global().counter("kernels.invocations");
+  return c;
+}
+Counter* RecordsInCounter() {
+  static Counter* c = MetricsRegistry::Global().counter("kernels.records_in");
+  return c;
+}
+Counter* MorselsCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().counter("kernels.morsels_executed");
+  return c;
+}
+
 /// Accumulates one kernel call's timing and flushes it into the registry on
 /// destruction. Morsel bodies report their thread-CPU time via AddMorselCpu
 /// (any thread); the caller reports the wall time of each parallel region via
@@ -66,7 +86,15 @@ TimingCell* Cells() {
 /// counts as the call's serial part.
 class TimingScope {
  public:
-  TimingScope(int id, std::size_t records) : id_(id), records_(records) {}
+  TimingScope(int id, std::size_t records) : id_(id), records_(records) {
+    // One span per kernel invocation ("morsel level" of the trace tree); it
+    // nests under whatever stage/chain span the calling thread has open.
+    if (Tracer::Global().enabled()) {
+      span_.emplace("kernel", "kernels");
+      span_->AddTag("kernel", kKernelNames[id_]);
+      span_->AddTag("records_in", static_cast<int64_t>(records_));
+    }
+  }
 
   ~TimingScope() {
     const int64_t wall = wall_.ElapsedMicros();
@@ -81,6 +109,8 @@ class TimingScope {
                          std::memory_order_relaxed);
     c.serial.fetch_add(std::max<int64_t>(0, wall - loop_wall_),
                        std::memory_order_relaxed);
+    CountIfEnabled(InvocationsCounter(), 1);
+    CountIfEnabled(RecordsInCounter(), static_cast<int64_t>(records_));
   }
 
   void AddMorselCpu(int64_t micros) {
@@ -96,6 +126,7 @@ class TimingScope {
  private:
   int id_;
   std::size_t records_;
+  std::optional<TraceSpan> span_;  // open only while tracing is enabled
   Stopwatch wall_;
   std::atomic<int64_t> pcpu_{0};
   std::atomic<int64_t> critical_{0};
@@ -144,6 +175,7 @@ Status RunMorsels(const KernelOptions& opts,
     scope.AddMorselCpu(cpu.ElapsedMicros());
   });
   scope.AddLoopWall(loop.ElapsedMicros());
+  CountIfEnabled(MorselsCounter(), static_cast<int64_t>(ranges.size()));
   for (Status& st : statuses) {
     if (!st.ok()) return std::move(st);
   }
@@ -232,6 +264,7 @@ SortEntry* ParallelSortEntries(const KeyFn& key_fn, const Dataset& in,
     scope.AddMorselCpu(cpu.ElapsedMicros());
   });
   scope.AddLoopWall(sort_loop.ElapsedMicros());
+  CountIfEnabled(MorselsCounter(), static_cast<int64_t>(ranges.size()));
 
   std::vector<std::size_t> bounds;
   bounds.reserve(ranges.size() + 1);
@@ -494,19 +527,27 @@ Result<Dataset> SortByKey(const KeyUdf& key, const Dataset& in,
 }
 
 Result<Dataset> Sample(double fraction, uint64_t seed, const Dataset& in,
-                       const KernelOptions& opts) {
+                       const KernelOptions& opts, uint64_t index_offset) {
   if (fraction < 0.0 || fraction > 1.0) {
     return Status::InvalidArgument("sample fraction must be in [0,1]");
   }
   TimingScope scope(kIdSample, in.size());
-  // The RNG is a serial stream (no jump-ahead), so the keep/drop decisions
-  // are always made sequentially; only the gather parallelizes. Decisions —
-  // and therefore output — are identical on every path.
-  Rng rng(seed);
+  // Keep/drop is a stateless function of (seed, global index) — a SplitMix64
+  // finalizer driving a Bernoulli draw — so element `index_offset + i` gets
+  // the same decision no matter how the input is partitioned. That is what
+  // makes Sample agree byte-for-byte across javasim (one call over the whole
+  // dataset) and sparksim (one call per partition with that partition's
+  // global offset).
   std::vector<char> keep(in.size(), 0);
   std::size_t kept = 0;
   for (std::size_t i = 0; i < in.size(); ++i) {
-    keep[i] = rng.NextBool(fraction) ? 1 : 0;
+    uint64_t x = seed ^ ((index_offset + i) * 0x9E3779B97F4A7C15ULL);
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    keep[i] = (static_cast<double>(x >> 11) * 0x1.0p-53) < fraction ? 1 : 0;
     kept += keep[i];
   }
   if (!UseParallel(opts, in.size())) {

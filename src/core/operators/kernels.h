@@ -88,8 +88,13 @@ Result<Dataset> Project(const std::vector<int>& columns, const Dataset& in,
 Result<Dataset> Distinct(const Dataset& in);
 Result<Dataset> SortByKey(const KeyUdf& key, const Dataset& in,
                           const KernelOptions& opts = {});
+/// Bernoulli sample. The keep decision for a record is a pure function of
+/// (seed, index_offset + position), so partitioned callers that pass each
+/// partition's global start offset reproduce exactly the records a single
+/// whole-dataset call keeps.
 Result<Dataset> Sample(double fraction, uint64_t seed, const Dataset& in,
-                       const KernelOptions& opts = {});
+                       const KernelOptions& opts = {},
+                       uint64_t index_offset = 0);
 
 /// Appends ids [first_id, first_id + in.size()) as a trailing int64 field.
 Result<Dataset> ZipWithId(int64_t first_id, const Dataset& in,

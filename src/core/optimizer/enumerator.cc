@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/operators/physical_ops.h"
 
 namespace rheem {
@@ -132,6 +133,9 @@ Result<PlatformAssignment> Enumerator::Run(const Plan& plan,
                                            const EnumeratorOptions& options) const {
   RHEEM_RETURN_IF_ERROR(plan.Validate());
   RHEEM_ASSIGN_OR_RETURN(std::vector<Operator*> topo, plan.TopologicalOrder());
+  CountIfEnabled(
+      MetricsRegistry::Global().counter("optimizer.enumerations_total"), 1);
+  int64_t candidates_costed = 0;
 
   std::vector<Platform*> platforms = registry_->All();
   if (platforms.empty()) {
@@ -257,6 +261,7 @@ Result<PlatformAssignment> Enumerator::Run(const Plan& plan,
         picks[pi][s] = best_q;
       }
       if (feasible) costs[pi] = total;
+      ++candidates_costed;
     }
 
     bool any = false;
@@ -280,6 +285,10 @@ Result<PlatformAssignment> Enumerator::Run(const Plan& plan,
       best_pi = pi;
     }
   }
+
+  CountIfEnabled(
+      MetricsRegistry::Global().counter("optimizer.dp_candidates_total"),
+      candidates_costed);
 
   PlatformAssignment assignment;
   assignment.estimated_cost_micros = best_cost;

@@ -3,10 +3,32 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/executor/executor.h"
 #include "core/optimizer/fingerprint.h"
 
 namespace rheem {
+namespace {
+
+/// Balances a gauge across every exit path of RunJob (Finish is reached via
+/// three early returns). A null gauge (metrics disabled) is a no-op.
+class GaugeGuard {
+ public:
+  explicit GaugeGuard(Gauge* gauge) : gauge_(gauge) {
+    if (gauge_ != nullptr) gauge_->Add(1);
+  }
+  ~GaugeGuard() {
+    if (gauge_ != nullptr) gauge_->Add(-1);
+  }
+  GaugeGuard(const GaugeGuard&) = delete;
+  GaugeGuard& operator=(const GaugeGuard&) = delete;
+
+ private:
+  Gauge* gauge_;
+};
+
+}  // namespace
 
 const char* JobStateToString(JobState state) {
   switch (state) {
@@ -54,9 +76,11 @@ JobServer::JobServer(RheemContext* ctx)
           1, ctx->config().GetInt("service.max_concurrent", 4).ValueOr(4)))),
       queue_depth_(static_cast<std::size_t>(std::max<int64_t>(
           0, ctx->config().GetInt("service.queue_depth", 16).ValueOr(16)))),
+      trace_path_(ctx->config().GetString("trace.path", "").ValueOr("")),
       cache_(static_cast<std::size_t>(std::max<int64_t>(
           0,
           ctx->config().GetInt("service.plan_cache_capacity", 64).ValueOr(64)))) {
+  ApplyObservabilityConfig(ctx->config());
   workers_.reserve(max_concurrent_);
   for (std::size_t i = 0; i < max_concurrent_; ++i) {
     workers_.emplace_back([this]() { WorkerLoop(); });
@@ -70,6 +94,7 @@ Result<JobHandle> JobServer::Submit(const Plan& logical_plan,
   auto rec = std::make_shared<internal::JobRecord>();
   rec->plan = &logical_plan;
   rec->options = std::move(options);
+  rec->submitted_at = std::chrono::steady_clock::now();
   if (rec->options.deadline.count() > 0) {
     rec->has_deadline = true;
     rec->deadline = std::chrono::steady_clock::now() + rec->options.deadline;
@@ -78,6 +103,8 @@ Result<JobHandle> JobServer::Submit(const Plan& logical_plan,
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
       ++rejected_;
+      CountIfEnabled(MetricsRegistry::Global().counter("service.jobs_rejected"),
+                     1);
       return Status::Cancelled("JobServer is shut down");
     }
     // `queue_depth_` bounds jobs *waiting* beyond the workers: queued jobs
@@ -86,6 +113,8 @@ Result<JobHandle> JobServer::Submit(const Plan& logical_plan,
     const std::size_t idle_workers = max_concurrent_ - running_.size();
     if (queue_.size() >= queue_depth_ + idle_workers) {
       ++rejected_;
+      CountIfEnabled(MetricsRegistry::Global().counter("service.jobs_rejected"),
+                     1);
       return Status::ResourceExhausted(
           "job queue full (" + std::to_string(queue_.size()) +
           " waiting, " + std::to_string(running_.size()) +
@@ -96,6 +125,8 @@ Result<JobHandle> JobServer::Submit(const Plan& logical_plan,
     ++submitted_;
     queue_.push_back(rec);
   }
+  auto& registry = MetricsRegistry::Global();
+  CountIfEnabled(registry.counter("service.jobs_submitted"), 1);
   cv_.notify_one();
   return JobHandle(rec);
 }
@@ -111,72 +142,112 @@ void JobServer::WorkerLoop() {
       queue_.pop_front();
       running_.push_back(job);
     }
-    RunJob(job);
+    Result<ExecutionResult> result = RunJob(job);
+    // The job's root span is closed by now, so it (and everything under it)
+    // lands in the file; jobs still running in other workers are skipped as
+    // open spans and picked up by a later rewrite.
+    if (!trace_path_.empty() && Tracer::Global().enabled()) {
+      if (Status st = Tracer::Global().WriteChromeTrace(trace_path_);
+          !st.ok()) {
+        RHEEM_LOG(Warning) << "failed to write trace to " << trace_path_
+                           << ": " << st.ToString();
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       running_.erase(std::find(running_.begin(), running_.end(), job));
     }
+    // Resolve the handle only after the bookkeeping above: a caller whose
+    // Wait() returns must observe stats().running without this job.
+    Resolve(job, std::move(result));
     cv_.notify_all();
   }
 }
 
-void JobServer::RunJob(const std::shared_ptr<internal::JobRecord>& job) {
+Result<ExecutionResult> JobServer::RunJob(
+    const std::shared_ptr<internal::JobRecord>& job) {
   job->state.store(JobState::kRunning);
 
+  auto& registry = MetricsRegistry::Global();
+  Gauge* running_gauge = nullptr;
+  if (registry.enabled()) {
+    const int64_t wait_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - job->submitted_at)
+            .count();
+    registry.histogram("service.queue_wait_us", DefaultLatencyBoundsMicros())
+        ->Observe(wait_us);
+    running_gauge = registry.gauge("service.jobs_running");
+  }
+  GaugeGuard running_guard(running_gauge);
+
+  // Root span of the job's trace tree: compile and execute nest below it.
+  TraceSpan job_span("job", "service");
+  job_span.AddTag("job_id", static_cast<int64_t>(job->id));
+  Result<ExecutionResult> result = RunJobInner(job, job_span.id());
+  SettleState(job, result);
+  job_span.AddTag("state", JobStateToString(job->state.load()));
+  return result;
+}
+
+Result<ExecutionResult> JobServer::RunJobInner(
+    const std::shared_ptr<internal::JobRecord>& job, uint64_t job_span_id) {
   StopCondition stop;
   stop.token = &job->token;
   stop.deadline = job->deadline;
   stop.has_deadline = job->has_deadline;
   // A job cancelled or overdue while it sat in the queue never starts.
-  if (Status st = stop.Check(); !st.ok()) {
-    Finish(job, std::move(st));
-    return;
-  }
+  if (Status st = stop.Check(); !st.ok()) return st;
 
   // Compile, going through the plan cache when allowed: a hit skips
   // translation, rewrites, estimation, enumeration and stage-splitting.
   std::shared_ptr<const CompiledJob> compiled;
+  bool cache_hit = false;
   const ExecutionOptions& eo = job->options.exec;
-  if (job->options.use_plan_cache) {
-    auto plan_fp = PlanFingerprint::Compute(*job->plan);
-    if (plan_fp.ok()) {
-      uint64_t key = *plan_fp;
-      key = PlanFingerprint::Mix(key, eo.force_platform);
-      key = PlanFingerprint::Mix(key, static_cast<uint64_t>(eo.movement_aware));
-      key = PlanFingerprint::Mix(
-          key, static_cast<uint64_t>(eo.apply_logical_rewrites));
-      compiled = cache_.Lookup(key);
-      if (compiled == nullptr) {
-        auto fresh = ctx_->Compile(*job->plan, eo);
-        if (!fresh.ok()) {
-          Finish(job, fresh.status());
-          return;
+  {
+    TraceSpan compile_span("compile", "service", job_span_id);
+    if (job->options.use_plan_cache) {
+      auto plan_fp = PlanFingerprint::Compute(*job->plan);
+      if (plan_fp.ok()) {
+        uint64_t key = *plan_fp;
+        key = PlanFingerprint::Mix(key, eo.force_platform);
+        key =
+            PlanFingerprint::Mix(key, static_cast<uint64_t>(eo.movement_aware));
+        key = PlanFingerprint::Mix(
+            key, static_cast<uint64_t>(eo.apply_logical_rewrites));
+        compiled = cache_.Lookup(key);
+        cache_hit = compiled != nullptr;
+        if (compiled == nullptr) {
+          auto fresh = ctx_->Compile(*job->plan, eo);
+          if (!fresh.ok()) return fresh.status();
+          compiled = std::make_shared<const CompiledJob>(
+              std::move(fresh).ValueOrDie());
+          cache_.Insert(key, compiled);
         }
-        compiled = std::make_shared<const CompiledJob>(
-            std::move(fresh).ValueOrDie());
-        cache_.Insert(key, compiled);
       }
     }
-  }
-  if (compiled == nullptr) {  // cache disabled or plan not fingerprintable
-    auto fresh = ctx_->Compile(*job->plan, eo);
-    if (!fresh.ok()) {
-      Finish(job, fresh.status());
-      return;
+    if (compiled == nullptr) {  // cache disabled or plan not fingerprintable
+      auto fresh = ctx_->Compile(*job->plan, eo);
+      if (!fresh.ok()) return fresh.status();
+      compiled =
+          std::make_shared<const CompiledJob>(std::move(fresh).ValueOrDie());
     }
-    compiled =
-        std::make_shared<const CompiledJob>(std::move(fresh).ValueOrDie());
+    compile_span.AddTag("cache_hit", cache_hit ? "true" : "false");
   }
+  auto& registry = MetricsRegistry::Global();
+  CountIfEnabled(registry.counter(cache_hit ? "service.plan_cache_hits"
+                                            : "service.plan_cache_misses"),
+                 1);
 
   CrossPlatformExecutor executor(ctx_->config());
   if (eo.monitor != nullptr) executor.set_monitor(eo.monitor);
   if (eo.failure_injector) executor.set_failure_injector(eo.failure_injector);
   executor.set_stop_condition(stop);
-  Finish(job, executor.Execute(compiled->eplan));
+  return executor.Execute(compiled->eplan);
 }
 
-void JobServer::Finish(const std::shared_ptr<internal::JobRecord>& job,
-                       Result<ExecutionResult> result) {
+void JobServer::SettleState(const std::shared_ptr<internal::JobRecord>& job,
+                            const Result<ExecutionResult>& result) {
   JobState terminal;
   if (result.ok()) {
     terminal = JobState::kSucceeded;
@@ -193,7 +264,23 @@ void JobServer::Finish(const std::shared_ptr<internal::JobRecord>& job,
       default: ++failed_; break;
     }
   }
+  auto& registry = MetricsRegistry::Global();
+  switch (terminal) {
+    case JobState::kSucceeded:
+      CountIfEnabled(registry.counter("service.jobs_succeeded"), 1);
+      break;
+    case JobState::kCancelled:
+      CountIfEnabled(registry.counter("service.jobs_cancelled"), 1);
+      break;
+    default:
+      CountIfEnabled(registry.counter("service.jobs_failed"), 1);
+      break;
+  }
   job->state.store(terminal);
+}
+
+void JobServer::Resolve(const std::shared_ptr<internal::JobRecord>& job,
+                        Result<ExecutionResult> result) {
   {
     std::lock_guard<std::mutex> lock(job->mu);
     job->result = std::move(result);

@@ -46,6 +46,7 @@ struct JobRecord {
   uint64_t id = 0;
   const Plan* plan = nullptr;  // not owned; must outlive completion
   JobOptions options;
+  std::chrono::steady_clock::time_point submitted_at{};
   std::chrono::steady_clock::time_point deadline{};
   bool has_deadline = false;
   CancelToken token;
@@ -150,13 +151,22 @@ class JobServer {
 
  private:
   void WorkerLoop();
-  void RunJob(const std::shared_ptr<internal::JobRecord>& job);
-  void Finish(const std::shared_ptr<internal::JobRecord>& job,
-              Result<ExecutionResult> result);
+  Result<ExecutionResult> RunJob(
+      const std::shared_ptr<internal::JobRecord>& job);
+  Result<ExecutionResult> RunJobInner(
+      const std::shared_ptr<internal::JobRecord>& job, uint64_t job_span_id);
+  /// Stores the terminal state and bumps the server/process counters.
+  void SettleState(const std::shared_ptr<internal::JobRecord>& job,
+                   const Result<ExecutionResult>& result);
+  /// Publishes the result and wakes Wait()ers. Called only after the job
+  /// left running_, so stats().running is 0 once every handle resolved.
+  void Resolve(const std::shared_ptr<internal::JobRecord>& job,
+               Result<ExecutionResult> result);
 
   RheemContext* ctx_;  // not owned
   std::size_t max_concurrent_;
   std::size_t queue_depth_;
+  std::string trace_path_;  // "" = no per-job Chrome trace writes
   PlanCache cache_;
 
   mutable std::mutex mu_;

@@ -1,5 +1,7 @@
 #include "platforms/javasim/javasim_operators.h"
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/operators/fusion.h"
 #include "core/operators/iejoin.h"
 #include "core/plan/plan.h"
@@ -39,6 +41,9 @@ Status DatasetWalker::RunOps(const std::vector<Operator*>& ops,
       }
       RHEEM_ASSIGN_OR_RETURN(const Dataset* in,
                              ResolveInput(*head->inputs()[0], external, *head));
+      TraceSpan chain_span("chain", "javasim");
+      chain_span.AddTag("operators", static_cast<int64_t>(unit.ops.size()));
+      chain_span.AddTag("tail", tail->name());
       RHEEM_ASSIGN_OR_RETURN(
           Dataset out,
           kernels::FusedPipeline(fusion::StepsFor(unit.ops), *in, opts_));
@@ -46,6 +51,9 @@ Status DatasetWalker::RunOps(const std::vector<Operator*>& ops,
       if (metrics_ != nullptr) {
         metrics_->fused_operators += static_cast<int64_t>(unit.ops.size());
       }
+      CountIfEnabled(
+          MetricsRegistry::Global().counter("javasim.fused_operators"),
+          static_cast<int64_t>(unit.ops.size()));
       continue;
     }
     Operator* base = unit.ops.front();
@@ -60,6 +68,9 @@ Status DatasetWalker::RunOps(const std::vector<Operator*>& ops,
                              ResolveInput(*in, external, *op));
       inputs.push_back(d);
     }
+    TraceSpan op_span("chain", "javasim");
+    op_span.AddTag("operators", static_cast<int64_t>(1));
+    op_span.AddTag("tail", op->name());
     RHEEM_ASSIGN_OR_RETURN(Dataset out, EvalOperator(*op, inputs));
     results_[op->id()] = std::move(out);
   }

@@ -1,5 +1,7 @@
 #include "platforms/relsim/relsim_platform.h"
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/optimizer/stage_splitter.h"
 #include "platforms/javasim/javasim_operators.h"
 #include "platforms/relsim/relsim_operators.h"
@@ -72,17 +74,22 @@ Result<std::vector<Dataset>> RelSimPlatform::ExecuteStage(
   // Query planning/setup charge per submitted atom.
   metrics->sim_overhead_micros += static_cast<int64_t>(query_setup_us_);
   metrics->jobs_run += 1;
+  CountIfEnabled(MetricsRegistry::Global().counter("relsim.queries_run"), 1);
 
   // Ingest boundary data into the engine's native columnar format (real
   // measured conversion work), then evaluate the atom row-at-a-time.
   std::vector<Dataset> ingested;
   ingested.reserve(boundary_inputs.size());
   BoundaryMap converted;
-  for (const auto& [op_id, dataset] : boundary_inputs) {
-    RHEEM_ASSIGN_OR_RETURN(Dataset d,
-                           relsim::IngestThroughTableFormat(*dataset));
-    ingested.push_back(std::move(d));
-    converted[op_id] = &ingested.back();
+  {
+    TraceSpan ingest_span("ingest", "relsim");
+    ingest_span.AddTag("inputs", static_cast<int64_t>(boundary_inputs.size()));
+    for (const auto& [op_id, dataset] : boundary_inputs) {
+      RHEEM_ASSIGN_OR_RETURN(Dataset d,
+                             relsim::IngestThroughTableFormat(*dataset));
+      ingested.push_back(std::move(d));
+      converted[op_id] = &ingested.back();
+    }
   }
 
   javasim::DatasetWalker walker(metrics);

@@ -4,7 +4,9 @@
 #include <atomic>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 
 namespace rheem {
 namespace sparksim {
@@ -17,22 +19,34 @@ Status TaskScheduler::RunTasks(std::size_t n, ExecutionMetrics* metrics,
     metrics->sim_overhead_micros +=
         static_cast<int64_t>(overhead_.task_us * static_cast<double>(n));
   }
+  CountIfEnabled(MetricsRegistry::Global().counter("sparksim.tasks_launched"),
+                 static_cast<int64_t>(n));
   std::vector<Status> statuses(n);
   std::vector<int64_t> task_micros(n, 0);
   std::atomic<int64_t> retries{0};
   const int max_attempts = std::max(1, task_retries_ + 1);
+  // Pool workers have no span open, so the batch's parent is captured here on
+  // the scheduling thread and handed to every task span explicitly.
+  const uint64_t parent_span = Tracer::CurrentSpanId();
   Stopwatch batch;
   pool_->ParallelFor(n, [&](std::size_t i) {
     // Thread-CPU time: interleaving with other tasks on an oversubscribed
     // host must not inflate a task's measured work.
     ThreadCpuTimer cpu;
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      TraceSpan task_span("task", "sparksim", parent_span);
+      task_span.AddTag("partition", static_cast<int64_t>(i));
+      if (attempt > 0) task_span.AddTag("attempt", attempt);
       statuses[i] = fn(i);
       if (statuses[i].ok()) break;
       if (attempt + 1 < max_attempts) retries.fetch_add(1);
     }
     task_micros[i] = cpu.ElapsedMicros();
   });
+  if (retries.load() > 0) {
+    CountIfEnabled(MetricsRegistry::Global().counter("sparksim.task_retries"),
+                   retries.load());
+  }
   if (metrics != nullptr && retries.load() > 0) {
     // Every retry is another task launch on the cluster.
     metrics->retries += retries.load();

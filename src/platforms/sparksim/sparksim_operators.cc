@@ -2,6 +2,8 @@
 
 #include <mutex>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/operators/fusion.h"
 #include "core/operators/iejoin.h"
 #include "core/plan/plan.h"
@@ -42,6 +44,9 @@ Status RddWalker::RunOps(const std::vector<Operator*>& ops,
       RHEEM_ASSIGN_OR_RETURN(const Rdd* in,
                              ResolveInput(*head->inputs()[0], external, *head));
       const std::vector<kernels::FusedStep> steps = fusion::StepsFor(unit.ops);
+      TraceSpan chain_span("chain", "sparksim");
+      chain_span.AddTag("operators", static_cast<int64_t>(unit.ops.size()));
+      chain_span.AddTag("tail", tail->name());
       RHEEM_ASSIGN_OR_RETURN(
           Rdd out, MapPartitions(*in, [&steps](const Dataset& d, std::size_t) {
             return kernels::FusedPipeline(steps, d, SerialOpts());
@@ -50,6 +55,9 @@ Status RddWalker::RunOps(const std::vector<Operator*>& ops,
       if (metrics_ != nullptr) {
         metrics_->fused_operators += static_cast<int64_t>(unit.ops.size());
       }
+      CountIfEnabled(
+          MetricsRegistry::Global().counter("sparksim.fused_operators"),
+          static_cast<int64_t>(unit.ops.size()));
       continue;
     }
     Operator* base = unit.ops.front();
@@ -63,6 +71,9 @@ Status RddWalker::RunOps(const std::vector<Operator*>& ops,
       RHEEM_ASSIGN_OR_RETURN(const Rdd* r, ResolveInput(*in, external, *op));
       inputs.push_back(r);
     }
+    TraceSpan op_span("chain", "sparksim");
+    op_span.AddTag("operators", static_cast<int64_t>(1));
+    op_span.AddTag("tail", op->name());
     RHEEM_ASSIGN_OR_RETURN(Rdd out, EvalOperator(*op, inputs));
     results_[op->id()] = std::move(out);
   }
@@ -170,10 +181,17 @@ Result<Rdd> RddWalker::EvalOperator(const PhysicalOperator& op,
       const auto& s = static_cast<const SampleOp&>(op);
       const double fraction = s.fraction();
       const uint64_t seed = s.seed();
-      return MapPartitions(in0, [fraction, seed](const Dataset& d,
-                                                 std::size_t i) {
-        return kernels::Sample(fraction, seed + i * 0x9e3779b9ULL, d,
-                               SerialOpts());
+      // Passing each partition's global start offset makes the per-partition
+      // calls keep exactly the records one whole-dataset call would keep
+      // (the kernel's decision is a function of seed and global index), so
+      // Sample agrees across platforms.
+      std::vector<uint64_t> offsets(in0.num_partitions() + 1, 0);
+      for (std::size_t i = 0; i < in0.num_partitions(); ++i) {
+        offsets[i + 1] = offsets[i] + in0.partition(i).size();
+      }
+      return MapPartitions(in0, [fraction, seed, offsets](const Dataset& d,
+                                                          std::size_t i) {
+        return kernels::Sample(fraction, seed, d, SerialOpts(), offsets[i]);
       });
     }
     case OpKind::kZipWithId: {

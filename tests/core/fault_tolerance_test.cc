@@ -1,8 +1,14 @@
 #include <atomic>
 #include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/executor/executor.h"
 #include "core/operators/physical_ops.h"
 #include "core/optimizer/enumerator.h"
@@ -190,6 +196,114 @@ TEST_F(CheckpointTest, DifferentJobIdsDoNotCollide) {
   auto run_b = b.Execute(eplan);
   ASSERT_TRUE(run_b.ok());
   EXPECT_EQ(run_b->metrics.stages_run, 2);  // no cross-job restoration
+}
+
+// Injected failures under fully parallel execution (DAG-parallel stages AND
+// morsel-parallel kernels): retries must reproduce the failure-free result
+// byte for byte, and both the process-wide retry counter and the stage span
+// attempt tags must record every attempt.
+TEST(ParallelRetryTest, RetriesKeepResultsIdenticalAndFullyAccounted) {
+  MetricsRegistry::Global().Reset();
+  MetricsRegistry::Global().set_enabled(true);
+  Tracer::Global().Clear();
+  Tracer::Global().set_enabled(true);
+
+  Config platform_config;
+  platform_config.SetBool("kernels.parallel", true);
+  platform_config.SetInt("kernels.morsel_size", 16);
+  JavaSimPlatform java(platform_config);
+  SparkSimPlatform spark(platform_config);
+
+  // Diamond: two independent javasim source stages feeding one sparksim
+  // union stage, so parallel_stages actually overlaps stage attempts.
+  Plan plan;
+  auto* src1 = plan.Add<CollectionSourceOp>({}, Numbers(200));
+  auto* m1 = plan.Add<MapOp>({src1}, PlusOne());
+  auto* src2 = plan.Add<CollectionSourceOp>({}, Numbers(200));
+  auto* m2 = plan.Add<MapOp>({src2}, PlusOne());
+  auto* u = plan.Add<UnionOp>({m1, m2});
+  auto* sink = plan.Add<CollectOp>({u});
+  plan.SetSink(sink);
+  PlatformAssignment a;
+  a.by_op = {{src1->id(), &java}, {m1->id(), &java},   {src2->id(), &java},
+             {m2->id(), &java},   {u->id(), &spark},   {sink->id(), &spark}};
+  ExecutionPlan eplan = StageSplitter::Split(plan, std::move(a)).ValueOrDie();
+  const int num_stages = static_cast<int>(eplan.stages.size());
+  ASSERT_GE(num_stages, 2);
+
+  Config config;
+  config.SetBool("executor.parallel_stages", true);
+  config.SetBool("metrics.enabled", true);
+  config.SetBool("trace.enabled", true);
+  config.SetInt("executor.max_retries", 2);
+
+  // Failure-free reference run.
+  CrossPlatformExecutor clean(config);
+  auto reference = clean.Execute(eplan);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  Tracer::Global().Clear();
+
+  // Every stage's first attempt fails; the retry must succeed.
+  CrossPlatformExecutor flaky(config);
+  ExecutionMonitor monitor;
+  flaky.set_monitor(&monitor);
+  flaky.set_failure_injector([](const Stage&, int attempt) -> Status {
+    if (attempt == 0) return Status::ExecutionError("injected outage");
+    return Status::OK();
+  });
+  auto retried = flaky.Execute(eplan);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+
+  // Byte-identical output despite retries + parallel stages + morsels.
+  ASSERT_EQ(retried->output.size(), reference->output.size());
+  for (std::size_t i = 0; i < reference->output.size(); ++i) {
+    EXPECT_EQ(retried->output.at(i).ToString(), reference->output.at(i).ToString())
+        << "row " << i << " differs after retry";
+  }
+
+  // Each stage retried exactly once, in the job metrics and the registry.
+  EXPECT_EQ(retried->metrics.retries, num_stages);
+  const MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(after.counter("executor.retries_total") -
+                before.counter("executor.retries_total"),
+            num_stages);
+  EXPECT_EQ(after.counter("executor.stage_attempts_total") -
+                before.counter("executor.stage_attempts_total"),
+            2 * num_stages);
+
+  // The monitor saw two attempts per stage (one failed, one succeeded)...
+  EXPECT_EQ(static_cast<int>(monitor.records().size()), 2 * num_stages);
+  EXPECT_EQ(monitor.failures(), num_stages);
+
+  // ...and the trace carries one span per attempt, tagged with the attempt
+  // number and its outcome.
+  std::map<std::string, std::set<std::string>> attempts_by_stage;
+  std::map<std::string, std::map<std::string, std::string>> outcome;
+  for (const SpanRecord& s : Tracer::Global().Spans()) {
+    if (s.name != "stage") continue;
+    EXPECT_TRUE(s.closed());
+    std::string stage_tag, attempt_tag, succeeded_tag;
+    for (const auto& [k, v] : s.tags) {
+      if (k == "stage") stage_tag = v;
+      if (k == "attempt") attempt_tag = v;
+      if (k == "succeeded") succeeded_tag = v;
+    }
+    attempts_by_stage[stage_tag].insert(attempt_tag);
+    outcome[stage_tag][attempt_tag] = succeeded_tag;
+  }
+  EXPECT_EQ(static_cast<int>(attempts_by_stage.size()), num_stages);
+  for (const auto& [stage_tag, attempts] : attempts_by_stage) {
+    EXPECT_EQ(attempts, (std::set<std::string>{"0", "1"}))
+        << "stage " << stage_tag << " attempts not fully traced";
+    EXPECT_EQ(outcome[stage_tag]["0"], "false") << "stage " << stage_tag;
+    EXPECT_EQ(outcome[stage_tag]["1"], "true") << "stage " << stage_tag;
+  }
+
+  MetricsRegistry::Global().set_enabled(false);
+  Tracer::Global().set_enabled(false);
+  Tracer::Global().Clear();
 }
 
 }  // namespace

@@ -1,10 +1,16 @@
-// Randomized end-to-end fuzzing of the whole compilation stack: randomly
-// generated dataflow pipelines are executed once with the multi-platform
-// optimizer free to choose (and split) platforms, and once forced onto the
-// single-threaded reference platform. The results must be bag-equal — the
-// platform-independence contract under thousands of operator combinations no
-// hand-written test would cover.
+// Randomized differential testing of the whole compilation stack: randomly
+// generated dataflow pipelines are executed with the multi-platform optimizer
+// free to choose (and split) platforms, forced onto javasim, forced onto
+// sparksim, and — where the plan is expressible — forced onto relsim. All
+// results must be bag-equal: the platform-independence contract under
+// thousands of operator combinations no hand-written test would cover.
+//
+// Every divergence message carries the plan's tape seed. To replay one plan,
+// re-run the test with RHEEM_FUZZ_SEED=<seed> (one round, that exact plan).
+// CI rotates coverage across runs via RHEEM_FUZZ_SEED_OFFSET, which shifts
+// the per-shard base seeds without touching the generator.
 
+#include <cstdlib>
 #include <set>
 #include <string>
 
@@ -22,6 +28,18 @@ std::multiset<std::string> AsMultiset(const Dataset& d) {
   return out;
 }
 
+uint64_t EnvSeedOffset() {
+  const char* s = std::getenv("RHEEM_FUZZ_SEED_OFFSET");
+  return s != nullptr ? std::strtoull(s, nullptr, 10) : 0;
+}
+
+bool EnvReplaySeed(uint64_t* seed) {
+  const char* s = std::getenv("RHEEM_FUZZ_SEED");
+  if (s == nullptr) return false;
+  *seed = std::strtoull(s, nullptr, 10);
+  return true;
+}
+
 /// Random (key:int64, value:int64) dataset.
 Dataset RandomPairs(Rng* rng, int max_rows) {
   const int rows = 1 + static_cast<int>(rng->NextBounded(
@@ -37,10 +55,17 @@ Dataset RandomPairs(Rng* rng, int max_rows) {
 
 /// Appends 1..6 random operators to `q`, keeping the (key, value) shape
 /// invariant so every operator remains applicable.
+///
+/// `order_stable` tracks whether the pipeline's element order is still the
+/// same on every platform (narrow order-preserving ops only). Sample's keep
+/// decision is a function of global element position, so it is only a fair
+/// differential case while order is stable; afterwards the generator
+/// substitutes a deterministic Map to keep the random tape aligned.
 DataQuanta RandomPipeline(Rng* rng, RheemJob* job, DataQuanta q) {
   const int steps = 1 + static_cast<int>(rng->NextBounded(6));
+  bool order_stable = true;
   for (int s = 0; s < steps; ++s) {
-    switch (rng->NextBounded(9)) {
+    switch (rng->NextBounded(12)) {
       case 0:
         q = q.Map([](const Record& r) {
           return Record({r[0], Value(r[1].ToInt64Or(0) + 1)});
@@ -64,9 +89,11 @@ DataQuanta RandomPipeline(Rng* rng, RheemJob* job, DataQuanta q) {
         break;
       case 3:
         q = q.Distinct();
+        order_stable = false;
         break;
       case 4:
         q = q.Sort([](const Record& r) { return r[1]; });
+        order_stable = false;  // ties may gather in platform-dependent order
         break;
       case 5:
         q = q.ReduceByKey(
@@ -74,9 +101,11 @@ DataQuanta RandomPipeline(Rng* rng, RheemJob* job, DataQuanta q) {
             [](const Record& a, const Record& b) {
               return Record({a[0], Value(a[1].ToInt64Or(0) + b[1].ToInt64Or(0))});
             });
+        order_stable = false;
         break;
       case 6:
         q = q.Union(job->LoadCollection(RandomPairs(rng, 50)));
+        order_stable = false;
         break;
       case 7:
         // Total key (no cross-record ties): platforms may order equal keys
@@ -86,15 +115,77 @@ DataQuanta RandomPipeline(Rng* rng, RheemJob* job, DataQuanta q) {
                      return Value(r[1].ToInt64Or(0) * 16 + r[0].ToInt64Or(0));
                    },
                    rng->NextBool());
+        order_stable = false;
         break;
-      default:
+      case 8:
         q = q.GroupByKey(
             [](const Record& r) { return r[0]; },
             [](const Value& key, const std::vector<Record>& members) {
               return std::vector<Record>{Record(
                   {key, Value(static_cast<int64_t>(members.size()))})};
             });
+        order_stable = false;
         break;
+      case 9: {
+        // Equi-join against a small random build side. Join output is the
+        // concatenation (lk, lv, rk, rv); fold back to the 2-field shape.
+        DataQuanta side = job->LoadCollection(RandomPairs(rng, 20));
+        q = q.Join(
+                 side, [](const Record& r) { return r[0]; },
+                 [](const Record& r) { return r[0]; })
+                .Map([](const Record& r) {
+                  return Record({r[0], Value(r[1].ToInt64Or(0) * 7 +
+                                             r[3].ToInt64Or(0))});
+                });
+        order_stable = false;
+        break;
+      }
+      case 10: {
+        // CoGroup: tag each side with a marker column, union, and group by
+        // key with an order-insensitive combine (member order inside a group
+        // is platform-dependent, so the aggregate must not depend on it).
+        DataQuanta side = job->LoadCollection(RandomPairs(rng, 30));
+        DataQuanta left = q.Map([](const Record& r) {
+          return Record({r[0], r[1], Value(static_cast<int64_t>(0))});
+        });
+        DataQuanta right = side.Map([](const Record& r) {
+          return Record({r[0], r[1], Value(static_cast<int64_t>(1))});
+        });
+        q = left.Union(right).GroupByKey(
+            [](const Record& r) { return r[0]; },
+            [](const Value& key, const std::vector<Record>& members) {
+              int64_t left_sum = 0, right_sum = 0;
+              int64_t left_n = 0, right_n = 0;
+              for (const Record& m : members) {
+                if (m[2].ToInt64Or(0) == 0) {
+                  left_sum += m[1].ToInt64Or(0);
+                  ++left_n;
+                } else {
+                  right_sum += m[1].ToInt64Or(0);
+                  ++right_n;
+                }
+              }
+              return std::vector<Record>{
+                  Record({key, Value(left_sum * 31 + right_sum + left_n * 7 +
+                                     right_n)})};
+            });
+        order_stable = false;
+        break;
+      }
+      default: {
+        const double fraction =
+            0.2 + 0.05 * static_cast<double>(rng->NextBounded(13));
+        const uint64_t sample_seed = rng->NextU64();
+        if (order_stable) {
+          q = q.Sample(fraction, sample_seed);
+        } else {
+          // Same tape draws, deterministic substitute.
+          q = q.Map([](const Record& r) {
+            return Record({r[0], Value(r[1].ToInt64Or(0) ^ 1)});
+          });
+        }
+        break;
+      }
     }
   }
   return q;
@@ -106,30 +197,58 @@ class FuzzPlansTest : public ::testing::TestWithParam<int> {
   RheemContext ctx_;
 };
 
-TEST_P(FuzzPlansTest, OptimizerChoiceMatchesReferencePlatform) {
-  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 1);
-  // Build twice from the same random tape: once per execution mode.
-  for (int round = 0; round < 4; ++round) {
-    const uint64_t seed = rng.NextU64();
+// 16 shards x 32 rounds = 512 random plans, each executed on every backend.
+TEST_P(FuzzPlansTest, DifferentialBackendsAgree) {
+  uint64_t replay = 0;
+  const bool has_replay = EnvReplaySeed(&replay);
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 1 + EnvSeedOffset());
+  const int rounds = has_replay ? 1 : 32;
+  for (int round = 0; round < rounds; ++round) {
+    const uint64_t seed = has_replay ? replay : rng.NextU64();
+    // Build from the same random tape once per execution mode.
     auto run = [&](const std::string& force) {
       Rng tape(seed);
       RheemJob job(&ctx_);
       job.options().force_platform = force;
-      DataQuanta q = job.LoadCollection(RandomPairs(&tape, 300));
+      DataQuanta q = job.LoadCollection(RandomPairs(&tape, 200));
       q = RandomPipeline(&tape, &job, q);
       return q.Collect();
     };
-    auto optimized = run("");
     auto reference = run("javasim");
-    ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
-    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
-    EXPECT_EQ(AsMultiset(*optimized), AsMultiset(*reference))
-        << "seed " << seed;
+    ASSERT_TRUE(reference.ok())
+        << "javasim failed; replay with RHEEM_FUZZ_SEED=" << seed << ": "
+        << reference.status().ToString();
+    const auto expect = AsMultiset(*reference);
+
+    for (const char* force : {"", "sparksim"}) {
+      auto got = run(force);
+      ASSERT_TRUE(got.ok())
+          << "backend '" << force
+          << "' failed; replay with RHEEM_FUZZ_SEED=" << seed << ": "
+          << got.status().ToString();
+      EXPECT_EQ(AsMultiset(*got), expect)
+          << "backend '" << force
+          << "' diverged; replay with RHEEM_FUZZ_SEED=" << seed;
+    }
+
+    // relsim covers a relational subset; a plan it cannot express skips
+    // (Unsupported from enumeration), but an execution failure or a result
+    // divergence on an expressible plan is a bug.
+    auto rel = run("relsim");
+    if (rel.ok()) {
+      EXPECT_EQ(AsMultiset(*rel), expect)
+          << "backend 'relsim' diverged; replay with RHEEM_FUZZ_SEED=" << seed;
+    } else {
+      ASSERT_TRUE(rel.status().IsUnsupported())
+          << "backend 'relsim' failed (not a mere expressibility skip); "
+          << "replay with RHEEM_FUZZ_SEED=" << seed << ": "
+          << rel.status().ToString();
+    }
   }
 }
 
 TEST_P(FuzzPlansTest, ExplainAlwaysCompiles) {
-  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 3);
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 3 + EnvSeedOffset());
   for (int round = 0; round < 4; ++round) {
     RheemJob job(&ctx_);
     DataQuanta q = job.LoadCollection(RandomPairs(&rng, 100));
@@ -140,7 +259,7 @@ TEST_P(FuzzPlansTest, ExplainAlwaysCompiles) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPlansTest, ::testing::Range(0, 8));
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPlansTest, ::testing::Range(0, 16));
 
 }  // namespace
 }  // namespace rheem

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Per-directory line coverage from a gcov-instrumented build.
+
+Walks a build tree for .gcno notes files, asks gcov for JSON intermediate
+records, folds the per-translation-unit line data into per-source-file
+coverage (a line is covered when any TU executed it), and prints a
+per-directory summary for the project's sources.
+
+Used as the CI coverage gate:
+
+    python3 tools/coverage_report.py --build-dir build-cov \
+        --gate-dir src/core --fail-under 85.0
+
+exits non-zero when the aggregate line coverage of --gate-dir falls below
+--fail-under, so regressions in core coverage fail the job.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from collections import defaultdict
+
+
+def find_gcno(build_dir):
+    for dirpath, _, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcno"):
+                yield os.path.abspath(os.path.join(dirpath, name))
+
+
+def gcov_json(gcno_path):
+    """One JSON document per source file compiled into this object."""
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", gcno_path],
+        capture_output=True,
+        cwd=os.path.dirname(gcno_path),
+    )
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            continue
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--source-root", default=".",
+                        help="project root; only sources under it are counted")
+    parser.add_argument("--source-prefix", default="src",
+                        help="report only files under this root-relative prefix")
+    parser.add_argument("--gate-dir", default="src/core",
+                        help="root-relative directory the --fail-under gate applies to")
+    parser.add_argument("--fail-under", type=float, default=None,
+                        help="minimum line coverage %% for --gate-dir")
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.source_root)
+
+    # file (root-relative) -> line number -> executed?  OR-folded across TUs.
+    lines = defaultdict(dict)
+    gcno_files = list(find_gcno(args.build_dir))
+    if not gcno_files:
+        print(f"no .gcno files under {args.build_dir}; "
+              "build with -DRHEEM_COVERAGE=ON first", file=sys.stderr)
+        return 2
+
+    for gcno in gcno_files:
+        for doc in gcov_json(gcno):
+            for f in doc.get("files", []):
+                path = os.path.abspath(
+                    os.path.join(os.path.dirname(gcno), f["file"]))
+                if not path.startswith(root + os.sep):
+                    continue
+                rel = os.path.relpath(path, root)
+                if not rel.startswith(args.source_prefix + os.sep):
+                    continue
+                for entry in f.get("lines", []):
+                    n = entry["line_number"]
+                    hit = entry.get("count", 0) > 0
+                    lines[rel][n] = lines[rel].get(n, False) or hit
+
+    per_dir = defaultdict(lambda: [0, 0])  # dir -> [covered, total]
+    for rel, table in sorted(lines.items()):
+        d = os.path.dirname(rel)
+        per_dir[d][0] += sum(1 for hit in table.values() if hit)
+        per_dir[d][1] += len(table)
+
+    print(f"{'directory':<42} {'covered':>9} {'total':>7} {'line%':>7}")
+    for d in sorted(per_dir):
+        covered, total = per_dir[d]
+        pct = 100.0 * covered / total if total else 0.0
+        print(f"{d:<42} {covered:>9} {total:>7} {pct:>6.1f}%")
+
+    gate_covered = gate_total = 0
+    for rel, table in lines.items():
+        if rel.startswith(args.gate_dir + os.sep) or rel == args.gate_dir:
+            gate_covered += sum(1 for hit in table.values() if hit)
+            gate_total += len(table)
+    gate_pct = 100.0 * gate_covered / gate_total if gate_total else 0.0
+    print(f"\n{args.gate_dir} aggregate: {gate_covered}/{gate_total} "
+          f"lines = {gate_pct:.2f}%")
+
+    if args.fail_under is not None and gate_pct < args.fail_under:
+        print(f"FAIL: {args.gate_dir} line coverage {gate_pct:.2f}% "
+              f"is below the floor of {args.fail_under:.2f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
