@@ -66,7 +66,7 @@ void Run() {
     for (int i = 0; i < kRepeats; ++i) {
       auto data = buffer.Load("tax");
       if (!data.ok()) std::exit(1);
-      sink += RunAnalytics(*data);
+      sink += RunAnalytics(**data);
     }
     const double total_us = static_cast<double>(sw.ElapsedMicros());
     out.AddRow({"hot buffer", Ms(total_us), Ms(total_us / kRepeats),

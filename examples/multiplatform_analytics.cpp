@@ -73,7 +73,7 @@ int main() {
   (void)storage_manager.Execute(*splan, readings);
 
   storage::HotDataBuffer hot(&storage_manager, 1LL << 30);
-  Dataset working = hot.Load("sensor_readings").ValueOrDie();
+  Dataset working = *hot.Load("sensor_readings").ValueOrDie();
 
   // --- processing layer: relational prefix + ML core -----------------------
   // Per-well averages via keyed aggregation (a relational-friendly subplan),

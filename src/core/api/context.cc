@@ -10,6 +10,7 @@
 #include "core/optimizer/enumerator.h"
 #include "core/optimizer/logical_rewrites.h"
 #include "core/service/job_server.h"
+#include "storage/hot_buffer.h"
 #include "platforms/javasim/javasim_platform.h"
 #include "platforms/relsim/relsim_platform.h"
 #include "platforms/sparksim/sparksim_platform.h"
@@ -26,6 +27,21 @@ JobServer& RheemContext::job_server() {
   std::lock_guard<std::mutex> lock(server_mu_);
   if (server_ == nullptr) server_ = std::make_unique<JobServer>(this);
   return *server_;
+}
+
+Status RheemContext::AttachStorage(storage::StorageManager* manager) {
+  if (manager == nullptr) {
+    return Status::InvalidArgument("cannot attach a null StorageManager");
+  }
+  const int64_t capacity =
+      config_.GetInt("storage.hot_buffer_capacity_bytes", 256ll * 1024 * 1024)
+          .ValueOr(256ll * 1024 * 1024);
+  // Replace-then-assign order: the old buffer unregisters its write observer
+  // from the old manager before the new one registers.
+  hot_buffer_.reset();
+  hot_buffer_ = std::make_unique<storage::HotDataBuffer>(manager, capacity);
+  storage_ = manager;
+  return Status::OK();
 }
 
 Result<JobHandle> RheemContext::Submit(const Plan& logical_plan) {

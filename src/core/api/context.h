@@ -22,6 +22,11 @@ class JobServer;   // core/service/job_server.h
 class JobHandle;
 struct JobOptions;
 
+namespace storage {
+class StorageManager;  // storage/storage_plan.h
+class HotDataBuffer;   // storage/hot_buffer.h
+}  // namespace storage
+
 /// Per-job execution knobs consumed by RheemContext::Compile/Execute.
 struct ExecutionOptions {
   /// Non-empty: bypass platform choice and run everything here (the
@@ -88,6 +93,19 @@ class RheemContext {
   /// The context's serving layer (lazily created on first use).
   JobServer& job_server();
 
+  /// Attaches a storage layer to this context and fronts it with a hot-data
+  /// buffer (capacity `storage.hot_buffer_capacity_bytes`, default 256 MiB):
+  /// RheemJob::LoadFromStorage calls against this manager are served from
+  /// the buffer, so repeated loads skip the backend parse path. The manager
+  /// is borrowed and must outlive the context; re-attaching replaces the
+  /// previous buffer.
+  Status AttachStorage(storage::StorageManager* manager);
+
+  /// The attached manager / its hot-data buffer; nullptr before
+  /// AttachStorage.
+  storage::StorageManager* storage() const { return storage_; }
+  storage::HotDataBuffer* hot_buffer() const { return hot_buffer_.get(); }
+
   /// Translates a logical plan (GenericLogicalOp nodes and/or arbitrary
   /// per-quantum LogicalOperator subclasses, which get wrapper physical
   /// operators) into a physical plan. `pins` receives physical-op-id ->
@@ -100,6 +118,8 @@ class RheemContext {
   Config config_;
   PlatformRegistry registry_;
   MovementCostModel movement_;
+  storage::StorageManager* storage_ = nullptr;  // not owned
+  std::unique_ptr<storage::HotDataBuffer> hot_buffer_;
   std::mutex server_mu_;  // guards lazy creation of server_
   // Declared last: jobs reference the registry's platforms, so the server
   // must drain before anything else is torn down.

@@ -1,6 +1,7 @@
 #include "core/api/data_quanta.h"
 
 #include "common/logging.h"
+#include "storage/hot_buffer.h"
 
 namespace rheem {
 
@@ -15,8 +16,26 @@ DataQuanta RheemJob::LoadCollection(Dataset data) {
 
 Result<DataQuanta> RheemJob::LoadFromStorage(
     const storage::StorageManager& manager, const std::string& dataset) {
+  storage::HotDataBuffer* buffer = ctx_->hot_buffer();
+  if (buffer != nullptr && buffer->manager() == &manager) {
+    RHEEM_ASSIGN_OR_RETURN(std::shared_ptr<const Dataset> data,
+                           buffer->Load(dataset));
+    return LoadCollection(*data);
+  }
   RHEEM_ASSIGN_OR_RETURN(Dataset data, manager.Load(dataset));
   return LoadCollection(std::move(data));
+}
+
+Result<DataQuanta> RheemJob::LoadFromStorage(const std::string& dataset) {
+  storage::HotDataBuffer* buffer = ctx_->hot_buffer();
+  if (buffer == nullptr) {
+    return Status::InvalidArgument(
+        "no storage attached to this context — call "
+        "RheemContext::AttachStorage first");
+  }
+  RHEEM_ASSIGN_OR_RETURN(std::shared_ptr<const Dataset> data,
+                         buffer->Load(dataset));
+  return LoadCollection(*data);
 }
 
 GenericLogicalOp* DataQuanta::Append(

@@ -140,9 +140,17 @@ class RheemJob {
 
   /// Starts a dataflow from a dataset resident on the storage layer —
   /// locating it on whichever backend holds it (the processing/storage
-  /// bridge between the paper's two abstractions).
+  /// bridge between the paper's two abstractions). When `manager` is the one
+  /// attached to the context (RheemContext::AttachStorage), the load is
+  /// served through the context's hot-data buffer: repeated loads skip the
+  /// backend parse path, and writes through the manager invalidate the
+  /// buffered entry.
   Result<DataQuanta> LoadFromStorage(const storage::StorageManager& manager,
                                      const std::string& dataset);
+
+  /// Same, against the context's attached storage layer; errors when no
+  /// storage is attached.
+  Result<DataQuanta> LoadFromStorage(const std::string& dataset);
 
   RheemContext* context() const { return ctx_; }
   Plan& logical_plan() { return *plan_; }

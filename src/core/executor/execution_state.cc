@@ -3,6 +3,10 @@
 namespace rheem {
 
 void ExecutionState::Put(int op_id, Dataset data) {
+  store_[op_id] = std::make_shared<const Dataset>(std::move(data));
+}
+
+void ExecutionState::Put(int op_id, std::shared_ptr<const Dataset> data) {
   store_[op_id] = std::move(data);
 }
 
@@ -12,7 +16,17 @@ Result<const Dataset*> ExecutionState::Get(int op_id) const {
     return Status::ExecutionError("no materialized result for operator #" +
                                   std::to_string(op_id));
   }
-  return &it->second;
+  return it->second.get();
+}
+
+Result<std::shared_ptr<const Dataset>> ExecutionState::GetShared(
+    int op_id) const {
+  auto it = store_.find(op_id);
+  if (it == store_.end()) {
+    return Status::ExecutionError("no materialized result for operator #" +
+                                  std::to_string(op_id));
+  }
+  return it->second;
 }
 
 void ExecutionState::Evict(int op_id) { store_.erase(op_id); }

@@ -1,6 +1,7 @@
 #ifndef RHEEM_CORE_EXECUTOR_EXECUTION_STATE_H_
 #define RHEEM_CORE_EXECUTOR_EXECUTION_STATE_H_
 
+#include <memory>
 #include <unordered_map>
 
 #include "common/result.h"
@@ -12,14 +13,22 @@ namespace rheem {
 ///
 /// Keyed by producer operator id. The executor writes each stage's boundary
 /// outputs here and assembles the BoundaryMap for downstream stages from it.
+///
+/// Results are held as shared const datasets so the same materialization can
+/// simultaneously live here, in the cross-job ResultCache, and in a consumer
+/// stage — boundary reuse never copies rows.
 class ExecutionState {
  public:
   ExecutionState() = default;
 
   void Put(int op_id, Dataset data);
+  void Put(int op_id, std::shared_ptr<const Dataset> data);
 
   /// Borrow a stored dataset; errors when the producer has not run.
   Result<const Dataset*> Get(int op_id) const;
+
+  /// Like Get but shares ownership (e.g. to insert into a result cache).
+  Result<std::shared_ptr<const Dataset>> GetShared(int op_id) const;
 
   bool Has(int op_id) const { return store_.count(op_id) > 0; }
 
@@ -29,7 +38,7 @@ class ExecutionState {
   std::size_t size() const { return store_.size(); }
 
  private:
-  std::unordered_map<int, Dataset> store_;
+  std::unordered_map<int, std::shared_ptr<const Dataset>> store_;
 };
 
 }  // namespace rheem

@@ -4,10 +4,13 @@
 #include <condition_variable>
 #include <deque>
 #include <filesystem>
+#include <iterator>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "common/csv.h"
@@ -16,6 +19,7 @@
 #include "common/stopwatch.h"
 #include "common/trace.h"
 #include "core/executor/execution_state.h"
+#include "core/executor/result_cache.h"
 #include "data/serialization.h"
 
 namespace rheem {
@@ -129,7 +133,9 @@ std::string BuildExecutionReport(
      << " moved_bytes=" << metrics.moved_bytes
      << " shuffle_bytes=" << metrics.shuffle_bytes
      << " tasks_launched=" << metrics.tasks_launched
-     << " fused_operators=" << metrics.fused_operators << "\n";
+     << " fused_operators=" << metrics.fused_operators
+     << " stages_reused=" << metrics.stages_reused
+     << " conversions_reused=" << metrics.boundary_conversions_reused << "\n";
   return os.str();
 }
 
@@ -179,6 +185,11 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
   Counter* restored_counter = registry.counter("executor.stages_restored_total");
   Counter* moved_records_counter = registry.counter("executor.moved_records_total");
   Counter* moved_bytes_counter = registry.counter("executor.moved_bytes_total");
+  Counter* reused_counter = registry.counter("result_cache.stages_skipped");
+  Counter* boundary_hits_counter =
+      registry.counter("executor.boundary_cache_hits");
+  Counter* boundary_misses_counter =
+      registry.counter("executor.boundary_cache_misses");
   Histogram* stage_wall_histogram =
       registry.histogram("executor.stage_wall_us", DefaultLatencyBoundsMicros());
   CountIfEnabled(registry.counter("executor.jobs_total"), 1);
@@ -204,11 +215,99 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
   // Guards `state`, `metrics` and `consumers_left` when stages run
   // concurrently. Datasets borrowed from `state` stay valid while held: a
   // stage's inputs keep a positive consumer count until the stage finishes,
-  // and ExecutionState is node-based, so unrelated Put/Evict don't move them.
+  // and ExecutionState holds shared const datasets, so unrelated Put/Evict
+  // don't move them.
   std::mutex mu;
+
+  // Sub-plan fingerprints power cross-job reuse: a stage whose every output
+  // is already in the result cache is skipped. Fingerprinting failures just
+  // disable reuse for this job; they never fail the job itself.
+  const bool use_result_cache =
+      result_cache_ != nullptr && result_cache_->enabled();
+  std::map<int, uint64_t> subplan_fps;
+  if (use_result_cache) {
+    auto fps = ComputeSubPlanFingerprints(eplan);
+    if (fps.ok()) {
+      subplan_fps = std::move(fps).ValueOrDie();
+    } else {
+      RHEEM_LOG(Warning) << "result-cache fingerprinting disabled: "
+                         << fps.status().ToString();
+    }
+  }
+  auto fingerprint_of = [&](int op_id) -> const uint64_t* {
+    auto it = subplan_fps.find(op_id);
+    return it == subplan_fps.end() ? nullptr : &it->second;
+  };
+
+  // Per-job boundary-conversion cache: one encode/decode per
+  // (producer, target platform) edge no matter how many consumer stages
+  // share it. Movement totals are charged exactly once per edge, in both
+  // the serialized and the approximated (non-serialized) path.
+  std::map<std::pair<int, std::string>, std::shared_ptr<const Dataset>>
+      conversion_cache;                              // guarded by `mu`
+  std::set<std::pair<int, std::string>> moved_edges;  // guarded by `mu`
 
   auto run_stage = [&](const Stage& stage) -> Status {
     RHEEM_RETURN_IF_ERROR(stop_.Check());
+
+    // Inputs this stage holds are released once it is done with them —
+    // shared with the executed path below.
+    auto release_inputs = [&]() {
+      std::lock_guard<std::mutex> lock(mu);
+      for (const Operator* producer : stage.boundary_inputs()) {
+        auto it = consumers_left.find(producer->id());
+        if (it != consumers_left.end() && --it->second == 0 &&
+            producer != eplan.plan->sink()) {
+          state.Evict(producer->id());
+          for (auto c = conversion_cache.begin(); c != conversion_cache.end();) {
+            c = c->first.first == producer->id() ? conversion_cache.erase(c)
+                                                 : std::next(c);
+          }
+        }
+      }
+    };
+
+    // Materialized-result reuse (paper §4.2: the Executor "reuses
+    // materialized results"): when every output of this stage is cached
+    // under its sub-plan fingerprint, skip execution and surface the cached
+    // datasets — zero rows copied, zero platform work.
+    if (use_result_cache && !stage.outputs().empty() && !subplan_fps.empty()) {
+      std::vector<std::shared_ptr<const Dataset>> cached;
+      cached.reserve(stage.outputs().size());
+      for (const Operator* out : stage.outputs()) {
+        const uint64_t* fp = fingerprint_of(out->id());
+        std::shared_ptr<const Dataset> hit =
+            fp != nullptr ? result_cache_->Lookup(*fp) : nullptr;
+        if (hit == nullptr) break;
+        cached.push_back(std::move(hit));
+      }
+      if (cached.size() == stage.outputs().size()) {
+        TraceSpan reuse_span("stage", "executor", exec_span_id);
+        reuse_span.AddTag("stage", static_cast<int64_t>(stage.id()));
+        reuse_span.AddTag("platform", stage.platform()->name());
+        reuse_span.AddTag("reuse", "result_cache");
+        CountIfEnabled(reused_counter, 1);
+        ExecutionMonitor::StageRecord record;
+        record.stage_id = stage.id();
+        record.platform = stage.platform()->name();
+        record.succeeded = true;
+        record.error = "reused from result cache";
+        for (const auto& data : cached) {
+          record.output_records += static_cast<int64_t>(data->size());
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          metrics.stages_reused += 1;
+          for (std::size_t i = 0; i < cached.size(); ++i) {
+            state.Put(stage.outputs()[i]->id(), std::move(cached[i]));
+          }
+          if (want_report) report_records.push_back(record);
+        }
+        if (monitor_ != nullptr) monitor_->RecordStage(record);
+        release_inputs();
+        return Status::OK();
+      }
+    }
 
     // Fault recovery: if every product of this stage survives from a prior
     // run of the same job id, restore it instead of re-executing.
@@ -253,13 +352,15 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
 
     // Assemble this stage's boundary inputs, converting across platforms.
     BoundaryMap boundary;
-    std::vector<Dataset> converted;  // keep conversions alive for the call
-    converted.reserve(stage.boundary_inputs().size());
+    // Shares ownership of borrowed inputs and conversions for the call, so
+    // concurrent eviction can never pull a dataset out from under a stage.
+    std::vector<std::shared_ptr<const Dataset>> held;
+    held.reserve(stage.boundary_inputs().size());
     for (const Operator* producer : stage.boundary_inputs()) {
-      const Dataset* data = nullptr;
+      std::shared_ptr<const Dataset> data;
       {
         std::lock_guard<std::mutex> lock(mu);
-        RHEEM_ASSIGN_OR_RETURN(data, state.Get(producer->id()));
+        RHEEM_ASSIGN_OR_RETURN(data, state.GetShared(producer->id()));
       }
       Platform* from =
           eplan.assignment.by_op.count(producer->id()) > 0
@@ -267,35 +368,83 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
               : nullptr;
       const bool crosses = from != nullptr && from != stage.platform();
       if (crosses) {
+        const auto edge =
+            std::make_pair(producer->id(), stage.platform()->name());
         if (serialize_boundaries) {
+          std::shared_ptr<const Dataset> conv;
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            auto it = conversion_cache.find(edge);
+            if (it != conversion_cache.end()) conv = it->second;
+          }
+          if (conv != nullptr) {
+            // Another consumer stage already paid this edge's conversion.
+            CountIfEnabled(boundary_hits_counter, 1);
+            {
+              std::lock_guard<std::mutex> lock(mu);
+              metrics.boundary_conversions_reused += 1;
+            }
+            boundary[producer->id()] = conv.get();
+            held.push_back(std::move(conv));
+            continue;
+          }
+          CountIfEnabled(boundary_misses_counter, 1);
           // Real work: encode on the producer side, decode on the consumer
-          // side (ChannelKind::kSerializedStream).
+          // side (ChannelKind::kSerializedStream); runs outside the lock.
           Stopwatch sw;
           std::string wire = Serializer::EncodeDataset(*data);
           auto decoded = Serializer::DecodeDataset(wire);
           if (!decoded.ok()) {
             return decoded.status().WithContext("boundary conversion");
           }
-          converted.push_back(std::move(decoded).ValueOrDie());
-          CountIfEnabled(moved_records_counter, static_cast<int64_t>(data->size()));
-          CountIfEnabled(moved_bytes_counter, static_cast<int64_t>(wire.size()));
+          auto shared =
+              std::make_shared<const Dataset>(std::move(decoded).ValueOrDie());
+          bool inserted = false;
           {
             std::lock_guard<std::mutex> lock(mu);
-            metrics.moved_records += static_cast<int64_t>(data->size());
-            metrics.moved_bytes += static_cast<int64_t>(wire.size());
-            metrics.wall_micros += sw.ElapsedMicros();
+            auto emplaced = conversion_cache.emplace(edge, shared);
+            inserted = emplaced.second;
+            if (!inserted) {
+              // Raced with another consumer: share the winner's conversion
+              // and charge nothing — the edge was already paid for.
+              shared = emplaced.first->second;
+              metrics.boundary_conversions_reused += 1;
+            } else {
+              // Movement totals: exactly once per (producer, platform) edge.
+              metrics.moved_records += static_cast<int64_t>(data->size());
+              metrics.moved_bytes += static_cast<int64_t>(wire.size());
+              metrics.wall_micros += sw.ElapsedMicros();
+            }
           }
-          boundary[producer->id()] = &converted.back();
+          if (inserted) {
+            CountIfEnabled(moved_records_counter,
+                           static_cast<int64_t>(data->size()));
+            CountIfEnabled(moved_bytes_counter,
+                           static_cast<int64_t>(wire.size()));
+          }
+          boundary[producer->id()] = shared.get();
+          held.push_back(std::move(shared));
           continue;
         }
-        const int64_t approx_bytes = Serializer::EncodedSize(*data);
-        CountIfEnabled(moved_records_counter, static_cast<int64_t>(data->size()));
-        CountIfEnabled(moved_bytes_counter, approx_bytes);
-        std::lock_guard<std::mutex> lock(mu);
-        metrics.moved_records += static_cast<int64_t>(data->size());
-        metrics.moved_bytes += approx_bytes;
+        // Approximated movement (no real conversion): still charge each
+        // edge exactly once, however many consumer stages share it.
+        bool first_crossing = false;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          first_crossing = moved_edges.insert(edge).second;
+        }
+        if (first_crossing) {
+          const int64_t approx_bytes = Serializer::EncodedSize(*data);
+          CountIfEnabled(moved_records_counter,
+                         static_cast<int64_t>(data->size()));
+          CountIfEnabled(moved_bytes_counter, approx_bytes);
+          std::lock_guard<std::mutex> lock(mu);
+          metrics.moved_records += static_cast<int64_t>(data->size());
+          metrics.moved_bytes += approx_bytes;
+        }
       }
-      boundary[producer->id()] = data;
+      boundary[producer->id()] = data.get();
+      held.push_back(std::move(data));
     }
 
     // Execute with retries.
@@ -356,13 +505,28 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
             }
           }
         }
+        // Wrap outputs as shared const datasets: the same materialization is
+        // handed to the execution state and (below) the cross-job result
+        // cache without copying.
+        std::vector<std::shared_ptr<const Dataset>> shared_outs;
+        shared_outs.reserve(out.size());
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          shared_outs.push_back(
+              std::make_shared<const Dataset>(std::move(out[i])));
+        }
         {
           std::lock_guard<std::mutex> lock(mu);
           metrics.MergeFrom(stage_metrics);
           metrics.wall_micros += wall;
           metrics.stages_run += 1;
-          for (std::size_t i = 0; i < out.size(); ++i) {
-            state.Put(stage.outputs()[i]->id(), std::move(out[i]));
+          for (std::size_t i = 0; i < shared_outs.size(); ++i) {
+            state.Put(stage.outputs()[i]->id(), shared_outs[i]);
+          }
+        }
+        if (use_result_cache) {
+          for (std::size_t i = 0; i < shared_outs.size(); ++i) {
+            const uint64_t* fp = fingerprint_of(stage.outputs()[i]->id());
+            if (fp != nullptr) result_cache_->Insert(*fp, shared_outs[i]);
           }
         }
         record.succeeded = true;
@@ -391,17 +555,9 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
           std::to_string(max_retries + 1) + " attempt(s)");
     }
 
-    // Evict boundary inputs no longer needed by later stages.
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      for (const Operator* producer : stage.boundary_inputs()) {
-        auto it = consumers_left.find(producer->id());
-        if (it != consumers_left.end() && --it->second == 0 &&
-            producer != eplan.plan->sink()) {
-          state.Evict(producer->id());
-        }
-      }
-    }
+    // Evict boundary inputs (and their cached conversions) that no later
+    // stage needs.
+    release_inputs();
     return Status::OK();
   };
 

@@ -12,6 +12,8 @@
 
 namespace rheem {
 
+class ResultCache;  // core/executor/result_cache.h
+
 /// \brief Result of executing one RHEEM job end to end.
 struct ExecutionResult {
   Dataset output;
@@ -35,7 +37,10 @@ struct ExecutionResult {
 ///
 /// Cross-platform boundaries perform *real* serialization+deserialization of
 /// the crossing datasets (ChannelKind::kSerializedStream), so the movement
-/// costs reported by benchmarks are measured, not modelled.
+/// costs reported by benchmarks are measured, not modelled. Within one job a
+/// producer crossing to several consumer stages on the same foreign platform
+/// is encoded/decoded once — later consumers share the first conversion —
+/// and movement totals count each (producer, target platform) edge once.
 ///
 /// Config keys:
 ///   executor.max_retries        (int, default 2)   retries per failed stage
@@ -70,6 +75,13 @@ class CrossPlatformExecutor {
   /// Cancelled / DeadlineExceeded.
   void set_stop_condition(StopCondition stop) { stop_ = stop; }
 
+  /// Cross-job sub-plan result cache (not owned; typically the JobServer's).
+  /// When set and enabled, a stage whose every output is cached under its
+  /// sub-plan fingerprint is skipped entirely, and every executed stage's
+  /// outputs are inserted for future jobs. Reuse relies on the
+  /// Operator::FingerprintToken contract — see ResultCache.
+  void set_result_cache(ResultCache* cache) { result_cache_ = cache; }
+
   /// Runs all stages of `eplan` and returns the plan sink's output.
   Result<ExecutionResult> Execute(const ExecutionPlan& eplan);
 
@@ -78,6 +90,7 @@ class CrossPlatformExecutor {
   FailureInjector failure_injector_;
   ExecutionMonitor* monitor_ = nullptr;  // optional, not owned
   ThreadPool* pool_ = nullptr;           // optional, not owned
+  ResultCache* result_cache_ = nullptr;  // optional, not owned
   StopCondition stop_;
 };
 

@@ -15,14 +15,16 @@ void ExecutionMetrics::MergeFrom(const ExecutionMetrics& other) {
   moved_bytes += other.moved_bytes;
   retries += other.retries;
   fused_operators += other.fused_operators;
+  stages_reused += other.stages_reused;
+  boundary_conversions_reused += other.boundary_conversions_reused;
 }
 
 std::string ExecutionMetrics::ToString() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "total=%.3fms (wall=%.3fms sim=%.3fms) jobs=%lld stages=%lld "
                 "tasks=%lld shuffle=%lldB moved=%lldrec/%lldB retries=%lld "
-                "fused=%lld",
+                "fused=%lld reused=%lld conv_reused=%lld",
                 static_cast<double>(TotalMicros()) * 1e-3,
                 static_cast<double>(wall_micros) * 1e-3,
                 static_cast<double>(sim_overhead_micros) * 1e-3,
@@ -33,7 +35,9 @@ std::string ExecutionMetrics::ToString() const {
                 static_cast<long long>(moved_records),
                 static_cast<long long>(moved_bytes),
                 static_cast<long long>(retries),
-                static_cast<long long>(fused_operators));
+                static_cast<long long>(fused_operators),
+                static_cast<long long>(stages_reused),
+                static_cast<long long>(boundary_conversions_reused));
   return buf;
 }
 

@@ -33,6 +33,8 @@ struct ExecutionMetrics {
   int64_t moved_bytes = 0;     // across platform boundaries
   int64_t retries = 0;
   int64_t fused_operators = 0;  // operators executed inside fused pipelines
+  int64_t stages_reused = 0;    // stages skipped via the sub-plan result cache
+  int64_t boundary_conversions_reused = 0;  // cross-platform encodes shared
 
   int64_t TotalMicros() const { return wall_micros + sim_overhead_micros; }
   double TotalSeconds() const { return static_cast<double>(TotalMicros()) * 1e-6; }

@@ -79,7 +79,11 @@ JobServer::JobServer(RheemContext* ctx)
       trace_path_(ctx->config().GetString("trace.path", "").ValueOr("")),
       cache_(static_cast<std::size_t>(std::max<int64_t>(
           0,
-          ctx->config().GetInt("service.plan_cache_capacity", 64).ValueOr(64)))) {
+          ctx->config().GetInt("service.plan_cache_capacity", 64).ValueOr(64)))),
+      result_cache_(ctx->config()
+                        .GetInt("executor.result_cache_capacity_bytes",
+                                64ll * 1024 * 1024)
+                        .ValueOr(64ll * 1024 * 1024)) {
   ApplyObservabilityConfig(ctx->config());
   workers_.reserve(max_concurrent_);
   for (std::size_t i = 0; i < max_concurrent_; ++i) {
@@ -243,6 +247,11 @@ Result<ExecutionResult> JobServer::RunJobInner(
   if (eo.monitor != nullptr) executor.set_monitor(eo.monitor);
   if (eo.failure_injector) executor.set_failure_injector(eo.failure_injector);
   executor.set_stop_condition(stop);
+  // Materialized-result reuse across jobs: stages whose outputs another job
+  // already computed (same sub-plan fingerprint) are skipped entirely.
+  if (job->options.use_result_cache) {
+    executor.set_result_cache(&result_cache_);
+  }
   return executor.Execute(compiled->eplan);
 }
 
@@ -323,6 +332,7 @@ JobServerStats JobServer::stats() const {
   s.queued = queue_.size();
   s.running = running_.size();
   s.cache = cache_.stats();
+  s.result_cache = result_cache_.stats();
   return s;
 }
 

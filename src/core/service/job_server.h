@@ -12,6 +12,7 @@
 
 #include "core/api/context.h"
 #include "core/executor/cancellation.h"
+#include "core/executor/result_cache.h"
 #include "core/service/plan_cache.h"
 
 namespace rheem {
@@ -37,6 +38,11 @@ struct JobOptions {
   /// Disable to force a fresh compile for this submission (e.g. when the
   /// caller knows its UDF closures differ from a structurally equal plan).
   bool use_plan_cache = true;
+  /// Disable to bypass the server's materialized-result cache for this
+  /// submission: no cached stage outputs are reused and none of this job's
+  /// outputs are published. Same escape hatch as use_plan_cache for callers
+  /// whose UDF closures violate the FingerprintToken contract.
+  bool use_result_cache = true;
 };
 
 namespace internal {
@@ -102,6 +108,7 @@ struct JobServerStats {
   std::size_t queued = 0;   // currently waiting
   std::size_t running = 0;  // currently in a worker
   PlanCache::Stats cache;
+  ResultCache::Stats result_cache;
 };
 
 /// \brief The serving layer above RheemContext: accepts concurrent job
@@ -125,6 +132,8 @@ struct JobServerStats {
 ///   service.max_concurrent       (int, default 4)  worker threads
 ///   service.queue_depth          (int, default 16) max waiting jobs
 ///   service.plan_cache_capacity  (int, default 64) 0 disables the cache
+///   executor.result_cache_capacity_bytes (int, default 64MiB): budget of the
+///       cross-job materialized-result cache; 0 disables result reuse
 class JobServer {
  public:
   explicit JobServer(RheemContext* ctx);
@@ -148,6 +157,7 @@ class JobServer {
 
   JobServerStats stats() const;
   PlanCache& plan_cache() { return cache_; }
+  ResultCache& result_cache() { return result_cache_; }
 
  private:
   void WorkerLoop();
@@ -168,6 +178,7 @@ class JobServer {
   std::size_t queue_depth_;
   std::string trace_path_;  // "" = no per-job Chrome trace writes
   PlanCache cache_;
+  ResultCache result_cache_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

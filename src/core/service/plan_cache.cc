@@ -7,9 +7,11 @@ std::shared_ptr<const CompiledJob> PlanCache::Lookup(uint64_t key) {
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
+    ++lifetime_misses_;
     return nullptr;
   }
   ++hits_;
+  ++lifetime_hits_;
   lru_.splice(lru_.begin(), lru_, it->second);  // move to front
   return it->second->second;
 }
@@ -36,6 +38,8 @@ PlanCache::Stats PlanCache::stats() const {
   Stats s;
   s.hits = hits_;
   s.misses = misses_;
+  s.lifetime_hits = lifetime_hits_;
+  s.lifetime_misses = lifetime_misses_;
   s.size = lru_.size();
   s.capacity = capacity_;
   return s;
@@ -45,6 +49,10 @@ void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+  // A cleared cache starts its statistics over: stale hit/miss counts would
+  // misreport the post-clear hit rate. Lifetime totals keep the history.
+  hits_ = 0;
+  misses_ = 0;
 }
 
 }  // namespace rheem

@@ -27,8 +27,12 @@ namespace rheem {
 class PlanCache {
  public:
   struct Stats {
+    /// Hit/miss counts since construction or the last Clear().
     int64_t hits = 0;
     int64_t misses = 0;
+    /// Hit/miss counts over the cache's whole lifetime (survive Clear()).
+    int64_t lifetime_hits = 0;
+    int64_t lifetime_misses = 0;
     std::size_t size = 0;
     std::size_t capacity = 0;
   };
@@ -48,6 +52,9 @@ class PlanCache {
 
   Stats stats() const;
 
+  /// Empties the cache and resets the current hit/miss counters, so stats()
+  /// after a Clear() describes only post-clear traffic. Lifetime totals are
+  /// kept separately in Stats::lifetime_hits / lifetime_misses.
   void Clear();
 
  private:
@@ -57,6 +64,8 @@ class PlanCache {
   std::size_t capacity_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
+  int64_t lifetime_hits_ = 0;
+  int64_t lifetime_misses_ = 0;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
 };

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/result.h"
@@ -20,34 +22,55 @@ namespace storage {
 /// benchmark measures the exact effect the paper predicts: repeated
 /// analytics over a CSV-resident dataset pay the text parse once instead of
 /// every run.
+///
+/// Thread-safe: the DAG-parallel executor and concurrent JobServer workers
+/// load sources from many threads at once; all bookkeeping is guarded by an
+/// internal mutex. A hit is O(1) — the cached dataset is returned as a
+/// shared const pointer, never copied. On construction the buffer registers
+/// itself as a write observer of its StorageManager, so any write routed
+/// through the manager (Put/Delete/Execute) invalidates the stale entry;
+/// writes that go straight to a backend bypass this hook and require a
+/// manual Invalidate().
+///
+/// Emits `hot_buffer.hits` / `hot_buffer.misses` counters and the
+/// `hot_buffer.resident_bytes` gauge into the process-wide MetricsRegistry.
 class HotDataBuffer {
  public:
-  HotDataBuffer(StorageManager* manager, int64_t capacity_bytes)
-      : manager_(manager), capacity_bytes_(capacity_bytes) {}
+  HotDataBuffer(StorageManager* manager, int64_t capacity_bytes);
+  ~HotDataBuffer();
 
-  /// Loads `dataset` through the cache.
-  Result<Dataset> Load(const std::string& dataset);
+  HotDataBuffer(const HotDataBuffer&) = delete;
+  HotDataBuffer& operator=(const HotDataBuffer&) = delete;
+
+  /// Loads `dataset` through the cache. Hits return the cached dataset
+  /// without copying a single row; callers must treat it as immutable.
+  Result<std::shared_ptr<const Dataset>> Load(const std::string& dataset);
 
   /// Drops a cached entry (e.g. after the dataset was rewritten).
   void Invalidate(const std::string& dataset);
   void Clear();
 
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
-  int64_t resident_bytes() const { return resident_bytes_; }
-  std::size_t resident_entries() const { return cache_.size(); }
+  StorageManager* manager() const { return manager_; }
+
+  int64_t hits() const;
+  int64_t misses() const;
+  int64_t resident_bytes() const;
+  std::size_t resident_entries() const;
 
  private:
-  void EvictUntilFits(int64_t incoming_bytes);
+  void EvictUntilFitsLocked(int64_t incoming_bytes);
 
   struct Entry {
-    Dataset data;
+    std::shared_ptr<const Dataset> data;
     int64_t bytes = 0;
     std::list<std::string>::iterator lru_pos;
   };
 
   StorageManager* manager_;
-  int64_t capacity_bytes_;
+  const int64_t capacity_bytes_;
+  int observer_id_ = -1;
+
+  mutable std::mutex mu_;
   std::map<std::string, Entry> cache_;
   std::list<std::string> lru_;  // front = most recent
   int64_t resident_bytes_ = 0;

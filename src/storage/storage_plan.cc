@@ -46,26 +46,96 @@ std::vector<StorageBackend*> StorageManager::Backends() const {
 Status StorageManager::Execute(const StoragePlan& plan, const Dataset& data) {
   for (const StorageAtom& atom : plan.atoms) {
     RHEEM_ASSIGN_OR_RETURN(StorageBackend * backend, Backend(atom.backend));
+    // Transform outside the write lock; only the materialization mutates
+    // backend state.
     RHEEM_ASSIGN_OR_RETURN(Dataset transformed, atom.transform.Apply(data));
-    if (atom.key_column >= 0) {
-      // Keyed materialization where supported.
-      if (auto* kv = dynamic_cast<KvStore*>(backend)) {
+    {
+      std::unique_lock<std::shared_mutex> lock(data_mu_);
+      auto* kv = atom.key_column >= 0 ? dynamic_cast<KvStore*>(backend)
+                                      : nullptr;
+      if (kv != nullptr) {
+        // Keyed materialization where supported.
         RHEEM_RETURN_IF_ERROR(
             kv->PutKeyed(atom.dataset, transformed, atom.key_column));
-        continue;
+      } else {
+        RHEEM_RETURN_IF_ERROR(backend->Put(atom.dataset, transformed));
       }
     }
-    RHEEM_RETURN_IF_ERROR(backend->Put(atom.dataset, transformed));
+    NotifyWrite(atom.dataset);
   }
   return Status::OK();
 }
 
+Status StorageManager::Put(const std::string& backend,
+                           const std::string& dataset, const Dataset& data) {
+  RHEEM_ASSIGN_OR_RETURN(StorageBackend * b, Backend(backend));
+  {
+    std::unique_lock<std::shared_mutex> lock(data_mu_);
+    RHEEM_RETURN_IF_ERROR(b->Put(dataset, data));
+  }
+  NotifyWrite(dataset);
+  return Status::OK();
+}
+
+Status StorageManager::Delete(const std::string& dataset) {
+  bool found = false;
+  {
+    std::unique_lock<std::shared_mutex> lock(data_mu_);
+    for (const auto& b : backends_) {
+      if (!b->Exists(dataset)) continue;
+      RHEEM_RETURN_IF_ERROR(b->Delete(dataset));
+      found = true;
+    }
+  }
+  if (!found) {
+    return Status::NotFound("dataset '" + dataset +
+                            "' not found on any backend");
+  }
+  NotifyWrite(dataset);
+  return Status::OK();
+}
+
+int StorageManager::AddWriteObserver(WriteObserver observer) {
+  std::lock_guard<std::mutex> lock(observer_mu_);
+  const int id = next_observer_id_++;
+  observers_.emplace_back(id, std::move(observer));
+  return id;
+}
+
+void StorageManager::RemoveWriteObserver(int id) {
+  std::lock_guard<std::mutex> lock(observer_mu_);
+  for (auto it = observers_.begin(); it != observers_.end(); ++it) {
+    if (it->first == id) {
+      observers_.erase(it);
+      return;
+    }
+  }
+}
+
+void StorageManager::NotifyWrite(const std::string& dataset) const {
+  // Copy under the lock so an observer removing itself mid-notify is safe.
+  std::vector<WriteObserver> observers;
+  {
+    std::lock_guard<std::mutex> lock(observer_mu_);
+    observers.reserve(observers_.size());
+    for (const auto& [id, fn] : observers_) observers.push_back(fn);
+  }
+  for (const WriteObserver& fn : observers) fn(dataset);
+}
+
 Result<Dataset> StorageManager::Load(const std::string& dataset) const {
-  RHEEM_ASSIGN_OR_RETURN(StorageBackend * backend, Locate(dataset));
+  std::shared_lock<std::shared_mutex> lock(data_mu_);
+  RHEEM_ASSIGN_OR_RETURN(StorageBackend * backend, LocateLocked(dataset));
   return backend->Get(dataset);
 }
 
 Result<StorageBackend*> StorageManager::Locate(const std::string& dataset) const {
+  std::shared_lock<std::shared_mutex> lock(data_mu_);
+  return LocateLocked(dataset);
+}
+
+Result<StorageBackend*> StorageManager::LocateLocked(
+    const std::string& dataset) const {
   for (const auto& b : backends_) {
     if (b->Exists(dataset)) return b.get();
   }

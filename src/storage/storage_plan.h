@@ -1,8 +1,12 @@
 #ifndef RHEEM_STORAGE_STORAGE_PLAN_H_
 #define RHEEM_STORAGE_STORAGE_PLAN_H_
 
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -36,8 +40,17 @@ struct StoragePlan {
 /// \brief Registry of storage backends plus the plan executor — the runtime
 /// half of the storage abstraction. The optimizer half lives in
 /// storage_optimizer.h.
+///
+/// Loads and writes routed through the manager are safe to issue
+/// concurrently: a reader-writer lock serializes writers against readers,
+/// so a Load never observes a half-written dataset. Direct
+/// StorageBackend::Put/Get calls bypass that lock (and the write
+/// observers) — backends themselves are not required to be thread-safe.
 class StorageManager {
  public:
+  /// Called after a dataset is (re)written or deleted through the manager.
+  using WriteObserver = std::function<void(const std::string& dataset)>;
+
   StorageManager() = default;
 
   StorageManager(const StorageManager&) = delete;
@@ -47,16 +60,45 @@ class StorageManager {
   Result<StorageBackend*> Backend(const std::string& name) const;
   std::vector<StorageBackend*> Backends() const;
 
-  /// Executes every atom of `plan` over `data`.
+  /// Executes every atom of `plan` over `data`. Notifies write observers
+  /// per materialized atom.
   Status Execute(const StoragePlan& plan, const Dataset& data);
+
+  /// Writes `data` under `dataset` on the named backend and notifies the
+  /// write observers (hot buffers drop their now-stale entry). Writes that
+  /// bypass the manager (StorageBackend::Put directly) do NOT notify.
+  Status Put(const std::string& backend, const std::string& dataset,
+             const Dataset& data);
+
+  /// Deletes `dataset` from every backend holding it; notifies observers.
+  Status Delete(const std::string& dataset);
 
   /// Finds the dataset on whichever backend holds it (first match in
   /// registration order).
   Result<Dataset> Load(const std::string& dataset) const;
   Result<StorageBackend*> Locate(const std::string& dataset) const;
 
+  /// Registers a callback fired after any write routed through the manager.
+  /// Returns an id for RemoveWriteObserver. Thread-safe; the callback may be
+  /// invoked from whichever thread performs the write and must not call back
+  /// into the manager's write path.
+  int AddWriteObserver(WriteObserver observer);
+  void RemoveWriteObserver(int id);
+
  private:
+  void NotifyWrite(const std::string& dataset) const;
+  Result<StorageBackend*> LocateLocked(const std::string& dataset) const;
+
   std::vector<std::unique_ptr<StorageBackend>> backends_;
+
+  /// Guards the backends' dataset state: shared for Load/Locate, exclusive
+  /// for Put/Delete/Execute. Held only around backend calls, never while
+  /// notifying observers.
+  mutable std::shared_mutex data_mu_;
+
+  mutable std::mutex observer_mu_;
+  std::vector<std::pair<int, WriteObserver>> observers_;
+  int next_observer_id_ = 0;
 };
 
 }  // namespace storage

@@ -18,6 +18,7 @@
 
 #include "common/rng.h"
 #include "core/api/data_quanta.h"
+#include "core/service/job_server.h"
 
 namespace rheem {
 namespace {
@@ -244,6 +245,57 @@ TEST_P(FuzzPlansTest, DifferentialBackendsAgree) {
           << "replay with RHEEM_FUZZ_SEED=" << seed << ": "
           << rel.status().ToString();
     }
+  }
+}
+
+// Reuse-differential mode: every random plan runs three times against one
+// JobServer — once with the result cache opted out (the reference), once
+// cold (populating the cache), once warm (served from it). All three must be
+// bag-equal: a cache-served stage result that differs from the computed one
+// is a reuse bug, not a legal divergence. 16 shards x 32 rounds = 512 plans.
+TEST_P(FuzzPlansTest, ReuseDifferentialColdWarmAgree) {
+  uint64_t replay = 0;
+  const bool has_replay = EnvReplaySeed(&replay);
+  Rng rng(static_cast<uint64_t>(GetParam()) * 15485863 + 5 + EnvSeedOffset());
+  const int rounds = has_replay ? 1 : 32;
+  for (int round = 0; round < rounds; ++round) {
+    const uint64_t seed = has_replay ? replay : rng.NextU64();
+    // Build from the same random tape once per submission, so the three
+    // submissions carry identical plans (and identical fingerprints).
+    auto run = [&](bool use_result_cache) {
+      Rng tape(seed);
+      RheemJob job(&ctx_);
+      DataQuanta q = job.LoadCollection(RandomPairs(&tape, 200));
+      q = RandomPipeline(&tape, &job, q);
+      auto plan = q.Seal();
+      EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+      JobOptions options;
+      options.use_result_cache = use_result_cache;
+      auto handle = ctx_.Submit(**plan, options);
+      if (!handle.ok()) return Result<ExecutionResult>(handle.status());
+      return handle->Wait();
+    };
+    auto reference = run(/*use_result_cache=*/false);
+    ASSERT_TRUE(reference.ok())
+        << "reference failed; replay with RHEEM_FUZZ_SEED=" << seed << ": "
+        << reference.status().ToString();
+    const auto expect = AsMultiset(reference->output);
+
+    auto cold = run(/*use_result_cache=*/true);
+    ASSERT_TRUE(cold.ok())
+        << "cold run failed; replay with RHEEM_FUZZ_SEED=" << seed << ": "
+        << cold.status().ToString();
+    EXPECT_EQ(AsMultiset(cold->output), expect)
+        << "cold run diverged; replay with RHEEM_FUZZ_SEED=" << seed;
+
+    auto warm = run(/*use_result_cache=*/true);
+    ASSERT_TRUE(warm.ok())
+        << "warm run failed; replay with RHEEM_FUZZ_SEED=" << seed << ": "
+        << warm.status().ToString();
+    EXPECT_EQ(AsMultiset(warm->output), expect)
+        << "warm run diverged; replay with RHEEM_FUZZ_SEED=" << seed;
+    EXPECT_GE(warm->metrics.stages_reused, 1)
+        << "warm run reused nothing; replay with RHEEM_FUZZ_SEED=" << seed;
   }
 }
 

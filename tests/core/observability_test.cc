@@ -494,6 +494,73 @@ TEST_F(ObservabilityTest, ChromeTraceIsValidJsonWithJobStageKernelNesting) {
   EXPECT_TRUE(kernel_under_stage_under_execute);
 }
 
+// Regression for the multi-consumer movement accounting bug: a producer
+// whose output crosses to two consumer stages on the same target platform is
+// one data movement, not two. The approximated (non-serialized) path must
+// report the same moved totals as the serialized path, whose conversion
+// cache provably encodes the shared edge once, and both must reconcile with
+// the global registry counters.
+TEST_F(ObservabilityTest, MovedBytesCountOncePerMultiConsumerEdge) {
+  auto run = [&](bool serialize) -> ExecutionResult {
+    Config config = ObservableConfig();
+    config.SetBool("executor.serialize_boundaries", serialize);
+    RheemContext ctx(config);
+    EXPECT_TRUE(ctx.RegisterDefaultPlatforms().ok());
+    RheemJob job(&ctx);
+    DataQuanta src = job.LoadCollection(Rows(200)).OnPlatform("javasim");
+    // Distinct UdfMeta keeps the two consumers' fingerprints apart so no
+    // stage is served from the result cache within the run.
+    DataQuanta a = src.Map([](const Record& r) {
+                        return Record({r[0], Value(r[1].ToInt64Or(0) + 1)});
+                      })
+                       .OnPlatform("sparksim");
+    DataQuanta b = src.Map(
+                          [](const Record& r) {
+                            return Record({r[0], Value(r[1].ToInt64Or(0) * 2)});
+                          },
+                          UdfMeta::Expensive(2.0))
+                       .OnPlatform("sparksim");
+    DataQuanta merged = a.Union(b).OnPlatform("javasim");
+    auto result = merged.CollectWithMetrics();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->output.size(), 400u);
+    return std::move(*result);
+  };
+
+  auto delta = [](const MetricsSnapshot& before, const MetricsSnapshot& after,
+                  const std::string& name) {
+    return after.counter(name) - before.counter(name);
+  };
+
+  const MetricsSnapshot s0 = MetricsRegistry::Global().Snapshot();
+  const ExecutionResult serialized = run(/*serialize=*/true);
+  const MetricsSnapshot s1 = MetricsRegistry::Global().Snapshot();
+  const ExecutionResult approximated = run(/*serialize=*/false);
+  const MetricsSnapshot s2 = MetricsRegistry::Global().Snapshot();
+
+  // Serialized path: the src -> sparksim edge is encoded once and the second
+  // consumer stage reuses the conversion.
+  EXPECT_EQ(serialized.metrics.boundary_conversions_reused, 1);
+  EXPECT_EQ(delta(s0, s1, "executor.boundary_cache_hits"), 1);
+
+  // Approximated path never converts, and must count the shared edge once:
+  // src -> sparksim (200) + each map's output -> javasim (200 + 200).
+  EXPECT_EQ(approximated.metrics.boundary_conversions_reused, 0);
+  EXPECT_EQ(approximated.metrics.moved_records, 600);
+  EXPECT_EQ(approximated.metrics.moved_records, serialized.metrics.moved_records);
+  EXPECT_EQ(approximated.metrics.moved_bytes, serialized.metrics.moved_bytes);
+
+  // Per-job metrics reconcile with the global registry in both modes.
+  EXPECT_EQ(delta(s0, s1, "executor.moved_records_total"),
+            serialized.metrics.moved_records);
+  EXPECT_EQ(delta(s0, s1, "executor.moved_bytes_total"),
+            serialized.metrics.moved_bytes);
+  EXPECT_EQ(delta(s1, s2, "executor.moved_records_total"),
+            approximated.metrics.moved_records);
+  EXPECT_EQ(delta(s1, s2, "executor.moved_bytes_total"),
+            approximated.metrics.moved_bytes);
+}
+
 // Satellite 4 regression: hammer Snapshot()/ExportChromeTrace()/ReportText()
 // from reader threads while a JobServer drains concurrent submissions. The
 // exporters must observe consistent copies, never the live containers.

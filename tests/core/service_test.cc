@@ -9,6 +9,8 @@
 
 #include "core/api/data_quanta.h"
 #include "core/service/plan_cache.h"
+#include "storage/hot_buffer.h"
+#include "storage/mem_column_store.h"
 
 namespace rheem {
 namespace {
@@ -286,6 +288,132 @@ TEST_F(ServiceTest, StatsCountTerminalStates) {
   EXPECT_EQ(stats.cancelled, 0);
 }
 
+TEST_F(ServiceTest, ResultCacheReusesStagesAcrossSubmissions) {
+  RheemJob job(&ctx_);
+  Plan* plan = BuildDoublerPlan(&job, 10);
+  auto cold = ctx_.Submit(*plan);
+  ASSERT_TRUE(cold.ok());
+  auto cold_result = cold->Wait();
+  ASSERT_TRUE(cold_result.ok()) << cold_result.status().ToString();
+  EXPECT_EQ(cold_result->metrics.stages_reused, 0);
+  ASSERT_GT(cold_result->metrics.stages_run, 0);
+
+  auto warm = ctx_.Submit(*plan);
+  ASSERT_TRUE(warm.ok());
+  auto warm_result = warm->Wait();
+  ASSERT_TRUE(warm_result.ok()) << warm_result.status().ToString();
+  // Every stage of the warm run is served from the result cache.
+  EXPECT_EQ(warm_result->metrics.stages_run, 0);
+  EXPECT_EQ(warm_result->metrics.stages_reused,
+            cold_result->metrics.stages_run);
+  ASSERT_EQ(warm_result->output.size(), cold_result->output.size());
+  for (std::size_t i = 0; i < warm_result->output.size(); ++i) {
+    EXPECT_EQ(warm_result->output.at(i), cold_result->output.at(i));
+  }
+  ResultCache::Stats stats = ctx_.job_server().stats().result_cache;
+  EXPECT_GT(stats.hits, 0);
+  EXPECT_GT(stats.inserts, 0);
+}
+
+TEST_F(ServiceTest, OptingOutOfResultCacheRunsEveryStage) {
+  RheemJob job(&ctx_);
+  Plan* plan = BuildDoublerPlan(&job, 10);
+  JobOptions options;
+  options.use_result_cache = false;
+  for (int round = 0; round < 2; ++round) {
+    auto handle = ctx_.Submit(*plan, options);
+    ASSERT_TRUE(handle.ok());
+    auto result = handle->Wait();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->metrics.stages_reused, 0);
+    EXPECT_GT(result->metrics.stages_run, 0);
+  }
+  ResultCache::Stats stats = ctx_.job_server().stats().result_cache;
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.inserts, 0);
+}
+
+TEST_F(ServiceTest, ZeroResultCacheCapacityDisablesReuse) {
+  Config config;
+  config.SetInt("executor.result_cache_capacity_bytes", 0);
+  RheemContext ctx(config);
+  ASSERT_TRUE(ctx.RegisterDefaultPlatforms().ok());
+  RheemJob job(&ctx);
+  Plan* plan = BuildDoublerPlan(&job, 10);
+  for (int round = 0; round < 2; ++round) {
+    auto handle = ctx.Submit(*plan);
+    ASSERT_TRUE(handle.ok());
+    auto result = handle->Wait();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->metrics.stages_reused, 0);
+    EXPECT_GT(result->metrics.stages_run, 0);
+  }
+  EXPECT_EQ(ctx.job_server().stats().result_cache.capacity_bytes, 0);
+}
+
+TEST_F(ServiceTest, StorageWriteNeverLeavesStaleReads) {
+  // The acceptance path for the reuse layer: a dataset flows from storage
+  // through the hot buffer into jobs served by the result cache; rewriting
+  // it through the manager must invalidate everything in between. The
+  // manager is declared before the context: AttachStorage borrows it for
+  // the context's lifetime.
+  storage::StorageManager manager;
+  ASSERT_TRUE(
+      manager.RegisterBackend(std::make_unique<storage::MemColumnStore>())
+          .ok());
+  ASSERT_TRUE(manager.Put("mem-column", "nums", Numbers(10)).ok());
+  RheemContext ctx;
+  ASSERT_TRUE(ctx.RegisterDefaultPlatforms().ok());
+  ASSERT_TRUE(ctx.AttachStorage(&manager).ok());
+
+  auto build = [&](RheemJob* job) -> Plan* {
+    auto loaded = job->LoadFromStorage("nums");
+    EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+    auto sealed = loaded
+                      ->Map([](const Record& r) {
+                        return Record({Value(r[0].ToInt64Or(0) * 2)});
+                      })
+                      .Seal();
+    EXPECT_TRUE(sealed.ok());
+    return sealed.ValueOrDie();
+  };
+
+  RheemJob job1(&ctx);
+  auto h1 = ctx.Submit(*build(&job1));
+  ASSERT_TRUE(h1.ok());
+  auto r1 = h1->Wait();
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->output.at(0)[0], Value(0));  // 0 * 2
+  EXPECT_EQ(ctx.hot_buffer()->misses(), 1);
+
+  // Same submission again: hot buffer serves the parse, result cache serves
+  // the stages.
+  RheemJob job2(&ctx);
+  auto h2 = ctx.Submit(*build(&job2));
+  ASSERT_TRUE(h2.ok());
+  auto r2 = h2->Wait();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(ctx.hot_buffer()->hits(), 1);
+  EXPECT_GT(r2->metrics.stages_reused, 0);
+
+  // Rewrite through the manager: the buffered entry drops, and the new
+  // content hash keys different sub-plan fingerprints — no stale result can
+  // surface through either cache.
+  std::vector<Record> fresh;
+  for (int i = 0; i < 10; ++i) fresh.push_back(Record({Value(i + 100)}));
+  ASSERT_TRUE(
+      manager.Put("mem-column", "nums", Dataset(std::move(fresh))).ok());
+  EXPECT_EQ(ctx.hot_buffer()->resident_entries(), 0u);
+
+  RheemJob job3(&ctx);
+  auto h3 = ctx.Submit(*build(&job3));
+  ASSERT_TRUE(h3.ok());
+  auto r3 = h3->Wait();
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->metrics.stages_reused, 0);
+  EXPECT_EQ(r3->output.at(0)[0], Value(200));  // 100 * 2, not a stale 0
+}
+
 TEST(PlanCacheTest, LruEvictsOldestAndCountsStats) {
   PlanCache cache(2);
   auto job1 = std::make_shared<const CompiledJob>();
@@ -313,6 +441,29 @@ TEST(PlanCacheTest, ZeroCapacityDisables) {
   cache.Insert(7, std::make_shared<const CompiledJob>());
   EXPECT_EQ(cache.Lookup(7), nullptr);
   EXPECT_EQ(cache.stats().size, 0u);
+}
+
+TEST(PlanCacheTest, ClearResetsStatsButKeepsLifetimeTotals) {
+  PlanCache cache(2);
+  auto job = std::make_shared<const CompiledJob>();
+  EXPECT_EQ(cache.Lookup(1), nullptr);  // miss
+  cache.Insert(1, job);
+  EXPECT_EQ(cache.Lookup(1), job);  // hit
+  cache.Clear();
+  PlanCache::Stats cleared = cache.stats();
+  // Post-clear stats describe only post-clear traffic...
+  EXPECT_EQ(cleared.hits, 0);
+  EXPECT_EQ(cleared.misses, 0);
+  EXPECT_EQ(cleared.size, 0u);
+  // ...while the lifetime totals keep the pre-clear history.
+  EXPECT_EQ(cleared.lifetime_hits, 1);
+  EXPECT_EQ(cleared.lifetime_misses, 1);
+  EXPECT_EQ(cache.Lookup(1), nullptr);  // post-clear miss
+  PlanCache::Stats after = cache.stats();
+  EXPECT_EQ(after.hits, 0);
+  EXPECT_EQ(after.misses, 1);
+  EXPECT_EQ(after.lifetime_hits, 1);
+  EXPECT_EQ(after.lifetime_misses, 2);
 }
 
 }  // namespace

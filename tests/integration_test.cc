@@ -66,7 +66,7 @@ TEST_F(IntegrationTest, StoreCleanAnalyzePipeline) {
 
   // 2. Analytics re-read it through the hot buffer (one parse).
   storage::HotDataBuffer hot(&storage_, 1LL << 30);
-  Dataset working = hot.Load("tax_raw").ValueOrDie();
+  Dataset working = *hot.Load("tax_raw").ValueOrDie();
   (void)hot.Load("tax_raw").ValueOrDie();
   EXPECT_EQ(hot.misses(), 1);
   EXPECT_EQ(hot.hits(), 1);

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "storage/mem_column_store.h"
 
 namespace rheem {
@@ -43,9 +47,31 @@ TEST_F(HotBufferTest, ReturnsSameContentAsBackend) {
   auto direct = manager_.Load("b").ValueOrDie();
   auto cached_cold = buffer.Load("b").ValueOrDie();
   auto cached_hot = buffer.Load("b").ValueOrDie();
-  EXPECT_EQ(cached_cold.size(), direct.size());
-  EXPECT_EQ(cached_hot.size(), direct.size());
-  EXPECT_EQ(cached_hot.at(0), direct.at(0));
+  EXPECT_EQ(cached_cold->size(), direct.size());
+  EXPECT_EQ(cached_hot->size(), direct.size());
+  EXPECT_EQ(cached_hot->at(0), direct.at(0));
+}
+
+TEST_F(HotBufferTest, HitsShareTheCachedDatasetWithoutCopying) {
+  HotDataBuffer buffer(&manager_, 1 << 20);
+  auto first = buffer.Load("a").ValueOrDie();
+  auto second = buffer.Load("a").ValueOrDie();
+  auto third = buffer.Load("a").ValueOrDie();
+  // No-copy semantics: every hit returns the very same materialization the
+  // miss parsed, not a deep copy of it.
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(second.get(), third.get());
+  // Caller + caller + caller + the buffer's own entry.
+  EXPECT_EQ(first.use_count(), 4);
+}
+
+TEST_F(HotBufferTest, EvictedEntrySurvivesWhileCallersHoldIt) {
+  HotDataBuffer buffer(&manager_, 1 << 20);
+  auto held = buffer.Load("a").ValueOrDie();
+  buffer.Clear();
+  // The shared_ptr keeps the dataset alive past eviction.
+  EXPECT_EQ(held->size(), 10u);
+  EXPECT_EQ(held.use_count(), 1);
 }
 
 TEST_F(HotBufferTest, EvictsLeastRecentlyUsed) {
@@ -82,6 +108,32 @@ TEST_F(HotBufferTest, InvalidateDropsEntry) {
   buffer.Invalidate("never-cached");  // no-op
 }
 
+TEST_F(HotBufferTest, WriteThroughManagerInvalidatesStaleEntry) {
+  HotDataBuffer buffer(&manager_, 1 << 20);
+  auto stale = buffer.Load("a").ValueOrDie();
+  EXPECT_EQ((*stale).at(0)[0], Value(1));
+  // Rewriting the dataset through the manager must drop the buffered copy:
+  // the next load re-parses and sees the new content, never a stale read.
+  ASSERT_TRUE(manager_.Put("mem-column", "a", Payload(10, 99)).ok());
+  EXPECT_EQ(buffer.resident_entries(), 0u);
+  auto fresh = buffer.Load("a").ValueOrDie();
+  EXPECT_EQ((*fresh).at(0)[0], Value(99));
+  EXPECT_EQ(buffer.misses(), 2);
+  // Deleting through the manager also invalidates.
+  ASSERT_TRUE(manager_.Delete("a").ok());
+  EXPECT_EQ(buffer.resident_entries(), 0u);
+  EXPECT_TRUE(buffer.Load("a").status().IsNotFound());
+}
+
+TEST_F(HotBufferTest, ObserverUnregistersWithTheBuffer) {
+  {
+    HotDataBuffer buffer(&manager_, 1 << 20);
+    ASSERT_TRUE(buffer.Load("a").ok());
+  }
+  // The destroyed buffer must not be notified of this write.
+  ASSERT_TRUE(manager_.Put("mem-column", "a", Payload(10, 7)).ok());
+}
+
 TEST_F(HotBufferTest, ClearEmptiesEverything) {
   HotDataBuffer buffer(&manager_, 1 << 20);
   ASSERT_TRUE(buffer.Load("a").ok());
@@ -95,6 +147,46 @@ TEST_F(HotBufferTest, MissingDatasetPropagatesError) {
   HotDataBuffer buffer(&manager_, 1 << 20);
   EXPECT_TRUE(buffer.Load("ghost").status().IsNotFound());
   EXPECT_EQ(buffer.misses(), 1);
+}
+
+// Exercised under TSan in CI: concurrent loads, invalidations and writes
+// through the manager must be race-free and always return coherent data.
+TEST_F(HotBufferTest, ConcurrentLoadsAndInvalidationsAreThreadSafe) {
+  const int64_t one = Payload(10, 1).EstimatedBytes();
+  HotDataBuffer buffer(&manager_, one * 2 + 10);  // small: forces eviction
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  const char* names[] = {"a", "b", "c"};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kRounds; ++i) {
+        const char* name = names[(t + i) % 3];
+        if (t == 0 && i % 17 == 0) {
+          buffer.Invalidate(name);
+          continue;
+        }
+        if (t == 1 && i % 29 == 0) {
+          // Writes through the manager fire the invalidation observer from
+          // this thread while others are mid-load.
+          if (!manager_.Put("mem-column", name, Payload(10, i)).ok()) {
+            failed.store(true);
+          }
+          continue;
+        }
+        auto data = buffer.Load(name);
+        if (!data.ok() || (*data)->size() != 10u) failed.store(true);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  // Threads 0 and 1 skip the load on their invalidate/write rounds
+  // (i % 17 == 0 and i % 29 == 0 respectively, including i == 0).
+  EXPECT_EQ(buffer.hits() + buffer.misses(),
+            kThreads * kRounds - (kRounds / 17 + 1) - (kRounds / 29 + 1));
 }
 
 }  // namespace
