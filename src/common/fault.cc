@@ -1,0 +1,307 @@
+#include "common/fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/config.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace rheem {
+
+namespace {
+
+/// SplitMix64 finalizer: uncorrelated 64-bit hash of the mixed inputs.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultTrigger FaultTrigger::Nth(int64_t n, int64_t max_fires) {
+  FaultTrigger t;
+  t.kind = Kind::kNth;
+  t.n = n;
+  t.max_fires = max_fires;
+  return t;
+}
+
+FaultTrigger FaultTrigger::EveryK(int64_t k, int64_t max_fires) {
+  FaultTrigger t;
+  t.kind = Kind::kEveryK;
+  t.n = k;
+  t.max_fires = max_fires;
+  return t;
+}
+
+FaultTrigger FaultTrigger::Probability(double p, int64_t max_fires) {
+  FaultTrigger t;
+  t.kind = Kind::kProbability;
+  t.probability = p;
+  t.max_fires = max_fires;
+  return t;
+}
+
+std::string FaultTrigger::ToString() const {
+  char buf[64];
+  switch (kind) {
+    case Kind::kNth:
+      std::snprintf(buf, sizeof(buf), "nth=%lld", static_cast<long long>(n));
+      break;
+    case Kind::kEveryK:
+      std::snprintf(buf, sizeof(buf), "every=%lld", static_cast<long long>(n));
+      break;
+    case Kind::kProbability:
+      std::snprintf(buf, sizeof(buf), "p=%g", probability);
+      break;
+  }
+  std::string out = buf;
+  if (max_fires >= 0) out += ":limit=" + std::to_string(max_fires);
+  return out;
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();  // never destroyed
+  return *injector;
+}
+
+void FaultInjector::Seed(uint64_t seed) {
+  seed_.store(seed, std::memory_order_relaxed);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (auto& [name, site] : sites_) {
+    site->hits.store(0, std::memory_order_relaxed);
+    site->fired.store(0, std::memory_order_relaxed);
+    for (auto& spec : site->specs) {
+      spec->seen.store(0, std::memory_order_relaxed);
+      spec->fires.store(0, std::memory_order_relaxed);
+    }
+  }
+  total_fired_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::seed() const {
+  return seed_.load(std::memory_order_relaxed);
+}
+
+FaultInjector::Site* FaultInjector::GetOrCreateSite(const std::string& site) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it != sites_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto& slot = sites_[site];
+  if (slot == nullptr) slot = std::make_unique<Site>();
+  return slot.get();
+}
+
+Status FaultInjector::AddSpec(const std::string& site, FaultTrigger trigger,
+                              std::string match) {
+  if (site.empty()) return Status::InvalidArgument("fault site name is empty");
+  switch (trigger.kind) {
+    case FaultTrigger::Kind::kNth:
+    case FaultTrigger::Kind::kEveryK:
+      if (trigger.n <= 0) {
+        return Status::InvalidArgument("fault trigger count must be positive");
+      }
+      break;
+    case FaultTrigger::Kind::kProbability:
+      if (trigger.probability < 0.0 || trigger.probability > 1.0) {
+        return Status::InvalidArgument("fault probability must be in [0, 1]");
+      }
+      break;
+  }
+  auto spec = std::make_unique<Spec>();
+  spec->trigger = trigger;
+  spec->match = std::move(match);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto& slot = sites_[site];
+  if (slot == nullptr) slot = std::make_unique<Site>();
+  slot->specs.push_back(std::move(spec));
+  return Status::OK();
+}
+
+Status FaultInjector::ParseSpec(const std::string& spec) {
+  for (const std::string& raw : SplitString(spec, ';')) {
+    const std::string entry(TrimWhitespace(raw));
+    if (entry.empty()) continue;
+    std::vector<std::string> parts = SplitString(entry, ':');
+    if (parts.size() < 2) {
+      return Status::InvalidArgument("fault spec '" + entry +
+                                     "' is missing a trigger (site:trigger)");
+    }
+    std::string site(TrimWhitespace(parts[0]));
+    std::string match;
+    if (auto at = site.find('@'); at != std::string::npos) {
+      match = site.substr(at + 1);
+      site = site.substr(0, at);
+    }
+    FaultTrigger trigger;
+    bool have_trigger = false;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      const std::string field(TrimWhitespace(parts[i]));
+      const auto eq = field.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("fault spec field '" + field +
+                                       "' is not key=value");
+      }
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      if (key == "nth") {
+        trigger.kind = FaultTrigger::Kind::kNth;
+        trigger.n = std::strtoll(value.c_str(), nullptr, 10);
+        if (trigger.max_fires < 0) trigger.max_fires = 1;
+        have_trigger = true;
+      } else if (key == "every") {
+        trigger.kind = FaultTrigger::Kind::kEveryK;
+        trigger.n = std::strtoll(value.c_str(), nullptr, 10);
+        have_trigger = true;
+      } else if (key == "p") {
+        trigger.kind = FaultTrigger::Kind::kProbability;
+        trigger.probability = std::strtod(value.c_str(), nullptr);
+        have_trigger = true;
+      } else if (key == "limit") {
+        trigger.max_fires = std::strtoll(value.c_str(), nullptr, 10);
+      } else {
+        return Status::InvalidArgument("unknown fault spec field '" + key +
+                                       "' in '" + entry + "'");
+      }
+    }
+    if (!have_trigger) {
+      return Status::InvalidArgument("fault spec '" + entry +
+                                     "' has no nth=/every=/p= trigger");
+    }
+    RHEEM_RETURN_IF_ERROR(AddSpec(site, trigger, std::move(match)));
+  }
+  return Status::OK();
+}
+
+void FaultInjector::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (auto& [name, site] : sites_) {
+    site->hits.store(0, std::memory_order_relaxed);
+    site->fired.store(0, std::memory_order_relaxed);
+    site->specs.clear();
+  }
+  total_fired_.store(0, std::memory_order_relaxed);
+}
+
+Status FaultInjector::Hit(const char* site, const std::string& detail) {
+  if (!enabled()) return Status::OK();
+  Site* s = GetOrCreateSite(site);
+
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const int64_t index = s->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto& registry = MetricsRegistry::Global();
+  if (registry.enabled()) {
+    registry.counter(std::string("fault.") + site + ".hits")->Increment();
+  }
+  for (const auto& spec : s->specs) {
+    if (!spec->match.empty() && detail.find(spec->match) == std::string::npos) {
+      continue;
+    }
+    // Triggers index the spec's *matched* hits, so "the 3rd sparksim
+    // attempt" means exactly that even when other platforms interleave.
+    const int64_t matched = spec->seen.fetch_add(1, std::memory_order_relaxed) + 1;
+    bool fires = false;
+    switch (spec->trigger.kind) {
+      case FaultTrigger::Kind::kNth:
+        fires = matched == spec->trigger.n;
+        break;
+      case FaultTrigger::Kind::kEveryK:
+        fires = matched % spec->trigger.n == 0;
+        break;
+      case FaultTrigger::Kind::kProbability: {
+        const uint64_t h = Mix64(seed_.load(std::memory_order_relaxed) ^
+                                 Fnv1a(site) ^ Fnv1a(spec->match) ^
+                                 static_cast<uint64_t>(matched));
+        fires = static_cast<double>(h >> 11) * 0x1.0p-53 <
+                spec->trigger.probability;
+        break;
+      }
+    }
+    if (!fires) continue;
+    if (spec->trigger.max_fires >= 0) {
+      // Serialize the budget check: a limit of L must mean exactly <= L
+      // fires, even when hits race. Fires are rare; the lock is cold.
+      std::lock_guard<std::mutex> fire_lock(fire_mu_);
+      if (spec->fires.load(std::memory_order_relaxed) >=
+          spec->trigger.max_fires) {
+        continue;
+      }
+      spec->fires.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      spec->fires.fetch_add(1, std::memory_order_relaxed);
+    }
+    s->fired.fetch_add(1, std::memory_order_relaxed);
+    total_fired_.fetch_add(1, std::memory_order_relaxed);
+    if (registry.enabled()) {
+      registry.counter(std::string("fault.") + site + ".fired")->Increment();
+    }
+    std::string message = std::string("injected fault at ") + site;
+    if (!detail.empty()) message += " [" + detail + "]";
+    message += " (hit " + std::to_string(index) +
+               ", seed " + std::to_string(seed()) + ")";
+    return Status::ExecutionError(std::move(message));
+  }
+  return Status::OK();
+}
+
+int64_t FaultInjector::hits(const std::string& site) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0
+                            : it->second->hits.load(std::memory_order_relaxed);
+}
+
+int64_t FaultInjector::fired(const std::string& site) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0
+                            : it->second->fired.load(std::memory_order_relaxed);
+}
+
+int64_t FaultInjector::total_fired() const {
+  return total_fired_.load(std::memory_order_relaxed);
+}
+
+void ApplyFaultConfig(const Config& config) {
+  auto& injector = FaultInjector::Global();
+  if (config.Has("fault.seed")) {
+    injector.Seed(static_cast<uint64_t>(
+        config.GetInt("fault.seed", 0).ValueOr(0)));
+  }
+  // Replay workflow: the environment seed wins over config so a CI failure
+  // can be reproduced without editing the job's config.
+  if (const char* env = std::getenv("RHEEM_FAULT_SEED"); env != nullptr) {
+    injector.Seed(std::strtoull(env, nullptr, 10));
+  }
+  if (config.Has("fault.spec")) {
+    const std::string spec = config.GetString("fault.spec", "").ValueOr("");
+    if (!spec.empty()) {
+      if (Status st = injector.ParseSpec(spec); !st.ok()) {
+        // Configuration problems must not silently disable chaos coverage.
+        injector.set_enabled(false);
+        return;
+      }
+      injector.set_enabled(true);
+    }
+  }
+  if (config.Has("fault.enabled")) {
+    injector.set_enabled(config.GetBool("fault.enabled", false).ValueOr(false));
+  }
+}
+
+}  // namespace rheem

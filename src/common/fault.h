@@ -1,0 +1,141 @@
+#ifndef RHEEM_COMMON_FAULT_H_
+#define RHEEM_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rheem {
+
+class Config;
+
+/// \brief When a registered fault spec fires, relative to the site's
+/// process-wide hit counter (1-based hit indices).
+struct FaultTrigger {
+  enum class Kind {
+    kNth,          // fire exactly on hit number `n`
+    kEveryK,       // fire on every hit whose index is a multiple of `n`
+    kProbability,  // fire when hash(seed, site, hit index) < p
+  };
+
+  Kind kind = Kind::kNth;
+  int64_t n = 1;            // kNth: the hit index; kEveryK: the period
+  double probability = 0.0; // kProbability only
+  /// Upper bound on fires of this spec (-1 = unlimited). Lets a chaos
+  /// schedule guarantee the fault is survivable within a retry budget.
+  int64_t max_fires = -1;
+
+  static FaultTrigger Nth(int64_t n, int64_t max_fires = 1);
+  static FaultTrigger EveryK(int64_t k, int64_t max_fires = -1);
+  static FaultTrigger Probability(double p, int64_t max_fires = -1);
+
+  std::string ToString() const;
+};
+
+/// \brief Process-wide deterministic fault-injection registry — the one
+/// mechanism every layer that can fail is instrumented with (paper §4.2: the
+/// Executor "copes with failures"; this is how tests make it prove that).
+///
+/// Call sites name a *site* ("executor.stage_attempt", "storage.read", ...)
+/// and pass a free-form detail string ("stage=3,platform=sparksim,attempt=0").
+/// Registered specs match a site (plus an optional detail substring) and a
+/// FaultTrigger; when one fires, Hit() returns an ExecutionError the call
+/// site treats exactly like a real failure of that operation.
+///
+/// Determinism: every decision is a pure function of the injector seed, the
+/// site name and the site's hit index, so a chaos run is replayable from a
+/// single seed (`RHEEM_FAULT_SEED` / `fault.seed`). Under concurrency the
+/// assignment of hit indices to logical operations can vary with thread
+/// interleaving, but the *number* of nth/every-k fires (with limits) does
+/// not — which is what recovery guarantees are stated against.
+///
+/// Observability: each site exports `fault.<site>.hits` and
+/// `fault.<site>.fired` counters through the MetricsRegistry, and call sites
+/// tag fired faults on their trace spans (see docs/fault_tolerance.md).
+///
+/// Disabled (the default), Hit() costs one relaxed atomic load and nothing
+/// is registered or counted.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Seed shared by every probabilistic trigger. Setting it also zeroes all
+  /// hit/fire state so a run is replayable from the seed alone.
+  void Seed(uint64_t seed);
+  uint64_t seed() const;
+
+  /// Registers a spec against `site`. `match` is a substring filter applied
+  /// to the Hit() detail (empty = match every hit). Matching hits still
+  /// advance the site hit counter whether or not the spec fires.
+  Status AddSpec(const std::string& site, FaultTrigger trigger,
+                 std::string match = std::string());
+
+  /// Parses a ';'-separated spec list:
+  ///   site[@match]:nth=N | every=K | p=0.5 [:limit=M]
+  /// e.g. "executor.stage_attempt@platform=sparksim,:every=3:limit=2".
+  Status ParseSpec(const std::string& spec);
+
+  /// Drops every spec and zeroes all hit/fire state (seed and enabled flag
+  /// are kept). Sites stay registered so cached counters remain meaningful.
+  void Clear();
+
+  /// The instrumented probe. Returns OK, or an ExecutionError carrying the
+  /// site, the hit index and the seed when a registered spec fires.
+  Status Hit(const char* site, const std::string& detail = std::string());
+
+  /// Hit/fire totals for one site (0 when the site was never hit).
+  int64_t hits(const std::string& site) const;
+  int64_t fired(const std::string& site) const;
+
+  /// Total fires across all sites since the last Clear()/Seed().
+  int64_t total_fired() const;
+
+ private:
+  struct Spec {
+    FaultTrigger trigger;
+    std::string match;
+    std::atomic<int64_t> seen{0};   // hits matching this spec's filter
+    std::atomic<int64_t> fires{0};
+  };
+  struct Site {
+    std::atomic<int64_t> hits{0};
+    std::atomic<int64_t> fired{0};
+    std::vector<std::unique_ptr<Spec>> specs;
+  };
+
+  FaultInjector() = default;
+
+  Site* GetOrCreateSite(const std::string& site);
+
+  mutable std::shared_mutex mu_;  // guards sites_ map shape + spec lists
+  std::map<std::string, std::unique_ptr<Site>> sites_;
+  std::mutex fire_mu_;  // serializes the (rare) fire decision for max_fires
+  std::atomic<uint64_t> seed_{0};
+  std::atomic<int64_t> total_fired_{0};
+  std::atomic<bool> enabled_{false};
+};
+
+/// Applies the fault keys of `config` to the process-wide injector. Only
+/// keys that are present take effect. The `RHEEM_FAULT_SEED` environment
+/// variable overrides `fault.seed` (replay workflow).
+///
+/// Keys:
+///   fault.enabled (bool)   turn the injector on/off
+///   fault.seed    (int)    deterministic seed (also clears hit state)
+///   fault.spec    (string) ';'-separated spec list, see ParseSpec; a
+///                          non-empty spec implies fault.enabled=true
+void ApplyFaultConfig(const Config& config);
+
+}  // namespace rheem
+
+#endif  // RHEEM_COMMON_FAULT_H_

@@ -305,9 +305,7 @@ Result<ExecutionResult> RheemContext::Execute(
   RHEEM_ASSIGN_OR_RETURN(CompiledJob job, Compile(logical_plan, options));
   CrossPlatformExecutor executor(config_);
   if (options.monitor != nullptr) executor.set_monitor(options.monitor);
-  if (options.failure_injector) {
-    executor.set_failure_injector(options.failure_injector);
-  }
+  executor.EnableFailover(&registry_, &movement_);
   auto result = executor.Execute(job.eplan);
   // Direct (non-JobServer) runs flush the trace here, once the job's spans
   // have all closed.

@@ -38,8 +38,6 @@ struct ExecutionOptions {
   bool apply_logical_rewrites = true;
   /// Optional progress monitor (not owned).
   ExecutionMonitor* monitor = nullptr;
-  /// Optional fault hook forwarded to the executor (not owned).
-  CrossPlatformExecutor::FailureInjector failure_injector;
 };
 
 /// \brief A fully optimized job: the physical plan, its estimates, and the

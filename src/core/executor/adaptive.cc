@@ -1,10 +1,13 @@
 #include "core/executor/adaptive.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <set>
+#include <thread>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "core/executor/execution_state.h"
@@ -83,9 +86,47 @@ Result<AdaptiveResult> AdaptiveExecutor::Execute(
 
       ExecutionMetrics stage_metrics;
       Stopwatch sw;
-      RHEEM_ASSIGN_OR_RETURN(
-          std::vector<Dataset> outputs,
-          stage.platform()->ExecuteStage(stage, boundary, &stage_metrics));
+      // Bounded retries with exponential backoff; attempts are
+      // fault-injectable so chaos schedules exercise the adaptive path too.
+      std::vector<Dataset> outputs;
+      Status last_error = Status::OK();
+      bool done = false;
+      for (int attempt = 0; attempt <= options.max_retries && !done;
+           ++attempt) {
+        if (attempt > 0) {
+          result.metrics.retries += 1;
+          if (options.retry_backoff_us > 0) {
+            const int shift = std::min(attempt - 1, 20);
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                options.retry_backoff_us << shift));
+          }
+        }
+        Status injected = FaultInjector::Global().Hit(
+            "adaptive.stage_attempt",
+            "stage=" + std::to_string(stage.id()) +
+                ",platform=" + stage.platform()->name() +
+                ",attempt=" + std::to_string(attempt));
+        auto attempt_out =
+            injected.ok()
+                ? stage.platform()->ExecuteStage(stage, boundary,
+                                                 &stage_metrics)
+                : Result<std::vector<Dataset>>(injected);
+        if (attempt_out.ok()) {
+          outputs = std::move(attempt_out).ValueOrDie();
+          done = true;
+        } else {
+          last_error = attempt_out.status();
+          RHEEM_LOG(Warning) << "adaptive stage " << stage.id() << " attempt "
+                             << attempt
+                             << " failed: " << last_error.ToString();
+        }
+      }
+      if (!done) {
+        return last_error.WithContext(
+            "adaptive stage " + std::to_string(stage.id()) +
+            " failed after " + std::to_string(options.max_retries + 1) +
+            " attempt(s)");
+      }
       result.metrics.MergeFrom(stage_metrics);
       result.metrics.wall_micros += sw.ElapsedMicros();
       result.metrics.stages_run += 1;

@@ -18,6 +18,11 @@ struct AdaptiveOptions {
   double reoptimize_threshold = 3.0;
   /// Upper bound on mid-job re-optimizations.
   int max_reoptimizations = 3;
+  /// Retries per failed stage (exponential backoff, base `retry_backoff_us`
+  /// doubled per attempt). Attempts are FaultInjector-instrumented under the
+  /// "adaptive.stage_attempt" site.
+  int max_retries = 2;
+  int64_t retry_backoff_us = 1000;
   /// Forwarded to every enumeration round (force platform, movement
   /// awareness; pins are managed internally).
   EnumeratorOptions enumerator;

@@ -1,7 +1,10 @@
 #include "core/executor/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <filesystem>
 #include <iterator>
@@ -10,16 +13,21 @@
 #include <mutex>
 #include <set>
 #include <sstream>
+#include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/csv.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
 #include "core/executor/execution_state.h"
 #include "core/executor/result_cache.h"
+#include "core/optimizer/cardinality.h"
+#include "core/optimizer/enumerator.h"
 #include "data/serialization.h"
 
 namespace rheem {
@@ -107,10 +115,12 @@ Status RunStagesDag(const std::vector<Stage>& stages, ThreadPool* pool,
 }
 
 /// EXPLAIN ANALYZE-style text: one line per stage attempt (in stage/attempt
-/// order regardless of the concurrent completion order) plus job totals.
+/// order regardless of the concurrent completion order), failover events,
+/// and job totals.
 std::string BuildExecutionReport(
     std::vector<ExecutionMonitor::StageRecord> records,
-    const ExecutionMetrics& metrics) {
+    const ExecutionMetrics& metrics,
+    const std::vector<std::string>& failover_notes) {
   std::sort(records.begin(), records.end(),
             [](const ExecutionMonitor::StageRecord& a,
                const ExecutionMonitor::StageRecord& b) {
@@ -129,14 +139,90 @@ std::string BuildExecutionReport(
     if (!r.succeeded && !r.error.empty()) os << "  error: " << r.error;
     os << "\n";
   }
+  for (const std::string& note : failover_notes) {
+    os << "  failover: " << note << "\n";
+  }
   os << "  totals: moved_records=" << metrics.moved_records
      << " moved_bytes=" << metrics.moved_bytes
      << " shuffle_bytes=" << metrics.shuffle_bytes
      << " tasks_launched=" << metrics.tasks_launched
      << " fused_operators=" << metrics.fused_operators
      << " stages_reused=" << metrics.stages_reused
-     << " conversions_reused=" << metrics.boundary_conversions_reused << "\n";
+     << " conversions_reused=" << metrics.boundary_conversions_reused
+     << " failovers=" << metrics.failovers << "\n";
   return os.str();
+}
+
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Checkpoint framing: a magic + checksum header so torn or bit-rotted files
+// are detected on restore and re-executed instead of silently feeding the
+// job corrupt data. 16 lowercase-hex digits of FNV-1a over the payload.
+constexpr char kCheckpointMagic[] = "RCKP1";
+constexpr std::size_t kCheckpointMagicLen = 5;
+constexpr std::size_t kCheckpointChecksumLen = 16;
+
+std::string EncodeCheckpoint(const std::string& payload) {
+  char checksum[kCheckpointChecksumLen + 1];
+  std::snprintf(checksum, sizeof(checksum), "%016llx",
+                static_cast<unsigned long long>(Fnv1a(payload)));
+  std::string framed;
+  framed.reserve(kCheckpointMagicLen + kCheckpointChecksumLen +
+                 payload.size());
+  framed.append(kCheckpointMagic, kCheckpointMagicLen);
+  framed.append(checksum, kCheckpointChecksumLen);
+  framed.append(payload);
+  return framed;
+}
+
+Result<std::string> DecodeCheckpoint(const std::string& framed) {
+  constexpr std::size_t header = kCheckpointMagicLen + kCheckpointChecksumLen;
+  if (framed.size() < header ||
+      framed.compare(0, kCheckpointMagicLen, kCheckpointMagic) != 0) {
+    return Status::IoError("checkpoint missing RCKP1 header");
+  }
+  std::string payload = framed.substr(header);
+  char expect[kCheckpointChecksumLen + 1];
+  std::snprintf(expect, sizeof(expect), "%016llx",
+                static_cast<unsigned long long>(Fnv1a(payload)));
+  if (framed.compare(kCheckpointMagicLen, kCheckpointChecksumLen, expect) !=
+      0) {
+    return Status::IoError("checkpoint checksum mismatch (torn write?)");
+  }
+  return payload;
+}
+
+/// Exponential backoff before retry `attempt` (>= 1): base * 2^(attempt-1),
+/// capped. Deadline-aware: refuses to start a sleep that would cross the
+/// job deadline, and polls the cancel token in ~1ms slices so cancellation
+/// fires promptly instead of after the full backoff.
+Status BackoffBeforeRetry(int attempt, int64_t base_us, int64_t cap_us,
+                          const StopCondition& stop) {
+  if (base_us <= 0) return stop.Check();
+  const int shift = std::min(attempt - 1, 20);
+  const int64_t delay_us = std::min(base_us << shift, std::max(base_us, cap_us));
+  const auto wake =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(delay_us);
+  if (stop.has_deadline && wake > stop.deadline) {
+    return Status::DeadlineExceeded(
+        "retry backoff of " + std::to_string(delay_us) +
+        "us would cross the job deadline");
+  }
+  for (;;) {
+    RHEEM_RETURN_IF_ERROR(stop.Check());
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= wake) return Status::OK();
+    std::this_thread::sleep_for(
+        std::min<std::chrono::steady_clock::duration>(
+            std::chrono::milliseconds(1), wake - now));
+  }
 }
 
 }  // namespace
@@ -144,6 +230,7 @@ std::string BuildExecutionReport(
 CrossPlatformExecutor::CrossPlatformExecutor(Config config)
     : config_(std::move(config)) {
   ApplyObservabilityConfig(config_);
+  ApplyFaultConfig(config_);
 }
 
 Result<ExecutionResult> CrossPlatformExecutor::Execute(
@@ -153,6 +240,15 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
   }
   RHEEM_ASSIGN_OR_RETURN(int64_t max_retries,
                          config_.GetInt("executor.max_retries", 2));
+  RHEEM_ASSIGN_OR_RETURN(int64_t backoff_base_us,
+                         config_.GetInt("executor.retry_backoff_us", 1000));
+  RHEEM_ASSIGN_OR_RETURN(
+      int64_t backoff_cap_us,
+      config_.GetInt("executor.retry_backoff_max_us", 250000));
+  RHEEM_ASSIGN_OR_RETURN(int64_t failover_threshold,
+                         config_.GetInt("executor.failover_threshold", 3));
+  RHEEM_ASSIGN_OR_RETURN(int64_t max_failovers,
+                         config_.GetInt("executor.max_failovers", 2));
   RHEEM_ASSIGN_OR_RETURN(bool serialize_boundaries,
                          config_.GetBool("executor.serialize_boundaries", true));
   RHEEM_ASSIGN_OR_RETURN(bool parallel_stages,
@@ -169,6 +265,8 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
     return checkpoint_dir + "/" + job_id + "_op" + std::to_string(op_id) +
            ".bin";
   };
+  const bool failover_armed =
+      registry_ != nullptr && movement_ != nullptr && max_failovers > 0;
 
   // Observability: the `execute` span parents every stage attempt span (the
   // job-level span, when running under the JobServer, is already on this
@@ -183,6 +281,9 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
   Counter* retries_counter = registry.counter("executor.retries_total");
   Counter* failures_counter = registry.counter("executor.stage_failures_total");
   Counter* restored_counter = registry.counter("executor.stages_restored_total");
+  Counter* corrupt_counter =
+      registry.counter("executor.checkpoints_corrupt_total");
+  Counter* failovers_counter = registry.counter("executor.failovers_total");
   Counter* moved_records_counter = registry.counter("executor.moved_records_total");
   Counter* moved_bytes_counter = registry.counter("executor.moved_bytes_total");
   Counter* reused_counter = registry.counter("result_cache.stages_skipped");
@@ -203,371 +304,562 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
   std::vector<ExecutionMonitor::StageRecord> report_records;
   const bool want_report = registry.enabled();
 
-  // Reference counts for eviction: how many stages still consume each
-  // boundary dataset.
-  std::map<int, int> consumers_left;
-  for (const Stage& stage : eplan.stages) {
-    for (const Operator* in : stage.boundary_inputs()) {
-      ++consumers_left[in->id()];
-    }
-  }
-
-  // Guards `state`, `metrics` and `consumers_left` when stages run
-  // concurrently. Datasets borrowed from `state` stay valid while held: a
-  // stage's inputs keep a positive consumer count until the stage finishes,
-  // and ExecutionState holds shared const datasets, so unrelated Put/Evict
-  // don't move them.
+  // Guards `state`, `metrics`, the conversion cache, platform health and the
+  // per-round consumer counts when stages run concurrently. Datasets
+  // borrowed from `state` stay valid while held: a stage's inputs keep a
+  // positive consumer count until the stage finishes, and ExecutionState
+  // holds shared const datasets, so unrelated Put/Evict don't move them.
   std::mutex mu;
-
-  // Sub-plan fingerprints power cross-job reuse: a stage whose every output
-  // is already in the result cache is skipped. Fingerprinting failures just
-  // disable reuse for this job; they never fail the job itself.
-  const bool use_result_cache =
-      result_cache_ != nullptr && result_cache_->enabled();
-  std::map<int, uint64_t> subplan_fps;
-  if (use_result_cache) {
-    auto fps = ComputeSubPlanFingerprints(eplan);
-    if (fps.ok()) {
-      subplan_fps = std::move(fps).ValueOrDie();
-    } else {
-      RHEEM_LOG(Warning) << "result-cache fingerprinting disabled: "
-                         << fps.status().ToString();
-    }
-  }
-  auto fingerprint_of = [&](int op_id) -> const uint64_t* {
-    auto it = subplan_fps.find(op_id);
-    return it == subplan_fps.end() ? nullptr : &it->second;
-  };
 
   // Per-job boundary-conversion cache: one encode/decode per
   // (producer, target platform) edge no matter how many consumer stages
   // share it. Movement totals are charged exactly once per edge, in both
-  // the serialized and the approximated (non-serialized) path.
+  // the serialized and the approximated (non-serialized) path. Both maps
+  // survive failover re-plans — their keys are op-id/platform pairs, which
+  // a re-enumeration does not invalidate.
   std::map<std::pair<int, std::string>, std::shared_ptr<const Dataset>>
       conversion_cache;                              // guarded by `mu`
   std::set<std::pair<int, std::string>> moved_edges;  // guarded by `mu`
 
-  auto run_stage = [&](const Stage& stage) -> Status {
-    RHEEM_RETURN_IF_ERROR(stop_.Check());
+  // Platform health for failover: consecutive stage-attempt failures per
+  // platform (reset on any success). When a stage exhausts its retries the
+  // platform that failed it is the blackout suspect. Guarded by `mu`.
+  std::map<std::string, int64_t> health;
+  std::string suspect_platform;
+  std::vector<std::string> failover_notes;
+  std::set<std::string> blacked_out;
 
-    // Inputs this stage holds are released once it is done with them —
-    // shared with the executed path below.
-    auto release_inputs = [&]() {
-      std::lock_guard<std::mutex> lock(mu);
-      for (const Operator* producer : stage.boundary_inputs()) {
-        auto it = consumers_left.find(producer->id());
-        if (it != consumers_left.end() && --it->second == 0 &&
-            producer != eplan.plan->sink()) {
-          state.Evict(producer->id());
-          for (auto c = conversion_cache.begin(); c != conversion_cache.end();) {
-            c = c->first.first == producer->id() ? conversion_cache.erase(c)
-                                                 : std::next(c);
-          }
-        }
+  const bool use_result_cache =
+      result_cache_ != nullptr && result_cache_->enabled();
+
+  // One failover round: run every stage of `round_plan` that is not yet
+  // satisfied. Shared state (`state`, `metrics`, conversion cache, health)
+  // lives across rounds; the consumer refcounts and sub-plan fingerprints
+  // are per-round because they follow the round's stage structure.
+  auto run_round = [&](const ExecutionPlan& rplan) -> Status {
+    // Reference counts for eviction: how many stages still consume each
+    // boundary dataset.
+    auto consumers_left = std::make_shared<std::map<int, int>>();
+    for (const Stage& stage : rplan.stages) {
+      for (const Operator* in : stage.boundary_inputs()) {
+        ++(*consumers_left)[in->id()];
       }
+    }
+
+    // Sub-plan fingerprints power cross-job reuse: a stage whose every
+    // output is already in the result cache is skipped. Fingerprinting
+    // failures just disable reuse for this job; they never fail the job.
+    auto subplan_fps = std::make_shared<std::map<int, uint64_t>>();
+    if (use_result_cache) {
+      auto fps = ComputeSubPlanFingerprints(rplan);
+      if (fps.ok()) {
+        *subplan_fps = std::move(fps).ValueOrDie();
+      } else {
+        RHEEM_LOG(Warning) << "result-cache fingerprinting disabled: "
+                           << fps.status().ToString();
+      }
+    }
+    auto fingerprint_of = [subplan_fps](int op_id) -> const uint64_t* {
+      auto it = subplan_fps->find(op_id);
+      return it == subplan_fps->end() ? nullptr : &it->second;
     };
 
-    // Materialized-result reuse (paper §4.2: the Executor "reuses
-    // materialized results"): when every output of this stage is cached
-    // under its sub-plan fingerprint, skip execution and surface the cached
-    // datasets — zero rows copied, zero platform work.
-    if (use_result_cache && !stage.outputs().empty() && !subplan_fps.empty()) {
-      std::vector<std::shared_ptr<const Dataset>> cached;
-      cached.reserve(stage.outputs().size());
-      for (const Operator* out : stage.outputs()) {
-        const uint64_t* fp = fingerprint_of(out->id());
-        std::shared_ptr<const Dataset> hit =
-            fp != nullptr ? result_cache_->Lookup(*fp) : nullptr;
-        if (hit == nullptr) break;
-        cached.push_back(std::move(hit));
-      }
-      if (cached.size() == stage.outputs().size()) {
-        TraceSpan reuse_span("stage", "executor", exec_span_id);
-        reuse_span.AddTag("stage", static_cast<int64_t>(stage.id()));
-        reuse_span.AddTag("platform", stage.platform()->name());
-        reuse_span.AddTag("reuse", "result_cache");
-        CountIfEnabled(reused_counter, 1);
-        ExecutionMonitor::StageRecord record;
-        record.stage_id = stage.id();
-        record.platform = stage.platform()->name();
-        record.succeeded = true;
-        record.error = "reused from result cache";
-        for (const auto& data : cached) {
-          record.output_records += static_cast<int64_t>(data->size());
-        }
-        {
-          std::lock_guard<std::mutex> lock(mu);
-          metrics.stages_reused += 1;
-          for (std::size_t i = 0; i < cached.size(); ++i) {
-            state.Put(stage.outputs()[i]->id(), std::move(cached[i]));
-          }
-          if (want_report) report_records.push_back(record);
-        }
-        if (monitor_ != nullptr) monitor_->RecordStage(record);
-        release_inputs();
-        return Status::OK();
-      }
-    }
+    auto run_stage = [&, consumers_left, subplan_fps,
+                      fingerprint_of](const Stage& stage) -> Status {
+      RHEEM_RETURN_IF_ERROR(stop_.Check());
 
-    // Fault recovery: if every product of this stage survives from a prior
-    // run of the same job id, restore it instead of re-executing.
-    if (!checkpoint_dir.empty() && !stage.outputs().empty()) {
-      std::vector<Dataset> restored;
-      bool all_present = true;
-      for (const Operator* out : stage.outputs()) {
-        auto content = ReadFileToString(checkpoint_path(out->id()));
-        if (!content.ok()) {
-          all_present = false;
-          break;
-        }
-        auto decoded = Serializer::DecodeDataset(*content);
-        if (!decoded.ok()) {
-          all_present = false;
-          break;
-        }
-        restored.push_back(std::move(decoded).ValueOrDie());
-      }
-      if (all_present) {
-        TraceSpan restore_span("stage", "executor", exec_span_id);
-        restore_span.AddTag("stage", static_cast<int64_t>(stage.id()));
-        restore_span.AddTag("platform", stage.platform()->name());
-        restore_span.AddTag("restored", "true");
-        CountIfEnabled(restored_counter, 1);
-        ExecutionMonitor::StageRecord record;
-        record.stage_id = stage.id();
-        record.platform = stage.platform()->name();
-        record.succeeded = true;
-        record.error = "restored from checkpoint";
-        {
-          std::lock_guard<std::mutex> lock(mu);
-          for (std::size_t i = 0; i < restored.size(); ++i) {
-            state.Put(stage.outputs()[i]->id(), std::move(restored[i]));
-          }
-          if (want_report) report_records.push_back(record);
-        }
-        if (monitor_ != nullptr) monitor_->RecordStage(record);
-        return Status::OK();
-      }
-    }
-
-    // Assemble this stage's boundary inputs, converting across platforms.
-    BoundaryMap boundary;
-    // Shares ownership of borrowed inputs and conversions for the call, so
-    // concurrent eviction can never pull a dataset out from under a stage.
-    std::vector<std::shared_ptr<const Dataset>> held;
-    held.reserve(stage.boundary_inputs().size());
-    for (const Operator* producer : stage.boundary_inputs()) {
-      std::shared_ptr<const Dataset> data;
-      {
+      // Inputs this stage holds are released once it is done with them —
+      // shared with the executed path below. With failover armed the
+      // datasets themselves are retained (a re-plan may cut new stage
+      // boundaries that need them again); only the derived conversions are
+      // dropped, since they can be recomputed from the retained originals.
+      auto release_inputs = [&]() {
         std::lock_guard<std::mutex> lock(mu);
-        RHEEM_ASSIGN_OR_RETURN(data, state.GetShared(producer->id()));
+        for (const Operator* producer : stage.boundary_inputs()) {
+          auto it = consumers_left->find(producer->id());
+          if (it != consumers_left->end() && --it->second == 0 &&
+              producer != rplan.plan->sink()) {
+            if (!failover_armed) state.Evict(producer->id());
+            for (auto c = conversion_cache.begin();
+                 c != conversion_cache.end();) {
+              c = c->first.first == producer->id() ? conversion_cache.erase(c)
+                                                   : std::next(c);
+            }
+          }
+        }
+      };
+
+      // Failover re-plans re-walk the whole DAG: stages whose products
+      // already materialized in an earlier round are satisfied as-is.
+      if (!stage.outputs().empty()) {
+        bool satisfied = true;
+        std::lock_guard<std::mutex> lock(mu);
+        for (const Operator* out : stage.outputs()) {
+          satisfied = satisfied && state.Has(out->id());
+        }
+        if (satisfied) {
+          for (const Operator* producer : stage.boundary_inputs()) {
+            auto it = consumers_left->find(producer->id());
+            if (it != consumers_left->end()) --it->second;
+          }
+          return Status::OK();
+        }
       }
-      Platform* from =
-          eplan.assignment.by_op.count(producer->id()) > 0
-              ? eplan.assignment.by_op.at(producer->id())
-              : nullptr;
-      const bool crosses = from != nullptr && from != stage.platform();
-      if (crosses) {
-        const auto edge =
-            std::make_pair(producer->id(), stage.platform()->name());
-        if (serialize_boundaries) {
-          std::shared_ptr<const Dataset> conv;
+
+      // Materialized-result reuse (paper §4.2: the Executor "reuses
+      // materialized results"): when every output of this stage is cached
+      // under its sub-plan fingerprint, skip execution and surface the
+      // cached datasets — zero rows copied, zero platform work.
+      if (use_result_cache && !stage.outputs().empty() &&
+          !subplan_fps->empty()) {
+        std::vector<std::shared_ptr<const Dataset>> cached;
+        cached.reserve(stage.outputs().size());
+        for (const Operator* out : stage.outputs()) {
+          const uint64_t* fp = fingerprint_of(out->id());
+          std::shared_ptr<const Dataset> hit =
+              fp != nullptr ? result_cache_->Lookup(*fp) : nullptr;
+          if (hit == nullptr) break;
+          cached.push_back(std::move(hit));
+        }
+        if (cached.size() == stage.outputs().size()) {
+          TraceSpan reuse_span("stage", "executor", exec_span_id);
+          reuse_span.AddTag("stage", static_cast<int64_t>(stage.id()));
+          reuse_span.AddTag("platform", stage.platform()->name());
+          reuse_span.AddTag("reuse", "result_cache");
+          CountIfEnabled(reused_counter, 1);
+          ExecutionMonitor::StageRecord record;
+          record.stage_id = stage.id();
+          record.platform = stage.platform()->name();
+          record.succeeded = true;
+          record.error = "reused from result cache";
+          for (const auto& data : cached) {
+            record.output_records += static_cast<int64_t>(data->size());
+          }
           {
             std::lock_guard<std::mutex> lock(mu);
-            auto it = conversion_cache.find(edge);
-            if (it != conversion_cache.end()) conv = it->second;
+            metrics.stages_reused += 1;
+            for (std::size_t i = 0; i < cached.size(); ++i) {
+              state.Put(stage.outputs()[i]->id(), std::move(cached[i]));
+            }
+            if (want_report) report_records.push_back(record);
           }
-          if (conv != nullptr) {
-            // Another consumer stage already paid this edge's conversion.
-            CountIfEnabled(boundary_hits_counter, 1);
+          if (monitor_ != nullptr) monitor_->RecordStage(record);
+          release_inputs();
+          return Status::OK();
+        }
+      }
+
+      // Fault recovery: if every product of this stage survives — intact —
+      // from a prior run of the same job id, restore it instead of
+      // re-executing. A checkpoint failing its checksum (torn write, bit
+      // rot) is counted and re-executed, never silently restored.
+      if (!checkpoint_dir.empty() && !stage.outputs().empty()) {
+        std::vector<Dataset> restored;
+        bool all_present = true;
+        for (const Operator* out : stage.outputs()) {
+          auto content = ReadFileToString(checkpoint_path(out->id()));
+          if (!content.ok()) {
+            all_present = false;
+            break;
+          }
+          auto payload = DecodeCheckpoint(*content);
+          if (!payload.ok()) {
+            CountIfEnabled(corrupt_counter, 1);
+            RHEEM_LOG(Warning)
+                << "discarding checkpoint " << checkpoint_path(out->id())
+                << ": " << payload.status().ToString();
+            all_present = false;
+            break;
+          }
+          auto decoded = Serializer::DecodeDataset(*payload);
+          if (!decoded.ok()) {
+            CountIfEnabled(corrupt_counter, 1);
+            all_present = false;
+            break;
+          }
+          restored.push_back(std::move(decoded).ValueOrDie());
+        }
+        if (all_present) {
+          TraceSpan restore_span("stage", "executor", exec_span_id);
+          restore_span.AddTag("stage", static_cast<int64_t>(stage.id()));
+          restore_span.AddTag("platform", stage.platform()->name());
+          restore_span.AddTag("restored", "true");
+          CountIfEnabled(restored_counter, 1);
+          ExecutionMonitor::StageRecord record;
+          record.stage_id = stage.id();
+          record.platform = stage.platform()->name();
+          record.succeeded = true;
+          record.error = "restored from checkpoint";
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            for (std::size_t i = 0; i < restored.size(); ++i) {
+              state.Put(stage.outputs()[i]->id(), std::move(restored[i]));
+            }
+            if (want_report) report_records.push_back(record);
+          }
+          if (monitor_ != nullptr) monitor_->RecordStage(record);
+          return Status::OK();
+        }
+      }
+
+      // Assemble this stage's boundary inputs, converting across platforms.
+      // Runs once per attempt (inside the retry loop) so an injected or
+      // real conversion failure is retried like any other stage failure;
+      // the conversion cache keeps repeats cheap and ensures movement is
+      // charged at most once per edge across all attempts.
+      auto assemble = [&](BoundaryMap* boundary,
+                          std::vector<std::shared_ptr<const Dataset>>* held)
+          -> Status {
+        held->reserve(stage.boundary_inputs().size());
+        for (const Operator* producer : stage.boundary_inputs()) {
+          std::shared_ptr<const Dataset> data;
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            RHEEM_ASSIGN_OR_RETURN(data, state.GetShared(producer->id()));
+          }
+          Platform* from =
+              rplan.assignment.by_op.count(producer->id()) > 0
+                  ? rplan.assignment.by_op.at(producer->id())
+                  : nullptr;
+          const bool crosses = from != nullptr && from != stage.platform();
+          if (crosses) {
+            const auto edge =
+                std::make_pair(producer->id(), stage.platform()->name());
+            if (serialize_boundaries) {
+              std::shared_ptr<const Dataset> conv;
+              {
+                std::lock_guard<std::mutex> lock(mu);
+                auto it = conversion_cache.find(edge);
+                if (it != conversion_cache.end()) conv = it->second;
+              }
+              if (conv != nullptr) {
+                // Another consumer stage already paid this edge's conversion.
+                CountIfEnabled(boundary_hits_counter, 1);
+                {
+                  std::lock_guard<std::mutex> lock(mu);
+                  metrics.boundary_conversions_reused += 1;
+                }
+                (*boundary)[producer->id()] = conv.get();
+                held->push_back(std::move(conv));
+                continue;
+              }
+              CountIfEnabled(boundary_misses_counter, 1);
+              RHEEM_RETURN_IF_ERROR(FaultInjector::Global().Hit(
+                  "executor.boundary_convert",
+                  "producer=" + std::to_string(producer->id()) +
+                      ",platform=" + stage.platform()->name()));
+              // Real work: encode on the producer side, decode on the
+              // consumer side (ChannelKind::kSerializedStream); runs
+              // outside the lock.
+              Stopwatch sw;
+              std::string wire = Serializer::EncodeDataset(*data);
+              auto decoded = Serializer::DecodeDataset(wire);
+              if (!decoded.ok()) {
+                return decoded.status().WithContext("boundary conversion");
+              }
+              auto shared = std::make_shared<const Dataset>(
+                  std::move(decoded).ValueOrDie());
+              bool inserted = false;
+              {
+                std::lock_guard<std::mutex> lock(mu);
+                auto emplaced = conversion_cache.emplace(edge, shared);
+                inserted = emplaced.second;
+                if (!inserted) {
+                  // Raced with another consumer: share the winner's
+                  // conversion and charge nothing — the edge was already
+                  // paid for.
+                  shared = emplaced.first->second;
+                  metrics.boundary_conversions_reused += 1;
+                } else {
+                  // Movement totals: once per (producer, platform) edge.
+                  metrics.moved_records += static_cast<int64_t>(data->size());
+                  metrics.moved_bytes += static_cast<int64_t>(wire.size());
+                  metrics.wall_micros += sw.ElapsedMicros();
+                }
+              }
+              if (inserted) {
+                CountIfEnabled(moved_records_counter,
+                               static_cast<int64_t>(data->size()));
+                CountIfEnabled(moved_bytes_counter,
+                               static_cast<int64_t>(wire.size()));
+              }
+              (*boundary)[producer->id()] = shared.get();
+              held->push_back(std::move(shared));
+              continue;
+            }
+            // Approximated movement (no real conversion): still charge each
+            // edge exactly once, however many consumer stages share it.
+            bool first_crossing = false;
             {
               std::lock_guard<std::mutex> lock(mu);
-              metrics.boundary_conversions_reused += 1;
+              first_crossing = moved_edges.insert(edge).second;
             }
-            boundary[producer->id()] = conv.get();
-            held.push_back(std::move(conv));
-            continue;
+            if (first_crossing) {
+              const int64_t approx_bytes = Serializer::EncodedSize(*data);
+              CountIfEnabled(moved_records_counter,
+                             static_cast<int64_t>(data->size()));
+              CountIfEnabled(moved_bytes_counter, approx_bytes);
+              std::lock_guard<std::mutex> lock(mu);
+              metrics.moved_records += static_cast<int64_t>(data->size());
+              metrics.moved_bytes += approx_bytes;
+            }
           }
-          CountIfEnabled(boundary_misses_counter, 1);
-          // Real work: encode on the producer side, decode on the consumer
-          // side (ChannelKind::kSerializedStream); runs outside the lock.
-          Stopwatch sw;
-          std::string wire = Serializer::EncodeDataset(*data);
-          auto decoded = Serializer::DecodeDataset(wire);
-          if (!decoded.ok()) {
-            return decoded.status().WithContext("boundary conversion");
-          }
-          auto shared =
-              std::make_shared<const Dataset>(std::move(decoded).ValueOrDie());
-          bool inserted = false;
+          (*boundary)[producer->id()] = data.get();
+          held->push_back(std::move(data));
+        }
+        return Status::OK();
+      };
+
+      // Execute with retries: exponential deadline-aware backoff between
+      // attempts, and each attempt runs the full assemble+execute path.
+      Status last_error = Status::OK();
+      bool done = false;
+      for (int attempt = 0; attempt <= max_retries && !done; ++attempt) {
+        RHEEM_RETURN_IF_ERROR(stop_.Check());
+        if (attempt > 0) {
+          RHEEM_RETURN_IF_ERROR(BackoffBeforeRetry(
+              attempt, backoff_base_us, backoff_cap_us, stop_));
           {
             std::lock_guard<std::mutex> lock(mu);
-            auto emplaced = conversion_cache.emplace(edge, shared);
-            inserted = emplaced.second;
-            if (!inserted) {
-              // Raced with another consumer: share the winner's conversion
-              // and charge nothing — the edge was already paid for.
-              shared = emplaced.first->second;
-              metrics.boundary_conversions_reused += 1;
-            } else {
-              // Movement totals: exactly once per (producer, platform) edge.
-              metrics.moved_records += static_cast<int64_t>(data->size());
-              metrics.moved_bytes += static_cast<int64_t>(wire.size());
-              metrics.wall_micros += sw.ElapsedMicros();
+            ++metrics.retries;
+          }
+          CountIfEnabled(retries_counter, 1);
+        }
+        CountIfEnabled(attempts_counter, 1);
+        // One span per attempt: retries render as sibling `stage` spans,
+        // each tagged with its attempt number, under the job's `execute`
+        // span.
+        TraceSpan attempt_span("stage", "executor", exec_span_id);
+        attempt_span.AddTag("stage", static_cast<int64_t>(stage.id()));
+        attempt_span.AddTag("platform", stage.platform()->name());
+        attempt_span.AddTag("attempt", static_cast<int64_t>(attempt));
+        ExecutionMetrics stage_metrics;
+        Stopwatch sw;
+        Status injected = FaultInjector::Global().Hit(
+            "executor.stage_attempt",
+            "stage=" + std::to_string(stage.id()) +
+                ",platform=" + stage.platform()->name() +
+                ",attempt=" + std::to_string(attempt));
+        BoundaryMap boundary;
+        // Shares ownership of borrowed inputs and conversions for the call,
+        // so concurrent eviction can never pull a dataset out from under a
+        // stage.
+        std::vector<std::shared_ptr<const Dataset>> held;
+        Result<std::vector<Dataset>> outputs = std::vector<Dataset>{};
+        if (injected.ok()) {
+          Status assembled = assemble(&boundary, &held);
+          outputs = assembled.ok() ? stage.platform()->ExecuteStage(
+                                         stage, boundary, &stage_metrics)
+                                   : Result<std::vector<Dataset>>(assembled);
+        } else {
+          outputs = Result<std::vector<Dataset>>(injected);
+        }
+        const int64_t wall = sw.ElapsedMicros();
+        if (MetricsRegistry::Global().enabled()) {
+          stage_wall_histogram->Observe(wall);
+        }
+
+        ExecutionMonitor::StageRecord record;
+        record.stage_id = stage.id();
+        record.platform = stage.platform()->name();
+        record.attempt = attempt;
+        record.wall_micros = wall;
+        record.sim_overhead_micros = stage_metrics.sim_overhead_micros;
+
+        if (outputs.ok()) {
+          auto out = std::move(outputs).ValueOrDie();
+          if (out.size() != stage.outputs().size()) {
+            return Status::Internal(
+                "platform '" + stage.platform()->name() + "' returned " +
+                std::to_string(out.size()) + " outputs for stage " +
+                std::to_string(stage.id()) + " but " +
+                std::to_string(stage.outputs().size()) + " were declared");
+          }
+          for (std::size_t i = 0; i < out.size(); ++i) {
+            record.output_records += static_cast<int64_t>(out[i].size());
+            if (!checkpoint_dir.empty()) {
+              const int op_id = stage.outputs()[i]->id();
+              std::string framed =
+                  EncodeCheckpoint(Serializer::EncodeDataset(out[i]));
+              // An injected checkpoint fault simulates a torn write: half
+              // the framed bytes reach disk. The checksum catches it on the
+              // next restore attempt.
+              if (!FaultInjector::Global()
+                       .Hit("executor.checkpoint_write",
+                            "op=" + std::to_string(op_id))
+                       .ok()) {
+                framed.resize(framed.size() / 2);
+                attempt_span.AddTag("fault", "checkpoint_write");
+              }
+              Status written =
+                  WriteStringToFile(checkpoint_path(op_id), framed);
+              if (!written.ok()) {
+                RHEEM_LOG(Warning) << "checkpoint write failed: "
+                                   << written.ToString();
+              }
             }
           }
-          if (inserted) {
-            CountIfEnabled(moved_records_counter,
-                           static_cast<int64_t>(data->size()));
-            CountIfEnabled(moved_bytes_counter,
-                           static_cast<int64_t>(wire.size()));
+          // Wrap outputs as shared const datasets: the same materialization
+          // is handed to the execution state and (below) the cross-job
+          // result cache without copying.
+          std::vector<std::shared_ptr<const Dataset>> shared_outs;
+          shared_outs.reserve(out.size());
+          for (std::size_t i = 0; i < out.size(); ++i) {
+            shared_outs.push_back(
+                std::make_shared<const Dataset>(std::move(out[i])));
           }
-          boundary[producer->id()] = shared.get();
-          held.push_back(std::move(shared));
-          continue;
-        }
-        // Approximated movement (no real conversion): still charge each
-        // edge exactly once, however many consumer stages share it.
-        bool first_crossing = false;
-        {
-          std::lock_guard<std::mutex> lock(mu);
-          first_crossing = moved_edges.insert(edge).second;
-        }
-        if (first_crossing) {
-          const int64_t approx_bytes = Serializer::EncodedSize(*data);
-          CountIfEnabled(moved_records_counter,
-                         static_cast<int64_t>(data->size()));
-          CountIfEnabled(moved_bytes_counter, approx_bytes);
-          std::lock_guard<std::mutex> lock(mu);
-          metrics.moved_records += static_cast<int64_t>(data->size());
-          metrics.moved_bytes += approx_bytes;
-        }
-      }
-      boundary[producer->id()] = data.get();
-      held.push_back(std::move(data));
-    }
-
-    // Execute with retries.
-    Status last_error = Status::OK();
-    bool done = false;
-    for (int attempt = 0; attempt <= max_retries && !done; ++attempt) {
-      RHEEM_RETURN_IF_ERROR(stop_.Check());
-      if (attempt > 0) {
-        std::lock_guard<std::mutex> lock(mu);
-        ++metrics.retries;
-      }
-      if (attempt > 0) CountIfEnabled(retries_counter, 1);
-      CountIfEnabled(attempts_counter, 1);
-      // One span per attempt: retries render as sibling `stage` spans, each
-      // tagged with its attempt number, under the job's `execute` span.
-      TraceSpan attempt_span("stage", "executor", exec_span_id);
-      attempt_span.AddTag("stage", static_cast<int64_t>(stage.id()));
-      attempt_span.AddTag("platform", stage.platform()->name());
-      attempt_span.AddTag("attempt", static_cast<int64_t>(attempt));
-      ExecutionMetrics stage_metrics;
-      Stopwatch sw;
-      Status injected =
-          failure_injector_ ? failure_injector_(stage, attempt) : Status::OK();
-      Result<std::vector<Dataset>> outputs =
-          injected.ok()
-              ? stage.platform()->ExecuteStage(stage, boundary, &stage_metrics)
-              : Result<std::vector<Dataset>>(injected);
-      const int64_t wall = sw.ElapsedMicros();
-      if (MetricsRegistry::Global().enabled()) {
-        stage_wall_histogram->Observe(wall);
-      }
-
-      ExecutionMonitor::StageRecord record;
-      record.stage_id = stage.id();
-      record.platform = stage.platform()->name();
-      record.attempt = attempt;
-      record.wall_micros = wall;
-      record.sim_overhead_micros = stage_metrics.sim_overhead_micros;
-
-      if (outputs.ok()) {
-        auto out = std::move(outputs).ValueOrDie();
-        if (out.size() != stage.outputs().size()) {
-          return Status::Internal(
-              "platform '" + stage.platform()->name() + "' returned " +
-              std::to_string(out.size()) + " outputs for stage " +
-              std::to_string(stage.id()) + " but " +
-              std::to_string(stage.outputs().size()) + " were declared");
-        }
-        for (std::size_t i = 0; i < out.size(); ++i) {
-          record.output_records += static_cast<int64_t>(out[i].size());
-          if (!checkpoint_dir.empty()) {
-            Status written = WriteStringToFile(
-                checkpoint_path(stage.outputs()[i]->id()),
-                Serializer::EncodeDataset(out[i]));
-            if (!written.ok()) {
-              RHEEM_LOG(Warning) << "checkpoint write failed: "
-                                 << written.ToString();
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            metrics.MergeFrom(stage_metrics);
+            metrics.wall_micros += wall;
+            metrics.stages_run += 1;
+            health[stage.platform()->name()] = 0;
+            for (std::size_t i = 0; i < shared_outs.size(); ++i) {
+              state.Put(stage.outputs()[i]->id(), shared_outs[i]);
             }
           }
+          if (use_result_cache) {
+            for (std::size_t i = 0; i < shared_outs.size(); ++i) {
+              const uint64_t* fp = fingerprint_of(stage.outputs()[i]->id());
+              if (fp != nullptr) result_cache_->Insert(*fp, shared_outs[i]);
+            }
+          }
+          record.succeeded = true;
+          done = true;
+          CountIfEnabled(stages_counter, 1);
+        } else {
+          last_error = outputs.status();
+          record.succeeded = false;
+          record.error = last_error.ToString();
+          CountIfEnabled(failures_counter, 1);
+          attempt_span.AddTag("error", record.error);
+          if (!injected.ok() ||
+              record.error.find("injected fault") != std::string::npos) {
+            attempt_span.AddTag("fault", "injected");
+          }
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            ++health[stage.platform()->name()];
+          }
+          RHEEM_LOG(Warning) << "stage " << stage.id() << " attempt "
+                             << attempt
+                             << " failed: " << last_error.ToString();
         }
-        // Wrap outputs as shared const datasets: the same materialization is
-        // handed to the execution state and (below) the cross-job result
-        // cache without copying.
-        std::vector<std::shared_ptr<const Dataset>> shared_outs;
-        shared_outs.reserve(out.size());
-        for (std::size_t i = 0; i < out.size(); ++i) {
-          shared_outs.push_back(
-              std::make_shared<const Dataset>(std::move(out[i])));
+        attempt_span.AddTag("succeeded", record.succeeded ? "true" : "false");
+        attempt_span.AddTag("rows_out", record.output_records);
+        if (want_report) {
+          std::lock_guard<std::mutex> lock(mu);
+          report_records.push_back(record);
         }
+        if (monitor_ != nullptr) monitor_->RecordStage(record);
+      }
+      if (!done) {
         {
           std::lock_guard<std::mutex> lock(mu);
-          metrics.MergeFrom(stage_metrics);
-          metrics.wall_micros += wall;
-          metrics.stages_run += 1;
-          for (std::size_t i = 0; i < shared_outs.size(); ++i) {
-            state.Put(stage.outputs()[i]->id(), shared_outs[i]);
+          if (suspect_platform.empty()) {
+            suspect_platform = stage.platform()->name();
           }
         }
-        if (use_result_cache) {
-          for (std::size_t i = 0; i < shared_outs.size(); ++i) {
-            const uint64_t* fp = fingerprint_of(stage.outputs()[i]->id());
-            if (fp != nullptr) result_cache_->Insert(*fp, shared_outs[i]);
-          }
-        }
-        record.succeeded = true;
-        done = true;
-        CountIfEnabled(stages_counter, 1);
-      } else {
-        last_error = outputs.status();
-        record.succeeded = false;
-        record.error = last_error.ToString();
-        CountIfEnabled(failures_counter, 1);
-        attempt_span.AddTag("error", record.error);
-        RHEEM_LOG(Warning) << "stage " << stage.id() << " attempt " << attempt
-                           << " failed: " << last_error.ToString();
+        return last_error.WithContext(
+            "stage " + std::to_string(stage.id()) + " failed after " +
+            std::to_string(max_retries + 1) + " attempt(s)");
       }
-      attempt_span.AddTag("succeeded", record.succeeded ? "true" : "false");
-      attempt_span.AddTag("rows_out", record.output_records);
-      if (want_report) {
-        std::lock_guard<std::mutex> lock(mu);
-        report_records.push_back(record);
-      }
-      if (monitor_ != nullptr) monitor_->RecordStage(record);
-    }
-    if (!done) {
-      return last_error.WithContext(
-          "stage " + std::to_string(stage.id()) + " failed after " +
-          std::to_string(max_retries + 1) + " attempt(s)");
-    }
 
-    // Evict boundary inputs (and their cached conversions) that no later
-    // stage needs.
-    release_inputs();
-    return Status::OK();
+      // Evict boundary inputs (and their cached conversions) that no later
+      // stage needs.
+      release_inputs();
+      return Status::OK();
+    };
+
+    if (!parallel_stages || rplan.stages.size() <= 1) {
+      for (const Stage& stage : rplan.stages) {
+        RHEEM_RETURN_IF_ERROR(run_stage(stage));
+      }
+      return Status::OK();
+    }
+    ThreadPool* pool = pool_ != nullptr ? pool_ : &DefaultThreadPool();
+    return RunStagesDag(rplan.stages, pool, run_stage);
   };
 
-  if (!parallel_stages || eplan.stages.size() <= 1) {
-    for (const Stage& stage : eplan.stages) {
-      RHEEM_RETURN_IF_ERROR(run_stage(stage));
+  // Failover loop: one round per plan. A round that fails because a
+  // platform blacked out (>= failover_threshold consecutive failures) bans
+  // the platform, pins every op whose stage already completed, and
+  // re-enumerates the remaining work onto the healthy platforms — the job
+  // degrades to a slower plan instead of failing ("coping with failures",
+  // paper §4.2). Cancellation and deadlines are never failed over.
+  ExecutionPlan replanned;
+  const ExecutionPlan* current = &eplan;
+  for (int round = 0;; ++round) {
+    Status round_status = run_round(*current);
+    if (round_status.ok()) break;
+    if (round_status.IsCancelled() || round_status.IsDeadlineExceeded()) {
+      return round_status;
     }
-  } else {
-    ThreadPool* pool = pool_ != nullptr ? pool_ : &DefaultThreadPool();
-    RHEEM_RETURN_IF_ERROR(RunStagesDag(eplan.stages, pool, run_stage));
+    std::string culprit;
+    int64_t consecutive = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      culprit = suspect_platform;
+      suspect_platform.clear();
+      if (!culprit.empty()) consecutive = health[culprit];
+    }
+    if (!failover_armed || round >= max_failovers || culprit.empty() ||
+        consecutive < failover_threshold) {
+      return round_status;
+    }
+    blacked_out.insert(culprit);
+
+    EnumeratorOptions ropts;
+    ropts.banned_platforms = blacked_out;
+    {
+      // Pin completed work to where it ran: the re-plan keeps those stages
+      // intact (and they are skipped as satisfied), while unexecuted ops are
+      // free to move off the blacked-out platform.
+      std::lock_guard<std::mutex> lock(mu);
+      for (const Stage& stage : current->stages) {
+        bool complete = !stage.outputs().empty();
+        for (const Operator* out : stage.outputs()) {
+          complete = complete && state.Has(out->id());
+        }
+        if (!complete) continue;
+        for (const Operator* op : stage.ops()) {
+          ropts.pinned_platforms[op->id()] = stage.platform()->name();
+        }
+      }
+      health.erase(culprit);
+    }
+    auto estimates = CardinalityEstimator::Estimate(*eplan.plan);
+    if (!estimates.ok()) {
+      return round_status.WithContext("failover re-plan failed: " +
+                                      estimates.status().ToString());
+    }
+    Enumerator enumerator(registry_, movement_);
+    auto assignment =
+        enumerator.Run(*eplan.plan, *estimates, ropts);
+    if (!assignment.ok()) {
+      return round_status.WithContext("failover re-plan failed: " +
+                                      assignment.status().ToString());
+    }
+    auto split =
+        StageSplitter::Split(*eplan.plan, std::move(assignment).ValueOrDie());
+    if (!split.ok()) {
+      return round_status.WithContext("failover re-plan failed: " +
+                                      split.status().ToString());
+    }
+    replanned = std::move(split).ValueOrDie();
+    current = &replanned;
+    metrics.failovers += 1;
+    CountIfEnabled(failovers_counter, 1);
+    const std::string note =
+        "platform '" + culprit + "' blacked out after " +
+        std::to_string(consecutive) +
+        " consecutive failures; re-planned remaining work across " +
+        std::to_string(replanned.stages.size()) + " stage(s)";
+    failover_notes.push_back(note);
+    exec_span.AddTag("failover_" + std::to_string(metrics.failovers), note);
+    RHEEM_LOG(Warning) << "failover: " << note
+                       << " (fault seed " << FaultInjector::Global().seed()
+                       << ")";
   }
 
   RHEEM_ASSIGN_OR_RETURN(const Dataset* final_data,
@@ -576,7 +868,9 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
   result.output = *final_data;
   result.metrics = metrics;
   if (want_report) {
-    result.report = BuildExecutionReport(std::move(report_records), metrics);
+    result.report =
+        BuildExecutionReport(std::move(report_records), metrics,
+                             failover_notes);
   }
   return result;
 }

@@ -12,16 +12,17 @@
 
 namespace rheem {
 
-class ResultCache;  // core/executor/result_cache.h
+class ResultCache;        // core/executor/result_cache.h
+class MovementCostModel;  // core/optimizer/channel.h
 
 /// \brief Result of executing one RHEEM job end to end.
 struct ExecutionResult {
   Dataset output;
   ExecutionMetrics metrics;
   /// EXPLAIN ANALYZE-style per-stage report (platform, attempts, wall time,
-  /// output rows, movement totals). Populated when the process-wide
-  /// MetricsRegistry is enabled (`metrics.enabled`); empty otherwise so the
-  /// disabled path does no string work.
+  /// output rows, movement totals, failover events). Populated when the
+  /// process-wide MetricsRegistry is enabled (`metrics.enabled`); empty
+  /// otherwise so the disabled path does no string work.
   std::string report;
 };
 
@@ -42,37 +43,48 @@ struct ExecutionResult {
 /// is encoded/decoded once — later consumers share the first conversion —
 /// and movement totals count each (producer, target platform) edge once.
 ///
+/// Fault tolerance ("coping with failures", paper §4.2): each stage attempt
+/// retries with exponential, deadline-aware backoff; after
+/// `executor.failover_threshold` consecutive failures on one platform the
+/// platform is declared blacked out and — when EnableFailover() armed the
+/// executor with the platform registry — the remaining unexecuted stages are
+/// re-enumerated onto the healthy platforms, so a platform blackout degrades
+/// the job to a slower plan instead of failing it. Materialized stage
+/// outputs, cached boundary conversions and checkpoints all stay valid
+/// across the re-plan. Every failure path is instrumented with FaultInjector
+/// sites (see docs/fault_tolerance.md).
+///
 /// Config keys:
 ///   executor.max_retries        (int, default 2)   retries per failed stage
+///   executor.retry_backoff_us   (int, default 1000): base of the exponential
+///       per-retry backoff (doubles per attempt); 0 disables sleeping.
+///   executor.retry_backoff_max_us (int, default 250000): backoff ceiling.
+///   executor.failover_threshold (int, default 3): consecutive stage-attempt
+///       failures on one platform before it is blacked out.
+///   executor.max_failovers      (int, default 2): re-plans per job.
 ///   executor.serialize_boundaries (bool, default true)
 ///   executor.parallel_stages    (bool, default true): run independent stages
 ///       concurrently; disable for strictly serial stage-by-stage execution.
 ///   executor.checkpoint_dir     (string, default "" = off): directory where
-///       every stage's boundary outputs are persisted; a re-run of the same
+///       every stage's boundary outputs are persisted (checksummed; torn or
+///       corrupt files are detected and re-executed); a re-run of the same
 ///       job (keyed by executor.job_id) skips stages whose products are
 ///       already checkpointed — coarse-grained fault recovery for long
 ///       multi-platform jobs ("coping with failures", paper §4.2).
 ///   executor.job_id             (string, default "job")
 class CrossPlatformExecutor {
  public:
-  /// Fault hook for tests/benchmarks: called before each stage attempt; a
-  /// non-OK return is treated as a platform failure of that attempt.
-  using FailureInjector = std::function<Status(const Stage&, int attempt)>;
-
   explicit CrossPlatformExecutor(Config config = Config());
 
-  void set_failure_injector(FailureInjector injector) {
-    failure_injector_ = std::move(injector);
-  }
   void set_monitor(ExecutionMonitor* monitor) { monitor_ = monitor; }
 
   /// Pool carrying concurrent stage tasks (not owned). Defaults to the
   /// process-wide DefaultThreadPool().
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
-  /// Cancellation/deadline polled at stage boundaries: a cancelled or
-  /// overdue job stops before its next stage attempt and Execute returns
-  /// Cancelled / DeadlineExceeded.
+  /// Cancellation/deadline polled at stage boundaries and during retry
+  /// backoff: a cancelled or overdue job stops before its next stage attempt
+  /// and Execute returns Cancelled / DeadlineExceeded.
   void set_stop_condition(StopCondition stop) { stop_ = stop; }
 
   /// Cross-job sub-plan result cache (not owned; typically the JobServer's).
@@ -82,15 +94,27 @@ class CrossPlatformExecutor {
   /// Operator::FingerprintToken contract — see ResultCache.
   void set_result_cache(ResultCache* cache) { result_cache_ = cache; }
 
+  /// Arms platform failover: when a platform blacks out mid-job, the
+  /// remaining unexecuted stages are re-enumerated over `registry` (minus
+  /// the blacked-out platforms) using `movement` for boundary costs. Both
+  /// are borrowed and must outlive Execute(). Without this call a blackout
+  /// fails the job after the retry budget, as before.
+  void EnableFailover(const PlatformRegistry* registry,
+                      const MovementCostModel* movement) {
+    registry_ = registry;
+    movement_ = movement;
+  }
+
   /// Runs all stages of `eplan` and returns the plan sink's output.
   Result<ExecutionResult> Execute(const ExecutionPlan& eplan);
 
  private:
   Config config_;
-  FailureInjector failure_injector_;
   ExecutionMonitor* monitor_ = nullptr;  // optional, not owned
   ThreadPool* pool_ = nullptr;           // optional, not owned
   ResultCache* result_cache_ = nullptr;  // optional, not owned
+  const PlatformRegistry* registry_ = nullptr;     // failover, not owned
+  const MovementCostModel* movement_ = nullptr;    // failover, not owned
   StopCondition stop_;
 };
 

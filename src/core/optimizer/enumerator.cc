@@ -174,6 +174,12 @@ Result<PlatformAssignment> Enumerator::Run(const Plan& plan,
             "' which is excluded by force_platform");
       }
       for (std::size_t i = 0; i < np; ++i) allowed[i] = (i == pi);
+    } else if (!options.banned_platforms.empty()) {
+      for (std::size_t i = 0; i < np; ++i) {
+        if (options.banned_platforms.count(platforms[i]->name()) > 0) {
+          allowed[i] = false;
+        }
+      }
     }
 
     auto self_est = estimates.find(op->id());

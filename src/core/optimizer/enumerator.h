@@ -2,6 +2,7 @@
 #define RHEEM_CORE_OPTIMIZER_ENUMERATOR_H_
 
 #include <map>
+#include <set>
 #include <string>
 
 #include "common/result.h"
@@ -20,6 +21,11 @@ struct EnumeratorOptions {
   /// Per-operator pins (op id -> platform name); the fluent API's
   /// DataQuanta::OnPlatform ends up here.
   std::map<int, std::string> pinned_platforms;
+  /// Platforms excluded for every non-pinned operator (the executor's
+  /// failover path bans blacked-out platforms here). Pins win: an operator
+  /// pinned to a banned platform keeps it — by construction that operator
+  /// already executed there and will not run again.
+  std::set<std::string> banned_platforms;
   /// Let the optimizer flip algorithmic variants (HashGroupBy vs SortGroupBy,
   /// HashJoin vs SortMergeJoin) after platform assignment.
   bool choose_algorithms = true;

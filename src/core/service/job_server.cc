@@ -245,7 +245,7 @@ Result<ExecutionResult> JobServer::RunJobInner(
 
   CrossPlatformExecutor executor(ctx_->config());
   if (eo.monitor != nullptr) executor.set_monitor(eo.monitor);
-  if (eo.failure_injector) executor.set_failure_injector(eo.failure_injector);
+  executor.EnableFailover(&ctx_->platforms(), &ctx_->movement_model());
   executor.set_stop_condition(stop);
   // Materialized-result reuse across jobs: stages whose outputs another job
   // already computed (same sub-plan fingerprint) are skipped entirely.

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
@@ -37,7 +38,13 @@ Status TaskScheduler::RunTasks(std::size_t n, ExecutionMetrics* metrics,
       TraceSpan task_span("task", "sparksim", parent_span);
       task_span.AddTag("partition", static_cast<int64_t>(i));
       if (attempt > 0) task_span.AddTag("attempt", attempt);
-      statuses[i] = fn(i);
+      // An injected task-start fault is a lost executor slot: the task
+      // fails this attempt and competes for the per-task retry budget.
+      Status injected = FaultInjector::Global().Hit(
+          "pool.task_start", "partition=" + std::to_string(i) +
+                                 ",attempt=" + std::to_string(attempt));
+      if (!injected.ok()) task_span.AddTag("fault", "injected");
+      statuses[i] = injected.ok() ? fn(i) : injected;
       if (statuses[i].ok()) break;
       if (attempt + 1 < max_attempts) retries.fetch_add(1);
     }

@@ -1,5 +1,6 @@
 #include "storage/storage_plan.h"
 
+#include "common/fault.h"
 #include "storage/kv_store.h"
 
 namespace rheem {
@@ -49,6 +50,9 @@ Status StorageManager::Execute(const StoragePlan& plan, const Dataset& data) {
     // Transform outside the write lock; only the materialization mutates
     // backend state.
     RHEEM_ASSIGN_OR_RETURN(Dataset transformed, atom.transform.Apply(data));
+    RHEEM_RETURN_IF_ERROR(FaultInjector::Global().Hit(
+        "storage.write",
+        "dataset=" + atom.dataset + ",backend=" + atom.backend));
     {
       std::unique_lock<std::shared_mutex> lock(data_mu_);
       auto* kv = atom.key_column >= 0 ? dynamic_cast<KvStore*>(backend)
@@ -69,6 +73,8 @@ Status StorageManager::Execute(const StoragePlan& plan, const Dataset& data) {
 Status StorageManager::Put(const std::string& backend,
                            const std::string& dataset, const Dataset& data) {
   RHEEM_ASSIGN_OR_RETURN(StorageBackend * b, Backend(backend));
+  RHEEM_RETURN_IF_ERROR(FaultInjector::Global().Hit(
+      "storage.write", "dataset=" + dataset + ",backend=" + backend));
   {
     std::unique_lock<std::shared_mutex> lock(data_mu_);
     RHEEM_RETURN_IF_ERROR(b->Put(dataset, data));
@@ -126,7 +132,15 @@ void StorageManager::NotifyWrite(const std::string& dataset) const {
 Result<Dataset> StorageManager::Load(const std::string& dataset) const {
   std::shared_lock<std::shared_mutex> lock(data_mu_);
   RHEEM_ASSIGN_OR_RETURN(StorageBackend * backend, LocateLocked(dataset));
-  return backend->Get(dataset);
+  Status faulted = Status::OK();
+  for (int attempt = 0; attempt <= read_retries_; ++attempt) {
+    faulted = FaultInjector::Global().Hit(
+        "storage.read", "dataset=" + dataset + ",backend=" + backend->name() +
+                            ",attempt=" + std::to_string(attempt));
+    if (faulted.ok()) return backend->Get(dataset);
+  }
+  return faulted.WithContext("storage read of '" + dataset + "' failed after " +
+                             std::to_string(read_retries_ + 1) + " attempt(s)");
 }
 
 Result<StorageBackend*> StorageManager::Locate(const std::string& dataset) const {

@@ -85,6 +85,13 @@ class StorageManager {
   int AddWriteObserver(WriteObserver observer);
   void RemoveWriteObserver(int id);
 
+  /// Retries per faulted Load (default 2). Backend reads are instrumented
+  /// with the "storage.read" FaultInjector site; a fired fault is treated as
+  /// a transient backend read error and retried within this budget, so a
+  /// bounded chaos schedule never surfaces through a Load. Writes carry the
+  /// (unretried) "storage.write" site.
+  void set_read_retries(int n) { read_retries_ = n; }
+
  private:
   void NotifyWrite(const std::string& dataset) const;
   Result<StorageBackend*> LocateLocked(const std::string& dataset) const;
@@ -99,6 +106,7 @@ class StorageManager {
   mutable std::mutex observer_mu_;
   std::vector<std::pair<int, WriteObserver>> observers_;
   int next_observer_id_ = 0;
+  int read_retries_ = 2;
 };
 
 }  // namespace storage

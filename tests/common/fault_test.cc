@@ -1,0 +1,207 @@
+#include "common/fault.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "common/metrics.h"
+
+namespace rheem {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global().Clear();
+    FaultInjector::Global().Seed(42);
+    FaultInjector::Global().set_enabled(true);
+  }
+  void TearDown() override {
+    FaultInjector::Global().set_enabled(false);
+    FaultInjector::Global().Clear();
+  }
+};
+
+TEST_F(FaultInjectorTest, DisabledHitsAreFree) {
+  FaultInjector::Global().set_enabled(false);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(FaultInjector::Global().Hit("test.site").ok());
+  }
+  EXPECT_EQ(FaultInjector::Global().hits("test.site"), 0);
+}
+
+TEST_F(FaultInjectorTest, NthFiresExactlyOnce) {
+  ASSERT_TRUE(
+      FaultInjector::Global().AddSpec("test.nth", FaultTrigger::Nth(3)).ok());
+  int failures = 0;
+  for (int i = 0; i < 10; ++i) {
+    Status st = FaultInjector::Global().Hit("test.nth");
+    if (!st.ok()) {
+      ++failures;
+      EXPECT_TRUE(st.IsExecutionError());
+      EXPECT_NE(st.message().find("test.nth"), std::string::npos);
+      EXPECT_NE(st.message().find("hit 3"), std::string::npos);
+      EXPECT_NE(st.message().find("seed 42"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(FaultInjector::Global().hits("test.nth"), 10);
+  EXPECT_EQ(FaultInjector::Global().fired("test.nth"), 1);
+}
+
+TEST_F(FaultInjectorTest, EveryKRespectsLimit) {
+  ASSERT_TRUE(FaultInjector::Global()
+                  .AddSpec("test.every", FaultTrigger::EveryK(3, /*max_fires=*/2))
+                  .ok());
+  int failures = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (!FaultInjector::Global().Hit("test.every").ok()) ++failures;
+  }
+  EXPECT_EQ(failures, 2);  // hits 3 and 6; the limit stops hit 9
+}
+
+TEST_F(FaultInjectorTest, MatchFiltersByDetailSubstring) {
+  ASSERT_TRUE(FaultInjector::Global()
+                  .AddSpec("test.match", FaultTrigger::EveryK(1, /*max_fires=*/-1),
+                           "platform=sparksim,")
+                  .ok());
+  EXPECT_TRUE(
+      FaultInjector::Global().Hit("test.match", "platform=javasim,").ok());
+  EXPECT_FALSE(
+      FaultInjector::Global().Hit("test.match", "platform=sparksim,").ok());
+  EXPECT_TRUE(
+      FaultInjector::Global().Hit("test.match", "platform=relsim,").ok());
+  EXPECT_EQ(FaultInjector::Global().hits("test.match"), 3);
+  EXPECT_EQ(FaultInjector::Global().fired("test.match"), 1);
+}
+
+TEST_F(FaultInjectorTest, NthCountsMatchedHitsNotSiteHits) {
+  ASSERT_TRUE(FaultInjector::Global()
+                  .AddSpec("test.nthmatch", FaultTrigger::Nth(2), "stage=1,")
+                  .ok());
+  // Interleave non-matching hits; only the 2nd *matching* hit fires.
+  EXPECT_TRUE(FaultInjector::Global().Hit("test.nthmatch", "stage=0,").ok());
+  EXPECT_TRUE(FaultInjector::Global().Hit("test.nthmatch", "stage=1,").ok());
+  EXPECT_TRUE(FaultInjector::Global().Hit("test.nthmatch", "stage=0,").ok());
+  EXPECT_FALSE(FaultInjector::Global().Hit("test.nthmatch", "stage=1,").ok());
+}
+
+TEST_F(FaultInjectorTest, ProbabilityIsDeterministicInSeed) {
+  auto run = [](uint64_t seed) {
+    FaultInjector::Global().Clear();
+    FaultInjector::Global().Seed(seed);
+    EXPECT_TRUE(FaultInjector::Global()
+                    .AddSpec("test.prob", FaultTrigger::Probability(0.3))
+                    .ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(!FaultInjector::Global().Hit("test.prob").ok());
+    }
+    return fired;
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  const auto c = run(8);
+  EXPECT_EQ(a, b);  // same seed, same decisions
+  EXPECT_NE(a, c);  // different seed explores a different schedule
+  int fires = 0;
+  for (bool f : a) fires += f ? 1 : 0;
+  EXPECT_GT(fires, 20);   // ~60 expected at p=0.3
+  EXPECT_LT(fires, 120);
+}
+
+TEST_F(FaultInjectorTest, SeedResetsHitState) {
+  ASSERT_TRUE(
+      FaultInjector::Global().AddSpec("test.reseed", FaultTrigger::Nth(1)).ok());
+  EXPECT_FALSE(FaultInjector::Global().Hit("test.reseed").ok());
+  EXPECT_TRUE(FaultInjector::Global().Hit("test.reseed").ok());
+  FaultInjector::Global().Seed(42);  // replay: the same schedule again
+  EXPECT_FALSE(FaultInjector::Global().Hit("test.reseed").ok());
+}
+
+TEST_F(FaultInjectorTest, ParseSpecRoundTrip) {
+  ASSERT_TRUE(FaultInjector::Global()
+                  .ParseSpec("test.parse:nth=2; "
+                             "test.parse2@platform=sparksim,:every=3:limit=1")
+                  .ok());
+  EXPECT_TRUE(FaultInjector::Global().Hit("test.parse").ok());
+  EXPECT_FALSE(FaultInjector::Global().Hit("test.parse").ok());
+  EXPECT_TRUE(FaultInjector::Global().Hit("test.parse").ok());  // nth limit=1
+
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(
+        FaultInjector::Global().Hit("test.parse2", "platform=sparksim,").ok());
+  }
+  EXPECT_FALSE(
+      FaultInjector::Global().Hit("test.parse2", "platform=sparksim,").ok());
+  // limit=1 exhausted: the 6th matched hit does not fire.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(
+        FaultInjector::Global().Hit("test.parse2", "platform=sparksim,").ok());
+  }
+}
+
+TEST_F(FaultInjectorTest, ParseSpecRejectsMalformedEntries) {
+  EXPECT_FALSE(FaultInjector::Global().ParseSpec("siteonly").ok());
+  EXPECT_FALSE(FaultInjector::Global().ParseSpec("site:bogus=1").ok());
+  EXPECT_FALSE(FaultInjector::Global().ParseSpec("site:limit=2").ok());
+  EXPECT_FALSE(FaultInjector::Global().ParseSpec("site:nth=0").ok());
+  EXPECT_FALSE(FaultInjector::Global().ParseSpec("site:p=1.5").ok());
+}
+
+TEST_F(FaultInjectorTest, ExportsCountersThroughMetricsRegistry) {
+  MetricsRegistry::Global().Reset();
+  MetricsRegistry::Global().set_enabled(true);
+  ASSERT_TRUE(FaultInjector::Global()
+                  .AddSpec("test.metrics", FaultTrigger::Nth(2))
+                  .ok());
+  for (int i = 0; i < 5; ++i) {
+    (void)FaultInjector::Global().Hit("test.metrics");
+  }
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counter("fault.test.metrics.hits"), 5);
+  EXPECT_EQ(snap.counter("fault.test.metrics.fired"), 1);
+  MetricsRegistry::Global().set_enabled(false);
+}
+
+TEST_F(FaultInjectorTest, ApplyFaultConfigWiresSeedSpecAndEnable) {
+  FaultInjector::Global().set_enabled(false);
+  Config config;
+  config.SetInt("fault.seed", 99);
+  config.Set("fault.spec", "test.config:nth=1");
+  ApplyFaultConfig(config);
+  EXPECT_TRUE(FaultInjector::Global().enabled());
+  EXPECT_EQ(FaultInjector::Global().seed(), 99u);
+  EXPECT_FALSE(FaultInjector::Global().Hit("test.config").ok());
+
+  Config off;
+  off.SetBool("fault.enabled", false);
+  ApplyFaultConfig(off);
+  EXPECT_FALSE(FaultInjector::Global().enabled());
+}
+
+TEST_F(FaultInjectorTest, ConcurrentHitsHonorFireLimit) {
+  ASSERT_TRUE(FaultInjector::Global()
+                  .AddSpec("test.race", FaultTrigger::EveryK(1, /*max_fires=*/8))
+                  .ok());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 100; ++i) {
+        if (!FaultInjector::Global().Hit("test.race").ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 8);  // the limit is exact even under races
+  EXPECT_EQ(FaultInjector::Global().hits("test.race"), 800);
+}
+
+}  // namespace
+}  // namespace rheem

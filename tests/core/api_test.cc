@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault.h"
 #include "core/api/context.h"
 
 namespace rheem {
@@ -325,17 +326,20 @@ TEST_F(ApiTest, EmptyDataQuantaRejected) {
   EXPECT_FALSE(empty.Explain().ok());
 }
 
-TEST_F(ApiTest, FailureInjectionThroughOptions) {
+TEST_F(ApiTest, FailureInjectionThroughFaultInjector) {
   RheemJob job(&ctx_);
-  int attempts = 0;
-  job.options().failure_injector = [&](const Stage&, int) -> Status {
-    ++attempts;
-    if (attempts == 1) return Status::ExecutionError("flaky");
-    return Status::OK();
-  };
+  FaultInjector::Global().Clear();
+  FaultInjector::Global().Seed(1);
+  ASSERT_TRUE(FaultInjector::Global()
+                  .AddSpec("executor.stage_attempt", FaultTrigger::Nth(1))
+                  .ok());
+  FaultInjector::Global().set_enabled(true);
   auto out = job.LoadCollection(Numbers(5)).Collect();
+  const int64_t fired = FaultInjector::Global().fired("executor.stage_attempt");
+  FaultInjector::Global().set_enabled(false);
+  FaultInjector::Global().Clear();
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_GE(attempts, 2);
+  EXPECT_EQ(fired, 1);  // first attempt failed, the retry recovered
 }
 
 }  // namespace

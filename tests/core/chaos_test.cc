@@ -1,0 +1,246 @@
+// Chaos differential harness: randomly generated plans are executed once
+// fault-free (the reference) and once under a randomized-but-survivable
+// fault schedule drawn from the same seed. The chaos run must succeed, be
+// bag-equal with the reference, and reconcile exactly — every fired fault
+// shows up as exactly one recorded retry somewhere (stage retry, sparksim
+// task retry, or a storage-read retry absorbed inside Load), movement totals
+// are charged once per edge no matter how many attempts ran, and no
+// spurious failover is declared.
+//
+// Survivability is by construction: every spec carries a finite fire limit
+// sized within its layer's retry budget (see InstallSchedule), so a chaos
+// failure is a recovery bug, never schedule bad luck.
+//
+// Every failure message carries the round's seed. To replay one round,
+// re-run with RHEEM_FAULT_SEED=<seed> (one round, that exact plan and
+// schedule). CI rotates coverage across runs via RHEEM_FUZZ_SEED_OFFSET,
+// shared with the fuzz suite.
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "core/api/data_quanta.h"
+#include "random_plans.h"
+
+namespace rheem {
+namespace {
+
+using testutil::AsMultiset;
+using testutil::RandomPairs;
+using testutil::RandomPipeline;
+
+int64_t Delta(const MetricsSnapshot& before, const MetricsSnapshot& after,
+              const std::string& name) {
+  return after.counter(name) - before.counter(name);
+}
+
+/// Draws one trigger from the schedule tape. Whatever the kind, `limit`
+/// bounds total fires — the survivability guarantee does not depend on
+/// where nth/every-k/probability hits land.
+FaultTrigger RandomTrigger(Rng* sched, int64_t limit) {
+  switch (sched->NextBounded(3)) {
+    case 0:
+      return FaultTrigger::Nth(
+          1 + static_cast<int64_t>(sched->NextBounded(8)), limit);
+    case 1:
+      return FaultTrigger::EveryK(
+          1 + static_cast<int64_t>(sched->NextBounded(3)), limit);
+    default:
+      return FaultTrigger::Probability(
+          0.05 + 0.1 * static_cast<double>(sched->NextBounded(5)), limit);
+  }
+}
+
+/// Installs a randomized fault schedule whose specs are survivable by
+/// construction:
+///  - executor-level sites (stage_attempt, boundary_convert) share one
+///    stage's spare attempts (executor.max_retries = 2), so their limits
+///    sum to at most 2 even if every fire lands on the same stage;
+///  - pool.task_start fires are absorbed by sparksim's per-task budget
+///    (sparksim.task_retries = 3): limits sum to at most 3;
+///  - storage.read is retried inside StorageManager::Load (2 retries):
+///    limit at most 2. Collection-fed plans never read through the
+///    StorageManager, so these specs stay dormant here — registered anyway
+///    to exercise the site bookkeeping under load.
+void InstallSchedule(Rng* sched) {
+  FaultInjector& inj = FaultInjector::Global();
+  if (sched->NextBool()) {
+    const char* site = sched->NextBool() ? "executor.stage_attempt"
+                                         : "executor.boundary_convert";
+    EXPECT_TRUE(inj.AddSpec(site, RandomTrigger(sched, 2)).ok());
+  } else {
+    // First attempts only vs. any attempt: either way each spec fires at
+    // most once, so the executor-level total stays within budget.
+    const std::string match = sched->NextBool() ? "attempt=0" : "";
+    EXPECT_TRUE(
+        inj.AddSpec("executor.stage_attempt", RandomTrigger(sched, 1), match)
+            .ok());
+    EXPECT_TRUE(
+        inj.AddSpec("executor.boundary_convert", RandomTrigger(sched, 1))
+            .ok());
+  }
+  if (sched->NextBool()) {
+    EXPECT_TRUE(
+        inj.AddSpec("pool.task_start",
+                    RandomTrigger(
+                        sched, 1 + static_cast<int64_t>(sched->NextBounded(3))))
+            .ok());
+  }
+  if (sched->NextBounded(4) == 0) {
+    EXPECT_TRUE(inj.AddSpec("storage.read", RandomTrigger(sched, 2)).ok());
+  }
+}
+
+class ChaosTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(ctx_.RegisterDefaultPlatforms().ok());
+    MetricsRegistry::Global().Reset();
+    MetricsRegistry::Global().set_enabled(true);
+    FaultInjector::Global().set_enabled(false);
+    FaultInjector::Global().Clear();
+  }
+  void TearDown() override {
+    FaultInjector::Global().set_enabled(false);
+    FaultInjector::Global().Clear();
+    MetricsRegistry::Global().set_enabled(false);
+  }
+
+  /// One deterministic plan per seed, optimizer free to place it.
+  Result<ExecutionResult> RunPlan(uint64_t seed) {
+    Rng tape(seed);
+    RheemJob job(&ctx_);
+    DataQuanta q = job.LoadCollection(RandomPairs(&tape, 200));
+    q = RandomPipeline(&tape, &job, q);
+    return q.CollectWithMetrics();
+  }
+
+  RheemContext ctx_;
+};
+
+// 16 shards x 32 rounds = 512 random plans, each run fault-free and then
+// under a randomized survivable fault schedule.
+TEST_P(ChaosTest, FaultSchedulePreservesResultsAndReconciles) {
+  uint64_t replay = 0;
+  const bool has_replay = testutil::EnvReplaySeed("RHEEM_FAULT_SEED", &replay);
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761 + 11 +
+          testutil::EnvU64("RHEEM_FUZZ_SEED_OFFSET"));
+  const int rounds = has_replay ? 1 : 32;
+  FaultInjector& inj = FaultInjector::Global();
+  for (int round = 0; round < rounds; ++round) {
+    const uint64_t seed = has_replay ? replay : rng.NextU64();
+
+    inj.set_enabled(false);
+    inj.Clear();
+    const MetricsSnapshot s0 = MetricsRegistry::Global().Snapshot();
+    auto reference = RunPlan(seed);
+    ASSERT_TRUE(reference.ok())
+        << "fault-free run failed; replay with RHEEM_FAULT_SEED=" << seed
+        << ": " << reference.status().ToString();
+    const auto expect = AsMultiset(reference->output);
+    const MetricsSnapshot s1 = MetricsRegistry::Global().Snapshot();
+
+    inj.Seed(seed);
+    Rng sched(seed ^ 0x9e3779b97f4a7c15ULL);
+    InstallSchedule(&sched);
+    inj.set_enabled(true);
+    auto chaos = RunPlan(seed);
+    inj.set_enabled(false);
+    const MetricsSnapshot s2 = MetricsRegistry::Global().Snapshot();
+
+    ASSERT_TRUE(chaos.ok())
+        << "chaos run failed (schedule should be survivable); replay with "
+        << "RHEEM_FAULT_SEED=" << seed << ": " << chaos.status().ToString();
+    EXPECT_EQ(AsMultiset(chaos->output), expect)
+        << "chaos run diverged; replay with RHEEM_FAULT_SEED=" << seed;
+
+    // Reconciliation: every fired fault is exactly one failed attempt that
+    // was retried and recovered — none leak, none double-count.
+    const int64_t exec_fired = inj.fired("executor.stage_attempt") +
+                               inj.fired("executor.boundary_convert");
+    const int64_t pool_fired = inj.fired("pool.task_start");
+    const int64_t storage_fired = inj.fired("storage.read");
+    EXPECT_EQ(Delta(s1, s2, "executor.stage_failures_total"), exec_fired)
+        << "stage failures != executor-level fires; replay with "
+        << "RHEEM_FAULT_SEED=" << seed;
+    EXPECT_EQ(Delta(s1, s2, "executor.retries_total"), exec_fired)
+        << "leaked stage retries; replay with RHEEM_FAULT_SEED=" << seed;
+    EXPECT_EQ(Delta(s1, s2, "sparksim.task_retries"), pool_fired)
+        << "leaked task retries; replay with RHEEM_FAULT_SEED=" << seed;
+    EXPECT_EQ(Delta(s1, s2, "executor.retries_total") +
+                  Delta(s1, s2, "sparksim.task_retries") + storage_fired,
+              inj.total_fired())
+        << "fires unaccounted for; replay with RHEEM_FAULT_SEED=" << seed;
+    EXPECT_EQ(chaos->metrics.retries, exec_fired + pool_fired)
+        << "job retry total off; replay with RHEEM_FAULT_SEED=" << seed;
+
+    // A survivable schedule must never escalate to failover.
+    EXPECT_EQ(Delta(s1, s2, "executor.failovers_total"), 0)
+        << "spurious failover; replay with RHEEM_FAULT_SEED=" << seed;
+    EXPECT_EQ(chaos->metrics.failovers, 0);
+
+    // Movement is charged once per boundary edge however many attempts ran:
+    // the retried run moves exactly what the fault-free run moved.
+    EXPECT_EQ(chaos->metrics.moved_records, reference->metrics.moved_records)
+        << "moved_records double-counted under retry; replay with "
+        << "RHEEM_FAULT_SEED=" << seed;
+    EXPECT_EQ(chaos->metrics.moved_bytes, reference->metrics.moved_bytes)
+        << "moved_bytes double-counted under retry; replay with "
+        << "RHEEM_FAULT_SEED=" << seed;
+    EXPECT_EQ(Delta(s1, s2, "executor.moved_records_total"),
+              Delta(s0, s1, "executor.moved_records_total"))
+        << "registry moved_records drifted; replay with RHEEM_FAULT_SEED="
+        << seed;
+    EXPECT_EQ(Delta(s1, s2, "executor.moved_bytes_total"),
+              Delta(s0, s1, "executor.moved_bytes_total"))
+        << "registry moved_bytes drifted; replay with RHEEM_FAULT_SEED="
+        << seed;
+
+    inj.Clear();
+  }
+}
+
+// The same seed replays to the same results and the same fire counts —
+// the property the RHEEM_FAULT_SEED workflow depends on.
+TEST_P(ChaosTest, ReplaySameSeedIsIdentical) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 6700417 + 29 +
+          testutil::EnvU64("RHEEM_FUZZ_SEED_OFFSET"));
+  FaultInjector& inj = FaultInjector::Global();
+  for (int round = 0; round < 4; ++round) {
+    const uint64_t seed = rng.NextU64();
+    auto chaos_run = [&]() {
+      inj.set_enabled(false);
+      inj.Clear();
+      inj.Seed(seed);
+      Rng sched(seed ^ 0x9e3779b97f4a7c15ULL);
+      InstallSchedule(&sched);
+      inj.set_enabled(true);
+      auto out = RunPlan(seed);
+      inj.set_enabled(false);
+      return out;
+    };
+    auto first = chaos_run();
+    const int64_t first_fired = inj.total_fired();
+    ASSERT_TRUE(first.ok()) << "replay with RHEEM_FAULT_SEED=" << seed << ": "
+                            << first.status().ToString();
+    auto second = chaos_run();
+    const int64_t second_fired = inj.total_fired();
+    ASSERT_TRUE(second.ok()) << "replay with RHEEM_FAULT_SEED=" << seed << ": "
+                             << second.status().ToString();
+    EXPECT_EQ(AsMultiset(second->output), AsMultiset(first->output))
+        << "replay diverged; RHEEM_FAULT_SEED=" << seed;
+    EXPECT_EQ(second_fired, first_fired)
+        << "replay fired a different fault count; RHEEM_FAULT_SEED=" << seed;
+    inj.Clear();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace rheem

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault.h"
 #include "core/executor/execution_state.h"
 #include "core/operators/physical_ops.h"
 #include "core/optimizer/enumerator.h"
@@ -80,16 +81,20 @@ TEST_F(ExecutorTest, RetriesTransientFailures) {
   Plan plan;
   ExecutionPlan eplan = MakeCrossPlatformPlan(&plan);
   CrossPlatformExecutor executor;
-  int failures_to_inject = 2;
-  executor.set_failure_injector([&](const Stage& stage, int attempt) -> Status {
-    if (stage.id() == 0 && attempt < failures_to_inject) {
-      return Status::ExecutionError("injected fault");
-    }
-    return Status::OK();
-  });
+  // First two attempts of stage 0 fail; the third succeeds.
+  FaultInjector::Global().Clear();
+  FaultInjector::Global().Seed(1);
+  ASSERT_TRUE(FaultInjector::Global()
+                  .AddSpec("executor.stage_attempt",
+                           FaultTrigger::EveryK(1, /*max_fires=*/2),
+                           "stage=0,")
+                  .ok());
+  FaultInjector::Global().set_enabled(true);
   ExecutionMonitor monitor;
   executor.set_monitor(&monitor);
   auto result = executor.Execute(eplan);
+  FaultInjector::Global().set_enabled(false);
+  FaultInjector::Global().Clear();
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result->metrics.retries, 2);
   EXPECT_EQ(monitor.failures(), 2);
@@ -103,10 +108,15 @@ TEST_F(ExecutorTest, GivesUpAfterMaxRetries) {
   Config config;
   config.SetInt("executor.max_retries", 1);
   CrossPlatformExecutor executor(config);
-  executor.set_failure_injector([](const Stage&, int) -> Status {
-    return Status::ExecutionError("permanent fault");
-  });
+  FaultInjector::Global().Clear();
+  FaultInjector::Global().Seed(1);
+  ASSERT_TRUE(FaultInjector::Global()
+                  .AddSpec("executor.stage_attempt", FaultTrigger::EveryK(1))
+                  .ok());
+  FaultInjector::Global().set_enabled(true);
   auto result = executor.Execute(eplan);
+  FaultInjector::Global().set_enabled(false);
+  FaultInjector::Global().Clear();
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsExecutionError());
   EXPECT_NE(result.status().message().find("after 2 attempt"),

@@ -1,12 +1,16 @@
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/fault.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "core/executor/executor.h"
@@ -158,11 +162,16 @@ TEST_F(CheckpointTest, RecoveryResumesAfterMidJobFailure) {
 
   // First run: the second stage fails permanently.
   CrossPlatformExecutor failing(config);
-  failing.set_failure_injector([](const Stage& stage, int) -> Status {
-    if (stage.id() == 1) return Status::ExecutionError("platform outage");
-    return Status::OK();
-  });
+  FaultInjector::Global().Clear();
+  FaultInjector::Global().Seed(1);
+  ASSERT_TRUE(FaultInjector::Global()
+                  .AddSpec("executor.stage_attempt", FaultTrigger::EveryK(1),
+                           "stage=1,")
+                  .ok());
+  FaultInjector::Global().set_enabled(true);
   auto run1 = failing.Execute(eplan);
+  FaultInjector::Global().set_enabled(false);
+  FaultInjector::Global().Clear();
   ASSERT_FALSE(run1.ok());
 
   // Second run: the outage is over; stage 0 restores from its checkpoint.
@@ -174,6 +183,59 @@ TEST_F(CheckpointTest, RecoveryResumesAfterMidJobFailure) {
   EXPECT_EQ(run2->metrics.stages_run, 1);  // only the failed stage re-ran
   EXPECT_EQ(run2->output.size(), 20u);
   EXPECT_EQ(run2->output.at(0)[0], Value(2));
+}
+
+TEST_F(CheckpointTest, CorruptCheckpointIsDetectedAndReExecuted) {
+  MetricsRegistry::Global().Reset();
+  MetricsRegistry::Global().set_enabled(true);
+
+  Config platform_config;
+  JavaSimPlatform java(platform_config);
+  SparkSimPlatform spark(platform_config);
+  Plan plan;
+  ExecutionPlan eplan = MakePlan(&plan, &java, &spark);
+
+  Config config;
+  config.Set("executor.checkpoint_dir", dir_);
+  config.Set("executor.job_id", "torn_test");
+
+  // First run succeeds, but the first checkpoint write is torn: only half
+  // the framed bytes reach disk.
+  CrossPlatformExecutor first(config);
+  FaultInjector::Global().Clear();
+  FaultInjector::Global().Seed(1);
+  ASSERT_TRUE(FaultInjector::Global()
+                  .AddSpec("executor.checkpoint_write", FaultTrigger::Nth(1))
+                  .ok());
+  FaultInjector::Global().set_enabled(true);
+  auto run1 = first.Execute(eplan);
+  FaultInjector::Global().set_enabled(false);
+  FaultInjector::Global().Clear();
+  ASSERT_TRUE(run1.ok()) << run1.status().ToString();
+
+  // Second run: the torn checkpoint fails its checksum and that stage
+  // re-executes; the intact checkpoint still restores. Silent restoration
+  // of a corrupt file would surface here as a wrong or short output.
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  CrossPlatformExecutor second(config);
+  ExecutionMonitor monitor;
+  second.set_monitor(&monitor);
+  auto run2 = second.Execute(eplan);
+  ASSERT_TRUE(run2.ok()) << run2.status().ToString();
+  const MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(after.counter("executor.checkpoints_corrupt_total") -
+                before.counter("executor.checkpoints_corrupt_total"),
+            1);
+  EXPECT_EQ(run2->metrics.stages_run, 1);  // the corrupted stage re-ran
+  int restored = 0;
+  for (const auto& record : monitor.records()) {
+    if (record.error == "restored from checkpoint") ++restored;
+  }
+  EXPECT_EQ(restored, 1);  // the intact stage restored
+  ASSERT_EQ(run2->output.size(), run1->output.size());
+  EXPECT_EQ(run2->output.at(0), run1->output.at(0));
+
+  MetricsRegistry::Global().set_enabled(false);
 }
 
 TEST_F(CheckpointTest, DifferentJobIdsDoNotCollide) {
@@ -249,11 +311,16 @@ TEST(ParallelRetryTest, RetriesKeepResultsIdenticalAndFullyAccounted) {
   CrossPlatformExecutor flaky(config);
   ExecutionMonitor monitor;
   flaky.set_monitor(&monitor);
-  flaky.set_failure_injector([](const Stage&, int attempt) -> Status {
-    if (attempt == 0) return Status::ExecutionError("injected outage");
-    return Status::OK();
-  });
+  FaultInjector::Global().Clear();
+  FaultInjector::Global().Seed(1);
+  ASSERT_TRUE(FaultInjector::Global()
+                  .AddSpec("executor.stage_attempt", FaultTrigger::EveryK(1),
+                           "attempt=0")
+                  .ok());
+  FaultInjector::Global().set_enabled(true);
   auto retried = flaky.Execute(eplan);
+  FaultInjector::Global().set_enabled(false);
+  FaultInjector::Global().Clear();
   ASSERT_TRUE(retried.ok()) << retried.status().ToString();
 
   // Byte-identical output despite retries + parallel stages + morsels.
@@ -304,6 +371,218 @@ TEST(ParallelRetryTest, RetriesKeepResultsIdenticalAndFullyAccounted) {
   MetricsRegistry::Global().set_enabled(false);
   Tracer::Global().set_enabled(false);
   Tracer::Global().Clear();
+}
+
+// Platform failover: with EnableFailover armed, a platform that keeps
+// failing is blacked out and the remaining work is re-planned onto the
+// healthy platforms.
+class FailoverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Config platform_config;
+    ASSERT_TRUE(
+        registry_.Register(std::make_unique<JavaSimPlatform>(platform_config))
+            .ok());
+    ASSERT_TRUE(
+        registry_.Register(std::make_unique<SparkSimPlatform>(platform_config))
+            .ok());
+    java_ = *registry_.Get("javasim");
+    spark_ = *registry_.Get("sparksim");
+    FaultInjector::Global().set_enabled(false);
+    FaultInjector::Global().Clear();
+  }
+  void TearDown() override {
+    FaultInjector::Global().set_enabled(false);
+    FaultInjector::Global().Clear();
+  }
+
+  /// javasim stage feeding a sparksim stage; platforms live in `registry_`
+  /// so a failover re-plan can resolve them by name.
+  ExecutionPlan MakePlan(Plan* plan) {
+    auto* src = plan->Add<CollectionSourceOp>({}, Numbers(20));
+    auto* m1 = plan->Add<MapOp>({src}, PlusOne());
+    auto* m2 = plan->Add<MapOp>({m1}, PlusOne());
+    auto* sink = plan->Add<CollectOp>({m2});
+    plan->SetSink(sink);
+    PlatformAssignment a;
+    a.by_op = {{src->id(), java_}, {m1->id(), java_},
+               {m2->id(), spark_}, {sink->id(), spark_}};
+    return StageSplitter::Split(*plan, std::move(a)).ValueOrDie();
+  }
+
+  PlatformRegistry registry_;
+  MovementCostModel movement_;
+  Platform* java_ = nullptr;
+  Platform* spark_ = nullptr;
+};
+
+TEST_F(FailoverTest, BlackoutMidJobCompletesOnSurvivingPlatform) {
+  MetricsRegistry::Global().Reset();
+  MetricsRegistry::Global().set_enabled(true);
+
+  Plan plan;
+  ExecutionPlan eplan = MakePlan(&plan);
+
+  Config config;  // defaults: max_retries=2, failover_threshold=3
+  config.SetInt("executor.retry_backoff_us", 0);
+  CrossPlatformExecutor executor(config);
+  executor.EnableFailover(&registry_, &movement_);
+
+  // sparksim is down for the whole job: every attempt there fails. The
+  // first stage completes on javasim, the second exhausts its retries,
+  // sparksim blacks out, and the remaining work re-plans onto javasim.
+  FaultInjector::Global().Clear();
+  FaultInjector::Global().Seed(7);
+  ASSERT_TRUE(FaultInjector::Global()
+                  .AddSpec("executor.stage_attempt", FaultTrigger::EveryK(1),
+                           "platform=sparksim")
+                  .ok());
+  FaultInjector::Global().set_enabled(true);
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  auto out = executor.Execute(eplan);
+  FaultInjector::Global().set_enabled(false);
+  FaultInjector::Global().Clear();
+
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->output.size(), 20u);
+  EXPECT_EQ(out->output.at(0)[0], Value(2));  // 0 -> +1 -> +1
+  EXPECT_GE(out->metrics.failovers, 1);
+  const MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(after.counter("executor.failovers_total") -
+                before.counter("executor.failovers_total"),
+            1);
+  // The EXPLAIN ANALYZE report surfaces the event.
+  EXPECT_NE(out->report.find("failover:"), std::string::npos) << out->report;
+  EXPECT_NE(out->report.find("'sparksim' blacked out"), std::string::npos)
+      << out->report;
+
+  MetricsRegistry::Global().set_enabled(false);
+}
+
+TEST_F(FailoverTest, WithoutArmingBlackoutFailsTheJob) {
+  Plan plan;
+  ExecutionPlan eplan = MakePlan(&plan);
+
+  Config config;
+  config.SetInt("executor.retry_backoff_us", 0);
+  CrossPlatformExecutor executor(config);  // EnableFailover NOT called
+
+  FaultInjector::Global().Clear();
+  FaultInjector::Global().Seed(7);
+  ASSERT_TRUE(FaultInjector::Global()
+                  .AddSpec("executor.stage_attempt", FaultTrigger::EveryK(1),
+                           "platform=sparksim")
+                  .ok());
+  FaultInjector::Global().set_enabled(true);
+  auto out = executor.Execute(eplan);
+  FaultInjector::Global().set_enabled(false);
+  FaultInjector::Global().Clear();
+
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().ToString().find("after 3 attempt"),
+            std::string::npos)
+      << out.status().ToString();
+}
+
+// Retry backoff is deadline-aware and cancellation-aware: a job that would
+// otherwise sleep through a long exponential backoff stops as soon as its
+// stop condition trips.
+class RetryBackoffTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global().set_enabled(false);
+    FaultInjector::Global().Clear();
+  }
+  void TearDown() override {
+    FaultInjector::Global().set_enabled(false);
+    FaultInjector::Global().Clear();
+  }
+
+  /// Single javasim stage whose every attempt fails by injection.
+  ExecutionPlan MakePlan(Plan* plan, Platform* java) {
+    auto* src = plan->Add<CollectionSourceOp>({}, Numbers(10));
+    auto* sink = plan->Add<CollectOp>({src});
+    plan->SetSink(sink);
+    PlatformAssignment a;
+    a.by_op = {{src->id(), java}, {sink->id(), java}};
+    return StageSplitter::Split(*plan, std::move(a)).ValueOrDie();
+  }
+};
+
+TEST_F(RetryBackoffTest, DeadlineBoundsRetryBackoff) {
+  Config platform_config;
+  JavaSimPlatform java(platform_config);
+  Plan plan;
+  ExecutionPlan eplan = MakePlan(&plan, &java);
+
+  Config config;
+  config.SetInt("executor.max_retries", 50);
+  config.SetInt("executor.retry_backoff_us", 20000);  // 20ms, doubling
+  CrossPlatformExecutor executor(config);
+  StopCondition stop;
+  stop.deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(150);
+  stop.has_deadline = true;
+  executor.set_stop_condition(stop);
+
+  FaultInjector::Global().Seed(1);
+  ASSERT_TRUE(FaultInjector::Global()
+                  .AddSpec("executor.stage_attempt", FaultTrigger::EveryK(1))
+                  .ok());
+  FaultInjector::Global().set_enabled(true);
+  const auto start = std::chrono::steady_clock::now();
+  auto out = executor.Execute(eplan);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  FaultInjector::Global().set_enabled(false);
+
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsDeadlineExceeded()) << out.status().ToString();
+  // No runaway sleeps: 50 doubling retries unbounded would take minutes.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2000);
+}
+
+TEST_F(RetryBackoffTest, CancellationFiresDuringBackoff) {
+  Config platform_config;
+  JavaSimPlatform java(platform_config);
+  Plan plan;
+  ExecutionPlan eplan = MakePlan(&plan, &java);
+
+  Config config;
+  config.SetInt("executor.max_retries", 50);
+  config.SetInt("executor.retry_backoff_us", 200000);  // 200ms per retry
+  CrossPlatformExecutor executor(config);
+  CancelToken token;
+  StopCondition stop;
+  stop.token = &token;
+  executor.set_stop_condition(stop);
+  ExecutionMonitor monitor;
+  executor.set_monitor(&monitor);
+
+  FaultInjector::Global().Seed(1);
+  ASSERT_TRUE(FaultInjector::Global()
+                  .AddSpec("executor.stage_attempt", FaultTrigger::EveryK(1))
+                  .ok());
+  FaultInjector::Global().set_enabled(true);
+  std::thread canceller([&token]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    token.Cancel();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  auto out = executor.Execute(eplan);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  canceller.join();
+  FaultInjector::Global().set_enabled(false);
+
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsCancelled()) << out.status().ToString();
+  // Cancelled inside the first backoff window, not after draining all 50
+  // retries (which would take ~10s at the cap).
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2000);
+  EXPECT_EQ(monitor.records().size(), 1u);  // only the first attempt ran
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "core/api/data_quanta.h"
@@ -395,6 +396,122 @@ TEST_F(ObservabilityTest, CountersReconcileWithJobResult) {
             result->metrics.moved_records);
   EXPECT_EQ(delta("executor.moved_bytes_total"), result->metrics.moved_bytes);
   EXPECT_EQ(delta("executor.retries_total"), result->metrics.retries);
+}
+
+// The retry path must reconcile exactly like the clean path: attempts match
+// the monitor, retries match the job metrics, and — because retried attempts
+// re-assemble their boundary inputs — movement must not be double-charged by
+// the extra attempts.
+TEST_F(ObservabilityTest, CountersReconcileUnderRetry) {
+  RheemContext ctx(ObservableConfig());
+  ASSERT_TRUE(ctx.RegisterDefaultPlatforms().ok());
+
+  // Two pinned stages so the plan has a real javasim -> sparksim boundary.
+  auto run = [&](ExecutionMonitor* monitor) {
+    RheemJob job(&ctx);
+    job.options().monitor = monitor;
+    DataQuanta q = job.LoadCollection(Rows(500));
+    q = q.Map([](const Record& r) {
+           return Record({r[0], Value(r[1].ToInt64Or(0) + 1)});
+         }).OnPlatform("javasim");
+    q = q.Map([](const Record& r) {
+           return Record({r[0], Value(r[1].ToInt64Or(0) * 2)});
+         }).OnPlatform("sparksim");
+    return q.CollectWithMetrics();
+  };
+
+  // Fault-free reference for the movement totals.
+  auto clean = run(nullptr);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  ASSERT_GT(clean->metrics.moved_records, 0);
+
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  ExecutionMonitor monitor;
+  FaultInjector::Global().Clear();
+  FaultInjector::Global().Seed(3);
+  // Every stage's first attempt fails; each retry must succeed.
+  ASSERT_TRUE(FaultInjector::Global()
+                  .AddSpec("executor.stage_attempt", FaultTrigger::EveryK(1),
+                           "attempt=0")
+                  .ok());
+  FaultInjector::Global().set_enabled(true);
+  auto retried = run(&monitor);
+  FaultInjector::Global().set_enabled(false);
+  FaultInjector::Global().Clear();
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+
+  const MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  auto delta = [&](const std::string& name) {
+    return after.counter(name) - before.counter(name);
+  };
+  EXPECT_GT(retried->metrics.retries, 0);
+  EXPECT_EQ(delta("executor.retries_total"), retried->metrics.retries);
+  EXPECT_EQ(delta("executor.stage_attempts_total"),
+            static_cast<int64_t>(monitor.records().size()));
+  EXPECT_EQ(delta("executor.stage_failures_total"), retried->metrics.retries);
+  // Movement identical to the fault-free run, in the job metrics and the
+  // registry: re-attempts reuse the cached boundary conversion.
+  EXPECT_EQ(retried->metrics.moved_records, clean->metrics.moved_records);
+  EXPECT_EQ(retried->metrics.moved_bytes, clean->metrics.moved_bytes);
+  EXPECT_EQ(delta("executor.moved_records_total"),
+            retried->metrics.moved_records);
+  EXPECT_EQ(delta("executor.moved_bytes_total"), retried->metrics.moved_bytes);
+}
+
+// Same reconciliation across a platform blackout: the failover re-plan must
+// surface in the job metrics, the registry and the report, without
+// double-charging movement for work re-planned onto the surviving platform.
+TEST_F(ObservabilityTest, CountersReconcileUnderFailover) {
+  RheemContext ctx(ObservableConfig());
+  ASSERT_TRUE(ctx.RegisterDefaultPlatforms().ok());
+
+  auto run = [&]() {
+    RheemJob job(&ctx);
+    DataQuanta q = job.LoadCollection(Rows(500));
+    q = q.Map([](const Record& r) {
+           return Record({r[0], Value(r[1].ToInt64Or(0) + 1)});
+         }).OnPlatform("javasim");
+    q = q.Map([](const Record& r) {
+           return Record({r[0], Value(r[1].ToInt64Or(0) * 2)});
+         }).OnPlatform("sparksim");
+    return q.CollectWithMetrics();
+  };
+
+  auto clean = run();
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  FaultInjector::Global().Clear();
+  FaultInjector::Global().Seed(3);
+  // sparksim is down for the whole job; the pinned stage exhausts its
+  // retries there and the executor re-plans it onto a healthy platform.
+  ASSERT_TRUE(FaultInjector::Global()
+                  .AddSpec("executor.stage_attempt", FaultTrigger::EveryK(1),
+                           "platform=sparksim")
+                  .ok());
+  FaultInjector::Global().set_enabled(true);
+  auto failed_over = run();
+  FaultInjector::Global().set_enabled(false);
+  FaultInjector::Global().Clear();
+  ASSERT_TRUE(failed_over.ok()) << failed_over.status().ToString();
+
+  const MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  auto delta = [&](const std::string& name) {
+    return after.counter(name) - before.counter(name);
+  };
+  EXPECT_GE(failed_over->metrics.failovers, 1);
+  EXPECT_EQ(delta("executor.failovers_total"), failed_over->metrics.failovers);
+  EXPECT_NE(failed_over->report.find("failover:"), std::string::npos)
+      << failed_over->report;
+  EXPECT_EQ(delta("executor.retries_total"), failed_over->metrics.retries);
+  // Movement totals still reconcile between the job view and the registry —
+  // whatever the re-planned boundaries moved is charged once, in both.
+  EXPECT_EQ(delta("executor.moved_records_total"),
+            failed_over->metrics.moved_records);
+  EXPECT_EQ(delta("executor.moved_bytes_total"),
+            failed_over->metrics.moved_bytes);
+  // Same rows out as the clean run.
+  EXPECT_EQ(failed_over->output.size(), clean->output.size());
 }
 
 TEST_F(ObservabilityTest, ExplainAnalyzeReportAttachedWhenEnabled) {

@@ -1,0 +1,192 @@
+// Shared random-plan generator for the differential fuzz and chaos suites.
+// A plan is a pure function of its tape seed, so any failure in any suite
+// replays from one number (RHEEM_FUZZ_SEED / RHEEM_FAULT_SEED).
+#ifndef RHEEM_TESTS_CORE_RANDOM_PLANS_H_
+#define RHEEM_TESTS_CORE_RANDOM_PLANS_H_
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/api/data_quanta.h"
+
+namespace rheem {
+namespace testutil {
+
+inline std::multiset<std::string> AsMultiset(const Dataset& d) {
+  std::multiset<std::string> out;
+  for (const Record& r : d.records()) out.insert(r.ToString());
+  return out;
+}
+
+/// Value of the named env var, or 0 when unset.
+inline uint64_t EnvU64(const char* name) {
+  const char* s = std::getenv(name);
+  return s != nullptr ? std::strtoull(s, nullptr, 10) : 0;
+}
+
+/// True (and *seed set) when the named replay env var is present.
+inline bool EnvReplaySeed(const char* name, uint64_t* seed) {
+  const char* s = std::getenv(name);
+  if (s == nullptr) return false;
+  *seed = std::strtoull(s, nullptr, 10);
+  return true;
+}
+
+/// Random (key:int64, value:int64) dataset.
+inline Dataset RandomPairs(Rng* rng, int max_rows) {
+  const int rows = 1 + static_cast<int>(rng->NextBounded(
+                           static_cast<uint64_t>(max_rows)));
+  std::vector<Record> out;
+  out.reserve(static_cast<std::size_t>(rows));
+  for (int i = 0; i < rows; ++i) {
+    out.push_back(
+        Record({Value(rng->NextInt(0, 15)), Value(rng->NextInt(-100, 100))}));
+  }
+  return Dataset(std::move(out));
+}
+
+/// Appends 1..6 random operators to `q`, keeping the (key, value) shape
+/// invariant so every operator remains applicable.
+///
+/// `order_stable` tracks whether the pipeline's element order is still the
+/// same on every platform (narrow order-preserving ops only). Sample's keep
+/// decision is a function of global element position, so it is only a fair
+/// differential case while order is stable; afterwards the generator
+/// substitutes a deterministic Map to keep the random tape aligned.
+inline DataQuanta RandomPipeline(Rng* rng, RheemJob* job, DataQuanta q) {
+  const int steps = 1 + static_cast<int>(rng->NextBounded(6));
+  bool order_stable = true;
+  for (int s = 0; s < steps; ++s) {
+    switch (rng->NextBounded(12)) {
+      case 0:
+        q = q.Map([](const Record& r) {
+          return Record({r[0], Value(r[1].ToInt64Or(0) + 1)});
+        });
+        break;
+      case 1: {
+        const int64_t threshold = rng->NextInt(-50, 50);
+        q = q.Filter([threshold](const Record& r) {
+          return r[1].ToInt64Or(0) >= threshold;
+        });
+        break;
+      }
+      case 2:
+        q = q.FlatMap([](const Record& r) {
+          std::vector<Record> out{r};
+          if (r[1].ToInt64Or(0) % 2 == 0) {
+            out.push_back(Record({r[0], Value(r[1].ToInt64Or(0) / 2)}));
+          }
+          return out;
+        });
+        break;
+      case 3:
+        q = q.Distinct();
+        order_stable = false;
+        break;
+      case 4:
+        q = q.Sort([](const Record& r) { return r[1]; });
+        order_stable = false;  // ties may gather in platform-dependent order
+        break;
+      case 5:
+        q = q.ReduceByKey(
+            [](const Record& r) { return r[0]; },
+            [](const Record& a, const Record& b) {
+              return Record({a[0], Value(a[1].ToInt64Or(0) + b[1].ToInt64Or(0))});
+            });
+        order_stable = false;
+        break;
+      case 6:
+        q = q.Union(job->LoadCollection(RandomPairs(rng, 50)));
+        order_stable = false;
+        break;
+      case 7:
+        // Total key (no cross-record ties): platforms may order equal keys
+        // differently, which would be a legal divergence, not a bug.
+        q = q.TopK(1 + static_cast<int64_t>(rng->NextBounded(20)),
+                   [](const Record& r) {
+                     return Value(r[1].ToInt64Or(0) * 16 + r[0].ToInt64Or(0));
+                   },
+                   rng->NextBool());
+        order_stable = false;
+        break;
+      case 8:
+        q = q.GroupByKey(
+            [](const Record& r) { return r[0]; },
+            [](const Value& key, const std::vector<Record>& members) {
+              return std::vector<Record>{Record(
+                  {key, Value(static_cast<int64_t>(members.size()))})};
+            });
+        order_stable = false;
+        break;
+      case 9: {
+        // Equi-join against a small random build side. Join output is the
+        // concatenation (lk, lv, rk, rv); fold back to the 2-field shape.
+        DataQuanta side = job->LoadCollection(RandomPairs(rng, 20));
+        q = q.Join(
+                 side, [](const Record& r) { return r[0]; },
+                 [](const Record& r) { return r[0]; })
+                .Map([](const Record& r) {
+                  return Record({r[0], Value(r[1].ToInt64Or(0) * 7 +
+                                             r[3].ToInt64Or(0))});
+                });
+        order_stable = false;
+        break;
+      }
+      case 10: {
+        // CoGroup: tag each side with a marker column, union, and group by
+        // key with an order-insensitive combine (member order inside a group
+        // is platform-dependent, so the aggregate must not depend on it).
+        DataQuanta side = job->LoadCollection(RandomPairs(rng, 30));
+        DataQuanta left = q.Map([](const Record& r) {
+          return Record({r[0], r[1], Value(static_cast<int64_t>(0))});
+        });
+        DataQuanta right = side.Map([](const Record& r) {
+          return Record({r[0], r[1], Value(static_cast<int64_t>(1))});
+        });
+        q = left.Union(right).GroupByKey(
+            [](const Record& r) { return r[0]; },
+            [](const Value& key, const std::vector<Record>& members) {
+              int64_t left_sum = 0, right_sum = 0;
+              int64_t left_n = 0, right_n = 0;
+              for (const Record& m : members) {
+                if (m[2].ToInt64Or(0) == 0) {
+                  left_sum += m[1].ToInt64Or(0);
+                  ++left_n;
+                } else {
+                  right_sum += m[1].ToInt64Or(0);
+                  ++right_n;
+                }
+              }
+              return std::vector<Record>{
+                  Record({key, Value(left_sum * 31 + right_sum + left_n * 7 +
+                                     right_n)})};
+            });
+        order_stable = false;
+        break;
+      }
+      default: {
+        const double fraction =
+            0.2 + 0.05 * static_cast<double>(rng->NextBounded(13));
+        const uint64_t sample_seed = rng->NextU64();
+        if (order_stable) {
+          q = q.Sample(fraction, sample_seed);
+        } else {
+          // Same tape draws, deterministic substitute.
+          q = q.Map([](const Record& r) {
+            return Record({r[0], Value(r[1].ToInt64Or(0) ^ 1)});
+          });
+        }
+        break;
+      }
+    }
+  }
+  return q;
+}
+
+}  // namespace testutil
+}  // namespace rheem
+
+#endif  // RHEEM_TESTS_CORE_RANDOM_PLANS_H_
