@@ -12,6 +12,7 @@ const char* DetectStrategyToString(DetectStrategy strategy) {
     case DetectStrategy::kMonolithicUdf: return "monolithic-udf";
     case DetectStrategy::kOperatorPipeline: return "operator-pipeline";
     case DetectStrategy::kOperatorPipelineIEJoin: return "pipeline+iejoin";
+    case DetectStrategy::kDeclarativeExpr: return "declarative-expr";
   }
   return "?";
 }
@@ -52,6 +53,27 @@ Record JoinedPairToViolation(const Rule& rule, std::size_t w, const Record& pair
   v.tid2 = pair[w].ToInt64Or(-1);
   if (rule.symmetric() && v.tid2 < v.tid1) std::swap(v.tid1, v.tid2);
   return ViolationToRecord(v);
+}
+
+/// Value types of the rule's scope columns — from the table schema when
+/// present, otherwise sampled from the first row. The declarative strategy
+/// needs static types to build a well-typed pair predicate.
+Result<std::vector<ValueType>> ScopeColumnTypes(const Dataset& table,
+                                                const Rule& rule) {
+  std::vector<ValueType> types;
+  for (int col : rule.ScopeColumns()) {
+    if (col < 0) return Status::InvalidArgument("negative scope column");
+    const auto c = static_cast<std::size_t>(col);
+    if (table.has_schema() && c < table.schema().num_fields()) {
+      types.push_back(table.schema().field(c).type);
+    } else if (!table.empty() && c < table.at(0).size()) {
+      types.push_back(table.at(0).at(c).type());
+    } else {
+      return Status::InvalidArgument("cannot infer type of scope column " +
+                                     std::to_string(col));
+    }
+  }
+  return types;
 }
 
 }  // namespace
@@ -119,6 +141,27 @@ Result<ViolationReport> DetectViolations(RheemContext* ctx,
       }
       const auto& ineq = static_cast<const IneqRule&>(rule);
       DataQuanta joined = scoped.IEJoin(scoped, ineq.ScopedIEJoinSpec());
+      violations = joined.Map([&rule, w](const Record& pair) {
+        return JoinedPairToViolation(rule, w, pair);
+      });
+      break;
+    }
+    case DetectStrategy::kDeclarativeExpr: {
+      RHEEM_ASSIGN_OR_RETURN(std::vector<ValueType> types,
+                             ScopeColumnTypes(table, rule));
+      expr::ExprPtr pred = rule.PairPredicateExpr(types);
+      if (pred == nullptr) {
+        return Status::InvalidArgument(
+            "rule '" + rule.id() + "' has no declarative pair predicate");
+      }
+      if (rule.symmetric()) {
+        // Same dedup as the closure path: each unordered pair emits once.
+        pred = expr::And(expr::Lt(expr::Field(0, ValueType::kInt64, "tid1"),
+                                  expr::Field(static_cast<int>(w),
+                                              ValueType::kInt64, "tid2")),
+                         std::move(pred));
+      }
+      DataQuanta joined = scoped.ThetaJoin(scoped, std::move(pred));
       violations = joined.Map([&rule, w](const Record& pair) {
         return JoinedPairToViolation(rule, w, pair);
       });

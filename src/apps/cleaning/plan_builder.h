@@ -25,6 +25,12 @@ enum class DetectStrategy {
   /// The pipeline with the IEJoin physical operator for inequality rules —
   /// the extensibility showcase (paper §5.1).
   kOperatorPipelineIEJoin,
+  /// Detect as a typed expression (Rule::PairPredicateExpr) on a declarative
+  /// theta join: the optimizer sees the predicate — per-expression
+  /// selectivity, pretty EXPLAIN/span output and constant-sound plan
+  /// fingerprints — instead of a closure. Rules without a declarative form
+  /// (UDF rules) reject this strategy.
+  kDeclarativeExpr,
 };
 
 const char* DetectStrategyToString(DetectStrategy strategy);

@@ -47,8 +47,59 @@ bool FdRule::Detect(const Record& t1, const Record& t2) const {
   return false;
 }
 
+expr::ExprPtr FdRule::PairPredicateExpr(
+    const std::vector<ValueType>& scope_types) const {
+  // Scoped layout per side: (tid, lhs..., rhs...). The BigDansing φ1-style
+  // rule reads: agree on every determinant column AND differ somewhere on
+  // the dependent side.
+  if (rhs_.empty() || scope_types.size() != lhs_.size() + rhs_.size()) {
+    return nullptr;
+  }
+  const int w = 1 + static_cast<int>(scope_types.size());
+  auto side_field = [&](int side, std::size_t scoped_pos, int table_col) {
+    const int base = side == 0 ? 0 : w;
+    const std::string name =
+        "t" + std::to_string(side + 1) + ".c" + std::to_string(table_col);
+    return expr::Field(base + 1 + static_cast<int>(scoped_pos),
+                       scope_types[scoped_pos], name);
+  };
+  std::vector<expr::ExprPtr> agree;
+  for (std::size_t i = 0; i < lhs_.size(); ++i) {
+    agree.push_back(expr::Eq(side_field(0, i, lhs_[i]), side_field(1, i, lhs_[i])));
+  }
+  expr::ExprPtr differ;
+  for (std::size_t i = 0; i < rhs_.size(); ++i) {
+    const std::size_t pos = lhs_.size() + i;
+    auto ne = expr::Ne(side_field(0, pos, rhs_[i]), side_field(1, pos, rhs_[i]));
+    differ = differ == nullptr ? ne : expr::Or(differ, ne);
+  }
+  if (agree.empty()) return differ;
+  agree.push_back(differ);
+  return expr::AndAll(agree);
+}
+
 bool IneqRule::Detect(const Record& t1, const Record& t2) const {
   return EvalCompare(op1_, t1[1], t2[1]) && EvalCompare(op2_, t1[2], t2[2]);
+}
+
+expr::ExprPtr IneqRule::PairPredicateExpr(
+    const std::vector<ValueType>& scope_types) const {
+  if (scope_types.size() != 2) return nullptr;
+  const int w = 3;  // (tid, col1, col2) per side
+  auto cmp = [](CompareOp op, expr::ExprPtr a, expr::ExprPtr b) {
+    switch (op) {
+      case CompareOp::kLess: return expr::Lt(std::move(a), std::move(b));
+      case CompareOp::kLessEqual: return expr::Le(std::move(a), std::move(b));
+      case CompareOp::kGreater: return expr::Gt(std::move(a), std::move(b));
+      case CompareOp::kGreaterEqual: return expr::Ge(std::move(a), std::move(b));
+    }
+    return expr::ExprPtr();
+  };
+  return expr::And(
+      cmp(op1_, expr::Field(1, scope_types[0], "t1.c" + std::to_string(col1_)),
+          expr::Field(w + 1, scope_types[0], "t2.c" + std::to_string(col1_))),
+      cmp(op2_, expr::Field(2, scope_types[1], "t1.c" + std::to_string(col2_)),
+          expr::Field(w + 2, scope_types[1], "t2.c" + std::to_string(col2_))));
 }
 
 IEJoinSpec IneqRule::ScopedIEJoinSpec() const {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/expr/expr.h"
 #include "core/operators/descriptors.h"
 #include "data/record.h"
 #include "data/value.h"
@@ -54,6 +55,18 @@ class Rule {
   /// unordered pair once (tid1 < tid2).
   virtual bool symmetric() const { return false; }
 
+  /// Detect as a typed expression (core/expr) over the concatenation of two
+  /// scoped records: left fields [0, w), right fields [w, 2w) where
+  /// w = 1 + #scope columns. `scope_types[i]` is the value type of scope
+  /// column i. Returns nullptr when the rule cannot be expressed
+  /// declaratively (e.g. UDF rules) — callers then fall back to the closure
+  /// Detect.
+  virtual expr::ExprPtr PairPredicateExpr(
+      const std::vector<ValueType>& scope_types) const {
+    (void)scope_types;
+    return nullptr;
+  }
+
  private:
   std::string id_;
 };
@@ -70,6 +83,8 @@ class FdRule : public Rule {
   KeyUdf BlockKey() const override;
   bool Detect(const Record& t1, const Record& t2) const override;
   bool symmetric() const override { return true; }
+  expr::ExprPtr PairPredicateExpr(
+      const std::vector<ValueType>& scope_types) const override;
 
   const std::vector<int>& lhs() const { return lhs_; }
   const std::vector<int>& rhs() const { return rhs_; }
@@ -93,6 +108,8 @@ class IneqRule : public Rule {
   }
   std::vector<int> ScopeColumns() const override { return {col1_, col2_}; }
   bool Detect(const Record& t1, const Record& t2) const override;
+  expr::ExprPtr PairPredicateExpr(
+      const std::vector<ValueType>& scope_types) const override;
 
   /// The equivalent IEJoin specification over scoped records (both columns
   /// shifted by one for the tid field).

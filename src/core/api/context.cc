@@ -253,10 +253,7 @@ Result<CompiledJob> RheemContext::Compile(const Plan& logical_plan,
     TraceSpan span("rewrite", "optimizer", optimize_id);
     RHEEM_ASSIGN_OR_RETURN(auto stats,
                            ApplicationRewrites::Apply(physical.get(), &pins));
-    span.AddTag("rules_applied",
-                static_cast<int64_t>(stats.filters_reordered +
-                                     stats.filters_pushed +
-                                     stats.projects_pushed));
+    span.AddTag("rules_applied", static_cast<int64_t>(stats.total()));
   } else {
     RHEEM_ASSIGN_OR_RETURN(auto remap, physical->PruneToSink());
     std::map<int, std::string> updated;

@@ -65,6 +65,56 @@ DataQuanta DataQuanta::Filter(std::function<bool(const Record&)> fn,
   return DataQuanta(job_, node);
 }
 
+DataQuanta DataQuanta::Filter(expr::ExprPtr predicate) const {
+  auto udf = expr::MakePredicateUdf(std::move(predicate));
+  if (!udf.ok()) {
+    job_->RecordBuildError(udf.status());
+    return *this;
+  }
+  auto* node = Append(OpKind::kFilter, {node_});
+  node->predicate = std::move(udf).ValueOrDie();
+  return DataQuanta(job_, node);
+}
+
+DataQuanta DataQuanta::Map(std::vector<expr::ExprPtr> fields) const {
+  auto udf = expr::MakeMapUdf(std::move(fields));
+  if (!udf.ok()) {
+    job_->RecordBuildError(udf.status());
+    return *this;
+  }
+  auto* node = Append(OpKind::kMap, {node_});
+  node->map = std::move(udf).ValueOrDie();
+  return DataQuanta(job_, node);
+}
+
+DataQuanta DataQuanta::Join(const DataQuanta& right, expr::ExprPtr left_key,
+                            expr::ExprPtr right_key,
+                            JoinAlgorithm algorithm) const {
+  auto lk = expr::MakeKeyUdf(std::move(left_key));
+  auto rk = expr::MakeKeyUdf(std::move(right_key));
+  if (!lk.ok() || !rk.ok()) {
+    job_->RecordBuildError(lk.ok() ? rk.status() : lk.status());
+    return *this;
+  }
+  auto* node = Append(OpKind::kJoin, {node_, right.node_});
+  node->key = std::move(lk).ValueOrDie();
+  node->key2 = std::move(rk).ValueOrDie();
+  node->join_algorithm = algorithm;
+  return DataQuanta(job_, node);
+}
+
+DataQuanta DataQuanta::ThetaJoin(const DataQuanta& right,
+                                 expr::ExprPtr pair_predicate) const {
+  auto udf = expr::MakeThetaUdf(std::move(pair_predicate));
+  if (!udf.ok()) {
+    job_->RecordBuildError(udf.status());
+    return *this;
+  }
+  auto* node = Append(OpKind::kThetaJoin, {node_, right.node_});
+  node->theta = std::move(udf).ValueOrDie();
+  return DataQuanta(job_, node);
+}
+
 DataQuanta DataQuanta::Project(std::vector<int> columns) const {
   auto* node = Append(OpKind::kProject, {node_});
   node->columns = std::move(columns);
@@ -237,6 +287,7 @@ Result<ExecutionResult> DataQuanta::CollectWithMetrics() const {
     return Status::InvalidArgument(
         "cannot Collect inside a loop body; return the DataQuanta instead");
   }
+  RHEEM_RETURN_IF_ERROR(job_->build_status());
   auto* sink = Append(OpKind::kCollect, {node_});
   job_->plan_->SetSink(sink);
   return job_->ctx_->Execute(*job_->plan_, job_->options_);
@@ -247,6 +298,7 @@ Result<Plan*> DataQuanta::Seal() const {
   if (job_->ctx_ == nullptr) {
     return Status::InvalidArgument("cannot Seal inside a loop body");
   }
+  RHEEM_RETURN_IF_ERROR(job_->build_status());
   auto* sink = Append(OpKind::kCollect, {node_});
   job_->plan_->SetSink(sink);
   return job_->plan_.get();
@@ -257,6 +309,7 @@ Result<std::string> DataQuanta::Explain() const {
   if (job_->ctx_ == nullptr) {
     return Status::InvalidArgument("cannot Explain inside a loop body");
   }
+  RHEEM_RETURN_IF_ERROR(job_->build_status());
   auto* sink = Append(OpKind::kCollect, {node_});
   job_->plan_->SetSink(sink);
   RHEEM_ASSIGN_OR_RETURN(CompiledJob compiled,

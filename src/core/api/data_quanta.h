@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "core/api/context.h"
 #include "core/api/logical_nodes.h"
+#include "core/expr/expr.h"
 #include "core/executor/executor.h"
 #include "data/dataset.h"
 #include "storage/storage_plan.h"
@@ -41,6 +42,31 @@ class DataQuanta {
                      UdfMeta meta = UdfMeta()) const;
   DataQuanta Filter(std::function<bool(const Record&)> fn,
                     UdfMeta meta = UdfMeta{0.5, 1.0}) const;
+
+  // --- declarative overloads ----------------------------------------------
+  // These carry a typed expression tree (core/expr) alongside the compiled
+  // closure. Semantics are identical on every platform, but the optimizer
+  // can push the predicate down, split conjuncts, estimate selectivity from
+  // the tree, and fold the canonical encoding into plan fingerprints —
+  // none of which is possible for closure UDFs. An ill-typed expression is
+  // reported by the terminal methods (Collect/Seal/Explain), keeping the
+  // fluent chain total.
+
+  /// Declarative filter: keeps records where `predicate` (a bool expression)
+  /// evaluates to true; Null drops (SQL WHERE semantics).
+  DataQuanta Filter(expr::ExprPtr predicate) const;
+  /// Declarative projection Map: output field i is `fields[i]` evaluated
+  /// over the input record.
+  DataQuanta Map(std::vector<expr::ExprPtr> fields) const;
+  /// Declarative equi-join on key expressions over each side.
+  DataQuanta Join(const DataQuanta& right, expr::ExprPtr left_key,
+                  expr::ExprPtr right_key,
+                  JoinAlgorithm algorithm = JoinAlgorithm::kHash) const;
+  /// Declarative theta join: `pair_predicate` addresses the concatenation
+  /// (left ++ right), left fields first.
+  DataQuanta ThetaJoin(const DataQuanta& right,
+                       expr::ExprPtr pair_predicate) const;
+
   DataQuanta Project(std::vector<int> columns) const;
   DataQuanta Distinct() const;
   DataQuanta Sort(std::function<Value(const Record&)> key) const;
@@ -159,8 +185,15 @@ class RheemJob {
   /// Execution knobs applied by the terminal methods.
   ExecutionOptions& options() { return options_; }
 
+  /// First error recorded while building the plan (e.g. an ill-typed
+  /// declarative expression); terminal methods return it instead of running.
+  const Status& build_status() const { return build_status_; }
+
  private:
   friend class DataQuanta;
+  void RecordBuildError(Status status) {
+    if (build_status_.ok()) build_status_ = std::move(status);
+  }
   // Body-plan constructor used by Repeat/DoWhile.
   RheemJob(RheemContext* ctx, std::shared_ptr<Plan> plan)
       : ctx_(ctx), plan_(std::move(plan)) {}
@@ -168,6 +201,7 @@ class RheemJob {
   RheemContext* ctx_;
   std::shared_ptr<Plan> plan_;
   ExecutionOptions options_;
+  Status build_status_ = Status::OK();
 };
 
 }  // namespace rheem

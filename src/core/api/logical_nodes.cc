@@ -1,5 +1,6 @@
 #include "core/api/logical_nodes.h"
 
+#include "core/expr/expr.h"
 #include "core/optimizer/fingerprint.h"
 
 namespace rheem {
@@ -75,6 +76,28 @@ std::string GenericLogicalOp::FingerprintToken() const {
     case OpKind::kCollectionSource:
       t += "|data=" + std::to_string(PlanFingerprint::OfDataset(source_data));
       break;
+    case OpKind::kFilter:
+      // Declarative predicates fold their canonical encoding — including
+      // every constant — so two jobs differing only in a predicate literal
+      // can never share a plan-cache entry. Closure predicates have no
+      // encoding and remain "assumed by shape" (see docs/job_service.md).
+      if (predicate.expr != nullptr) {
+        t += "|expr=" + expr::Canonical(*predicate.expr);
+      }
+      break;
+    case OpKind::kMap:
+      if (!map.projection.empty()) {
+        t += "|proj=";
+        for (const auto& f : map.projection) {
+          t += expr::Canonical(*f) + ";";
+        }
+      }
+      break;
+    case OpKind::kThetaJoin:
+      if (theta.pair_expr != nullptr) {
+        t += "|expr=" + expr::Canonical(*theta.pair_expr);
+      }
+      break;
     case OpKind::kProject:
       t += "|cols=";
       for (int c : columns) t += std::to_string(c) + ",";
@@ -88,6 +111,8 @@ std::string GenericLogicalOp::FingerprintToken() const {
       break;
     case OpKind::kJoin:
       t += join_algorithm == JoinAlgorithm::kHash ? "|hash" : "|merge";
+      if (key.expr != nullptr) t += "|lk=" + expr::Canonical(*key.expr);
+      if (key2.expr != nullptr) t += "|rk=" + expr::Canonical(*key2.expr);
       break;
     case OpKind::kIEJoin:
       t += "|ie=" + std::to_string(iejoin.left_col1) +

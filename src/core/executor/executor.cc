@@ -26,6 +26,7 @@
 #include "common/trace.h"
 #include "core/executor/execution_state.h"
 #include "core/executor/result_cache.h"
+#include "core/operators/physical_ops.h"
 #include "core/optimizer/cardinality.h"
 #include "core/optimizer/enumerator.h"
 #include "data/serialization.h"
@@ -117,6 +118,21 @@ Status RunStagesDag(const std::vector<Stage>& stages, ThreadPool* pool,
 /// EXPLAIN ANALYZE-style text: one line per stage attempt (in stage/attempt
 /// order regardless of the concurrent completion order), failover events,
 /// and job totals.
+/// Joined declarative payloads of the stage's operators, for the report and
+/// the per-attempt trace span; "" when every UDF is a closure.
+std::string StageDeclarativeDetail(const Stage& stage) {
+  std::string out;
+  for (const Operator* op : stage.ops()) {
+    auto* phys = dynamic_cast<const PhysicalOperator*>(op);
+    if (phys == nullptr) continue;
+    const std::string detail = DeclarativeDetail(*phys);
+    if (detail.empty()) continue;
+    if (!out.empty()) out += "; ";
+    out += detail;
+  }
+  return out;
+}
+
 std::string BuildExecutionReport(
     std::vector<ExecutionMonitor::StageRecord> records,
     const ExecutionMetrics& metrics,
@@ -136,6 +152,7 @@ std::string BuildExecutionReport(
        << r.attempt << "  "
        << (r.succeeded ? (r.error.empty() ? "ok" : r.error.c_str()) : "FAILED")
        << "  wall=" << r.wall_micros << "us rows=" << r.output_records;
+    if (!r.ops_detail.empty()) os << "  [" << r.ops_detail << "]";
     if (!r.succeeded && !r.error.empty()) os << "  error: " << r.error;
     os << "\n";
   }
@@ -633,6 +650,8 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
         attempt_span.AddTag("stage", static_cast<int64_t>(stage.id()));
         attempt_span.AddTag("platform", stage.platform()->name());
         attempt_span.AddTag("attempt", static_cast<int64_t>(attempt));
+        const std::string ops_detail = StageDeclarativeDetail(stage);
+        if (!ops_detail.empty()) attempt_span.AddTag("ops", ops_detail);
         ExecutionMetrics stage_metrics;
         Stopwatch sw;
         Status injected = FaultInjector::Global().Hit(
@@ -665,6 +684,7 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
         record.attempt = attempt;
         record.wall_micros = wall;
         record.sim_overhead_micros = stage_metrics.sim_overhead_micros;
+        record.ops_detail = ops_detail;
 
         if (outputs.ok()) {
           auto out = std::move(outputs).ValueOrDie();

@@ -27,6 +27,9 @@ class ExecutionMonitor {
     int64_t wall_micros = 0;
     int64_t sim_overhead_micros = 0;
     int64_t output_records = 0;
+    /// Pretty-printed declarative payloads of the stage's operators (e.g.
+    /// `filter=age>30 AND dept=="eng"`); empty when every UDF is a closure.
+    std::string ops_detail;
   };
 
   void RecordStage(StageRecord record);

@@ -1,0 +1,816 @@
+#include "core/expr/expr.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rheem {
+namespace expr {
+
+namespace {
+
+ExprPtr MakeArith(ArithKind k, ExprPtr a, ExprPtr b) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kArith;
+  e->arith = k;
+  e->left = std::move(a);
+  e->right = std::move(b);
+  return e;
+}
+
+ExprPtr MakeCompare(CompareKind k, ExprPtr a, ExprPtr b) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kCompare;
+  e->compare = k;
+  e->left = std::move(a);
+  e->right = std::move(b);
+  return e;
+}
+
+ExprPtr MakeLogical(LogicalKind k, ExprPtr a, ExprPtr b) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLogical;
+  e->logical = k;
+  e->left = std::move(a);
+  e->right = std::move(b);
+  return e;
+}
+
+bool IsNumericType(ValueType t) {
+  return t == ValueType::kInt64 || t == ValueType::kDouble;
+}
+
+const char* ArithSymbol(ArithKind k) {
+  switch (k) {
+    case ArithKind::kAdd: return "+";
+    case ArithKind::kSub: return "-";
+    case ArithKind::kMul: return "*";
+    case ArithKind::kDiv: return "/";
+    case ArithKind::kMod: return "%";
+  }
+  return "?";
+}
+
+const char* CompareSymbol(CompareKind k) {
+  switch (k) {
+    case CompareKind::kEq: return "==";
+    case CompareKind::kNe: return "!=";
+    case CompareKind::kLt: return "<";
+    case CompareKind::kLe: return "<=";
+    case CompareKind::kGt: return ">";
+    case CompareKind::kGe: return ">=";
+  }
+  return "?";
+}
+
+const char* TypeCode(ValueType t) {
+  switch (t) {
+    case ValueType::kBool: return "b";
+    case ValueType::kInt64: return "i";
+    case ValueType::kDouble: return "d";
+    case ValueType::kString: return "s";
+    default: return "?";
+  }
+}
+
+// --- scalar combiners shared by Eval and EvalPredicateBatch ---------------
+
+Value FieldValue(const Expr& e, const Record& r) {
+  if (e.field_index < 0 ||
+      static_cast<std::size_t>(e.field_index) >= r.size()) {
+    return Value::Null();
+  }
+  const Value& v = r.at(static_cast<std::size_t>(e.field_index));
+  switch (e.field_type) {
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      // Numeric declarations accept either numeric runtime type: records
+      // are dynamically typed and int-valued doubles are common.
+      if (!v.is_numeric()) return Value::Null();
+      break;
+    case ValueType::kBool:
+      if (v.type() != ValueType::kBool) return Value::Null();
+      break;
+    case ValueType::kString:
+      if (v.type() != ValueType::kString) return Value::Null();
+      break;
+    default:
+      return Value::Null();
+  }
+  return v;
+}
+
+Value ArithValue(ArithKind k, const Value& a, const Value& b) {
+  if (!a.is_numeric() || !b.is_numeric()) return Value::Null();
+  if (a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64) {
+    const int64_t x = a.int64_unchecked();
+    const int64_t y = b.int64_unchecked();
+    switch (k) {
+      case ArithKind::kAdd: return Value(x + y);
+      case ArithKind::kSub: return Value(x - y);
+      case ArithKind::kMul: return Value(x * y);
+      case ArithKind::kDiv: return y == 0 ? Value::Null() : Value(x / y);
+      case ArithKind::kMod: return y == 0 ? Value::Null() : Value(x % y);
+    }
+    return Value::Null();
+  }
+  const double x = a.ToDoubleOr(0.0);
+  const double y = b.ToDoubleOr(0.0);
+  switch (k) {
+    case ArithKind::kAdd: return Value(x + y);
+    case ArithKind::kSub: return Value(x - y);
+    case ArithKind::kMul: return Value(x * y);
+    case ArithKind::kDiv: return y == 0.0 ? Value::Null() : Value(x / y);
+    case ArithKind::kMod: return Value::Null();  // % is integer-only
+  }
+  return Value::Null();
+}
+
+bool SameComparableClass(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric()) return true;
+  return a.type() == b.type();
+}
+
+Value CompareValue(CompareKind k, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (!SameComparableClass(a, b)) return Value::Null();
+  const int c = a.Compare(b);
+  switch (k) {
+    case CompareKind::kEq: return Value(c == 0);
+    case CompareKind::kNe: return Value(c != 0);
+    case CompareKind::kLt: return Value(c < 0);
+    case CompareKind::kLe: return Value(c <= 0);
+    case CompareKind::kGt: return Value(c > 0);
+    case CompareKind::kGe: return Value(c >= 0);
+  }
+  return Value::Null();
+}
+
+/// Kleene three-valued AND/OR over {false, true, null}.
+Value LogicalValue(LogicalKind k, const Value& a, const Value& b) {
+  const bool a_null = a.is_null() || a.type() != ValueType::kBool;
+  const bool b_null = b.is_null() || b.type() != ValueType::kBool;
+  if (k == LogicalKind::kAnd) {
+    if (!a_null && !a.bool_unchecked()) return Value(false);
+    if (!b_null && !b.bool_unchecked()) return Value(false);
+    if (a_null || b_null) return Value::Null();
+    return Value(true);
+  }
+  if (!a_null && a.bool_unchecked()) return Value(true);
+  if (!b_null && b.bool_unchecked()) return Value(true);
+  if (a_null || b_null) return Value::Null();
+  return Value(false);
+}
+
+Value NotValue(const Value& a) {
+  if (a.is_null() || a.type() != ValueType::kBool) return Value::Null();
+  return Value(!a.bool_unchecked());
+}
+
+void AppendCanonical(const Expr& e, std::string* out);
+
+/// Flattens a chain of same-kind logical nodes into its operand list.
+void FlattenLogical(const Expr& e, LogicalKind k, std::vector<const Expr*>* out) {
+  if (e.kind == ExprKind::kLogical && e.logical == k) {
+    FlattenLogical(*e.left, k, out);
+    FlattenLogical(*e.right, k, out);
+    return;
+  }
+  out->push_back(&e);
+}
+
+void AppendCanonical(const Expr& e, std::string* out) {
+  char buf[40];
+  switch (e.kind) {
+    case ExprKind::kField:
+      *out += "$" + std::to_string(e.field_index) + ":" +
+              TypeCode(e.field_type);
+      return;
+    case ExprKind::kConst:
+      switch (e.constant.type()) {
+        case ValueType::kNull:
+          *out += "null";
+          return;
+        case ValueType::kBool:
+          *out += e.constant.bool_unchecked() ? "true" : "false";
+          return;
+        case ValueType::kInt64:
+          *out += "i:" + std::to_string(e.constant.int64_unchecked());
+          return;
+        case ValueType::kDouble:
+          // %.17g round-trips every double exactly: distinct constants
+          // always yield distinct encodings.
+          std::snprintf(buf, sizeof(buf), "d:%.17g",
+                        e.constant.double_unchecked());
+          *out += buf;
+          return;
+        case ValueType::kString: {
+          *out += "s:\"";
+          for (char c : e.constant.string_unchecked()) {
+            if (c == '"' || c == '\\') *out += '\\';
+            *out += c;
+          }
+          *out += '"';
+          return;
+        }
+        default:
+          *out += "const:?";
+          return;
+      }
+    case ExprKind::kArith:
+      *out += "(";
+      *out += ArithSymbol(e.arith);
+      *out += " ";
+      AppendCanonical(*e.left, out);
+      *out += " ";
+      AppendCanonical(*e.right, out);
+      *out += ")";
+      return;
+    case ExprKind::kCompare:
+      *out += "(";
+      *out += CompareSymbol(e.compare);
+      *out += " ";
+      AppendCanonical(*e.left, out);
+      *out += " ";
+      AppendCanonical(*e.right, out);
+      *out += ")";
+      return;
+    case ExprKind::kLogical: {
+      // Conjunction (and disjunction) normalization: AND/OR are commutative
+      // and associative under Kleene logic, so the operand encodings are
+      // sorted — `a AND b` and `b AND a` fingerprint identically.
+      std::vector<const Expr*> operands;
+      FlattenLogical(e, e.logical, &operands);
+      std::vector<std::string> encoded;
+      encoded.reserve(operands.size());
+      for (const Expr* o : operands) {
+        std::string s;
+        AppendCanonical(*o, &s);
+        encoded.push_back(std::move(s));
+      }
+      std::sort(encoded.begin(), encoded.end());
+      *out += e.logical == LogicalKind::kAnd ? "(and" : "(or";
+      for (const std::string& s : encoded) {
+        *out += " ";
+        *out += s;
+      }
+      *out += ")";
+      return;
+    }
+    case ExprKind::kNot:
+      *out += "(not ";
+      AppendCanonical(*e.left, out);
+      *out += ")";
+      return;
+  }
+}
+
+/// Precedence levels for the pretty-printer (higher binds tighter).
+int Precedence(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kLogical:
+      return e.logical == LogicalKind::kOr ? 1 : 2;
+    case ExprKind::kNot: return 3;
+    case ExprKind::kCompare: return 4;
+    case ExprKind::kArith:
+      return (e.arith == ArithKind::kAdd || e.arith == ArithKind::kSub) ? 5
+                                                                        : 6;
+    case ExprKind::kField:
+    case ExprKind::kConst:
+      return 7;
+  }
+  return 7;
+}
+
+void AppendPretty(const Expr& e, int parent_prec, std::string* out) {
+  const int prec = Precedence(e);
+  const bool parens = prec < parent_prec;
+  if (parens) *out += "(";
+  switch (e.kind) {
+    case ExprKind::kField:
+      *out += e.field_name.empty() ? "$" + std::to_string(e.field_index)
+                                   : e.field_name;
+      break;
+    case ExprKind::kConst:
+      if (e.constant.type() == ValueType::kString) {
+        *out += "\"" + e.constant.string_unchecked() + "\"";
+      } else {
+        *out += e.constant.ToString();
+      }
+      break;
+    case ExprKind::kArith:
+      AppendPretty(*e.left, prec, out);
+      *out += ArithSymbol(e.arith);
+      AppendPretty(*e.right, prec + 1, out);
+      break;
+    case ExprKind::kCompare:
+      AppendPretty(*e.left, prec, out);
+      *out += CompareSymbol(e.compare);
+      AppendPretty(*e.right, prec, out);
+      break;
+    case ExprKind::kLogical:
+      AppendPretty(*e.left, prec, out);
+      *out += e.logical == LogicalKind::kAnd ? " AND " : " OR ";
+      AppendPretty(*e.right, prec, out);
+      break;
+    case ExprKind::kNot:
+      *out += "NOT ";
+      AppendPretty(*e.left, prec, out);
+      break;
+  }
+  if (parens) *out += ")";
+}
+
+}  // namespace
+
+// --- builders --------------------------------------------------------------
+
+ExprPtr Field(int index, ValueType type, std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kField;
+  e->field_index = index;
+  e->field_type = type;
+  e->field_name = std::move(name);
+  return e;
+}
+
+ExprPtr Lit(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kConst;
+  e->constant = std::move(v);
+  return e;
+}
+
+ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return MakeArith(ArithKind::kAdd, std::move(a), std::move(b));
+}
+ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return MakeArith(ArithKind::kSub, std::move(a), std::move(b));
+}
+ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return MakeArith(ArithKind::kMul, std::move(a), std::move(b));
+}
+ExprPtr Div(ExprPtr a, ExprPtr b) {
+  return MakeArith(ArithKind::kDiv, std::move(a), std::move(b));
+}
+ExprPtr Mod(ExprPtr a, ExprPtr b) {
+  return MakeArith(ArithKind::kMod, std::move(a), std::move(b));
+}
+
+ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return MakeCompare(CompareKind::kEq, std::move(a), std::move(b));
+}
+ExprPtr Ne(ExprPtr a, ExprPtr b) {
+  return MakeCompare(CompareKind::kNe, std::move(a), std::move(b));
+}
+ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return MakeCompare(CompareKind::kLt, std::move(a), std::move(b));
+}
+ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return MakeCompare(CompareKind::kLe, std::move(a), std::move(b));
+}
+ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return MakeCompare(CompareKind::kGt, std::move(a), std::move(b));
+}
+ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return MakeCompare(CompareKind::kGe, std::move(a), std::move(b));
+}
+
+ExprPtr And(ExprPtr a, ExprPtr b) {
+  return MakeLogical(LogicalKind::kAnd, std::move(a), std::move(b));
+}
+ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return MakeLogical(LogicalKind::kOr, std::move(a), std::move(b));
+}
+
+ExprPtr Not(ExprPtr a) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kNot;
+  e->left = std::move(a);
+  return e;
+}
+
+// --- static typing ---------------------------------------------------------
+
+Result<ValueType> TypeCheck(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kField:
+      if (e.field_index < 0) {
+        return Status::InvalidArgument("negative field index in expression");
+      }
+      if (e.field_type != ValueType::kBool &&
+          e.field_type != ValueType::kInt64 &&
+          e.field_type != ValueType::kDouble &&
+          e.field_type != ValueType::kString) {
+        return Status::InvalidArgument(
+            std::string("field $") + std::to_string(e.field_index) +
+            " declares unsupported type " +
+            ValueTypeToString(e.field_type));
+      }
+      return e.field_type;
+    case ExprKind::kConst: {
+      const ValueType t = e.constant.type();
+      if (t == ValueType::kNull) {
+        return Status::InvalidArgument("untyped null literal in expression");
+      }
+      if (t == ValueType::kDoubleList) {
+        return Status::InvalidArgument(
+            "list values have no expression operations");
+      }
+      return t;
+    }
+    case ExprKind::kArith: {
+      RHEEM_ASSIGN_OR_RETURN(ValueType lt, TypeCheck(*e.left));
+      RHEEM_ASSIGN_OR_RETURN(ValueType rt, TypeCheck(*e.right));
+      if (!IsNumericType(lt) || !IsNumericType(rt)) {
+        return Status::InvalidArgument(
+            std::string("arithmetic '") + ArithSymbol(e.arith) +
+            "' requires numeric operands, got " + ValueTypeToString(lt) +
+            " and " + ValueTypeToString(rt));
+      }
+      if (e.arith == ArithKind::kMod &&
+          (lt != ValueType::kInt64 || rt != ValueType::kInt64)) {
+        return Status::InvalidArgument("'%' requires int64 operands");
+      }
+      return (lt == ValueType::kInt64 && rt == ValueType::kInt64)
+                 ? ValueType::kInt64
+                 : ValueType::kDouble;
+    }
+    case ExprKind::kCompare: {
+      RHEEM_ASSIGN_OR_RETURN(ValueType lt, TypeCheck(*e.left));
+      RHEEM_ASSIGN_OR_RETURN(ValueType rt, TypeCheck(*e.right));
+      const bool ok = (IsNumericType(lt) && IsNumericType(rt)) || lt == rt;
+      if (!ok) {
+        return Status::InvalidArgument(
+            std::string("comparison '") + CompareSymbol(e.compare) +
+            "' over incompatible types " + ValueTypeToString(lt) + " and " +
+            ValueTypeToString(rt));
+      }
+      return ValueType::kBool;
+    }
+    case ExprKind::kLogical: {
+      RHEEM_ASSIGN_OR_RETURN(ValueType lt, TypeCheck(*e.left));
+      RHEEM_ASSIGN_OR_RETURN(ValueType rt, TypeCheck(*e.right));
+      if (lt != ValueType::kBool || rt != ValueType::kBool) {
+        return Status::InvalidArgument(
+            std::string(e.logical == LogicalKind::kAnd ? "AND" : "OR") +
+            " requires bool operands, got " + ValueTypeToString(lt) +
+            " and " + ValueTypeToString(rt));
+      }
+      return ValueType::kBool;
+    }
+    case ExprKind::kNot: {
+      RHEEM_ASSIGN_OR_RETURN(ValueType lt, TypeCheck(*e.left));
+      if (lt != ValueType::kBool) {
+        return Status::InvalidArgument(
+            std::string("NOT requires a bool operand, got ") +
+            ValueTypeToString(lt));
+      }
+      return ValueType::kBool;
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Status TypeCheckPredicate(const Expr& e) {
+  RHEEM_ASSIGN_OR_RETURN(ValueType t, TypeCheck(e));
+  if (t != ValueType::kBool) {
+    return Status::InvalidArgument(
+        std::string("predicate must be bool, got ") + ValueTypeToString(t) +
+        ": " + Pretty(e));
+  }
+  return Status::OK();
+}
+
+// --- evaluation ------------------------------------------------------------
+
+Value Eval(const Expr& e, const Record& r) {
+  switch (e.kind) {
+    case ExprKind::kField:
+      return FieldValue(e, r);
+    case ExprKind::kConst:
+      return e.constant;
+    case ExprKind::kArith:
+      return ArithValue(e.arith, Eval(*e.left, r), Eval(*e.right, r));
+    case ExprKind::kCompare:
+      return CompareValue(e.compare, Eval(*e.left, r), Eval(*e.right, r));
+    case ExprKind::kLogical:
+      return LogicalValue(e.logical, Eval(*e.left, r), Eval(*e.right, r));
+    case ExprKind::kNot:
+      return NotValue(Eval(*e.left, r));
+  }
+  return Value::Null();
+}
+
+bool EvalPredicate(const Expr& e, const Record& r) {
+  const Value v = Eval(e, r);
+  return v.type() == ValueType::kBool && v.bool_unchecked();
+}
+
+namespace {
+
+Value EvalPair(const Expr& e, const Record& a, const Record& b) {
+  switch (e.kind) {
+    case ExprKind::kField: {
+      const int w = static_cast<int>(a.size());
+      if (e.field_index >= 0 && e.field_index < w) return FieldValue(e, a);
+      Expr shifted = e;
+      shifted.field_index = e.field_index - w;
+      return FieldValue(shifted, b);
+    }
+    case ExprKind::kConst:
+      return e.constant;
+    case ExprKind::kArith:
+      return ArithValue(e.arith, EvalPair(*e.left, a, b),
+                        EvalPair(*e.right, a, b));
+    case ExprKind::kCompare:
+      return CompareValue(e.compare, EvalPair(*e.left, a, b),
+                          EvalPair(*e.right, a, b));
+    case ExprKind::kLogical:
+      return LogicalValue(e.logical, EvalPair(*e.left, a, b),
+                          EvalPair(*e.right, a, b));
+    case ExprKind::kNot:
+      return NotValue(EvalPair(*e.left, a, b));
+  }
+  return Value::Null();
+}
+
+/// Batch evaluation: one column of Values per node over rows[begin, end).
+void EvalColumn(const Expr& e, const std::vector<Record>& rows,
+                std::size_t begin, std::size_t end, std::vector<Value>* out) {
+  const std::size_t n = end - begin;
+  out->clear();
+  out->reserve(n);
+  switch (e.kind) {
+    case ExprKind::kField:
+      for (std::size_t i = begin; i < end; ++i) {
+        out->push_back(FieldValue(e, rows[i]));
+      }
+      return;
+    case ExprKind::kConst:
+      out->assign(n, e.constant);
+      return;
+    case ExprKind::kNot: {
+      std::vector<Value> in;
+      EvalColumn(*e.left, rows, begin, end, &in);
+      for (std::size_t i = 0; i < n; ++i) out->push_back(NotValue(in[i]));
+      return;
+    }
+    default: {
+      std::vector<Value> lhs, rhs;
+      EvalColumn(*e.left, rows, begin, end, &lhs);
+      EvalColumn(*e.right, rows, begin, end, &rhs);
+      for (std::size_t i = 0; i < n; ++i) {
+        switch (e.kind) {
+          case ExprKind::kArith:
+            out->push_back(ArithValue(e.arith, lhs[i], rhs[i]));
+            break;
+          case ExprKind::kCompare:
+            out->push_back(CompareValue(e.compare, lhs[i], rhs[i]));
+            break;
+          default:
+            out->push_back(LogicalValue(e.logical, lhs[i], rhs[i]));
+            break;
+        }
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+bool EvalPredicatePair(const Expr& e, const Record& a, const Record& b) {
+  const Value v = EvalPair(e, a, b);
+  return v.type() == ValueType::kBool && v.bool_unchecked();
+}
+
+void EvalPredicateBatch(const Expr& e, const std::vector<Record>& rows,
+                        std::size_t begin, std::size_t end,
+                        std::vector<unsigned char>* keep) {
+  std::vector<Value> col;
+  EvalColumn(e, rows, begin, end, &col);
+  keep->resize(end - begin);
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    (*keep)[i] = (col[i].type() == ValueType::kBool && col[i].bool_unchecked())
+                     ? 1
+                     : 0;
+  }
+}
+
+// --- canonical form & fingerprints -----------------------------------------
+
+std::string Canonical(const Expr& e) {
+  std::string out;
+  AppendCanonical(e, &out);
+  return out;
+}
+
+std::string Pretty(const Expr& e) {
+  std::string out;
+  AppendPretty(e, 0, &out);
+  return out;
+}
+
+// --- selectivity -----------------------------------------------------------
+
+double EstimateSelectivity(const Expr& e) {
+  double s;
+  switch (e.kind) {
+    case ExprKind::kConst:
+      s = (e.constant.type() == ValueType::kBool)
+              ? (e.constant.bool_unchecked() ? 1.0 : 0.0)
+              : 0.5;
+      break;
+    case ExprKind::kCompare:
+      switch (e.compare) {
+        case CompareKind::kEq: s = 0.1; break;
+        case CompareKind::kNe: s = 0.9; break;
+        default: s = 1.0 / 3.0; break;
+      }
+      break;
+    case ExprKind::kLogical: {
+      const double a = EstimateSelectivity(*e.left);
+      const double b = EstimateSelectivity(*e.right);
+      s = e.logical == LogicalKind::kAnd ? a * b : a + b - a * b;
+      break;
+    }
+    case ExprKind::kNot:
+      s = 1.0 - EstimateSelectivity(*e.left);
+      break;
+    default:
+      s = 0.5;  // a non-boolean tree has no predicate selectivity
+      break;
+  }
+  return std::clamp(s, 0.0, 1.0);
+}
+
+// --- structural helpers ----------------------------------------------------
+
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& e) {
+  std::vector<ExprPtr> out;
+  if (e == nullptr) return out;
+  if (e->kind == ExprKind::kLogical && e->logical == LogicalKind::kAnd) {
+    for (auto& c : SplitConjuncts(e->left)) out.push_back(std::move(c));
+    for (auto& c : SplitConjuncts(e->right)) out.push_back(std::move(c));
+    return out;
+  }
+  out.push_back(e);
+  return out;
+}
+
+ExprPtr AndAll(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr acc;
+  for (const ExprPtr& c : conjuncts) {
+    acc = acc == nullptr ? c : And(acc, c);
+  }
+  return acc;
+}
+
+void CollectFields(const Expr& e, std::set<int>* fields) {
+  switch (e.kind) {
+    case ExprKind::kField:
+      fields->insert(e.field_index);
+      return;
+    case ExprKind::kConst:
+      return;
+    case ExprKind::kNot:
+      CollectFields(*e.left, fields);
+      return;
+    default:
+      CollectFields(*e.left, fields);
+      CollectFields(*e.right, fields);
+      return;
+  }
+}
+
+int MaxFieldIndex(const Expr& e) {
+  std::set<int> fields;
+  CollectFields(e, &fields);
+  return fields.empty() ? -1 : *fields.rbegin();
+}
+
+Result<ExprPtr> RemapFields(const ExprPtr& e,
+                            const std::map<int, int>& mapping) {
+  switch (e->kind) {
+    case ExprKind::kField: {
+      auto it = mapping.find(e->field_index);
+      if (it == mapping.end()) {
+        return Status::NotFound("no mapping for field $" +
+                                std::to_string(e->field_index));
+      }
+      auto n = std::make_shared<Expr>(*e);
+      n->field_index = it->second;
+      return ExprPtr(n);
+    }
+    case ExprKind::kConst:
+      return e;
+    case ExprKind::kNot: {
+      RHEEM_ASSIGN_OR_RETURN(ExprPtr c, RemapFields(e->left, mapping));
+      auto n = std::make_shared<Expr>(*e);
+      n->left = std::move(c);
+      return ExprPtr(n);
+    }
+    default: {
+      RHEEM_ASSIGN_OR_RETURN(ExprPtr l, RemapFields(e->left, mapping));
+      RHEEM_ASSIGN_OR_RETURN(ExprPtr r, RemapFields(e->right, mapping));
+      auto n = std::make_shared<Expr>(*e);
+      n->left = std::move(l);
+      n->right = std::move(r);
+      return ExprPtr(n);
+    }
+  }
+}
+
+ExprPtr ShiftFields(const ExprPtr& e, int delta) {
+  switch (e->kind) {
+    case ExprKind::kField: {
+      auto n = std::make_shared<Expr>(*e);
+      n->field_index = e->field_index + delta;
+      return n;
+    }
+    case ExprKind::kConst:
+      return e;
+    case ExprKind::kNot: {
+      auto n = std::make_shared<Expr>(*e);
+      n->left = ShiftFields(e->left, delta);
+      return n;
+    }
+    default: {
+      auto n = std::make_shared<Expr>(*e);
+      n->left = ShiftFields(e->left, delta);
+      n->right = ShiftFields(e->right, delta);
+      return n;
+    }
+  }
+}
+
+int NodeCount(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kField:
+    case ExprKind::kConst:
+      return 1;
+    case ExprKind::kNot:
+      return 1 + NodeCount(*e.left);
+    default:
+      return 1 + NodeCount(*e.left) + NodeCount(*e.right);
+  }
+}
+
+// --- UDF compilation -------------------------------------------------------
+
+Result<PredicateUdf> MakePredicateUdf(ExprPtr e) {
+  if (e == nullptr) return Status::InvalidArgument("null predicate expression");
+  RHEEM_RETURN_IF_ERROR(TypeCheckPredicate(*e));
+  PredicateUdf udf;
+  udf.expr = e;
+  udf.fn = [e](const Record& r) { return EvalPredicate(*e, r); };
+  udf.meta.selectivity = EstimateSelectivity(*e);
+  udf.meta.cost_factor = static_cast<double>(NodeCount(*e)) * 0.25;
+  return udf;
+}
+
+Result<MapUdf> MakeMapUdf(std::vector<ExprPtr> fields) {
+  if (fields.empty()) {
+    return Status::InvalidArgument("declarative Map needs >= 1 output field");
+  }
+  for (const ExprPtr& f : fields) {
+    if (f == nullptr) return Status::InvalidArgument("null field expression");
+    RHEEM_RETURN_IF_ERROR(TypeCheck(*f).status());
+  }
+  MapUdf udf;
+  udf.projection = fields;
+  double cost = 0.0;
+  for (const ExprPtr& f : fields) cost += NodeCount(*f);
+  udf.meta.cost_factor = cost * 0.25;
+  udf.fn = [fields](const Record& r) {
+    std::vector<Value> out;
+    out.reserve(fields.size());
+    for (const ExprPtr& f : fields) out.push_back(Eval(*f, r));
+    return Record(std::move(out));
+  };
+  return udf;
+}
+
+Result<KeyUdf> MakeKeyUdf(ExprPtr e) {
+  if (e == nullptr) return Status::InvalidArgument("null key expression");
+  RHEEM_RETURN_IF_ERROR(TypeCheck(*e).status());
+  KeyUdf udf;
+  udf.expr = e;
+  udf.fn = [e](const Record& r) { return Eval(*e, r); };
+  return udf;
+}
+
+Result<ThetaUdf> MakeThetaUdf(ExprPtr e) {
+  if (e == nullptr) return Status::InvalidArgument("null theta expression");
+  RHEEM_RETURN_IF_ERROR(TypeCheckPredicate(*e));
+  ThetaUdf udf;
+  udf.pair_expr = e;
+  udf.fn = [e](const Record& a, const Record& b) {
+    return EvalPredicatePair(*e, a, b);
+  };
+  udf.meta.selectivity = EstimateSelectivity(*e);
+  return udf;
+}
+
+}  // namespace expr
+}  // namespace rheem

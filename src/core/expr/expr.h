@@ -1,0 +1,207 @@
+#ifndef RHEEM_CORE_EXPR_EXPR_H_
+#define RHEEM_CORE_EXPR_EXPR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/operators/descriptors.h"
+#include "data/record.h"
+#include "data/value.h"
+
+namespace rheem {
+namespace expr {
+
+/// \brief A small typed expression IR: the declarative alternative to opaque
+/// UDF closures.
+///
+/// The paper's optimizer treats UDFs as black boxes it can only annotate
+/// (UdfMeta); "Opening the Black Boxes in Data Flow Optimization" shows that
+/// a tiny declarative language over record fields recovers the rewrites,
+/// cardinality estimates, and sound cache keys closures destroy. An Expr is
+/// an immutable tree of field references, constants, arithmetic, comparisons
+/// and boolean connectives. Declarative DataQuanta operators carry an Expr
+/// *alongside* the compiled closure, so every platform executes them
+/// unchanged while the optimizer gains full visibility.
+///
+/// Semantics are SQL-flavored three-valued logic at runtime: a missing
+/// field, a runtime type mismatch, or a division by zero evaluates to Null,
+/// comparisons against Null are Null, AND/OR follow Kleene logic, and a
+/// predicate treats Null as "drop". Static types are checked once by
+/// TypeCheck(); records are still dynamically typed, so evaluation never
+/// throws or errors — it degrades to Null.
+enum class ExprKind : uint8_t {
+  kField,    // record field reference with a declared type
+  kConst,    // literal Value
+  kArith,    // + - * / %
+  kCompare,  // == != < <= > >=
+  kLogical,  // AND / OR (Kleene)
+  kNot,      // NOT
+};
+
+enum class ArithKind : uint8_t { kAdd, kSub, kMul, kDiv, kMod };
+enum class CompareKind : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class LogicalKind : uint8_t { kAnd, kOr };
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Immutable expression node. Build via the factory functions below; the
+/// members are set once at construction and never mutated, so subtrees can
+/// be shared freely across plans and threads.
+class Expr {
+ public:
+  ExprKind kind = ExprKind::kConst;
+
+  // kField
+  int field_index = -1;
+  ValueType field_type = ValueType::kNull;  // declared static type
+  std::string field_name;                   // optional, for pretty-printing
+
+  // kConst
+  Value constant;
+
+  // operators
+  ArithKind arith = ArithKind::kAdd;
+  CompareKind compare = CompareKind::kEq;
+  LogicalKind logical = LogicalKind::kAnd;
+  ExprPtr left;   // also the sole child of kNot
+  ExprPtr right;  // null for kNot
+};
+
+// --- builders --------------------------------------------------------------
+
+/// Reference to record field `index` with declared type `type`. The optional
+/// `name` only affects pretty-printing (e.g. "age > 30" instead of "$2 > 30").
+ExprPtr Field(int index, ValueType type, std::string name = "");
+/// Literal constant.
+ExprPtr Lit(Value v);
+inline ExprPtr Lit(int64_t v) { return Lit(Value(v)); }
+inline ExprPtr Lit(int v) { return Lit(Value(v)); }
+inline ExprPtr Lit(double v) { return Lit(Value(v)); }
+inline ExprPtr Lit(const char* v) { return Lit(Value(v)); }
+inline ExprPtr Lit(bool v) { return Lit(Value(v)); }
+
+ExprPtr Add(ExprPtr a, ExprPtr b);
+ExprPtr Sub(ExprPtr a, ExprPtr b);
+ExprPtr Mul(ExprPtr a, ExprPtr b);
+ExprPtr Div(ExprPtr a, ExprPtr b);
+ExprPtr Mod(ExprPtr a, ExprPtr b);
+
+ExprPtr Eq(ExprPtr a, ExprPtr b);
+ExprPtr Ne(ExprPtr a, ExprPtr b);
+ExprPtr Lt(ExprPtr a, ExprPtr b);
+ExprPtr Le(ExprPtr a, ExprPtr b);
+ExprPtr Gt(ExprPtr a, ExprPtr b);
+ExprPtr Ge(ExprPtr a, ExprPtr b);
+
+ExprPtr And(ExprPtr a, ExprPtr b);
+ExprPtr Or(ExprPtr a, ExprPtr b);
+ExprPtr Not(ExprPtr a);
+
+// --- static typing ---------------------------------------------------------
+
+/// Bottom-up structural type check. Arithmetic requires numeric operands
+/// (int64/double; mixed widens to double, / and % of two int64 stay integer),
+/// comparisons require both sides in the same type class (numerics mix,
+/// string-string, bool-bool), AND/OR/NOT require bool operands. Field
+/// references must declare bool/int64/double/string and a non-negative
+/// index. Returns the expression's static result type.
+Result<ValueType> TypeCheck(const Expr& e);
+
+/// TypeCheck + "the result must be bool" (the predicate contract).
+Status TypeCheckPredicate(const Expr& e);
+
+// --- evaluation ------------------------------------------------------------
+
+/// Evaluates over one record; never errors (see class comment for the null
+/// semantics).
+Value Eval(const Expr& e, const Record& r);
+
+/// Predicate evaluation: Null coerces to false (SQL WHERE semantics).
+bool EvalPredicate(const Expr& e, const Record& r);
+
+/// Pair-predicate evaluation over the implicit concatenation (a ++ b)
+/// without materializing it: fields [0, a.size()) read `a`, the rest `b`.
+bool EvalPredicatePair(const Expr& e, const Record& a, const Record& b);
+
+/// Vectorized predicate evaluation over rows[begin, end): each interior node
+/// produces a column of Values for the whole batch (the seed of the columnar
+/// evaluation path, ROADMAP item 1). (*keep)[i - begin] is set to 1 when the
+/// predicate accepts rows[i]. Identical results to EvalPredicate per row.
+void EvalPredicateBatch(const Expr& e, const std::vector<Record>& rows,
+                        std::size_t begin, std::size_t end,
+                        std::vector<unsigned char>* keep);
+
+// --- canonical form & fingerprints -----------------------------------------
+
+/// Deterministic canonical encoding for fingerprinting. AND/OR chains are
+/// flattened and their operands sorted (conjunction normalization), so
+/// `a AND b` and `b AND a` — semantically identical under Kleene logic —
+/// encode identically and share plan-cache entries. Constants are encoded
+/// exactly, which is what makes declarative plan fingerprints sound: two
+/// plans differing only in a predicate constant never collide.
+std::string Canonical(const Expr& e);
+
+/// Human-readable infix rendering for EXPLAIN output and trace spans, e.g.
+/// `age > 30 AND dept == "eng"` (falls back to `$i` for unnamed fields).
+std::string Pretty(const Expr& e);
+
+// --- selectivity -----------------------------------------------------------
+
+/// Per-predicate selectivity estimate in [0, 1], System-R style: equality
+/// 0.1, inequality 0.9, range comparisons 1/3, AND multiplies, OR adds with
+/// inclusion-exclusion, NOT complements, boolean constants are exact.
+double EstimateSelectivity(const Expr& e);
+
+// --- structural helpers (used by the pushdown rewrites) --------------------
+
+/// Flattens nested ANDs into the list of conjuncts (a non-AND root is the
+/// single conjunct).
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& e);
+
+/// AND of all conjuncts; null for an empty list, the sole element for one.
+ExprPtr AndAll(const std::vector<ExprPtr>& conjuncts);
+
+/// Adds every referenced field index to `*fields`.
+void CollectFields(const Expr& e, std::set<int>* fields);
+
+/// Largest referenced field index, or -1 when the expression is constant.
+int MaxFieldIndex(const Expr& e);
+
+/// Rebuilds the tree with field indices substituted through `mapping`;
+/// NotFound when a referenced field has no entry.
+Result<ExprPtr> RemapFields(const ExprPtr& e, const std::map<int, int>& mapping);
+
+/// Rebuilds the tree with every field index shifted by `delta`.
+ExprPtr ShiftFields(const ExprPtr& e, int delta);
+
+/// Number of nodes in the tree (a proxy for evaluation cost).
+int NodeCount(const Expr& e);
+
+// --- UDF compilation -------------------------------------------------------
+
+/// Compiles a type-checked boolean expression into a Filter descriptor: the
+/// closure evaluates the expression, `meta.selectivity` comes from
+/// EstimateSelectivity, and `expr` keeps the tree visible to the optimizer.
+Result<PredicateUdf> MakePredicateUdf(ExprPtr e);
+
+/// Compiles a projection (one expression per output field) into a Map
+/// descriptor carrying the expression list.
+Result<MapUdf> MakeMapUdf(std::vector<ExprPtr> fields);
+
+/// Compiles a key-extraction expression into a Key descriptor.
+Result<KeyUdf> MakeKeyUdf(ExprPtr e);
+
+/// Compiles a boolean pair predicate over the concatenation of the two join
+/// sides into a ThetaJoin descriptor.
+Result<ThetaUdf> MakeThetaUdf(ExprPtr e);
+
+}  // namespace expr
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_EXPR_EXPR_H_

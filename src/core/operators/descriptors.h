@@ -5,11 +5,23 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "data/dataset.h"
 #include "data/record.h"
 #include "data/value.h"
 
 namespace rheem {
+
+namespace expr {
+class Expr;
+}  // namespace expr
+
+/// Optional declarative form of a UDF (core/expr/expr.h). When set, the
+/// closure `fn` was compiled from this tree, and the optimizer may inspect,
+/// push down, fingerprint, and estimate the operator instead of treating it
+/// as a black box. Null for hand-written closures.
+using DeclaredExpr = std::shared_ptr<const expr::Expr>;
 
 /// \brief Optimizer-facing metadata attached to every UDF.
 ///
@@ -35,6 +47,9 @@ struct UdfMeta {
 struct MapUdf {
   std::function<Record(const Record&)> fn;
   UdfMeta meta;
+  /// Non-empty: declarative projection — output field i is projection[i]
+  /// evaluated over the input record.
+  std::vector<DeclaredExpr> projection;
 };
 
 /// Record -> zero or more Records (FlatMap).
@@ -47,12 +62,16 @@ struct FlatMapUdf {
 struct PredicateUdf {
   std::function<bool(const Record&)> fn;
   UdfMeta meta{0.5, 1.0};
+  /// Non-null: declarative boolean predicate equivalent to `fn`.
+  DeclaredExpr expr;
 };
 
 /// Record -> grouping/join key.
 struct KeyUdf {
   std::function<Value(const Record&)> fn;
   UdfMeta meta;
+  /// Non-null: declarative key-extraction expression equivalent to `fn`.
+  DeclaredExpr expr;
 };
 
 /// Commutative+associative pairwise combiner (ReduceByKey, GlobalReduce).
@@ -78,6 +97,9 @@ struct BroadcastMapUdf {
 struct ThetaUdf {
   std::function<bool(const Record&, const Record&)> fn;
   UdfMeta meta{0.1, 1.0};
+  /// Non-null: declarative pair predicate over the concatenation
+  /// (left ++ right) — fields [0, |left|) address the left record.
+  DeclaredExpr pair_expr;
 };
 
 /// Loop continuation test over the loop's state dataset (DoWhile).

@@ -12,6 +12,7 @@
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "core/expr/expr.h"
 #include "data/record.h"
 
 namespace rheem {
@@ -416,15 +417,33 @@ Result<Dataset> FlatMap(const FlatMapUdf& udf, const Dataset& in,
 
 Result<Dataset> Filter(const PredicateUdf& udf, const Dataset& in,
                        const KernelOptions& opts) {
-  if (!udf.fn) return Status::InvalidArgument("Filter UDF is empty");
+  if (!udf.fn && udf.expr == nullptr) {
+    return Status::InvalidArgument("Filter UDF is empty");
+  }
   TimingScope scope(kIdFilter, in.size());
+  // Declarative predicates take the vectorized path: the expression tree is
+  // evaluated column-at-a-time over the whole batch (morsel) instead of one
+  // virtual call per record.
+  const expr::Expr* tree = udf.expr.get();
+  auto decide = [&](std::size_t b, std::size_t e,
+                    std::vector<std::size_t>* kept) {
+    if (tree != nullptr) {
+      std::vector<unsigned char> keep;
+      expr::EvalPredicateBatch(*tree, in.records(), b, e, &keep);
+      for (std::size_t i = b; i < e; ++i) {
+        if (keep[i - b]) kept->push_back(i);
+      }
+    } else {
+      for (std::size_t i = b; i < e; ++i) {
+        if (udf.fn(in.at(i))) kept->push_back(i);
+      }
+    }
+  };
   if (!UseParallel(opts, in.size())) {
     // Index gather: decide first, then copy exactly the survivors into a
     // right-sized vector — no reallocation churn on large outputs.
     std::vector<std::size_t> kept;
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      if (udf.fn(in.at(i))) kept.push_back(i);
-    }
+    decide(0, in.size(), &kept);
     std::vector<Record> out;
     out.reserve(kept.size());
     for (std::size_t i : kept) out.push_back(in.at(i));
@@ -435,9 +454,7 @@ Result<Dataset> Filter(const PredicateUdf& udf, const Dataset& in,
   RHEEM_RETURN_IF_ERROR(RunMorsels(
       opts, ranges, scope, [&](std::size_t m, std::size_t b, std::size_t e) {
         std::vector<std::size_t> kept;
-        for (std::size_t i = b; i < e; ++i) {
-          if (udf.fn(in.at(i))) kept.push_back(i);
-        }
+        decide(b, e, &kept);
         auto& part = parts[m];
         part.reserve(kept.size());
         for (std::size_t i : kept) part.push_back(in.at(i));
@@ -1011,11 +1028,18 @@ Result<Dataset> SortMergeJoin(const KeyUdf& left_key, const KeyUdf& right_key,
 
 Result<Dataset> ThetaJoin(const ThetaUdf& condition, const Dataset& left,
                           const Dataset& right) {
-  if (!condition.fn) return Status::InvalidArgument("ThetaJoin UDF is empty");
+  if (!condition.fn && condition.pair_expr == nullptr) {
+    return Status::InvalidArgument("ThetaJoin UDF is empty");
+  }
   std::vector<Record> out;
+  // The declarative path skips materializing Concat(l, r) for rejected
+  // pairs: the expression evaluates over the implicit concatenation.
+  const expr::Expr* tree = condition.pair_expr.get();
   for (const auto& l : left.records()) {
     for (const auto& r : right.records()) {
-      if (condition.fn(l, r)) out.push_back(Record::Concat(l, r));
+      const bool match = tree != nullptr ? expr::EvalPredicatePair(*tree, l, r)
+                                         : condition.fn(l, r);
+      if (match) out.push_back(Record::Concat(l, r));
     }
   }
   return Dataset(std::move(out));
@@ -1147,7 +1171,8 @@ Status ValidateSteps(const std::vector<FusedStep>& steps) {
         if (!s.map.fn) return Status::InvalidArgument("Map UDF is empty");
         break;
       case FusedStep::Kind::kFilter:
-        if (!s.filter.fn) return Status::InvalidArgument("Filter UDF is empty");
+        if (!s.filter.fn && s.filter.expr == nullptr)
+          return Status::InvalidArgument("Filter UDF is empty");
         break;
       case FusedStep::Kind::kFlatMap:
         if (!s.flat_map.fn)
@@ -1182,9 +1207,13 @@ Status DriveRecord(const std::vector<FusedStep>& steps, std::size_t s,
       }
       return DriveRecord(steps, s + 1, next, out);
     }
-    case FusedStep::Kind::kFilter:
-      if (!step.filter.fn(r)) return Status::OK();
+    case FusedStep::Kind::kFilter: {
+      const bool keep = step.filter.expr != nullptr
+                            ? expr::EvalPredicate(*step.filter.expr, r)
+                            : step.filter.fn(r);
+      if (!keep) return Status::OK();
       return DriveRecord(steps, s + 1, r, out);
+    }
     case FusedStep::Kind::kFlatMap: {
       std::vector<Record> produced = step.flat_map.fn(r);
       for (Record& p : produced) {
@@ -1219,12 +1248,44 @@ Result<Dataset> FusedPipeline(const std::vector<FusedStep>& steps,
     std::vector<Record> out(in.records());
     return Dataset(std::move(out));
   }
+  // Vector-of-records fast path: a prefix of declarative filters is ANDed
+  // and evaluated column-at-a-time over the whole morsel, so only the
+  // survivors enter the per-record drive. Keep set is identical — Kleene
+  // AND is true exactly when every conjunct is (Null drops either way).
+  std::size_t lead = 0;
+  while (lead < steps.size() &&
+         steps[lead].kind == FusedStep::Kind::kFilter &&
+         steps[lead].filter.expr != nullptr) {
+    ++lead;
+  }
+  expr::ExprPtr lead_pred;
+  if (lead > 0) {
+    std::vector<expr::ExprPtr> conjuncts;
+    for (std::size_t i = 0; i < lead; ++i) {
+      conjuncts.push_back(steps[i].filter.expr);
+    }
+    lead_pred = expr::AndAll(conjuncts);
+  }
+  auto drive_range = [&](std::size_t b, std::size_t e,
+                         std::vector<Record>& out) -> Status {
+    if (lead_pred != nullptr) {
+      std::vector<unsigned char> keep;
+      expr::EvalPredicateBatch(*lead_pred, in.records(), b, e, &keep);
+      for (std::size_t i = b; i < e; ++i) {
+        if (!keep[i - b]) continue;
+        RHEEM_RETURN_IF_ERROR(DriveRecord(steps, lead, in.at(i), out));
+      }
+      return Status::OK();
+    }
+    for (std::size_t i = b; i < e; ++i) {
+      RHEEM_RETURN_IF_ERROR(DriveRecord(steps, 0, in.at(i), out));
+    }
+    return Status::OK();
+  };
   if (!UseParallel(opts, in.size())) {
     std::vector<Record> out;
     out.reserve(in.size());
-    for (const auto& r : in.records()) {
-      RHEEM_RETURN_IF_ERROR(DriveRecord(steps, 0, r, out));
-    }
+    RHEEM_RETURN_IF_ERROR(drive_range(0, in.size(), out));
     return Dataset(std::move(out));
   }
   const auto ranges = MorselRanges(in.size(), opts.morsel_size);
@@ -1233,10 +1294,7 @@ Result<Dataset> FusedPipeline(const std::vector<FusedStep>& steps,
       opts, ranges, scope, [&](std::size_t m, std::size_t b, std::size_t e) {
         auto& part = parts[m];
         part.reserve(e - b);
-        for (std::size_t i = b; i < e; ++i) {
-          RHEEM_RETURN_IF_ERROR(DriveRecord(steps, 0, in.at(i), part));
-        }
-        return Status::OK();
+        return drive_range(b, e, part);
       }));
   return ConcatMorsels(std::move(parts));
 }

@@ -1,5 +1,6 @@
 #include "core/operators/physical_ops.h"
 
+#include "core/expr/expr.h"
 #include "core/optimizer/fingerprint.h"
 
 namespace rheem {
@@ -23,6 +24,108 @@ std::string DoWhileOp::FingerprintToken() const {
     t += "|body=" + std::to_string(PlanFingerprint::Compute(*body_).ValueOr(0));
   }
   return t;
+}
+
+// Declarative payloads fold their canonical encoding so the executor's
+// result cache (keyed on physical fingerprints) distinguishes plans that
+// differ only in an expression constant. Closure-only operators keep the
+// bare kind token: their parameters are invisible, by construction.
+std::string MapOp::FingerprintToken() const {
+  std::string t = kind_name();
+  if (!udf_.projection.empty()) {
+    t += "|proj=";
+    for (const auto& f : udf_.projection) t += expr::Canonical(*f) + ";";
+  }
+  return t;
+}
+
+std::string FilterOp::FingerprintToken() const {
+  std::string t = kind_name();
+  if (udf_.expr != nullptr) t += "|expr=" + expr::Canonical(*udf_.expr);
+  return t;
+}
+
+std::string JoinOp::FingerprintToken() const {
+  std::string t = kind_name();
+  if (left_key_.expr != nullptr) {
+    t += "|lk=" + expr::Canonical(*left_key_.expr);
+  }
+  if (right_key_.expr != nullptr) {
+    t += "|rk=" + expr::Canonical(*right_key_.expr);
+  }
+  return t;
+}
+
+std::string ThetaJoinOp::FingerprintToken() const {
+  std::string t = kind_name();
+  if (condition_.pair_expr != nullptr) {
+    t += "|expr=" + expr::Canonical(*condition_.pair_expr);
+  }
+  return t;
+}
+
+std::string DeclarativeDetail(const PhysicalOperator& op) {
+  switch (op.kind()) {
+    case OpKind::kFilter: {
+      const auto& udf = static_cast<const FilterOp&>(op).udf();
+      if (udf.expr != nullptr) return "filter=" + expr::Pretty(*udf.expr);
+      return "";
+    }
+    case OpKind::kMap: {
+      const auto& udf = static_cast<const MapOp&>(op).udf();
+      if (udf.projection.empty()) return "";
+      std::string out = "map=[";
+      for (std::size_t i = 0; i < udf.projection.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += expr::Pretty(*udf.projection[i]);
+      }
+      return out + "]";
+    }
+    case OpKind::kJoin: {
+      const auto& j = static_cast<const JoinOp&>(op);
+      if (j.left_key().expr == nullptr || j.right_key().expr == nullptr) {
+        return "";
+      }
+      return "join=(" + expr::Pretty(*j.left_key().expr) + ", " +
+             expr::Pretty(*j.right_key().expr) + ")";
+    }
+    case OpKind::kThetaJoin: {
+      const auto& udf = static_cast<const ThetaJoinOp&>(op).condition();
+      if (udf.pair_expr != nullptr) {
+        return "theta=" + expr::Pretty(*udf.pair_expr);
+      }
+      return "";
+    }
+    default:
+      return "";
+  }
+}
+
+bool HasOpaqueUdf(const PhysicalOperator& op) {
+  switch (op.kind()) {
+    case OpKind::kFilter:
+      return static_cast<const FilterOp&>(op).udf().expr == nullptr;
+    case OpKind::kMap:
+      return static_cast<const MapOp&>(op).udf().projection.empty();
+    case OpKind::kFlatMap:
+    case OpKind::kBroadcastMap:
+    case OpKind::kGlobalReduce:
+      return true;
+    case OpKind::kJoin: {
+      const auto& j = static_cast<const JoinOp&>(op);
+      return j.left_key().expr == nullptr || j.right_key().expr == nullptr;
+    }
+    case OpKind::kThetaJoin:
+      return static_cast<const ThetaJoinOp&>(op).condition().pair_expr ==
+             nullptr;
+    case OpKind::kSort:
+    case OpKind::kTopK:
+    case OpKind::kReduceByKey:
+    case OpKind::kGroupByKey:
+      return true;  // key/reduce/group closures
+    default:
+      return false;
+  }
 }
 
 const char* OpKindToString(OpKind kind) {

@@ -123,6 +123,7 @@ class MapOp : public PhysicalOperator {
   explicit MapOp(MapUdf udf) : udf_(std::move(udf)) {}
   OpKind kind() const override { return OpKind::kMap; }
   int arity() const override { return 1; }
+  std::string FingerprintToken() const override;
   const MapUdf& udf() const { return udf_; }
 
  private:
@@ -145,6 +146,7 @@ class FilterOp : public PhysicalOperator {
   explicit FilterOp(PredicateUdf udf) : udf_(std::move(udf)) {}
   OpKind kind() const override { return OpKind::kFilter; }
   int arity() const override { return 1; }
+  std::string FingerprintToken() const override;
   const PredicateUdf& udf() const { return udf_; }
   /// Used by the filter-reordering rewrite, which swaps payloads in place.
   void set_udf(PredicateUdf udf) { udf_ = std::move(udf); }
@@ -299,6 +301,7 @@ class JoinOp : public PhysicalOperator {
     return algorithm_ == JoinAlgorithm::kHash ? "HashJoin" : "SortMergeJoin";
   }
   int arity() const override { return 2; }
+  std::string FingerprintToken() const override;
   const KeyUdf& left_key() const { return left_key_; }
   const KeyUdf& right_key() const { return right_key_; }
   JoinAlgorithm algorithm() const { return algorithm_; }
@@ -316,6 +319,7 @@ class ThetaJoinOp : public PhysicalOperator {
   explicit ThetaJoinOp(ThetaUdf condition) : condition_(std::move(condition)) {}
   OpKind kind() const override { return OpKind::kThetaJoin; }
   int arity() const override { return 2; }
+  std::string FingerprintToken() const override;
   const ThetaUdf& condition() const { return condition_; }
 
  private:
@@ -433,6 +437,16 @@ class CollectOp : public PhysicalOperator {
   OpKind kind() const override { return OpKind::kCollect; }
   int arity() const override { return 1; }
 };
+
+/// Pretty-printed declarative payload of `op` for EXPLAIN output and trace
+/// spans — e.g. `filter=age>30 AND dept=="eng"`, `map=[$0, $1+1]`,
+/// `join=($1, $0)`, `theta=$3>$8` — or "" when the operator carries no
+/// expression.
+std::string DeclarativeDetail(const PhysicalOperator& op);
+
+/// True when `op` carries a UDF closure the optimizer cannot introspect
+/// (i.e. a udf/key slot with no declarative expression attached).
+bool HasOpaqueUdf(const PhysicalOperator& op);
 
 }  // namespace rheem
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/expr/expr.h"
 #include "core/operators/physical_ops.h"
 #include "core/optimizer/cost_model.h"
 #include "data/serialization.h"
@@ -70,10 +71,17 @@ Result<EstimateMap> CardinalityEstimator::Estimate(const Plan& plan,
       case OpKind::kFlatMap:
         e.cardinality = in0.cardinality * std::max(0.0, hints.selectivity);
         break;
-      case OpKind::kFilter:
-        e.cardinality = in0.cardinality *
-                        std::clamp(hints.selectivity, 0.0, 1.0);
+      case OpKind::kFilter: {
+        // A declarative predicate yields a per-expression estimate (derived
+        // from its comparison/logical structure); closure filters fall back
+        // to the caller-supplied UdfMeta hint.
+        const auto& udf = static_cast<const FilterOp&>(*op).udf();
+        const double sel = udf.expr != nullptr
+                               ? expr::EstimateSelectivity(*udf.expr)
+                               : std::clamp(hints.selectivity, 0.0, 1.0);
+        e.cardinality = in0.cardinality * sel;
         break;
+      }
       case OpKind::kProject: {
         const auto& p = static_cast<const ProjectOp&>(*op);
         const double cols = static_cast<double>(p.columns().size());

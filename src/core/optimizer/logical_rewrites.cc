@@ -1,7 +1,11 @@
 #include "core/optimizer/logical_rewrites.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
 
+#include "core/expr/expr.h"
 #include "core/operators/physical_ops.h"
 
 namespace rheem {
@@ -24,8 +28,37 @@ void ReplaceDownstream(Plan* plan, Operator* from, Operator* to) {
   if (plan->sink() == from) plan->SetSink(to);
 }
 
+/// Ids of operators still wired to the sink. Rewrites orphan replaced
+/// operators (pruning happens once, at the end of Apply), so every scan must
+/// ignore them: an orphan would otherwise keep matching its old pattern each
+/// fixpoint round — or, worse, swap payloads with a live filter.
+std::set<int> ReachableFromSink(const Plan& plan) {
+  std::set<int> live;
+  std::vector<Operator*> stack;
+  if (plan.sink() != nullptr) stack.push_back(plan.sink());
+  while (!stack.empty()) {
+    Operator* op = stack.back();
+    stack.pop_back();
+    if (!live.insert(op->id()).second) continue;
+    for (Operator* in : op->inputs()) stack.push_back(in);
+  }
+  return live;
+}
+
+/// Number of *live* consumers of `op` (single-consumer safety checks must
+/// not be blocked — or fooled — by orphans still pointing at `op`).
+int LiveConsumers(const Plan& plan, const Operator* op,
+                  const std::set<int>& live) {
+  int n = 0;
+  for (Operator* c : plan.ConsumersOf(op)) {
+    if (live.count(c->id()) > 0) ++n;
+  }
+  return n;
+}
+
 int ReorderFilterChains(Plan* plan) {
   int swaps = 0;
+  const std::set<int> live = ReachableFromSink(*plan);
   // Bubble-style passes over Filter->Filter edges until stable; chains are
   // short, so this converges immediately in practice.
   bool changed = true;
@@ -33,11 +66,11 @@ int ReorderFilterChains(Plan* plan) {
     changed = false;
     for (std::size_t i = 0; i < plan->size(); ++i) {
       auto* lower = dynamic_cast<FilterOp*>(plan->op(i));
-      if (lower == nullptr) continue;
+      if (lower == nullptr || live.count(lower->id()) == 0) continue;
       auto* upper = dynamic_cast<FilterOp*>(lower->inputs()[0]);
       if (upper == nullptr) continue;
       // Only safe when the chain is linear: `upper` feeds `lower` alone.
-      if (plan->ConsumersOf(upper).size() != 1) continue;
+      if (LiveConsumers(*plan, upper, live) != 1) continue;
       if (FilterRank(*lower) < FilterRank(*upper)) {
         PredicateUdf tmp = lower->udf();
         lower->set_udf(upper->udf());
@@ -52,17 +85,18 @@ int ReorderFilterChains(Plan* plan) {
 
 int PushFiltersThroughUnions(Plan* plan) {
   int pushed = 0;
+  const std::set<int> live = ReachableFromSink(*plan);
   // Collect candidates first; Add() invalidates nothing but keeps the loop
   // bounds honest.
   std::vector<FilterOp*> candidates;
   for (std::size_t i = 0; i < plan->size(); ++i) {
     auto* f = dynamic_cast<FilterOp*>(plan->op(i));
-    if (f == nullptr) continue;
+    if (f == nullptr || live.count(f->id()) == 0) continue;
     auto* u = dynamic_cast<UnionOp*>(f->inputs()[0]);
     if (u == nullptr) continue;
     // The union must feed only this filter, or we would duplicate work for
     // its other consumers.
-    if (plan->ConsumersOf(u).size() != 1) continue;
+    if (LiveConsumers(*plan, u, live) != 1) continue;
     candidates.push_back(f);
   }
   for (FilterOp* f : candidates) {
@@ -80,13 +114,14 @@ int PushFiltersThroughUnions(Plan* plan) {
 
 int PushProjectsThroughUnions(Plan* plan) {
   int pushed = 0;
+  const std::set<int> live = ReachableFromSink(*plan);
   std::vector<ProjectOp*> candidates;
   for (std::size_t i = 0; i < plan->size(); ++i) {
     auto* p = dynamic_cast<ProjectOp*>(plan->op(i));
-    if (p == nullptr) continue;
+    if (p == nullptr || live.count(p->id()) == 0) continue;
     auto* u = dynamic_cast<UnionOp*>(p->inputs()[0]);
     if (u == nullptr) continue;
-    if (plan->ConsumersOf(u).size() != 1) continue;
+    if (LiveConsumers(*plan, u, live) != 1) continue;
     candidates.push_back(p);
   }
   for (ProjectOp* p : candidates) {
@@ -102,13 +137,292 @@ int PushProjectsThroughUnions(Plan* plan) {
   return pushed;
 }
 
+// --- declarative (expression-bearing) rewrites ------------------------------
+//
+// These only fire for operators built through the declarative API: they need
+// to read field references and constants out of the predicate, which a
+// closure UDF cannot provide.
+
+/// Wraps MakePredicateUdf for rewrite use; the expression was type-checked
+/// when the plan was built, so failures only mean "leave this candidate
+/// alone", never an error.
+bool MakeFilterUdf(const expr::ExprPtr& e, PredicateUdf* out) {
+  auto udf = expr::MakePredicateUdf(e);
+  if (!udf.ok()) return false;
+  *out = std::move(udf).ValueOrDie();
+  return true;
+}
+
+/// Record width of each operator's output, or -1 when unknown (opaque UDFs,
+/// ragged sources). Widths let the join push-down decide which side of the
+/// concatenated output a field index addresses.
+std::map<int, int> InferWidths(const Plan& plan) {
+  std::map<int, int> widths;
+  auto topo = plan.TopologicalOrder();
+  if (!topo.ok()) return widths;
+  for (Operator* base : *topo) {
+    auto in = [&](std::size_t i) -> int {
+      if (i >= base->inputs().size()) return -1;
+      auto it = widths.find(base->inputs()[i]->id());
+      return it == widths.end() ? -1 : it->second;
+    };
+    auto* op = dynamic_cast<PhysicalOperator*>(base);
+    if (op == nullptr) {
+      widths[base->id()] = -1;
+      continue;
+    }
+    int w = -1;
+    switch (op->kind()) {
+      case OpKind::kCollectionSource: {
+        const auto& rows =
+            static_cast<CollectionSourceOp*>(op)->data().records();
+        if (!rows.empty()) {
+          w = static_cast<int>(rows[0].size());
+          for (const Record& r : rows) {
+            if (static_cast<int>(r.size()) != w) { w = -1; break; }
+          }
+        }
+        break;
+      }
+      case OpKind::kMap: {
+        const auto& proj = static_cast<MapOp*>(op)->udf().projection;
+        if (!proj.empty()) w = static_cast<int>(proj.size());
+        break;
+      }
+      case OpKind::kProject:
+        w = static_cast<int>(static_cast<ProjectOp*>(op)->columns().size());
+        break;
+      case OpKind::kFilter:
+      case OpKind::kDistinct:
+      case OpKind::kSort:
+      case OpKind::kSample:
+      case OpKind::kTopK:
+      case OpKind::kIntersect:
+      case OpKind::kSubtract:
+      case OpKind::kCollect:
+        w = in(0);
+        break;
+      case OpKind::kZipWithId:
+        w = in(0) < 0 ? -1 : in(0) + 1;
+        break;
+      case OpKind::kJoin:
+      case OpKind::kThetaJoin:
+      case OpKind::kIEJoin:
+      case OpKind::kCrossProduct:
+        w = (in(0) < 0 || in(1) < 0) ? -1 : in(0) + in(1);
+        break;
+      case OpKind::kUnion:
+        w = in(0) == in(1) ? in(0) : -1;
+        break;
+      case OpKind::kCount:
+        w = 1;
+        break;
+      default:
+        break;  // opaque UDF output: unknown
+    }
+    widths[op->id()] = w;
+  }
+  return widths;
+}
+
+/// Filter(a AND b) => Filter(a) -> Filter(b). Each conjunct then reorders and
+/// pushes independently.
+int SplitConjunctiveFilters(Plan* plan) {
+  int split = 0;
+  const std::set<int> live = ReachableFromSink(*plan);
+  std::vector<FilterOp*> candidates;
+  for (std::size_t i = 0; i < plan->size(); ++i) {
+    auto* f = dynamic_cast<FilterOp*>(plan->op(i));
+    if (f == nullptr || live.count(f->id()) == 0) continue;
+    if (f->udf().expr == nullptr) continue;
+    if (expr::SplitConjuncts(f->udf().expr).size() > 1) candidates.push_back(f);
+  }
+  for (FilterOp* f : candidates) {
+    auto conjuncts = expr::SplitConjuncts(f->udf().expr);
+    Operator* upstream = f->inputs()[0];
+    bool ok = true;
+    for (const auto& c : conjuncts) {
+      PredicateUdf udf;
+      if (!MakeFilterUdf(c, &udf)) { ok = false; break; }
+      upstream = plan->Add<FilterOp>({upstream}, std::move(udf));
+    }
+    if (!ok) continue;
+    ReplaceDownstream(plan, f, upstream);
+    split += static_cast<int>(conjuncts.size()) - 1;
+  }
+  return split;
+}
+
+/// Declarative filter below a structural Project: field i of the filter input
+/// is column columns()[i] of the project input.
+int PushFiltersThroughProjects(Plan* plan) {
+  int pushed = 0;
+  const std::set<int> live = ReachableFromSink(*plan);
+  std::vector<FilterOp*> candidates;
+  for (std::size_t i = 0; i < plan->size(); ++i) {
+    auto* f = dynamic_cast<FilterOp*>(plan->op(i));
+    if (f == nullptr || live.count(f->id()) == 0) continue;
+    if (f->udf().expr == nullptr) continue;
+    auto* p = dynamic_cast<ProjectOp*>(f->inputs()[0]);
+    if (p == nullptr) continue;
+    if (LiveConsumers(*plan, p, live) != 1) continue;
+    if (expr::MaxFieldIndex(*f->udf().expr) >=
+        static_cast<int>(p->columns().size())) {
+      continue;
+    }
+    candidates.push_back(f);
+  }
+  for (FilterOp* f : candidates) {
+    auto* p = static_cast<ProjectOp*>(f->inputs()[0]);
+    std::map<int, int> remap;
+    for (std::size_t i = 0; i < p->columns().size(); ++i) {
+      remap[static_cast<int>(i)] = p->columns()[i];
+    }
+    auto remapped = expr::RemapFields(f->udf().expr, remap);
+    if (!remapped.ok()) continue;
+    PredicateUdf udf;
+    if (!MakeFilterUdf(*remapped, &udf)) continue;
+    auto* f2 = plan->Add<FilterOp>({p->inputs()[0]}, std::move(udf));
+    auto* p2 = plan->Add<ProjectOp>({f2}, p->columns());
+    ReplaceDownstream(plan, f, p2);
+    ++pushed;
+  }
+  return pushed;
+}
+
+/// Declarative filter below a declarative projection Map — but only when
+/// every field the filter reads is produced by a pass-through field
+/// reference, so the predicate can be rewritten against the map's input.
+int PushFiltersThroughMaps(Plan* plan) {
+  int pushed = 0;
+  const std::set<int> live = ReachableFromSink(*plan);
+  std::vector<FilterOp*> candidates;
+  for (std::size_t i = 0; i < plan->size(); ++i) {
+    auto* f = dynamic_cast<FilterOp*>(plan->op(i));
+    if (f == nullptr || live.count(f->id()) == 0) continue;
+    if (f->udf().expr == nullptr) continue;
+    auto* m = dynamic_cast<MapOp*>(f->inputs()[0]);
+    if (m == nullptr || m->udf().projection.empty()) continue;
+    if (LiveConsumers(*plan, m, live) != 1) continue;
+    std::set<int> fields;
+    expr::CollectFields(*f->udf().expr, &fields);
+    bool all_pass_through = true;
+    for (int idx : fields) {
+      if (idx < 0 ||
+          idx >= static_cast<int>(m->udf().projection.size()) ||
+          m->udf().projection[idx]->kind != expr::ExprKind::kField) {
+        all_pass_through = false;
+        break;
+      }
+    }
+    if (all_pass_through) candidates.push_back(f);
+  }
+  for (FilterOp* f : candidates) {
+    auto* m = static_cast<MapOp*>(f->inputs()[0]);
+    std::set<int> fields;
+    expr::CollectFields(*f->udf().expr, &fields);
+    std::map<int, int> remap;
+    for (int idx : fields) {
+      remap[idx] = m->udf().projection[idx]->field_index;
+    }
+    auto remapped = expr::RemapFields(f->udf().expr, remap);
+    if (!remapped.ok()) continue;
+    PredicateUdf udf;
+    if (!MakeFilterUdf(*remapped, &udf)) continue;
+    auto* f2 = plan->Add<FilterOp>({m->inputs()[0]}, std::move(udf));
+    auto* m2 = plan->Add<MapOp>({f2}, m->udf());
+    ReplaceDownstream(plan, f, m2);
+    ++pushed;
+  }
+  return pushed;
+}
+
+/// Conjuncts of a declarative filter above an equi-join move into the join
+/// input they exclusively reference. A row a side-filter drops would have
+/// made every one of its join pairs fail the original predicate, so the
+/// result is unchanged while the join's build/probe inputs shrink.
+int PushFiltersIntoJoins(Plan* plan) {
+  int pushed = 0;
+  const std::map<int, int> widths = InferWidths(*plan);
+  const std::set<int> live = ReachableFromSink(*plan);
+  std::vector<FilterOp*> candidates;
+  for (std::size_t i = 0; i < plan->size(); ++i) {
+    auto* f = dynamic_cast<FilterOp*>(plan->op(i));
+    if (f == nullptr || live.count(f->id()) == 0) continue;
+    if (f->udf().expr == nullptr) continue;
+    auto* j = dynamic_cast<JoinOp*>(f->inputs()[0]);
+    if (j == nullptr) continue;
+    if (LiveConsumers(*plan, j, live) != 1) continue;
+    auto it = widths.find(j->inputs()[0]->id());
+    if (it == widths.end() || it->second <= 0) continue;
+    candidates.push_back(f);
+  }
+  for (FilterOp* f : candidates) {
+    auto* j = static_cast<JoinOp*>(f->inputs()[0]);
+    const int left_width = widths.at(j->inputs()[0]->id());
+    std::vector<expr::ExprPtr> left_side, right_side, residual;
+    for (const auto& c : expr::SplitConjuncts(f->udf().expr)) {
+      std::set<int> fields;
+      expr::CollectFields(*c, &fields);
+      if (fields.empty()) {
+        residual.push_back(c);  // constant predicate: nothing to gain
+      } else if (*fields.rbegin() < left_width) {
+        left_side.push_back(c);
+      } else if (*fields.begin() >= left_width) {
+        right_side.push_back(expr::ShiftFields(c, -left_width));
+      } else {
+        residual.push_back(c);  // straddles both sides
+      }
+    }
+    if (left_side.empty() && right_side.empty()) continue;
+
+    Operator* left = j->inputs()[0];
+    Operator* right = j->inputs()[1];
+    bool ok = true;
+    for (const auto& c : left_side) {
+      PredicateUdf udf;
+      if (!MakeFilterUdf(c, &udf)) { ok = false; break; }
+      left = plan->Add<FilterOp>({left}, std::move(udf));
+    }
+    for (const auto& c : right_side) {
+      PredicateUdf udf;
+      if (!MakeFilterUdf(c, &udf)) { ok = false; break; }
+      right = plan->Add<FilterOp>({right}, std::move(udf));
+    }
+    if (!ok) continue;
+    auto* j2 = plan->Add<JoinOp>({left, right}, j->left_key(), j->right_key(),
+                                 j->algorithm());
+    Operator* top = j2;
+    if (!residual.empty()) {
+      PredicateUdf udf;
+      if (!MakeFilterUdf(expr::AndAll(residual), &udf)) continue;
+      top = plan->Add<FilterOp>({j2}, std::move(udf));
+    }
+    ReplaceDownstream(plan, f, top);
+    pushed += static_cast<int>(left_side.size() + right_side.size());
+  }
+  return pushed;
+}
+
 }  // namespace
 
 Result<ApplicationRewrites::Stats> ApplicationRewrites::Apply(
     Plan* plan, std::map<int, std::string>* pins) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
   Stats stats;
-  stats.filters_pushed = PushFiltersThroughUnions(plan);
+  stats.conjuncts_split = SplitConjunctiveFilters(plan);
+  // Push-downs cascade (a filter dropped below a project may now sit on a
+  // join), so iterate to a fixpoint with a small safety bound.
+  for (int round = 0; round < 8; ++round) {
+    const int project_moves =
+        PushFiltersThroughProjects(plan) + PushFiltersThroughMaps(plan);
+    const int join_moves = PushFiltersIntoJoins(plan);
+    const int union_moves = PushFiltersThroughUnions(plan);
+    stats.filters_pushed_project += project_moves;
+    stats.filters_pushed_join += join_moves;
+    stats.filters_pushed += union_moves;
+    if (project_moves + join_moves + union_moves == 0) break;
+  }
   stats.projects_pushed = PushProjectsThroughUnions(plan);
   stats.filters_reordered = ReorderFilterChains(plan);
 

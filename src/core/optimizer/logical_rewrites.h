@@ -24,14 +24,36 @@ namespace rheem {
 ///    shrinking data before the union's materialization point.
 ///  - PushProjectThroughUnion: likewise for structural projections.
 ///
+/// Operators carrying a declarative expression (core/expr) additionally get
+/// the rewrites that need to see *inside* the predicate — impossible for
+/// closure UDFs:
+///
+///  - SplitConjunctiveFilters: Filter(a AND b) => Filter(a) -> Filter(b),
+///    so each conjunct can be reordered and pushed independently.
+///  - PushFilterThroughProject / PushFilterThroughMap: a declarative filter
+///    descends below a Project (or a declarative projection Map whose
+///    referenced output fields are pass-through field references), with its
+///    field indices remapped to the input layout.
+///  - PushFilterIntoJoin: each conjunct referencing only left-side (or only
+///    right-side) fields of an equi-join output moves into that join input,
+///    shrinking the join's build/probe sides.
+///
 /// Rewrites may orphan operators; Apply() finishes with Plan::PruneToSink and
 /// remaps `pins` (operator-id keyed platform pins) accordingly.
 class ApplicationRewrites {
  public:
   struct Stats {
     int filters_reordered = 0;
-    int filters_pushed = 0;
+    int filters_pushed = 0;    // through unions
     int projects_pushed = 0;
+    int conjuncts_split = 0;
+    int filters_pushed_project = 0;  // below Project / declarative Map
+    int filters_pushed_join = 0;     // conjuncts moved into join inputs
+
+    int total() const {
+      return filters_reordered + filters_pushed + projects_pushed +
+             conjuncts_split + filters_pushed_project + filters_pushed_join;
+    }
   };
 
   static Result<Stats> Apply(Plan* plan, std::map<int, std::string>* pins);

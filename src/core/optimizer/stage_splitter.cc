@@ -5,6 +5,8 @@
 #include <map>
 #include <set>
 
+#include "core/operators/physical_ops.h"
+
 namespace rheem {
 
 bool Stage::Contains(const Operator* op) const {
@@ -236,6 +238,16 @@ std::string ExecutionPlan::Explain(const EstimateMap& estimates) const {
       if (it != estimates.end()) {
         std::snprintf(buf, sizeof(buf), "  ~%.0f rec", it->second.cardinality);
         out += buf;
+      }
+      // Declarative operators print their predicate/projection; operators
+      // whose behavior hides in a closure are marked [udf].
+      if (auto* phys = dynamic_cast<const PhysicalOperator*>(op)) {
+        const std::string detail = DeclarativeDetail(*phys);
+        if (!detail.empty()) {
+          out += "  [" + detail + "]";
+        } else if (HasOpaqueUdf(*phys)) {
+          out += "  [udf]";
+        }
       }
       bool is_output = std::find(s.outputs().begin(), s.outputs().end(), op) !=
                        s.outputs().end();

@@ -156,7 +156,8 @@ TEST_F(CleaningTest, AllStrategiesAgreeWithBruteForceOnFd) {
   FdRule rule = ZipCityRule();
   auto expected = DetectViolationsBruteForce(table, rule).ValueOrDie();
   for (DetectStrategy strategy :
-       {DetectStrategy::kMonolithicUdf, DetectStrategy::kOperatorPipeline}) {
+       {DetectStrategy::kMonolithicUdf, DetectStrategy::kOperatorPipeline,
+        DetectStrategy::kDeclarativeExpr}) {
     DetectOptions options;
     options.strategy = strategy;
     auto report = DetectViolations(&ctx_, table, rule, options);
@@ -177,7 +178,8 @@ TEST_F(CleaningTest, AllStrategiesAgreeWithBruteForceOnInequality) {
   ASSERT_GT(expected.size(), 0u);
   for (DetectStrategy strategy :
        {DetectStrategy::kMonolithicUdf, DetectStrategy::kOperatorPipeline,
-        DetectStrategy::kOperatorPipelineIEJoin}) {
+        DetectStrategy::kOperatorPipelineIEJoin,
+        DetectStrategy::kDeclarativeExpr}) {
     DetectOptions options;
     options.strategy = strategy;
     auto report = DetectViolations(&ctx_, table, rule, options);
@@ -199,6 +201,22 @@ TEST_F(CleaningTest, StrategiesAgreeAcrossPlatforms) {
   ASSERT_TRUE(java.ok()) << java.status().ToString();
   ASSERT_TRUE(spark.ok()) << spark.status().ToString();
   EXPECT_EQ(java->violations, spark->violations);
+}
+
+TEST_F(CleaningTest, DeclarativeStrategyRejectsOpaqueUdfRules) {
+  // A UdfRule's pair predicate is a closure; it has no expression form, so
+  // the declarative strategy must refuse rather than silently fall back.
+  UdfRule rule(
+      "same_state_diff_name", {5, 0},
+      [](const Record& a, const Record& b) {
+        return a[1] == b[1] && a[2] != b[2];
+      },
+      [](const Record& r) { return r[1]; }, /*symmetric=*/true);
+  DetectOptions options;
+  options.strategy = DetectStrategy::kDeclarativeExpr;
+  EXPECT_TRUE(DetectViolations(&ctx_, SmallDirtyTable(), rule, options)
+                  .status()
+                  .IsInvalidArgument());
 }
 
 TEST_F(CleaningTest, IEJoinStrategyRejectsNonInequalityRules) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/api/data_quanta.h"
+#include "core/expr/expr.h"
 #include "core/operators/physical_ops.h"
 
 namespace rheem {
@@ -93,6 +94,58 @@ TEST(FingerprintTest, LogicalPlansFingerprintViaSeal) {
   };
   EXPECT_EQ(build(0.5), build(0.5));  // same pipeline -> same key
   EXPECT_NE(build(0.5), build(0.9));  // UDF metadata participates
+}
+
+TEST(FingerprintTest, DeclarativeConstantChangesFingerprint) {
+  // The plan-cache soundness fix: closure predicates hash only by shape, so
+  // two filters differing in a constant used to collide. Declarative
+  // predicates fold their canonical encoding — including every literal.
+  RheemContext ctx;
+  ASSERT_TRUE(ctx.RegisterDefaultPlatforms().ok());
+  auto build = [&ctx](int64_t threshold) {
+    auto job = std::make_unique<RheemJob>(&ctx);
+    Plan* plan = job->LoadCollection(Numbers(10))
+                     .Filter(expr::Gt(expr::Field(0, ValueType::kInt64),
+                                      expr::Lit(threshold)))
+                     .Seal()
+                     .ValueOrDie();
+    return PlanFingerprint::Compute(*plan).ValueOr(0);
+  };
+  EXPECT_EQ(build(3), build(3));
+  EXPECT_NE(build(3), build(4));  // same shape, different constant
+}
+
+TEST(FingerprintTest, DeclarativePhysicalTokensFoldExpressions) {
+  auto fp = [](int64_t threshold) {
+    Plan plan;
+    auto* src = plan.Add<CollectionSourceOp>({}, Numbers(10));
+    auto udf = expr::MakePredicateUdf(
+                   expr::Gt(expr::Field(0, ValueType::kInt64),
+                            expr::Lit(threshold)))
+                   .ValueOrDie();
+    auto* f = plan.Add<FilterOp>({src}, udf);
+    plan.SetSink(plan.Add<CollectOp>({f}));
+    return PlanFingerprint::Compute(plan).ValueOr(0);
+  };
+  EXPECT_EQ(fp(3), fp(3));
+  EXPECT_NE(fp(3), fp(4));  // result-cache keys distinguish constants too
+}
+
+TEST(FingerprintTest, CommutedConjunctionsShareFingerprint) {
+  // Conjunction normalization: a AND b fingerprints like b AND a.
+  auto fp = [](bool flipped) {
+    Plan plan;
+    auto* src = plan.Add<CollectionSourceOp>({}, Numbers(10));
+    auto a = expr::Gt(expr::Field(0, ValueType::kInt64), expr::Lit(2));
+    auto b = expr::Lt(expr::Field(0, ValueType::kInt64), expr::Lit(8));
+    auto udf = expr::MakePredicateUdf(flipped ? expr::And(b, a)
+                                              : expr::And(a, b))
+                   .ValueOrDie();
+    auto* f = plan.Add<FilterOp>({src}, udf);
+    plan.SetSink(plan.Add<CollectOp>({f}));
+    return PlanFingerprint::Compute(plan).ValueOr(0);
+  };
+  EXPECT_EQ(fp(false), fp(true));
 }
 
 TEST(FingerprintTest, DatasetHashCoversContent) {

@@ -4,13 +4,17 @@
 #ifndef RHEEM_TESTS_CORE_RANDOM_PLANS_H_
 #define RHEEM_TESTS_CORE_RANDOM_PLANS_H_
 
+#include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/api/data_quanta.h"
+#include "core/expr/expr.h"
 
 namespace rheem {
 namespace testutil {
@@ -179,6 +183,178 @@ inline DataQuanta RandomPipeline(Rng* rng, RheemJob* job, DataQuanta q) {
             return Record({r[0], Value(r[1].ToInt64Or(0) ^ 1)});
           });
         }
+        break;
+      }
+    }
+  }
+  return q;
+}
+
+// --- random well-typed expressions ------------------------------------------
+//
+// Each generator returns the same random predicate in two *independent*
+// representations: a typed expression tree and a native closure composed of
+// plain C++ lambdas. The closure never calls the expression interpreter, so a
+// differential run pits the declarative path (conjunct splitting, push-down
+// rewrites, batch evaluation, fingerprint folding) against straight
+// record-at-a-time C++. Generation draws the same tape values regardless of
+// which representation the caller ends up using.
+//
+// All expressions address the 2-field (key:int64, value:int64) shape and use
+// only +, -, * and comparisons, so no SQL Nulls can arise and the closure's
+// two-valued &&/||/! agrees with the tree's three-valued Kleene logic.
+
+struct GeneratedScalar {
+  expr::ExprPtr tree;
+  std::function<int64_t(const Record&)> fn;
+};
+
+struct GeneratedPredicate {
+  expr::ExprPtr tree;
+  std::function<bool(const Record&)> fn;
+};
+
+inline GeneratedScalar RandomScalarExpr(Rng* rng, int depth) {
+  const uint64_t pick = rng->NextBounded(depth <= 0 ? 2 : 5);
+  switch (pick) {
+    case 0: {
+      const int f = static_cast<int>(rng->NextBounded(2));
+      return {expr::Field(f, ValueType::kInt64),
+              [f](const Record& r) { return r[f].ToInt64Or(0); }};
+    }
+    case 1: {
+      const int64_t c = rng->NextInt(-8, 8);
+      return {expr::Lit(c), [c](const Record&) { return c; }};
+    }
+    default: {
+      const GeneratedScalar l = RandomScalarExpr(rng, depth - 1);
+      const GeneratedScalar r = RandomScalarExpr(rng, depth - 1);
+      if (pick == 2) {
+        return {expr::Add(l.tree, r.tree),
+                [l, r](const Record& rec) { return l.fn(rec) + r.fn(rec); }};
+      }
+      if (pick == 3) {
+        return {expr::Sub(l.tree, r.tree),
+                [l, r](const Record& rec) { return l.fn(rec) - r.fn(rec); }};
+      }
+      return {expr::Mul(l.tree, r.tree),
+              [l, r](const Record& rec) { return l.fn(rec) * r.fn(rec); }};
+    }
+  }
+}
+
+inline GeneratedPredicate RandomPredicateExpr(Rng* rng, int depth) {
+  const uint64_t pick = rng->NextBounded(depth <= 0 ? 1 : 4);
+  if (pick == 0) {
+    const GeneratedScalar l = RandomScalarExpr(rng, 1);
+    const GeneratedScalar r = RandomScalarExpr(rng, 1);
+    switch (rng->NextBounded(6)) {
+      case 0:
+        return {expr::Eq(l.tree, r.tree),
+                [l, r](const Record& x) { return l.fn(x) == r.fn(x); }};
+      case 1:
+        return {expr::Ne(l.tree, r.tree),
+                [l, r](const Record& x) { return l.fn(x) != r.fn(x); }};
+      case 2:
+        return {expr::Lt(l.tree, r.tree),
+                [l, r](const Record& x) { return l.fn(x) < r.fn(x); }};
+      case 3:
+        return {expr::Le(l.tree, r.tree),
+                [l, r](const Record& x) { return l.fn(x) <= r.fn(x); }};
+      case 4:
+        return {expr::Gt(l.tree, r.tree),
+                [l, r](const Record& x) { return l.fn(x) > r.fn(x); }};
+      default:
+        return {expr::Ge(l.tree, r.tree),
+                [l, r](const Record& x) { return l.fn(x) >= r.fn(x); }};
+    }
+  }
+  const GeneratedPredicate a = RandomPredicateExpr(rng, depth - 1);
+  if (pick == 3) {
+    return {expr::Not(a.tree), [a](const Record& x) { return !a.fn(x); }};
+  }
+  const GeneratedPredicate b = RandomPredicateExpr(rng, depth - 1);
+  if (pick == 1) {
+    return {expr::And(a.tree, b.tree),
+            [a, b](const Record& x) { return a.fn(x) && b.fn(x); }};
+  }
+  return {expr::Or(a.tree, b.tree),
+          [a, b](const Record& x) { return a.fn(x) || b.fn(x); }};
+}
+
+/// Declarative/closure twin pipeline: appends 1..5 steps, each drawn once
+/// from the tape and applied either through the declarative expression
+/// overloads (`declarative` true) or through independently-written closures
+/// with identical semantics. Both modes consume identical tape draws, so a
+/// (seed, declarative) pair fully determines the plan — and the two modes of
+/// one seed must be bag-equal on every platform. Step kinds are chosen so the
+/// declarative rewrites actually fire: conjunctive filters (split + reorder),
+/// filters above pass-through projections (push below map), and post-join
+/// filters over left-side fields (push into join input).
+inline DataQuanta RandomExprPipeline(Rng* rng, RheemJob* job, DataQuanta q,
+                                     bool declarative) {
+  const int steps = 1 + static_cast<int>(rng->NextBounded(5));
+  for (int s = 0; s < steps; ++s) {
+    switch (rng->NextBounded(5)) {
+      case 0: {  // random predicate filter
+        const GeneratedPredicate p = RandomPredicateExpr(rng, 2);
+        q = declarative ? q.Filter(p.tree) : q.Filter(p.fn);
+        break;
+      }
+      case 1: {  // conjunctive filter: splits and reorders when declarative
+        const GeneratedPredicate a = RandomPredicateExpr(rng, 0);
+        const GeneratedPredicate b = RandomPredicateExpr(rng, 0);
+        if (declarative) {
+          q = q.Filter(expr::And(a.tree, b.tree));
+        } else {
+          q = q.Filter(
+              [a, b](const Record& r) { return a.fn(r) && b.fn(r); });
+        }
+        break;
+      }
+      case 2: {  // pass-through projection, then filter: push-below-map case
+        const GeneratedPredicate p = RandomPredicateExpr(rng, 1);
+        if (declarative) {
+          std::vector<expr::ExprPtr> fields;
+          fields.push_back(expr::Field(0, ValueType::kInt64));
+          fields.push_back(expr::Field(1, ValueType::kInt64));
+          q = q.Map(std::move(fields)).Filter(p.tree);
+        } else {
+          q = q.Map([](const Record& r) { return Record({r[0], r[1]}); })
+                  .Filter(p.fn);
+        }
+        break;
+      }
+      case 3: {  // projection map (key, value + c)
+        const int64_t c = rng->NextInt(-10, 10);
+        if (declarative) {
+          std::vector<expr::ExprPtr> fields;
+          fields.push_back(expr::Field(0, ValueType::kInt64));
+          fields.push_back(
+              expr::Add(expr::Field(1, ValueType::kInt64), expr::Lit(c)));
+          q = q.Map(std::move(fields));
+        } else {
+          q = q.Map([c](const Record& r) {
+            return Record({r[0], Value(r[1].ToInt64Or(0) + c)});
+          });
+        }
+        break;
+      }
+      default: {  // equi-join + post-join filter on left fields: join pushdown
+        DataQuanta side = job->LoadCollection(RandomPairs(rng, 20));
+        const GeneratedPredicate p = RandomPredicateExpr(rng, 1);
+        DataQuanta joined =
+            declarative
+                ? q.Join(side, expr::Field(0, ValueType::kInt64),
+                         expr::Field(0, ValueType::kInt64))
+                : q.Join(
+                      side, [](const Record& r) { return r[0]; },
+                      [](const Record& r) { return r[0]; });
+        joined = declarative ? joined.Filter(p.tree) : joined.Filter(p.fn);
+        q = joined.Map([](const Record& r) {
+          return Record(
+              {r[0], Value(r[1].ToInt64Or(0) * 7 + r[3].ToInt64Or(0))});
+        });
         break;
       }
     }

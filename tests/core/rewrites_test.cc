@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/expr/expr.h"
 #include "core/operators/kernels.h"
 #include "core/operators/physical_ops.h"
 
@@ -40,6 +41,19 @@ Dataset EvalPlan(const Plan& plan) {
                               results.at(op->inputs()[0]->id()))
                   .ValueOrDie();
         break;
+      case OpKind::kMap:
+        out = kernels::Map(static_cast<MapOp*>(op)->udf(),
+                           results.at(op->inputs()[0]->id()))
+                  .ValueOrDie();
+        break;
+      case OpKind::kJoin: {
+        auto* j = static_cast<JoinOp*>(op);
+        out = kernels::HashJoin(j->left_key(), j->right_key(),
+                                results.at(op->inputs()[0]->id()),
+                                results.at(op->inputs()[1]->id()))
+                  .ValueOrDie();
+        break;
+      }
       case OpKind::kProject:
         out = kernels::Project(static_cast<ProjectOp*>(op)->columns(),
                                results.at(op->inputs()[0]->id()))
@@ -182,6 +196,171 @@ TEST(RewritesTest, PinsRemappedAfterPrune) {
 TEST(RewritesTest, NullPlanRejected) {
   std::map<int, std::string> pins;
   EXPECT_FALSE(ApplicationRewrites::Apply(nullptr, &pins).ok());
+}
+
+// --- declarative (expression) pushdowns -------------------------------------
+
+Dataset Pairs(int n) {
+  std::vector<Record> rows;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back(Record({Value(i), Value(i * 10)}));
+  }
+  return Dataset(std::move(rows));
+}
+
+PredicateUdf ExprPred(expr::ExprPtr e) {
+  return expr::MakePredicateUdf(std::move(e)).ValueOrDie();
+}
+
+TEST(RewritesTest, SplitsConjunctiveDeclarativeFilter) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, Pairs(50));
+  auto pred = expr::And(
+      expr::Gt(expr::Field(0, ValueType::kInt64), expr::Lit(10)),
+      expr::Lt(expr::Field(1, ValueType::kInt64), expr::Lit(400)));
+  auto* f = plan.Add<FilterOp>({src}, ExprPred(pred));
+  plan.SetSink(plan.Add<CollectOp>({f}));
+  const Dataset before = EvalPlan(plan);
+
+  std::map<int, std::string> pins;
+  auto stats = ApplicationRewrites::Apply(&plan, &pins);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->conjuncts_split, 1);  // one AND -> two filters
+  // Sink now sees a chain of two single-conjunct filters.
+  auto* top = dynamic_cast<FilterOp*>(plan.sink()->inputs()[0]);
+  ASSERT_NE(top, nullptr);
+  EXPECT_NE(dynamic_cast<FilterOp*>(top->inputs()[0]), nullptr);
+  EXPECT_EQ(AsMultiset(EvalPlan(plan)), AsMultiset(before));
+}
+
+TEST(RewritesTest, PushesDeclarativeFilterBelowProject) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, Pairs(20));
+  auto* p = plan.Add<ProjectOp>({src}, std::vector<int>{1});
+  // Filter on projected field 0 == source column 1.
+  auto* f = plan.Add<FilterOp>(
+      {p}, ExprPred(expr::Ge(expr::Field(0, ValueType::kInt64),
+                             expr::Lit(100))));
+  plan.SetSink(plan.Add<CollectOp>({f}));
+  const Dataset before = EvalPlan(plan);
+
+  std::map<int, std::string> pins;
+  auto stats = ApplicationRewrites::Apply(&plan, &pins);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->filters_pushed_project, 1);
+  // Project is now the sink's input; the filter moved below it with its
+  // field remapped to the pre-projection layout.
+  auto* new_p = dynamic_cast<ProjectOp*>(plan.sink()->inputs()[0]);
+  ASSERT_NE(new_p, nullptr);
+  auto* new_f = dynamic_cast<FilterOp*>(new_p->inputs()[0]);
+  ASSERT_NE(new_f, nullptr);
+  ASSERT_NE(new_f->udf().expr, nullptr);
+  EXPECT_EQ(expr::MaxFieldIndex(*new_f->udf().expr), 1);
+  EXPECT_EQ(AsMultiset(EvalPlan(plan)), AsMultiset(before));
+}
+
+TEST(RewritesTest, PushesDeclarativeFilterBelowPassThroughMap) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, Pairs(20));
+  // Map {source[1], source[0] * 2}: output field 0 is pass-through, field 1
+  // is computed.
+  auto map_udf = expr::MakeMapUdf({expr::Field(1, ValueType::kInt64),
+                                   expr::Mul(expr::Field(0, ValueType::kInt64),
+                                             expr::Lit(2))})
+                     .ValueOrDie();
+  auto* m = plan.Add<MapOp>({src}, map_udf);
+  // References only the pass-through output field -> pushable.
+  auto* f = plan.Add<FilterOp>(
+      {m}, ExprPred(expr::Gt(expr::Field(0, ValueType::kInt64),
+                             expr::Lit(50))));
+  plan.SetSink(plan.Add<CollectOp>({f}));
+  const Dataset before = EvalPlan(plan);
+
+  std::map<int, std::string> pins;
+  auto stats = ApplicationRewrites::Apply(&plan, &pins);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->filters_pushed_project, 1);
+  auto* new_m = dynamic_cast<MapOp*>(plan.sink()->inputs()[0]);
+  ASSERT_NE(new_m, nullptr);
+  EXPECT_NE(dynamic_cast<FilterOp*>(new_m->inputs()[0]), nullptr);
+  EXPECT_EQ(AsMultiset(EvalPlan(plan)), AsMultiset(before));
+}
+
+TEST(RewritesTest, FilterOnComputedMapFieldStaysPut) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, Pairs(20));
+  auto map_udf = expr::MakeMapUdf({expr::Mul(expr::Field(0, ValueType::kInt64),
+                                             expr::Lit(2))})
+                     .ValueOrDie();
+  auto* m = plan.Add<MapOp>({src}, map_udf);
+  auto* f = plan.Add<FilterOp>(
+      {m}, ExprPred(expr::Gt(expr::Field(0, ValueType::kInt64),
+                             expr::Lit(5))));
+  plan.SetSink(plan.Add<CollectOp>({f}));
+  std::map<int, std::string> pins;
+  auto stats = ApplicationRewrites::Apply(&plan, &pins);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->filters_pushed_project, 0);
+}
+
+TEST(RewritesTest, PushesDeclarativeConjunctsIntoJoinInputs) {
+  Plan plan;
+  auto* left = plan.Add<CollectionSourceOp>({}, Pairs(30));   // width 2
+  auto* right = plan.Add<CollectionSourceOp>({}, Pairs(30));  // width 2
+  auto lk = expr::MakeKeyUdf(expr::Field(0, ValueType::kInt64)).ValueOrDie();
+  auto rk = expr::MakeKeyUdf(expr::Field(0, ValueType::kInt64)).ValueOrDie();
+  auto* j = plan.Add<JoinOp>({left, right}, lk, rk);
+  // left-only AND right-only AND straddling conjuncts.
+  auto pred = expr::And(
+      expr::And(
+          expr::Gt(expr::Field(1, ValueType::kInt64), expr::Lit(40)),     // left
+          expr::Lt(expr::Field(3, ValueType::kInt64), expr::Lit(250))),   // right
+      expr::Gt(expr::Add(expr::Field(0, ValueType::kInt64),
+                         expr::Field(1, ValueType::kInt64)),
+               expr::Field(2, ValueType::kInt64)));  // straddles: stays above
+  auto* f = plan.Add<FilterOp>({j}, ExprPred(pred));
+  plan.SetSink(plan.Add<CollectOp>({f}));
+  const Dataset before = EvalPlan(plan);
+
+  std::map<int, std::string> pins;
+  auto stats = ApplicationRewrites::Apply(&plan, &pins);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->filters_pushed_join, 2);  // one conjunct per side
+  EXPECT_TRUE(plan.Validate().ok());
+  EXPECT_EQ(AsMultiset(EvalPlan(plan)), AsMultiset(before));
+
+  // Structure: residual filter above the join, one filter below each input.
+  auto* residual = dynamic_cast<FilterOp*>(plan.sink()->inputs()[0]);
+  ASSERT_NE(residual, nullptr);
+  auto* new_join = dynamic_cast<JoinOp*>(residual->inputs()[0]);
+  ASSERT_NE(new_join, nullptr);
+  auto* lf = dynamic_cast<FilterOp*>(new_join->inputs()[0]);
+  auto* rf = dynamic_cast<FilterOp*>(new_join->inputs()[1]);
+  ASSERT_NE(lf, nullptr);
+  ASSERT_NE(rf, nullptr);
+  // The right-side conjunct was shifted into the right input's layout.
+  ASSERT_NE(rf->udf().expr, nullptr);
+  EXPECT_EQ(expr::MaxFieldIndex(*rf->udf().expr), 1);
+}
+
+TEST(RewritesTest, ClosureFiltersAreNotPushed) {
+  // Same shape as the join test but with an opaque closure: no introspection,
+  // no pushdown.
+  Plan plan;
+  auto* left = plan.Add<CollectionSourceOp>({}, Pairs(10));
+  auto* right = plan.Add<CollectionSourceOp>({}, Pairs(10));
+  KeyUdf k;
+  k.fn = [](const Record& r) { return r[0]; };
+  auto* j = plan.Add<JoinOp>({left, right}, k, k);
+  auto* f = plan.Add<FilterOp>(
+      {j}, Pred(0.5, 1.0,
+                [](const Record& r) { return r[1].ToInt64Or(0) > 40; }));
+  plan.SetSink(plan.Add<CollectOp>({f}));
+  std::map<int, std::string> pins;
+  auto stats = ApplicationRewrites::Apply(&plan, &pins);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->filters_pushed_join, 0);
+  EXPECT_EQ(stats->conjuncts_split, 0);
 }
 
 }  // namespace
