@@ -81,11 +81,18 @@ class JsonResults {
 
   void Add(std::string row_json) { rows_.push_back(std::move(row_json)); }
 
+  /// Free-form annotation written as a top-level "note" key (e.g. the
+  /// before/after story of a re-recorded series). Must not contain quotes.
+  void SetNote(std::string note) { note_ = std::move(note); }
+
   bool WriteTo(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
-                 bench_.c_str());
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench_.c_str());
+    if (!note_.empty()) {
+      std::fprintf(f, "  \"note\": \"%s\",\n", note_.c_str());
+    }
+    std::fprintf(f, "  \"results\": [\n");
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       std::fprintf(f, "    %s%s\n", rows_[i].c_str(),
                    i + 1 < rows_.size() ? "," : "");
@@ -97,6 +104,7 @@ class JsonResults {
 
  private:
   std::string bench_;
+  std::string note_;
   std::vector<std::string> rows_;
 };
 

@@ -1,12 +1,24 @@
-// Kernel throughput: serial vs morsel-parallel vs fused execution of a
-// Map -> Filter -> ReduceByKey pipeline at pool widths 1/2/4/8.
+// Kernel throughput: serial vs morsel-parallel vs fused vs columnar
+// execution of a Map -> Filter -> ReduceByKey pipeline at pool widths
+// 1/2/4/8.
 //
-// The host container may have a single core, so in addition to measured wall
-// time each parallel run reports a *modeled* latency at width w:
+// Row modes drive closure UDFs record-at-a-time; the columnar modes build
+// the same pipeline declaratively (core/expr) so the kernels convert to a
+// Batch once and evaluate column-at-a-time. Both compute the identical
+// arithmetic — (x*3+1) % 7919 — so wall times are comparable.
+//
+// The host container may have a single core, so each parallel run also
+// reports a *modeled* latency at width w:
 //   serial_part + max(parallel_cpu / w, critical_path)
 // from the per-kernel timing counters — the same virtual-clock substitution
-// the sparksim TaskScheduler performs (DESIGN.md §3). Results land in
-// BENCH_kernels.json.
+// the sparksim TaskScheduler performs (DESIGN.md §3). The pass/fail gates,
+// however, are measured WALL CLOCK (the point of the columnar engine is to
+// be faster for real, not in the model):
+//   wall(columnar fused @ 4 workers) >= 2.5x over row serial, and
+//   wall(columnar fused @ 1 worker)  >= 1.5x over row serial.
+// Both gates apply in --smoke runs too (Release CI runs --smoke).
+//
+// Results land in BENCH_kernels.json.
 //
 // Usage: kernel_throughput [--smoke]   (--smoke: small input, fewer widths)
 
@@ -19,6 +31,7 @@
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "core/expr/expr.h"
 #include "core/operators/kernels.h"
 
 namespace rheem {
@@ -37,12 +50,12 @@ Dataset MakeRows(int64_t n) {
   return Dataset(std::move(rows));
 }
 
+// --- the pipeline, closure form --------------------------------------------
+
 MapUdf Arithmetic() {
   MapUdf udf;
   udf.fn = [](const Record& r) {
-    int64_t x = r[1].ToInt64Or(0);
-    x = x * 3 + 1;
-    x ^= x >> 7;
+    const int64_t x = (r[1].ToInt64Or(0) * 3 + 1) % 7919;
     return Record({r[0], Value(x)});
   };
   return udf;
@@ -68,6 +81,63 @@ ReduceUdf SumSecond() {
   return udf;
 }
 
+// --- the same pipeline, declarative form -----------------------------------
+
+struct DeclarativePipeline {
+  MapUdf map;
+  PredicateUdf filter;
+  KeyUdf key;
+  ReduceUdf reduce;
+};
+
+template <typename T>
+T Must(Result<T> r, const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).ValueOrDie();
+}
+
+DeclarativePipeline Declarative() {
+  namespace ex = rheem::expr;
+  DeclarativePipeline p;
+  // Map: {k, (x*3+1) % 7919}
+  p.map = Must(ex::MakeMapUdf(
+                   {ex::Field(0, ValueType::kInt64, "k"),
+                    ex::Mod(ex::Add(ex::Mul(ex::Field(1, ValueType::kInt64, "x"),
+                                            ex::Lit(int64_t{3})),
+                                    ex::Lit(int64_t{1})),
+                            ex::Lit(int64_t{7919}))}),
+               "declarative map");
+  // Filter: x % 8 != 0
+  p.filter = Must(ex::MakePredicateUdf(
+                      ex::Ne(ex::Mod(ex::Field(1, ValueType::kInt64, "x"),
+                                     ex::Lit(int64_t{8})),
+                             ex::Lit(int64_t{0}))),
+                  "declarative filter");
+  p.key = Must(ex::MakeKeyUdf(ex::Field(0, ValueType::kInt64, "k")),
+               "declarative key");
+  p.reduce = Must(MakeAggReduceUdf({{0, AggKind::kFirst}, {1, AggKind::kSum}}),
+                  "declarative reduce");
+  return p;
+}
+
+// --- runner ----------------------------------------------------------------
+
+enum class Mode { kSerial, kParallel, kFused, kColumnar, kColumnarFused };
+
+const char* ModeName(Mode m) {
+  switch (m) {
+    case Mode::kSerial: return "serial";
+    case Mode::kParallel: return "parallel";
+    case Mode::kFused: return "fused";
+    case Mode::kColumnar: return "columnar";
+    case Mode::kColumnarFused: return "columnar_fused";
+  }
+  return "?";
+}
+
 struct RunResult {
   int64_t wall_us = 0;     // measured on this host
   int64_t modeled_us = 0;  // latency a w-wide pool would achieve
@@ -82,26 +152,53 @@ int64_t ModeledTotal(std::size_t workers) {
   return total;
 }
 
-RunResult RunPipeline(const Dataset& in, const KernelOptions& opts,
-                      bool fused, std::size_t workers) {
+RunResult RunPipeline(const Dataset& in, const KernelOptions& opts, Mode mode,
+                      std::size_t workers) {
+  const bool columnar =
+      mode == Mode::kColumnar || mode == Mode::kColumnarFused;
+  const bool fused = mode == Mode::kFused || mode == Mode::kColumnarFused;
+  static const DeclarativePipeline decl = Declarative();
+  const MapUdf map = columnar ? decl.map : Arithmetic();
+  const PredicateUdf filter = columnar ? decl.filter : KeepMost();
+  const KeyUdf key = columnar ? decl.key : FirstField();
+  const ReduceUdf reduce = columnar ? decl.reduce : SumSecond();
+
   kernels::ResetKernelTimings();
   Stopwatch sw;
+  if (mode == Mode::kColumnarFused) {
+    // Batch-resident pipeline: one Dataset->Batch conversion up front, all
+    // operators column-at-a-time, one (small) materialization at the end —
+    // the conversion-at-boundary contract at its best case.
+    Batch batch = Must(Batch::FromDataset(in), "to batch");
+    Batch mapped = Must(kernels::MapBatch(map, batch, opts), "map batch");
+    Status fs = kernels::FilterBatch(filter, &mapped, opts);
+    if (!fs.ok()) {
+      std::fprintf(stderr, "filter batch failed: %s\n", fs.ToString().c_str());
+      std::exit(1);
+    }
+    Dataset reduced =
+        Must(kernels::ReduceByKeyBatch(key, reduce, mapped, opts),
+             "reduce batch");
+    RunResult r;
+    r.wall_us = sw.ElapsedMicros();
+    r.modeled_us = opts.parallel ? ModeledTotal(workers) : r.wall_us;
+    r.out_rows = reduced.size();
+    return r;
+  }
   Result<Dataset> narrowed = fused
-      ? kernels::FusedPipeline({FusedStep::OfMap(Arithmetic()),
-                                FusedStep::OfFilter(KeepMost())},
-                               in, opts)
+      ? kernels::FusedPipeline(
+            {FusedStep::OfMap(map), FusedStep::OfFilter(filter)}, in, opts)
       : [&]() -> Result<Dataset> {
-          auto mapped = kernels::Map(Arithmetic(), in, opts);
+          auto mapped = kernels::Map(map, in, opts);
           if (!mapped.ok()) return mapped.status();
-          return kernels::Filter(KeepMost(), *mapped, opts);
+          return kernels::Filter(filter, *mapped, opts);
         }();
   if (!narrowed.ok()) {
     std::fprintf(stderr, "pipeline failed: %s\n",
                  narrowed.status().ToString().c_str());
     std::exit(1);
   }
-  auto reduced = kernels::ReduceByKey(FirstField(), SumSecond(), *narrowed,
-                                      opts);
+  auto reduced = kernels::ReduceByKey(key, reduce, *narrowed, opts);
   if (!reduced.ok()) {
     std::fprintf(stderr, "reduce failed: %s\n",
                  reduced.status().ToString().c_str());
@@ -124,52 +221,74 @@ void Run(bool smoke) {
               static_cast<long long>(rows));
   const Dataset in = MakeRows(rows);
 
-  const RunResult serial =
-      RunPipeline(in, KernelOptions::Serial(), /*fused=*/false, 1);
+  KernelOptions serial_opts = KernelOptions::Serial();
+  serial_opts.columnar = false;  // row baseline stays row
+  RunPipeline(in, serial_opts, Mode::kSerial, 1);  // warmup (cold caches)
+  const RunResult serial = RunPipeline(in, serial_opts, Mode::kSerial, 1);
 
-  ResultTable table(
-      {"mode", "workers", "wall_ms", "modeled_ms", "modeled_speedup"});
-  table.AddRow({"serial", "1", Ms(static_cast<double>(serial.wall_us)),
+  ResultTable table({"mode", "workers", "wall_ms", "wall_speedup",
+                     "modeled_ms", "modeled_speedup"});
+  table.AddRow({"serial", "1", Ms(static_cast<double>(serial.wall_us)), "1.0x",
                 Ms(static_cast<double>(serial.wall_us)), "1.0x"});
   JsonResults json("kernel_throughput");
-  char row[256];
+  json.SetNote(
+      "re-recorded for the columnar engine: wall_us columns are measured "
+      "wall clock on this host and the gates are wall-clock "
+      "(columnar_fused >= 2.5x @ 4 workers, >= 1.5x @ 1 worker, vs row "
+      "serial); before this change only a modeled-clock fused gate "
+      "existed and row wall time never beat serial on a 1-core host");
+  char row[320];
   std::snprintf(row, sizeof(row),
                 "{\"mode\": \"serial\", \"workers\": 1, \"rows\": %lld, "
-                "\"wall_us\": %lld, \"modeled_us\": %lld, "
-                "\"modeled_speedup\": 1.0}",
+                "\"wall_us\": %lld, \"wall_speedup\": 1.0, "
+                "\"modeled_us\": %lld, \"modeled_speedup\": 1.0}",
                 static_cast<long long>(rows),
                 static_cast<long long>(serial.wall_us),
                 static_cast<long long>(serial.wall_us));
   json.Add(row);
 
-  double fused_speedup_at_4 = 0.0;
-  for (const char* mode : {"parallel", "fused"}) {
-    const bool fused = std::strcmp(mode, "fused") == 0;
+  double columnar_fused_wall_at_4 = 0.0;
+  double columnar_fused_wall_at_1 = 0.0;
+  for (Mode mode : {Mode::kParallel, Mode::kFused, Mode::kColumnar,
+                    Mode::kColumnarFused}) {
+    const bool columnar =
+        mode == Mode::kColumnar || mode == Mode::kColumnarFused;
     for (std::size_t w : widths) {
       ThreadPool pool(w);
       KernelOptions opts;
       opts.pool = &pool;
-      const RunResult r = RunPipeline(in, opts, fused, w);
+      opts.columnar = columnar;
+      const RunResult r = RunPipeline(in, opts, mode, w);
       if (r.out_rows != serial.out_rows) {
         std::fprintf(stderr, "output mismatch: %zu vs %zu rows\n", r.out_rows,
                      serial.out_rows);
         std::exit(1);
       }
-      const double speedup = r.modeled_us > 0
+      const double wall_speedup = r.wall_us > 0
+          ? static_cast<double>(serial.wall_us) /
+                static_cast<double>(r.wall_us)
+          : 0.0;
+      const double modeled_speedup = r.modeled_us > 0
           ? static_cast<double>(serial.wall_us) /
                 static_cast<double>(r.modeled_us)
           : 0.0;
-      if (fused && w == 4) fused_speedup_at_4 = speedup;
-      table.AddRow({mode, std::to_string(w),
-                    Ms(static_cast<double>(r.wall_us)),
-                    Ms(static_cast<double>(r.modeled_us)), Times(speedup)});
+      if (mode == Mode::kColumnarFused && w == 4) {
+        columnar_fused_wall_at_4 = wall_speedup;
+      }
+      if (mode == Mode::kColumnarFused && w == 1) {
+        columnar_fused_wall_at_1 = wall_speedup;
+      }
+      table.AddRow({ModeName(mode), std::to_string(w),
+                    Ms(static_cast<double>(r.wall_us)), Times(wall_speedup),
+                    Ms(static_cast<double>(r.modeled_us)),
+                    Times(modeled_speedup)});
       std::snprintf(row, sizeof(row),
                     "{\"mode\": \"%s\", \"workers\": %zu, \"rows\": %lld, "
-                    "\"wall_us\": %lld, \"modeled_us\": %lld, "
-                    "\"modeled_speedup\": %.2f}",
-                    mode, w, static_cast<long long>(rows),
-                    static_cast<long long>(r.wall_us),
-                    static_cast<long long>(r.modeled_us), speedup);
+                    "\"wall_us\": %lld, \"wall_speedup\": %.2f, "
+                    "\"modeled_us\": %lld, \"modeled_speedup\": %.2f}",
+                    ModeName(mode), w, static_cast<long long>(rows),
+                    static_cast<long long>(r.wall_us), wall_speedup,
+                    static_cast<long long>(r.modeled_us), modeled_speedup);
       json.Add(row);
     }
   }
@@ -180,12 +299,25 @@ void Run(bool smoke) {
     std::exit(1);
   }
   std::printf("\nwrote BENCH_kernels.json\n");
-  if (!smoke && fused_speedup_at_4 < 2.5) {
+  bool failed = false;
+  if (columnar_fused_wall_at_4 < 2.5) {
     std::fprintf(stderr,
-                 "FAIL: fused modeled speedup at 4 workers = %.2fx < 2.5x\n",
-                 fused_speedup_at_4);
-    std::exit(1);
+                 "FAIL: columnar_fused wall speedup at 4 workers = %.2fx "
+                 "< 2.5x\n",
+                 columnar_fused_wall_at_4);
+    failed = true;
   }
+  if (columnar_fused_wall_at_1 < 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: columnar_fused wall speedup at 1 worker = %.2fx "
+                 "< 1.5x\n",
+                 columnar_fused_wall_at_1);
+    failed = true;
+  }
+  if (failed) std::exit(1);
+  std::printf("wall gates passed: columnar_fused %.2fx @4 (>=2.5x), "
+              "%.2fx @1 (>=1.5x)\n",
+              columnar_fused_wall_at_4, columnar_fused_wall_at_1);
 }
 
 }  // namespace

@@ -152,6 +152,22 @@ DataQuanta DataQuanta::ReduceByKey(
   return DataQuanta(job_, node);
 }
 
+DataQuanta DataQuanta::ReduceByKey(expr::ExprPtr key,
+                                   std::vector<AggSpec> aggs,
+                                   double key_distinct_ratio) const {
+  auto k = expr::MakeKeyUdf(std::move(key));
+  auto r = MakeAggReduceUdf(std::move(aggs));
+  if (!k.ok() || !r.ok()) {
+    job_->RecordBuildError(k.ok() ? r.status() : k.status());
+    return *this;
+  }
+  auto* node = Append(OpKind::kReduceByKey, {node_});
+  node->key = std::move(k).ValueOrDie();
+  node->key.meta = UdfMeta::Selective(key_distinct_ratio);
+  node->reduce = std::move(r).ValueOrDie();
+  return DataQuanta(job_, node);
+}
+
 DataQuanta DataQuanta::GroupByKey(
     std::function<Value(const Record&)> key,
     std::function<std::vector<Record>(const Value&, const std::vector<Record>&)>

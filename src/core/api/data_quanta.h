@@ -78,6 +78,14 @@ class DataQuanta {
   DataQuanta ReduceByKey(std::function<Value(const Record&)> key,
                          std::function<Record(const Record&, const Record&)> reduce,
                          double key_distinct_ratio = 0.1) const;
+  /// Declarative grouped aggregation: groups by the key expression and
+  /// combines records column-wise (output column i is aggs[i].kind over
+  /// input column i; aggs[i].column must equal i — pairwise reduction is
+  /// positional). Identical results to the closure form, but the optimizer
+  /// folds the spec into plan fingerprints and the kernels may run the
+  /// whole reduction columnar.
+  DataQuanta ReduceByKey(expr::ExprPtr key, std::vector<AggSpec> aggs,
+                         double key_distinct_ratio = 0.1) const;
   DataQuanta GroupByKey(
       std::function<Value(const Record&)> key,
       std::function<std::vector<Record>(const Value&, const std::vector<Record>&)> group,

@@ -106,8 +106,23 @@ std::string GenericLogicalOp::FingerprintToken() const {
       t += "|frac=" + std::to_string(fraction) +
            "|seed=" + std::to_string(seed);
       break;
+    case OpKind::kReduceByKey:
+      // Declarative reductions fold the key expression and the column-wise
+      // aggregate spec, so two jobs aggregating the same shape differently
+      // (sum vs. max, different key column) never share a cache entry.
+      // Closure reductions stay "assumed by shape" like closure filters.
+      if (key.expr != nullptr) t += "|key=" + expr::Canonical(*key.expr);
+      if (!reduce.aggs.empty()) {
+        t += "|aggs=";
+        for (const AggSpec& a : reduce.aggs) {
+          t += std::string(AggKindToString(a.kind)) + "(" +
+               std::to_string(a.column) + ");";
+        }
+      }
+      break;
     case OpKind::kGroupByKey:
       t += groupby_algorithm == GroupByAlgorithm::kHash ? "|hash" : "|sort";
+      if (key.expr != nullptr) t += "|key=" + expr::Canonical(*key.expr);
       break;
     case OpKind::kJoin:
       t += join_algorithm == JoinAlgorithm::kHash ? "|hash" : "|merge";

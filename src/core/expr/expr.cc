@@ -597,6 +597,444 @@ void EvalPredicateBatch(const Expr& e, const std::vector<Record>& rows,
   }
 }
 
+// --- columnar evaluation ---------------------------------------------------
+
+namespace {
+
+/// One evaluated expression node over the active rows of a BatchView: a
+/// typed dense vector of length view.n, or a broadcast constant, plus a
+/// dense byte null mask (empty = no null elements). String values are never
+/// copied — a string VCol references the backing ColumnData and resolves
+/// elements through the view.
+///
+/// Null semantics mirror the scalar combiners exactly: a VCol whose `type`
+/// is kNull is "null at every element", which is what scalar evaluation
+/// yields whenever an operand's runtime type class is wrong for the
+/// operator — the class check is per-column here instead of per-row, which
+/// is equivalent because a converted column holds a single runtime type.
+struct VCol {
+  ValueType type = ValueType::kNull;  // kNull = every element is null
+  bool is_const = false;
+  Value cval;                           // is_const: the broadcast value
+  std::vector<int64_t> i64;             // type == kInt64
+  std::vector<double> f64;              // type == kDouble
+  std::vector<uint8_t> b8;              // type == kBool
+  const ColumnData* str_src = nullptr;  // type == kString: backing column
+  std::vector<uint8_t> nulls;           // dense byte mask; empty = no nulls
+
+  bool NullAt(std::size_t i) const {
+    if (is_const) return cval.is_null();
+    return !nulls.empty() && nulls[i] != 0;
+  }
+  int64_t I64At(std::size_t i) const {
+    return is_const ? cval.int64_unchecked() : i64[i];
+  }
+  bool BoolAt(std::size_t i) const {
+    return is_const ? cval.bool_unchecked() : b8[i] != 0;
+  }
+  /// Numeric read as double — the same widening Value::Compare and the
+  /// mixed-type arithmetic path apply (ToDoubleOr).
+  double NumAt(std::size_t i) const {
+    if (is_const) return cval.ToDoubleOr(0.0);
+    return type == ValueType::kInt64 ? static_cast<double>(i64[i]) : f64[i];
+  }
+  std::string_view StrAt(const BatchView& view, std::size_t i) const {
+    if (is_const) return cval.string_unchecked();
+    return str_src->StringAt(view.row(i));
+  }
+};
+
+void MarkVNull(VCol* c, std::size_t i, std::size_t n) {
+  if (c->nulls.empty()) c->nulls.assign(n, 0);
+  c->nulls[i] = 1;
+}
+
+/// -1/0/+1 with Value::Compare's semantics for doubles: NaN compares equal
+/// to everything (both `<` tests fail).
+inline int CmpD(double a, double b) { return a < b ? -1 : (b < a ? 1 : 0); }
+
+inline bool CompareOutcome(CompareKind k, int c) {
+  switch (k) {
+    case CompareKind::kEq: return c == 0;
+    case CompareKind::kNe: return c != 0;
+    case CompareKind::kLt: return c < 0;
+    case CompareKind::kLe: return c <= 0;
+    case CompareKind::kGt: return c > 0;
+    case CompareKind::kGe: return c >= 0;
+  }
+  return false;
+}
+
+void EvalV(const Expr& e, const BatchView& view, VCol* out);
+
+void FieldV(const Expr& e, const BatchView& view, VCol* out) {
+  if (e.field_index < 0 ||
+      static_cast<std::size_t>(e.field_index) >= view.num_cols) {
+    return;  // out-of-range reference: all-null, like scalar FieldValue
+  }
+  const ColumnData& col = *view.cols[e.field_index];
+  bool accept = false;
+  switch (e.field_type) {
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      // Numeric declarations accept either numeric runtime column type.
+      accept = col.type == ValueType::kInt64 || col.type == ValueType::kDouble;
+      break;
+    case ValueType::kBool:
+      accept = col.type == ValueType::kBool;
+      break;
+    case ValueType::kString:
+      accept = col.type == ValueType::kString;
+      break;
+    default:
+      break;
+  }
+  if (!accept) return;  // type mismatch (or an all-null column): all-null
+  const std::size_t n = view.n;
+  out->type = col.type;
+  if (col.has_nulls()) {
+    out->nulls.resize(n);
+    bool any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool nl = col.IsNull(view.row(i));
+      out->nulls[i] = nl ? 1 : 0;
+      any = any || nl;
+    }
+    if (!any) out->nulls.clear();  // selection skipped every null row
+  }
+  switch (col.type) {
+    case ValueType::kInt64:
+      out->i64.resize(n);
+      if (view.sel == nullptr) {
+        std::copy_n(col.i64.data() + view.base, n, out->i64.begin());
+      } else {
+        for (std::size_t i = 0; i < n; ++i) out->i64[i] = col.i64[view.sel[i]];
+      }
+      break;
+    case ValueType::kDouble:
+      out->f64.resize(n);
+      if (view.sel == nullptr) {
+        std::copy_n(col.f64.data() + view.base, n, out->f64.begin());
+      } else {
+        for (std::size_t i = 0; i < n; ++i) out->f64[i] = col.f64[view.sel[i]];
+      }
+      break;
+    case ValueType::kBool:
+      out->b8.resize(n);
+      if (view.sel == nullptr) {
+        std::copy_n(col.b8.data() + view.base, n, out->b8.begin());
+      } else {
+        for (std::size_t i = 0; i < n; ++i) out->b8[i] = col.b8[view.sel[i]];
+      }
+      break;
+    case ValueType::kString:
+      out->str_src = &col;  // zero-copy: resolved through the view
+      break;
+    default:
+      out->type = ValueType::kNull;
+      break;
+  }
+}
+
+void ArithV(const Expr& e, const BatchView& view, VCol* out) {
+  VCol l, r;
+  EvalV(*e.left, view, &l);
+  EvalV(*e.right, view, &r);
+  if (l.is_const && r.is_const) {
+    out->is_const = true;
+    out->cval = ArithValue(e.arith, l.cval, r.cval);
+    out->type = out->cval.type();
+    return;
+  }
+  // Non-numeric operand class => null at every element (ArithValue).
+  if (!IsNumericType(l.type) || !IsNumericType(r.type)) return;
+  const std::size_t n = view.n;
+  if (l.type == ValueType::kInt64 && r.type == ValueType::kInt64) {
+    out->type = ValueType::kInt64;
+    out->i64.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (l.NullAt(i) || r.NullAt(i)) {
+        MarkVNull(out, i, n);
+        out->i64[i] = 0;
+        continue;
+      }
+      const int64_t x = l.I64At(i);
+      const int64_t y = r.I64At(i);
+      switch (e.arith) {
+        case ArithKind::kAdd: out->i64[i] = x + y; break;
+        case ArithKind::kSub: out->i64[i] = x - y; break;
+        case ArithKind::kMul: out->i64[i] = x * y; break;
+        case ArithKind::kDiv:
+          if (y == 0) {
+            MarkVNull(out, i, n);
+            out->i64[i] = 0;
+          } else {
+            out->i64[i] = x / y;
+          }
+          break;
+        case ArithKind::kMod:
+          if (y == 0) {
+            MarkVNull(out, i, n);
+            out->i64[i] = 0;
+          } else {
+            out->i64[i] = x % y;
+          }
+          break;
+      }
+    }
+    return;
+  }
+  // Mixed numeric widths evaluate as doubles; % stays integer-only, so a
+  // double operand makes every element null (ArithValue).
+  if (e.arith == ArithKind::kMod) return;
+  out->type = ValueType::kDouble;
+  out->f64.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (l.NullAt(i) || r.NullAt(i)) {
+      MarkVNull(out, i, n);
+      out->f64[i] = 0.0;
+      continue;
+    }
+    const double x = l.NumAt(i);
+    const double y = r.NumAt(i);
+    switch (e.arith) {
+      case ArithKind::kAdd: out->f64[i] = x + y; break;
+      case ArithKind::kSub: out->f64[i] = x - y; break;
+      case ArithKind::kMul: out->f64[i] = x * y; break;
+      case ArithKind::kDiv:
+        if (y == 0.0) {
+          MarkVNull(out, i, n);
+          out->f64[i] = 0.0;
+        } else {
+          out->f64[i] = x / y;
+        }
+        break;
+      case ArithKind::kMod:
+        break;  // unreachable
+    }
+  }
+}
+
+void CompareV(const Expr& e, const BatchView& view, VCol* out) {
+  VCol l, r;
+  EvalV(*e.left, view, &l);
+  EvalV(*e.right, view, &r);
+  if (l.is_const && r.is_const) {
+    out->is_const = true;
+    out->cval = CompareValue(e.compare, l.cval, r.cval);
+    out->type = out->cval.type();
+    return;
+  }
+  const std::size_t n = view.n;
+  const bool numeric = IsNumericType(l.type) && IsNumericType(r.type);
+  const bool same = l.type == r.type;
+  // Mismatched comparable classes => null at every element (CompareValue);
+  // this covers all-null operands and non-foldable list constants too.
+  if (!numeric && !(same && (l.type == ValueType::kBool ||
+                             l.type == ValueType::kString))) {
+    return;
+  }
+  out->type = ValueType::kBool;
+  out->b8.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (l.NullAt(i) || r.NullAt(i)) {
+      MarkVNull(out, i, n);
+      out->b8[i] = 0;
+      continue;
+    }
+    int c;
+    if (numeric) {
+      c = CmpD(l.NumAt(i), r.NumAt(i));  // Value::Compare's numeric tower
+    } else if (l.type == ValueType::kString) {
+      const std::string_view a = l.StrAt(view, i);
+      const std::string_view b = r.StrAt(view, i);
+      c = a < b ? -1 : (b < a ? 1 : 0);
+    } else {
+      c = (l.BoolAt(i) ? 1 : 0) - (r.BoolAt(i) ? 1 : 0);
+    }
+    out->b8[i] = CompareOutcome(e.compare, c) ? 1 : 0;
+  }
+}
+
+void LogicalV(const Expr& e, const BatchView& view, VCol* out) {
+  VCol l, r;
+  EvalV(*e.left, view, &l);
+  EvalV(*e.right, view, &r);
+  if (l.is_const && r.is_const) {
+    out->is_const = true;
+    out->cval = LogicalValue(e.logical, l.cval, r.cval);
+    out->type = out->cval.type();
+    return;
+  }
+  // A non-bool operand is null at every element (LogicalValue); when both
+  // are non-bool the result is null everywhere.
+  const bool l_bool = l.type == ValueType::kBool;
+  const bool r_bool = r.type == ValueType::kBool;
+  if (!l_bool && !r_bool) return;
+  const std::size_t n = view.n;
+  out->type = ValueType::kBool;
+  out->b8.resize(n);
+  const bool is_and = e.logical == LogicalKind::kAnd;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool an = !l_bool || l.NullAt(i);
+    const bool bn = !r_bool || r.NullAt(i);
+    const bool av = !an && l.BoolAt(i);
+    const bool bv = !bn && r.BoolAt(i);
+    if (is_and) {
+      if ((!an && !av) || (!bn && !bv)) {
+        out->b8[i] = 0;  // definite false
+      } else if (an || bn) {
+        MarkVNull(out, i, n);
+        out->b8[i] = 0;
+      } else {
+        out->b8[i] = 1;
+      }
+    } else {
+      if (av || bv) {
+        out->b8[i] = 1;  // definite true
+      } else if (an || bn) {
+        MarkVNull(out, i, n);
+        out->b8[i] = 0;
+      } else {
+        out->b8[i] = 0;
+      }
+    }
+  }
+}
+
+void EvalV(const Expr& e, const BatchView& view, VCol* out) {
+  switch (e.kind) {
+    case ExprKind::kField:
+      FieldV(e, view, out);
+      return;
+    case ExprKind::kConst:
+      out->is_const = true;
+      out->cval = e.constant;
+      out->type = e.constant.type();
+      return;
+    case ExprKind::kArith:
+      ArithV(e, view, out);
+      return;
+    case ExprKind::kCompare:
+      CompareV(e, view, out);
+      return;
+    case ExprKind::kLogical:
+      LogicalV(e, view, out);
+      return;
+    case ExprKind::kNot: {
+      VCol in;
+      EvalV(*e.left, view, &in);
+      if (in.is_const) {
+        out->is_const = true;
+        out->cval = NotValue(in.cval);
+        out->type = out->cval.type();
+        return;
+      }
+      if (in.type != ValueType::kBool) return;  // all-null (NotValue)
+      const std::size_t n = view.n;
+      out->type = ValueType::kBool;
+      out->b8.resize(n);
+      out->nulls = std::move(in.nulls);  // NOT preserves nullness
+      for (std::size_t i = 0; i < n; ++i) out->b8[i] = in.b8[i] ? 0 : 1;
+      return;
+    }
+  }
+}
+
+void AllNullColumn(std::size_t n, ColumnData* out) {
+  out->type = ValueType::kNull;
+  if (n > 0) {
+    out->null_words.assign((n + 63) / 64, ~uint64_t{0});
+    const std::size_t tail = n & 63;
+    if (tail != 0) out->null_words.back() = (uint64_t{1} << tail) - 1;
+  }
+}
+
+}  // namespace
+
+void EvalPredicateView(const Expr& e, const BatchView& view,
+                       std::vector<unsigned char>* keep) {
+  VCol col;
+  EvalV(e, view, &col);
+  keep->assign(view.n, 0);
+  if (col.is_const) {
+    if (col.cval.type() == ValueType::kBool && col.cval.bool_unchecked()) {
+      std::fill(keep->begin(), keep->end(), 1);
+    }
+    return;
+  }
+  if (col.type != ValueType::kBool) return;  // all-null / non-bool: drop all
+  if (col.nulls.empty()) {
+    std::copy(col.b8.begin(), col.b8.end(), keep->begin());
+    return;
+  }
+  for (std::size_t i = 0; i < view.n; ++i) {
+    (*keep)[i] = (col.b8[i] != 0 && col.nulls[i] == 0) ? 1 : 0;
+  }
+}
+
+void EvalExprView(const Expr& e, const BatchView& view, ColumnData* out) {
+  VCol col;
+  EvalV(e, view, &col);
+  const std::size_t n = view.n;
+  *out = ColumnData();
+  if (col.is_const) {
+    const Value& v = col.cval;
+    switch (v.type()) {
+      case ValueType::kInt64:
+        out->type = ValueType::kInt64;
+        out->i64.assign(n, v.int64_unchecked());
+        return;
+      case ValueType::kDouble:
+        out->type = ValueType::kDouble;
+        out->f64.assign(n, v.double_unchecked());
+        return;
+      case ValueType::kBool:
+        out->type = ValueType::kBool;
+        out->b8.assign(n, v.bool_unchecked() ? 1 : 0);
+        return;
+      case ValueType::kString: {
+        out->type = ValueType::kString;
+        const std::string& s = v.string_unchecked();
+        out->str_offsets.reserve(n + 1);
+        out->str_bytes.reserve(n * s.size());
+        for (std::size_t i = 0; i < n; ++i) {
+          out->str_offsets.push_back(static_cast<uint32_t>(out->str_bytes.size()));
+          out->str_bytes.append(s);
+        }
+        out->str_offsets.push_back(static_cast<uint32_t>(out->str_bytes.size()));
+        return;
+      }
+      default:
+        AllNullColumn(n, out);
+        return;
+    }
+  }
+  if (col.type == ValueType::kNull) {
+    AllNullColumn(n, out);
+    return;
+  }
+  out->type = col.type;
+  switch (col.type) {
+    case ValueType::kInt64: out->i64 = std::move(col.i64); break;
+    case ValueType::kDouble: out->f64 = std::move(col.f64); break;
+    case ValueType::kBool: out->b8 = std::move(col.b8); break;
+    case ValueType::kString: {
+      out->str_offsets.reserve(n + 1);
+      for (std::size_t i = 0; i < n; ++i) {
+        out->str_offsets.push_back(static_cast<uint32_t>(out->str_bytes.size()));
+        if (col.NullAt(i)) continue;  // empty payload, marked via the mask
+        const std::string_view s = col.StrAt(view, i);
+        out->str_bytes.append(s.data(), s.size());
+      }
+      out->str_offsets.push_back(static_cast<uint32_t>(out->str_bytes.size()));
+      break;
+    }
+    default: break;
+  }
+  if (!col.nulls.empty()) out->SetNullsFromBytes(col.nulls);
+}
+
 // --- canonical form & fingerprints -----------------------------------------
 
 std::string Canonical(const Expr& e) {

@@ -10,6 +10,7 @@
 
 #include "common/result.h"
 #include "core/operators/descriptors.h"
+#include "data/batch.h"
 #include "data/record.h"
 #include "data/value.h"
 
@@ -136,6 +137,21 @@ bool EvalPredicatePair(const Expr& e, const Record& a, const Record& b);
 void EvalPredicateBatch(const Expr& e, const std::vector<Record>& rows,
                         std::size_t begin, std::size_t end,
                         std::vector<unsigned char>* keep);
+
+/// True columnar predicate evaluation over a BatchView: each node evaluates
+/// to a typed dense vector (no per-row Record or Value construction), so the
+/// inner loops run branch-light over contiguous memory. (*keep)[i] is set to
+/// 1 exactly when the predicate accepts the i-th active row of `view` —
+/// identical to EvalPredicate over the boxed record.
+void EvalPredicateView(const Expr& e, const BatchView& view,
+                       std::vector<unsigned char>* keep);
+
+/// Columnar expression evaluation: materializes the expression's value for
+/// every active row of `view` into a dense output column of length view.n.
+/// Requires a type-checked tree (list constants degrade to null). Matches
+/// Eval element-for-element, including null degradation on dynamic type
+/// mismatch.
+void EvalExprView(const Expr& e, const BatchView& view, ColumnData* out);
 
 // --- canonical form & fingerprints -----------------------------------------
 

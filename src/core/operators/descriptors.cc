@@ -2,6 +2,71 @@
 
 namespace rheem {
 
+namespace {
+
+/// Pairwise combine of one column; the closure form of AggKind so the row
+/// path and the columnar accumulators agree value-for-value.
+Value CombineAgg(AggKind k, const Value& a, const Value& b) {
+  switch (k) {
+    case AggKind::kFirst:
+      return a;
+    case AggKind::kSum:
+      if (a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64) {
+        return Value(a.int64_unchecked() + b.int64_unchecked());
+      }
+      if (a.is_numeric() && b.is_numeric()) {
+        return Value(a.ToDoubleOr(0.0) + b.ToDoubleOr(0.0));
+      }
+      return Value::Null();
+    case AggKind::kMin:
+      if (a.is_null() || b.is_null()) return Value::Null();
+      return a.Compare(b) <= 0 ? a : b;
+    case AggKind::kMax:
+      if (a.is_null() || b.is_null()) return Value::Null();
+      return a.Compare(b) >= 0 ? a : b;
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+const char* AggKindToString(AggKind k) {
+  switch (k) {
+    case AggKind::kFirst: return "first";
+    case AggKind::kSum: return "sum";
+    case AggKind::kMin: return "min";
+    case AggKind::kMax: return "max";
+  }
+  return "?";
+}
+
+Result<ReduceUdf> MakeAggReduceUdf(std::vector<AggSpec> aggs) {
+  if (aggs.empty()) {
+    return Status::InvalidArgument("aggregate spec needs >= 1 column");
+  }
+  for (std::size_t i = 0; i < aggs.size(); ++i) {
+    if (aggs[i].column != static_cast<int>(i)) {
+      return Status::InvalidArgument(
+          "aggregate output column " + std::to_string(i) +
+          " must read input column " + std::to_string(i) +
+          " (pairwise reduction is positional)");
+    }
+  }
+  ReduceUdf udf;
+  udf.aggs = aggs;
+  udf.fn = [aggs](const Record& a, const Record& b) {
+    std::vector<Value> out;
+    out.reserve(aggs.size());
+    for (std::size_t i = 0; i < aggs.size(); ++i) {
+      const Value va = i < a.size() ? a.at(i) : Value::Null();
+      const Value vb = i < b.size() ? b.at(i) : Value::Null();
+      out.push_back(CombineAgg(aggs[i].kind, va, vb));
+    }
+    return Record(std::move(out));
+  };
+  return udf;
+}
+
 const char* CompareOpToString(CompareOp op) {
   switch (op) {
     case CompareOp::kLess: return "<";

@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "common/result.h"
 #include "data/dataset.h"
 #include "data/record.h"
 #include "data/value.h"
@@ -74,11 +75,37 @@ struct KeyUdf {
   DeclaredExpr expr;
 };
 
+/// Column-wise aggregate kinds for declarative reductions. kFirst keeps the
+/// first-seen value (in input order), the others follow Value semantics:
+/// kSum stays int64 for int64 columns and widens to double otherwise,
+/// kMin/kMax pick an operand by Value::Compare (ties keep the accumulator).
+enum class AggKind : uint8_t { kFirst, kSum, kMin, kMax };
+
+const char* AggKindToString(AggKind k);
+
+/// One output column of a declarative reduction: `kind` applied to input
+/// column `column`.
+struct AggSpec {
+  int column = 0;
+  AggKind kind = AggKind::kFirst;
+};
+
 /// Commutative+associative pairwise combiner (ReduceByKey, GlobalReduce).
 struct ReduceUdf {
   std::function<Record(const Record&, const Record&)> fn;
   UdfMeta meta;
+  /// Non-empty: declarative column-wise aggregate equivalent to `fn`
+  /// (output column i is aggs[i].kind over input column i), which lets the
+  /// kernels run the reduction columnar instead of folding boxed records.
+  std::vector<AggSpec> aggs;
 };
+
+/// Compiles a column-wise aggregate spec into a Reduce descriptor whose
+/// closure combines records field-by-field, keeping `aggs` visible so the
+/// kernels (and fingerprints) see through the closure. Requires
+/// aggs[i].column == i: a pairwise reduction keeps record arity and column
+/// positions, so every output column must read its own position.
+Result<ReduceUdf> MakeAggReduceUdf(std::vector<AggSpec> aggs);
 
 /// Whole-group processor: (key, members) -> output records (GroupByKey).
 struct GroupUdf {

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <iterator>
 #include <map>
+#include <memory>
 #include <optional>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -228,6 +232,681 @@ Status CheckProjection(const std::vector<int>& columns, const Record& r) {
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// Columnar execution layer
+// ---------------------------------------------------------------------------
+//
+// Eligible kernels convert their input to a columnar Batch at the operator
+// boundary (conversions are counted by batch.cc in batch.conversions_total),
+// evaluate declarative expressions column-at-a-time via
+// expr::EvalPredicateView / EvalExprView, and box records only at the output
+// boundary. Every columnar path is byte-identical to the row path; shapes
+// the vectorized code cannot reproduce exactly (null or NaN keys, nulls in
+// aggregate columns, mixed-type columns, ragged arity) fall back to the row
+// path and count batch.fallbacks_total.
+
+Counter* RowsVectorizedCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().counter("batch.rows_vectorized_total");
+  return c;
+}
+Counter* BatchFallbacksCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().counter("batch.fallbacks_total");
+  return c;
+}
+
+std::atomic<bool>& ColumnarFlag() {
+  static std::atomic<bool> flag{[] {
+    const char* env = std::getenv("RHEEM_FORCE_ROW");
+    return env == nullptr || env[0] != '1';
+  }()};
+  return flag;
+}
+
+bool CanGoColumnar(const KernelOptions& opts) {
+  return opts.columnar && ColumnarEnabled();
+}
+
+/// Sub-range [b, e) of a full-batch view, for per-morsel vectorized
+/// evaluation over selection positions.
+BatchView SubView(const BatchView& full, std::size_t b, std::size_t e) {
+  BatchView v = full;
+  if (full.sel != nullptr) {
+    v.sel = full.sel + b;
+  } else {
+    v.base = full.base + b;
+  }
+  v.n = e - b;
+  return v;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Canonical 64-bit key of a numeric/bool group value: the bits of its
+/// double representation, which is exactly Value's cross-type equality class
+/// (Value::Compare runs int64/double through doubles, so Value(2) and
+/// Value(2.0) — or int64s beyond 2^53 whose doubles collide — merge here the
+/// same way the row path's Value maps merge them). -0.0 collapses to +0.0
+/// because Compare treats them as equal. NaN has no canonical key;
+/// ColumnarKeyable rejects it.
+uint64_t NumericKeyBits(double d) {
+  if (d == 0.0) d = 0.0;  // -0.0 and +0.0 are one key
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+double NumericKeyValue(const ColumnData& c, std::size_t row) {
+  switch (c.type) {
+    case ValueType::kInt64:
+      return static_cast<double>(c.i64[row]);
+    case ValueType::kDouble:
+      return c.f64[row];
+    case ValueType::kBool:
+      return c.b8[row] != 0 ? 1.0 : 0.0;
+    default:
+      return 0.0;
+  }
+}
+
+/// Can `c` drive a columnar group/join key? Requires a concrete scalar type
+/// and no nulls or NaNs among rows row(0..n): null keys group fine in the
+/// row path's Value maps, and NaN compares equal to *everything* under
+/// Value::Compare — both need the row path's semantics.
+template <typename RowFn>
+bool ColumnarKeyable(const ColumnData& c, std::size_t n, const RowFn& row) {
+  if (c.type != ValueType::kInt64 && c.type != ValueType::kDouble &&
+      c.type != ValueType::kBool && c.type != ValueType::kString) {
+    return false;
+  }
+  if (c.has_nulls()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (c.IsNull(row(i))) return false;
+    }
+  }
+  if (c.type == ValueType::kDouble) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = c.f64[row(i)];
+      if (d != d) return false;
+    }
+  }
+  return true;
+}
+
+/// Open-addressing uint64 -> group-id table (power-of-two capacity, linear
+/// probing, SplitMix64 finalizer). The per-morsel group tables are the
+/// hottest structure of the columnar aggregation path; a flat table avoids
+/// unordered_map's per-node allocations and pointer chasing.
+class FlatU64Table {
+ public:
+  FlatU64Table() { Rehash(16); }
+
+  /// Group id for `k`; assigns `next_id` (setting *inserted) when new.
+  uint32_t FindOrInsert(uint64_t k, uint32_t next_id, bool* inserted) {
+    if ((count_ + 1) * 2 > slots_.size()) Rehash(slots_.size() * 2);
+    std::size_t i = SplitMix64(k) & mask_;
+    while (slots_[i].used != 0) {
+      if (slots_[i].key == k) {
+        *inserted = false;
+        return slots_[i].id;
+      }
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = Slot{k, next_id, 1};
+    ++count_;
+    *inserted = true;
+    return next_id;
+  }
+
+  /// Group id for `k`, or UINT32_MAX when absent.
+  uint32_t Find(uint64_t k) const {
+    std::size_t i = SplitMix64(k) & mask_;
+    while (slots_[i].used != 0) {
+      if (slots_[i].key == k) return slots_[i].id;
+      i = (i + 1) & mask_;
+    }
+    return UINT32_MAX;
+  }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    uint32_t id = 0;
+    uint8_t used = 0;
+  };
+  void Rehash(std::size_t cap) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+    for (const Slot& s : old) {
+      if (s.used == 0) continue;
+      std::size_t i = SplitMix64(s.key) & mask_;
+      while (slots_[i].used != 0) i = (i + 1) & mask_;
+      slots_[i] = s;
+    }
+  }
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t count_ = 0;
+};
+
+// --- columnar grouped aggregation (ReduceByKey core) -----------------------
+
+/// Per-morsel (and merged) group accumulators, id-indexed parallel arrays.
+/// Aggregate state is group-major: slot [g * naggs + a] holds column a of
+/// group g, in the int64 or double array according to the column's type
+/// (the other array's slot is dead weight, never read).
+struct GroupState {
+  std::vector<uint32_t> first_row;  // physical row of the first member
+  std::vector<uint32_t> count;
+  std::vector<double> num_rep;            // numeric/bool keys: sort value
+  std::vector<uint64_t> key_bits;         // numeric/bool keys: canonical bits
+  std::vector<std::string_view> str_rep;  // string keys (into the key column)
+  std::vector<int64_t> acc_i;
+  std::vector<double> acc_d;
+  FlatU64Table ntable;
+  std::unordered_map<std::string_view, uint32_t> stable;
+
+  std::size_t size() const { return first_row.size(); }
+};
+
+/// Folds selection positions [b, e) of `in` into `st`. `keys` holds the key
+/// for position p at dense index p - b. Accumulator updates mirror
+/// CombineAgg exactly: int64 sums wrap via unsigned arithmetic, min/max
+/// compare through doubles (Value::Compare's numeric tower) and keep the
+/// accumulator on ties — which also makes NaN aggregate values keep the
+/// accumulator, like Compare's "NaN equals everything".
+void AccumulateGroups(const Batch& in, const ColumnData& keys,
+                      const std::vector<AggSpec>& aggs, std::size_t b,
+                      std::size_t e, GroupState* st) {
+  const bool str_key = keys.type == ValueType::kString;
+  const std::size_t naggs = aggs.size();
+  for (std::size_t p = b; p < e; ++p) {
+    const std::size_t row = in.RowAt(p);
+    const uint32_t next = static_cast<uint32_t>(st->size());
+    bool inserted = false;
+    uint32_t gid;
+    if (str_key) {
+      auto [it, fresh] = st->stable.try_emplace(keys.StringAt(p - b), next);
+      inserted = fresh;
+      gid = it->second;
+      if (fresh) st->str_rep.push_back(it->first);
+    } else {
+      const double kd = NumericKeyValue(keys, p - b);
+      gid = st->ntable.FindOrInsert(NumericKeyBits(kd), next, &inserted);
+      if (inserted) {
+        st->num_rep.push_back(kd);
+        st->key_bits.push_back(NumericKeyBits(kd));
+      }
+    }
+    if (inserted) {
+      st->first_row.push_back(static_cast<uint32_t>(row));
+      st->count.push_back(1);
+      for (std::size_t a = 0; a < naggs; ++a) {
+        int64_t vi = 0;
+        double vd = 0.0;
+        if (aggs[a].kind != AggKind::kFirst) {
+          const ColumnData& col = in.column(a);
+          if (col.type == ValueType::kInt64) {
+            vi = col.i64[row];
+          } else {
+            vd = col.f64[row];
+          }
+        }
+        st->acc_i.push_back(vi);
+        st->acc_d.push_back(vd);
+      }
+      continue;
+    }
+    ++st->count[gid];
+    const std::size_t base = static_cast<std::size_t>(gid) * naggs;
+    for (std::size_t a = 0; a < naggs; ++a) {
+      const AggKind kind = aggs[a].kind;
+      if (kind == AggKind::kFirst) continue;
+      const ColumnData& col = in.column(a);
+      if (col.type == ValueType::kInt64) {
+        const int64_t v = col.i64[row];
+        int64_t& acc = st->acc_i[base + a];
+        switch (kind) {
+          case AggKind::kSum:
+            acc = static_cast<int64_t>(static_cast<uint64_t>(acc) +
+                                       static_cast<uint64_t>(v));
+            break;
+          case AggKind::kMin:
+            if (static_cast<double>(acc) > static_cast<double>(v)) acc = v;
+            break;
+          case AggKind::kMax:
+            if (static_cast<double>(acc) < static_cast<double>(v)) acc = v;
+            break;
+          default:
+            break;
+        }
+      } else {
+        const double v = col.f64[row];
+        double& acc = st->acc_d[base + a];
+        switch (kind) {
+          case AggKind::kSum:
+            acc += v;
+            break;
+          case AggKind::kMin:
+            if (acc > v) acc = v;
+            break;
+          case AggKind::kMax:
+            if (acc < v) acc = v;
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+}
+
+/// Merges partial `p` into `g` — fn(global, partial) operand order, the same
+/// order the row path's morsel merge feeds reduce.fn, so ties keep the
+/// earlier-morsel accumulator. Sum/min/max apply to both acc arrays; the
+/// column's dead array carries zeros on both sides and stays dead.
+void MergeGroupStates(const std::vector<AggSpec>& aggs, bool str_key,
+                      GroupState* g, const GroupState& p) {
+  const std::size_t naggs = aggs.size();
+  for (std::size_t s = 0; s < p.size(); ++s) {
+    const uint32_t next = static_cast<uint32_t>(g->size());
+    bool inserted = false;
+    uint32_t gid;
+    if (str_key) {
+      auto [it, fresh] = g->stable.try_emplace(p.str_rep[s], next);
+      inserted = fresh;
+      gid = it->second;
+      if (fresh) g->str_rep.push_back(it->first);
+    } else {
+      gid = g->ntable.FindOrInsert(p.key_bits[s], next, &inserted);
+      if (inserted) {
+        g->num_rep.push_back(p.num_rep[s]);
+        g->key_bits.push_back(p.key_bits[s]);
+      }
+    }
+    const std::size_t pb = s * naggs;
+    if (inserted) {
+      g->first_row.push_back(p.first_row[s]);
+      g->count.push_back(p.count[s]);
+      for (std::size_t a = 0; a < naggs; ++a) {
+        g->acc_i.push_back(p.acc_i[pb + a]);
+        g->acc_d.push_back(p.acc_d[pb + a]);
+      }
+      continue;
+    }
+    g->count[gid] += p.count[s];
+    const std::size_t gb = static_cast<std::size_t>(gid) * naggs;
+    for (std::size_t a = 0; a < naggs; ++a) {
+      switch (aggs[a].kind) {
+        case AggKind::kFirst:
+          break;
+        case AggKind::kSum:
+          g->acc_i[gb + a] = static_cast<int64_t>(
+              static_cast<uint64_t>(g->acc_i[gb + a]) +
+              static_cast<uint64_t>(p.acc_i[pb + a]));
+          g->acc_d[gb + a] += p.acc_d[pb + a];
+          break;
+        case AggKind::kMin:
+          if (static_cast<double>(g->acc_i[gb + a]) >
+              static_cast<double>(p.acc_i[pb + a])) {
+            g->acc_i[gb + a] = p.acc_i[pb + a];
+          }
+          if (g->acc_d[gb + a] > p.acc_d[pb + a]) {
+            g->acc_d[gb + a] = p.acc_d[pb + a];
+          }
+          break;
+        case AggKind::kMax:
+          if (static_cast<double>(g->acc_i[gb + a]) <
+              static_cast<double>(p.acc_i[pb + a])) {
+            g->acc_i[gb + a] = p.acc_i[pb + a];
+          }
+          if (g->acc_d[gb + a] < p.acc_d[pb + a]) {
+            g->acc_d[gb + a] = p.acc_d[pb + a];
+          }
+          break;
+      }
+    }
+  }
+}
+
+/// Boxes the merged groups in ascending key order (the row path's std::map
+/// order: numerics through doubles, strings lexicographic). A single-member
+/// group's "reduction" is the untouched input record, full arity.
+Dataset EmitGroups(const Batch& in, const std::vector<AggSpec>& aggs,
+                   bool str_key, const GroupState& g) {
+  std::vector<uint32_t> order(g.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<uint32_t>(i);
+  }
+  if (str_key) {
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return g.str_rep[a] < g.str_rep[b];
+    });
+  } else {
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return g.num_rep[a] < g.num_rep[b];
+    });
+  }
+  const std::size_t naggs = aggs.size();
+  std::vector<Record> out;
+  out.reserve(g.size());
+  for (uint32_t gi : order) {
+    if (g.count[gi] == 1) {
+      out.push_back(in.RecordAt(g.first_row[gi]));
+      continue;
+    }
+    std::vector<Value> fields;
+    fields.reserve(naggs);
+    const std::size_t base = static_cast<std::size_t>(gi) * naggs;
+    for (std::size_t a = 0; a < naggs; ++a) {
+      if (aggs[a].kind == AggKind::kFirst) {
+        fields.push_back(in.column(a).ValueAt(g.first_row[gi]));
+      } else if (in.column(a).type == ValueType::kInt64) {
+        fields.push_back(Value(g.acc_i[base + a]));
+      } else {
+        fields.push_back(Value(g.acc_d[base + a]));
+      }
+    }
+    out.push_back(Record(std::move(fields)));
+  }
+  return Dataset(std::move(out));
+}
+
+/// The shared columnar grouped-aggregation core (Dataset-level ReduceByKey
+/// and ReduceByKeyBatch). Unsupported when the batch shapes don't meet the
+/// vectorization rules; callers fall back to the row path.
+Result<Dataset> GroupedAggregate(const expr::Expr& key_expr,
+                                 const std::vector<AggSpec>& aggs,
+                                 const Batch& in, const KernelOptions& opts,
+                                 TimingScope& scope) {
+  const std::size_t n = in.num_selected();
+  if (n == 0) return Dataset();
+  if (aggs.empty() || aggs.size() > in.num_columns()) {
+    return Status::Unsupported("aggregate spec wider than the batch");
+  }
+  for (std::size_t a = 0; a < aggs.size(); ++a) {
+    if (aggs[a].column != static_cast<int>(a)) {
+      return Status::Unsupported("non-positional aggregate spec");
+    }
+    if (aggs[a].kind == AggKind::kFirst) continue;
+    const ColumnData& col = in.column(a);
+    if (col.type != ValueType::kInt64 && col.type != ValueType::kDouble) {
+      return Status::Unsupported("non-numeric aggregate column");
+    }
+    if (col.has_nulls()) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (col.IsNull(in.RowAt(i))) {
+          return Status::Unsupported("nulls in an aggregate column");
+        }
+      }
+    }
+  }
+  std::vector<const ColumnData*> ptrs;
+  const BatchView view = in.View(&ptrs);
+  const auto ranges = UseParallel(opts, n)
+                          ? MorselRanges(n, opts.morsel_size)
+                          : std::vector<MorselRange>{{0, n}};
+  std::vector<ColumnData> keys(ranges.size());
+  std::vector<GroupState> partials(ranges.size());
+  auto body = [&](std::size_t m, std::size_t b, std::size_t e) -> Status {
+    expr::EvalExprView(key_expr, SubView(view, b, e), &keys[m]);
+    auto ident = [](std::size_t i) { return i; };
+    if (!ColumnarKeyable(keys[m], e - b, ident)) {
+      return Status::Unsupported("key column not columnar-keyable");
+    }
+    AccumulateGroups(in, keys[m], aggs, b, e, &partials[m]);
+    return Status::OK();
+  };
+  if (ranges.size() == 1) {
+    RHEEM_RETURN_IF_ERROR(body(0, 0, n));
+  } else {
+    RHEEM_RETURN_IF_ERROR(RunMorsels(opts, ranges, scope, body));
+  }
+  const bool str_key = keys[0].type == ValueType::kString;
+  GroupState merged = std::move(partials[0]);
+  for (std::size_t m = 1; m < partials.size(); ++m) {
+    MergeGroupStates(aggs, str_key, &merged, partials[m]);
+  }
+  CountIfEnabled(RowsVectorizedCounter(), static_cast<int64_t>(n));
+  return EmitGroups(in, aggs, str_key, merged);
+}
+
+// --- columnar HashGroupBy / HashJoin ---------------------------------------
+
+/// Columnar HashGroupBy front half: vectorized key evaluation + flat-table
+/// group-id assignment + two-pass bucketing. The group-UDF phase is the same
+/// boxed-record code as the row path (whole groups reach the closure either
+/// way); group order is first-seen, members ascend — exactly the row path's
+/// try_emplace + key_order bookkeeping.
+Result<Dataset> HashGroupByColumnar(const KeyUdf& key, const GroupUdf& group,
+                                    const Dataset& in,
+                                    const KernelOptions& opts,
+                                    TimingScope& scope) {
+  const std::size_t width =
+      static_cast<std::size_t>(expr::MaxFieldIndex(*key.expr) + 1);
+  auto converted = Batch::FromDatasetPrefix(in, width);
+  if (!converted.ok()) return converted.status();
+  const Batch& batch = *converted;
+  std::vector<const ColumnData*> ptrs;
+  const BatchView view = batch.View(&ptrs);
+  ColumnData keys;
+  expr::EvalExprView(*key.expr, view, &keys);
+  const std::size_t n = in.size();
+  auto ident = [](std::size_t i) { return i; };
+  if (!ColumnarKeyable(keys, n, ident)) {
+    return Status::Unsupported("key column not columnar-keyable");
+  }
+  const bool str_key = keys.type == ValueType::kString;
+  std::vector<uint32_t> gid(n);
+  std::vector<uint32_t> first_row;
+  std::vector<std::size_t> counts;
+  FlatU64Table ntable;
+  std::unordered_map<std::string_view, uint32_t> stable;
+  for (std::size_t i = 0; i < n; ++i) {
+    const uint32_t next = static_cast<uint32_t>(first_row.size());
+    bool inserted = false;
+    uint32_t g;
+    if (str_key) {
+      auto [it, fresh] = stable.try_emplace(keys.StringAt(i), next);
+      inserted = fresh;
+      g = it->second;
+    } else {
+      g = ntable.FindOrInsert(NumericKeyBits(NumericKeyValue(keys, i)), next,
+                              &inserted);
+    }
+    if (inserted) {
+      first_row.push_back(static_cast<uint32_t>(i));
+      counts.push_back(0);
+    }
+    ++counts[g];
+    gid[i] = g;
+  }
+  CountIfEnabled(RowsVectorizedCounter(), static_cast<int64_t>(n));
+  const std::size_t num_groups = first_row.size();
+  std::vector<std::size_t> offsets(num_groups + 1, 0);
+  for (std::size_t g2 = 0; g2 < num_groups; ++g2) {
+    offsets[g2 + 1] = offsets[g2] + counts[g2];
+  }
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  std::vector<uint32_t> members(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    members[cursor[gid[i]]++] = static_cast<uint32_t>(i);
+  }
+  auto run_groups = [&](std::size_t gb, std::size_t ge,
+                        std::vector<Record>& out) -> Status {
+    for (std::size_t g2 = gb; g2 < ge; ++g2) {
+      std::vector<Record> mem;
+      mem.reserve(offsets[g2 + 1] - offsets[g2]);
+      for (std::size_t s = offsets[g2]; s < offsets[g2 + 1]; ++s) {
+        mem.push_back(in.at(members[s]));
+      }
+      std::vector<Record> produced =
+          group.fn(keys.ValueAt(first_row[g2]), mem);
+      for (auto& p : produced) out.push_back(std::move(p));
+    }
+    return Status::OK();
+  };
+  if (!UseParallel(opts, n)) {
+    std::vector<Record> out;
+    RHEEM_RETURN_IF_ERROR(run_groups(0, num_groups, out));
+    return Dataset(std::move(out));
+  }
+  const auto chunks = ChunkBySize(counts, opts.morsel_size);
+  std::vector<std::vector<Record>> parts(chunks.size());
+  RHEEM_RETURN_IF_ERROR(RunMorsels(
+      opts, chunks, scope, [&](std::size_t c, std::size_t b, std::size_t e) {
+        return run_groups(b, e, parts[c]);
+      }));
+  return ConcatMorsels(std::move(parts));
+}
+
+/// Columnar HashJoin: vectorized key evaluation on both sides, a flat
+/// bits -> row-list table on the build (right) side, morsel-parallel probe.
+/// Output rows are Record::Concat of the original records — probe order x
+/// build input order, like the row kernel.
+Result<Dataset> HashJoinColumnar(const KeyUdf& left_key,
+                                 const KeyUdf& right_key, const Dataset& left,
+                                 const Dataset& right,
+                                 const KernelOptions& opts,
+                                 TimingScope& scope) {
+  const std::size_t lw =
+      static_cast<std::size_t>(expr::MaxFieldIndex(*left_key.expr) + 1);
+  const std::size_t rw =
+      static_cast<std::size_t>(expr::MaxFieldIndex(*right_key.expr) + 1);
+  auto lconv = Batch::FromDatasetPrefix(left, lw);
+  if (!lconv.ok()) return lconv.status();
+  auto rconv = Batch::FromDatasetPrefix(right, rw);
+  if (!rconv.ok()) return rconv.status();
+  std::vector<const ColumnData*> lptrs, rptrs;
+  const BatchView lview = lconv->View(&lptrs);
+  const BatchView rview = rconv->View(&rptrs);
+  ColumnData lkeys, rkeys;
+  expr::EvalExprView(*left_key.expr, lview, &lkeys);
+  expr::EvalExprView(*right_key.expr, rview, &rkeys);
+  auto ident = [](std::size_t i) { return i; };
+  if (!ColumnarKeyable(lkeys, left.size(), ident) ||
+      !ColumnarKeyable(rkeys, right.size(), ident)) {
+    return Status::Unsupported("join key column not columnar-keyable");
+  }
+  CountIfEnabled(RowsVectorizedCounter(),
+                 static_cast<int64_t>(left.size() + right.size()));
+  // Value equality never crosses type classes (bool, numeric, and string
+  // rank differently in Value::Compare), so class-mismatched keys join to
+  // nothing — exactly what the row path's probe misses produce.
+  auto cls = [](ValueType t) {
+    if (t == ValueType::kString) return 2;
+    if (t == ValueType::kBool) return 1;
+    return 0;
+  };
+  if (cls(lkeys.type) != cls(rkeys.type)) return Dataset();
+  const bool str_key = lkeys.type == ValueType::kString;
+  FlatU64Table ntable;
+  std::unordered_map<std::string_view, uint32_t> stable;
+  std::vector<std::vector<uint32_t>> rows_by_id;
+  for (std::size_t j = 0; j < right.size(); ++j) {
+    const uint32_t next = static_cast<uint32_t>(rows_by_id.size());
+    bool inserted = false;
+    uint32_t id;
+    if (str_key) {
+      auto [it, fresh] = stable.try_emplace(rkeys.StringAt(j), next);
+      inserted = fresh;
+      id = it->second;
+    } else {
+      id = ntable.FindOrInsert(NumericKeyBits(NumericKeyValue(rkeys, j)),
+                               next, &inserted);
+    }
+    if (inserted) rows_by_id.emplace_back();
+    rows_by_id[id].push_back(static_cast<uint32_t>(j));
+  }
+  auto probe_range = [&](std::size_t b, std::size_t e,
+                         std::vector<Record>& out) {
+    for (std::size_t i = b; i < e; ++i) {
+      const std::vector<uint32_t>* matches = nullptr;
+      if (str_key) {
+        auto it = stable.find(lkeys.StringAt(i));
+        if (it != stable.end()) matches = &rows_by_id[it->second];
+      } else {
+        const uint32_t id =
+            ntable.Find(NumericKeyBits(NumericKeyValue(lkeys, i)));
+        if (id != UINT32_MAX) matches = &rows_by_id[id];
+      }
+      if (matches == nullptr) continue;
+      for (uint32_t j : *matches) {
+        out.push_back(Record::Concat(left.at(i), right.at(j)));
+      }
+    }
+  };
+  if (!UseParallel(opts, std::max(left.size(), right.size()))) {
+    std::vector<Record> out;
+    probe_range(0, left.size(), out);
+    return Dataset(std::move(out));
+  }
+  const auto ranges = MorselRanges(left.size(), opts.morsel_size);
+  std::vector<std::vector<Record>> parts(ranges.size());
+  RHEEM_RETURN_IF_ERROR(RunMorsels(
+      opts, ranges, scope, [&](std::size_t m, std::size_t b, std::size_t e) {
+        probe_range(b, e, parts[m]);
+        return Status::OK();
+      }));
+  return ConcatMorsels(std::move(parts));
+}
+
+/// Appends the `src_rows` dense rows of `src` onto `dst` (holding `dst_rows`
+/// so far, out of `total_rows`). Per-morsel evaluation of one expression
+/// over sub-views of the same columns always yields one output type, so a
+/// type mismatch here is a logic error, not a data condition.
+Status AppendColumn(ColumnData* dst, std::size_t dst_rows,
+                    std::size_t total_rows, const ColumnData& src,
+                    std::size_t src_rows) {
+  if (dst_rows == 0) {
+    dst->type = src.type;
+  } else if (dst->type != src.type) {
+    return Status::Internal("columnar morsel output type drift");
+  }
+  switch (src.type) {
+    case ValueType::kInt64:
+      dst->i64.insert(dst->i64.end(), src.i64.begin(), src.i64.end());
+      break;
+    case ValueType::kDouble:
+      dst->f64.insert(dst->f64.end(), src.f64.begin(), src.f64.end());
+      break;
+    case ValueType::kBool:
+      dst->b8.insert(dst->b8.end(), src.b8.begin(), src.b8.end());
+      break;
+    case ValueType::kString: {
+      if (dst->str_offsets.empty()) dst->str_offsets.push_back(0);
+      const uint32_t base = dst->str_offsets.back();
+      for (std::size_t i = 1; i <= src_rows; ++i) {
+        dst->str_offsets.push_back(base + src.str_offsets[i]);
+      }
+      dst->str_bytes.append(src.str_bytes);
+      break;
+    }
+    case ValueType::kNull:
+      break;  // all-null: only the bitmap below carries information
+    default:
+      return Status::Internal("unexpected columnar output type");
+  }
+  if (src.has_nulls() || src.type == ValueType::kNull) {
+    for (std::size_t i = 0; i < src_rows; ++i) {
+      if (src.type == ValueType::kNull || src.IsNull(i)) {
+        dst->MarkNull(dst_rows + i, total_rows);
+      }
+    }
+  }
+  return Status::OK();
+}
+
 /// Decorated sort entry for the parallel run-sort + merge. Ordering by
 /// (key, original index) is a total order equivalent to stable_sort by key.
 struct SortEntry {
@@ -316,12 +995,21 @@ KernelOptions KernelOptions::FromConfig(const Config& config,
                                         ThreadPool* pool) {
   KernelOptions o;
   o.parallel = config.GetBool("kernels.parallel", o.parallel).ValueOr(o.parallel);
+  o.columnar = config.GetBool("kernels.columnar", o.columnar).ValueOr(o.columnar);
   const int64_t morsel =
       config.GetInt("kernels.morsel_size", static_cast<int64_t>(o.morsel_size))
           .ValueOr(static_cast<int64_t>(o.morsel_size));
   if (morsel > 0) o.morsel_size = static_cast<std::size_t>(morsel);
   o.pool = pool;
   return o;
+}
+
+bool ColumnarEnabled() {
+  return ColumnarFlag().load(std::memory_order_relaxed);
+}
+
+void SetColumnarEnabled(bool enabled) {
+  ColumnarFlag().store(enabled, std::memory_order_relaxed);
 }
 
 std::vector<KernelTiming> SnapshotKernelTimings() {
@@ -369,6 +1057,51 @@ Result<Dataset> Map(const MapUdf& udf, const Dataset& in,
                     const KernelOptions& opts) {
   if (!udf.fn) return Status::InvalidArgument("Map UDF is empty");
   TimingScope scope(kIdMap, in.size());
+  // Declarative projections run columnar: one vectorized evaluation per
+  // output expression over the converted batch, boxed once at the end.
+  if (!udf.projection.empty() && CanGoColumnar(opts) && !in.empty()) {
+    int width = 0;
+    for (const auto& f : udf.projection) {
+      width = std::max(width, expr::MaxFieldIndex(*f) + 1);
+    }
+    auto converted =
+        Batch::FromDatasetPrefix(in, static_cast<std::size_t>(width));
+    if (converted.ok()) {
+      CountIfEnabled(RowsVectorizedCounter(), static_cast<int64_t>(in.size()));
+      std::vector<const ColumnData*> ptrs;
+      const BatchView view = converted->View(&ptrs);
+      auto eval_range = [&](std::size_t b, std::size_t e,
+                            std::vector<Record>& out) {
+        const BatchView v = SubView(view, b, e);
+        std::vector<ColumnData> cols(udf.projection.size());
+        for (std::size_t j = 0; j < udf.projection.size(); ++j) {
+          expr::EvalExprView(*udf.projection[j], v, &cols[j]);
+        }
+        out.reserve(out.size() + (e - b));
+        for (std::size_t i = 0; i < e - b; ++i) {
+          std::vector<Value> fields;
+          fields.reserve(cols.size());
+          for (const ColumnData& c : cols) fields.push_back(c.ValueAt(i));
+          out.push_back(Record(std::move(fields)));
+        }
+      };
+      if (!UseParallel(opts, in.size())) {
+        std::vector<Record> out;
+        eval_range(0, in.size(), out);
+        return Dataset(std::move(out));
+      }
+      const auto ranges = MorselRanges(in.size(), opts.morsel_size);
+      std::vector<std::vector<Record>> parts(ranges.size());
+      RHEEM_RETURN_IF_ERROR(RunMorsels(
+          opts, ranges, scope,
+          [&](std::size_t m, std::size_t b, std::size_t e) {
+            eval_range(b, e, parts[m]);
+            return Status::OK();
+          }));
+      return ConcatMorsels(std::move(parts));
+    }
+    CountIfEnabled(BatchFallbacksCounter(), 1);
+  }
   if (!UseParallel(opts, in.size())) {
     std::vector<Record> out;
     out.reserve(in.size());
@@ -425,6 +1158,44 @@ Result<Dataset> Filter(const PredicateUdf& udf, const Dataset& in,
   // evaluated column-at-a-time over the whole batch (morsel) instead of one
   // virtual call per record.
   const expr::Expr* tree = udf.expr.get();
+  // True columnar path: convert the referenced column prefix once, evaluate
+  // the predicate over typed vectors, gather survivors from the input.
+  if (tree != nullptr && CanGoColumnar(opts) && !in.empty()) {
+    const std::size_t width =
+        static_cast<std::size_t>(expr::MaxFieldIndex(*tree) + 1);
+    auto converted = Batch::FromDatasetPrefix(in, width);
+    if (converted.ok()) {
+      CountIfEnabled(RowsVectorizedCounter(), static_cast<int64_t>(in.size()));
+      std::vector<const ColumnData*> ptrs;
+      const BatchView view = converted->View(&ptrs);
+      auto gather_range = [&](std::size_t b, std::size_t e,
+                              std::vector<Record>& out) {
+        std::vector<unsigned char> keep;
+        expr::EvalPredicateView(*tree, SubView(view, b, e), &keep);
+        std::size_t kept = 0;
+        for (unsigned char k : keep) kept += k;
+        out.reserve(out.size() + kept);
+        for (std::size_t i = b; i < e; ++i) {
+          if (keep[i - b]) out.push_back(in.at(i));
+        }
+      };
+      if (!UseParallel(opts, in.size())) {
+        std::vector<Record> out;
+        gather_range(0, in.size(), out);
+        return Dataset(std::move(out));
+      }
+      const auto ranges = MorselRanges(in.size(), opts.morsel_size);
+      std::vector<std::vector<Record>> parts(ranges.size());
+      RHEEM_RETURN_IF_ERROR(RunMorsels(
+          opts, ranges, scope,
+          [&](std::size_t m, std::size_t b, std::size_t e) {
+            gather_range(b, e, parts[m]);
+            return Status::OK();
+          }));
+      return ConcatMorsels(std::move(parts));
+    }
+    CountIfEnabled(BatchFallbacksCounter(), 1);
+  }
   auto decide = [&](std::size_t b, std::size_t e,
                     std::vector<std::size_t>* kept) {
     if (tree != nullptr) {
@@ -599,9 +1370,14 @@ Result<Dataset> ZipWithId(int64_t first_id, const Dataset& in,
     out.reserve(in.size());
     int64_t id = first_id;
     for (const auto& r : in.records()) {
-      Record withId = r;
-      withId.Append(Value(id++));
-      out.push_back(std::move(withId));
+      // Build the widened field vector directly: copying the record and
+      // appending would size the vector for the input arity and then
+      // reallocate for the id.
+      std::vector<Value> fields;
+      fields.reserve(r.size() + 1);
+      for (std::size_t c = 0; c < r.size(); ++c) fields.push_back(r.at(c));
+      fields.push_back(Value(id++));
+      out.push_back(Record(std::move(fields)));
     }
     return Dataset(std::move(out));
   }
@@ -612,9 +1388,12 @@ Result<Dataset> ZipWithId(int64_t first_id, const Dataset& in,
         auto& part = parts[m];
         part.reserve(e - b);
         for (std::size_t i = b; i < e; ++i) {
-          Record withId = in.at(i);
-          withId.Append(Value(first_id + static_cast<int64_t>(i)));
-          part.push_back(std::move(withId));
+          const Record& r = in.at(i);
+          std::vector<Value> fields;
+          fields.reserve(r.size() + 1);
+          for (std::size_t c = 0; c < r.size(); ++c) fields.push_back(r.at(c));
+          fields.push_back(Value(first_id + static_cast<int64_t>(i)));
+          part.push_back(Record(std::move(fields)));
         }
         return Status::OK();
       }));
@@ -630,6 +1409,20 @@ Result<Dataset> ReduceByKey(const KeyUdf& key, const ReduceUdf& reduce,
   if (!key.fn) return Status::InvalidArgument("ReduceByKey key UDF is empty");
   if (!reduce.fn) return Status::InvalidArgument("ReduceByKey reduce UDF is empty");
   TimingScope scope(kIdReduceByKey, in.size());
+  // Fully declarative reductions (expression key + column-wise aggregate
+  // spec) run columnar: typed accumulators instead of boxed-Record folds.
+  if (key.expr != nullptr && !reduce.aggs.empty() && CanGoColumnar(opts) &&
+      !in.empty()) {
+    auto converted = Batch::FromDataset(in);
+    if (converted.ok()) {
+      auto columnar =
+          GroupedAggregate(*key.expr, reduce.aggs, *converted, opts, scope);
+      if (columnar.ok()) return columnar;
+    }
+    // Inconvertible input or an ineligible shape: the row path below is the
+    // semantic ground truth.
+    CountIfEnabled(BatchFallbacksCounter(), 1);
+  }
   // std::map keeps output deterministic across platforms and partitionings.
   if (!UseParallel(opts, in.size())) {
     std::map<Value, Record> acc;
@@ -689,6 +1482,11 @@ Result<Dataset> HashGroupBy(const KeyUdf& key, const GroupUdf& group,
   if (!key.fn) return Status::InvalidArgument("GroupBy key UDF is empty");
   if (!group.fn) return Status::InvalidArgument("GroupBy group UDF is empty");
   TimingScope scope(kIdHashGroupBy, in.size());
+  if (key.expr != nullptr && CanGoColumnar(opts) && !in.empty()) {
+    auto columnar = HashGroupByColumnar(key, group, in, opts, scope);
+    if (columnar.ok()) return columnar;
+    CountIfEnabled(BatchFallbacksCounter(), 1);
+  }
   using IndexGroups =
       std::unordered_map<Value, std::vector<std::size_t>, ValueHasher>;
   if (!UseParallel(opts, in.size())) {
@@ -911,6 +1709,13 @@ Result<Dataset> HashJoin(const KeyUdf& left_key, const KeyUdf& right_key,
     return Status::InvalidArgument("Join key UDF is empty");
   }
   TimingScope scope(kIdHashJoin, left.size() + right.size());
+  if (left_key.expr != nullptr && right_key.expr != nullptr &&
+      CanGoColumnar(opts) && !left.empty() && !right.empty()) {
+    auto columnar =
+        HashJoinColumnar(left_key, right_key, left, right, opts, scope);
+    if (columnar.ok()) return columnar;
+    CountIfEnabled(BatchFallbacksCounter(), 1);
+  }
   if (!UseParallel(opts, std::max(left.size(), right.size()))) {
     std::unordered_map<Value, std::vector<const Record*>, ValueHasher> build;
     build.reserve(right.size());
@@ -1238,6 +2043,141 @@ Status DriveRecord(const std::vector<FusedStep>& steps, std::size_t s,
   return Status::OK();
 }
 
+/// A fused-frame column: either a borrowed base-batch column or one computed
+/// by a Map step (owned). Project steps shuffle FrameCols by pointer — no
+/// column data moves until the final gather.
+struct FrameCol {
+  const ColumnData* ptr = nullptr;
+  std::shared_ptr<const ColumnData> owned;
+};
+
+/// Every step must have a columnar form: declarative filters narrow the
+/// selection, declarative maps compute fresh columns, projects reorder
+/// FrameCols. FlatMap produces a variable number of rows per row and has
+/// none.
+bool FusibleColumnar(const std::vector<FusedStep>& steps) {
+  for (const FusedStep& s : steps) {
+    switch (s.kind) {
+      case FusedStep::Kind::kFilter:
+        if (s.filter.expr == nullptr) return false;
+        break;
+      case FusedStep::Kind::kMap:
+        if (s.map.projection.empty()) return false;
+        break;
+      case FusedStep::Kind::kProject:
+        break;
+      case FusedStep::Kind::kFlatMap:
+        return false;
+    }
+  }
+  return true;
+}
+
+/// Drives base-batch rows [b, e) through the steps column-at-a-time and
+/// boxes the survivors into `out` — same records, same order, same errors
+/// as DriveRecord over each row in turn.
+Status DriveMorselColumnar(const std::vector<FusedStep>& steps,
+                           const Batch& base, std::size_t b, std::size_t e,
+                           std::vector<Record>& out) {
+  std::vector<FrameCol> frame;
+  frame.reserve(base.num_columns());
+  for (std::size_t c = 0; c < base.num_columns(); ++c) {
+    frame.push_back(FrameCol{&base.column(c), nullptr});
+  }
+  // Active rows: the dense range [dense_base, dense_base + dense_n) until
+  // the first filter, a selection vector of physical row ids afterwards. A
+  // Map step rebases the frame onto its dense output columns, so all frame
+  // columns always share one indexing domain.
+  bool dense = true;
+  std::size_t dense_base = b;
+  std::size_t dense_n = e - b;
+  std::vector<uint32_t> sel;
+  std::vector<const ColumnData*> ptrs;
+  auto view = [&]() {
+    ptrs.clear();
+    for (const FrameCol& f : frame) ptrs.push_back(f.ptr);
+    BatchView v;
+    v.cols = ptrs.data();
+    v.num_cols = ptrs.size();
+    if (dense) {
+      v.base = dense_base;
+      v.n = dense_n;
+    } else {
+      v.sel = sel.data();
+      v.n = sel.size();
+    }
+    return v;
+  };
+  for (const FusedStep& step : steps) {
+    switch (step.kind) {
+      case FusedStep::Kind::kFilter: {
+        const BatchView v = view();
+        std::vector<unsigned char> keep;
+        expr::EvalPredicateView(*step.filter.expr, v, &keep);
+        std::vector<uint32_t> next;
+        next.reserve(v.n);
+        for (std::size_t i = 0; i < v.n; ++i) {
+          if (keep[i]) next.push_back(static_cast<uint32_t>(v.row(i)));
+        }
+        sel = std::move(next);
+        dense = false;
+        break;
+      }
+      case FusedStep::Kind::kMap: {
+        const BatchView v = view();
+        std::vector<FrameCol> next;
+        next.reserve(step.map.projection.size());
+        for (const auto& fe : step.map.projection) {
+          auto col = std::make_shared<ColumnData>();
+          expr::EvalExprView(*fe, v, col.get());
+          next.push_back(FrameCol{col.get(), std::move(col)});
+        }
+        frame = std::move(next);
+        dense = true;
+        dense_base = 0;
+        dense_n = v.n;
+        sel.clear();
+        break;
+      }
+      case FusedStep::Kind::kProject: {
+        const std::size_t active = dense ? dense_n : sel.size();
+        if (active == 0) {
+          // No surviving rows reach this step, so the row path never runs
+          // its per-record arity check here; keep an empty frame.
+          frame.clear();
+          break;
+        }
+        for (int c : step.columns) {
+          if (static_cast<std::size_t>(c) >= frame.size()) {
+            return Status::OutOfRange(
+                "projection column " + std::to_string(c) +
+                " out of range for record of arity " +
+                std::to_string(frame.size()));
+          }
+        }
+        std::vector<FrameCol> next;
+        next.reserve(step.columns.size());
+        for (int c : step.columns) {
+          next.push_back(frame[static_cast<std::size_t>(c)]);
+        }
+        frame = std::move(next);
+        break;
+      }
+      case FusedStep::Kind::kFlatMap:
+        return Status::Internal("flat_map reached the columnar fused path");
+    }
+  }
+  const BatchView v = view();
+  for (std::size_t i = 0; i < v.n; ++i) {
+    const std::size_t row = v.row(i);
+    std::vector<Value> fields;
+    fields.reserve(frame.size());
+    for (const FrameCol& f : frame) fields.push_back(f.ptr->ValueAt(row));
+    out.push_back(Record(std::move(fields)));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<Dataset> FusedPipeline(const std::vector<FusedStep>& steps,
@@ -1247,6 +2187,34 @@ Result<Dataset> FusedPipeline(const std::vector<FusedStep>& steps,
   if (steps.empty()) {
     std::vector<Record> out(in.records());
     return Dataset(std::move(out));
+  }
+  // Fully declarative chains run columnar end-to-end: the input converts to
+  // a Batch once, filters narrow a selection vector, maps compute fresh
+  // columns, projects shuffle column pointers, and only the survivors box
+  // back to records at the tail of each morsel.
+  if (CanGoColumnar(opts) && FusibleColumnar(steps)) {
+    auto converted = Batch::FromDataset(in);
+    if (converted.ok()) {
+      const Batch& batch = *converted;
+      CountIfEnabled(RowsVectorizedCounter(), static_cast<int64_t>(in.size()));
+      if (!UseParallel(opts, in.size())) {
+        std::vector<Record> out;
+        out.reserve(in.size());
+        RHEEM_RETURN_IF_ERROR(
+            DriveMorselColumnar(steps, batch, 0, in.size(), out));
+        return Dataset(std::move(out));
+      }
+      const auto ranges = MorselRanges(in.size(), opts.morsel_size);
+      std::vector<std::vector<Record>> parts(ranges.size());
+      RHEEM_RETURN_IF_ERROR(RunMorsels(
+          opts, ranges, scope,
+          [&](std::size_t m, std::size_t b, std::size_t e) {
+            parts[m].reserve(e - b);
+            return DriveMorselColumnar(steps, batch, b, e, parts[m]);
+          }));
+      return ConcatMorsels(std::move(parts));
+    }
+    CountIfEnabled(BatchFallbacksCounter(), 1);
   }
   // Vector-of-records fast path: a prefix of declarative filters is ANDed
   // and evaluated column-at-a-time over the whole morsel, so only the
@@ -1297,6 +2265,109 @@ Result<Dataset> FusedPipeline(const std::vector<FusedStep>& steps,
         return drive_range(b, e, part);
       }));
   return ConcatMorsels(std::move(parts));
+}
+
+// ---------------------------------------------------------------------------
+// Batch-level kernels
+// ---------------------------------------------------------------------------
+
+Status FilterBatch(const PredicateUdf& udf, Batch* batch,
+                   const KernelOptions& opts) {
+  if (udf.expr == nullptr) {
+    return Status::Unsupported("FilterBatch needs a declarative predicate");
+  }
+  TimingScope scope(kIdFilter, batch->num_selected());
+  CountIfEnabled(RowsVectorizedCounter(),
+                 static_cast<int64_t>(batch->num_selected()));
+  std::vector<const ColumnData*> ptrs;
+  const BatchView view = batch->View(&ptrs);
+  const std::size_t n = view.n;
+  if (!UseParallel(opts, n)) {
+    std::vector<unsigned char> keep;
+    expr::EvalPredicateView(*udf.expr, view, &keep);
+    std::vector<uint32_t> sel;
+    sel.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (keep[i]) sel.push_back(static_cast<uint32_t>(view.row(i)));
+    }
+    batch->SetSelection(std::move(sel));
+    return Status::OK();
+  }
+  const auto ranges = MorselRanges(n, opts.morsel_size);
+  std::vector<std::vector<uint32_t>> parts(ranges.size());
+  RHEEM_RETURN_IF_ERROR(RunMorsels(
+      opts, ranges, scope, [&](std::size_t m, std::size_t b, std::size_t e) {
+        const BatchView v = SubView(view, b, e);
+        std::vector<unsigned char> keep;
+        expr::EvalPredicateView(*udf.expr, v, &keep);
+        auto& part = parts[m];
+        part.reserve(e - b);
+        for (std::size_t i = 0; i < v.n; ++i) {
+          if (keep[i]) part.push_back(static_cast<uint32_t>(v.row(i)));
+        }
+        return Status::OK();
+      }));
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<uint32_t> sel;
+  sel.reserve(total);
+  for (const auto& p : parts) sel.insert(sel.end(), p.begin(), p.end());
+  batch->SetSelection(std::move(sel));
+  return Status::OK();
+}
+
+Result<Batch> MapBatch(const MapUdf& udf, const Batch& in,
+                       const KernelOptions& opts) {
+  if (udf.projection.empty()) {
+    return Status::Unsupported("MapBatch needs a declarative projection");
+  }
+  const std::size_t n = in.num_selected();
+  TimingScope scope(kIdMap, n);
+  CountIfEnabled(RowsVectorizedCounter(), static_cast<int64_t>(n));
+  std::vector<const ColumnData*> ptrs;
+  const BatchView view = in.View(&ptrs);
+  const std::size_t ncols = udf.projection.size();
+  if (!UseParallel(opts, n)) {
+    std::vector<ColumnData> cols(ncols);
+    for (std::size_t j = 0; j < ncols; ++j) {
+      expr::EvalExprView(*udf.projection[j], view, &cols[j]);
+    }
+    return Batch(std::move(cols), n);
+  }
+  const auto ranges = MorselRanges(n, opts.morsel_size);
+  std::vector<std::vector<ColumnData>> parts(ranges.size());
+  RHEEM_RETURN_IF_ERROR(RunMorsels(
+      opts, ranges, scope, [&](std::size_t m, std::size_t b, std::size_t e) {
+        auto& part = parts[m];
+        part.resize(ncols);
+        const BatchView v = SubView(view, b, e);
+        for (std::size_t j = 0; j < ncols; ++j) {
+          expr::EvalExprView(*udf.projection[j], v, &part[j]);
+        }
+        return Status::OK();
+      }));
+  std::vector<ColumnData> cols(ncols);
+  std::size_t done = 0;
+  for (std::size_t m = 0; m < parts.size(); ++m) {
+    const std::size_t rows = ranges[m].second - ranges[m].first;
+    for (std::size_t j = 0; j < ncols; ++j) {
+      RHEEM_RETURN_IF_ERROR(AppendColumn(&cols[j], done, n, parts[m][j], rows));
+    }
+    done += rows;
+  }
+  return Batch(std::move(cols), n);
+}
+
+Result<Dataset> ReduceByKeyBatch(const KeyUdf& key, const ReduceUdf& reduce,
+                                 const Batch& in, const KernelOptions& opts) {
+  if (key.expr == nullptr) {
+    return Status::Unsupported("ReduceByKeyBatch needs a declarative key");
+  }
+  if (reduce.aggs.empty()) {
+    return Status::Unsupported("ReduceByKeyBatch needs an aggregate spec");
+  }
+  TimingScope scope(kIdReduceByKey, in.num_selected());
+  return GroupedAggregate(*key.expr, reduce.aggs, in, opts, scope);
 }
 
 }  // namespace kernels

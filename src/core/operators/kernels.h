@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/operators/descriptors.h"
+#include "data/batch.h"
 #include "data/dataset.h"
 
 namespace rheem {
@@ -36,8 +37,14 @@ namespace kernels {
 /// Config keys (read by KernelOptions::FromConfig):
 ///   kernels.parallel     (bool,  default true)  enable morsel parallelism
 ///   kernels.morsel_size  (int,   default 16384) records per morsel
+///   kernels.columnar     (bool,  default true)  allow columnar batch paths
 struct KernelOptions {
   bool parallel = true;
+  /// Allow eligible kernels to convert to a columnar Batch and execute
+  /// column-at-a-time (see docs/parallel_kernels.md for eligibility and the
+  /// row fallback rules). Orthogonal to `parallel`: the serial columnar
+  /// path is what the 1.5x single-thread bench gate measures.
+  bool columnar = true;
   std::size_t morsel_size = 16384;
   /// Pool for morsel execution; nullptr means DefaultThreadPool().
   ThreadPool* pool = nullptr;
@@ -50,6 +57,13 @@ struct KernelOptions {
     return o;
   }
 };
+
+/// Process-wide columnar master switch, initialized from the environment:
+/// RHEEM_FORCE_ROW=1 forces the row path everywhere (used by the fuzz
+/// differential to replay a plan on both engines). SetColumnarEnabled
+/// overrides it at runtime; both engines are byte-identical by contract.
+bool ColumnarEnabled();
+void SetColumnarEnabled(bool enabled);
 
 /// \brief Cumulative per-kernel timing counters (thread-safe, process-wide).
 ///
@@ -181,6 +195,37 @@ struct FusedStep {
 Result<Dataset> FusedPipeline(const std::vector<FusedStep>& steps,
                               const Dataset& in,
                               const KernelOptions& opts = {});
+
+// ---------------------------------------------------------------------------
+// Batch-level kernels
+// ---------------------------------------------------------------------------
+//
+// Operate directly on a columnar Batch with no Dataset conversion at either
+// end, so a caller that already holds batches pays the boundary cost exactly
+// once per pipeline. All are morsel-parallel under `opts` and byte-identical
+// (after ToDataset) to the corresponding row kernels. They require the
+// declarative UDF forms — a Batch has no records to feed a closure without
+// boxing, which is precisely what this API avoids; Unsupported otherwise.
+
+/// Narrows the batch's selection vector to the rows the declarative
+/// predicate accepts (in selection order). Columns are untouched.
+Status FilterBatch(const PredicateUdf& udf, Batch* batch,
+                   const KernelOptions& opts = {});
+
+/// Evaluates the declarative projection over the selected rows and returns a
+/// dense output batch (one column per projection expression, no selection).
+Result<Batch> MapBatch(const MapUdf& udf, const Batch& in,
+                       const KernelOptions& opts = {});
+
+/// Columnar grouped aggregation over the selected rows: requires a
+/// declarative key and a column-wise aggregate spec (ReduceUdf::aggs), and
+/// key/aggregate columns that meet the vectorization rules (no nulls,
+/// numeric aggregates, non-NaN keys) — Unsupported otherwise, so callers
+/// can fall back to the row kernel. Emits one record per key, sorted by key
+/// like the row ReduceByKey.
+Result<Dataset> ReduceByKeyBatch(const KeyUdf& key, const ReduceUdf& reduce,
+                                 const Batch& in,
+                                 const KernelOptions& opts = {});
 
 }  // namespace kernels
 }  // namespace rheem

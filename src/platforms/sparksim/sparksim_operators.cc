@@ -13,17 +13,10 @@
 namespace rheem {
 namespace sparksim {
 
-namespace {
-
-// Partitions are sparksim's parallelism unit: every kernel invoked inside a
-// scheduler task runs serially so the virtual cluster clock prices each
-// task's true CPU work (and no nested pool work hides from it).
-const kernels::KernelOptions& SerialOpts() {
-  static const kernels::KernelOptions opts = kernels::KernelOptions::Serial();
-  return opts;
-}
-
-}  // namespace
+// Partitions are sparksim's parallelism unit: `opts_` is forced serial at
+// construction so the virtual cluster clock prices each task's true CPU
+// work (and no nested pool work hides from it); only the columnar switch
+// passes through from platform config.
 
 Status RddWalker::RunOps(const std::vector<Operator*>& ops,
                          const RddBindings& external,
@@ -48,8 +41,8 @@ Status RddWalker::RunOps(const std::vector<Operator*>& ops,
       chain_span.AddTag("operators", static_cast<int64_t>(unit.ops.size()));
       chain_span.AddTag("tail", tail->name());
       RHEEM_ASSIGN_OR_RETURN(
-          Rdd out, MapPartitions(*in, [&steps](const Dataset& d, std::size_t) {
-            return kernels::FusedPipeline(steps, d, SerialOpts());
+          Rdd out, MapPartitions(*in, [this, &steps](const Dataset& d, std::size_t) {
+            return kernels::FusedPipeline(steps, d, opts_);
           }));
       results_[tail->id()] = std::move(out);
       if (metrics_ != nullptr) {
@@ -132,26 +125,26 @@ Result<Rdd> RddWalker::EvalOperator(const PhysicalOperator& op,
                                     " must be bound externally");
     case OpKind::kMap: {
       const auto& udf = static_cast<const MapOp&>(op).udf();
-      return MapPartitions(in0, [&udf](const Dataset& d, std::size_t) {
-        return kernels::Map(udf, d, SerialOpts());
+      return MapPartitions(in0, [this, &udf](const Dataset& d, std::size_t) {
+        return kernels::Map(udf, d, opts_);
       });
     }
     case OpKind::kFlatMap: {
       const auto& udf = static_cast<const FlatMapOp&>(op).udf();
-      return MapPartitions(in0, [&udf](const Dataset& d, std::size_t) {
-        return kernels::FlatMap(udf, d, SerialOpts());
+      return MapPartitions(in0, [this, &udf](const Dataset& d, std::size_t) {
+        return kernels::FlatMap(udf, d, opts_);
       });
     }
     case OpKind::kFilter: {
       const auto& udf = static_cast<const FilterOp&>(op).udf();
-      return MapPartitions(in0, [&udf](const Dataset& d, std::size_t) {
-        return kernels::Filter(udf, d, SerialOpts());
+      return MapPartitions(in0, [this, &udf](const Dataset& d, std::size_t) {
+        return kernels::Filter(udf, d, opts_);
       });
     }
     case OpKind::kProject: {
       const auto& cols = static_cast<const ProjectOp&>(op).columns();
-      return MapPartitions(in0, [&cols](const Dataset& d, std::size_t) {
-        return kernels::Project(cols, d, SerialOpts());
+      return MapPartitions(in0, [this, &cols](const Dataset& d, std::size_t) {
+        return kernels::Project(cols, d, opts_);
       });
     }
     case OpKind::kDistinct: {
@@ -174,7 +167,7 @@ Result<Rdd> RddWalker::EvalOperator(const PhysicalOperator& op,
       metrics_->sim_overhead_micros +=
           static_cast<int64_t>(scheduler_->overhead().collect_fixed_us);
       RHEEM_ASSIGN_OR_RETURN(Dataset sorted,
-                             kernels::SortByKey(key, in0.Gather(), SerialOpts()));
+                             kernels::SortByKey(key, in0.Gather(), opts_));
       return Rdd::Single(std::move(sorted));
     }
     case OpKind::kSample: {
@@ -189,9 +182,9 @@ Result<Rdd> RddWalker::EvalOperator(const PhysicalOperator& op,
       for (std::size_t i = 0; i < in0.num_partitions(); ++i) {
         offsets[i + 1] = offsets[i] + in0.partition(i).size();
       }
-      return MapPartitions(in0, [fraction, seed, offsets](const Dataset& d,
+      return MapPartitions(in0, [this, fraction, seed, offsets](const Dataset& d,
                                                           std::size_t i) {
-        return kernels::Sample(fraction, seed, d, SerialOpts(), offsets[i]);
+        return kernels::Sample(fraction, seed, d, opts_, offsets[i]);
       });
     }
     case OpKind::kZipWithId: {
@@ -201,22 +194,22 @@ Result<Rdd> RddWalker::EvalOperator(const PhysicalOperator& op,
         offsets[i + 1] = offsets[i] + static_cast<int64_t>(in0.partition(i).size());
       }
       next_zip_id_ = offsets.back();
-      return MapPartitions(in0, [&offsets](const Dataset& d, std::size_t i) {
-        return kernels::ZipWithId(offsets[i], d, SerialOpts());
+      return MapPartitions(in0, [this, &offsets](const Dataset& d, std::size_t i) {
+        return kernels::ZipWithId(offsets[i], d, opts_);
       });
     }
     case OpKind::kReduceByKey: {
       const auto& r = static_cast<const ReduceByKeyOp&>(op);
       // Map-side combine before the shuffle (Spark's combiner).
       RHEEM_ASSIGN_OR_RETURN(
-          Rdd combined, MapPartitions(in0, [&r](const Dataset& d, std::size_t) {
-            return kernels::ReduceByKey(r.key(), r.reduce(), d, SerialOpts());
+          Rdd combined, MapPartitions(in0, [this, &r](const Dataset& d, std::size_t) {
+            return kernels::ReduceByKey(r.key(), r.reduce(), d, opts_);
           }));
       RHEEM_ASSIGN_OR_RETURN(Rdd shuffled,
                              ShuffleByKey(combined, r.key(), num_partitions_,
                                           scheduler_, metrics_));
-      return MapPartitions(shuffled, [&r](const Dataset& d, std::size_t) {
-        return kernels::ReduceByKey(r.key(), r.reduce(), d, SerialOpts());
+      return MapPartitions(shuffled, [this, &r](const Dataset& d, std::size_t) {
+        return kernels::ReduceByKey(r.key(), r.reduce(), d, opts_);
       });
     }
     case OpKind::kGroupByKey: {
@@ -224,24 +217,24 @@ Result<Rdd> RddWalker::EvalOperator(const PhysicalOperator& op,
       RHEEM_ASSIGN_OR_RETURN(Rdd shuffled,
                              ShuffleByKey(in0, g.key(), num_partitions_,
                                           scheduler_, metrics_));
-      return MapPartitions(shuffled, [&g](const Dataset& d, std::size_t) {
+      return MapPartitions(shuffled, [this, &g](const Dataset& d, std::size_t) {
         return g.algorithm() == GroupByAlgorithm::kHash
-                   ? kernels::HashGroupBy(g.key(), g.group(), d, SerialOpts())
+                   ? kernels::HashGroupBy(g.key(), g.group(), d, opts_)
                    : kernels::SortGroupBy(g.key(), g.group(), d,
-                                          SerialOpts());
+                                          opts_);
       });
     }
     case OpKind::kGlobalReduce: {
       const auto& r = static_cast<const GlobalReduceOp&>(op);
       RHEEM_ASSIGN_OR_RETURN(
-          Rdd partials, MapPartitions(in0, [&r](const Dataset& d, std::size_t) {
-            return kernels::GlobalReduce(r.reduce(), d, SerialOpts());
+          Rdd partials, MapPartitions(in0, [this, &r](const Dataset& d, std::size_t) {
+            return kernels::GlobalReduce(r.reduce(), d, opts_);
           }));
       metrics_->sim_overhead_micros +=
           static_cast<int64_t>(scheduler_->overhead().collect_fixed_us);
       RHEEM_ASSIGN_OR_RETURN(Dataset final_value,
                              kernels::GlobalReduce(r.reduce(), partials.Gather(),
-                                                   SerialOpts()));
+                                                   opts_));
       return Rdd::Single(std::move(final_value));
     }
     case OpKind::kCount: {
@@ -256,9 +249,9 @@ Result<Rdd> RddWalker::EvalOperator(const PhysicalOperator& op,
       const Dataset broadcast = inputs[1]->Gather();
       metrics_->sim_overhead_micros +=
           static_cast<int64_t>(scheduler_->overhead().collect_fixed_us);
-      return MapPartitions(in0, [&udf, &broadcast](const Dataset& d,
+      return MapPartitions(in0, [this, &udf, &broadcast](const Dataset& d,
                                                    std::size_t) {
-        return kernels::BroadcastMap(udf, d, broadcast, SerialOpts());
+        return kernels::BroadcastMap(udf, d, broadcast, opts_);
       });
     }
     case OpKind::kJoin: {
@@ -273,7 +266,7 @@ Result<Rdd> RddWalker::EvalOperator(const PhysicalOperator& op,
       return MapPartitions(left, [&](const Dataset& d, std::size_t i) {
         return j.algorithm() == JoinAlgorithm::kHash
                    ? kernels::HashJoin(j.left_key(), j.right_key(), d,
-                                       right.partition(i), SerialOpts())
+                                       right.partition(i), opts_)
                    : kernels::SortMergeJoin(j.left_key(), j.right_key(), d,
                                             right.partition(i));
       });

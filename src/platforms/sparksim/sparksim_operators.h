@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "core/mapping/platform.h"
+#include "core/operators/kernels.h"
 #include "core/operators/physical_ops.h"
 #include "platforms/sparksim/rdd.h"
 #include "platforms/sparksim/scheduler.h"
@@ -31,10 +32,19 @@ using RddBindings = std::unordered_map<int, const Rdd*>;
 /// key-based operators are not fusable.
 class RddWalker {
  public:
+  /// `task_opts` governs the kernels invoked inside scheduler tasks. It must
+  /// stay serial (partitions are the parallelism unit; nested pool work would
+  /// hide from the virtual cluster clock) but may enable the columnar batch
+  /// path, which speeds a task up without adding threads.
   RddWalker(std::size_t num_partitions, TaskScheduler* scheduler,
-            ExecutionMetrics* metrics, bool fuse = false)
+            ExecutionMetrics* metrics, bool fuse = false,
+            kernels::KernelOptions task_opts = kernels::KernelOptions::Serial())
       : num_partitions_(num_partitions == 0 ? 1 : num_partitions),
-        scheduler_(scheduler), metrics_(metrics), fuse_(fuse) {}
+        scheduler_(scheduler), metrics_(metrics), fuse_(fuse),
+        opts_(task_opts) {
+    opts_.parallel = false;  // enforced: tasks never nest a pool
+    opts_.pool = nullptr;
+  }
 
   /// Operators whose ids appear in `preserve` keep an addressable Rdd
   /// result (stage outputs, loop sinks) and are never fused away.
@@ -62,6 +72,7 @@ class RddWalker {
   TaskScheduler* scheduler_;
   ExecutionMetrics* metrics_;
   bool fuse_ = false;
+  kernels::KernelOptions opts_ = kernels::KernelOptions::Serial();
   std::map<int, Rdd> results_;
   int64_t next_zip_id_ = 0;
 };

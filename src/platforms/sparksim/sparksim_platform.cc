@@ -89,6 +89,7 @@ SparkSimPlatform::SparkSimPlatform(const Config& config)
       task_retries_(static_cast<int>(
           config.GetInt("sparksim.task_retries", 3).ValueOr(3))),
       fuse_(config.GetBool("kernels.fuse", true).ValueOr(true)),
+      columnar_(config.GetBool("kernels.columnar", true).ValueOr(true)),
       cost_model_(SparkParams(config, overhead_, pool_->num_threads())) {
   mappings_ = SparkMappings();
 }
@@ -102,7 +103,10 @@ Result<std::vector<Dataset>> SparkSimPlatform::ExecuteStage(
       static_cast<int64_t>(overhead_.job_submit_us + overhead_.stage_us);
 
   sparksim::TaskScheduler scheduler(pool_.get(), overhead_, task_retries_);
-  sparksim::RddWalker walker(num_partitions_, &scheduler, metrics, fuse_);
+  kernels::KernelOptions task_opts = kernels::KernelOptions::Serial();
+  task_opts.columnar = columnar_;
+  sparksim::RddWalker walker(num_partitions_, &scheduler, metrics, fuse_,
+                             task_opts);
 
   // Parallelize incoming boundary datasets.
   std::vector<std::unique_ptr<sparksim::Rdd>> bound;

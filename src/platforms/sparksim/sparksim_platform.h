@@ -51,6 +51,7 @@ class SparkSimPlatform : public Platform {
   std::size_t num_partitions_;
   int task_retries_;
   bool fuse_ = true;
+  bool columnar_ = true;
   BasicCostModel cost_model_;
 };
 

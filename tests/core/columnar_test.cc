@@ -1,0 +1,364 @@
+// Columnar engine suite: Dataset <-> Batch round-trips (including the cases
+// conversion must reject), selection-vector correctness at every size around
+// the morsel boundary, batch-kernel vs row-kernel parity, and shared
+// read-only batch use from many threads (runs under TSan in CI:
+// RHEEM_SANITIZE=thread builds this binary).
+#include "data/batch.h"
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/expr/expr.h"
+#include "core/operators/kernels.h"
+#include "data/schema.h"
+
+namespace rheem {
+namespace {
+
+constexpr std::size_t kMorsel = 256;
+
+kernels::KernelOptions Par() {
+  kernels::KernelOptions opts;
+  opts.parallel = true;
+  opts.morsel_size = kMorsel;
+  return opts;
+}
+
+std::vector<std::size_t> BoundarySizes() {
+  return {0, 1, kMorsel - 1, kMorsel, 10 * kMorsel + 7};
+}
+
+void ExpectSameDataset(const Dataset& a, const Dataset& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.records()[i], b.records()[i]) << "row " << i;
+  }
+}
+
+void ExpectRoundTrip(const Dataset& in) {
+  auto batch = Batch::FromDataset(in);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ExpectSameDataset(in, batch->ToDataset());
+}
+
+// --- round-trips ------------------------------------------------------------
+
+TEST(BatchRoundTrip, Empty) {
+  ExpectRoundTrip(Dataset());
+  auto batch = Batch::FromDataset(Dataset());
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->num_rows(), 0u);
+  EXPECT_EQ(batch->num_columns(), 0u);
+}
+
+TEST(BatchRoundTrip, SingleRow) {
+  ExpectRoundTrip(Dataset(std::vector<Record>{
+      Record({Value(int64_t{42}), Value(2.5), Value("hi"), Value(true)})}));
+}
+
+TEST(BatchRoundTrip, NullsEverywhere) {
+  std::vector<Record> rows;
+  rows.push_back(Record({Value::Null(), Value(int64_t{1})}));
+  rows.push_back(Record({Value(int64_t{2}), Value::Null()}));
+  rows.push_back(Record({Value::Null(), Value::Null()}));
+  ExpectRoundTrip(Dataset(std::move(rows)));
+}
+
+TEST(BatchRoundTrip, AllNullColumn) {
+  std::vector<Record> rows;
+  for (int i = 0; i < 5; ++i) {
+    rows.push_back(Record({Value::Null(), Value(int64_t{i})}));
+  }
+  Dataset in(std::move(rows));
+  auto batch = Batch::FromDataset(in);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->column(0).type, ValueType::kNull);
+  ExpectSameDataset(in, batch->ToDataset());
+}
+
+TEST(BatchRoundTrip, MixedTypesAcrossColumns) {
+  std::vector<Record> rows;
+  for (int64_t i = 0; i < 100; ++i) {
+    rows.push_back(Record({Value(i), Value(i * 0.5), Value(i % 2 == 0),
+                           Value("s" + std::to_string(i)),
+                           i % 3 == 0 ? Value::Null() : Value(i * 7)}));
+  }
+  ExpectRoundTrip(Dataset(std::move(rows)));
+}
+
+TEST(BatchRoundTrip, NonUtf8AndEmbeddedNulBytes) {
+  std::string raw;
+  raw.push_back('\0');
+  raw.push_back('\xff');
+  raw.push_back('\xfe');
+  raw.push_back('a');
+  raw.push_back('\0');
+  std::vector<Record> rows;
+  rows.push_back(Record({Value(raw)}));
+  rows.push_back(Record({Value(std::string())}));  // empty string != null
+  rows.push_back(Record({Value(std::string(3, '\xc0'))}));
+  Dataset in(std::move(rows));
+  auto batch = Batch::FromDataset(in);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->column(0).StringAt(0), std::string_view(raw));
+  EXPECT_EQ(batch->column(0).StringAt(1), std::string_view());
+  ExpectSameDataset(in, batch->ToDataset());
+}
+
+TEST(BatchRoundTrip, RejectsRaggedArity) {
+  std::vector<Record> rows;
+  rows.push_back(Record({Value(int64_t{1}), Value(int64_t{2})}));
+  rows.push_back(Record({Value(int64_t{3})}));
+  EXPECT_FALSE(Batch::FromDataset(Dataset(std::move(rows))).ok());
+}
+
+TEST(BatchRoundTrip, RejectsMixedIntDoubleColumn) {
+  std::vector<Record> rows;
+  rows.push_back(Record({Value(int64_t{1})}));
+  rows.push_back(Record({Value(1.5)}));
+  EXPECT_FALSE(Batch::FromDataset(Dataset(std::move(rows))).ok());
+}
+
+TEST(BatchRoundTrip, PrefixConversionTreatsShortRecordsAsNull) {
+  std::vector<Record> rows;
+  rows.push_back(Record({Value(int64_t{1}), Value(int64_t{10})}));
+  rows.push_back(Record({Value(int64_t{2})}));  // no column 1
+  auto batch = Batch::FromDatasetPrefix(Dataset(std::move(rows)), 2);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->column(1).ValueAt(0), Value(int64_t{10}));
+  EXPECT_TRUE(batch->column(1).IsNull(1));
+}
+
+TEST(BatchRoundTrip, ValidateAgainstSchema) {
+  std::vector<Record> rows;
+  rows.push_back(Record({Value(int64_t{1}), Value("x")}));
+  auto batch = Batch::FromDataset(Dataset(std::move(rows)));
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch
+                  ->ValidateAgainst(Schema::Of({{"id", ValueType::kInt64},
+                                                {"name", ValueType::kString}}))
+                  .ok());
+  EXPECT_FALSE(batch
+                   ->ValidateAgainst(Schema::Of({{"id", ValueType::kString},
+                                                 {"name", ValueType::kString}}))
+                   .ok());
+  EXPECT_FALSE(
+      batch->ValidateAgainst(Schema::Of({{"id", ValueType::kInt64}})).ok());
+}
+
+// --- selection vectors at morsel boundaries ---------------------------------
+
+Dataset MakeInput(std::size_t n) {
+  std::vector<Record> rows;
+  rows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rows.push_back(Record({Value(static_cast<int64_t>(i % 17)),
+                           Value(static_cast<int64_t>(i))}));
+  }
+  return Dataset(std::move(rows));
+}
+
+PredicateUdf KeepOddSecond() {
+  auto udf = expr::MakePredicateUdf(
+      expr::Ne(expr::Mod(expr::Field(1, ValueType::kInt64), expr::Lit(2)),
+               expr::Lit(0)));
+  EXPECT_TRUE(udf.ok());
+  return std::move(udf).ValueOrDie();
+}
+
+TEST(BatchSelection, FilterBatchMatchesRowFilterAtEverySize) {
+  const PredicateUdf pred = KeepOddSecond();
+  for (std::size_t n : BoundarySizes()) {
+    const Dataset in = MakeInput(n);
+    auto expected = kernels::Filter(pred, in, kernels::KernelOptions::Serial());
+    ASSERT_TRUE(expected.ok());
+    for (const bool parallel : {false, true}) {
+      auto batch = Batch::FromDataset(in);
+      ASSERT_TRUE(batch.ok());
+      kernels::KernelOptions opts =
+          parallel ? Par() : kernels::KernelOptions::Serial();
+      ASSERT_TRUE(kernels::FilterBatch(pred, &*batch, opts).ok());
+      SCOPED_TRACE("n=" + std::to_string(n) +
+                   " parallel=" + std::to_string(parallel));
+      ExpectSameDataset(*expected, batch->ToDataset());
+      // The selection lists physical row ids in ascending (= input) order.
+      if (batch->has_selection()) {
+        const auto& sel = batch->selection();
+        for (std::size_t i = 1; i < sel.size(); ++i) {
+          ASSERT_LT(sel[i - 1], sel[i]);
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchSelection, RefilteringNarrowsExistingSelection) {
+  const Dataset in = MakeInput(10 * kMorsel + 7);
+  auto batch = Batch::FromDataset(in);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE(kernels::FilterBatch(KeepOddSecond(), &*batch, Par()).ok());
+  const std::size_t after_first = batch->num_selected();
+  // Second predicate over the already-narrowed batch: i % 3 == 0.
+  auto second = expr::MakePredicateUdf(
+      expr::Eq(expr::Mod(expr::Field(1, ValueType::kInt64), expr::Lit(3)),
+               expr::Lit(0)));
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(kernels::FilterBatch(*second, &*batch, Par()).ok());
+  ASSERT_LT(batch->num_selected(), after_first);
+  const Dataset narrowed = batch->ToDataset();
+  for (const Record& r : narrowed.records()) {
+    const int64_t v = r[1].ToInt64Or(0);
+    EXPECT_NE(v % 2, 0);
+    EXPECT_EQ(v % 3, 0);
+  }
+}
+
+TEST(BatchSelection, MapBatchMatchesRowMapAtEverySize) {
+  auto map = expr::MakeMapUdf(
+      {expr::Field(0, ValueType::kInt64),
+       expr::Add(expr::Field(1, ValueType::kInt64), expr::Lit(1000))});
+  ASSERT_TRUE(map.ok());
+  for (std::size_t n : BoundarySizes()) {
+    const Dataset in = MakeInput(n);
+    auto expected = kernels::Map(*map, in, kernels::KernelOptions::Serial());
+    ASSERT_TRUE(expected.ok());
+    for (const bool parallel : {false, true}) {
+      auto batch = Batch::FromDataset(in);
+      ASSERT_TRUE(batch.ok());
+      kernels::KernelOptions opts =
+          parallel ? Par() : kernels::KernelOptions::Serial();
+      auto out = kernels::MapBatch(*map, *batch, opts);
+      ASSERT_TRUE(out.ok()) << out.status().ToString();
+      SCOPED_TRACE("n=" + std::to_string(n) +
+                   " parallel=" + std::to_string(parallel));
+      ExpectSameDataset(*expected, out->ToDataset());
+    }
+  }
+}
+
+TEST(BatchSelection, ReduceByKeyBatchMatchesRowReduce) {
+  auto key = expr::MakeKeyUdf(expr::Field(0, ValueType::kInt64));
+  ASSERT_TRUE(key.ok());
+  auto reduce = MakeAggReduceUdf({{0, AggKind::kFirst}, {1, AggKind::kSum}});
+  ASSERT_TRUE(reduce.ok());
+  for (std::size_t n : BoundarySizes()) {
+    const Dataset in = MakeInput(n);
+    auto expected = kernels::ReduceByKey(*key, *reduce, in,
+                                         kernels::KernelOptions::Serial());
+    ASSERT_TRUE(expected.ok());
+    for (const bool parallel : {false, true}) {
+      auto batch = Batch::FromDataset(in);
+      ASSERT_TRUE(batch.ok());
+      kernels::KernelOptions opts =
+          parallel ? Par() : kernels::KernelOptions::Serial();
+      auto out = kernels::ReduceByKeyBatch(*key, *reduce, *batch, opts);
+      ASSERT_TRUE(out.ok()) << out.status().ToString();
+      SCOPED_TRACE("n=" + std::to_string(n) +
+                   " parallel=" + std::to_string(parallel));
+      ExpectSameDataset(*expected, *out);
+    }
+  }
+}
+
+// --- row/columnar engine parity through the Dataset kernels -----------------
+
+TEST(ColumnarParity, DatasetKernelsIdenticalWithColumnarOnAndOff) {
+  auto map = expr::MakeMapUdf(
+      {expr::Field(0, ValueType::kInt64),
+       expr::Mod(expr::Mul(expr::Field(1, ValueType::kInt64), expr::Lit(3)),
+                 expr::Lit(97))});
+  ASSERT_TRUE(map.ok());
+  const PredicateUdf pred = KeepOddSecond();
+  auto key = expr::MakeKeyUdf(expr::Field(0, ValueType::kInt64));
+  ASSERT_TRUE(key.ok());
+  auto reduce = MakeAggReduceUdf({{0, AggKind::kFirst}, {1, AggKind::kSum}});
+  ASSERT_TRUE(reduce.ok());
+  for (std::size_t n : BoundarySizes()) {
+    const Dataset in = MakeInput(n);
+    kernels::KernelOptions row = Par();
+    row.columnar = false;
+    kernels::KernelOptions col = Par();
+    col.columnar = true;
+    auto run = [&](const kernels::KernelOptions& opts) -> Dataset {
+      auto mapped = kernels::Map(*map, in, opts);
+      EXPECT_TRUE(mapped.ok());
+      auto narrowed = kernels::Filter(pred, *mapped, opts);
+      EXPECT_TRUE(narrowed.ok());
+      auto reduced = kernels::ReduceByKey(*key, *reduce, *narrowed, opts);
+      EXPECT_TRUE(reduced.ok());
+      return *reduced;
+    };
+    ExpectSameDataset(run(row), run(col));
+  }
+}
+
+TEST(ColumnarParity, RuntimeSwitchForcesRowPath) {
+  // SetColumnarEnabled(false) must leave results identical (it only changes
+  // the engine); restore the entry state afterwards.
+  const bool was = kernels::ColumnarEnabled();
+  const Dataset in = MakeInput(kMorsel + 3);
+  const PredicateUdf pred = KeepOddSecond();
+  kernels::SetColumnarEnabled(true);
+  auto on = kernels::Filter(pred, in, Par());
+  kernels::SetColumnarEnabled(false);
+  auto off = kernels::Filter(pred, in, Par());
+  kernels::SetColumnarEnabled(was);
+  ASSERT_TRUE(on.ok());
+  ASSERT_TRUE(off.ok());
+  ExpectSameDataset(*off, *on);
+}
+
+// --- shared read-only batches across threads (TSan) -------------------------
+
+TEST(ColumnarThreading, EightThreadsShareReadOnlyBatch) {
+  const Dataset in = MakeInput(10 * kMorsel + 7);
+  auto shared = Batch::FromDataset(in);
+  ASSERT_TRUE(shared.ok());
+  const Batch& batch = *shared;
+  const PredicateUdf pred = KeepOddSecond();
+  auto map = expr::MakeMapUdf(
+      {expr::Field(0, ValueType::kInt64),
+       expr::Add(expr::Field(1, ValueType::kInt64), expr::Lit(7))});
+  ASSERT_TRUE(map.ok());
+
+  auto expected_filter =
+      kernels::Filter(pred, in, kernels::KernelOptions::Serial());
+  ASSERT_TRUE(expected_filter.ok());
+  auto expected_map =
+      kernels::Map(*map, in, kernels::KernelOptions::Serial());
+  ASSERT_TRUE(expected_map.ok());
+
+  std::vector<std::thread> threads;
+  std::vector<int> failures(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int iter = 0; iter < 4; ++iter) {
+        // Each thread filters its own copy-on-write view: the shared batch's
+        // columns are only ever read.
+        Batch local = batch;
+        if (!kernels::FilterBatch(pred, &local,
+                                  kernels::KernelOptions::Serial())
+                 .ok() ||
+            local.num_selected() != expected_filter->size()) {
+          failures[t] = 1;
+          return;
+        }
+        auto out =
+            kernels::MapBatch(*map, batch, kernels::KernelOptions::Serial());
+        if (!out.ok() || out->num_rows() != expected_map->size()) {
+          failures[t] = 1;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < 8; ++t) EXPECT_EQ(failures[t], 0) << "thread " << t;
+}
+
+}  // namespace
+}  // namespace rheem

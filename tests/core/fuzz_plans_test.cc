@@ -17,6 +17,7 @@
 
 #include "common/rng.h"
 #include "core/api/data_quanta.h"
+#include "core/operators/kernels.h"
 #include "core/service/job_server.h"
 #include "random_plans.h"
 
@@ -190,6 +191,54 @@ TEST_P(FuzzPlansTest, DeclarativeClosureDifferentialAgree) {
           << "declarative build on 'relsim' failed (not a mere "
           << "expressibility skip); replay with RHEEM_FUZZ_SEED=" << seed
           << ": " << rel.status().ToString();
+    }
+  }
+}
+
+// Batch-vs-row differential mode: the same declarative plan is executed with
+// the columnar batch kernels enabled and with the process-wide columnar
+// switch forced off (every kernel takes its row-at-a-time path, exactly what
+// RHEEM_FORCE_ROW=1 does at startup). The row build on javasim is the
+// reference; the columnar build must be bag-equal on javasim, the free
+// optimizer, and sparksim. Declarative pipelines are used because they are
+// the ones the vectorized evaluator and columnar aggregates actually
+// accelerate; the generator's agg step exercises the columnar ReduceByKey
+// accumulators specifically. 16 shards x 24 rounds = 384 plans.
+TEST_P(FuzzPlansTest, ColumnarRowDifferentialAgree) {
+  uint64_t replay = 0;
+  const bool has_replay = EnvReplaySeed(&replay);
+  Rng rng(static_cast<uint64_t>(GetParam()) * 32452843 + 11 + EnvSeedOffset());
+  const int rounds = has_replay ? 1 : 24;
+  const bool entry_columnar = kernels::ColumnarEnabled();
+  for (int round = 0; round < rounds; ++round) {
+    const uint64_t seed = has_replay ? replay : rng.NextU64();
+    auto run = [&](bool columnar, const std::string& force) {
+      kernels::SetColumnarEnabled(columnar);
+      Rng tape(seed);
+      RheemJob job(&ctx_);
+      job.options().force_platform = force;
+      DataQuanta q = job.LoadCollection(RandomPairs(&tape, 200));
+      q = testutil::RandomExprPipeline(&tape, &job, q, /*declarative=*/true);
+      auto out = q.Collect();
+      kernels::SetColumnarEnabled(entry_columnar);
+      return out;
+    };
+    auto reference = run(/*columnar=*/false, "javasim");
+    ASSERT_TRUE(reference.ok())
+        << "row reference failed; replay with RHEEM_FUZZ_SEED=" << seed
+        << ": " << reference.status().ToString();
+    const auto expect = AsMultiset(*reference);
+
+    for (const char* force : {"javasim", "", "sparksim"}) {
+      auto got = run(/*columnar=*/true, force);
+      ASSERT_TRUE(got.ok())
+          << "columnar build on '" << force
+          << "' failed; replay with RHEEM_FUZZ_SEED=" << seed << ": "
+          << got.status().ToString();
+      EXPECT_EQ(AsMultiset(*got), expect)
+          << "columnar build on '" << force
+          << "' diverged from row reference; replay with RHEEM_FUZZ_SEED="
+          << seed;
     }
   }
 }

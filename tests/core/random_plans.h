@@ -4,6 +4,7 @@
 #ifndef RHEEM_TESTS_CORE_RANDOM_PLANS_H_
 #define RHEEM_TESTS_CORE_RANDOM_PLANS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
@@ -15,6 +16,7 @@
 #include "common/rng.h"
 #include "core/api/data_quanta.h"
 #include "core/expr/expr.h"
+#include "core/operators/descriptors.h"
 
 namespace rheem {
 namespace testutil {
@@ -289,13 +291,14 @@ inline GeneratedPredicate RandomPredicateExpr(Rng* rng, int depth) {
 /// (seed, declarative) pair fully determines the plan — and the two modes of
 /// one seed must be bag-equal on every platform. Step kinds are chosen so the
 /// declarative rewrites actually fire: conjunctive filters (split + reorder),
-/// filters above pass-through projections (push below map), and post-join
-/// filters over left-side fields (push into join input).
+/// filters above pass-through projections (push below map), post-join
+/// filters over left-side fields (push into join input), and declarative
+/// key aggregations (the kernels' columnar reduce path).
 inline DataQuanta RandomExprPipeline(Rng* rng, RheemJob* job, DataQuanta q,
                                      bool declarative) {
   const int steps = 1 + static_cast<int>(rng->NextBounded(5));
   for (int s = 0; s < steps; ++s) {
-    switch (rng->NextBounded(5)) {
+    switch (rng->NextBounded(6)) {
       case 0: {  // random predicate filter
         const GeneratedPredicate p = RandomPredicateExpr(rng, 2);
         q = declarative ? q.Filter(p.tree) : q.Filter(p.fn);
@@ -337,6 +340,33 @@ inline DataQuanta RandomExprPipeline(Rng* rng, RheemJob* job, DataQuanta q,
           q = q.Map([c](const Record& r) {
             return Record({r[0], Value(r[1].ToInt64Or(0) + c)});
           });
+        }
+        break;
+      }
+      case 4: {  // key aggregation: declarative agg spec vs hand-written combine.
+        // The declarative form goes through MakeAggReduceUdf (fingerprint
+        // folding + the kernels' columnar accumulators); the closure twin is
+        // straight int64 arithmetic. Both see only int64 non-null values, so
+        // CombineAgg's widening/null branches never fire and the two must
+        // agree value-for-value.
+        const uint64_t agg = rng->NextBounded(3);
+        if (declarative) {
+          const AggKind kind = agg == 0   ? AggKind::kSum
+                               : agg == 1 ? AggKind::kMin
+                                          : AggKind::kMax;
+          q = q.ReduceByKey(expr::Field(0, ValueType::kInt64),
+                            {{0, AggKind::kFirst}, {1, kind}});
+        } else {
+          q = q.ReduceByKey(
+              [](const Record& r) { return r[0]; },
+              [agg](const Record& a, const Record& b) {
+                const int64_t x = a[1].ToInt64Or(0);
+                const int64_t y = b[1].ToInt64Or(0);
+                const int64_t v = agg == 0   ? x + y
+                                  : agg == 1 ? std::min(x, y)
+                                             : std::max(x, y);
+                return Record({a[0], Value(v)});
+              });
         }
         break;
       }
