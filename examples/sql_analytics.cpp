@@ -1,0 +1,135 @@
+// SQL over attached storage, end to end: two CSV-backed tables, queried with
+// SELECT / JOIN / GROUP BY through the core SQL frontend. The compiled plans
+// are ordinary logical plans — the optimizer's pushdown, platform choice, and
+// plan cache all apply with no SQL-specific code. Submitting the same query
+// twice (in two spellings) demonstrates that cache fingerprints fold the
+// compiled plan, not the SQL text.
+//
+// Build: cmake --build build --target sql_analytics
+// Run:   ./build/examples/sql_analytics
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/api/context.h"
+#include "core/service/job_server.h"
+#include "core/sql/sql.h"
+#include "storage/csv_store.h"
+#include "storage/storage_plan.h"
+
+using namespace rheem;  // NOLINT
+
+namespace {
+
+Dataset Orders() {
+  std::vector<Record> rows;
+  const char* regions[] = {"north", "south", "east", "west"};
+  for (int i = 0; i < 400; ++i) {
+    rows.push_back(Record({
+        Value(static_cast<int64_t>(i)),            // order id
+        Value(static_cast<int64_t>(i % 23)),       // customer id
+        Value(std::string(regions[i % 4])),        // region
+        Value(10.0 + (i * 7 % 90)),                // amount
+    }));
+  }
+  return Dataset(std::move(rows),
+                 Schema::Of({{"id", ValueType::kInt64},
+                             {"customer", ValueType::kInt64},
+                             {"region", ValueType::kString},
+                             {"amount", ValueType::kDouble}}));
+}
+
+Dataset Customers() {
+  std::vector<Record> rows;
+  for (int i = 0; i < 23; ++i) {
+    rows.push_back(Record({
+        Value(static_cast<int64_t>(i)),
+        Value("customer-" + std::to_string(i)),
+        Value(static_cast<int64_t>(i % 3)),  // tier
+    }));
+  }
+  return Dataset(std::move(rows),
+                 Schema::Of({{"id", ValueType::kInt64},
+                             {"name", ValueType::kString},
+                             {"tier", ValueType::kInt64}}));
+}
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  RheemContext ctx;
+  if (auto st = ctx.RegisterDefaultPlatforms(); !st.ok()) return Fail(st);
+
+  // --- storage: two real CSV files, schemas persisted in the header --------
+  storage::StorageManager manager;
+  (void)manager.RegisterBackend(
+      std::make_unique<storage::CsvStore>("/tmp/rheem_sql_example"));
+  auto* backend = manager.Backend("csv-files").ValueOrDie();
+  if (auto st = backend->Put("orders", Orders()); !st.ok()) return Fail(st);
+  if (auto st = backend->Put("customers", Customers()); !st.ok())
+    return Fail(st);
+  if (auto st = ctx.AttachStorage(&manager); !st.ok()) return Fail(st);
+
+  // --- a filter + projection -----------------------------------------------
+  auto big = ctx.Sql(
+      "SELECT id, amount * 1.08 AS gross FROM orders "
+      "WHERE amount > 80 AND region <> 'west' "
+      "ORDER BY gross DESC LIMIT 5");
+  if (!big.ok()) return Fail(big.status());
+  std::printf("--- top gross orders: compiled plan ---\n%s",
+              big->PlanText().c_str());
+  auto big_rows = big->Collect();
+  if (!big_rows.ok()) return Fail(big_rows.status());
+  for (const Record& r : big_rows->records()) {
+    std::printf("  %s\n", r.ToString().c_str());
+  }
+
+  // --- JOIN + GROUP BY ------------------------------------------------------
+  auto per_tier = ctx.Sql(
+      "SELECT c.tier, SUM(o.amount) AS revenue, COUNT(*) AS orders "
+      "FROM orders AS o JOIN customers AS c ON o.customer = c.id "
+      "GROUP BY c.tier ORDER BY revenue DESC");
+  if (!per_tier.ok()) return Fail(per_tier.status());
+  std::printf("\n--- revenue per customer tier: compiled plan ---\n%s",
+              per_tier->PlanText().c_str());
+  auto tier_rows = per_tier->Collect();
+  if (!tier_rows.ok()) return Fail(tier_rows.status());
+  for (const Record& r : tier_rows->records()) {
+    std::printf("  %s\n", r.ToString().c_str());
+  }
+
+  // --- the plan cache sees through spelling --------------------------------
+  // Submit one query twice through the JobServer: once as written, once
+  // re-spelled (case, whitespace). The second submission hits the plan
+  // cache because fingerprints fold the compiled plan, never the SQL text.
+  sql::StorageCatalog catalog;
+  const auto before = ctx.job_server().stats().cache;
+  auto first = ctx.SubmitSql(
+      "SELECT region, SUM(amount) AS total FROM orders GROUP BY region",
+      catalog);
+  if (!first.ok()) return Fail(first.status());
+  if (auto r = first->Wait(); !r.ok()) return Fail(r.status());
+  auto second = ctx.SubmitSql(
+      "select REGION,\n  sum(AMOUNT) as total\nfrom ORDERS group by REGION",
+      catalog);
+  if (!second.ok()) return Fail(second.status());
+  auto r2 = second->Wait();
+  if (!r2.ok()) return Fail(r2.status());
+  const auto after = ctx.job_server().stats().cache;
+  std::printf("\n--- plan cache across two spellings of one query ---\n");
+  std::printf("  hits before: %lld  after: %lld (the re-spelled query %s)\n",
+              static_cast<long long>(before.hits),
+              static_cast<long long>(after.hits),
+              after.hits > before.hits ? "hit the cache" : "missed");
+  for (const Record& r : r2->output.records()) {
+    std::printf("  %s\n", r.ToString().c_str());
+  }
+  return after.hits > before.hits ? 0 : 1;
+}

@@ -94,4 +94,16 @@ std::string FormatBytes(int64_t bytes) {
   return buf;
 }
 
+std::string SqlQuoteString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '\'';
+  for (char c : s) {
+    if (c == '\'') out += '\'';
+    out += c;
+  }
+  out += '\'';
+  return out;
+}
+
 }  // namespace rheem

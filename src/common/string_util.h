@@ -31,6 +31,13 @@ std::string FormatDuration(double seconds);
 /// Renders bytes in binary units ("1.5 MiB").
 std::string FormatBytes(int64_t bytes);
 
+/// Renders `s` as a SQL single-quoted string literal with embedded quotes
+/// doubled ("O'Brien" -> 'O''Brien'). Bytes outside ASCII pass through
+/// untouched, so UTF-8 (or arbitrary binary) payloads round-trip through the
+/// SQL frontends byte-for-byte. Shared by the core SQL dialect and relsim's
+/// SQL generation so the two never drift on quoting.
+std::string SqlQuoteString(std::string_view s);
+
 }  // namespace rheem
 
 #endif  // RHEEM_COMMON_STRING_UTIL_H_

@@ -53,6 +53,11 @@ Result<JobHandle> RheemContext::Submit(const Plan& logical_plan,
   return job_server().Submit(logical_plan, options);
 }
 
+Result<JobHandle> RheemContext::SubmitSql(const std::string& query,
+                                          sql::Catalog& catalog) {
+  return job_server().SubmitSql(query, catalog);
+}
+
 Status RheemContext::RegisterDefaultPlatforms() {
   RHEEM_ASSIGN_OR_RETURN(
       std::string list,

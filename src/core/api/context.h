@@ -27,6 +27,11 @@ class StorageManager;  // storage/storage_plan.h
 class HotDataBuffer;   // storage/hot_buffer.h
 }  // namespace storage
 
+namespace sql {
+class Catalog;       // core/sql/catalog.h
+class SqlStatement;  // core/sql/sql.h
+}  // namespace sql
+
 /// Per-job execution knobs consumed by RheemContext::Compile/Execute.
 struct ExecutionOptions {
   /// Non-empty: bypass platform choice and run everything here (the
@@ -90,6 +95,20 @@ class RheemContext {
 
   /// The context's serving layer (lazily created on first use).
   JobServer& job_server();
+
+  /// Compiles a SQL SELECT into a sealed logical plan (core/sql). Tables
+  /// resolve through `catalog`, or — in the one-argument form — through the
+  /// attached storage layer, where each table is a storage dataset stored
+  /// with a schema. Errors carry 1-based "line:col" token positions.
+  /// Callers include core/sql/sql.h for SqlStatement.
+  Result<sql::SqlStatement> Sql(const std::string& query);
+  Result<sql::SqlStatement> Sql(const std::string& query,
+                                sql::Catalog& catalog);
+
+  /// Async convenience mirroring Submit(): compiles `query` and submits the
+  /// plan to this context's JobServer, which keeps the compiled statement
+  /// alive until the job resolves — SQL text is a first-class submission.
+  Result<JobHandle> SubmitSql(const std::string& query, sql::Catalog& catalog);
 
   /// Attaches a storage layer to this context and fronts it with a hot-data
   /// buffer (capacity `storage.hot_buffer_capacity_bytes`, default 256 MiB):

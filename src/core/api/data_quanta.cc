@@ -38,6 +38,8 @@ Result<DataQuanta> RheemJob::LoadFromStorage(const std::string& dataset) {
   return LoadCollection(*data);
 }
 
+int DataQuanta::node_id() const { return node_ != nullptr ? node_->id() : -1; }
+
 GenericLogicalOp* DataQuanta::Append(
     OpKind kind, std::vector<GenericLogicalOp*> inputs) const {
   std::vector<Operator*> ins(inputs.begin(), inputs.end());
@@ -246,6 +248,20 @@ DataQuanta DataQuanta::TopK(int64_t k, std::function<Value(const Record&)> key,
                             bool ascending) const {
   auto* node = Append(OpKind::kTopK, {node_});
   node->key = KeyUdf{std::move(key), UdfMeta()};
+  node->topk = k;
+  node->ascending = ascending;
+  return DataQuanta(job_, node);
+}
+
+DataQuanta DataQuanta::TopK(int64_t k, expr::ExprPtr key,
+                            bool ascending) const {
+  auto udf = expr::MakeKeyUdf(std::move(key));
+  if (!udf.ok()) {
+    job_->RecordBuildError(udf.status());
+    return *this;
+  }
+  auto* node = Append(OpKind::kTopK, {node_});
+  node->key = std::move(udf).ValueOrDie();
   node->topk = k;
   node->ascending = ascending;
   return DataQuanta(job_, node);

@@ -35,6 +35,11 @@ class DataQuanta {
 
   bool valid() const { return job_ != nullptr && node_ != nullptr; }
 
+  /// Plan-operator id of the node this handle points at (-1 when invalid).
+  /// Lets callers that annotate plan printouts — e.g. the SQL frontend
+  /// labelling source nodes with table names — address the operator.
+  int node_id() const;
+
   // --- unary transforms ---------------------------------------------------
   DataQuanta Map(std::function<Record(const Record&)> fn,
                  UdfMeta meta = UdfMeta()) const;
@@ -116,6 +121,11 @@ class DataQuanta {
   /// The k records with the smallest (ascending) or largest keys, in order.
   DataQuanta TopK(int64_t k, std::function<Value(const Record&)> key,
                   bool ascending = true) const;
+  /// Declarative TopK: orders by a key expression, whose canonical encoding
+  /// is folded into plan fingerprints (closure keys are assumed by shape).
+  /// `k = INT64_MAX` means "no limit" — a full ORDER BY; the kernels clamp
+  /// to the input size. This is what SQL ORDER BY [LIMIT] compiles to.
+  DataQuanta TopK(int64_t k, expr::ExprPtr key, bool ascending = true) const;
 
   // --- iteration --------------------------------------------------------------
   /// Runs `body` for `iterations` rounds. `*this` is the initial state and

@@ -1,5 +1,7 @@
 #include "core/api/logical_nodes.h"
 
+#include <limits>
+
 #include "core/expr/expr.h"
 #include "core/optimizer/fingerprint.h"
 
@@ -137,6 +139,13 @@ std::string GenericLogicalOp::FingerprintToken() const {
       break;
     case OpKind::kTopK:
       t += "|k=" + std::to_string(topk) + (ascending ? "|asc" : "|desc");
+      // Declarative order keys fold their canonical encoding: two SQL
+      // queries differing only in the ORDER BY expression must never share
+      // a plan-cache entry.
+      if (key.expr != nullptr) t += "|key=" + expr::Canonical(*key.expr);
+      break;
+    case OpKind::kSort:
+      if (key.expr != nullptr) t += "|key=" + expr::Canonical(*key.expr);
       break;
     case OpKind::kRepeat:
     case OpKind::kDoWhile:
@@ -154,6 +163,56 @@ std::string GenericLogicalOp::FingerprintToken() const {
       break;
   }
   return t;
+}
+
+std::string GenericLogicalOp::Detail() const {
+  switch (kind_) {
+    case OpKind::kFilter:
+      if (predicate.expr != nullptr) {
+        return "filter=" + expr::Pretty(*predicate.expr);
+      }
+      return "";
+    case OpKind::kMap: {
+      if (map.projection.empty()) return "";
+      std::string out = "map=[";
+      for (std::size_t i = 0; i < map.projection.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += expr::Pretty(*map.projection[i]);
+      }
+      return out + "]";
+    }
+    case OpKind::kJoin:
+      if (key.expr == nullptr || key2.expr == nullptr) return "";
+      return "join=(" + expr::Pretty(*key.expr) + ", " +
+             expr::Pretty(*key2.expr) + ")";
+    case OpKind::kThetaJoin:
+      if (theta.pair_expr != nullptr) {
+        return "theta=" + expr::Pretty(*theta.pair_expr);
+      }
+      return "";
+    case OpKind::kReduceByKey: {
+      if (key.expr == nullptr || reduce.aggs.empty()) return "";
+      std::string out = "key=" + expr::Pretty(*key.expr) + " aggs=[";
+      for (std::size_t i = 0; i < reduce.aggs.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += std::string(AggKindToString(reduce.aggs[i].kind)) + "($" +
+               std::to_string(reduce.aggs[i].column) + ")";
+      }
+      return out + "]";
+    }
+    case OpKind::kTopK: {
+      // INT64_MAX is the "no LIMIT" sentinel (full ORDER BY).
+      std::string out =
+          (topk == std::numeric_limits<int64_t>::max()
+               ? std::string("k=all")
+               : "k=" + std::to_string(topk)) +
+          (ascending ? " asc" : " desc");
+      if (key.expr != nullptr) out += " key=" + expr::Pretty(*key.expr);
+      return out;
+    }
+    default:
+      return "";
+  }
 }
 
 double GenericLogicalOp::CostHint() const {

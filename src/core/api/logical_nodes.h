@@ -57,6 +57,13 @@ class GenericLogicalOp : public LogicalOperator {
   /// cache never conflates two differently-parameterized queries.
   std::string FingerprintToken() const override;
 
+  /// Human-readable rendering of the declarative payload (predicate /
+  /// projection / key expressions, aggregate specs, TopK bounds), or "" when
+  /// the operator carries only opaque closures. Used to annotate logical
+  /// plan printouts (SQL EXPLAIN, golden tests) the same way
+  /// DeclarativeDetail annotates physical plans.
+  std::string Detail() const;
+
   // --- payload slots (filled by the DataQuanta builder) -------------------
   Dataset source_data;
   MapUdf map;

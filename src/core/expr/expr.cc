@@ -1,7 +1,10 @@
 #include "core/expr/expr.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <string_view>
 
 namespace rheem {
 namespace expr {
@@ -281,6 +284,22 @@ int Precedence(const Expr& e) {
   return 7;
 }
 
+/// Shortest %g rendering that strtod's back to the exact same double, with a
+/// ".0" suffix on integral values so the text re-parses as a double, not an
+/// int64. This is what lets Pretty output round-trip through the SQL
+/// expression grammar to a tree with an identical canonical encoding.
+void AppendRoundTripDouble(double d, std::string* out) {
+  char buf[40];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  *out += buf;
+  if (std::string_view(buf).find_first_of(".eEnN") == std::string_view::npos) {
+    *out += ".0";
+  }
+}
+
 void AppendPretty(const Expr& e, int parent_prec, std::string* out) {
   const int prec = Precedence(e);
   const bool parens = prec < parent_prec;
@@ -292,7 +311,24 @@ void AppendPretty(const Expr& e, int parent_prec, std::string* out) {
       break;
     case ExprKind::kConst:
       if (e.constant.type() == ValueType::kString) {
-        *out += "\"" + e.constant.string_unchecked() + "\"";
+        // Same escape style as the canonical encoding: " and \ get a
+        // backslash, every other byte passes through (UTF-8 safe).
+        *out += '"';
+        for (char c : e.constant.string_unchecked()) {
+          if (c == '"' || c == '\\') *out += '\\';
+          *out += c;
+        }
+        *out += '"';
+      } else if (e.constant.type() == ValueType::kDouble) {
+        // Negative constants keep their own parentheses: "a-(-5.0)" would
+        // otherwise print as "a--5.0", whose "--" reads as a SQL comment.
+        const bool neg = std::signbit(e.constant.double_unchecked());
+        if (neg) *out += "(";
+        AppendRoundTripDouble(e.constant.double_unchecked(), out);
+        if (neg) *out += ")";
+      } else if (e.constant.type() == ValueType::kInt64 &&
+                 e.constant.int64_unchecked() < 0) {
+        *out += "(" + e.constant.ToString() + ")";
       } else {
         *out += e.constant.ToString();
       }
@@ -303,9 +339,13 @@ void AppendPretty(const Expr& e, int parent_prec, std::string* out) {
       AppendPretty(*e.right, prec + 1, out);
       break;
     case ExprKind::kCompare:
+      // The right operand binds one tighter so a right-nested comparison
+      // keeps its parentheses: comparisons parse left-associative, and
+      // (unlike AND/OR chains) the canonical encoding does not flatten
+      // them, so "a==(b==c)" must not print as "a==b==c".
       AppendPretty(*e.left, prec, out);
       *out += CompareSymbol(e.compare);
-      AppendPretty(*e.right, prec, out);
+      AppendPretty(*e.right, prec + 1, out);
       break;
     case ExprKind::kLogical:
       AppendPretty(*e.left, prec, out);

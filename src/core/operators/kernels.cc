@@ -1915,7 +1915,9 @@ Result<Dataset> TopK(const KeyUdf& key, int64_t k, bool ascending,
     return a.index < b.index;  // earlier input wins ties
   };
   std::vector<Entry> heap;
-  heap.reserve(static_cast<std::size_t>(k));
+  // k may be a "no limit" sentinel (e.g. SQL ORDER BY without LIMIT compiles
+  // to TopK with k = INT64_MAX); never reserve beyond the input size.
+  heap.reserve(std::min<std::size_t>(static_cast<std::size_t>(k), in.size()));
   for (std::size_t i = 0; i < in.size(); ++i) {
     Entry e{key.fn(in.at(i)), i};
     if (heap.size() < static_cast<std::size_t>(k)) {

@@ -7,6 +7,7 @@
 #include "common/trace.h"
 #include "core/executor/executor.h"
 #include "core/optimizer/fingerprint.h"
+#include "core/sql/sql.h"
 
 namespace rheem {
 namespace {
@@ -95,8 +96,33 @@ JobServer::~JobServer() { Shutdown(/*drain=*/true); }
 
 Result<JobHandle> JobServer::Submit(const Plan& logical_plan,
                                     JobOptions options) {
+  return SubmitImpl(logical_plan, nullptr, std::move(options));
+}
+
+Result<JobHandle> JobServer::Submit(std::shared_ptr<const Plan> logical_plan,
+                                    JobOptions options) {
+  if (logical_plan == nullptr) {
+    return Status::InvalidArgument("null plan submitted");
+  }
+  const Plan& plan = *logical_plan;
+  return SubmitImpl(plan, std::move(logical_plan), std::move(options));
+}
+
+Result<JobHandle> JobServer::SubmitSql(const std::string& query,
+                                       sql::Catalog& catalog,
+                                       JobOptions options) {
+  RHEEM_ASSIGN_OR_RETURN(sql::SqlStatement stmt,
+                         sql::Compile(ctx_, &catalog, query));
+  auto owner = std::make_shared<sql::SqlStatement>(std::move(stmt));
+  return SubmitImpl(owner->plan(), owner, std::move(options));
+}
+
+Result<JobHandle> JobServer::SubmitImpl(const Plan& logical_plan,
+                                        std::shared_ptr<const void> plan_owner,
+                                        JobOptions options) {
   auto rec = std::make_shared<internal::JobRecord>();
   rec->plan = &logical_plan;
+  rec->plan_owner = std::move(plan_owner);
   rec->options = std::move(options);
   rec->submitted_at = std::chrono::steady_clock::now();
   if (rec->options.deadline.count() > 0) {

@@ -17,6 +17,10 @@
 
 namespace rheem {
 
+namespace sql {
+class Catalog;  // core/sql/catalog.h
+}  // namespace sql
+
 /// Lifecycle of a submitted job.
 enum class JobState {
   kQueued,     // admitted, waiting for a worker
@@ -51,6 +55,10 @@ namespace internal {
 struct JobRecord {
   uint64_t id = 0;
   const Plan* plan = nullptr;  // not owned; must outlive completion
+  /// Optional: set for owning submissions (shared-plan / SQL), keeping
+  /// `plan` alive until the record dies even if the caller drops its
+  /// handle. Null for borrowed-plan submissions.
+  std::shared_ptr<const void> plan_owner;
   JobOptions options;
   std::chrono::steady_clock::time_point submitted_at{};
   std::chrono::steady_clock::time_point deadline{};
@@ -147,6 +155,19 @@ class JobServer {
   /// alive until the returned handle resolves.
   Result<JobHandle> Submit(const Plan& logical_plan, JobOptions options = {});
 
+  /// Owning submission: the server shares ownership of the plan, so the
+  /// caller may drop every reference immediately (fire-and-forget).
+  Result<JobHandle> Submit(std::shared_ptr<const Plan> logical_plan,
+                           JobOptions options = {});
+
+  /// SQL text as a first-class submission: compiles `query` against
+  /// `catalog` (core/sql) on the server's context and admits the plan,
+  /// keeping the compiled statement alive until the job resolves. Compile
+  /// errors (with "line:col" positions) are returned synchronously;
+  /// admission control applies as for Submit().
+  Result<JobHandle> SubmitSql(const std::string& query, sql::Catalog& catalog,
+                              JobOptions options = {});
+
   /// Cancels every queued and running job (their handles resolve with
   /// Cancelled). The server keeps accepting new work.
   void CancelAll();
@@ -160,6 +181,9 @@ class JobServer {
   ResultCache& result_cache() { return result_cache_; }
 
  private:
+  Result<JobHandle> SubmitImpl(const Plan& logical_plan,
+                               std::shared_ptr<const void> plan_owner,
+                               JobOptions options);
   void WorkerLoop();
   Result<ExecutionResult> RunJob(
       const std::shared_ptr<internal::JobRecord>& job);

@@ -1,0 +1,159 @@
+#include "core/sql/analyzer.h"
+
+#include <cctype>
+
+namespace rheem {
+namespace sql {
+
+namespace {
+
+std::string UpperCopy(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+// Column lookup is case-insensitive, like identifiers everywhere else in
+// the dialect: an exact match wins, otherwise the first case-folded match.
+int CiIndexOf(const Schema& schema, const std::string& name) {
+  auto exact = schema.IndexOf(name);
+  if (exact.ok()) return exact.ValueOrDie();
+  const std::string want = UpperCopy(name);
+  for (int i = 0; i < static_cast<int>(schema.num_fields()); ++i) {
+    if (UpperCopy(schema.field(i).name) == want) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+void Scope::AddTable(std::string name, Schema schema) {
+  ScopeTable t;
+  t.name = std::move(name);
+  t.offset = arity();
+  combined_ = tables_.empty() ? schema : Schema::Concat(combined_, schema);
+  t.schema = std::move(schema);
+  tables_.push_back(std::move(t));
+}
+
+Result<std::pair<int, ValueType>> Scope::Resolve(const SqlExpr& ref) const {
+  if (ref.kind == SqlExprKind::kPositional) {
+    if (ref.position < 0 || ref.position >= arity()) {
+      return ErrorAt(ref.tok, "field $" + std::to_string(ref.position) +
+                                  " out of range (row has " +
+                                  std::to_string(arity()) + " fields)");
+    }
+    return std::make_pair(ref.position, combined_.field(ref.position).type);
+  }
+  if (!ref.qualifier.empty()) {
+    const std::string want = UpperCopy(ref.qualifier);
+    for (const ScopeTable& t : tables_) {
+      if (UpperCopy(t.name) != want) continue;
+      const int local = CiIndexOf(t.schema, ref.name);
+      if (local < 0) {
+        return ErrorAt(ref.tok, "no column '" + ref.name + "' in table '" +
+                                    t.name + "'");
+      }
+      return std::make_pair(t.offset + local, t.schema.field(local).type);
+    }
+    return ErrorAt(ref.tok, "unknown table '" + ref.qualifier + "'");
+  }
+  // Unqualified: unique match across the visible tables.
+  int found = -1;
+  ValueType type = ValueType::kNull;
+  for (const ScopeTable& t : tables_) {
+    const int local = CiIndexOf(t.schema, ref.name);
+    if (local < 0) continue;
+    if (found >= 0) {
+      return ErrorAt(ref.tok, "ambiguous column '" + ref.name +
+                                  "'; qualify it with a table name");
+    }
+    found = t.offset + local;
+    type = t.schema.field(local).type;
+  }
+  if (found >= 0) return std::make_pair(found, type);
+  // Fall back to the combined schema, which reaches join-suffixed names
+  // like "v_r" that no single table schema contains.
+  const int i = CiIndexOf(combined_, ref.name);
+  if (i >= 0) return std::make_pair(i, combined_.field(i).type);
+  return ErrorAt(ref.tok, "unknown column '" + ref.name + "'");
+}
+
+bool ContainsAggregate(const SqlExpr& e) {
+  if (e.kind == SqlExprKind::kAggregate) return true;
+  if (e.left != nullptr && ContainsAggregate(*e.left)) return true;
+  if (e.right != nullptr && ContainsAggregate(*e.right)) return true;
+  return false;
+}
+
+Result<expr::ExprPtr> BuildOperator(const SqlExpr& e, expr::ExprPtr left,
+                                    expr::ExprPtr right) {
+  expr::ExprPtr node;
+  if (e.kind == SqlExprKind::kUnary) {
+    node = expr::Not(std::move(left));
+  } else {
+    const std::string& op = e.name;
+    expr::ExprPtr l = std::move(left), r = std::move(right);
+    if (op == "+") node = expr::Add(std::move(l), std::move(r));
+    else if (op == "-") node = expr::Sub(std::move(l), std::move(r));
+    else if (op == "*") node = expr::Mul(std::move(l), std::move(r));
+    else if (op == "/") node = expr::Div(std::move(l), std::move(r));
+    else if (op == "%") node = expr::Mod(std::move(l), std::move(r));
+    else if (op == "=" || op == "==") node = expr::Eq(std::move(l), std::move(r));
+    else if (op == "!=" || op == "<>") node = expr::Ne(std::move(l), std::move(r));
+    else if (op == "<") node = expr::Lt(std::move(l), std::move(r));
+    else if (op == "<=") node = expr::Le(std::move(l), std::move(r));
+    else if (op == ">") node = expr::Gt(std::move(l), std::move(r));
+    else if (op == ">=") node = expr::Ge(std::move(l), std::move(r));
+    else if (op == "AND") node = expr::And(std::move(l), std::move(r));
+    else if (op == "OR") node = expr::Or(std::move(l), std::move(r));
+    else return ErrorAt(e.tok, "unsupported operator '" + op + "'");
+  }
+  auto check = expr::TypeCheck(*node);
+  if (!check.ok()) return ErrorAt(e.tok, check.status().message());
+  return node;
+}
+
+Result<expr::ExprPtr> BindExpr(const SqlExpr& e, const Scope& scope) {
+  switch (e.kind) {
+    case SqlExprKind::kColumn:
+    case SqlExprKind::kPositional: {
+      RHEEM_ASSIGN_OR_RETURN(auto resolved, scope.Resolve(e));
+      // Use the schema's spelling, not the query's: "AGE" binds to "age".
+      const std::string& name = scope.combined().field(resolved.first).name;
+      auto f = expr::Field(resolved.first, resolved.second, name);
+      auto check = expr::TypeCheck(*f);
+      if (!check.ok()) {
+        // E.g. a column whose declared type the IR cannot carry (null, list).
+        return ErrorAt(e.tok, check.status().message());
+      }
+      return f;
+    }
+    case SqlExprKind::kLiteral:
+      if (e.literal.is_null()) {
+        return ErrorAt(e.tok,
+                       "NULL literals are not supported: expressions are "
+                       "checked with non-null static types");
+      }
+      return expr::Lit(e.literal);
+    case SqlExprKind::kUnary: {
+      RHEEM_ASSIGN_OR_RETURN(expr::ExprPtr inner, BindExpr(*e.left, scope));
+      return BuildOperator(e, std::move(inner), nullptr);
+    }
+    case SqlExprKind::kBinary: {
+      RHEEM_ASSIGN_OR_RETURN(expr::ExprPtr l, BindExpr(*e.left, scope));
+      RHEEM_ASSIGN_OR_RETURN(expr::ExprPtr r, BindExpr(*e.right, scope));
+      return BuildOperator(e, std::move(l), std::move(r));
+    }
+    case SqlExprKind::kAggregate:
+      return ErrorAt(e.tok, std::string(AggFuncName(e.agg)) +
+                                " is an aggregate and is not allowed here");
+  }
+  return ErrorAt(e.tok, "unsupported expression");
+}
+
+}  // namespace sql
+}  // namespace rheem

@@ -1,0 +1,78 @@
+#ifndef RHEEM_CORE_SQL_ANALYZER_H_
+#define RHEEM_CORE_SQL_ANALYZER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/expr/expr.h"
+#include "core/sql/ast.h"
+#include "data/schema.h"
+
+namespace rheem {
+namespace sql {
+
+/// InvalidArgument prefixed with the token's 1-based "line:col" — the one
+/// error shape every stage of the frontend (lexer, parser, analyzer,
+/// compiler) reports, so callers and tests can rely on positions.
+inline Status ErrorAt(const Token& t, const std::string& msg) {
+  return Status::InvalidArgument(t.Pos() + ": " + msg);
+}
+
+/// One table visible to name resolution: its binding name (alias, or the
+/// table's own name when unaliased) and the offset of its first column in
+/// the combined row a join chain produces.
+struct ScopeTable {
+  std::string name;
+  Schema schema;
+  int offset = 0;
+};
+
+/// Name-resolution scope for one SELECT level: the FROM table plus every
+/// joined table, left to right. Column references resolve to absolute field
+/// indices in the concatenated row.
+class Scope {
+ public:
+  void AddTable(std::string name, Schema schema);
+
+  int arity() const { return static_cast<int>(combined_.num_fields()); }
+  const std::vector<ScopeTable>& tables() const { return tables_; }
+
+  /// Left-to-right concatenation of the table schemas with join-style "_r"
+  /// suffixing of duplicate names — the schema of the combined row.
+  const Schema& combined() const { return combined_; }
+
+  /// Resolves a kColumn or kPositional reference to (absolute field index,
+  /// field type). Unknown tables/columns, ambiguous unqualified names, and
+  /// out-of-range positions report the reference's token position.
+  Result<std::pair<int, ValueType>> Resolve(const SqlExpr& ref) const;
+
+ private:
+  std::vector<ScopeTable> tables_;
+  Schema combined_;
+};
+
+/// True when the tree contains an aggregate call at any depth.
+bool ContainsAggregate(const SqlExpr& e);
+
+/// Builds the typed node for an operator SqlExpr (kUnary NOT / kBinary)
+/// over already-bound children and type-checks it, reporting failures at
+/// `e.tok`. Exposed so the plan compiler can rebuild grouped select items
+/// whose children bind against the post-aggregation row instead of a scope.
+Result<expr::ExprPtr> BuildOperator(const SqlExpr& e, expr::ExprPtr left,
+                                    expr::ExprPtr right);
+
+/// Binds a parsed expression against `scope`, producing a typed core
+/// expression (core/expr). Each operator node is type-checked as it is
+/// built, so type errors carry the position of the operator that failed.
+/// NULL literals and aggregate calls are rejected here — the former because
+/// the expression IR is checked with non-null static types, the latter
+/// because grouped items are compiled by the plan compiler, not bound
+/// directly.
+Result<expr::ExprPtr> BindExpr(const SqlExpr& e, const Scope& scope);
+
+}  // namespace sql
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_SQL_ANALYZER_H_

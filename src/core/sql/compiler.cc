@@ -1,0 +1,363 @@
+#include "core/sql/compiler.h"
+
+#include <limits>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/expr/expr.h"
+#include "core/operators/descriptors.h"
+#include "core/sql/analyzer.h"
+
+namespace rheem {
+namespace sql {
+
+namespace {
+
+/// A compiled FROM/JOIN operand: its dataflow, schema, and the name column
+/// references resolve against (the alias, or the table's own name).
+struct FromTable {
+  DataQuanta quanta;
+  Schema schema;
+  std::string name;
+};
+
+Result<CompiledQuery> CompileSelectImpl(RheemJob* job, Catalog* catalog,
+                                        const SelectStmt& stmt,
+                                        std::map<int, std::string>* table_ops);
+
+Result<FromTable> CompileTableRef(RheemJob* job, Catalog* catalog,
+                                  const TableRef& ref,
+                                  std::map<int, std::string>* table_ops) {
+  if (ref.subquery != nullptr) {
+    RHEEM_ASSIGN_OR_RETURN(
+        CompiledQuery sub,
+        CompileSelectImpl(job, catalog, *ref.subquery, table_ops));
+    return FromTable{std::move(sub.quanta), std::move(sub.schema),
+                     ref.alias.empty() ? "_subquery" : ref.alias};
+  }
+  auto handle = catalog->Load(job, ref.name);
+  if (!handle.ok()) return ErrorAt(ref.tok, handle.status().message());
+  FromTable t{std::move(handle.ValueOrDie().quanta),
+              std::move(handle.ValueOrDie().schema),
+              ref.alias.empty() ? ref.name : ref.alias};
+  (*table_ops)[t.quanta.node_id()] = ref.name;
+  return t;
+}
+
+bool FieldsAllBelow(const expr::Expr& e, int bound) {
+  std::set<int> fields;
+  expr::CollectFields(e, &fields);
+  return fields.empty() || *fields.rbegin() < bound;
+}
+
+bool FieldsAllAtOrAbove(const expr::Expr& e, int bound) {
+  std::set<int> fields;
+  expr::CollectFields(e, &fields);
+  return fields.empty() || *fields.begin() >= bound;
+}
+
+bool HasFields(const expr::Expr& e) { return expr::MaxFieldIndex(e) >= 0; }
+
+/// True when `c` is an equality whose sides partition cleanly into a
+/// left-row key and a right-row key; fills the keys (right re-based to the
+/// right row). `need_fields` restricts to equalities that actually read
+/// both rows — the first pass, so `ON 1 = 1 AND l.k = r.k` hashes on the
+/// real key instead of a constant.
+bool AsEquiKeys(const expr::ExprPtr& c, int left_arity, bool need_fields,
+                expr::ExprPtr* left_key, expr::ExprPtr* right_key) {
+  if (c->kind != expr::ExprKind::kCompare ||
+      c->compare != expr::CompareKind::kEq) {
+    return false;
+  }
+  const expr::ExprPtr& a = c->left;
+  const expr::ExprPtr& b = c->right;
+  if (need_fields && (!HasFields(*a) || !HasFields(*b))) return false;
+  if (FieldsAllBelow(*a, left_arity) && FieldsAllAtOrAbove(*b, left_arity)) {
+    *left_key = a;
+    *right_key = expr::ShiftFields(b, -left_arity);
+    return true;
+  }
+  if (FieldsAllBelow(*b, left_arity) && FieldsAllAtOrAbove(*a, left_arity)) {
+    *left_key = b;
+    *right_key = expr::ShiftFields(a, -left_arity);
+    return true;
+  }
+  return false;
+}
+
+/// The output column name of a select item: explicit alias, plain column
+/// name, or the item's source text.
+std::string ItemName(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr != nullptr && item.expr->kind == SqlExprKind::kColumn) {
+    return item.expr->name;
+  }
+  return item.text;
+}
+
+/// Accumulates the pre-aggregation projection and the AggSpec list while
+/// grouped select items are rewritten onto the post-aggregation row
+/// (column 0 = group key, column i = specs[i] over pre[i]).
+struct AggState {
+  const Scope* scope = nullptr;
+  std::string group_canonical;
+  ValueType group_type = ValueType::kNull;
+  std::string group_name;
+  std::vector<expr::ExprPtr> pre;
+  std::vector<AggSpec> specs;
+  std::map<std::string, int> interned;
+
+  int Intern(AggKind kind, expr::ExprPtr arg) {
+    std::string key =
+        std::string(AggKindToString(kind)) + "|" + expr::Canonical(*arg);
+    auto it = interned.find(key);
+    if (it != interned.end()) return it->second;
+    const int column = static_cast<int>(pre.size());
+    pre.push_back(std::move(arg));
+    specs.push_back(AggSpec{column, kind});
+    interned.emplace(std::move(key), column);
+    return column;
+  }
+};
+
+Result<expr::ExprPtr> RewriteGrouped(const SqlExpr& e, AggState* st) {
+  if (e.kind == SqlExprKind::kAggregate) {
+    if (e.agg == AggFunc::kCount) {
+      if (!e.agg_star) {
+        return ErrorAt(e.tok,
+                       "COUNT over an expression is not supported (the "
+                       "expression IR has no null-skipping); use COUNT(*)");
+      }
+      // COUNT(*) is SUM of the constant 1 per row.
+      const int col = st->Intern(AggKind::kSum, expr::Lit(int64_t{1}));
+      return expr::Field(col, ValueType::kInt64);
+    }
+    if (e.left == nullptr || ContainsAggregate(*e.left)) {
+      return ErrorAt(e.tok, "nested aggregates are not supported");
+    }
+    RHEEM_ASSIGN_OR_RETURN(expr::ExprPtr arg, BindExpr(*e.left, *st->scope));
+    const ValueType arg_type = expr::TypeCheck(*arg).ValueOrDie();
+    if ((e.agg == AggFunc::kSum || e.agg == AggFunc::kAvg) &&
+        arg_type != ValueType::kInt64 && arg_type != ValueType::kDouble) {
+      return ErrorAt(e.tok, std::string(AggFuncName(e.agg)) +
+                                " requires a numeric argument, got " +
+                                ValueTypeToString(arg_type));
+    }
+    if (e.agg == AggFunc::kAvg) {
+      // AVG = SUM * 1.0 / COUNT: the multiplication widens an integer sum
+      // to double, giving SQL's fractional average. Groups are never empty,
+      // so the division cannot hit zero.
+      const int sum_col = st->Intern(AggKind::kSum, arg);
+      const int cnt_col = st->Intern(AggKind::kSum, expr::Lit(int64_t{1}));
+      return expr::Div(
+          expr::Mul(expr::Field(sum_col, arg_type), expr::Lit(1.0)),
+          expr::Field(cnt_col, ValueType::kInt64));
+    }
+    const AggKind kind = e.agg == AggFunc::kSum   ? AggKind::kSum
+                         : e.agg == AggFunc::kMin ? AggKind::kMin
+                                                  : AggKind::kMax;
+    const int col = st->Intern(kind, arg);
+    return expr::Field(col, arg_type);
+  }
+  if (!ContainsAggregate(e)) {
+    RHEEM_ASSIGN_OR_RETURN(expr::ExprPtr bound, BindExpr(e, *st->scope));
+    if (expr::Canonical(*bound) == st->group_canonical) {
+      return expr::Field(0, st->group_type, st->group_name);
+    }
+    if (expr::MaxFieldIndex(*bound) < 0) return bound;  // constant subtree
+    if (e.kind != SqlExprKind::kBinary && e.kind != SqlExprKind::kUnary) {
+      return ErrorAt(e.tok, "'" + e.tok.raw +
+                                "' must appear in GROUP BY or inside an "
+                                "aggregate");
+    }
+    // Fall through: one of this operator's children may still match the
+    // group expression (e.g. `k + 1` grouped by `k`).
+  }
+  if (e.kind == SqlExprKind::kBinary) {
+    RHEEM_ASSIGN_OR_RETURN(expr::ExprPtr l, RewriteGrouped(*e.left, st));
+    RHEEM_ASSIGN_OR_RETURN(expr::ExprPtr r, RewriteGrouped(*e.right, st));
+    return BuildOperator(e, std::move(l), std::move(r));
+  }
+  if (e.kind == SqlExprKind::kUnary) {
+    RHEEM_ASSIGN_OR_RETURN(expr::ExprPtr l, RewriteGrouped(*e.left, st));
+    return BuildOperator(e, std::move(l), nullptr);
+  }
+  return ErrorAt(e.tok, "'" + e.tok.raw +
+                            "' must appear in GROUP BY or inside an "
+                            "aggregate");
+}
+
+Result<CompiledQuery> CompileSelectImpl(RheemJob* job, Catalog* catalog,
+                                        const SelectStmt& stmt,
+                                        std::map<int, std::string>* table_ops) {
+  RHEEM_ASSIGN_OR_RETURN(FromTable from,
+                         CompileTableRef(job, catalog, stmt.from, table_ops));
+  Scope scope;
+  scope.AddTable(from.name, from.schema);
+  DataQuanta q = from.quanta;
+
+  for (const JoinClause& jc : stmt.joins) {
+    RHEEM_ASSIGN_OR_RETURN(
+        FromTable right, CompileTableRef(job, catalog, jc.table, table_ops));
+    const int left_arity = scope.arity();
+    scope.AddTable(right.name, right.schema);
+    RHEEM_ASSIGN_OR_RETURN(expr::ExprPtr on, BindExpr(*jc.on, scope));
+    const ValueType on_type = expr::TypeCheck(*on).ValueOrDie();
+    if (on_type != ValueType::kBool) {
+      return ErrorAt(jc.on_tok, std::string("ON condition must be boolean, "
+                                            "got ") +
+                                    ValueTypeToString(on_type));
+    }
+    const std::vector<expr::ExprPtr> conjuncts = expr::SplitConjuncts(on);
+    int equi = -1;
+    expr::ExprPtr left_key, right_key;
+    for (const bool need_fields : {true, false}) {
+      for (std::size_t i = 0; i < conjuncts.size() && equi < 0; ++i) {
+        if (AsEquiKeys(conjuncts[i], left_arity, need_fields, &left_key,
+                       &right_key)) {
+          equi = static_cast<int>(i);
+        }
+      }
+      if (equi >= 0) break;
+    }
+    if (equi >= 0) {
+      q = q.Join(right.quanta, left_key, right_key);
+      std::vector<expr::ExprPtr> residual;
+      for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+        if (static_cast<int>(i) != equi) residual.push_back(conjuncts[i]);
+      }
+      if (!residual.empty()) q = q.Filter(expr::AndAll(residual));
+    } else {
+      q = q.ThetaJoin(right.quanta, on);
+    }
+  }
+
+  if (stmt.where != nullptr) {
+    if (ContainsAggregate(*stmt.where)) {
+      return ErrorAt(stmt.where->tok, "aggregates are not allowed in WHERE");
+    }
+    RHEEM_ASSIGN_OR_RETURN(expr::ExprPtr pred, BindExpr(*stmt.where, scope));
+    const ValueType pred_type = expr::TypeCheck(*pred).ValueOrDie();
+    if (pred_type != ValueType::kBool) {
+      return ErrorAt(stmt.where->tok,
+                     std::string("WHERE condition must be boolean, got ") +
+                         ValueTypeToString(pred_type));
+    }
+    q = q.Filter(std::move(pred));
+  }
+
+  const bool star = stmt.items.size() == 1 && stmt.items[0].is_star;
+  bool has_aggs = !stmt.group_by.empty();
+  for (const SelectItem& item : stmt.items) {
+    if (!item.is_star && ContainsAggregate(*item.expr)) has_aggs = true;
+  }
+  if (star && has_aggs) {
+    return ErrorAt(stmt.items[0].tok,
+                   "SELECT * cannot be combined with GROUP BY or aggregates");
+  }
+
+  Schema out_schema;
+  if (star) {
+    out_schema = scope.combined();
+  } else if (!has_aggs) {
+    std::vector<expr::ExprPtr> exprs;
+    std::vector<rheem::Field> fields;
+    for (const SelectItem& item : stmt.items) {
+      RHEEM_ASSIGN_OR_RETURN(expr::ExprPtr bound, BindExpr(*item.expr, scope));
+      fields.push_back(
+          rheem::Field{ItemName(item), expr::TypeCheck(*bound).ValueOrDie()});
+      exprs.push_back(std::move(bound));
+    }
+    // A projection that reads every column in place is the identity —
+    // renaming lives in the schema, so no Map node is needed.
+    bool identity = exprs.size() == static_cast<std::size_t>(scope.arity());
+    for (std::size_t i = 0; identity && i < exprs.size(); ++i) {
+      identity = exprs[i]->kind == expr::ExprKind::kField &&
+                 exprs[i]->field_index == static_cast<int>(i);
+    }
+    if (!identity) q = q.Map(std::move(exprs));
+    out_schema = Schema(std::move(fields));
+  } else {
+    if (stmt.group_by.size() > 1) {
+      return ErrorAt(stmt.group_by[1]->tok,
+                     "only a single GROUP BY expression is supported");
+    }
+    AggState st;
+    st.scope = &scope;
+    expr::ExprPtr group;
+    if (stmt.group_by.empty()) {
+      // Global aggregation: group everything under the constant key 1 (the
+      // post-projection drops it). Empty input yields zero rows, not one.
+      group = expr::Lit(int64_t{1});
+      st.group_type = ValueType::kInt64;
+    } else {
+      const SqlExpr& ge = *stmt.group_by[0];
+      if (ContainsAggregate(ge)) {
+        return ErrorAt(ge.tok, "aggregates are not allowed in GROUP BY");
+      }
+      RHEEM_ASSIGN_OR_RETURN(group, BindExpr(ge, scope));
+      st.group_type = expr::TypeCheck(*group).ValueOrDie();
+      if (ge.kind == SqlExprKind::kColumn) st.group_name = ge.name;
+    }
+    st.group_canonical = expr::Canonical(*group);
+    st.pre.push_back(group);
+    st.specs.push_back(AggSpec{0, AggKind::kFirst});
+    std::vector<expr::ExprPtr> post;
+    std::vector<rheem::Field> fields;
+    for (const SelectItem& item : stmt.items) {
+      RHEEM_ASSIGN_OR_RETURN(expr::ExprPtr rewritten,
+                             RewriteGrouped(*item.expr, &st));
+      auto type = expr::TypeCheck(*rewritten);
+      if (!type.ok()) return ErrorAt(item.tok, type.status().message());
+      fields.push_back(rheem::Field{ItemName(item), type.ValueOrDie()});
+      post.push_back(std::move(rewritten));
+    }
+    q = q.Map(st.pre)
+            .ReduceByKey(expr::Field(0, st.group_type), st.specs)
+            .Map(std::move(post));
+    out_schema = Schema(std::move(fields));
+  }
+
+  if (stmt.distinct) q = q.Distinct();
+
+  if (stmt.order_by != nullptr) {
+    if (ContainsAggregate(*stmt.order_by)) {
+      return ErrorAt(stmt.order_tok,
+                     "aggregates are not allowed in ORDER BY; select the "
+                     "aggregate and order by its output name");
+    }
+    // ORDER BY addresses the statement's output row, so aliases and
+    // aggregate output names resolve here.
+    Scope out_scope;
+    out_scope.AddTable("", out_schema);
+    RHEEM_ASSIGN_OR_RETURN(expr::ExprPtr key,
+                           BindExpr(*stmt.order_by, out_scope));
+    const int64_t k = stmt.limit >= 0 ? stmt.limit
+                                      : std::numeric_limits<int64_t>::max();
+    q = q.TopK(k, std::move(key), stmt.order_ascending);
+  } else if (stmt.limit >= 0) {
+    return ErrorAt(stmt.limit_tok,
+                   "LIMIT requires ORDER BY: which rows survive would "
+                   "otherwise be nondeterministic");
+  }
+
+  CompiledQuery out;
+  out.quanta = q;
+  out.schema = std::move(out_schema);
+  return out;
+}
+
+}  // namespace
+
+Result<CompiledQuery> CompileSelect(RheemJob* job, Catalog* catalog,
+                                    const SelectStmt& stmt) {
+  std::map<int, std::string> table_ops;
+  RHEEM_ASSIGN_OR_RETURN(CompiledQuery out,
+                         CompileSelectImpl(job, catalog, stmt, &table_ops));
+  out.table_ops = std::move(table_ops);
+  return out;
+}
+
+}  // namespace sql
+}  // namespace rheem

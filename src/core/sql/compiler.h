@@ -1,0 +1,40 @@
+#ifndef RHEEM_CORE_SQL_COMPILER_H_
+#define RHEEM_CORE_SQL_COMPILER_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "core/api/data_quanta.h"
+#include "core/sql/ast.h"
+#include "core/sql/catalog.h"
+#include "data/schema.h"
+
+namespace rheem {
+namespace sql {
+
+/// A SELECT statement lowered onto a RheemJob's logical plan.
+struct CompiledQuery {
+  /// The statement's output (unsealed — no Collect sink yet).
+  DataQuanta quanta;
+  /// Output column names and types.
+  Schema schema;
+  /// Source-operator id -> catalog table name, for plan printouts.
+  std::map<int, std::string> table_ops;
+};
+
+/// Compiles a parsed SELECT into logical operators appended to `job`'s
+/// plan: FROM/JOIN become (theta-)joins over catalog sources, WHERE a
+/// declarative filter, the select list a declarative projection, GROUP BY
+/// plus aggregate items a Map/ReduceByKey/Map sandwich over AggSpecs, and
+/// ORDER BY [LIMIT] a declarative TopK. Everything the statement means is
+/// carried by typed expressions, so pushdown, selectivity estimation and
+/// plan-cache fingerprints apply with no SQL-specific optimizer code.
+/// Errors are InvalidArgument prefixed with 1-based "line:col" positions.
+Result<CompiledQuery> CompileSelect(RheemJob* job, Catalog* catalog,
+                                    const SelectStmt& stmt);
+
+}  // namespace sql
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_SQL_COMPILER_H_

@@ -1,0 +1,25 @@
+#ifndef RHEEM_CORE_SQL_PARSER_H_
+#define RHEEM_CORE_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/sql/ast.h"
+
+namespace rheem {
+namespace sql {
+
+/// Parses one SELECT statement (the whole input). Errors are
+/// InvalidArgument prefixed with the offending token's 1-based "line:col".
+Result<std::shared_ptr<const SelectStmt>> ParseSelect(const std::string& query);
+
+/// Parses a standalone scalar/boolean expression (the whole input) — the
+/// entry point for re-parsing expr::Pretty output and for tests that bind
+/// expressions directly.
+Result<SqlExprPtr> ParseExpressionAst(const std::string& text);
+
+}  // namespace sql
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_SQL_PARSER_H_

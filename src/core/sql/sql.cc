@@ -1,0 +1,80 @@
+#include "core/sql/sql.h"
+
+#include <utility>
+
+#include "core/api/logical_nodes.h"
+#include "core/plan/plan_printer.h"
+#include "core/sql/analyzer.h"
+
+namespace rheem {
+namespace sql {
+
+std::string SqlStatement::PlanText() const {
+  if (!valid()) return "";
+  std::map<int, std::string> annotations;
+  for (std::size_t i = 0; i < plan_->size(); ++i) {
+    const Operator* op = plan_->op(i);
+    std::string note;
+    auto table = table_ops_.find(op->id());
+    if (table != table_ops_.end()) note = "table=" + table->second;
+    if (const auto* g = dynamic_cast<const GenericLogicalOp*>(op)) {
+      const std::string detail = g->Detail();
+      if (!detail.empty()) {
+        if (!note.empty()) note += " ";
+        note += detail;
+      }
+    }
+    if (!note.empty()) annotations[op->id()] = std::move(note);
+  }
+  return PlanPrinter::ToText(*plan_, annotations);
+}
+
+Result<ExecutionResult> SqlStatement::Execute(
+    const ExecutionOptions& options) const {
+  if (!valid()) return Status::InvalidArgument("empty SqlStatement");
+  return job_->context()->Execute(*plan_, options);
+}
+
+Result<Dataset> SqlStatement::Collect(const ExecutionOptions& options) const {
+  RHEEM_ASSIGN_OR_RETURN(ExecutionResult result, Execute(options));
+  return std::move(result.output);
+}
+
+Result<SqlStatement> Compile(RheemContext* ctx, Catalog* catalog,
+                             const std::string& query) {
+  RHEEM_ASSIGN_OR_RETURN(std::shared_ptr<const SelectStmt> ast,
+                         ParseSelect(query));
+  auto job = std::make_shared<RheemJob>(ctx);
+  RHEEM_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                         CompileSelect(job.get(), catalog, *ast));
+  RHEEM_ASSIGN_OR_RETURN(Plan * plan, compiled.quanta.Seal());
+  SqlStatement stmt;
+  stmt.job_ = std::move(job);
+  stmt.plan_ = plan;
+  stmt.schema_ = std::move(compiled.schema);
+  stmt.table_ops_ = std::move(compiled.table_ops);
+  stmt.query_ = query;
+  return stmt;
+}
+
+Result<expr::ExprPtr> ParseExpression(const std::string& text,
+                                      const Schema& schema) {
+  RHEEM_ASSIGN_OR_RETURN(SqlExprPtr ast, ParseExpressionAst(text));
+  Scope scope;
+  scope.AddTable("", schema);
+  return BindExpr(*ast, scope);
+}
+
+}  // namespace sql
+
+Result<sql::SqlStatement> RheemContext::Sql(const std::string& query) {
+  sql::StorageCatalog catalog;
+  return sql::Compile(this, &catalog, query);
+}
+
+Result<sql::SqlStatement> RheemContext::Sql(const std::string& query,
+                                            sql::Catalog& catalog) {
+  return sql::Compile(this, &catalog, query);
+}
+
+}  // namespace rheem

@@ -1,0 +1,78 @@
+#ifndef RHEEM_CORE_SQL_SQL_H_
+#define RHEEM_CORE_SQL_SQL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/api/data_quanta.h"
+#include "core/sql/catalog.h"
+#include "core/sql/compiler.h"
+#include "core/sql/parser.h"
+
+namespace rheem {
+namespace sql {
+
+/// \brief A compiled SQL SELECT: a sealed logical plan plus its output
+/// schema.
+///
+/// The statement owns the RheemJob the plan was built in, so it can be
+/// executed any number of times (each execution recompiles through the
+/// optimizer — or hits the context's plan cache, whose fingerprints fold
+/// the compiled plan's declarative payload, never the SQL text: two
+/// spellings of the same query share a cache entry, and queries differing
+/// only in a constant never collide).
+class SqlStatement {
+ public:
+  SqlStatement() = default;
+
+  bool valid() const { return plan_ != nullptr; }
+  const std::string& query() const { return query_; }
+  const Schema& schema() const { return schema_; }
+
+  /// The sealed logical plan (Collect sink set).
+  const Plan& plan() const { return *plan_; }
+  /// Shares ownership with the statement's job — what JobServer submissions
+  /// hold on to so the plan outlives the statement handle.
+  std::shared_ptr<const Plan> plan_ptr() const { return job_->plan_ptr(); }
+
+  /// One line per logical operator in topological order, annotated with
+  /// source table names and each operator's declarative payload — the
+  /// dialect's EXPLAIN, and the golden-test rendering.
+  std::string PlanText() const;
+
+  /// Compile + execute on the statement's context.
+  Result<ExecutionResult> Execute(const ExecutionOptions& options = {}) const;
+  Result<Dataset> Collect(const ExecutionOptions& options = {}) const;
+
+ private:
+  friend Result<SqlStatement> Compile(RheemContext* ctx, Catalog* catalog,
+                                      const std::string& query);
+
+  std::shared_ptr<RheemJob> job_;
+  Plan* plan_ = nullptr;  // owned by *job_
+  Schema schema_;
+  std::map<int, std::string> table_ops_;  // source op id -> table name
+  std::string query_;
+};
+
+/// Tokenize + parse + analyze + plan `query` against `catalog`, sealing the
+/// result. Every error — lexical, syntactic, unknown table/column, type
+/// mismatch — is InvalidArgument prefixed with the offending token's
+/// 1-based "line:col" position.
+Result<SqlStatement> Compile(RheemContext* ctx, Catalog* catalog,
+                             const std::string& query);
+
+/// Parses a standalone scalar/boolean expression and binds its column and
+/// $N references against `schema`. This is the inverse of expr::Pretty: for
+/// any type-checked tree, Pretty's output re-parses here (given the tree's
+/// field names/indices resolve in `schema`) to a tree with the identical
+/// canonical encoding.
+Result<expr::ExprPtr> ParseExpression(const std::string& text,
+                                      const Schema& schema);
+
+}  // namespace sql
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_SQL_SQL_H_

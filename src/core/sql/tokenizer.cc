@@ -1,0 +1,235 @@
+#include "core/sql/tokenizer.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace rheem {
+namespace sql {
+
+std::string Token::Pos() const {
+  return std::to_string(line) + ":" + std::to_string(col);
+}
+
+bool Token::IsKeyword(const char* keyword) const {
+  return kind == TokenKind::kIdent && text == keyword;
+}
+
+bool Token::IsSymbol(const char* symbol) const {
+  return kind == TokenKind::kSymbol && text == symbol;
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    for (;;) {
+      SkipWhitespaceAndComments();
+      Token t;
+      t.line = line_;
+      t.col = col_;
+      t.offset = pos_;
+      if (pos_ >= input_.size()) {
+        t.end_offset = pos_;
+        out.push_back(std::move(t));  // kEnd
+        return out;
+      }
+      RHEEM_RETURN_IF_ERROR(Lex(&t));
+      t.end_offset = pos_;
+      out.push_back(std::move(t));
+    }
+  }
+
+ private:
+  char Peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+
+  char Take() {
+    const char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  Status Error(int line, int col, const std::string& msg) const {
+    return Status::InvalidArgument(std::to_string(line) + ":" +
+                                   std::to_string(col) + ": " + msg);
+  }
+
+  void SkipWhitespaceAndComments() {
+    for (;;) {
+      while (pos_ < input_.size() &&
+             std::isspace(static_cast<unsigned char>(Peek()))) {
+        Take();
+      }
+      if (Peek() == '-' && Peek(1) == '-') {
+        while (pos_ < input_.size() && Peek() != '\n') Take();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Status Lex(Token* t) {
+    const char c = Peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return LexIdent(t);
+    }
+    if (c == '$') return LexPositional(t);
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+      return LexNumber(t);
+    }
+    if (c == '\'') return LexSqlString(t);
+    if (c == '"') return LexQuotedString(t);
+    return LexSymbol(t);
+  }
+
+  Status LexIdent(Token* t) {
+    t->kind = TokenKind::kIdent;
+    while (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_') {
+      t->raw += Take();
+    }
+    t->text.reserve(t->raw.size());
+    for (char ch : t->raw) {
+      t->text +=
+          static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+    }
+    return Status::OK();
+  }
+
+  Status LexPositional(Token* t) {
+    t->kind = TokenKind::kIdent;
+    t->raw += Take();  // '$'
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Error(t->line, t->col, "'$' must be followed by a field number");
+    }
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) t->raw += Take();
+    t->text = t->raw;
+    return Status::OK();
+  }
+
+  Status LexNumber(Token* t) {
+    t->kind = TokenKind::kNumber;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) t->raw += Take();
+    if (Peek() == '.' && Peek(1) != '.') {
+      t->is_double = true;
+      t->raw += Take();
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) t->raw += Take();
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      t->is_double = true;
+      t->raw += Take();
+      if (Peek() == '+' || Peek() == '-') t->raw += Take();
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error(t->line, t->col, "malformed exponent in number literal");
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) t->raw += Take();
+    }
+    t->text = t->raw;
+    if (t->is_double) {
+      t->double_value = std::strtod(t->raw.c_str(), nullptr);
+    } else {
+      errno = 0;
+      char* end = nullptr;
+      t->int_value = std::strtoll(t->raw.c_str(), &end, 10);
+      if (errno == ERANGE) {
+        // Too large for int64: degrade to the nearest double.
+        t->is_double = true;
+        t->double_value = std::strtod(t->raw.c_str(), nullptr);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status LexSqlString(Token* t) {
+    const int line = t->line, col = t->col;
+    t->kind = TokenKind::kString;
+    Take();  // opening '
+    for (;;) {
+      if (pos_ >= input_.size()) {
+        return Error(line, col, "unterminated string literal");
+      }
+      const char c = Take();
+      if (c == '\'') {
+        if (Peek() == '\'') {  // '' escapes one quote
+          t->raw += Take();
+          continue;
+        }
+        t->text = t->raw;
+        return Status::OK();
+      }
+      t->raw += c;
+    }
+  }
+
+  Status LexQuotedString(Token* t) {
+    const int line = t->line, col = t->col;
+    t->kind = TokenKind::kString;
+    Take();  // opening "
+    for (;;) {
+      if (pos_ >= input_.size()) {
+        return Error(line, col, "unterminated string literal");
+      }
+      const char c = Take();
+      if (c == '"') {
+        t->text = t->raw;
+        return Status::OK();
+      }
+      if (c == '\\') {
+        if (pos_ >= input_.size()) {
+          return Error(line, col, "unterminated string literal");
+        }
+        t->raw += Take();
+        continue;
+      }
+      t->raw += c;
+    }
+  }
+
+  Status LexSymbol(Token* t) {
+    t->kind = TokenKind::kSymbol;
+    for (const char* sym : {"<=", ">=", "<>", "!=", "=="}) {
+      if (Peek() == sym[0] && Peek(1) == sym[1]) {
+        Take();
+        Take();
+        t->text = sym;
+        t->raw = sym;
+        return Status::OK();
+      }
+    }
+    static const std::string kSingles = "()+-*/%<>=,.";
+    const char c = Peek();
+    if (kSingles.find(c) != std::string::npos) {
+      Take();
+      t->text = std::string(1, c);
+      t->raw = t->text;
+      return Status::OK();
+    }
+    return Error(t->line, t->col,
+                 std::string("unexpected character '") + c + "'");
+  }
+
+  const std::string& input_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& query) {
+  return Lexer(query).Run();
+}
+
+}  // namespace sql
+}  // namespace rheem

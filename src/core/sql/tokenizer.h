@@ -1,0 +1,58 @@
+#ifndef RHEEM_CORE_SQL_TOKENIZER_H_
+#define RHEEM_CORE_SQL_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rheem {
+namespace sql {
+
+enum class TokenKind : uint8_t {
+  kIdent,   // identifier or keyword; also positional references like $0
+  kNumber,  // int64 or double literal
+  kString,  // string literal (raw holds the decoded value)
+  kSymbol,  // operator / punctuation
+  kEnd,     // end of input
+};
+
+/// One lexical token with its 1-based source position. `text` is the
+/// upper-cased spelling for identifiers (keyword checks are
+/// case-insensitive) and the symbol spelling otherwise; `raw` preserves the
+/// original spelling (for strings: the decoded value).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  std::string raw;
+  bool is_double = false;  // numbers: literal had a '.' or an exponent
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  int line = 1;
+  int col = 1;
+  std::size_t offset = 0;      // byte offset of the token's first character
+  std::size_t end_offset = 0;  // byte offset one past the token's last char
+
+  /// "line:col" for error messages.
+  std::string Pos() const;
+
+  bool IsKeyword(const char* keyword) const;
+  bool IsSymbol(const char* symbol) const;
+};
+
+/// Splits `query` into tokens; the trailing kEnd token carries the position
+/// just past the input. Lexical errors (unterminated string, stray byte)
+/// return InvalidArgument prefixed with the 1-based "line:col" position.
+///
+/// The dialect's lexical shape: identifiers are [A-Za-z_][A-Za-z0-9_]*,
+/// positional field references are $N, comments run from "--" to end of
+/// line, string literals are single-quoted with '' escaping one quote (SQL)
+/// or double-quoted with backslash escapes (the spelling expr::Pretty
+/// emits, accepted so printed expressions parse back).
+Result<std::vector<Token>> Tokenize(const std::string& query);
+
+}  // namespace sql
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_SQL_TOKENIZER_H_

@@ -96,14 +96,23 @@ class Lexer {
     if (c == '\'') {
       ++pos_;
       std::string value;
-      while (pos_ < input_.size() && input_[pos_] != '\'') {
+      for (;;) {
+        if (pos_ >= input_.size()) {
+          error_ = Status::InvalidArgument("unterminated string literal");
+          return;
+        }
+        if (input_[pos_] == '\'') {
+          // SQL escape: a doubled quote inside a literal is one quote.
+          if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '\'') {
+            value += '\'';
+            pos_ += 2;
+            continue;
+          }
+          ++pos_;  // closing quote
+          break;
+        }
         value += input_[pos_++];
       }
-      if (pos_ >= input_.size()) {
-        error_ = Status::InvalidArgument("unterminated string literal");
-        return;
-      }
-      ++pos_;  // closing quote
       current_.kind = TokenKind::kString;
       current_.raw = value;
       current_.text = value;
@@ -411,7 +420,10 @@ class Parser {
       }
       case TokenKind::kString: {
         Token tok = lexer_.Take();
-        return ExprAndText{expr::Lit(Value(tok.raw)), "'" + tok.raw + "'"};
+        // Re-quote through the shared helper so Render() output (and any
+        // query text rebuilt from it) stays parseable even when the literal
+        // contains quotes.
+        return ExprAndText{expr::Lit(Value(tok.raw)), SqlQuoteString(tok.raw)};
       }
       case TokenKind::kIdent: {
         if (t.text == "NULL") {

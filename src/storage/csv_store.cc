@@ -64,6 +64,30 @@ Result<Value> DecodeCell(const std::string& cell) {
   }
 }
 
+/// One-character codes shared with the cell tags (b/i/d/s/n/l).
+char TypeToCode(ValueType t) {
+  switch (t) {
+    case ValueType::kBool: return 'b';
+    case ValueType::kInt64: return 'i';
+    case ValueType::kDouble: return 'd';
+    case ValueType::kString: return 's';
+    case ValueType::kDoubleList: return 'l';
+    case ValueType::kNull: return 'n';
+  }
+  return 'n';
+}
+
+ValueType CodeToType(char c) {
+  switch (c) {
+    case 'b': return ValueType::kBool;
+    case 'i': return ValueType::kInt64;
+    case 'd': return ValueType::kDouble;
+    case 's': return ValueType::kString;
+    case 'l': return ValueType::kDoubleList;
+    default: return ValueType::kNull;
+  }
+}
+
 }  // namespace
 
 CsvStore::CsvStore(std::string directory) : directory_(std::move(directory)) {
@@ -78,6 +102,19 @@ std::string CsvStore::PathFor(const std::string& dataset) const {
 Status CsvStore::Put(const std::string& dataset, const Dataset& data) {
   CsvCodec codec;
   std::string text;
+  // Schema header: "#schema" then one "code:name" cell per column. Data
+  // cells always start with a one-character type tag, so the marker can
+  // never collide with a data row.
+  if (data.has_schema()) {
+    std::vector<std::string> cells;
+    cells.reserve(data.schema().num_fields() + 1);
+    cells.push_back("#schema");
+    for (const Field& f : data.schema().fields()) {
+      cells.push_back(std::string(1, TypeToCode(f.type)) + ":" + f.name);
+    }
+    text += codec.FormatLine(cells);
+    text += "\n";
+  }
   for (const Record& r : data.records()) {
     std::vector<std::string> cells;
     cells.reserve(r.size());
@@ -95,17 +132,35 @@ Result<Dataset> CsvStore::Get(const std::string& dataset) const {
   }
   CsvCodec codec;
   RHEEM_ASSIGN_OR_RETURN(auto rows, codec.ParseDocument(*text));
+  bool has_schema = false;
+  Schema schema;
+  std::size_t first_row = 0;
+  if (!rows.empty() && !rows[0].empty() && rows[0][0] == "#schema") {
+    std::vector<Field> fields;
+    fields.reserve(rows[0].size() - 1);
+    for (std::size_t i = 1; i < rows[0].size(); ++i) {
+      const std::string& cell = rows[0][i];
+      if (cell.size() < 2 || cell[1] != ':') {
+        return Status::IoError("malformed CSV schema cell: " + cell);
+      }
+      fields.push_back(Field{cell.substr(2), CodeToType(cell[0])});
+    }
+    schema = Schema(std::move(fields));
+    has_schema = true;
+    first_row = 1;
+  }
   std::vector<Record> records;
-  records.reserve(rows.size());
-  for (const auto& cells : rows) {
+  records.reserve(rows.size() - first_row);
+  for (std::size_t row = first_row; row < rows.size(); ++row) {
     std::vector<Value> fields;
-    fields.reserve(cells.size());
-    for (const std::string& cell : cells) {
+    fields.reserve(rows[row].size());
+    for (const std::string& cell : rows[row]) {
       RHEEM_ASSIGN_OR_RETURN(Value v, DecodeCell(cell));
       fields.push_back(std::move(v));
     }
     records.push_back(Record(std::move(fields)));
   }
+  if (has_schema) return Dataset(std::move(records), std::move(schema));
   return Dataset(std::move(records));
 }
 

@@ -392,6 +392,165 @@ inline DataQuanta RandomExprPipeline(Rng* rng, RheemJob* job, DataQuanta q,
   return q;
 }
 
+// --- SQL twin pipelines ------------------------------------------------------
+//
+// RandomSqlTwin returns the same random query in two *independent*
+// representations: SQL text (compiled through the core/sql frontend) and a
+// hand-built closure pipeline that never touches the SQL frontend or the
+// expression IR. A differential run pits the whole tokenizer → parser →
+// analyzer → plan-compiler stack against straight DataQuanta calls.
+//
+// Every step keeps a 2-column (k, v) int64 shape with k in [0, 15] — k is
+// loaded in that range and no step rewrites it — so the terminal
+// `ORDER BY v * 16 + k LIMIT n` sorts by a key that differs between any two
+// distinct records: which rows survive the LIMIT is platform-independent,
+// keeping bag-equality a sound oracle.
+
+inline Schema PairSchema() {
+  return Schema::Of({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}});
+}
+
+struct SqlTwinCase {
+  std::string sql;
+  /// Tables the SQL references (register in the catalog before compiling).
+  std::vector<std::pair<std::string, Dataset>> tables;
+  /// The independently-built pipeline with identical semantics.
+  std::function<DataQuanta(RheemJob*)> hand;
+};
+
+inline SqlTwinCase RandomSqlTwin(Rng* rng) {
+  SqlTwinCase out;
+  Dataset base = RandomPairs(rng, 200);
+  base.set_schema(PairSchema());
+  out.tables.emplace_back("t0", base);
+  out.sql = "SELECT * FROM t0";
+  std::function<DataQuanta(RheemJob*)> hand = [base](RheemJob* job) {
+    return job->LoadCollection(base);
+  };
+  int side_id = 0;
+  const int steps = 1 + static_cast<int>(rng->NextBounded(4));
+  for (int s = 0; s < steps; ++s) {
+    switch (rng->NextBounded(5)) {
+      case 0: {  // WHERE over a random predicate, rendered by expr::Pretty
+        const GeneratedPredicate p = RandomPredicateExpr(rng, 2);
+        out.sql =
+            "SELECT * FROM (" + out.sql + ") WHERE " + expr::Pretty(*p.tree);
+        auto prev = hand;
+        hand = [prev, p](RheemJob* job) { return prev(job).Filter(p.fn); };
+        break;
+      }
+      case 1: {  // projection k, v + c
+        const int64_t c = rng->NextInt(-10, 10);
+        out.sql = "SELECT k, v + (" + std::to_string(c) + ") AS v FROM (" +
+                  out.sql + ")";
+        auto prev = hand;
+        hand = [prev, c](RheemJob* job) {
+          return prev(job).Map([c](const Record& r) {
+            return Record({r[0], Value(r[1].ToInt64Or(0) + c)});
+          });
+        };
+        break;
+      }
+      case 2: {  // JOIN: equi, equi + residual conjunct, or pure theta
+        const uint64_t kind = rng->NextBounded(3);
+        // Theta output grows ~|q| * |side| / 2; keep that side small.
+        Dataset side = RandomPairs(rng, kind == 2 ? 8 : 20);
+        side.set_schema(PairSchema());
+        const std::string sname = "s" + std::to_string(side_id++);
+        out.tables.emplace_back(sname, side);
+        auto prev = hand;
+        if (kind != 2) {
+          out.sql = "SELECT t.k AS k, t.v * 7 + s.v AS v FROM (" + out.sql +
+                    ") AS t JOIN " + sname + " AS s ON t.k = s.k" +
+                    (kind == 1 ? " AND t.v <= s.v" : "");
+          const bool residual = kind == 1;
+          hand = [prev, side, residual](RheemJob* job) {
+            DataQuanta sq = job->LoadCollection(side);
+            DataQuanta joined = prev(job).Join(
+                sq, [](const Record& r) { return r[0]; },
+                [](const Record& r) { return r[0]; });
+            if (residual) {
+              joined = joined.Filter([](const Record& r) {
+                return r[1].ToInt64Or(0) <= r[3].ToInt64Or(0);
+              });
+            }
+            return joined.Map([](const Record& r) {
+              return Record(
+                  {r[0], Value(r[1].ToInt64Or(0) * 7 + r[3].ToInt64Or(0))});
+            });
+          };
+        } else {
+          out.sql = "SELECT t.k AS k, t.v * 7 + s.v AS v FROM (" + out.sql +
+                    ") AS t JOIN " + sname + " AS s ON t.k < s.k";
+          hand = [prev, side](RheemJob* job) {
+            DataQuanta sq = job->LoadCollection(side);
+            return prev(job)
+                .ThetaJoin(sq,
+                           [](const Record& a, const Record& b) {
+                             return a[0].ToInt64Or(0) < b[0].ToInt64Or(0);
+                           })
+                .Map([](const Record& r) {
+                  return Record(
+                      {r[0], Value(r[1].ToInt64Or(0) * 7 + r[3].ToInt64Or(0))});
+                });
+          };
+        }
+        break;
+      }
+      case 3: {  // GROUP BY k with one aggregate
+        const uint64_t agg = rng->NextBounded(4);
+        const char* fn = agg == 0   ? "SUM(v)"
+                         : agg == 1 ? "MIN(v)"
+                         : agg == 2 ? "MAX(v)"
+                                    : "COUNT(*)";
+        out.sql = std::string("SELECT k, ") + fn + " AS v FROM (" + out.sql +
+                  ") GROUP BY k";
+        auto prev = hand;
+        hand = [prev, agg](RheemJob* job) {
+          DataQuanta q = prev(job);
+          if (agg == 3) {  // COUNT(*): sum a column of ones
+            q = q.Map([](const Record& r) {
+              return Record({r[0], Value(static_cast<int64_t>(1))});
+            });
+          }
+          return q.ReduceByKey(
+              [](const Record& r) { return r[0]; },
+              [agg](const Record& a, const Record& b) {
+                const int64_t x = a[1].ToInt64Or(0);
+                const int64_t y = b[1].ToInt64Or(0);
+                const int64_t v = agg == 1   ? std::min(x, y)
+                                  : agg == 2 ? std::max(x, y)
+                                             : x + y;  // SUM and COUNT(*)
+                return Record({a[0], Value(v)});
+              });
+        };
+        break;
+      }
+      default: {
+        out.sql = "SELECT DISTINCT k, v FROM (" + out.sql + ")";
+        auto prev = hand;
+        hand = [prev](RheemJob* job) { return prev(job).Distinct(); };
+        break;
+      }
+    }
+  }
+  const int64_t n = 1 + static_cast<int64_t>(rng->NextBounded(20));
+  const bool asc = rng->NextBool();
+  out.sql = "SELECT * FROM (" + out.sql + ") ORDER BY v * 16 + k " +
+            (asc ? "ASC" : "DESC") + " LIMIT " + std::to_string(n);
+  auto prev = hand;
+  hand = [prev, n, asc](RheemJob* job) {
+    return prev(job).TopK(
+        n,
+        [](const Record& r) {
+          return Value(r[1].ToInt64Or(0) * 16 + r[0].ToInt64Or(0));
+        },
+        asc);
+  };
+  out.hand = hand;
+  return out;
+}
+
 }  // namespace testutil
 }  // namespace rheem
 
