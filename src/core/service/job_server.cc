@@ -129,6 +129,32 @@ Result<JobHandle> JobServer::SubmitImpl(const Plan& logical_plan,
     rec->has_deadline = true;
     rec->deadline = std::chrono::steady_clock::now() + rec->options.deadline;
   }
+  // A deadline that expired before the job was even submitted (negative
+  // budget) can never be met: resolve it here, spending no queue slot, no
+  // compile and no spans. Previously a negative budget fell through the
+  // `count() > 0` guard above and ran as if it had *no* deadline at all.
+  if (rec->options.deadline.count() < 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) {
+        ++rejected_;
+        CountIfEnabled(
+            MetricsRegistry::Global().counter("service.jobs_rejected"), 1);
+        return Status::Cancelled("JobServer is shut down");
+      }
+      rec->id = next_id_++;
+      ++submitted_;
+      ++failed_;
+    }
+    auto& registry = MetricsRegistry::Global();
+    CountIfEnabled(registry.counter("service.jobs_submitted"), 1);
+    CountIfEnabled(registry.counter("service.jobs_failed"), 1);
+    rec->state.store(JobState::kFailed);
+    Resolve(rec, Status::DeadlineExceeded(
+                     "job deadline expired before submission (budget " +
+                     std::to_string(rec->options.deadline.count()) + "ms)"));
+    return JobHandle(rec);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {

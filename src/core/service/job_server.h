@@ -37,7 +37,9 @@ struct JobOptions {
   ExecutionOptions exec;
   /// Wall-clock budget measured from Submit(); 0 = none. An overdue job
   /// stops at its next stage boundary with DeadlineExceeded (queued jobs
-  /// past their deadline never start).
+  /// past their deadline never start). A *negative* budget is already
+  /// expired: the submission resolves DeadlineExceeded immediately without
+  /// being queued or compiled.
   std::chrono::milliseconds deadline{0};
   /// Disable to force a fresh compile for this submission (e.g. when the
   /// caller knows its UDF closures differ from a structurally equal plan).

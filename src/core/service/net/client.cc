@@ -1,0 +1,204 @@
+#include "core/service/net/client.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "data/serialization.h"
+
+namespace rheem {
+namespace net {
+
+Client::~Client() { Close(); }
+
+Status Client::Connect(const std::string& host, int port,
+                       const std::string& auth_token,
+                       const std::string& tenant) {
+  if (fd_ >= 0) return Status::AlreadyExists("client already connected");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket() failed: ") +
+                           std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("connect(" + host + ":" + std::to_string(port) +
+                           ") failed: " + std::strerror(err));
+  }
+  fd_ = fd;
+
+  HelloFrame hello;
+  hello.auth_token = auth_token;
+  hello.tenant = tenant;
+  std::string payload;
+  hello.Encode(&payload);
+  auto reply = RoundTrip(FrameType::kHello, payload);
+  if (!reply.ok()) {
+    Close();
+    return reply.status();
+  }
+  if (reply->type != FrameType::kHelloOk) {
+    Close();
+    return Status::IoError("expected HELLO_OK, got " +
+                           std::string(FrameTypeToString(reply->type)));
+  }
+  auto ok = HelloOkFrame::Decode(reply->payload);
+  if (!ok.ok()) {
+    Close();
+    return ok.status();
+  }
+  session_id_ = ok->session_id;
+  tenant_ = ok->tenant;
+  return Status::OK();
+}
+
+Result<uint64_t> Client::SubmitSql(const std::string& query,
+                                   int64_t deadline_ms, Schema* schema,
+                                   bool use_plan_cache, bool use_result_cache) {
+  SubmitFrame submit;
+  submit.deadline_ms = deadline_ms;
+  submit.use_plan_cache = use_plan_cache;
+  submit.use_result_cache = use_result_cache;
+  submit.text = query;
+  std::string payload;
+  submit.Encode(&payload);
+  RHEEM_ASSIGN_OR_RETURN(Frame reply,
+                         RoundTrip(FrameType::kSubmit, payload));
+  if (reply.type != FrameType::kSubmitOk) {
+    return Status::IoError("expected SUBMIT_OK, got " +
+                           std::string(FrameTypeToString(reply.type)));
+  }
+  RHEEM_ASSIGN_OR_RETURN(SubmitOkFrame ok, SubmitOkFrame::Decode(reply.payload));
+  if (schema != nullptr) *schema = ok.schema;
+  return ok.job_id;
+}
+
+Result<StatusFrame> Client::Poll(uint64_t job_id) {
+  JobIdFrame poll;
+  poll.job_id = job_id;
+  std::string payload;
+  poll.Encode(&payload);
+  RHEEM_ASSIGN_OR_RETURN(Frame reply, RoundTrip(FrameType::kPoll, payload));
+  if (reply.type != FrameType::kStatus) {
+    return Status::IoError("expected STATUS, got " +
+                           std::string(FrameTypeToString(reply.type)));
+  }
+  return StatusFrame::Decode(reply.payload);
+}
+
+Result<StatusFrame> Client::WaitDone(uint64_t job_id) {
+  // Adaptive backoff: tight at first (most jobs are short), easing to 10ms
+  // so a long job does not busy-spin the connection.
+  int64_t sleep_us = 100;
+  for (;;) {
+    RHEEM_ASSIGN_OR_RETURN(StatusFrame status, Poll(job_id));
+    if (status.done) return status;
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+    sleep_us = std::min<int64_t>(sleep_us * 2, 10000);
+  }
+}
+
+Status Client::Cancel(uint64_t job_id) {
+  JobIdFrame cancel;
+  cancel.job_id = job_id;
+  std::string payload;
+  cancel.Encode(&payload);
+  RHEEM_ASSIGN_OR_RETURN(Frame reply, RoundTrip(FrameType::kCancel, payload));
+  if (reply.type != FrameType::kOk) {
+    return Status::IoError("expected OK, got " +
+                           std::string(FrameTypeToString(reply.type)));
+  }
+  return Status::OK();
+}
+
+Result<Dataset> Client::FetchPage(uint64_t job_id, uint64_t page, bool* last) {
+  FetchFrame fetch;
+  fetch.job_id = job_id;
+  fetch.page = page;
+  std::string payload;
+  fetch.Encode(&payload);
+  RHEEM_ASSIGN_OR_RETURN(Frame reply, RoundTrip(FrameType::kFetch, payload));
+  if (reply.type != FrameType::kPage) {
+    return Status::IoError("expected PAGE, got " +
+                           std::string(FrameTypeToString(reply.type)));
+  }
+  RHEEM_ASSIGN_OR_RETURN(
+      PageFrame pf, PageFrame::Decode(reply.payload, max_frame_bytes_));
+  if (pf.job_id != job_id || pf.page != page) {
+    return Status::IoError("PAGE reply for wrong job/page");
+  }
+  if (last != nullptr) *last = pf.last;
+  return Serializer::DecodeDataset(pf.dataset_bytes);
+}
+
+Result<Dataset> Client::FetchAll(uint64_t job_id) {
+  RHEEM_ASSIGN_OR_RETURN(StatusFrame status, WaitDone(job_id));
+  if (status.code != 0) {
+    return Status(static_cast<StatusCode>(status.code), status.message);
+  }
+  std::vector<Record> rows;
+  bool last = false;
+  for (uint64_t page = 0; !last; ++page) {
+    RHEEM_ASSIGN_OR_RETURN(Dataset chunk, FetchPage(job_id, page, &last));
+    for (auto& r : chunk.mutable_records()) rows.push_back(std::move(r));
+  }
+  return Dataset(std::move(rows));
+}
+
+Status Client::Bye() {
+  if (fd_ < 0) return Status::OK();
+  auto reply = RoundTrip(FrameType::kBye, "");
+  Close();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != FrameType::kOk) {
+    return Status::IoError("expected OK, got " +
+                           std::string(FrameTypeToString(reply->type)));
+  }
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  session_id_ = 0;
+  tenant_.clear();
+}
+
+Result<Frame> Client::RoundTrip(FrameType type, const std::string& payload) {
+  if (fd_ < 0) return Status::IoError("client not connected");
+  Status st = WriteFrame(fd_, type, payload, max_frame_bytes_);
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  auto reply = ReadFrame(fd_, max_frame_bytes_);
+  if (!reply.ok()) {
+    Close();
+    return reply.status();
+  }
+  if (reply->type == FrameType::kError) {
+    // Application-level failure: the connection stays usable.
+    RHEEM_ASSIGN_OR_RETURN(ErrorFrame err, ErrorFrame::Decode(reply->payload));
+    return err.ToStatus();
+  }
+  return reply;
+}
+
+}  // namespace net
+}  // namespace rheem

@@ -1,0 +1,90 @@
+#ifndef RHEEM_CORE_SERVICE_NET_CLIENT_H_
+#define RHEEM_CORE_SERVICE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "core/service/net/wire.h"
+#include "data/dataset.h"
+#include "data/schema.h"
+
+namespace rheem {
+namespace net {
+
+/// \brief A small blocking client for the NetServer wire protocol — what the
+/// examples and the multi-process soak bench speak, and the reference for
+/// anyone writing a client in another language.
+///
+/// Not thread-safe: one Client per thread (the protocol itself is strictly
+/// request/response per connection). Every call surfaces the server's ERROR
+/// frames as the Status they encode, so a quota refusal comes back as
+/// ResourceExhausted and a bad query as InvalidArgument, exactly like the
+/// in-process API.
+class Client {
+ public:
+  Client() = default;
+  ~Client();  // closes without BYE if still connected
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects and performs the HELLO handshake. `tenant` may be empty: with
+  /// auth enabled the session runs as the token's tenant; with open access
+  /// it runs as "default".
+  Status Connect(const std::string& host, int port,
+                 const std::string& auth_token = "",
+                 const std::string& tenant = "");
+
+  bool connected() const { return fd_ >= 0; }
+  uint64_t session_id() const { return session_id_; }
+  /// The tenant the server admitted this session as.
+  const std::string& tenant() const { return tenant_; }
+
+  /// Submits a SQL statement; returns the job id and fills `schema` (when
+  /// non-null) with the result schema. `deadline_ms` 0 = no deadline.
+  Result<uint64_t> SubmitSql(const std::string& query, int64_t deadline_ms = 0,
+                             Schema* schema = nullptr,
+                             bool use_plan_cache = true,
+                             bool use_result_cache = true);
+
+  /// One POLL round trip.
+  Result<StatusFrame> Poll(uint64_t job_id);
+
+  /// Polls until the job is done. Returns the final STATUS frame (whose
+  /// code/message carry the failure, if any); does not treat job failure as
+  /// a transport error.
+  Result<StatusFrame> WaitDone(uint64_t job_id);
+
+  Status Cancel(uint64_t job_id);
+
+  /// Fetches one result page (the embedded dataset decoded). The job must
+  /// be done and succeeded.
+  Result<Dataset> FetchPage(uint64_t job_id, uint64_t page, bool* last = nullptr);
+
+  /// WaitDone + fetch every page, concatenated. Fails with the job's
+  /// terminal status if it did not succeed.
+  Result<Dataset> FetchAll(uint64_t job_id);
+
+  /// Polite close: BYE, await OK, close the socket. Safe when already
+  /// closed.
+  Status Bye();
+
+  /// Closes the socket without BYE.
+  void Close();
+
+ private:
+  /// Writes `type` and reads the reply frame; decodes ERROR replies into
+  /// their Status. Any transport failure closes the connection.
+  Result<Frame> RoundTrip(FrameType type, const std::string& payload);
+
+  int fd_ = -1;
+  uint64_t session_id_ = 0;
+  std::string tenant_;
+  uint32_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+};
+
+}  // namespace net
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_SERVICE_NET_CLIENT_H_

@@ -1,0 +1,426 @@
+#include "core/service/net/wire.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace rheem {
+namespace net {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 5;  // u32 payload_len + u8 type
+
+bool IsKnownFrameType(uint8_t t) {
+  switch (static_cast<FrameType>(t)) {
+    case FrameType::kHello:
+    case FrameType::kSubmit:
+    case FrameType::kPoll:
+    case FrameType::kCancel:
+    case FrameType::kFetch:
+    case FrameType::kBye:
+    case FrameType::kHelloOk:
+    case FrameType::kSubmitOk:
+    case FrameType::kStatus:
+    case FrameType::kPage:
+    case FrameType::kOk:
+    case FrameType::kError:
+      return true;
+  }
+  return false;
+}
+
+/// Reads exactly `n` bytes into `out`; IoError on EOF or socket failure.
+/// `*clean_eof` (optional) reports EOF before the first byte.
+Status ReadExact(int fd, std::size_t n, char* out, bool* clean_eof = nullptr) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, out + got, n - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      if (clean_eof != nullptr && got == 0) *clean_eof = true;
+      return Status::IoError(got == 0 ? "connection closed"
+                                      : "connection closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    return Status::IoError(std::string("socket read failed: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status WriteExact(int fd, const char* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a peer that closed mid-write yields EPIPE, not SIGPIPE.
+    const ssize_t r = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (r >= 0) {
+      sent += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::IoError(std::string("socket write failed: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* FrameTypeToString(FrameType t) {
+  switch (t) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kSubmit: return "submit";
+    case FrameType::kPoll: return "poll";
+    case FrameType::kCancel: return "cancel";
+    case FrameType::kFetch: return "fetch";
+    case FrameType::kBye: return "bye";
+    case FrameType::kHelloOk: return "hello_ok";
+    case FrameType::kSubmitOk: return "submit_ok";
+    case FrameType::kStatus: return "status";
+    case FrameType::kPage: return "page";
+    case FrameType::kOk: return "ok";
+    case FrameType::kError: return "error";
+  }
+  return "?";
+}
+
+// --- primitives -------------------------------------------------------------
+
+void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void PutI64(int64_t v, std::string* out) {
+  PutU64(static_cast<uint64_t>(v), out);
+}
+
+void PutStr(const std::string& s, std::string* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+Result<uint8_t> PayloadReader::U8() {
+  if (remaining() < 1) return Status::IoError("truncated u8");
+  return static_cast<uint8_t>(buf_[offset_++]);
+}
+
+Result<uint32_t> PayloadReader::U32() {
+  if (remaining() < 4) return Status::IoError("truncated u32");
+  uint32_t v = 0;
+  std::memcpy(&v, buf_.data() + offset_, 4);
+  offset_ += 4;
+  return v;
+}
+
+Result<uint64_t> PayloadReader::U64() {
+  if (remaining() < 8) return Status::IoError("truncated u64");
+  uint64_t v = 0;
+  std::memcpy(&v, buf_.data() + offset_, 8);
+  offset_ += 8;
+  return v;
+}
+
+Result<int64_t> PayloadReader::I64() {
+  RHEEM_ASSIGN_OR_RETURN(uint64_t v, U64());
+  return static_cast<int64_t>(v);
+}
+
+Result<std::string> PayloadReader::Str(uint32_t max_len) {
+  RHEEM_ASSIGN_OR_RETURN(uint32_t len, U32());
+  // Both bounds checked before the allocation: the declared length is
+  // untrusted and must neither over-read nor over-allocate.
+  if (len > max_len) {
+    return Status::IoError("string length " + std::to_string(len) +
+                           " exceeds limit " + std::to_string(max_len));
+  }
+  if (len > remaining()) {
+    return Status::IoError("truncated string payload");
+  }
+  std::string s(buf_.data() + offset_, len);
+  offset_ += len;
+  return s;
+}
+
+Status PayloadReader::ExpectEnd() const {
+  if (offset_ != buf_.size()) {
+    return Status::IoError("payload has " +
+                           std::to_string(buf_.size() - offset_) +
+                           " trailing bytes");
+  }
+  return Status::OK();
+}
+
+// --- typed frames -----------------------------------------------------------
+
+void HelloFrame::Encode(std::string* out) const {
+  PutU32(version, out);
+  PutStr(auth_token, out);
+  PutStr(tenant, out);
+}
+
+Result<HelloFrame> HelloFrame::Decode(const std::string& payload) {
+  PayloadReader r(payload);
+  HelloFrame f;
+  RHEEM_ASSIGN_OR_RETURN(f.version, r.U32());
+  RHEEM_ASSIGN_OR_RETURN(f.auth_token, r.Str(kMaxAuthBytes));
+  RHEEM_ASSIGN_OR_RETURN(f.tenant, r.Str(kMaxAuthBytes));
+  RHEEM_RETURN_IF_ERROR(r.ExpectEnd());
+  return f;
+}
+
+void SubmitFrame::Encode(std::string* out) const {
+  PutU8(static_cast<uint8_t>(kind), out);
+  PutI64(deadline_ms, out);
+  uint8_t flags = 0;
+  if (use_plan_cache) flags |= 0x1;
+  if (use_result_cache) flags |= 0x2;
+  PutU8(flags, out);
+  PutStr(text, out);
+}
+
+Result<SubmitFrame> SubmitFrame::Decode(const std::string& payload) {
+  PayloadReader r(payload);
+  SubmitFrame f;
+  RHEEM_ASSIGN_OR_RETURN(uint8_t kind, r.U8());
+  if (kind != static_cast<uint8_t>(SubmitKind::kSql)) {
+    return Status::IoError("unknown submit payload kind " +
+                           std::to_string(kind));
+  }
+  f.kind = SubmitKind::kSql;
+  RHEEM_ASSIGN_OR_RETURN(f.deadline_ms, r.I64());
+  RHEEM_ASSIGN_OR_RETURN(uint8_t flags, r.U8());
+  if ((flags & ~0x3u) != 0) {
+    return Status::IoError("unknown submit flags " + std::to_string(flags));
+  }
+  f.use_plan_cache = (flags & 0x1) != 0;
+  f.use_result_cache = (flags & 0x2) != 0;
+  RHEEM_ASSIGN_OR_RETURN(f.text, r.Str(kMaxSqlBytes));
+  RHEEM_RETURN_IF_ERROR(r.ExpectEnd());
+  return f;
+}
+
+void JobIdFrame::Encode(std::string* out) const { PutU64(job_id, out); }
+
+Result<JobIdFrame> JobIdFrame::Decode(const std::string& payload) {
+  PayloadReader r(payload);
+  JobIdFrame f;
+  RHEEM_ASSIGN_OR_RETURN(f.job_id, r.U64());
+  RHEEM_RETURN_IF_ERROR(r.ExpectEnd());
+  return f;
+}
+
+void FetchFrame::Encode(std::string* out) const {
+  PutU64(job_id, out);
+  PutU64(page, out);
+}
+
+Result<FetchFrame> FetchFrame::Decode(const std::string& payload) {
+  PayloadReader r(payload);
+  FetchFrame f;
+  RHEEM_ASSIGN_OR_RETURN(f.job_id, r.U64());
+  RHEEM_ASSIGN_OR_RETURN(f.page, r.U64());
+  RHEEM_RETURN_IF_ERROR(r.ExpectEnd());
+  return f;
+}
+
+void HelloOkFrame::Encode(std::string* out) const {
+  PutU32(version, out);
+  PutU64(session_id, out);
+  PutStr(tenant, out);
+}
+
+Result<HelloOkFrame> HelloOkFrame::Decode(const std::string& payload) {
+  PayloadReader r(payload);
+  HelloOkFrame f;
+  RHEEM_ASSIGN_OR_RETURN(f.version, r.U32());
+  RHEEM_ASSIGN_OR_RETURN(f.session_id, r.U64());
+  RHEEM_ASSIGN_OR_RETURN(f.tenant, r.Str(kMaxAuthBytes));
+  RHEEM_RETURN_IF_ERROR(r.ExpectEnd());
+  return f;
+}
+
+void SubmitOkFrame::Encode(std::string* out) const {
+  PutU64(job_id, out);
+  PutU32(static_cast<uint32_t>(schema.num_fields()), out);
+  for (const Field& field : schema.fields()) {
+    PutStr(field.name, out);
+    PutU8(static_cast<uint8_t>(field.type), out);
+  }
+}
+
+Result<SubmitOkFrame> SubmitOkFrame::Decode(const std::string& payload) {
+  PayloadReader r(payload);
+  SubmitOkFrame f;
+  RHEEM_ASSIGN_OR_RETURN(f.job_id, r.U64());
+  RHEEM_ASSIGN_OR_RETURN(uint32_t ncols, r.U32());
+  // Each column needs at least its 4-byte name length + 1-byte type.
+  if (ncols > r.remaining() / 5) {
+    return Status::IoError("column count " + std::to_string(ncols) +
+                           " exceeds remaining payload");
+  }
+  std::vector<Field> fields;
+  fields.reserve(ncols);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    Field field;
+    RHEEM_ASSIGN_OR_RETURN(field.name, r.Str(kMaxAuthBytes));
+    RHEEM_ASSIGN_OR_RETURN(uint8_t type, r.U8());
+    if (type > static_cast<uint8_t>(ValueType::kDoubleList)) {
+      return Status::IoError("unknown column type tag " + std::to_string(type));
+    }
+    field.type = static_cast<ValueType>(type);
+    fields.push_back(std::move(field));
+  }
+  RHEEM_RETURN_IF_ERROR(r.ExpectEnd());
+  f.schema = Schema(std::move(fields));
+  return f;
+}
+
+void StatusFrame::Encode(std::string* out) const {
+  PutU64(job_id, out);
+  PutU8(state, out);
+  PutU8(done ? 1 : 0, out);
+  PutU8(code, out);
+  PutStr(message, out);
+  PutU64(rows, out);
+  PutU64(pages, out);
+}
+
+Result<StatusFrame> StatusFrame::Decode(const std::string& payload) {
+  PayloadReader r(payload);
+  StatusFrame f;
+  RHEEM_ASSIGN_OR_RETURN(f.job_id, r.U64());
+  RHEEM_ASSIGN_OR_RETURN(f.state, r.U8());
+  if (f.state > 4) {  // JobState::kCancelled
+    return Status::IoError("unknown job state " + std::to_string(f.state));
+  }
+  RHEEM_ASSIGN_OR_RETURN(uint8_t done, r.U8());
+  if (done > 1) return Status::IoError("non-boolean done flag");
+  f.done = done != 0;
+  RHEEM_ASSIGN_OR_RETURN(f.code, r.U8());
+  if (f.code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::IoError("unknown status code " + std::to_string(f.code));
+  }
+  RHEEM_ASSIGN_OR_RETURN(f.message, r.Str(kMaxMessageBytes));
+  RHEEM_ASSIGN_OR_RETURN(f.rows, r.U64());
+  RHEEM_ASSIGN_OR_RETURN(f.pages, r.U64());
+  RHEEM_RETURN_IF_ERROR(r.ExpectEnd());
+  return f;
+}
+
+void PageFrame::Encode(std::string* out) const {
+  PutU64(job_id, out);
+  PutU64(page, out);
+  PutU8(last ? 1 : 0, out);
+  PutStr(dataset_bytes, out);
+}
+
+Result<PageFrame> PageFrame::Decode(const std::string& payload,
+                                    uint32_t max_page_bytes) {
+  PayloadReader r(payload);
+  PageFrame f;
+  RHEEM_ASSIGN_OR_RETURN(f.job_id, r.U64());
+  RHEEM_ASSIGN_OR_RETURN(f.page, r.U64());
+  RHEEM_ASSIGN_OR_RETURN(uint8_t last, r.U8());
+  if (last > 1) return Status::IoError("non-boolean last flag");
+  f.last = last != 0;
+  RHEEM_ASSIGN_OR_RETURN(f.dataset_bytes, r.Str(max_page_bytes));
+  RHEEM_RETURN_IF_ERROR(r.ExpectEnd());
+  return f;
+}
+
+void ErrorFrame::Encode(std::string* out) const {
+  PutU8(code, out);
+  PutStr(message, out);
+}
+
+Result<ErrorFrame> ErrorFrame::Decode(const std::string& payload) {
+  PayloadReader r(payload);
+  ErrorFrame f;
+  RHEEM_ASSIGN_OR_RETURN(f.code, r.U8());
+  if (f.code == 0 ||
+      f.code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::IoError("invalid error code " + std::to_string(f.code));
+  }
+  RHEEM_ASSIGN_OR_RETURN(f.message, r.Str(kMaxMessageBytes));
+  RHEEM_RETURN_IF_ERROR(r.ExpectEnd());
+  return f;
+}
+
+Status ErrorFrame::ToStatus() const {
+  return Status(static_cast<StatusCode>(code), message);
+}
+
+ErrorFrame ErrorFrame::FromStatus(const Status& status) {
+  ErrorFrame f;
+  f.code = static_cast<uint8_t>(status.ok() ? StatusCode::kInternal
+                                            : status.code());
+  f.message = status.message();
+  if (f.message.size() > kMaxMessageBytes) {
+    f.message.resize(kMaxMessageBytes);
+  }
+  return f;
+}
+
+// --- frame I/O --------------------------------------------------------------
+
+Status WriteFrame(int fd, FrameType type, const std::string& payload,
+                  uint32_t max_frame) {
+  if (payload.size() > max_frame) {
+    return Status::Internal("frame payload of " +
+                            std::to_string(payload.size()) +
+                            " bytes exceeds max_frame_bytes " +
+                            std::to_string(max_frame));
+  }
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  PutU32(static_cast<uint32_t>(payload.size()), &frame);
+  PutU8(static_cast<uint8_t>(type), &frame);
+  frame.append(payload);
+  return WriteExact(fd, frame.data(), frame.size());
+}
+
+Result<Frame> ReadFrame(int fd, uint32_t max_frame) {
+  char header[kHeaderBytes];
+  RHEEM_RETURN_IF_ERROR(ReadExact(fd, kHeaderBytes, header));
+  uint32_t payload_len = 0;
+  std::memcpy(&payload_len, header, 4);
+  const uint8_t type = static_cast<uint8_t>(header[4]);
+  if (!IsKnownFrameType(type)) {
+    return Status::IoError("unknown frame type " + std::to_string(type));
+  }
+  if (payload_len > max_frame) {
+    // Unrecoverable: the stream cannot be resynchronized past a frame we
+    // refuse to buffer, so the caller must close the connection.
+    return Status::IoError("frame payload of " + std::to_string(payload_len) +
+                           " bytes exceeds max_frame_bytes " +
+                           std::to_string(max_frame));
+  }
+  Frame f;
+  f.type = static_cast<FrameType>(type);
+  f.payload.resize(payload_len);
+  if (payload_len > 0) {
+    RHEEM_RETURN_IF_ERROR(ReadExact(fd, payload_len, f.payload.data()));
+  }
+  return f;
+}
+
+}  // namespace net
+}  // namespace rheem

@@ -1,0 +1,228 @@
+#ifndef RHEEM_CORE_SERVICE_NET_WIRE_H_
+#define RHEEM_CORE_SERVICE_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/schema.h"
+
+namespace rheem {
+namespace net {
+
+/// \brief The job service's length-prefixed binary wire protocol.
+///
+/// Every message is one frame:
+///
+///   frame   := u32 payload_len | u8 frame_type | payload[payload_len]
+///
+/// (all integers little-endian; strings are `u32 len | bytes`, "str" below).
+/// Result pages reuse the Serializer dataset encoding, so the record codec —
+/// hardened against truncation, bit flips and allocation bombs — is shared
+/// between storage, platform boundaries and the network.
+///
+/// Frame payloads (see docs/service_protocol.md for the full grammar):
+///   HELLO     := u32 version | str auth_token | str tenant
+///   SUBMIT    := u8 kind(1=SQL) | i64 deadline_ms | u8 flags | str text
+///   POLL      := u64 job_id
+///   CANCEL    := u64 job_id
+///   FETCH     := u64 job_id | u64 page
+///   BYE       := (empty)
+///   HELLO_OK  := u32 version | u64 session_id | str tenant
+///   SUBMIT_OK := u64 job_id | u32 ncols | (str name | u8 type)*
+///   STATUS    := u64 job_id | u8 state | u8 done | u8 code | str message
+///                | u64 rows | u64 pages
+///   PAGE      := u64 job_id | u64 page | u8 last | str dataset_bytes
+///   OK        := (empty)
+///   ERROR     := u8 code | str message
+///
+/// Decoders treat payload bytes as untrusted: every length is bounded by
+/// the remaining payload before any allocation, enum values are validated,
+/// and trailing bytes after a complete payload are rejected.
+enum class FrameType : uint8_t {
+  // client -> server
+  kHello = 0x01,
+  kSubmit = 0x02,
+  kPoll = 0x03,
+  kCancel = 0x04,
+  kFetch = 0x05,
+  kBye = 0x06,
+  // server -> client
+  kHelloOk = 0x81,
+  kSubmitOk = 0x82,
+  kStatus = 0x83,
+  kPage = 0x84,
+  kOk = 0x85,
+  kError = 0x86,
+};
+
+const char* FrameTypeToString(FrameType t);
+
+/// Protocol version spoken by this tree. A HELLO with a different version
+/// is rejected (there is exactly one version so far).
+constexpr uint32_t kProtocolVersion = 1;
+
+/// Hard ceilings applied while *decoding* untrusted payloads (the server
+/// additionally bounds whole frames by `service.net.max_frame_bytes`).
+constexpr uint32_t kMaxAuthBytes = 256;        // token / tenant strings
+constexpr uint32_t kMaxSqlBytes = 1u << 20;    // submitted statement text
+constexpr uint32_t kMaxMessageBytes = 1u << 16;  // error/status messages
+
+/// Default whole-frame bound (`service.net.max_frame_bytes`); a declared
+/// payload length above the bound poisons the stream and closes it.
+constexpr uint32_t kDefaultMaxFrameBytes = 4u << 20;
+
+// --- little-endian primitives ----------------------------------------------
+
+void PutU8(uint8_t v, std::string* out);
+void PutU32(uint32_t v, std::string* out);
+void PutU64(uint64_t v, std::string* out);
+void PutI64(int64_t v, std::string* out);
+void PutStr(const std::string& s, std::string* out);  // u32 len | bytes
+
+/// Bounds-checked cursor over one untrusted frame payload. Every getter
+/// fails with IoError instead of over-reading; Str() validates the declared
+/// length against both the remaining payload and the caller's ceiling
+/// before allocating.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::string& payload) : buf_(payload) {}
+
+  Result<uint8_t> U8();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<int64_t> I64();
+  Result<std::string> Str(uint32_t max_len);
+
+  std::size_t remaining() const { return buf_.size() - offset_; }
+
+  /// IoError unless the payload was consumed exactly — torn or concatenated
+  /// payloads surface as errors, mirroring Serializer::DecodeDataset.
+  Status ExpectEnd() const;
+
+ private:
+  const std::string& buf_;
+  std::size_t offset_ = 0;
+};
+
+// --- typed frames -----------------------------------------------------------
+
+struct HelloFrame {
+  uint32_t version = kProtocolVersion;
+  std::string auth_token;
+  std::string tenant;
+
+  void Encode(std::string* out) const;
+  static Result<HelloFrame> Decode(const std::string& payload);
+};
+
+/// SUBMIT payload kinds. Plans travel as SQL text (the PR-8 frontend is the
+/// network plan format); the tag leaves room for a future binary plan codec.
+enum class SubmitKind : uint8_t { kSql = 1 };
+
+struct SubmitFrame {
+  SubmitKind kind = SubmitKind::kSql;
+  /// Wall-clock budget in ms; 0 = none, negative = already expired (the
+  /// job resolves DeadlineExceeded server-side without compiling).
+  int64_t deadline_ms = 0;
+  bool use_plan_cache = true;
+  bool use_result_cache = true;
+  std::string text;  // SQL statement
+
+  void Encode(std::string* out) const;
+  static Result<SubmitFrame> Decode(const std::string& payload);
+};
+
+struct JobIdFrame {  // POLL and CANCEL
+  uint64_t job_id = 0;
+
+  void Encode(std::string* out) const;
+  static Result<JobIdFrame> Decode(const std::string& payload);
+};
+
+struct FetchFrame {
+  uint64_t job_id = 0;
+  uint64_t page = 0;
+
+  void Encode(std::string* out) const;
+  static Result<FetchFrame> Decode(const std::string& payload);
+};
+
+struct HelloOkFrame {
+  uint32_t version = kProtocolVersion;
+  uint64_t session_id = 0;
+  std::string tenant;  // resolved tenant the session was admitted as
+
+  void Encode(std::string* out) const;
+  static Result<HelloOkFrame> Decode(const std::string& payload);
+};
+
+struct SubmitOkFrame {
+  uint64_t job_id = 0;
+  Schema schema;  // result schema of the compiled statement
+
+  void Encode(std::string* out) const;
+  static Result<SubmitOkFrame> Decode(const std::string& payload);
+};
+
+struct StatusFrame {
+  uint64_t job_id = 0;
+  uint8_t state = 0;  // JobState numeric value
+  bool done = false;
+  uint8_t code = 0;  // StatusCode of the result (0 = OK / still running)
+  std::string message;
+  uint64_t rows = 0;   // result rows, valid once done && code == 0
+  uint64_t pages = 0;  // result pages, valid once done && code == 0
+
+  void Encode(std::string* out) const;
+  static Result<StatusFrame> Decode(const std::string& payload);
+};
+
+struct PageFrame {
+  uint64_t job_id = 0;
+  uint64_t page = 0;
+  bool last = false;
+  /// One Serializer::EncodeDataset frame holding this page's rows.
+  std::string dataset_bytes;
+
+  /// `max_page_bytes` bounds the embedded dataset blob on decode.
+  void Encode(std::string* out) const;
+  static Result<PageFrame> Decode(const std::string& payload,
+                                  uint32_t max_page_bytes);
+};
+
+struct ErrorFrame {
+  uint8_t code = 0;  // StatusCode numeric value, never 0
+  std::string message;
+
+  void Encode(std::string* out) const;
+  static Result<ErrorFrame> Decode(const std::string& payload);
+
+  Status ToStatus() const;
+  static ErrorFrame FromStatus(const Status& status);
+};
+
+// --- frame I/O over a connected socket --------------------------------------
+
+/// Blocking exact-length write of one frame (header + payload). EINTR-safe;
+/// IoError on a closed or failed socket. `payload` must be shorter than
+/// `max_frame` (the writer enforces the same bound the peer will).
+Status WriteFrame(int fd, FrameType type, const std::string& payload,
+                  uint32_t max_frame = kDefaultMaxFrameBytes);
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// Blocking read of one frame. A declared payload length above `max_frame`
+/// is unrecoverable (the stream cannot be resynchronized) and returns
+/// IoError, as do EOF and torn frames. A clean EOF *at a frame boundary*
+/// returns IoError with message "connection closed".
+Result<Frame> ReadFrame(int fd, uint32_t max_frame = kDefaultMaxFrameBytes);
+
+}  // namespace net
+}  // namespace rheem
+
+#endif  // RHEEM_CORE_SERVICE_NET_WIRE_H_

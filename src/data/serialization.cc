@@ -61,6 +61,15 @@ Result<Record> Serializer::DecodeRecord(const std::string& buf,
   if (!GetRaw(buf, offset, &nfields)) {
     return Status::IoError("truncated record header");
   }
+  // The count is untrusted input: every field costs at least its one-byte
+  // type tag, so a count larger than the remaining bytes cannot possibly be
+  // encoded — reject it *before* reserving, or a 12-byte frame could demand
+  // a multi-GB allocation.
+  if (nfields > buf.size() - *offset) {
+    return Status::IoError("field count " + std::to_string(nfields) +
+                           " exceeds remaining " +
+                           std::to_string(buf.size() - *offset) + " bytes");
+  }
   std::vector<Value> fields;
   fields.reserve(nfields);
   for (uint32_t i = 0; i < nfields; ++i) {
@@ -105,6 +114,11 @@ Result<Record> Serializer::DecodeRecord(const std::string& buf,
         if (!GetRaw(buf, offset, &n)) {
           return Status::IoError("truncated list length");
         }
+        // Untrusted length: each element is 8 bytes, so bound the
+        // allocation by what the buffer can still hold.
+        if (n > (buf.size() - *offset) / sizeof(double)) {
+          return Status::IoError("truncated list payload");
+        }
         std::vector<double> xs(n);
         for (uint32_t k = 0; k < n; ++k) {
           if (!GetRaw(buf, offset, &xs[k])) {
@@ -135,6 +149,14 @@ Result<Dataset> Serializer::DecodeDataset(const std::string& buf) {
   if (!GetRaw(buf, &offset, &rows)) {
     return Status::IoError("truncated dataset header");
   }
+  // Untrusted row count: every record costs at least its 4-byte field-count
+  // header, so more rows than remaining/4 cannot be encoded. Checked before
+  // reserve() so a tiny malicious frame cannot demand a huge allocation.
+  if (rows > (buf.size() - offset) / sizeof(uint32_t)) {
+    return Status::IoError("row count " + std::to_string(rows) +
+                           " exceeds remaining " +
+                           std::to_string(buf.size() - offset) + " bytes");
+  }
   std::vector<Record> records;
   records.reserve(rows);
   for (uint64_t i = 0; i < rows; ++i) {
@@ -143,6 +165,15 @@ Result<Dataset> Serializer::DecodeDataset(const std::string& buf) {
       return rec.status().WithContext("record " + std::to_string(i));
     }
     records.push_back(std::move(rec).ValueOrDie());
+  }
+  // A dataset frame is self-delimiting: bytes past the declared rows mean a
+  // torn or concatenated frame, and silently dropping them would truncate
+  // data. Surface the error instead.
+  if (offset != buf.size()) {
+    return Status::IoError("dataset frame has " +
+                           std::to_string(buf.size() - offset) +
+                           " trailing bytes after " + std::to_string(rows) +
+                           " declared rows");
   }
   return Dataset(std::move(records));
 }

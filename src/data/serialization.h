@@ -25,6 +25,13 @@ namespace rheem {
 ///   field   := u8 type_tag, payload
 ///   payload := bool->u8 | int64->i64 | double->f64
 ///              | string->u32 len + bytes | double_list->u32 n + f64*n
+///
+/// The decoders treat their input as *untrusted* (the network service feeds
+/// them bytes straight off a socket): every declared count is bounded by
+/// what the remaining buffer could possibly encode before any allocation,
+/// truncation anywhere yields IoError rather than a crash or over-read, and
+/// DecodeDataset rejects trailing bytes after the declared row count so torn
+/// or concatenated frames surface as errors instead of truncated data.
 class Serializer {
  public:
   /// Appends the encoding of `r` to `out`.

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/trace.h"
 #include "core/api/data_quanta.h"
 #include "core/service/plan_cache.h"
 #include "storage/hot_buffer.h"
@@ -217,6 +218,43 @@ TEST_F(ServiceTest, DeadlineExpiredInQueueFailsWithDeadlineExceeded) {
   EXPECT_TRUE(result.status().IsDeadlineExceeded()) << result.status().ToString();
   EXPECT_EQ(late->state(), JobState::kFailed);
   ASSERT_TRUE(running->Wait().ok());
+}
+
+// Regression: a negative deadline budget is already expired at Submit().
+// It used to slip through the `count() > 0` guard and run with *no*
+// deadline; it must instead resolve DeadlineExceeded immediately — never
+// queued, never compiled (no compile span), no server stats drift.
+TEST_F(ServiceTest, AlreadyExpiredDeadlineResolvesImmediatelyWithoutCompile) {
+  Tracer::Global().Clear();
+  Tracer::Global().set_enabled(true);
+
+  RheemJob job(&ctx_);
+  Plan* plan = BuildDoublerPlan(&job, 5);
+  JobOptions options;
+  options.deadline = std::chrono::milliseconds(-1);  // expired before Submit
+  auto handle = ctx_.Submit(*plan, options);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+
+  // Resolved synchronously: no queue wait, done before any Wait().
+  EXPECT_TRUE(handle->done());
+  auto result = handle->Wait();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+  EXPECT_EQ(handle->state(), JobState::kFailed);
+
+  auto stats = ctx_.job_server().stats();
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.submitted, 1);
+  EXPECT_EQ(stats.failed, 1);
+
+  // The job was never compiled or run: no compile (or job) span exists.
+  for (const auto& span : Tracer::Global().Spans()) {
+    EXPECT_NE(span.name, "compile") << "expired job emitted a compile span";
+    EXPECT_NE(span.name, "job") << "expired job emitted a job span";
+  }
+  Tracer::Global().set_enabled(false);
+  Tracer::Global().Clear();
 }
 
 TEST_F(ServiceTest, ShutdownDrainsQueuedJobs) {

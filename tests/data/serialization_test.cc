@@ -128,5 +128,140 @@ TEST(SerializationTest, PropertyRandomRecordsRoundTrip) {
   }
 }
 
+// --- untrusted-input hardening ---------------------------------------------
+// The network service feeds these decoders bytes straight off a socket, so
+// declared counts are attacker-controlled. None of the following may crash,
+// over-read (ASan-checked in CI) or allocate proportionally to the claim.
+
+std::string LittleEndianBytes(uint64_t v, int n) {
+  std::string out;
+  for (int i = 0; i < n; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  return out;
+}
+
+TEST(SerializationHardeningTest, HugeFieldCountIsRejectedBeforeAllocating) {
+  // A 12-byte frame claiming 4 billion fields must fail fast, not reserve.
+  std::string buf = LittleEndianBytes(0xfffffff0u, 4);
+  buf += LittleEndianBytes(0, 8);  // a few junk bytes
+  std::size_t offset = 0;
+  auto r = Serializer::DecodeRecord(buf, &offset);
+  EXPECT_TRUE(r.status().IsIoError()) << r.status().ToString();
+}
+
+TEST(SerializationHardeningTest, HugeRowCountIsRejectedBeforeAllocating) {
+  std::string buf = LittleEndianBytes(0xffffffffffffff00ull, 8);
+  buf += LittleEndianBytes(0, 4);
+  auto r = Serializer::DecodeDataset(buf);
+  EXPECT_TRUE(r.status().IsIoError()) << r.status().ToString();
+}
+
+TEST(SerializationHardeningTest, HugeDoubleListLengthIsRejectedBeforeAllocating) {
+  std::string buf = LittleEndianBytes(1, 4);  // one field
+  buf += LittleEndianBytes(static_cast<uint64_t>(ValueType::kDoubleList), 1);
+  buf += LittleEndianBytes(0xfffffff0u, 4);  // ~32 GB worth of doubles
+  std::size_t offset = 0;
+  auto r = Serializer::DecodeRecord(buf, &offset);
+  EXPECT_TRUE(r.status().IsIoError()) << r.status().ToString();
+}
+
+TEST(SerializationHardeningTest, HugeStringLengthIsRejected) {
+  std::string buf = LittleEndianBytes(1, 4);
+  buf += LittleEndianBytes(static_cast<uint64_t>(ValueType::kString), 1);
+  buf += LittleEndianBytes(0xffffff00u, 4);
+  buf += "abc";
+  std::size_t offset = 0;
+  auto r = Serializer::DecodeRecord(buf, &offset);
+  EXPECT_TRUE(r.status().IsIoError()) << r.status().ToString();
+}
+
+TEST(SerializationHardeningTest, TrailingBytesAfterDeclaredRowsAreRejected) {
+  Dataset ds(std::vector<Record>{Record({Value(int64_t{1})}),
+                                 Record({Value("x")})});
+  std::string wire = Serializer::EncodeDataset(ds);
+  // A torn/concatenated frame: valid encoding plus junk must not silently
+  // decode to the two declared rows.
+  for (const std::string& junk : {std::string(1, '\0'), std::string("junk")}) {
+    auto r = Serializer::DecodeDataset(wire + junk);
+    EXPECT_TRUE(r.status().IsIoError()) << r.status().ToString();
+  }
+  // Two concatenated frames are not one frame.
+  auto r = Serializer::DecodeDataset(wire + wire);
+  EXPECT_TRUE(r.status().IsIoError()) << r.status().ToString();
+  // The untouched frame still round-trips.
+  ASSERT_TRUE(Serializer::DecodeDataset(wire).ok());
+}
+
+Dataset RandomDataset(Rng* rng) {
+  std::vector<Record> records;
+  const int rows = static_cast<int>(rng->NextBounded(8));
+  for (int i = 0; i < rows; ++i) {
+    std::vector<Value> fields;
+    const int n = static_cast<int>(rng->NextBounded(5));
+    for (int f = 0; f < n; ++f) {
+      switch (rng->NextBounded(6)) {
+        case 0: fields.emplace_back(); break;
+        case 1: fields.emplace_back(rng->NextBool()); break;
+        case 2: fields.emplace_back(rng->NextInt(-1000, 1000)); break;
+        case 3: fields.emplace_back(rng->NextDouble()); break;
+        case 4: {
+          std::string s;
+          const int len = static_cast<int>(rng->NextBounded(24));
+          for (int c = 0; c < len; ++c) {
+            s.push_back(static_cast<char>(rng->NextBounded(256)));
+          }
+          fields.emplace_back(std::move(s));
+          break;
+        }
+        default: {
+          std::vector<double> xs(rng->NextBounded(4));
+          for (auto& x : xs) x = rng->NextDouble();
+          fields.emplace_back(std::move(xs));
+        }
+      }
+    }
+    records.push_back(Record(std::move(fields)));
+  }
+  return Dataset(std::move(records));
+}
+
+// Fuzz: random truncations and bit flips over valid encodings must return
+// errors or valid records — never crash, hang or read out of bounds. Runs
+// under ASan in CI (sanitizer job), where any over-read aborts the test.
+TEST(SerializationHardeningTest, FuzzTruncationsAndBitFlipsNeverCrash) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 400; ++trial) {
+    Dataset ds = RandomDataset(&rng);
+    const std::string wire = Serializer::EncodeDataset(ds);
+
+    // Every truncation point: must be IoError, never OK (a shorter frame
+    // cannot satisfy the trailing-bytes contract either way).
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+      auto r = Serializer::DecodeDataset(wire.substr(0, cut));
+      EXPECT_FALSE(r.ok()) << "truncated frame decoded at cut " << cut;
+    }
+
+    // Random bit flips: decode may succeed (a flipped payload bit is still
+    // a valid value) but must never crash; when it succeeds the result must
+    // re-encode within the input's length bound (no over-read amplification).
+    for (int flips = 0; flips < 32; ++flips) {
+      std::string mutated = wire;
+      if (mutated.empty()) break;
+      const std::size_t pos = rng.NextBounded(mutated.size());
+      mutated[pos] = static_cast<char>(
+          mutated[pos] ^ static_cast<char>(1u << rng.NextBounded(8)));
+      auto r = Serializer::DecodeDataset(mutated);
+      if (r.ok()) {
+        EXPECT_LE(Serializer::EncodedSize(*r),
+                  static_cast<int64_t>(mutated.size()));
+      }
+    }
+
+    // Random garbage of the same length as the frame.
+    std::string garbage(wire.size(), '\0');
+    for (auto& c : garbage) c = static_cast<char>(rng.NextBounded(256));
+    (void)Serializer::DecodeDataset(garbage);  // must not crash
+  }
+}
+
 }  // namespace
 }  // namespace rheem
