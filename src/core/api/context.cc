@@ -1,5 +1,6 @@
 #include "core/api/context.h"
 
+#include <filesystem>
 #include <set>
 
 #include "common/logging.h"
@@ -9,6 +10,7 @@
 #include "core/api/logical_nodes.h"
 #include "core/optimizer/enumerator.h"
 #include "core/optimizer/logical_rewrites.h"
+#include "core/optimizer/stats_catalog.h"
 #include "core/service/job_server.h"
 #include "storage/hot_buffer.h"
 #include "platforms/javasim/javasim_platform.h"
@@ -19,6 +21,20 @@ namespace rheem {
 
 RheemContext::RheemContext(Config config) : config_(std::move(config)) {
   ApplyObservabilityConfig(config_);
+  if (config_.GetBool("stats.enabled", true).ValueOr(true)) {
+    stats_ = std::make_unique<StatisticsCatalog>();
+    const std::string path = config_.GetString("stats.path", "").ValueOr("");
+    std::error_code ec;
+    if (!path.empty() && std::filesystem::exists(path, ec)) {
+      // A corrupt stats file is rejected and counted
+      // (stats_catalog.corrupt_total); the context starts with an empty
+      // catalog rather than planning from poisoned statistics.
+      if (Status loaded = stats_->LoadFromFile(path); !loaded.ok()) {
+        RHEEM_LOG(Warning) << "ignoring stats catalog at " << path << ": "
+                           << loaded.ToString();
+      }
+    }
+  }
 }
 
 RheemContext::~RheemContext() = default;  // JobServer's dtor drains
@@ -273,13 +289,30 @@ Result<CompiledJob> RheemContext::Compile(const Plan& logical_plan,
   EstimateMap estimates;
   {
     TraceSpan span("estimate", "optimizer", optimize_id);
-    RHEEM_ASSIGN_OR_RETURN(estimates, CardinalityEstimator::Estimate(*physical));
+    // Learned statistics: recorded cardinalities short-circuit the
+    // estimator for every sub-plan a previous job already measured
+    // (matched by platform-free fingerprint), so repeat traffic plans
+    // with observed numbers instead of static selectivity guesses.
+    EstimateMap learned;
+    if (stats_ != nullptr) {
+      auto fps = ComputeCardinalityFingerprints(*physical);
+      if (fps.ok()) {
+        for (const auto& [op_id, fp] : *fps) {
+          Estimate e;
+          if (stats_->LookupCardinality(fp, &e)) learned[op_id] = e;
+        }
+      }
+      span.AddTag("learned", static_cast<int64_t>(learned.size()));
+    }
+    RHEEM_ASSIGN_OR_RETURN(
+        estimates, CardinalityEstimator::Estimate(*physical, learned));
   }
   Enumerator enumerator(&registry_, &movement_);
   EnumeratorOptions eo;
   eo.force_platform = options.force_platform;
   eo.pinned_platforms = pins;
   eo.movement_aware = options.movement_aware;
+  eo.stats = stats_.get();
   PlatformAssignment assignment;
   {
     TraceSpan span("enumerate", "optimizer", optimize_id);
@@ -295,6 +328,11 @@ Result<CompiledJob> RheemContext::Compile(const Plan& logical_plan,
   }
   CountIfEnabled(MetricsRegistry::Global().counter("optimizer.stages_planned"),
                  static_cast<int64_t>(eplan.stages.size()));
+  // The execution plan carries its estimates and enumeration constraints so
+  // the executor can re-optimize mid-job under the same rules it was
+  // planned with.
+  eplan.estimates = estimates;
+  eplan.enum_options = eo;
   CompiledJob job;
   job.physical = std::move(physical);
   job.estimates = std::move(estimates);
@@ -308,6 +346,7 @@ Result<ExecutionResult> RheemContext::Execute(
   CrossPlatformExecutor executor(config_);
   if (options.monitor != nullptr) executor.set_monitor(options.monitor);
   executor.EnableFailover(&registry_, &movement_);
+  executor.set_stats_catalog(stats_.get());
   auto result = executor.Execute(job.eplan);
   // Direct (non-JobServer) runs flush the trace here, once the job's spans
   // have all closed.

@@ -18,9 +18,10 @@
 
 namespace rheem {
 
-class JobServer;   // core/service/job_server.h
+class JobServer;          // core/service/job_server.h
 class JobHandle;
 struct JobOptions;
+class StatisticsCatalog;  // core/optimizer/stats_catalog.h
 
 namespace storage {
 class StorageManager;  // storage/storage_plan.h
@@ -65,6 +66,17 @@ struct CompiledJob {
 /// Config keys (beyond per-platform ones):
 ///   rheem.platforms   comma list of default platforms to register
 ///                     (default "javasim,sparksim,relsim")
+///   stats.enabled     (bool, default true): keep a StatisticsCatalog of
+///                     observed cardinalities + calibrated cost constants,
+///                     fed by every executed job and consulted by Compile
+///                     (learned estimates) and the Enumerator (cost
+///                     factors).
+///   stats.path        (string, default "" = in-memory only): checksummed
+///                     stats file loaded at construction (if present) and
+///                     saved by JobServer::Shutdown — how the fleet gets
+///                     smarter across restarts. Corrupt files are rejected
+///                     and counted (`stats_catalog.corrupt_total`), never
+///                     partially loaded.
 class RheemContext {
  public:
   explicit RheemContext(Config config = Config());
@@ -123,6 +135,11 @@ class RheemContext {
   storage::StorageManager* storage() const { return storage_; }
   storage::HotDataBuffer* hot_buffer() const { return hot_buffer_.get(); }
 
+  /// The context's learned-statistics catalog; nullptr when `stats.enabled`
+  /// is false. Shared by every job compiled or executed through this
+  /// context (the catalog is thread-safe).
+  StatisticsCatalog* stats_catalog() const { return stats_.get(); }
+
   /// Translates a logical plan (GenericLogicalOp nodes and/or arbitrary
   /// per-quantum LogicalOperator subclasses, which get wrapper physical
   /// operators) into a physical plan. `pins` receives physical-op-id ->
@@ -137,6 +154,7 @@ class RheemContext {
   MovementCostModel movement_;
   storage::StorageManager* storage_ = nullptr;  // not owned
   std::unique_ptr<storage::HotDataBuffer> hot_buffer_;
+  std::unique_ptr<StatisticsCatalog> stats_;
   std::mutex server_mu_;  // guards lazy creation of server_
   // Declared last: jobs reference the registry's platforms, so the server
   // must drain before anything else is torn down.

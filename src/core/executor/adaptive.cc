@@ -29,6 +29,19 @@ std::string DescribeError(const Operator* op, double estimated, double actual) {
 
 Result<AdaptiveResult> AdaptiveExecutor::Execute(
     const Plan& plan, const AdaptiveOptions& options) const {
+  // Validate at submit: a threshold <= 1.0 can never be exceeded by the
+  // symmetric error ratio (always >= 1) and a negative budget is a config
+  // typo — both used to silently disable adaptation instead of erroring.
+  if (options.reoptimize_threshold <= 1.0) {
+    return Status::InvalidArgument(
+        "AdaptiveOptions.reoptimize_threshold must be > 1.0 (got " +
+        std::to_string(options.reoptimize_threshold) + ")");
+  }
+  if (options.max_reoptimizations < 0) {
+    return Status::InvalidArgument(
+        "AdaptiveOptions.max_reoptimizations must be >= 0 (got " +
+        std::to_string(options.max_reoptimizations) + ")");
+  }
   RHEEM_RETURN_IF_ERROR(plan.Validate());
 
   AdaptiveResult result;

@@ -1,6 +1,7 @@
 #include "core/executor/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -28,7 +29,9 @@
 #include "core/executor/result_cache.h"
 #include "core/operators/physical_ops.h"
 #include "core/optimizer/cardinality.h"
+#include "core/optimizer/cost_learner.h"
 #include "core/optimizer/enumerator.h"
+#include "core/optimizer/stats_catalog.h"
 #include "data/serialization.h"
 
 namespace rheem {
@@ -40,8 +43,13 @@ namespace {
 /// calling thread coordinates and blocks; stage bodies run on pool workers.
 /// On the first stage failure no further stages start, but in-flight stages
 /// are awaited before returning (their state references live on this frame).
+/// `soft_stop` (optional) is polled before each dispatch: once it returns
+/// true no further stages start and the round ends *successfully* after the
+/// in-flight stages drain — progressive re-optimization uses this to cut a
+/// round short without discarding completed work.
 Status RunStagesDag(const std::vector<Stage>& stages, ThreadPool* pool,
-                    const std::function<Status(const Stage&)>& run_stage) {
+                    const std::function<Status(const Stage&)>& run_stage,
+                    const std::function<bool()>& soft_stop = nullptr) {
   const std::size_t n = stages.size();
   std::map<int, std::size_t> index_of;
   for (std::size_t i = 0; i < n; ++i) index_of[stages[i].id()] = i;
@@ -77,7 +85,8 @@ Status RunStagesDag(const std::vector<Stage>& stages, ThreadPool* pool,
 
   std::unique_lock<std::mutex> lk(ctl.mu);
   for (;;) {
-    if (!ctl.failed && !ctl.ready.empty()) {
+    const bool stopping = soft_stop != nullptr && soft_stop();
+    if (!ctl.failed && !stopping && !ctl.ready.empty()) {
       const std::size_t idx = ctl.ready.front();
       ctl.ready.pop_front();
       ++ctl.in_flight;
@@ -108,6 +117,9 @@ Status RunStagesDag(const std::vector<Stage>& stages, ThreadPool* pool,
     if (ctl.in_flight == 0) {
       if (ctl.failed) return ctl.error;
       if (ctl.completed == n) return Status::OK();
+      // Soft-stopped with work left: a successful partial round — the
+      // caller re-plans the remainder.
+      if (stopping) return Status::OK();
       // Nothing running, nothing ready, not done: the stage graph is cyclic.
       return Status::Internal("stage scheduler stalled on a cyclic graph");
     }
@@ -136,7 +148,8 @@ std::string StageDeclarativeDetail(const Stage& stage) {
 std::string BuildExecutionReport(
     std::vector<ExecutionMonitor::StageRecord> records,
     const ExecutionMetrics& metrics,
-    const std::vector<std::string>& failover_notes) {
+    const std::vector<std::string>& failover_notes,
+    const std::vector<std::string>& reopt_notes) {
   std::sort(records.begin(), records.end(),
             [](const ExecutionMonitor::StageRecord& a,
                const ExecutionMonitor::StageRecord& b) {
@@ -159,6 +172,9 @@ std::string BuildExecutionReport(
   for (const std::string& note : failover_notes) {
     os << "  failover: " << note << "\n";
   }
+  for (const std::string& note : reopt_notes) {
+    os << "  re-optimized: " << note << "\n";
+  }
   os << "  totals: moved_records=" << metrics.moved_records
      << " moved_bytes=" << metrics.moved_bytes
      << " shuffle_bytes=" << metrics.shuffle_bytes
@@ -166,7 +182,8 @@ std::string BuildExecutionReport(
      << " fused_operators=" << metrics.fused_operators
      << " stages_reused=" << metrics.stages_reused
      << " conversions_reused=" << metrics.boundary_conversions_reused
-     << " failovers=" << metrics.failovers << "\n";
+     << " failovers=" << metrics.failovers
+     << " reoptimizations=" << metrics.reoptimizations << "\n";
   return os.str();
 }
 
@@ -274,6 +291,24 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
                          config_.GetString("executor.checkpoint_dir", ""));
   RHEEM_ASSIGN_OR_RETURN(std::string job_id,
                          config_.GetString("executor.job_id", "job"));
+  RHEEM_ASSIGN_OR_RETURN(
+      double reopt_threshold,
+      config_.GetDouble("executor.reoptimize_threshold", 3.0));
+  RHEEM_ASSIGN_OR_RETURN(int64_t max_reoptimizations,
+                         config_.GetInt("executor.max_reoptimizations", 2));
+  // Validate at submit time: a threshold <= 1.0 can never be exceeded by
+  // the symmetric error ratio (always >= 1), and a negative budget is a
+  // sign of a config typo — both used to silently disable re-optimization.
+  if (reopt_threshold <= 1.0) {
+    return Status::InvalidArgument(
+        "executor.reoptimize_threshold must be > 1.0 (got " +
+        std::to_string(reopt_threshold) + ")");
+  }
+  if (max_reoptimizations < 0) {
+    return Status::InvalidArgument(
+        "executor.max_reoptimizations must be >= 0 (got " +
+        std::to_string(max_reoptimizations) + ")");
+  }
   if (!checkpoint_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(checkpoint_dir, ec);
@@ -284,6 +319,14 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
   };
   const bool failover_armed =
       registry_ != nullptr && movement_ != nullptr && max_failovers > 0;
+  // Progressive re-optimization (paper §4.2 feedback edge): armed when the
+  // executor can re-plan (registry + movement model), the plan carries its
+  // compile-time estimates (RheemContext::Compile populates them), and no
+  // platform was forced — a forced plan has no alternatives to re-enumerate.
+  const bool reopt_armed =
+      registry_ != nullptr && movement_ != nullptr &&
+      max_reoptimizations > 0 && !eplan.estimates.empty() &&
+      eplan.enum_options.force_platform.empty();
 
   // Observability: the `execute` span parents every stage attempt span (the
   // job-level span, when running under the JobServer, is already on this
@@ -301,6 +344,8 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
   Counter* corrupt_counter =
       registry.counter("executor.checkpoints_corrupt_total");
   Counter* failovers_counter = registry.counter("executor.failovers_total");
+  Counter* reopts_counter =
+      registry.counter("executor.reoptimizations_total");
   Counter* moved_records_counter = registry.counter("executor.moved_records_total");
   Counter* moved_bytes_counter = registry.counter("executor.moved_bytes_total");
   Counter* reused_counter = registry.counter("result_cache.stages_skipped");
@@ -346,6 +391,27 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
   std::vector<std::string> failover_notes;
   std::set<std::string> blacked_out;
 
+  // Progressive re-optimization state. `observed` holds the actual output
+  // cardinality of every materialized operator — consumed by mid-job
+  // re-estimates and, after the job, by the stats catalog. `live_estimates`
+  // is what the *current* plan was costed with (refreshed on each re-plan).
+  // Both are guarded by `mu`; `reopt_pending` is the lock-free soft-stop
+  // signal the stage schedulers poll.
+  EstimateMap observed;
+  EstimateMap live_estimates = eplan.estimates;
+  struct ReoptTrigger {
+    int op_id = 0;
+    std::string op_name;
+    double estimated = 0.0;
+    double actual = 0.0;
+    double error = 0.0;
+  };
+  ReoptTrigger reopt_trigger;         // guarded by `mu`
+  int64_t reopt_attempts = 0;         // guarded by `mu`
+  std::atomic<bool> reopt_pending{false};
+  std::vector<std::string> reopt_notes;  // main thread only (between rounds)
+  std::vector<std::string> decisions;    // main thread only (between rounds)
+
   const bool use_result_cache =
       result_cache_ != nullptr && result_cache_->enabled();
 
@@ -381,6 +447,42 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
       return it == subplan_fps->end() ? nullptr : &it->second;
     };
 
+    // Observed-cardinality hook (call with `mu` held): records every
+    // materialized output's actual cardinality, and — when re-optimization
+    // is armed and budget remains — requests a re-plan if a non-final
+    // stage's actual diverges from its estimate beyond the threshold. The
+    // request softly stops the round; the failover loop re-enumerates.
+    auto observe_outputs_locked =
+        [&](const Stage& stage,
+            const std::vector<std::shared_ptr<const Dataset>>& outs) {
+          for (std::size_t i = 0; i < outs.size(); ++i) {
+            const Operator* out_op = stage.outputs()[i];
+            const double actual = static_cast<double>(outs[i]->size());
+            Estimate& obs = observed[out_op->id()];
+            obs.cardinality = actual;
+            obs.avg_bytes =
+                outs[i]->size() > 0
+                    ? static_cast<double>(outs[i]->EstimatedBytes()) / actual
+                    : 32.0;
+            if (!reopt_armed || stage.id() == rplan.final_stage) continue;
+            auto est_it = live_estimates.find(out_op->id());
+            if (est_it == live_estimates.end()) continue;
+            const double est = est_it->second.cardinality;
+            const double error = std::max((actual + 1.0) / (est + 1.0),
+                                          (est + 1.0) / (actual + 1.0));
+            if (error > reopt_threshold &&
+                reopt_attempts < max_reoptimizations &&
+                !reopt_pending.load(std::memory_order_relaxed)) {
+              reopt_trigger.op_id = out_op->id();
+              reopt_trigger.op_name = out_op->name();
+              reopt_trigger.estimated = est;
+              reopt_trigger.actual = actual;
+              reopt_trigger.error = error;
+              reopt_pending.store(true, std::memory_order_release);
+            }
+          }
+        };
+
     auto run_stage = [&, consumers_left, subplan_fps,
                       fingerprint_of](const Stage& stage) -> Status {
       RHEEM_RETURN_IF_ERROR(stop_.Check());
@@ -396,7 +498,10 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
           auto it = consumers_left->find(producer->id());
           if (it != consumers_left->end() && --it->second == 0 &&
               producer != rplan.plan->sink()) {
-            if (!failover_armed) state.Evict(producer->id());
+            // Re-plans (failover or re-optimization) pin completed stages by
+            // checking their products are still materialized, so retain the
+            // datasets whenever a re-plan can still happen.
+            if (!failover_armed && !reopt_armed) state.Evict(producer->id());
             for (auto c = conversion_cache.begin();
                  c != conversion_cache.end();) {
               c = c->first.first == producer->id() ? conversion_cache.erase(c)
@@ -455,6 +560,7 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
           {
             std::lock_guard<std::mutex> lock(mu);
             metrics.stages_reused += 1;
+            observe_outputs_locked(stage, cached);
             for (std::size_t i = 0; i < cached.size(); ++i) {
               state.Put(stage.outputs()[i]->id(), std::move(cached[i]));
             }
@@ -510,6 +616,16 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
           {
             std::lock_guard<std::mutex> lock(mu);
             for (std::size_t i = 0; i < restored.size(); ++i) {
+              // Restored products still feed the observed-cardinality map
+              // (re-estimates and the stats catalog), but never trigger a
+              // re-plan themselves — they cost nothing to produce.
+              Estimate& obs = observed[stage.outputs()[i]->id()];
+              obs.cardinality = static_cast<double>(restored[i].size());
+              obs.avg_bytes =
+                  restored[i].size() > 0
+                      ? static_cast<double>(restored[i].EstimatedBytes()) /
+                            obs.cardinality
+                      : 32.0;
               state.Put(stage.outputs()[i]->id(), std::move(restored[i]));
             }
             if (want_report) report_records.push_back(record);
@@ -728,6 +844,7 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
             shared_outs.push_back(
                 std::make_shared<const Dataset>(std::move(out[i])));
           }
+          double est_stage_cost = 0.0;
           {
             std::lock_guard<std::mutex> lock(mu);
             metrics.MergeFrom(stage_metrics);
@@ -736,6 +853,27 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
             health[stage.platform()->name()] = 0;
             for (std::size_t i = 0; i < shared_outs.size(); ++i) {
               state.Put(stage.outputs()[i]->id(), shared_outs[i]);
+            }
+            observe_outputs_locked(stage, shared_outs);
+            if (stats_catalog_ != nullptr) {
+              auto est_cost =
+                  CostCalibrator::EstimateStageCost(stage, live_estimates);
+              if (est_cost.ok()) est_stage_cost = *est_cost;
+            }
+          }
+          // Cost calibration feedback: the stage's measured cost over its
+          // modelled cost, attributed to every operator kind it ran —
+          // persisted per (operator, platform) so later enumerations price
+          // this platform with observed constants.
+          if (stats_catalog_ != nullptr && est_stage_cost > 0.0) {
+            const double actual_cost = static_cast<double>(
+                wall + stage_metrics.sim_overhead_micros);
+            if (actual_cost > 0.0) {
+              const double ratio = actual_cost / est_stage_cost;
+              for (const Operator* op : stage.ops()) {
+                stats_catalog_->RecordCostRatio(
+                    op->kind_name(), stage.platform()->name(), ratio);
+              }
             }
           }
           if (use_result_cache) {
@@ -791,14 +929,21 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
       return Status::OK();
     };
 
+    // A pending re-optimization softly stops the round after in-flight
+    // stages drain: the round ends *successfully* and the failover loop
+    // re-plans the unexecuted remainder.
+    auto soft_stop = [&]() {
+      return reopt_pending.load(std::memory_order_acquire);
+    };
     if (!parallel_stages || rplan.stages.size() <= 1) {
       for (const Stage& stage : rplan.stages) {
+        if (soft_stop()) return Status::OK();
         RHEEM_RETURN_IF_ERROR(run_stage(stage));
       }
       return Status::OK();
     }
     ThreadPool* pool = pool_ != nullptr ? pool_ : &DefaultThreadPool();
-    return RunStagesDag(rplan.stages, pool, run_stage);
+    return RunStagesDag(rplan.stages, pool, run_stage, soft_stop);
   };
 
   // Failover loop: one round per plan. A round that fails because a
@@ -809,11 +954,119 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
   // paper §4.2). Cancellation and deadlines are never failed over.
   ExecutionPlan replanned;
   const ExecutionPlan* current = &eplan;
-  for (int round = 0;; ++round) {
+  for (;;) {
     Status round_status = run_round(*current);
-    if (round_status.ok()) break;
     if (round_status.IsCancelled() || round_status.IsDeadlineExceeded()) {
       return round_status;
+    }
+    if (round_status.ok()) {
+      if (!reopt_pending.load(std::memory_order_acquire)) break;
+
+      // A stage observed a cardinality divergence and softly stopped the
+      // round: re-enumerate the unexecuted remainder with completed stages
+      // pinned and the observed cardinalities as estimator ground truth.
+      ReoptTrigger trigger;
+      bool finished = false;
+      EstimateMap observed_copy;
+      EnumeratorOptions ropts = eplan.enum_options;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        trigger = reopt_trigger;
+        ++reopt_attempts;  // budget is consumed even if the re-plan fails
+        finished = state.Has(eplan.plan->sink()->id());
+        observed_copy = observed;
+        for (const Stage& stage : current->stages) {
+          bool complete = !stage.outputs().empty();
+          for (const Operator* out : stage.outputs()) {
+            complete = complete && state.Has(out->id());
+          }
+          if (!complete) continue;
+          for (const Operator* op : stage.ops()) {
+            ropts.pinned_platforms[op->id()] = stage.platform()->name();
+          }
+        }
+      }
+      reopt_pending.store(false, std::memory_order_release);
+      // Everything materialized before the soft stop landed: nothing left
+      // to re-plan.
+      if (finished) break;
+      ropts.banned_platforms.insert(blacked_out.begin(), blacked_out.end());
+
+      char desc[256];
+      std::snprintf(desc, sizeof(desc),
+                    "op #%d '%s' estimated %.0f records but produced %.0f "
+                    "(error %.1fx > threshold %.1fx)",
+                    trigger.op_id, trigger.op_name.c_str(), trigger.estimated,
+                    trigger.actual, trigger.error, reopt_threshold);
+
+      // An injected fault here simulates the re-optimizer dying mid-flight:
+      // the job must carry on with the current plan — never fail, never
+      // double-execute. Real enumeration errors degrade the same way.
+      Status replan_status = FaultInjector::Global().Hit(
+          "executor.reoptimize",
+          "op=" + std::to_string(trigger.op_id) +
+              ",attempt=" + std::to_string(metrics.reoptimizations));
+      EstimateMap refreshed;
+      if (replan_status.ok()) {
+        auto estimates =
+            CardinalityEstimator::Estimate(*eplan.plan, observed_copy);
+        if (estimates.ok()) {
+          refreshed = std::move(estimates).ValueOrDie();
+          Enumerator enumerator(registry_, movement_);
+          auto assignment = enumerator.Run(*eplan.plan, refreshed, ropts);
+          if (assignment.ok()) {
+            auto split = StageSplitter::Split(
+                *eplan.plan, std::move(assignment).ValueOrDie());
+            if (split.ok()) {
+              replanned = std::move(split).ValueOrDie();
+              replanned.estimates = refreshed;
+              replanned.enum_options = ropts;
+            } else {
+              replan_status = split.status();
+            }
+          } else {
+            replan_status = assignment.status();
+          }
+        } else {
+          replan_status = estimates.status();
+        }
+      }
+
+      if (!replan_status.ok()) {
+        const std::string note = std::string(desc) +
+                                 "; re-optimization abandoned: " +
+                                 replan_status.ToString();
+        reopt_notes.push_back(note);
+        RHEEM_LOG(Warning) << "re-optimization abandoned: " << note;
+        continue;  // carry on with the current plan
+      }
+
+      current = &replanned;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        live_estimates = refreshed;
+        metrics.reoptimizations += 1;
+      }
+      CountIfEnabled(reopts_counter, 1);
+      const std::string note =
+          std::string(desc) + "; re-planned remaining work across " +
+          std::to_string(replanned.stages.size()) + " stage(s)";
+      reopt_notes.push_back(note);
+      decisions.push_back(note);
+      TraceSpan reopt_span("reoptimize", "executor", exec_span_id);
+      reopt_span.AddTag("op", static_cast<int64_t>(trigger.op_id));
+      reopt_span.AddTag("estimated",
+                        static_cast<int64_t>(trigger.estimated));
+      reopt_span.AddTag("observed", static_cast<int64_t>(trigger.actual));
+      char error_buf[32];
+      std::snprintf(error_buf, sizeof(error_buf), "%.1fx", trigger.error);
+      reopt_span.AddTag("error", error_buf);
+      reopt_span.AddTag("stages",
+                        static_cast<int64_t>(replanned.stages.size()));
+      exec_span.AddTag("reopt_" + std::to_string(metrics.reoptimizations),
+                       note);
+      RHEEM_LOG(Info) << "re-optimized: " << note;
+      continue;
     }
     std::string culprit;
     int64_t consecutive = 0;
@@ -823,8 +1076,8 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
       suspect_platform.clear();
       if (!culprit.empty()) consecutive = health[culprit];
     }
-    if (!failover_armed || round >= max_failovers || culprit.empty() ||
-        consecutive < failover_threshold) {
+    if (!failover_armed || metrics.failovers >= max_failovers ||
+        culprit.empty() || consecutive < failover_threshold) {
       return round_status;
     }
     blacked_out.insert(culprit);
@@ -884,13 +1137,36 @@ Result<ExecutionResult> CrossPlatformExecutor::Execute(
 
   RHEEM_ASSIGN_OR_RETURN(const Dataset* final_data,
                          state.Get(eplan.plan->sink()->id()));
+
+  // Feed the learned-statistics catalog: observed cardinalities keyed by
+  // *platform-free* sub-plan fingerprints, so the next compilation of this
+  // (or any structurally shared) plan estimates with measured numbers.
+  // Fingerprinting failures only cost the learning, never the job.
+  if (stats_catalog_ != nullptr) {
+    auto fps = ComputeCardinalityFingerprints(*eplan.plan);
+    if (fps.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      for (const auto& [op_id, est] : observed) {
+        auto it = fps->find(op_id);
+        if (it != fps->end()) {
+          stats_catalog_->RecordCardinality(it->second, est.cardinality,
+                                            est.avg_bytes);
+        }
+      }
+    } else {
+      RHEEM_LOG(Warning) << "stats-catalog fingerprinting disabled: "
+                         << fps.status().ToString();
+    }
+  }
+
   ExecutionResult result;
   result.output = *final_data;
   result.metrics = metrics;
+  result.decisions = std::move(decisions);
   if (want_report) {
     result.report =
         BuildExecutionReport(std::move(report_records), metrics,
-                             failover_notes);
+                             failover_notes, reopt_notes);
   }
   return result;
 }

@@ -2,6 +2,8 @@
 #define RHEEM_CORE_EXECUTOR_EXECUTOR_H_
 
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "common/config.h"
 #include "common/result.h"
@@ -12,18 +14,25 @@
 
 namespace rheem {
 
-class ResultCache;        // core/executor/result_cache.h
-class MovementCostModel;  // core/optimizer/channel.h
+class ResultCache;         // core/executor/result_cache.h
+class MovementCostModel;   // core/optimizer/channel.h
+class StatisticsCatalog;   // core/optimizer/stats_catalog.h
 
 /// \brief Result of executing one RHEEM job end to end.
 struct ExecutionResult {
   Dataset output;
   ExecutionMetrics metrics;
   /// EXPLAIN ANALYZE-style per-stage report (platform, attempts, wall time,
-  /// output rows, movement totals, failover events). Populated when the
-  /// process-wide MetricsRegistry is enabled (`metrics.enabled`); empty
-  /// otherwise so the disabled path does no string work.
+  /// output rows, movement totals, failover and re-optimization events).
+  /// Populated when the process-wide MetricsRegistry is enabled
+  /// (`metrics.enabled`); empty otherwise so the disabled path does no
+  /// string work.
   std::string report;
+  /// One human-readable line per mid-job re-optimization: which operator's
+  /// observed cardinality diverged, by how much, and what was re-planned.
+  /// Always populated (operators need these even with metrics disabled);
+  /// size() == metrics.reoptimizations.
+  std::vector<std::string> decisions;
 };
 
 /// \brief RHEEM's Executor (paper Figure 1 / §4.2): schedules the execution
@@ -72,6 +81,18 @@ struct ExecutionResult {
 ///       already checkpointed — coarse-grained fault recovery for long
 ///       multi-platform jobs ("coping with failures", paper §4.2).
 ///   executor.job_id             (string, default "job")
+///   executor.reoptimize_threshold (double, default 3.0, must be > 1.0):
+///       progressive re-optimization (paper §4.2 feedback edge, RHEEMix):
+///       when a completed stage's observed output cardinality diverges from
+///       its compile-time estimate by more than this factor (in either
+///       direction), the remaining unexecuted stages are re-enumerated with
+///       completed stages pinned — the same machinery as platform failover,
+///       but triggered by mis-estimates instead of blackouts. Requires
+///       EnableFailover() (the registry + movement model) and an
+///       ExecutionPlan carrying its compile-time estimates
+///       (RheemContext::Compile populates them).
+///   executor.max_reoptimizations (int, default 2, must be >= 0): re-plan
+///       budget per job; 0 disables progressive re-optimization.
 class CrossPlatformExecutor {
  public:
   explicit CrossPlatformExecutor(Config config = Config());
@@ -105,6 +126,14 @@ class CrossPlatformExecutor {
     movement_ = movement;
   }
 
+  /// Learned-statistics sink (not owned; typically the RheemContext's).
+  /// When set, every job records its observed sub-plan cardinalities and
+  /// per-(operator, platform) cost ratios into the catalog after execution,
+  /// so later compilations plan with measured numbers.
+  void set_stats_catalog(StatisticsCatalog* catalog) {
+    stats_catalog_ = catalog;
+  }
+
   /// Runs all stages of `eplan` and returns the plan sink's output.
   Result<ExecutionResult> Execute(const ExecutionPlan& eplan);
 
@@ -115,6 +144,7 @@ class CrossPlatformExecutor {
   ResultCache* result_cache_ = nullptr;  // optional, not owned
   const PlatformRegistry* registry_ = nullptr;     // failover, not owned
   const MovementCostModel* movement_ = nullptr;    // failover, not owned
+  StatisticsCatalog* stats_catalog_ = nullptr;     // optional, not owned
   StopCondition stop_;
 };
 

@@ -18,6 +18,7 @@ void ExecutionMetrics::MergeFrom(const ExecutionMetrics& other) {
   stages_reused += other.stages_reused;
   boundary_conversions_reused += other.boundary_conversions_reused;
   failovers += other.failovers;
+  reoptimizations += other.reoptimizations;
 }
 
 std::string ExecutionMetrics::ToString() const {
@@ -25,7 +26,8 @@ std::string ExecutionMetrics::ToString() const {
   std::snprintf(buf, sizeof(buf),
                 "total=%.3fms (wall=%.3fms sim=%.3fms) jobs=%lld stages=%lld "
                 "tasks=%lld shuffle=%lldB moved=%lldrec/%lldB retries=%lld "
-                "fused=%lld reused=%lld conv_reused=%lld failovers=%lld",
+                "fused=%lld reused=%lld conv_reused=%lld failovers=%lld "
+                "reopts=%lld",
                 static_cast<double>(TotalMicros()) * 1e-3,
                 static_cast<double>(wall_micros) * 1e-3,
                 static_cast<double>(sim_overhead_micros) * 1e-3,
@@ -39,7 +41,8 @@ std::string ExecutionMetrics::ToString() const {
                 static_cast<long long>(fused_operators),
                 static_cast<long long>(stages_reused),
                 static_cast<long long>(boundary_conversions_reused),
-                static_cast<long long>(failovers));
+                static_cast<long long>(failovers),
+                static_cast<long long>(reoptimizations));
   return buf;
 }
 

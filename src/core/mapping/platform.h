@@ -36,6 +36,7 @@ struct ExecutionMetrics {
   int64_t stages_reused = 0;    // stages skipped via the sub-plan result cache
   int64_t boundary_conversions_reused = 0;  // cross-platform encodes shared
   int64_t failovers = 0;  // platform blackouts survived by re-planning
+  int64_t reoptimizations = 0;  // mid-job re-plans on cardinality misestimates
 
   int64_t TotalMicros() const { return wall_micros + sim_overhead_micros; }
   double TotalSeconds() const { return static_cast<double>(TotalMicros()) * 1e-6; }

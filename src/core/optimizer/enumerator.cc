@@ -7,6 +7,7 @@
 
 #include "common/metrics.h"
 #include "core/operators/physical_ops.h"
+#include "core/optimizer/stats_catalog.h"
 
 namespace rheem {
 
@@ -225,6 +226,9 @@ Result<PlatformAssignment> Enumerator::Run(const Plan& plan,
         const double weight = mapping != nullptr ? mapping->cost_weight : 1.0;
         self_cost = weight * p->cost_model().OperatorCostMicros(
                                  *op, in_cards, self_est->second.cardinality);
+        if (options.stats != nullptr) {
+          self_cost *= options.stats->CostFactor(op->kind_name(), p->name());
+        }
       }
       // A source operator opens a task atom on its platform; charge the
       // platform's fixed stage overhead there (platform switches below

@@ -13,6 +13,8 @@
 
 namespace rheem {
 
+class StatisticsCatalog;  // core/optimizer/stats_catalog.h
+
 /// Knobs steering the multi-platform enumeration.
 struct EnumeratorOptions {
   /// Non-empty: assign every operator to this platform (used by the
@@ -32,6 +34,11 @@ struct EnumeratorOptions {
   /// Account for inter-platform movement costs. Disabling reproduces the
   /// Musketeer-style optimizer the paper contrasts with (ablation A2).
   bool movement_aware = true;
+  /// Learned statistics (borrowed, may be null): every operator's modelled
+  /// cost is multiplied by the catalog's calibrated per-(operator kind,
+  /// platform) factor, so platforms whose cost models ran hot or cold on
+  /// this machine are priced with observed constants.
+  const StatisticsCatalog* stats = nullptr;
 };
 
 /// \brief The outcome of enumeration: every operator bound to a platform.

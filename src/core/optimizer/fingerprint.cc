@@ -50,8 +50,10 @@ Result<uint64_t> PlanFingerprint::Compute(const Plan& plan) {
 uint64_t PlanFingerprint::OfDataset(const Dataset& data) {
   uint64_t h = kSeed;
   h = Mix(h, static_cast<uint64_t>(data.size()));
+  // Record::Hash is allocation-free; rendering each record through
+  // ToString() made fingerprinting wide datasets cost more than moving them.
   for (const Record& r : data.records()) {
-    h = Mix(h, r.ToString());
+    h = Mix(h, static_cast<uint64_t>(r.Hash()));
   }
   return h;
 }

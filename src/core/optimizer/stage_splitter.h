@@ -58,6 +58,17 @@ struct ExecutionPlan {
   std::vector<Stage> stages;  // topologically ordered
   int final_stage = -1;       // stage containing the plan sink
 
+  /// Compile-time cardinality estimates the assignment was costed with.
+  /// When populated (RheemContext::Compile does), the executor compares
+  /// them against observed stage outputs to drive progressive
+  /// re-optimization; empty means "no estimates" and disables it.
+  EstimateMap estimates;
+
+  /// Enumerator options the plan was produced with, so a mid-job re-plan
+  /// (failover or re-optimization) honors the same constraints (forced
+  /// platform, movement awareness, pinned operators).
+  EnumeratorOptions enum_options;
+
   /// Multi-line explanation: stages, platforms, operators, estimates.
   std::string Explain(const EstimateMap& estimates = {}) const;
 };

@@ -7,6 +7,7 @@
 #include "common/trace.h"
 #include "core/executor/executor.h"
 #include "core/optimizer/fingerprint.h"
+#include "core/optimizer/stats_catalog.h"
 #include "core/sql/sql.h"
 
 namespace rheem {
@@ -243,6 +244,15 @@ Result<ExecutionResult> JobServer::RunJob(
   Result<ExecutionResult> result = RunJobInner(job, job_span.id());
   SettleState(job, result);
   job_span.AddTag("state", JobStateToString(job->state.load()));
+  // Surface progressive re-optimization on the job span: operators browsing
+  // a trace see which jobs re-planned mid-flight and why.
+  if (result.ok() && result->metrics.reoptimizations > 0) {
+    job_span.AddTag("reoptimizations", result->metrics.reoptimizations);
+    for (std::size_t i = 0; i < result->decisions.size(); ++i) {
+      job_span.AddTag("reopt_" + std::to_string(i + 1),
+                      result->decisions[i]);
+    }
+  }
   return result;
 }
 
@@ -299,6 +309,9 @@ Result<ExecutionResult> JobServer::RunJobInner(
   if (eo.monitor != nullptr) executor.set_monitor(eo.monitor);
   executor.EnableFailover(&ctx_->platforms(), &ctx_->movement_model());
   executor.set_stop_condition(stop);
+  // Learned statistics: every job run through the service feeds the
+  // context's catalog, so the fleet's estimates sharpen under traffic.
+  executor.set_stats_catalog(ctx_->stats_catalog());
   // Materialized-result reuse across jobs: stages whose outputs another job
   // already computed (same sub-plan fingerprint) are skipped entirely.
   if (job->options.use_result_cache) {
@@ -371,6 +384,21 @@ void JobServer::Shutdown(bool drain) {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+
+  // Persist learned statistics so the next process plans with everything
+  // this one observed ("the fleet gets smarter across restarts"). Failures
+  // only cost the learning, never the shutdown.
+  StatisticsCatalog* stats = ctx_->stats_catalog();
+  const std::string stats_path =
+      ctx_->config().GetString("stats.path", "").ValueOr("");
+  const bool autosave =
+      ctx_->config().GetBool("stats.autosave", true).ValueOr(true);
+  if (stats != nullptr && autosave && !stats_path.empty()) {
+    if (Status saved = stats->SaveToFile(stats_path); !saved.ok()) {
+      RHEEM_LOG(Warning) << "failed to save stats catalog to " << stats_path
+                         << ": " << saved.ToString();
+    }
+  }
 }
 
 JobServerStats JobServer::stats() const {

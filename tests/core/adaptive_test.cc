@@ -104,6 +104,55 @@ TEST_F(AdaptiveTest, AccurateHintNeedsNoAdaptation) {
   EXPECT_EQ(result->output.size(), 60000u);
 }
 
+TEST_F(AdaptiveTest, InvalidOptionsAreRejectedAtSubmit) {
+  Plan plan;
+  auto* src = plan.Add<CollectionSourceOp>({}, Numbers(10));
+  plan.SetSink(plan.Add<CollectOp>({src}));
+  AdaptiveExecutor executor(&registry_, &movement_);
+
+  // A threshold <= 1.0 can never be exceeded by the symmetric error ratio
+  // (always >= 1): it used to silently disable adaptation, now it errors.
+  AdaptiveOptions bad_threshold;
+  bad_threshold.reoptimize_threshold = 1.0;
+  auto r1 = executor.Execute(plan, bad_threshold);
+  ASSERT_TRUE(r1.status().IsInvalidArgument()) << r1.status().ToString();
+  EXPECT_NE(r1.status().ToString().find("reoptimize_threshold"),
+            std::string::npos);
+
+  AdaptiveOptions negative_budget;
+  negative_budget.max_reoptimizations = -1;
+  auto r2 = executor.Execute(plan, negative_budget);
+  ASSERT_TRUE(r2.status().IsInvalidArgument()) << r2.status().ToString();
+  EXPECT_NE(r2.status().ToString().find("max_reoptimizations"),
+            std::string::npos);
+
+  // Zero stays valid: it means "adaptation off", not a typo.
+  AdaptiveOptions disabled;
+  disabled.max_reoptimizations = 0;
+  EXPECT_TRUE(executor.Execute(plan, disabled).ok());
+}
+
+TEST_F(AdaptiveTest, ExecutorConfigValidationMatchesAdaptiveOptions) {
+  // The folded-in executor path validates the same knobs from config keys.
+  auto run = [&](double threshold, int64_t budget) {
+    Plan plan;
+    auto* src = plan.Add<CollectionSourceOp>({}, Numbers(10));
+    plan.SetSink(plan.Add<CollectOp>({src}));
+    auto estimates = CardinalityEstimator::Estimate(plan).ValueOrDie();
+    Enumerator enumerator(&registry_, &movement_);
+    auto assignment = enumerator.Run(plan, estimates, {}).ValueOrDie();
+    auto eplan = StageSplitter::Split(plan, std::move(assignment)).ValueOrDie();
+    Config config;
+    config.SetDouble("executor.reoptimize_threshold", threshold);
+    config.SetInt("executor.max_reoptimizations", budget);
+    CrossPlatformExecutor executor(config);
+    return executor.Execute(eplan).status();
+  };
+  EXPECT_TRUE(run(0.5, 2).IsInvalidArgument());
+  EXPECT_TRUE(run(3.0, -1).IsInvalidArgument());
+  EXPECT_TRUE(run(3.0, 0).ok());
+}
+
 TEST_F(AdaptiveTest, AdaptationRespectsMaxReoptimizations) {
   auto lying = BuildLyingPlan(20000, /*hint=*/0.0001);
   AdaptiveExecutor executor(&registry_, &movement_);

@@ -96,6 +96,18 @@ void InstallSchedule(Rng* sched) {
   }
 }
 
+/// Chaos rounds run one seed's plan twice (reference, then chaos) and assert
+/// identical stage topology via movement totals — so the shared context must
+/// not learn between the runs: a statistics-catalog hit on the second
+/// compilation could legally re-place operators. Learning under faults is
+/// exercised by the re-optimization interplay suite below with per-run
+/// contexts.
+inline Config NoLearningConfig() {
+  Config config;
+  config.SetBool("stats.enabled", false);
+  return config;
+}
+
 class ChaosTest : public ::testing::TestWithParam<int> {
  protected:
   void SetUp() override {
@@ -120,7 +132,7 @@ class ChaosTest : public ::testing::TestWithParam<int> {
     return q.CollectWithMetrics();
   }
 
-  RheemContext ctx_;
+  RheemContext ctx_{NoLearningConfig()};
 };
 
 // 16 shards x 32 rounds = 512 random plans, each run fault-free and then
@@ -203,6 +215,145 @@ TEST_P(ChaosTest, FaultSchedulePreservesResultsAndReconciles) {
 
     inj.Clear();
   }
+}
+
+// Interplay of faults with the progressive re-optimization window: each
+// round's plan opens with a filter whose selectivity hint lies by ~500x
+// behind a pinned platform boundary, so the executor re-plans mid-job. The
+// fault-free run is the reference; then the same seed runs (a) with stage
+// attempts failing inside the re-optimization window — recovery must not
+// change the re-plan trajectory, the results, or the movement totals (no
+// double-charged moved_records/bytes across the re-plan) — and (b) with the
+// re-enumeration itself fault-injected ("the re-optimizer dies mid-flight"),
+// which must degrade to the static plan: same results, zero recorded
+// re-optimizations, movement identical to a re-optimization-disabled run.
+TEST_P(ChaosTest, FaultsInReoptimizationWindowPreserveResults) {
+  uint64_t replay = 0;
+  const bool has_replay = testutil::EnvReplaySeed("RHEEM_FAULT_SEED", &replay);
+  Rng rng(static_cast<uint64_t>(GetParam()) * 87178291199 + 31 +
+          testutil::EnvU64("RHEEM_FUZZ_SEED_OFFSET"));
+  const int rounds = has_replay ? 1 : 8;
+  FaultInjector& inj = FaultInjector::Global();
+
+  // Per-run contexts so the reference cannot teach later runs this plan's
+  // actual cardinalities (which would plan away the mis-estimate).
+  auto run_lying = [&](uint64_t seed, int64_t max_reopts) {
+    Config config = NoLearningConfig();
+    config.SetBool("metrics.enabled", true);
+    config.SetInt("executor.max_reoptimizations", max_reopts);
+    // Serial stage execution: the re-plan pins whatever had completed when
+    // the soft stop landed, so the cross-run movement/trajectory comparisons
+    // below need deterministic stage completion order.
+    config.SetBool("executor.parallel_stages", false);
+    RheemContext ctx(config);
+    EXPECT_TRUE(ctx.RegisterDefaultPlatforms().ok());
+    Rng tape(seed);
+    RheemJob job(&ctx);
+    DataQuanta q = job.LoadCollection(RandomPairs(&tape, 200));
+    q = q.Filter([](const Record&) { return true; }, UdfMeta{0.002, 1.0})
+            .OnPlatform("javasim");
+    q = q.Map([](const Record& r) { return Record({r[0], r[1]}); })
+            .OnPlatform("sparksim");
+    q = RandomPipeline(&tape, &job, q);
+    return q.CollectWithMetrics();
+  };
+
+  for (int round = 0; round < rounds; ++round) {
+    const uint64_t seed = has_replay ? replay : rng.NextU64();
+
+    inj.set_enabled(false);
+    inj.Clear();
+    auto reference = run_lying(seed, 2);
+    ASSERT_TRUE(reference.ok())
+        << "fault-free run failed; replay with RHEEM_FAULT_SEED=" << seed
+        << ": " << reference.status().ToString();
+    const auto expect = AsMultiset(reference->output);
+
+    // (a) Stage attempts fail during the job — including attempts of stages
+    // scheduled after the re-plan. Two first-attempt failures stay within
+    // every stage's retry budget and below the blackout threshold.
+    inj.Clear();
+    inj.Seed(seed);
+    ASSERT_TRUE(inj.AddSpec("executor.stage_attempt",
+                            FaultTrigger::EveryK(1, /*limit=*/2), "attempt=0")
+                    .ok());
+    inj.set_enabled(true);
+    auto chaos = run_lying(seed, 2);
+    inj.set_enabled(false);
+    const int64_t attempt_fired = inj.fired("executor.stage_attempt");
+    ASSERT_TRUE(chaos.ok())
+        << "chaos run failed; replay with RHEEM_FAULT_SEED=" << seed << ": "
+        << chaos.status().ToString();
+    EXPECT_EQ(AsMultiset(chaos->output), expect)
+        << "chaos run diverged; replay with RHEEM_FAULT_SEED=" << seed;
+    EXPECT_EQ(chaos->metrics.retries, attempt_fired)
+        << "retries do not reconcile; replay with RHEEM_FAULT_SEED=" << seed;
+    // Same re-plan trajectory as the fault-free run: retried attempts change
+    // nothing the re-optimizer observes.
+    EXPECT_EQ(chaos->metrics.reoptimizations,
+              reference->metrics.reoptimizations)
+        << "faults changed the re-plan; replay with RHEEM_FAULT_SEED=" << seed;
+    EXPECT_EQ(static_cast<int64_t>(chaos->decisions.size()),
+              chaos->metrics.reoptimizations);
+    // Movement charged once per boundary edge across retries AND the
+    // re-plan: identical totals to the fault-free run.
+    EXPECT_EQ(chaos->metrics.moved_records, reference->metrics.moved_records)
+        << "moved_records double-charged in the re-optimization window; "
+        << "replay with RHEEM_FAULT_SEED=" << seed;
+    EXPECT_EQ(chaos->metrics.moved_bytes, reference->metrics.moved_bytes)
+        << "moved_bytes double-charged in the re-optimization window; "
+        << "replay with RHEEM_FAULT_SEED=" << seed;
+    EXPECT_EQ(chaos->metrics.failovers, 0)
+        << "spurious failover; replay with RHEEM_FAULT_SEED=" << seed;
+
+    // (b) The re-enumeration itself dies every time it is attempted: the
+    // job must carry on with the current plan and still finish correctly,
+    // with the abandoned re-plans absent from decisions and metrics.
+    inj.Clear();
+    inj.Seed(seed);
+    ASSERT_TRUE(
+        inj.AddSpec("executor.reoptimize", FaultTrigger::EveryK(1)).ok());
+    inj.set_enabled(true);
+    auto abandoned = run_lying(seed, 2);
+    inj.set_enabled(false);
+    const int64_t reopt_fired = inj.fired("executor.reoptimize");
+    ASSERT_TRUE(abandoned.ok())
+        << "job failed when the re-optimizer died (must degrade, not fail); "
+        << "replay with RHEEM_FAULT_SEED=" << seed << ": "
+        << abandoned.status().ToString();
+    EXPECT_EQ(AsMultiset(abandoned->output), expect)
+        << "degraded run diverged; replay with RHEEM_FAULT_SEED=" << seed;
+    EXPECT_EQ(abandoned->metrics.reoptimizations, 0)
+        << "abandoned re-plan was counted; replay with RHEEM_FAULT_SEED="
+        << seed;
+    EXPECT_TRUE(abandoned->decisions.empty());
+    if (reference->metrics.reoptimizations > 0) {
+      EXPECT_GE(reopt_fired, 1)
+          << "re-optimize site never hit though the reference re-planned; "
+          << "replay with RHEEM_FAULT_SEED=" << seed;
+      EXPECT_NE(abandoned->report.find("re-optimization abandoned"),
+                std::string::npos)
+          << "abandoned re-plan missing from report; replay with "
+          << "RHEEM_FAULT_SEED=" << seed;
+    }
+
+    // The degraded run executed the static plan throughout; its movement
+    // must equal a run with re-optimization disabled outright.
+    inj.Clear();
+    auto static_run = run_lying(seed, 0);
+    ASSERT_TRUE(static_run.ok())
+        << "static run failed; replay with RHEEM_FAULT_SEED=" << seed << ": "
+        << static_run.status().ToString();
+    EXPECT_EQ(AsMultiset(static_run->output), expect);
+    EXPECT_EQ(abandoned->metrics.moved_records,
+              static_run->metrics.moved_records)
+        << "degraded run moved different data than the static plan; replay "
+        << "with RHEEM_FAULT_SEED=" << seed;
+    EXPECT_EQ(abandoned->metrics.moved_bytes, static_run->metrics.moved_bytes)
+        << "degraded run moved different bytes than the static plan; replay "
+        << "with RHEEM_FAULT_SEED=" << seed;
+  }
+  inj.Clear();
 }
 
 // The same seed replays to the same results and the same fire counts —

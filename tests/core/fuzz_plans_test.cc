@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "core/api/data_quanta.h"
 #include "core/operators/kernels.h"
@@ -35,10 +36,22 @@ bool EnvReplaySeed(uint64_t* seed) {
   return testutil::EnvReplaySeed("RHEEM_FUZZ_SEED", seed);
 }
 
+/// Differential suites compare repeated runs of one plan, so the shared
+/// context must not learn between them: a statistics-catalog hit on the
+/// second compilation could legally change the platform assignment and break
+/// the "same plan, same stages" premise the oracles rest on. The adaptive
+/// differential below exercises the learning/re-optimization machinery with
+/// per-run contexts instead.
+inline Config NoLearningConfig() {
+  Config config;
+  config.SetBool("stats.enabled", false);
+  return config;
+}
+
 class FuzzPlansTest : public ::testing::TestWithParam<int> {
  protected:
   void SetUp() override { ASSERT_TRUE(ctx_.RegisterDefaultPlatforms().ok()); }
-  RheemContext ctx_;
+  RheemContext ctx_{NoLearningConfig()};
 };
 
 // 16 shards x 32 rounds = 512 random plans, each executed on every backend.
@@ -307,6 +320,95 @@ TEST_P(FuzzPlansTest, SqlPlanDifferentialAgree) {
           << "\nSQL: " << twin.sql;
     }
   }
+}
+
+// Adaptive-vs-static differential: every random plan is prefixed with a
+// filter whose selectivity hint lies by ~500x and a pinned platform boundary
+// right behind it, so the compile-time estimates are provably wrong and the
+// executor's progressive re-optimization has a mid-job decision point. The
+// honest-hint run is the reference; the lying run with re-optimization armed
+// and the lying run with re-optimization disabled (static) must both be
+// bag-equal with it — a mid-flight re-plan may change platforms, never
+// results. Decisions, job metrics and the registry counter must reconcile:
+// decisions.size() == metrics.reoptimizations == reoptimizations_total
+// delta. 16 shards x 24 rounds = 384 plans.
+TEST_P(FuzzPlansTest, AdaptiveStaticDifferentialAgree) {
+  uint64_t replay = 0;
+  const bool has_replay = EnvReplaySeed(&replay);
+  Rng rng(static_cast<uint64_t>(GetParam()) * 49979687 + 17 + EnvSeedOffset());
+  const int rounds = has_replay ? 1 : 24;
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const bool metrics_were_enabled = registry.enabled();
+  registry.set_enabled(true);
+  int64_t total_reopts = 0;
+
+  for (int round = 0; round < rounds; ++round) {
+    const uint64_t seed = has_replay ? replay : rng.NextU64();
+    // Per-run contexts: the adaptive run must not learn this plan's actual
+    // cardinalities before it executes, or nothing would be mis-estimated.
+    auto run = [&](double hint, int64_t max_reopts) {
+      Config config;
+      config.SetBool("stats.enabled", false);
+      config.SetBool("metrics.enabled", true);
+      config.SetInt("executor.max_reoptimizations", max_reopts);
+      RheemContext ctx(config);
+      EXPECT_TRUE(ctx.RegisterDefaultPlatforms().ok());
+      Rng tape(seed);
+      RheemJob job(&ctx);
+      DataQuanta q = job.LoadCollection(RandomPairs(&tape, 200));
+      // The lie: `hint` promises almost nothing survives; everything does.
+      q = q.Filter([](const Record&) { return true; }, UdfMeta{hint, 1.0})
+              .OnPlatform("javasim");
+      // Pinned boundary: the lying filter's stage is never the final stage.
+      q = q.Map([](const Record& r) { return Record({r[0], r[1]}); })
+              .OnPlatform("sparksim");
+      q = RandomPipeline(&tape, &job, q);
+      return q.CollectWithMetrics();
+    };
+
+    auto reference = run(/*hint=*/1.0, /*max_reopts=*/2);
+    ASSERT_TRUE(reference.ok())
+        << "honest run failed; replay with RHEEM_FUZZ_SEED=" << seed << ": "
+        << reference.status().ToString();
+    const auto expect = AsMultiset(reference->output);
+
+    const MetricsSnapshot before = registry.Snapshot();
+    auto adaptive = run(/*hint=*/0.002, /*max_reopts=*/2);
+    const MetricsSnapshot after = registry.Snapshot();
+    ASSERT_TRUE(adaptive.ok())
+        << "adaptive run failed; replay with RHEEM_FUZZ_SEED=" << seed << ": "
+        << adaptive.status().ToString();
+    EXPECT_EQ(AsMultiset(adaptive->output), expect)
+        << "adaptive run diverged; replay with RHEEM_FUZZ_SEED=" << seed;
+    EXPECT_EQ(static_cast<int64_t>(adaptive->decisions.size()),
+              adaptive->metrics.reoptimizations)
+        << "decisions do not reconcile; replay with RHEEM_FUZZ_SEED=" << seed;
+    EXPECT_EQ(after.counter("executor.reoptimizations_total") -
+                  before.counter("executor.reoptimizations_total"),
+              adaptive->metrics.reoptimizations)
+        << "registry counter off; replay with RHEEM_FUZZ_SEED=" << seed;
+    if (adaptive->metrics.reoptimizations > 0) {
+      EXPECT_NE(adaptive->report.find("re-optimized:"), std::string::npos)
+          << "re-plan missing from report; replay with RHEEM_FUZZ_SEED="
+          << seed;
+    }
+    total_reopts += adaptive->metrics.reoptimizations;
+
+    auto static_run = run(/*hint=*/0.002, /*max_reopts=*/0);
+    ASSERT_TRUE(static_run.ok())
+        << "static run failed; replay with RHEEM_FUZZ_SEED=" << seed << ": "
+        << static_run.status().ToString();
+    EXPECT_EQ(AsMultiset(static_run->output), expect)
+        << "static run diverged; replay with RHEEM_FUZZ_SEED=" << seed;
+    EXPECT_EQ(static_run->metrics.reoptimizations, 0);
+    EXPECT_TRUE(static_run->decisions.empty());
+  }
+  // Across a shard, the 500x lie must actually trigger (a plan needs >= 4
+  // source rows for the error to clear the 3x threshold; all-tiny shards are
+  // astronomically unlikely).
+  if (!has_replay) EXPECT_GE(total_reopts, 1);
+  registry.set_enabled(metrics_were_enabled);
 }
 
 TEST_P(FuzzPlansTest, ExplainAlwaysCompiles) {

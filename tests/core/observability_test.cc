@@ -514,6 +514,138 @@ TEST_F(ObservabilityTest, CountersReconcileUnderFailover) {
   EXPECT_EQ(failed_over->output.size(), clean->output.size());
 }
 
+// Progressive re-optimization must reconcile across every surface it is
+// reported on: AdaptiveResult-style decisions threaded into ExecutionResult,
+// the per-job metrics, the registry counter, the EXPLAIN ANALYZE report, and
+// the trace ("reoptimize" spans under the execute span; "reopt_N" tags on
+// the JobServer's job span).
+TEST_F(ObservabilityTest, ReoptimizationDecisionsReconcileEverywhere) {
+  Config config = ObservableConfig();
+  // No learning: the second (lying) compilation must actually mis-estimate.
+  config.SetBool("stats.enabled", false);
+  RheemContext ctx(config);
+  ASSERT_TRUE(ctx.RegisterDefaultPlatforms().ok());
+
+  // The filter claims 1-in-1000 survive; everything does. The pinned
+  // javasim -> sparksim boundary guarantees the lying stage is not final.
+  auto build = [&](RheemJob* job, double hint) {
+    DataQuanta q = job->LoadCollection(Rows(500));
+    q = q.Filter([](const Record&) { return true; }, UdfMeta{hint, 1.0})
+            .OnPlatform("javasim");
+    q = q.Map([](const Record& r) {
+           return Record({r[0], Value(r[1].ToInt64Or(0) + 1)});
+         }).OnPlatform("sparksim");
+    return q;
+  };
+
+  // Honest hint: no re-optimization, no decisions, clean report.
+  {
+    RheemJob job(&ctx);
+    auto clean = build(&job, 1.0).CollectWithMetrics();
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+    EXPECT_EQ(clean->metrics.reoptimizations, 0);
+    EXPECT_TRUE(clean->decisions.empty());
+    EXPECT_EQ(clean->report.find("re-optimized:"), std::string::npos)
+        << clean->report;
+  }
+
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  Tracer::Global().Clear();
+  RheemJob job(&ctx);
+  auto reopt = build(&job, 0.001).CollectWithMetrics();
+  ASSERT_TRUE(reopt.ok()) << reopt.status().ToString();
+  const MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  auto delta = [&](const std::string& name) {
+    return after.counter(name) - before.counter(name);
+  };
+
+  // One divergence (estimated 0.5, observed 500): exactly one re-plan, and
+  // decisions.size() == metrics.reoptimizations == the registry counter.
+  ASSERT_GE(reopt->metrics.reoptimizations, 1);
+  EXPECT_EQ(static_cast<int64_t>(reopt->decisions.size()),
+            reopt->metrics.reoptimizations);
+  EXPECT_EQ(delta("executor.reoptimizations_total"),
+            reopt->metrics.reoptimizations);
+  EXPECT_EQ(reopt->output.size(), 500u);  // the re-plan changed no results
+
+  // The decision lines name the culprit and both cardinalities.
+  for (const std::string& decision : reopt->decisions) {
+    EXPECT_NE(decision.find("estimated"), std::string::npos) << decision;
+    EXPECT_NE(decision.find("produced"), std::string::npos) << decision;
+  }
+
+  // EXPLAIN ANALYZE surfaces each decision and the totals line.
+  EXPECT_NE(reopt->report.find("re-optimized:"), std::string::npos)
+      << reopt->report;
+  EXPECT_NE(reopt->report.find("reoptimizations=" +
+                               std::to_string(reopt->metrics.reoptimizations)),
+            std::string::npos)
+      << reopt->report;
+
+  // Trace: one "reoptimize" span per re-plan, tagged with the divergence,
+  // parented under the job's execute span.
+  std::map<uint64_t, SpanRecord> by_id;
+  for (const SpanRecord& s : Tracer::Global().Spans()) by_id[s.id] = s;
+  int64_t reopt_spans = 0;
+  for (const auto& [id, s] : by_id) {
+    if (s.name != "reoptimize") continue;
+    ++reopt_spans;
+    bool has_op = false, has_error = false;
+    for (const auto& [k, v] : s.tags) {
+      if (k == "op") has_op = true;
+      if (k == "error") has_error = true;
+    }
+    EXPECT_TRUE(has_op && has_error) << "untagged reoptimize span";
+    auto parent = by_id.find(s.parent_id);
+    ASSERT_NE(parent, by_id.end());
+    EXPECT_EQ(parent->second.name, "execute");
+  }
+  EXPECT_EQ(reopt_spans, reopt->metrics.reoptimizations);
+}
+
+// The same reconciliation through the service layer: a submitted job that
+// re-optimizes carries its decisions onto the JobServer's job span.
+TEST_F(ObservabilityTest, JobSpanCarriesReoptimizationDecisions) {
+  Config config = ObservableConfig();
+  config.SetBool("stats.enabled", false);
+  RheemContext ctx(config);
+  ASSERT_TRUE(ctx.RegisterDefaultPlatforms().ok());
+
+  RheemJob job(&ctx);
+  DataQuanta q = job.LoadCollection(Rows(500));
+  q = q.Filter([](const Record&) { return true; }, UdfMeta{0.001, 1.0})
+          .OnPlatform("javasim");
+  q = q.Map([](const Record& r) { return Record({r[0], r[1]}); })
+          .OnPlatform("sparksim");
+  auto plan = q.Seal();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto handle = ctx.Submit(**plan);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  auto result = handle->Wait();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ctx.job_server().Shutdown(/*drain=*/true);
+  ASSERT_GE(result->metrics.reoptimizations, 1);
+  EXPECT_EQ(static_cast<int64_t>(result->decisions.size()),
+            result->metrics.reoptimizations);
+
+  bool job_span_tagged = false;
+  bool decision_tagged = false;
+  for (const SpanRecord& s : Tracer::Global().Spans()) {
+    if (s.name != "job") continue;
+    for (const auto& [k, v] : s.tags) {
+      if (k == "reoptimizations" &&
+          v == std::to_string(result->metrics.reoptimizations)) {
+        job_span_tagged = true;
+      }
+      if (k == "reopt_1" && v.find("estimated") != std::string::npos) {
+        decision_tagged = true;
+      }
+    }
+  }
+  EXPECT_TRUE(job_span_tagged) << "job span missing reoptimizations tag";
+  EXPECT_TRUE(decision_tagged) << "job span missing reopt_1 decision tag";
+}
+
 TEST_F(ObservabilityTest, ExplainAnalyzeReportAttachedWhenEnabled) {
   RheemContext ctx(ObservableConfig());
   ASSERT_TRUE(ctx.RegisterDefaultPlatforms().ok());
@@ -716,7 +848,7 @@ TEST_F(ObservabilityTest, SnapshotDuringConcurrentDrainsStaysConsistent) {
   for (int t = 0; t < 4; ++t) {
     readers.emplace_back([&]() {
       int64_t last_jobs = 0;
-      while (!stop.load()) {
+      do {  // at least one pass even when every job drains immediately
         const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
         const int64_t jobs_now = snap.counter("service.jobs_succeeded");
         EXPECT_GE(jobs_now, last_jobs);  // counters are monotone
@@ -725,7 +857,7 @@ TEST_F(ObservabilityTest, SnapshotDuringConcurrentDrainsStaysConsistent) {
         EXPECT_FALSE(json.empty());
         (void)MetricsRegistry::Global().ReportText();
         exports.fetch_add(1);
-      }
+      } while (!stop.load());
     });
   }
 
